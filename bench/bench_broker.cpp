@@ -1,0 +1,78 @@
+// E6 — Broker matchmaking capacity (table).
+//
+// What the paper-style table shows: the broker's matchmaking throughput
+// (submissions fully processed per second, including assignment fan-out)
+// and per-decision latency as the registered pool grows. The broker actor
+// is driven directly on one thread — this measures the decision logic, not
+// transport. Expected shape: throughput degrades gracefully with pool size
+// (eligibility filtering is linear in providers), stays comfortably above
+// any realistic submission rate for paper-scale pools.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "broker/broker.hpp"
+
+int main() {
+  using namespace tasklets;
+  using bench::header;
+  using bench::line;
+
+  header("E6", "broker matchmaking throughput vs pool size (single thread)");
+  line("%10s %14s %16s %14s %14s", "providers", "submissions",
+       "throughput(/s)", "p50 (us)", "p99 (us)");
+
+  for (const std::size_t pool_size : {10, 100, 1000, 5000}) {
+    broker::BrokerConfig config;
+    broker::Broker broker(NodeId{1}, broker::make_qoc_aware(), config);
+    {
+      proto::Outbox out(NodeId{1});
+      broker.on_start(0, out);
+    }
+    // Register the pool: plenty of slots so submissions always place.
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      proto::Capability capability;
+      capability.device_class = proto::DeviceClass::kDesktop;
+      capability.speed_fuel_per_sec = 400e6;
+      capability.slots = 64;
+      proto::Outbox out(NodeId{1});
+      broker.on_message(
+          proto::Envelope{NodeId{10 + i}, NodeId{1},
+                          proto::RegisterProvider{std::move(capability)}},
+          0, out);
+    }
+
+    const std::size_t submissions = pool_size >= 1000 ? 20'000 : 50'000;
+    Sampler latencies;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < submissions; ++i) {
+      proto::TaskletSpec spec;
+      spec.id = TaskletId{i + 1};
+      spec.job = JobId{1};
+      spec.body = proto::SyntheticBody{1'000'000, 0, 64};
+      const auto t0 = std::chrono::steady_clock::now();
+      proto::Outbox out(NodeId{1});
+      broker.on_message(
+          proto::Envelope{NodeId{2}, NodeId{1},
+                          proto::SubmitTasklet{std::move(spec)}},
+          static_cast<SimTime>(i), out);
+      const auto t1 = std::chrono::steady_clock::now();
+      latencies.add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+          1e3);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count() /
+        1e9;
+    line("%10zu %14zu %16.0f %14.2f %14.2f", pool_size, submissions,
+         submissions / elapsed, latencies.p50(), latencies.p99());
+    line("csv,E6,%zu,%zu,%.0f,%.2f,%.2f", pool_size, submissions,
+         submissions / elapsed, latencies.p50(), latencies.p99());
+  }
+
+  line("");
+  line("shape check: per-decision cost grows roughly linearly with the pool");
+  line("(one eligibility pass), so throughput falls ~10x from 100 to 1000");
+  line("providers while still exceeding realistic submission rates.");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// E1 — Middleware overhead (figure).
+//
+// What the paper-style figure shows: the cost of running a computation as a
+// tasklet instead of a native function call, broken into the pipeline
+// stages, for a small and a medium kernel. The shape to reproduce: VM
+// interpretation dominates for compute-heavy kernels (a constant factor vs
+// native), while middleware dispatch adds a fixed per-tasklet cost that only
+// matters for tiny tasklets.
+//
+// Stages measured on the threaded runtime:
+//   compile    — TCL -> verified bytecode
+//   native     — the same kernel hand-written in C++
+//   vm         — direct tvm::execute on this host (no middleware)
+//   end-to-end — submit() -> report through broker + provider
+//   dispatch   — end-to-end minus vm: marshalling, scheduling, transport
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/kernels.hpp"
+#include "core/system.hpp"
+#include "tcl/compiler.hpp"
+
+namespace {
+
+using namespace tasklets;
+
+double now_seconds() {
+  static const SteadyClock clock;
+  return to_seconds(clock.now());
+}
+
+// Repeats `fn` until ~budget seconds elapse; returns mean seconds per call.
+template <typename Fn>
+double time_per_call(Fn&& fn, double budget = 0.3) {
+  const double start = now_seconds();
+  int calls = 0;
+  do {
+    fn();
+    ++calls;
+  } while (now_seconds() - start < budget);
+  return (now_seconds() - start) / calls;
+}
+
+volatile std::int64_t g_sink;
+
+std::int64_t native_fib(std::int64_t n) {
+  return n < 2 ? n : native_fib(n - 1) + native_fib(n - 2);
+}
+
+void native_mandel_row(int width, int row, int height, double x0, double x1,
+                       double y0, double y1, int max_iter,
+                       std::vector<std::int64_t>& out) {
+  out.assign(static_cast<std::size_t>(width), 0);
+  const double ci = y0 + (y1 - y0) * row / height;
+  for (int col = 0; col < width; ++col) {
+    const double cr = x0 + (x1 - x0) * col / width;
+    double zr = 0, zi = 0;
+    int iter = 0;
+    while (iter < max_iter && zr * zr + zi * zi <= 4.0) {
+      const double tmp = zr * zr - zi * zi + cr;
+      zi = 2.0 * zr * zi + ci;
+      zr = tmp;
+      ++iter;
+    }
+    out[static_cast<std::size_t>(col)] = iter;
+  }
+}
+
+struct Workload {
+  std::string name;
+  std::string_view source;
+  std::vector<tvm::HostArg> args;
+  std::function<void()> native;
+};
+
+void run_workload(core::TaskletSystem& system, const Workload& workload) {
+  using bench::line;
+
+  const double compile_s = time_per_call([&] {
+    auto program = tcl::compile(workload.source);
+    if (!program.is_ok()) std::abort();
+  });
+
+  auto program = tcl::compile(workload.source);
+  const double vm_s = time_per_call([&] {
+    auto outcome = tvm::execute(*program, workload.args);
+    if (!outcome.is_ok()) std::abort();
+  });
+  const auto fuel = tvm::execute(*program, workload.args)->fuel_used;
+
+  const double native_s = time_per_call(workload.native);
+
+  proto::VmBody body;
+  body.program = program->serialize();
+  body.args = workload.args;
+  const double e2e_s = time_per_call([&] {
+    auto future = system.submit(proto::TaskletBody{body});
+    if (future.get().status != proto::TaskletStatus::kCompleted) std::abort();
+  });
+
+  // Middleware overhead relative to pure VM execution; clamped at 0 because
+  // for long kernels the difference sits inside measurement noise.
+  const double overhead_pct = std::max(0.0, (e2e_s / vm_s - 1.0) * 100.0);
+  line("%-14s %10.1f %12.1f %12.1f %12.1f %11.1f%% %8.1fx %8llu",
+       workload.name.c_str(), compile_s * 1e6, native_s * 1e6, vm_s * 1e6,
+       e2e_s * 1e6, overhead_pct, vm_s / native_s,
+       static_cast<unsigned long long>(fuel));
+  line("csv,E1,%s,%.2f,%.2f,%.2f,%.2f,%.2f", workload.name.c_str(),
+       compile_s * 1e6, native_s * 1e6, vm_s * 1e6, e2e_s * 1e6, overhead_pct);
+}
+
+}  // namespace
+
+int main() {
+  using bench::header;
+  using bench::line;
+
+  header("E1", "middleware overhead vs native execution (threaded runtime)");
+  core::TaskletSystem system;
+  system.add_provider();
+
+  // Fixed per-tasklet dispatch cost, measured directly with a near-empty
+  // kernel: everything but computation (marshalling, broker round trip,
+  // provider hop, result return).
+  {
+    auto trivial = tcl::compile("int main() { return 1; }");
+    proto::VmBody body;
+    body.program = trivial->serialize();
+    const double dispatch_s = time_per_call([&] {
+      auto future = system.submit(proto::TaskletBody{body});
+      if (future.get().status != proto::TaskletStatus::kCompleted) std::abort();
+    });
+    line("per-tasklet dispatch floor (empty kernel end-to-end): %.1f us",
+         dispatch_s * 1e6);
+    line("csv,E1,dispatch_floor,%.2f", dispatch_s * 1e6);
+    line("");
+  }
+
+  line("%-14s %10s %12s %12s %12s %12s %8s %8s", "workload", "compile(us)",
+       "native(us)", "vm(us)", "end2end(us)", "overhead", "vm/nat", "fuel");
+
+  std::vector<std::int64_t> row_buffer;
+  const std::vector<Workload> workloads = {
+      {"fib(10)", core::kernels::kFib, {std::int64_t{10}},
+       [] { g_sink = native_fib(10); }},
+      {"fib(22)", core::kernels::kFib, {std::int64_t{22}},
+       [] { g_sink = native_fib(22); }},
+      {"mandel_row256", core::kernels::kMandelbrotRow,
+       {std::int64_t{256}, std::int64_t{100}, std::int64_t{256}, -2.0, 1.0,
+        -1.2, 1.2, std::int64_t{128}},
+       [&row_buffer] {
+         native_mandel_row(256, 100, 256, -2.0, 1.0, -1.2, 1.2, 128, row_buffer);
+       }},
+      {"sieve(20000)", core::kernels::kSieve, {std::int64_t{20000}},
+       [] {
+         std::vector<char> composite(20000, 0);
+         std::int64_t count = 0;
+         for (int i = 2; i < 20000; ++i) {
+           if (!composite[static_cast<std::size_t>(i)]) {
+             ++count;
+             for (int j = i + i; j < 20000; j += i) {
+               composite[static_cast<std::size_t>(j)] = 1;
+             }
+           }
+         }
+         g_sink = count;
+       }},
+  };
+  for (const auto& workload : workloads) run_workload(system, workload);
+
+  line("");
+  line("shape check: the dispatch floor is a fixed per-tasklet cost, so the");
+  line("overhead column shrinks from dominant (tiny fib(10)) to noise for");
+  line("multi-ms kernels; vm/native is a constant interpretation factor");
+  line("(the price of portability across heterogeneous devices).");
+  return 0;
+}

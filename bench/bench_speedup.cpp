@@ -1,0 +1,65 @@
+// E2 — Speedup vs number of providers (figure).
+//
+// What the paper-style figure shows: completion time and speedup of an
+// embarrassingly parallel job (Mandelbrot rendering split into row
+// tasklets) as homogeneous providers are added. Expected shape: near-linear
+// speedup while #rows >> #slots, flattening when per-tasklet dispatch and
+// transfer costs dominate and when slots outnumber remaining rows.
+//
+// Runs in the simulator (virtual time) with the *real* compiled kernel, so
+// the per-row work profile (edge rows escape quickly, center rows run to
+// max_iter) is authentic.
+#include "bench_util.hpp"
+#include "core/kernels.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace tasklets;
+  using bench::header;
+  using bench::line;
+
+  constexpr int kWidth = 192;
+  constexpr int kHeight = 96;
+  constexpr int kMaxIter = 96;
+
+  header("E2", "speedup vs provider count (mandelbrot 192x96, row tasklets)");
+  line("%10s %10s %12s %10s %12s", "providers", "slots", "makespan(s)",
+       "speedup", "efficiency");
+
+  double baseline = 0.0;
+  for (const std::size_t providers : {1, 2, 4, 8, 16, 32, 64, 96, 128}) {
+    core::SimConfig config;
+    config.seed = 7;
+    core::SimCluster cluster(config);
+    // Single-slot desktops: provider count == parallel slots.
+    sim::DeviceProfile profile = sim::desktop_profile();
+    profile.slots = 1;
+    cluster.add_providers(profile, providers);
+
+    for (int row = 0; row < kHeight; ++row) {
+      auto body = core::compile_tasklet(
+          core::kernels::kMandelbrotRow,
+          {std::int64_t{kWidth}, std::int64_t{row}, std::int64_t{kHeight},
+           -2.0, 1.0, -1.2, 1.2, std::int64_t{kMaxIter}});
+      if (!body.is_ok()) return 1;
+      cluster.submit(std::move(body).value());
+    }
+    if (!cluster.run_until_quiescent()) return 1;
+
+    const auto metrics = bench::collect(cluster);
+    if (providers == 1) baseline = metrics.makespan_s;
+    const double speedup = baseline / metrics.makespan_s;
+    const double efficiency = speedup / static_cast<double>(providers);
+    line("%10zu %10zu %12.3f %10.2f %12.2f", providers, providers,
+         metrics.makespan_s, speedup, efficiency);
+    line("csv,E2,%zu,%.4f,%.3f,%.3f", providers, metrics.makespan_s, speedup,
+         efficiency);
+  }
+
+  line("");
+  line("shape check: dynamic row assignment keeps speedup near-linear while");
+  line("rows (96) >> providers; efficiency collapses as providers approach");
+  line("and exceed the row count — beyond 96 slots extra devices are pure");
+  line("waste (the knee the paper's figure shows).");
+  return 0;
+}

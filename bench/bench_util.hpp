@@ -1,0 +1,78 @@
+// Shared helpers for the experiment harnesses (bench_* binaries).
+//
+// Each harness reproduces one table/figure of the evaluation (see DESIGN.md
+// §4 and EXPERIMENTS.md): it generates the workload, sweeps the parameter,
+// and prints the same rows/series the paper-style figure plots, as an
+// aligned table and as CSV (lines prefixed "csv," for easy extraction).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "core/sim_cluster.hpp"
+
+namespace tasklets::bench {
+
+inline void header(const std::string& experiment, const std::string& what) {
+  std::printf("\n==== %s: %s ====\n", experiment.c_str(), what.c_str());
+}
+
+inline void line(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+// Aggregate metrics over a finished SimCluster run.
+struct RunMetrics {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  double success_rate = 0.0;
+  double makespan_s = 0.0;       // submission->completion of the last report
+  double mean_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double mean_attempts = 0.0;
+  double total_cost = 0.0;
+  std::uint64_t reissues = 0;
+  double fairness = 0.0;  // Jain index over provider completion counts
+};
+
+inline RunMetrics collect(core::SimCluster& cluster) {
+  RunMetrics metrics;
+  metrics.submitted = cluster.submitted();
+  Sampler latencies;
+  double attempts = 0.0;
+  SimTime last_done = 0;
+  for (const auto& report : cluster.reports()) {
+    if (report.status != proto::TaskletStatus::kCompleted) continue;
+    metrics.completed += 1;
+    latencies.add(to_seconds(report.latency));
+    attempts += report.attempts;
+    last_done = std::max(last_done, report.latency);
+  }
+  metrics.success_rate = metrics.submitted == 0
+                             ? 0.0
+                             : static_cast<double>(metrics.completed) /
+                                   static_cast<double>(metrics.submitted);
+  metrics.makespan_s = to_seconds(last_done);
+  metrics.mean_latency_s = latencies.mean();
+  metrics.p95_latency_s = latencies.p95();
+  metrics.mean_attempts =
+      metrics.completed == 0 ? 0.0 : attempts / static_cast<double>(metrics.completed);
+  metrics.total_cost = cluster.total_cost();
+  metrics.reissues = cluster.broker().stats().reissues;
+  std::vector<double> per_provider;
+  for (const auto& [id, n] : cluster.broker().provider_completions()) {
+    per_provider.push_back(static_cast<double>(n));
+  }
+  metrics.fairness = jain_fairness(per_provider);
+  return metrics;
+}
+
+}  // namespace tasklets::bench

@@ -1,0 +1,172 @@
+// E7 — TVM interpretation overhead (figure; google-benchmark).
+//
+// What the paper-style figure shows: the constant-factor cost of executing
+// kernels in the portable VM instead of natively — the price paid for
+// device-independent tasklets. Expected shape: a kernel-dependent factor in
+// the tens (classic bytecode-interpreter territory), with float-heavy
+// kernels cheaper relative to native than branch-heavy integer ones.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "tcl/compiler.hpp"
+#include "tvm/interpreter.hpp"
+
+namespace {
+
+using namespace tasklets;
+
+const tvm::Program& program_for(std::string_view source) {
+  // One cache per kernel source pointer (all call sites pass the constants).
+  static std::map<const char*, tvm::Program> cache;
+  const auto it = cache.find(source.data());
+  if (it != cache.end()) return it->second;
+  auto compiled = tcl::compile(source);
+  if (!compiled.is_ok()) std::abort();
+  return cache.emplace(source.data(), std::move(compiled).value()).first->second;
+}
+
+void run_vm(benchmark::State& state, std::string_view source,
+            std::vector<tvm::HostArg> args) {
+  const tvm::Program& program = program_for(source);
+  std::uint64_t fuel = 0;
+  for (auto _ : state) {
+    auto outcome = tvm::execute(program, args);
+    if (!outcome.is_ok()) std::abort();
+    fuel = outcome->fuel_used;
+    benchmark::DoNotOptimize(outcome->result);
+  }
+  state.counters["fuel"] = static_cast<double>(fuel);
+  state.counters["Mfuel/s"] = benchmark::Counter(
+      static_cast<double>(fuel) * state.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+// --- fib -------------------------------------------------------------------
+
+std::int64_t native_fib(std::int64_t n) {
+  return n < 2 ? n : native_fib(n - 1) + native_fib(n - 2);
+}
+
+void BM_native_fib20(benchmark::State& state) {
+  for (auto _ : state) {
+    auto v = native_fib(20);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_native_fib20);
+
+void BM_tvm_fib20(benchmark::State& state) {
+  run_vm(state, core::kernels::kFib, {std::int64_t{20}});
+}
+BENCHMARK(BM_tvm_fib20);
+
+// --- sieve ------------------------------------------------------------------
+
+void BM_native_sieve50k(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<char> composite(50000, 0);
+    std::int64_t count = 0;
+    for (int i = 2; i < 50000; ++i) {
+      if (!composite[static_cast<std::size_t>(i)]) {
+        ++count;
+        for (int j = i + i; j < 50000; j += i) {
+          composite[static_cast<std::size_t>(j)] = 1;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_native_sieve50k);
+
+void BM_tvm_sieve50k(benchmark::State& state) {
+  run_vm(state, core::kernels::kSieve, {std::int64_t{50000}});
+}
+BENCHMARK(BM_tvm_sieve50k);
+
+// --- mandelbrot row -----------------------------------------------------------
+
+void BM_native_mandel_row(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<std::int64_t> out(512);
+    const double ci = -1.2 + 2.4 * 100 / 512;
+    for (int col = 0; col < 512; ++col) {
+      const double cr = -2.0 + 3.0 * col / 512;
+      double zr = 0, zi = 0;
+      int iter = 0;
+      while (iter < 128 && zr * zr + zi * zi <= 4.0) {
+        const double tmp = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = tmp;
+        ++iter;
+      }
+      out[static_cast<std::size_t>(col)] = iter;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_native_mandel_row);
+
+void BM_tvm_mandel_row(benchmark::State& state) {
+  run_vm(state, core::kernels::kMandelbrotRow,
+         {std::int64_t{512}, std::int64_t{100}, std::int64_t{512}, -2.0, 1.0,
+          -1.2, 1.2, std::int64_t{128}});
+}
+BENCHMARK(BM_tvm_mandel_row);
+
+// --- dot product -----------------------------------------------------------------
+
+void BM_native_dot4k(benchmark::State& state) {
+  std::vector<double> a(4096), b(4096);
+  for (int i = 0; i < 4096; ++i) {
+    a[static_cast<std::size_t>(i)] = i * 0.5;
+    b[static_cast<std::size_t>(i)] = i * 0.25;
+  }
+  for (auto _ : state) {
+    double sum = 0;
+    for (int i = 0; i < 4096; ++i) {
+      sum += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_native_dot4k);
+
+void BM_tvm_dot4k(benchmark::State& state) {
+  std::vector<double> a(4096), b(4096);
+  for (int i = 0; i < 4096; ++i) {
+    a[static_cast<std::size_t>(i)] = i * 0.5;
+    b[static_cast<std::size_t>(i)] = i * 0.25;
+  }
+  run_vm(state, core::kernels::kDot, {a, b});
+}
+BENCHMARK(BM_tvm_dot4k);
+
+// --- infrastructure micro-costs ------------------------------------------------
+
+void BM_compile_mandel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = tcl::compile(core::kernels::kMandelbrotRow);
+    if (!program.is_ok()) std::abort();
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_compile_mandel);
+
+void BM_serialize_roundtrip(benchmark::State& state) {
+  const tvm::Program& program = program_for(core::kernels::kMandelbrotRow);
+  for (auto _ : state) {
+    const Bytes wire = program.serialize();
+    auto back = tvm::Program::deserialize(wire);
+    if (!back.is_ok()) std::abort();
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_serialize_roundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Heterogeneous cluster walk-through on the simulation runtime.
+//
+// Builds the paper-style mixed device pool (servers, desktops, laptops,
+// SBCs, phones) in the deterministic simulator, runs the same 200-tasklet
+// batch under several scheduling policies and prints the makespan, mean
+// latency and per-class work distribution for each — a miniature version of
+// experiment E3 you can play with.
+//
+// Usage: hetero_cluster [tasklets] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim_cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tasklets;
+
+  const int tasklets = argc > 1 ? std::atoi(argv[1]) : 200;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  const std::vector<std::string> policies = {
+      "round_robin", "random", "least_loaded", "fastest_first", "qoc_aware",
+      "cloud_only"};
+
+  std::printf("pool: 2 servers, 4 desktops, 6 laptops, 8 SBCs, 10 phones\n");
+  std::printf("workload: %d tasklets x 200 Mfuel\n\n", tasklets);
+  std::printf("%-15s %10s %12s %9s %s\n", "policy", "makespan", "mean lat",
+              "reissues", "work by class (tasklets)");
+
+  for (const auto& policy : policies) {
+    core::SimConfig config;
+    config.scheduler = policy;
+    config.seed = seed;
+    core::SimCluster cluster(config);
+
+    std::map<std::uint64_t, std::string> node_class;
+    auto add = [&](const sim::DeviceProfile& profile, int count) {
+      for (int i = 0; i < count; ++i) {
+        const NodeId id = cluster.add_provider(profile);
+        node_class[id.value()] = profile.name;
+      }
+    };
+    add(sim::server_profile(), 2);
+    add(sim::desktop_profile(), 4);
+    add(sim::laptop_profile(), 6);
+    add(sim::sbc_profile(), 8);
+    add(sim::mobile_profile(), 10);
+
+    for (int i = 0; i < tasklets; ++i) {
+      cluster.submit(proto::TaskletBody{proto::SyntheticBody{200'000'000, i, 512}});
+    }
+    if (!cluster.run_until_quiescent(24 * 3600 * kSecond)) {
+      std::printf("%-15s did not converge\n", policy.c_str());
+      continue;
+    }
+
+    SimTime makespan = 0;
+    double mean_latency = 0.0;
+    for (const auto& report : cluster.reports()) {
+      makespan = std::max(makespan, report.latency);
+      mean_latency += to_seconds(report.latency);
+    }
+    mean_latency /= static_cast<double>(cluster.reports().size());
+
+    std::map<std::string, std::uint64_t> by_class;
+    for (const auto& [node, completions] : cluster.broker().provider_completions()) {
+      by_class[node_class[node.value()]] += completions;
+    }
+    std::string distribution;
+    for (const auto& [device, n] : by_class) {
+      distribution += device + ":" + std::to_string(n) + " ";
+    }
+    std::printf("%-15s %9.2fs %10.2fs %9llu %s\n", policy.c_str(),
+                to_seconds(makespan), mean_latency,
+                static_cast<unsigned long long>(cluster.broker().stats().reissues),
+                distribution.c_str());
+  }
+
+  std::printf(
+      "\nreading the table: greedy work-conserving policies (round_robin,"
+      " random,\nleast_loaded, fastest_first) all saturate every slot, so"
+      " their makespan is\ndominated by tasklets stuck on phones. cloud_only"
+      " avoids that tail but wastes\nevery non-server device. qoc_aware"
+      " declines devices ~8x slower than the best\nonline provider — it uses"
+      " servers, desktops and laptops, skips SBCs/phones,\nand wins on both"
+      " makespan and mean latency.\n");
+  return 0;
+}

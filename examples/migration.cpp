@@ -1,0 +1,101 @@
+// Tasklet migration: suspend a running computation on one device, ship the
+// machine state to another, resume bit-exactly.
+//
+// The Tasklet VM's snapshots make computations device-mobile: the operand
+// stack, locals, call frames and heap serialize into a compact blob bound to
+// the program by content hash. This example walks one n-body simulation
+// tasklet across a chain of increasingly fast "devices", suspending whenever
+// the current device's fuel budget for the slice runs out — think of a phone
+// handing the remaining work to a laptop, then to a server — and verifies
+// the migrated result matches an uninterrupted local run exactly.
+//
+// Usage: migration [bodies] [steps]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "tcl/compiler.hpp"
+#include "tvm/interpreter.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tasklets;
+
+  const int bodies = argc > 1 ? std::atoi(argv[1]) : 24;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  auto program = tcl::compile(core::kernels::kNBody);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "compile error: %s\n", program.status().to_string().c_str());
+    return 1;
+  }
+
+  // Initial conditions: a ring of bodies.
+  std::vector<double> px, py, vx, vy, mass;
+  for (int i = 0; i < bodies; ++i) {
+    const double angle = 6.28318530717958647692 * i / bodies;
+    px.push_back(2.0 * std::cos(angle));
+    py.push_back(2.0 * std::sin(angle));
+    vx.push_back(-0.3 * std::sin(angle));
+    vy.push_back(0.3 * std::cos(angle));
+    mass.push_back(0.5 + 0.1 * (i % 5));
+  }
+  const std::vector<tvm::HostArg> args = {px,   py,  vx, vy,
+                                          mass, 0.01, std::int64_t{steps}};
+
+  // Reference: one uninterrupted run.
+  const auto reference = tvm::execute(*program, args);
+  if (!reference.is_ok()) {
+    std::fprintf(stderr, "reference run failed: %s\n",
+                 reference.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("reference run: %llu fuel, no migration\n\n",
+              static_cast<unsigned long long>(reference->fuel_used));
+
+  // The migration chain: each device contributes a fuel budget before the
+  // tasklet moves on (a slow phone first, then bigger machines).
+  struct Device {
+    const char* name;
+    std::uint64_t fuel_budget;
+  };
+  const std::vector<Device> chain = {
+      {"phone", 50'000},  {"tablet", 100'000},   {"laptop", 400'000},
+      {"desktop", 800'000}, {"server", 0 /*finish*/},
+  };
+
+  auto result = tvm::execute_slice(*program, args, {}, chain[0].fuel_budget);
+  std::size_t hop = 0;
+  std::uint64_t shipped_bytes = 0;
+  while (result.is_ok() && std::holds_alternative<tvm::Suspension>(*result)) {
+    const auto& suspension = std::get<tvm::Suspension>(*result);
+    shipped_bytes += suspension.state.size();
+    const Device& from = chain[hop];
+    const Device& to = chain[std::min(hop + 1, chain.size() - 1)];
+    std::printf("  %-8s ran to %8llu fuel, snapshot %6zu bytes -> %s\n",
+                from.name, static_cast<unsigned long long>(suspension.fuel_used),
+                suspension.state.size(), to.name);
+    ++hop;
+    const std::uint64_t next_budget =
+        chain[std::min(hop, chain.size() - 1)].fuel_budget;
+    result = tvm::resume_slice(*program, suspension, {}, next_budget);
+  }
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "migrated run failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const auto& outcome = std::get<tvm::ExecOutcome>(*result);
+  std::printf("  %-8s finished at %llu fuel\n\n",
+              chain[std::min(hop, chain.size() - 1)].name,
+              static_cast<unsigned long long>(outcome.fuel_used));
+
+  const bool identical = tvm::args_equal(outcome.result, reference->result) &&
+                         outcome.fuel_used == reference->fuel_used;
+  std::printf("migrated across %zu devices, %llu snapshot bytes shipped\n", hop + 1,
+              static_cast<unsigned long long>(shipped_bytes));
+  std::printf("result bit-identical to uninterrupted run: %s\n",
+              identical ? "YES" : "NO");
+  return identical ? 0 : 1;
+}

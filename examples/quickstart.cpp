@@ -1,0 +1,72 @@
+// Quickstart: the smallest complete Tasklets program.
+//
+// Starts an in-process middleware (broker + three providers), writes a
+// computation kernel in TCL, compiles it to portable TVM bytecode, submits
+// it as tasklets with different inputs and collects the results.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/system.hpp"
+
+namespace {
+
+constexpr std::string_view kKernel = R"(
+  // Sum of proper divisors; used to classify perfect numbers.
+  int divisor_sum(int n) {
+    int sum = 0;
+    for (int d = 1; d <= n / 2; d = d + 1) {
+      if (n % d == 0) { sum = sum + d; }
+    }
+    return sum;
+  }
+  int main(int n) { return divisor_sum(n); }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace tasklets;
+
+  // 1. Start the middleware and add providers. Each provider self-measures
+  //    its speed with the calibration benchmark and registers with the
+  //    broker.
+  core::TaskletSystem system;
+  for (int i = 0; i < 3; ++i) system.add_provider();
+
+  // 2. Compile the kernel once; ship it with different arguments.
+  std::vector<proto::TaskletBody> bodies;
+  const std::vector<std::int64_t> inputs = {6, 28, 100, 496, 8128, 12345};
+  for (const auto n : inputs) {
+    auto body = core::compile_tasklet(kKernel, {n});
+    if (!body.is_ok()) {
+      std::fprintf(stderr, "compile error: %s\n",
+                   body.status().to_string().c_str());
+      return 1;
+    }
+    bodies.push_back(std::move(body).value());
+  }
+
+  // 3. Submit the batch and wait for the reports.
+  auto futures = system.submit_batch(std::move(bodies));
+  std::printf("%8s  %12s  %10s  %8s\n", "n", "divisor_sum", "perfect?", "fuel");
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const proto::TaskletReport report = futures[i].get();
+    if (report.status != proto::TaskletStatus::kCompleted) {
+      std::printf("%8lld  failed: %s\n", static_cast<long long>(inputs[i]),
+                  report.error.c_str());
+      continue;
+    }
+    const auto sum = std::get<std::int64_t>(report.result);
+    std::printf("%8lld  %12lld  %10s  %8llu\n",
+                static_cast<long long>(inputs[i]), static_cast<long long>(sum),
+                sum == inputs[i] ? "yes" : "no",
+                static_cast<unsigned long long>(report.fuel_used));
+  }
+
+  const auto stats = system.broker_stats();
+  std::printf("\nbroker: %llu tasklets completed, %llu attempts issued\n",
+              static_cast<unsigned long long>(stats.tasklets_completed),
+              static_cast<unsigned long long>(stats.attempts_issued));
+  return 0;
+}

@@ -1,0 +1,622 @@
+#include "broker/broker.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tasklets::broker {
+
+namespace {
+constexpr std::string_view kLog = "broker";
+}  // namespace
+
+Broker::Broker(NodeId id, std::unique_ptr<Scheduler> scheduler, BrokerConfig config)
+    : Actor(id),
+      scheduler_(std::move(scheduler)),
+      config_(config),
+      rng_(config.rng_seed) {}
+
+void Broker::on_start(SimTime, proto::Outbox& out) {
+  out.arm_timer(kScanTimer, config_.scan_interval);
+}
+
+std::size_t Broker::provider_count() const noexcept { return providers_.size(); }
+
+std::size_t Broker::online_provider_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, p] : providers_) {
+    if (p.online) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<NodeId, std::uint64_t>> Broker::provider_completions() const {
+  std::vector<std::pair<NodeId, std::uint64_t>> out;
+  out.reserve(providers_.size());
+  for (const auto& [id, p] : providers_) {
+    out.emplace_back(id, p.view.completed);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Broker::on_message(const proto::Envelope& envelope, SimTime now,
+                        proto::Outbox& out) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::RegisterProvider>) {
+          handle_register(envelope.from, m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::DeregisterProvider>) {
+          handle_deregister(envelope.from, m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::Heartbeat>) {
+          handle_heartbeat(envelope.from, m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::SubmitTasklet>) {
+          handle_submit(envelope.from, m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::CancelTasklet>) {
+          handle_cancel(m, now);
+        } else if constexpr (std::is_same_v<T, proto::AttemptResult>) {
+          handle_attempt_result(envelope.from, m, now, out);
+        } else {
+          TASKLETS_LOG(kWarn, kLog)
+              << "unexpected message " << proto::message_name(envelope.payload);
+        }
+      },
+      envelope.payload);
+}
+
+void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
+  if (timer_id == kScanTimer) {
+    // Liveness scan: expire providers whose heartbeat is stale.
+    const auto deadline_age = static_cast<SimTime>(
+        config_.liveness_multiplier *
+        static_cast<double>(config_.heartbeat_interval));
+    std::vector<NodeId> expired;
+    for (const auto& [id, p] : providers_) {
+      if (p.online && now - p.last_heartbeat > deadline_age) {
+        expired.push_back(id);
+      }
+    }
+    for (const NodeId id : expired) {
+      TASKLETS_LOG(kInfo, kLog) << "provider " << id.to_string() << " expired";
+      ++stats_.providers_expired;
+      on_provider_lost(id, now, out);
+    }
+    // Draining providers whose grace ran out: re-issue what never arrived.
+    std::vector<NodeId> drain_expired;
+    for (const auto& [id, p] : providers_) {
+      if (p.draining && !p.inflight.empty() &&
+          now - p.draining_since > config_.drain_grace) {
+        drain_expired.push_back(id);
+      }
+    }
+    for (const NodeId id : drain_expired) {
+      TASKLETS_LOG(kWarn, kLog) << "provider " << id.to_string()
+                                << " drain grace expired";
+      on_provider_lost(id, now, out);
+    }
+    // Unschedulability check: queued tasklets past the grace period whose
+    // QoC filter no registered provider can ever satisfy.
+    std::vector<TaskletId> doomed;
+    for (const auto& [priority, queue] : pending_) {
+      for (const TaskletId id : queue) {
+        const auto it = tasklets_.find(id);
+        if (it == tasklets_.end() || it->second.done) continue;
+        if (now - it->second.submitted_at < config_.unschedulable_grace) continue;
+        if (!satisfiable(it->second)) doomed.push_back(id);
+      }
+    }
+    for (const TaskletId id : doomed) {
+      auto& state = tasklets_.at(id);
+      if (state.done) continue;  // duplicate queue entries
+      ++stats_.tasklets_unschedulable;
+      fail_tasklet(id, state, proto::TaskletStatus::kUnschedulable,
+                   "no registered provider satisfies the QoC constraints", now,
+                   out);
+    }
+    // Straggler mitigation: shadow long-running attempts of non-redundant
+    // tasklets with one speculative backup on a different provider.
+    if (config_.speculative_after > 0) {
+      std::vector<TaskletId> stragglers;
+      for (const auto& [attempt, tasklet_id] : attempt_index_) {
+        const auto it = tasklets_.find(tasklet_id);
+        if (it == tasklets_.end()) continue;
+        const TaskletState& state = it->second;
+        if (state.done || state.speculated || state.spec.qoc.redundancy > 1) {
+          continue;
+        }
+        const auto attempt_it = state.attempts.find(attempt);
+        if (attempt_it == state.attempts.end()) continue;
+        if (now - attempt_it->second.issued_at > config_.speculative_after) {
+          stragglers.push_back(tasklet_id);
+        }
+      }
+      for (const TaskletId id : stragglers) {
+        auto& state = tasklets_.at(id);
+        if (state.done || state.speculated) continue;
+        state.replicas_pending += 1;
+        const AttemptId backup = try_place_replica(id, now, out);
+        if (backup.valid()) {
+          state.speculated = true;
+          state.speculative_attempt = backup;
+          ++stats_.speculations;
+        } else {
+          state.replicas_pending -= 1;  // no capacity: retry next scan
+        }
+      }
+    }
+    out.arm_timer(kScanTimer, config_.scan_interval);
+    return;
+  }
+  if ((timer_id & kDeadlineTimerBit) != 0) {
+    const TaskletId id{timer_id & ~kDeadlineTimerBit};
+    const auto it = tasklets_.find(id);
+    if (it == tasklets_.end() || it->second.done) return;
+    ++stats_.tasklets_deadline;
+    fail_tasklet(id, it->second, proto::TaskletStatus::kDeadlineExceeded,
+                 "QoC deadline elapsed", now, out);
+  }
+}
+
+// --- registry ---------------------------------------------------------------------
+
+void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
+                             SimTime now, proto::Outbox& out) {
+  ProviderState& p = providers_[from];
+  const bool rejoin = p.view.id.valid();
+  if (rejoin && !p.inflight.empty()) {
+    // A (re-)registration means the provider restarted: anything the broker
+    // still thinks is running there died with the previous incarnation.
+    on_provider_lost(from, now, out);
+  }
+  p.view.id = from;
+  p.view.capability = m.capability;
+  p.last_heartbeat = now;
+  p.online = true;
+  p.draining = false;
+  if (!rejoin) {
+    p.view.observed_reliability = 1.0;
+  }
+  TASKLETS_LOG(kInfo, kLog) << "provider " << from.to_string() << " registered ("
+                            << proto::to_string(m.capability.device_class) << ", "
+                            << m.capability.speed_fuel_per_sec / 1e6 << " Mfuel/s, "
+                            << m.capability.slots << " slots)";
+  drain_queue(now, out);
+}
+
+void Broker::handle_deregister(NodeId from, const proto::DeregisterProvider& m,
+                               SimTime now, proto::Outbox& out) {
+  const auto it = providers_.find(from);
+  if (it == providers_.end()) return;
+  if (m.draining && !it->second.inflight.empty()) {
+    // Graceful drain: no new assignments, but give the provider a grace
+    // window to checkpoint and report its in-flight work as suspended (the
+    // migration path). The liveness scan re-issues whatever is still
+    // outstanding when the grace expires.
+    it->second.online = false;
+    it->second.draining = true;
+    it->second.draining_since = now;
+    return;
+  }
+  on_provider_lost(from, now, out);
+}
+
+void Broker::handle_heartbeat(NodeId from, const proto::Heartbeat&, SimTime now,
+                              proto::Outbox& out) {
+  const auto it = providers_.find(from);
+  if (it == providers_.end()) {
+    // Heartbeat from an unknown node: it must (re)register first; ignore.
+    return;
+  }
+  it->second.last_heartbeat = now;
+  if (!it->second.online) {
+    // A heartbeat from an expired provider revives it (it never actually
+    // left, the network hiccuped). Its previous in-flight work was already
+    // re-issued; it simply offers capacity again.
+    it->second.online = true;
+  }
+  drain_queue(now, out);
+}
+
+// --- submission & scheduling ----------------------------------------------------
+
+void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime now,
+                           proto::Outbox& out) {
+  ++stats_.tasklets_submitted;
+  const TaskletId id = m.spec.id;
+  TaskletState& state = tasklets_[id];
+  state.spec = m.spec;
+  state.consumer = from;
+  state.submitted_at = now;
+  state.replicas_pending = std::max<std::uint32_t>(1, m.spec.qoc.redundancy);
+
+  // Unsatisfiable tasklets queue rather than fail: providers may still be
+  // registering. The scan timer declares them unschedulable after the grace
+  // period (see on_timer).
+  if (m.spec.qoc.deadline > 0) {
+    out.arm_timer(kDeadlineTimerBit | id.value(), m.spec.qoc.deadline);
+  }
+  while (state.replicas_pending > 0 && try_place_replica(id, now, out).valid()) {
+  }
+  for (std::uint32_t i = 0; i < tasklets_.at(id).replicas_pending; ++i) {
+    enqueue_replica(id);
+  }
+}
+
+void Broker::handle_cancel(const proto::CancelTasklet& m, SimTime) {
+  const auto it = tasklets_.find(m.tasklet);
+  if (it == tasklets_.end() || it->second.done) return;
+  // Mark done; in-flight results will be ignored, queued replicas skipped.
+  it->second.done = true;
+}
+
+// Whether a provider's static capability satisfies the tasklet's QoC filter
+// (locality and cost); liveness and load are checked separately.
+bool Broker::qoc_admits(const TaskletState& state,
+                        const proto::Capability& capability) {
+  const auto& qoc = state.spec.qoc;
+  const auto& origin = state.spec.origin_locality;
+  const auto& tag = capability.locality;
+  if (qoc.locality == proto::Locality::kLocalOnly &&
+      (origin.empty() || tag != origin)) {
+    return false;
+  }
+  if (qoc.locality == proto::Locality::kRemoteOnly && !origin.empty() &&
+      tag == origin) {
+    return false;
+  }
+  if (qoc.cost_ceiling > 0.0 && capability.cost_per_gfuel > qoc.cost_ceiling) {
+    return false;
+  }
+  return true;
+}
+
+bool Broker::satisfiable(const TaskletState& state) const {
+  for (const auto& [id, p] : providers_) {
+    if (qoc_admits(state, p.view.capability)) return true;
+  }
+  return false;
+}
+
+std::vector<ProviderView> Broker::eligible_providers(const TaskletState& state) const {
+  std::vector<ProviderView> eligible;
+  for (const auto& [id, p] : providers_) {
+    if (!p.online) continue;
+    if (p.inflight.size() >= p.view.capability.slots) continue;
+    if (!qoc_admits(state, p.view.capability)) continue;
+    // Hard rule: concurrent replicas never share a provider.
+    bool inflight_here = false;
+    for (const auto& [attempt_id, attempt] : state.attempts) {
+      if (attempt.provider == id) {
+        inflight_here = true;
+        break;
+      }
+    }
+    if (inflight_here) continue;
+    ProviderView view = p.view;
+    view.busy_slots = static_cast<std::uint32_t>(p.inflight.size());
+    eligible.push_back(std::move(view));
+  }
+  // Soft rule: prefer providers this tasklet has never touched — retries
+  // after rejection/loss and vote tie-breakers should land on fresh
+  // providers whenever any exist.
+  std::vector<ProviderView> fresh;
+  for (const auto& view : eligible) {
+    if (!state.used_providers.contains(view.id)) fresh.push_back(view);
+  }
+  if (!fresh.empty()) eligible = std::move(fresh);
+  // Deterministic order for the policies (unordered_map iteration is not).
+  std::sort(eligible.begin(), eligible.end(),
+            [](const ProviderView& a, const ProviderView& b) { return a.id < b.id; });
+  return eligible;
+}
+
+AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& out) {
+  TaskletState& state = tasklets_.at(id);
+  if (state.done || state.replicas_pending == 0) return AttemptId{};
+  const auto eligible = eligible_providers(state);
+  if (eligible.empty()) return AttemptId{};
+  SchedulingContext context;
+  context.eligible = eligible;
+  // Baseline for selective policies: the fastest *online and QoC-admissible*
+  // provider — waiting for a fast slot the filter excludes would be futile.
+  for (const auto& [pid, p] : providers_) {
+    if (p.online && qoc_admits(state, p.view.capability)) {
+      context.best_online_speed = std::max(context.best_online_speed,
+                                           p.view.capability.speed_fuel_per_sec);
+    }
+  }
+  const NodeId choice = scheduler_->pick(state.spec, context, rng_);
+  if (!choice.valid()) return AttemptId{};  // policy refused; stays queued
+
+  ProviderState& provider = providers_.at(choice);
+  const AttemptId attempt = attempt_ids_.next();
+  provider.inflight.insert(attempt);
+  state.attempts.emplace(attempt, AttemptState{choice, now});
+  state.used_providers.insert(choice);
+  state.attempts_total += 1;
+  state.replicas_pending -= 1;
+  attempt_index_.emplace(attempt, id);
+  ++stats_.attempts_issued;
+
+  proto::AssignTasklet assign;
+  assign.attempt = attempt;
+  assign.tasklet = id;
+  assign.body = state.spec.body;
+  assign.max_fuel = config_.default_max_fuel;
+  // Migrated work resumes from the latest checkpoint (single-replica only;
+  // redundant tasklets never migrate, so this stays empty for them).
+  assign.resume_snapshot = state.resume_snapshot;
+  out.send(choice, std::move(assign));
+  return attempt;
+}
+
+void Broker::enqueue_replica(TaskletId id) {
+  const std::uint8_t priority = tasklets_.at(id).spec.qoc.priority;
+  pending_[priority].push_back(id);
+  ++pending_count_;
+  stats_.max_queue_length =
+      std::max<std::uint64_t>(stats_.max_queue_length, pending_count_);
+}
+
+void Broker::drain_queue(SimTime now, proto::Outbox& out) {
+  // Strict priority across classes, FIFO with head-of-line semantics within
+  // a class. A head that cannot be placed blocks only its own class — an
+  // unplaceable high-priority tasklet (e.g. a local-only one waiting for
+  // its site) must not starve lower classes forever.
+  for (auto& [priority, queue] : pending_) {
+    while (!queue.empty()) {
+      const TaskletId id = queue.front();
+      const auto it = tasklets_.find(id);
+      if (it == tasklets_.end() || it->second.done ||
+          it->second.replicas_pending == 0) {
+        queue.pop_front();
+        --pending_count_;
+        continue;
+      }
+      if (!try_place_replica(id, now, out).valid()) break;  // next class
+      queue.pop_front();
+      --pending_count_;
+    }
+  }
+}
+
+// --- results & lifecycle ----------------------------------------------------------
+
+void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
+                                   SimTime now, proto::Outbox& out) {
+  // Free the provider slot regardless of tasklet fate.
+  if (const auto pit = providers_.find(from); pit != providers_.end()) {
+    pit->second.inflight.erase(m.attempt);
+    auto& view = pit->second.view;
+    const double success = m.outcome.status == proto::AttemptStatus::kOk ? 1.0 : 0.0;
+    view.observed_reliability = (1.0 - config_.reliability_alpha) *
+                                    view.observed_reliability +
+                                config_.reliability_alpha * success;
+    if (m.outcome.status == proto::AttemptStatus::kOk) {
+      view.completed += 1;
+    } else {
+      view.failed += 1;
+    }
+  }
+
+  const auto idx = attempt_index_.find(m.attempt);
+  if (idx == attempt_index_.end()) {
+    drain_queue(now, out);
+    return;  // late result for a concluded attempt
+  }
+  const TaskletId id = idx->second;
+  attempt_index_.erase(idx);
+  auto& state = tasklets_.at(id);
+  state.attempts.erase(m.attempt);
+  if (state.done) {
+    drain_queue(now, out);
+    return;
+  }
+
+  switch (m.outcome.status) {
+    case proto::AttemptStatus::kOk: {
+      ++stats_.attempts_ok;
+      state.fuel_total += m.outcome.fuel_used;
+      const bool from_backup =
+          state.speculated && m.attempt == state.speculative_attempt;
+      record_vote(state, m.outcome, from);
+      maybe_conclude(id, state, now, out);
+      if (state.done && from_backup) ++stats_.speculation_wins;
+      break;
+    }
+    case proto::AttemptStatus::kTrap:
+      // Deterministic failure: every replica would trap identically.
+      fail_tasklet(id, state, proto::TaskletStatus::kFailed, m.outcome.error, now,
+                   out);
+      break;
+    case proto::AttemptStatus::kProviderLost: {
+      ++stats_.attempts_lost;
+      if (state.reissues_used < state.spec.qoc.max_reissues) {
+        state.reissues_used += 1;
+        state.replicas_pending += 1;
+        ++stats_.reissues;
+        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+      } else if (state.attempts.empty() && state.replicas_pending == 0) {
+        ++stats_.tasklets_exhausted;
+        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                     "re-issue budget exhausted", now, out);
+      }
+      break;
+    }
+    case proto::AttemptStatus::kSuspended: {
+      // Migration: the provider drained and checkpointed. Re-place the
+      // tasklet with the snapshot so the next provider resumes. Redundant
+      // tasklets fall back to plain re-issue (their replicas cannot share a
+      // single checkpoint).
+      if (state.spec.qoc.redundancy <= 1 && !m.outcome.snapshot.empty()) {
+        state.resume_snapshot = m.outcome.snapshot;
+        ++stats_.migrations;
+        state.replicas_pending += 1;
+        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+        break;
+      }
+      ++stats_.attempts_lost;
+      if (state.reissues_used < state.spec.qoc.max_reissues) {
+        state.reissues_used += 1;
+        state.replicas_pending += 1;
+        ++stats_.reissues;
+        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+      } else if (state.attempts.empty() && state.replicas_pending == 0) {
+        ++stats_.tasklets_exhausted;
+        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                     "re-issue budget exhausted", now, out);
+      }
+      break;
+    }
+    case proto::AttemptStatus::kRejected: {
+      // An instant "no": the provider had no slot or was offline. Re-place
+      // under the (larger) rejection budget — the QoC re-issue budget is for
+      // work actually lost.
+      ++stats_.attempts_lost;
+      if (state.rejections < config_.max_rejections) {
+        state.rejections += 1;
+        state.replicas_pending += 1;
+        ++stats_.reissues;
+        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+      } else if (state.attempts.empty() && state.replicas_pending == 0) {
+        ++stats_.tasklets_exhausted;
+        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                     "rejection budget exhausted", now, out);
+      }
+      break;
+    }
+  }
+  drain_queue(now, out);
+}
+
+void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) {
+  auto& p = providers_.at(provider);
+  p.online = false;
+  p.draining = false;
+  const auto inflight = std::move(p.inflight);
+  p.inflight.clear();
+  // Synthesize loss results for every in-flight attempt so the normal
+  // re-issue path runs.
+  for (const AttemptId attempt : inflight) {
+    const auto idx = attempt_index_.find(attempt);
+    if (idx == attempt_index_.end()) continue;
+    proto::AttemptResult lost;
+    lost.attempt = attempt;
+    lost.tasklet = idx->second;
+    lost.outcome.status = proto::AttemptStatus::kProviderLost;
+    lost.outcome.error = "provider lost";
+    // Reuse the handler but without crediting the (gone) provider.
+    const TaskletId id = idx->second;
+    attempt_index_.erase(idx);
+    auto& state = tasklets_.at(id);
+    state.attempts.erase(attempt);
+    if (state.done) continue;
+    ++stats_.attempts_lost;
+    if (state.reissues_used < state.spec.qoc.max_reissues) {
+      state.reissues_used += 1;
+      state.replicas_pending += 1;
+      ++stats_.reissues;
+      if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+    } else if (state.attempts.empty() && state.replicas_pending == 0) {
+      ++stats_.tasklets_exhausted;
+      fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                   "re-issue budget exhausted", now, out);
+    }
+  }
+  drain_queue(now, out);
+}
+
+std::uint32_t Broker::majority_threshold(const TaskletState& state) const {
+  const std::uint32_t r = std::max<std::uint32_t>(1, state.spec.qoc.redundancy);
+  return r / 2 + 1;
+}
+
+void Broker::record_vote(TaskletState& state, const proto::AttemptOutcome& outcome,
+                         NodeId provider) {
+  for (auto& vote : state.votes) {
+    if (tvm::args_equal(vote.result, outcome.result)) {
+      vote.count += 1;
+      return;
+    }
+  }
+  VoteEntry entry;
+  entry.result = outcome.result;
+  entry.fuel = outcome.fuel_used;
+  entry.count = 1;
+  entry.first_provider = provider;
+  state.votes.push_back(std::move(entry));
+}
+
+void Broker::maybe_conclude(TaskletId id, TaskletState& state, SimTime now,
+                            proto::Outbox& out) {
+  const std::uint32_t threshold = majority_threshold(state);
+  for (const auto& vote : state.votes) {
+    if (vote.count >= threshold) {
+      complete_tasklet(id, state, vote, now, out);
+      return;
+    }
+  }
+  // All replicas reported but no majority (faulty providers disagree):
+  // issue tie-breaker replicas if the re-issue budget allows, else fail.
+  if (state.attempts.empty() && state.replicas_pending == 0) {
+    if (state.reissues_used < state.spec.qoc.max_reissues) {
+      state.reissues_used += 1;
+      state.replicas_pending += 1;
+      ++stats_.reissues;
+      if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+    } else {
+      ++stats_.tasklets_exhausted;
+      fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                   "replica results never reached a majority", now, out);
+    }
+  }
+}
+
+void Broker::complete_tasklet(TaskletId id, TaskletState& state,
+                              const VoteEntry& winner, SimTime now,
+                              proto::Outbox& out) {
+  ++stats_.tasklets_completed;
+  // Count replicas that disagreed with the winning value.
+  for (const auto& vote : state.votes) {
+    if (!tvm::args_equal(vote.result, winner.result)) {
+      stats_.votes_overruled += vote.count;
+    }
+  }
+  proto::TaskletReport report;
+  report.id = id;
+  report.job = state.spec.job;
+  report.status = proto::TaskletStatus::kCompleted;
+  report.result = winner.result;
+  report.fuel_used = winner.fuel;
+  report.attempts = state.attempts_total;
+  report.executed_by = winner.first_provider;
+  report.latency = now - state.submitted_at;
+  finish(id, state, std::move(report), out);
+}
+
+void Broker::fail_tasklet(TaskletId id, TaskletState& state,
+                          proto::TaskletStatus status, std::string error,
+                          SimTime now, proto::Outbox& out) {
+  if (status == proto::TaskletStatus::kFailed) ++stats_.tasklets_failed;
+  proto::TaskletReport report;
+  report.id = id;
+  report.job = state.spec.job;
+  report.status = status;
+  report.attempts = state.attempts_total;
+  report.latency = now - state.submitted_at;
+  report.error = std::move(error);
+  finish(id, state, std::move(report), out);
+}
+
+void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport report,
+                    proto::Outbox& out) {
+  state.done = true;
+  // Outstanding attempt index entries for this tasklet stay until their
+  // results arrive (and are then ignored); replicas pending in the queue are
+  // skipped by drain_queue.
+  (void)id;
+  out.send(state.consumer, proto::TaskletDone{std::move(report)});
+}
+
+}  // namespace tasklets::broker

@@ -1,0 +1,206 @@
+// The Tasklet broker: the mediator between resource consumers and providers.
+//
+// Responsibilities (mirroring the paper's architecture):
+//   * provider registry with capability records, liveness via heartbeats,
+//     and observed-reliability tracking,
+//   * matchmaking: QoC filtering + pluggable scheduling policy,
+//   * tasklet lifecycle: queueing under contention, redundant replica
+//     issue to distinct providers, majority voting over replica results,
+//     re-issue on provider loss, deadline enforcement,
+//   * result delivery to consumers with provenance (who executed, attempts,
+//     fuel, latency).
+//
+// The broker is a pure protocol actor (proto/actor.hpp): deterministic given
+// its inbox order, which both runtimes exploit.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/scheduling.hpp"
+#include "common/rng.hpp"
+#include "proto/actor.hpp"
+
+namespace tasklets::broker {
+
+struct BrokerConfig {
+  // Providers are expected to heartbeat at this cadence; the broker declares
+  // a provider lost after `liveness_multiplier` missed beats.
+  SimTime heartbeat_interval = 1 * kSecond;
+  double liveness_multiplier = 3.5;
+  // Cadence of the broker's liveness / deadline scan.
+  SimTime scan_interval = 500 * kMillisecond;
+  // A tasklet whose QoC constraints no registered provider can satisfy is
+  // failed as unschedulable only after this grace period — providers may
+  // still be registering (submission and registration race at startup).
+  SimTime unschedulable_grace = 2 * kSecond;
+  // Default per-attempt fuel limit handed to providers (0 = provider default).
+  std::uint64_t default_max_fuel = 0;
+  // Immediate provider rejections (no slot / offline) are re-placed under
+  // this separate budget: unlike losses they cost nothing but a round trip,
+  // so they should not burn the QoC re-issue budget.
+  std::uint32_t max_rejections = 64;
+  // EWMA factor for observed provider reliability.
+  double reliability_alpha = 0.2;
+  // How long a gracefully-draining provider gets to checkpoint and report
+  // its in-flight work before the broker gives up and re-issues it.
+  SimTime drain_grace = 10 * kSecond;
+  // Straggler mitigation (MapReduce-style backup tasks): when > 0, an
+  // attempt of a non-redundant tasklet that has been running longer than
+  // this is shadowed by one speculative replica on a different provider;
+  // the first result wins, the loser is discarded. 0 disables speculation.
+  SimTime speculative_after = 0;
+  std::uint64_t rng_seed = 0x7A5CB0A7;
+};
+
+// Aggregate counters for benches and monitoring.
+struct BrokerStats {
+  std::uint64_t tasklets_submitted = 0;
+  std::uint64_t tasklets_completed = 0;
+  std::uint64_t tasklets_failed = 0;       // deterministic traps
+  std::uint64_t tasklets_exhausted = 0;    // re-issue budget spent
+  std::uint64_t tasklets_deadline = 0;
+  std::uint64_t tasklets_unschedulable = 0;
+  std::uint64_t attempts_issued = 0;
+  std::uint64_t attempts_ok = 0;
+  std::uint64_t attempts_lost = 0;
+  std::uint64_t reissues = 0;
+  std::uint64_t votes_overruled = 0;  // replicas disagreeing with majority
+  std::uint64_t providers_expired = 0;
+  std::uint64_t max_queue_length = 0;
+  std::uint64_t speculations = 0;       // backup attempts issued
+  std::uint64_t speculation_wins = 0;   // tasklets whose backup finished first
+  std::uint64_t migrations = 0;         // suspended attempts re-placed
+};
+
+class Broker final : public proto::Actor {
+ public:
+  Broker(NodeId id, std::unique_ptr<Scheduler> scheduler,
+         BrokerConfig config = {});
+
+  void on_start(SimTime now, proto::Outbox& out) override;
+  void on_message(const proto::Envelope& envelope, SimTime now,
+                  proto::Outbox& out) override;
+  void on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) override;
+
+  [[nodiscard]] const BrokerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return pending_count_; }
+  [[nodiscard]] std::size_t provider_count() const noexcept;
+  [[nodiscard]] std::size_t online_provider_count() const noexcept;
+  [[nodiscard]] const Scheduler& scheduler() const noexcept { return *scheduler_; }
+
+  // Per-provider completed-attempt counts (utilisation / fairness metrics).
+  [[nodiscard]] std::vector<std::pair<NodeId, std::uint64_t>> provider_completions() const;
+
+ private:
+  struct ProviderState {
+    ProviderView view;
+    SimTime last_heartbeat = 0;
+    bool online = false;
+    bool draining = false;       // graceful drain pending
+    SimTime draining_since = 0;  // when the drain began
+    std::unordered_set<AttemptId> inflight;
+  };
+
+  struct AttemptState {
+    NodeId provider;
+    SimTime issued_at = 0;
+  };
+
+  struct VoteEntry {
+    tvm::HostArg result;
+    std::uint64_t fuel = 0;
+    std::uint32_t count = 0;
+    NodeId first_provider;
+  };
+
+  struct TaskletState {
+    proto::TaskletSpec spec;
+    NodeId consumer;
+    SimTime submitted_at = 0;
+    std::unordered_map<AttemptId, AttemptState> attempts;
+    // Every provider that ever received an attempt for this tasklet:
+    // soft-avoided on re-issue so retries and vote tie-breakers land on
+    // fresh providers when any exist.
+    std::unordered_set<NodeId> used_providers;
+    std::vector<VoteEntry> votes;
+    std::uint32_t attempts_total = 0;   // every attempt ever issued
+    std::uint32_t replicas_pending = 0; // replicas still to be placed
+    std::uint32_t reissues_used = 0;
+    std::uint32_t rejections = 0;
+    std::uint64_t fuel_total = 0;
+    bool done = false;
+    bool speculated = false;       // a backup replica was issued
+    AttemptId speculative_attempt; // the backup (invalid until speculated)
+    // Latest migration checkpoint: non-empty after a provider drained this
+    // tasklet's execution; new attempts resume from it.
+    Bytes resume_snapshot;
+  };
+
+  static constexpr std::uint64_t kScanTimer = 1;
+  static constexpr std::uint64_t kDeadlineTimerBit = 1ULL << 63;
+
+  // --- message handlers -------------------------------------------------------
+  void handle_register(NodeId from, const proto::RegisterProvider& m, SimTime now,
+                       proto::Outbox& out);
+  void handle_deregister(NodeId from, const proto::DeregisterProvider& m,
+                         SimTime now, proto::Outbox& out);
+  void handle_heartbeat(NodeId from, const proto::Heartbeat& m, SimTime now,
+                        proto::Outbox& out);
+  void handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime now,
+                     proto::Outbox& out);
+  void handle_cancel(const proto::CancelTasklet& m, SimTime now);
+  void handle_attempt_result(NodeId from, const proto::AttemptResult& m,
+                             SimTime now, proto::Outbox& out);
+
+  // --- scheduling ---------------------------------------------------------------
+  // Providers eligible for one more replica of `state` right now.
+  [[nodiscard]] std::vector<ProviderView> eligible_providers(
+      const TaskletState& state) const;
+  // True if some registered provider could *ever* satisfy the QoC filter
+  // (ignoring load/liveness) — otherwise the tasklet is unschedulable.
+  [[nodiscard]] bool satisfiable(const TaskletState& state) const;
+  [[nodiscard]] static bool qoc_admits(const TaskletState& state,
+                                       const proto::Capability& capability);
+  // Tries to place one replica; returns the new attempt id (invalid id on
+  // failure: no eligible provider or the policy refused).
+  AttemptId try_place_replica(TaskletId id, SimTime now, proto::Outbox& out);
+  // Places queued replicas while capacity lasts.
+  void drain_queue(SimTime now, proto::Outbox& out);
+  void enqueue_replica(TaskletId id);
+
+  // --- lifecycle ------------------------------------------------------------------
+  void on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out);
+  void record_vote(TaskletState& state, const proto::AttemptOutcome& outcome,
+                   NodeId provider);
+  // Checks whether voting has concluded; completes the tasklet if so.
+  void maybe_conclude(TaskletId id, TaskletState& state, SimTime now,
+                      proto::Outbox& out);
+  void fail_tasklet(TaskletId id, TaskletState& state, proto::TaskletStatus status,
+                    std::string error, SimTime now, proto::Outbox& out);
+  void complete_tasklet(TaskletId id, TaskletState& state, const VoteEntry& winner,
+                        SimTime now, proto::Outbox& out);
+  void finish(TaskletId id, TaskletState& state, proto::TaskletReport report,
+              proto::Outbox& out);
+
+  [[nodiscard]] std::uint32_t majority_threshold(const TaskletState& state) const;
+
+  std::unique_ptr<Scheduler> scheduler_;
+  BrokerConfig config_;
+  BrokerStats stats_;
+  Rng rng_;
+  IdGenerator<AttemptId> attempt_ids_;
+  std::unordered_map<NodeId, ProviderState> providers_;
+  std::unordered_map<TaskletId, TaskletState> tasklets_;
+  std::unordered_map<AttemptId, TaskletId> attempt_index_;
+  // Unplaced replicas, bucketed by QoC priority class (highest first; FIFO
+  // within a class). One entry per replica.
+  std::map<std::uint8_t, std::deque<TaskletId>, std::greater<>> pending_;
+  std::size_t pending_count_ = 0;
+};
+
+}  // namespace tasklets::broker

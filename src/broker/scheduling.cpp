@@ -1,0 +1,162 @@
+#include "broker/scheduling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tasklets::broker {
+
+namespace {
+
+class RoundRobin final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
+              Rng&) override {
+    // Stable rotation over provider ids: pick the smallest id strictly
+    // greater than the last choice, wrapping around. Registration-order
+    // fairness without requiring stable indices across churn.
+    const ProviderView* best = nullptr;
+    const ProviderView* smallest = nullptr;
+    for (const auto& p : context.eligible) {
+      if (smallest == nullptr || p.id < smallest->id) smallest = &p;
+      if (p.id.value() > last_.value() &&
+          (best == nullptr || p.id < best->id)) {
+        best = &p;
+      }
+    }
+    const ProviderView* chosen = best != nullptr ? best : smallest;
+    last_ = chosen->id;
+    return chosen->id;
+  }
+  std::string_view name() const noexcept override { return "round_robin"; }
+
+ private:
+  NodeId last_;
+};
+
+class RandomPolicy final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
+              Rng& rng) override {
+    return context.eligible[rng.next_below(context.eligible.size())].id;
+  }
+  std::string_view name() const noexcept override { return "random"; }
+};
+
+class LeastLoaded final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
+              Rng&) override {
+    const ProviderView* best = &context.eligible.front();
+    for (const auto& p : context.eligible) {
+      if (p.load() < best->load() ||
+          (p.load() == best->load() &&
+           p.capability.speed_fuel_per_sec > best->capability.speed_fuel_per_sec)) {
+        best = &p;
+      }
+    }
+    return best->id;
+  }
+  std::string_view name() const noexcept override { return "least_loaded"; }
+};
+
+class FastestFirst final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
+              Rng&) override {
+    const ProviderView* best = &context.eligible.front();
+    for (const auto& p : context.eligible) {
+      if (p.capability.speed_fuel_per_sec > best->capability.speed_fuel_per_sec ||
+          (p.capability.speed_fuel_per_sec == best->capability.speed_fuel_per_sec &&
+           p.load() < best->load())) {
+        best = &p;
+      }
+    }
+    return best->id;
+  }
+  std::string_view name() const noexcept override { return "fastest_first"; }
+};
+
+class QocAware final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec& spec, const SchedulingContext& context,
+              Rng&) override {
+    // Selectivity: a device more than `ratio` slower than the best online
+    // device is declined — waiting briefly for a fast slot beats occupying
+    // a slow device for the whole service time. This is the core
+    // "overcoming heterogeneity" decision.
+    const double ratio =
+        spec.qoc.speed == proto::SpeedGoal::kFast ? 2.0 : 8.0;
+    const double floor_speed = context.best_online_speed / ratio;
+
+    const ProviderView* best = nullptr;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (const auto& p : context.eligible) {
+      if (p.capability.speed_fuel_per_sec < floor_speed) continue;
+      const double score = this->score(spec, p);
+      if (best == nullptr || score > best_score ||
+          (score == best_score && p.id < best->id)) {
+        best = &p;
+        best_score = score;
+      }
+    }
+    return best != nullptr ? best->id : NodeId{};
+  }
+  std::string_view name() const noexcept override { return "qoc_aware"; }
+
+ private:
+  static double score(const proto::TaskletSpec& spec, const ProviderView& p) {
+    // Load-discounted speed: an idle desktop can beat a nearly-full server.
+    const double effective_speed =
+        p.capability.speed_fuel_per_sec * (1.0 - 0.8 * p.load());
+    double score = effective_speed / 1e6;
+    if (spec.qoc.speed == proto::SpeedGoal::kFast) {
+      score *= 4.0;  // weight raw speed much higher for latency-critical work
+    }
+    // Redundant tasklets exist because the developer worries about failures:
+    // strongly prefer providers that have actually been completing work.
+    if (spec.qoc.redundancy > 1) {
+      score *= 0.2 + 0.8 * p.observed_reliability;
+    }
+    // Cost-capped tasklets prefer cheap providers among the eligible.
+    if (spec.qoc.cost_ceiling > 0.0) {
+      score /= 1.0 + p.capability.cost_per_gfuel;
+    }
+    return score;
+  }
+};
+
+class CloudOnly final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
+              Rng&) override {
+    const ProviderView* best = nullptr;
+    for (const auto& p : context.eligible) {
+      if (p.capability.device_class != proto::DeviceClass::kServer) continue;
+      if (best == nullptr || p.load() < best->load()) best = &p;
+    }
+    return best != nullptr ? best->id : NodeId{};
+  }
+  std::string_view name() const noexcept override { return "cloud_only"; }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_round_robin() { return std::make_unique<RoundRobin>(); }
+std::unique_ptr<Scheduler> make_random() { return std::make_unique<RandomPolicy>(); }
+std::unique_ptr<Scheduler> make_least_loaded() { return std::make_unique<LeastLoaded>(); }
+std::unique_ptr<Scheduler> make_fastest_first() { return std::make_unique<FastestFirst>(); }
+std::unique_ptr<Scheduler> make_qoc_aware() { return std::make_unique<QocAware>(); }
+std::unique_ptr<Scheduler> make_cloud_only() { return std::make_unique<CloudOnly>(); }
+
+Result<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name) {
+  if (name == "round_robin") return make_round_robin();
+  if (name == "random") return make_random();
+  if (name == "least_loaded") return make_least_loaded();
+  if (name == "fastest_first") return make_fastest_first();
+  if (name == "qoc_aware") return make_qoc_aware();
+  if (name == "cloud_only") return make_cloud_only();
+  return make_error(StatusCode::kNotFound,
+                    "unknown scheduler '" + std::string(name) + "'");
+}
+
+}  // namespace tasklets::broker

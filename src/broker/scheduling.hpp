@@ -1,0 +1,93 @@
+// Scheduling policies.
+//
+// The broker filters the provider pool down to the *eligible* set for a
+// tasklet (online, free slot, QoC locality/cost constraints, distinct from
+// already-used replicas) and then asks a Scheduler to pick one. Policies are
+// deliberately small and pluggable — the policy comparison is one of the
+// reproduced experiments (E3/E5), and `LocalOnly`/`CloudOnly` double as the
+// paper's baselines.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "proto/types.hpp"
+
+namespace tasklets::broker {
+
+// The broker's live view of one provider, exposed to policies.
+struct ProviderView {
+  NodeId id;
+  proto::Capability capability;
+  std::uint32_t busy_slots = 0;     // broker-tracked in-flight attempts
+  double observed_reliability = 1.0;  // EWMA of attempt success
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+
+  [[nodiscard]] double load() const noexcept {
+    return capability.slots == 0
+               ? 1.0
+               : static_cast<double>(busy_slots) / capability.slots;
+  }
+};
+
+// Pool-wide context accompanying each placement decision. `eligible` holds
+// the candidates (online, free slot, QoC-filtered); `best_online_speed` is
+// the benchmark score of the fastest *online* provider in the entire pool,
+// busy or not — selective policies compare candidates against it to decide
+// whether waiting for a fast slot beats binding work to a slow device.
+struct SchedulingContext {
+  std::span<const ProviderView> eligible;
+  double best_online_speed = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  // Picks one of `context.eligible`. An empty eligible set never reaches the
+  // policy. Returning an invalid NodeId refuses every candidate and leaves
+  // the tasklet queued — this is how selective policies wait for a fast slot
+  // instead of occupying a phone for minutes (and how restrictive baselines
+  // such as cloud_only ignore non-server devices).
+  [[nodiscard]] virtual NodeId pick(const proto::TaskletSpec& spec,
+                                    const SchedulingContext& context,
+                                    Rng& rng) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+// Cycles through providers in registration order: fair but oblivious to
+// heterogeneity — the baseline that collapses on mixed pools.
+[[nodiscard]] std::unique_ptr<Scheduler> make_round_robin();
+
+// Uniform random among eligible.
+[[nodiscard]] std::unique_ptr<Scheduler> make_random();
+
+// Lowest busy/slots ratio; ties broken by faster device.
+[[nodiscard]] std::unique_ptr<Scheduler> make_least_loaded();
+
+// Highest benchmark score first ("fastest-first").
+[[nodiscard]] std::unique_ptr<Scheduler> make_fastest_first();
+
+// QoC-aware composite — the Tasklet system's default. Selective: declines
+// providers more than ~8x slower than the fastest online device (2x under a
+// `speed` QoC goal), so long work waits briefly for a fast slot instead of
+// wedging on a phone for minutes. Among acceptable candidates it honours the
+// tasklet's speed goal, prefers observed-reliable providers for redundant
+// tasklets, cheaper ones for cost-capped tasklets, and otherwise balances
+// load-discounted speed.
+[[nodiscard]] std::unique_ptr<Scheduler> make_qoc_aware();
+
+// Baseline: only schedules onto server-class providers (classic cloud
+// offloading); other devices are ignored even when idle.
+[[nodiscard]] std::unique_ptr<Scheduler> make_cloud_only();
+
+// Factory by name ("round_robin", "random", "least_loaded", "fastest_first",
+// "qoc_aware", "cloud_only") — used by benches to sweep policies.
+[[nodiscard]] Result<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name);
+
+}  // namespace tasklets::broker

@@ -1,0 +1,189 @@
+#include "common/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tasklets {
+
+namespace {
+constexpr StatusCode kTruncated = StatusCode::kDataLoss;
+}  // namespace
+
+void ByteWriter::write_u8(std::uint8_t v) {
+  buffer_.push_back(static_cast<std::byte>(v));
+}
+
+void ByteWriter::write_u16(std::uint16_t v) {
+  write_u8(static_cast<std::uint8_t>(v & 0xFF));
+  write_u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    write_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    write_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteWriter::write_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    write_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  write_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::write_varint_signed(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  write_varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::write_bytes(std::span<const std::byte> data) {
+  write_varint(data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::write_string(std::string_view s) {
+  write_varint(s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buffer_.insert(buffer_.end(), p, p + s.size());
+}
+
+Status ByteReader::ensure(std::size_t n) {
+  if (failed_) return make_error(kTruncated, "reader already failed");
+  if (remaining() < n) {
+    failed_ = true;
+    return make_error(kTruncated, "truncated input");
+  }
+  return Status::ok();
+}
+
+Result<std::uint8_t> ByteReader::read_u8() {
+  TASKLETS_RETURN_IF_ERROR(ensure(1));
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+Result<std::uint16_t> ByteReader::read_u16() {
+  TASKLETS_RETURN_IF_ERROR(ensure(2));
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[offset_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::read_u32() {
+  TASKLETS_RETURN_IF_ERROR(ensure(4));
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[offset_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::read_u64() {
+  TASKLETS_RETURN_IF_ERROR(ensure(8));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[offset_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Result<std::int32_t> ByteReader::read_i32() {
+  TASKLETS_ASSIGN_OR_RETURN(auto v, read_u32());
+  return static_cast<std::int32_t>(v);
+}
+
+Result<std::int64_t> ByteReader::read_i64() {
+  TASKLETS_ASSIGN_OR_RETURN(auto v, read_u64());
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> ByteReader::read_f64() {
+  TASKLETS_ASSIGN_OR_RETURN(auto v, read_u64());
+  return std::bit_cast<double>(v);
+}
+
+Result<bool> ByteReader::read_bool() {
+  TASKLETS_ASSIGN_OR_RETURN(auto v, read_u8());
+  if (v > 1) {
+    failed_ = true;
+    return make_error(kTruncated, "invalid bool encoding");
+  }
+  return v == 1;
+}
+
+Result<std::uint64_t> ByteReader::read_varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    TASKLETS_ASSIGN_OR_RETURN(auto byte, read_u8());
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical trailing bits beyond 64.
+      if (shift == 63 && (byte & 0x7E) != 0) {
+        failed_ = true;
+        return make_error(kTruncated, "varint overflow");
+      }
+      return v;
+    }
+  }
+  failed_ = true;
+  return make_error(kTruncated, "varint too long");
+}
+
+Result<std::int64_t> ByteReader::read_varint_signed() {
+  TASKLETS_ASSIGN_OR_RETURN(auto u, read_varint());
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+Result<Bytes> ByteReader::read_bytes() {
+  TASKLETS_ASSIGN_OR_RETURN(auto n, read_varint());
+  if (n > remaining()) {
+    failed_ = true;
+    return make_error(kTruncated, "blob length exceeds input");
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+            data_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += n;
+  return out;
+}
+
+Result<std::string> ByteReader::read_string() {
+  TASKLETS_ASSIGN_OR_RETURN(auto n, read_varint());
+  if (n > remaining()) {
+    failed_ = true;
+    return make_error(kTruncated, "string length exceeds input");
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + offset_), n);
+  offset_ += n;
+  return out;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  return fnv1a(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size()));
+}
+
+}  // namespace tasklets

@@ -1,0 +1,94 @@
+// Binary serialization primitives used by the wire protocol, the bytecode
+// container format and tasklet parameter marshalling.
+//
+// Encoding rules (stable across platforms):
+//   * fixed-width integers are little-endian
+//   * unsigned varint (LEB128) for lengths and counts
+//   * doubles are encoded via their IEEE-754 bit pattern, little-endian
+//   * strings / blobs are varint length followed by raw bytes
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tasklets {
+
+using Bytes = std::vector<std::byte>;
+
+// Appends encoded values to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buffer_(std::move(initial)) {}
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  // Unsigned LEB128.
+  void write_varint(std::uint64_t v);
+  // Zig-zag + LEB128 for signed values with small magnitude.
+  void write_varint_signed(std::int64_t v);
+
+  void write_bytes(std::span<const std::byte> data);
+  void write_string(std::string_view s);
+
+  [[nodiscard]] const Bytes& buffer() const noexcept { return buffer_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+// Consumes encoded values from a byte span. All reads are bounds-checked;
+// a failed read poisons the reader (subsequent reads also fail).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> read_u8();
+  [[nodiscard]] Result<std::uint16_t> read_u16();
+  [[nodiscard]] Result<std::uint32_t> read_u32();
+  [[nodiscard]] Result<std::uint64_t> read_u64();
+  [[nodiscard]] Result<std::int32_t> read_i32();
+  [[nodiscard]] Result<std::int64_t> read_i64();
+  [[nodiscard]] Result<double> read_f64();
+  [[nodiscard]] Result<bool> read_bool();
+
+  [[nodiscard]] Result<std::uint64_t> read_varint();
+  [[nodiscard]] Result<std::int64_t> read_varint_signed();
+
+  [[nodiscard]] Result<Bytes> read_bytes();
+  [[nodiscard]] Result<std::string> read_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - offset_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ private:
+  [[nodiscard]] Status ensure(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+// FNV-1a, used for content ids and cheap integrity checks on frames.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> data) noexcept;
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace tasklets

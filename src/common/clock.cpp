@@ -1,0 +1,24 @@
+#include "common/clock.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tasklets {
+
+std::string format_duration(SimTime t) {
+  char buf[64];
+  const double abs_t = std::abs(static_cast<double>(t));
+  if (abs_t >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(t));
+  } else if (abs_t >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_millis(t));
+  } else if (abs_t >= static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%.3f us",
+                  static_cast<double>(t) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace tasklets

@@ -1,0 +1,69 @@
+// Time model shared by the threaded and simulated runtimes.
+//
+// All middleware code expresses time as SimTime (nanoseconds since an
+// arbitrary epoch) and obtains it from a Clock. The threaded runtime wires a
+// steady_clock-backed implementation; the simulator wires its virtual clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tasklets {
+
+// Nanoseconds. Signed so durations subtract naturally.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+[[nodiscard]] constexpr SimTime from_millis(double ms) noexcept {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+// "1.234 s" / "12.3 ms" / "456 us" rendering for logs and reports.
+[[nodiscard]] std::string format_duration(SimTime t);
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+// Wall-clock implementation for the threaded runtime.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] SimTime now() const override {
+    const auto d = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+// Manually advanced clock (unit tests and the simulation engine).
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] SimTime now() const override { return now_; }
+  void advance(SimTime delta) noexcept { now_ += delta; }
+  void set(SimTime t) noexcept { now_ = t; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace tasklets

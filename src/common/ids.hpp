@@ -1,0 +1,66 @@
+// Strongly-typed identifiers. Using distinct types for node, tasklet and job
+// ids turns "passed the wrong id" into a compile error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tasklets {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(std::uint64_t value) noexcept : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) noexcept { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) noexcept { return a.value_ < b.value_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string{Tag::prefix} + std::to_string(value_);
+  }
+
+ private:
+  std::uint64_t value_ = 0;  // 0 is reserved as "invalid"
+};
+
+struct NodeIdTag { static constexpr const char* prefix = "node-"; };
+struct TaskletIdTag { static constexpr const char* prefix = "tasklet-"; };
+struct JobIdTag { static constexpr const char* prefix = "job-"; };
+struct AttemptIdTag { static constexpr const char* prefix = "attempt-"; };
+
+using NodeId = Id<NodeIdTag>;        // a provider, consumer or broker endpoint
+using TaskletId = Id<TaskletIdTag>;  // one logical unit of computation
+using JobId = Id<JobIdTag>;          // a batch of tasklets issued together
+using AttemptId = Id<AttemptIdTag>;  // one (possibly redundant) execution try
+
+// Monotonic id source. Thread-safe; never yields the invalid id 0.
+template <typename IdType>
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::uint64_t start = 1) noexcept : next_(start) {}
+
+  [[nodiscard]] IdType next() noexcept {
+    return IdType{next_.fetch_add(1, std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+};
+
+}  // namespace tasklets
+
+namespace std {
+template <typename Tag>
+struct hash<tasklets::Id<Tag>> {
+  size_t operator()(tasklets::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,66 @@
+// Minimal leveled logger. Thread-safe, printf-free (streams into a single
+// write), and cheap when the level is disabled. Benchmarks run with the
+// logger set to kWarn so logging never perturbs measurements.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tasklets {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger() = default;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) noexcept
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace tasklets
+
+// Usage: TASKLETS_LOG(kInfo, "broker") << "provider " << id << " joined";
+#define TASKLETS_LOG(level, component)                                     \
+  if (!::tasklets::Logger::instance().enabled(::tasklets::LogLevel::level)) \
+    ;                                                                      \
+  else                                                                     \
+    ::tasklets::detail::LogLine(::tasklets::LogLevel::level, (component))

@@ -1,0 +1,134 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::mt19937 + std::*_distribution are not guaranteed to produce identical
+// sequences across standard-library implementations; the simulator needs
+// bit-identical runs from a seed, so we ship our own generator and
+// distributions (xoshiro256++ seeded via splitmix64).
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace tasklets {
+
+// splitmix64: used for seed expansion.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256++ 1.0 (Blackman & Vigna), public domain reference algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses rejection sampling to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Exponential with the given mean (inverse-CDF method); mean <= 0 yields 0.
+  double exponential(double mean) noexcept {
+    if (mean <= 0) return 0.0;
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Marsaglia polar method (deterministic given state).
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mu + sigma * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return mu + sigma * u * m;
+  }
+
+  // Pareto (heavy-tailed) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Forks an independent stream; children of distinct calls are decorrelated.
+  Rng fork() noexcept { return Rng{next() ^ 0x9e3779b97f4a7c15ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace tasklets

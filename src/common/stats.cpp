@@ -1,0 +1,118 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tasklets {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Sampler::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Sampler::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+int LogHistogram::bucket_for(double x) noexcept {
+  if (x < 1.0) return 0;
+  const double log2x = std::log2(x);
+  const int b = static_cast<int>(log2x * kSubBuckets);
+  return std::min(b, kNumBuckets - 1);
+}
+
+double LogHistogram::bucket_lower(int i) noexcept {
+  return std::exp2(static_cast<double>(i) / kSubBuckets);
+}
+
+void LogHistogram::add(double x) noexcept {
+  if (x < 0) x = 0;
+  buckets_[static_cast<std::size_t>(bucket_for(x))]++;
+  ++total_;
+  max_ = std::max(max_, x);
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > target) {
+      // Midpoint of bucket, clamped to observed max.
+      const double mid = (bucket_lower(i) + bucket_lower(i + 1)) / 2.0;
+      return std::min(mid, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "p50=%.0f p95=%.0f p99=%.0f max=%.0f n=%zu",
+                quantile(0.50), quantile(0.95), quantile(0.99), max_, total_);
+  return buf;
+}
+
+double jain_fairness(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace tasklets

@@ -1,0 +1,81 @@
+// Statistics helpers used by the benchmark harnesses and the broker's
+// provider-performance tracking: running moments, exact-percentile samplers
+// and a log-bucketed latency histogram.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tasklets {
+
+// Welford running mean/variance. O(1) memory; numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Keeps every sample; exact quantiles. Fine for per-experiment volumes.
+class Sampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double quantile(double q) const;  // q in [0,1]
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double mean() const;
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Log-bucketed histogram for unbounded positive values (latencies in ns).
+// Bucket i covers [2^(i/4), 2^((i+1)/4)): ~19% relative error per bucket.
+class LogHistogram {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::string summary() const;  // "p50=... p95=... p99=... max=..."
+
+ private:
+  static constexpr int kSubBuckets = 4;  // buckets per power of two
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+  [[nodiscard]] static int bucket_for(double x) noexcept;
+  [[nodiscard]] static double bucket_lower(int i) noexcept;
+
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kNumBuckets, 0);
+  std::size_t total_ = 0;
+  double max_ = 0.0;
+};
+
+// Jain's fairness index over per-entity totals: 1.0 = perfectly fair.
+[[nodiscard]] double jain_fairness(const std::vector<double>& xs) noexcept;
+
+}  // namespace tasklets

@@ -1,0 +1,121 @@
+// Status and Result<T>: lightweight error propagation for the Tasklets
+// middleware. The middleware avoids exceptions on hot paths (scheduling,
+// message handling, VM execution); fallible operations return Result<T>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace tasklets {
+
+// Canonical error space shared by every module. Codes are coarse on purpose:
+// fine-grained context travels in the message string.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,      // transient: peer offline, link down, no capacity
+  kDeadlineExceeded, // QoC deadline or fuel budget exhausted
+  kAborted,          // execution cancelled or superseded
+  kDataLoss,         // corrupt frame / malformed bytecode
+  kUnimplemented,
+  kInternal,
+};
+
+[[nodiscard]] std::string_view to_string(StatusCode code) noexcept;
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  // "code: message" rendering for logs and test failures.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+[[nodiscard]] inline Status make_error(StatusCode code, std::string message) {
+  return Status{code, std::move(message)};
+}
+
+// Result<T>: either a value or a non-ok Status. A minimal std::expected
+// stand-in with the accessors the codebase needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).is_ok()) {
+      rep_ = Status{StatusCode::kInternal, "ok Status used as Result error"};
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(rep_); }
+  [[nodiscard]] T& value() & { return std::get<T>(rep_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace tasklets
+
+// Propagate a non-ok Status from an expression producing Status.
+#define TASKLETS_RETURN_IF_ERROR(expr)                    \
+  do {                                                    \
+    ::tasklets::Status status_macro_tmp_ = (expr);        \
+    if (!status_macro_tmp_.is_ok()) return status_macro_tmp_; \
+  } while (false)
+
+// Bind `lhs` to the value of a Result-producing expression or propagate its
+// Status. Usage: TASKLETS_ASSIGN_OR_RETURN(auto v, compute());
+#define TASKLETS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto TASKLETS_CONCAT_(result_tmp_, __LINE__) = (expr); \
+  if (!TASKLETS_CONCAT_(result_tmp_, __LINE__).is_ok())  \
+    return TASKLETS_CONCAT_(result_tmp_, __LINE__).status(); \
+  lhs = std::move(TASKLETS_CONCAT_(result_tmp_, __LINE__)).value()
+
+#define TASKLETS_CONCAT_INNER_(a, b) a##b
+#define TASKLETS_CONCAT_(a, b) TASKLETS_CONCAT_INNER_(a, b)

@@ -1,0 +1,77 @@
+// Fixed-size worker pool. Tasks run in submission order across the workers;
+// the destructor drains nothing — pending tasks are discarded, running tasks
+// are joined (shutdown of a distributed node abandons queued work, it does
+// not stall on it).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tasklets {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ~ThreadPool() { stop(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) return;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  void stop() {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+      queue_.clear();
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tasklets

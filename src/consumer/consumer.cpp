@@ -1,0 +1,49 @@
+#include "consumer/consumer.hpp"
+
+#include "common/log.hpp"
+
+namespace tasklets::consumer {
+
+ConsumerAgent::ConsumerAgent(NodeId id, NodeId broker, std::string locality)
+    : Actor(id), broker_(broker), locality_(std::move(locality)) {}
+
+void ConsumerAgent::on_start(SimTime, proto::Outbox&) {}
+
+void ConsumerAgent::on_timer(std::uint64_t, SimTime, proto::Outbox&) {}
+
+void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
+                           SimTime, proto::Outbox& out) {
+  spec.origin_locality = locality_;
+  ++stats_.submitted;
+  pending_.emplace(spec.id, std::move(handler));
+  out.send(broker_, proto::SubmitTasklet{std::move(spec)});
+}
+
+void ConsumerAgent::cancel(TaskletId id, proto::Outbox& out) {
+  if (pending_.erase(id) > 0) {
+    out.send(broker_, proto::CancelTasklet{id});
+  }
+}
+
+void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime,
+                               proto::Outbox&) {
+  const auto* done = std::get_if<proto::TaskletDone>(&envelope.payload);
+  if (done == nullptr) {
+    TASKLETS_LOG(kWarn, "consumer")
+        << id().to_string() << ": unexpected message "
+        << proto::message_name(envelope.payload);
+    return;
+  }
+  const auto it = pending_.find(done->report.id);
+  if (it == pending_.end()) return;  // cancelled or duplicate
+  if (done->report.status == proto::TaskletStatus::kCompleted) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  ReportHandler handler = std::move(it->second);
+  pending_.erase(it);
+  handler(done->report);
+}
+
+}  // namespace tasklets::consumer

@@ -1,0 +1,54 @@
+// The consumer agent: an application's middleware endpoint.
+//
+// Tracks outstanding tasklets and routes completion reports back to
+// per-tasklet handlers. Job-level aggregation (futures, batch collection)
+// is layered on top by the runtime-specific consumer libraries
+// (core/system.hpp for the threaded runtime, core/sim_cluster.hpp for the
+// simulator).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "proto/actor.hpp"
+
+namespace tasklets::consumer {
+
+struct ConsumerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  // any non-completed terminal status
+};
+
+class ConsumerAgent final : public proto::Actor {
+ public:
+  using ReportHandler = std::function<void(const proto::TaskletReport&)>;
+
+  ConsumerAgent(NodeId id, NodeId broker, std::string locality = {});
+
+  void on_start(SimTime now, proto::Outbox& out) override;
+  void on_message(const proto::Envelope& envelope, SimTime now,
+                  proto::Outbox& out) override;
+  void on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) override;
+
+  // Submits a tasklet; `handler` fires (in actor context) exactly once when
+  // the terminal report arrives. Fills in the spec's origin locality.
+  void submit(proto::TaskletSpec spec, ReportHandler handler, SimTime now,
+              proto::Outbox& out);
+
+  // Cancels an outstanding tasklet: the handler is dropped, a best-effort
+  // cancel is sent to the broker, late reports are ignored.
+  void cancel(TaskletId id, proto::Outbox& out);
+
+  [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
+  [[nodiscard]] const ConsumerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& locality() const noexcept { return locality_; }
+
+ private:
+  NodeId broker_;
+  std::string locality_;
+  ConsumerStats stats_;
+  std::unordered_map<TaskletId, ReportHandler> pending_;
+};
+
+}  // namespace tasklets::consumer

@@ -1,0 +1,113 @@
+#include "core/job.hpp"
+
+#include "tcl/compiler.hpp"
+
+namespace tasklets::core {
+
+JobOutcome::JobOutcome(std::vector<proto::TaskletReport> reports)
+    : reports_(std::move(reports)) {
+  for (const auto& report : reports_) {
+    if (report.status != proto::TaskletStatus::kCompleted) continue;
+    ++completed_;
+    total_fuel_ += report.fuel_used;
+    total_attempts_ += report.attempts;
+    max_latency_ = std::max(max_latency_, report.latency);
+  }
+}
+
+Result<std::vector<tvm::HostArg>> JobOutcome::results() const {
+  std::vector<tvm::HostArg> out;
+  out.reserve(reports_.size());
+  for (std::size_t i = 0; i < reports_.size(); ++i) {
+    const auto& report = reports_[i];
+    if (report.status != proto::TaskletStatus::kCompleted) {
+      return make_error(StatusCode::kAborted,
+                        "tasklet " + std::to_string(i) + " " +
+                            std::string(proto::to_string(report.status)) +
+                            (report.error.empty() ? "" : ": " + report.error));
+    }
+    out.push_back(report.result);
+  }
+  return out;
+}
+
+double Job::progress() const {
+  if (futures_.empty()) return 1.0;
+  std::size_t ready = 0;
+  for (const auto& future : futures_) {
+    if (!future.valid() ||
+        future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ++ready;
+    }
+  }
+  return static_cast<double>(ready) / static_cast<double>(futures_.size());
+}
+
+JobOutcome Job::wait() {
+  std::vector<proto::TaskletReport> reports;
+  reports.reserve(futures_.size());
+  for (auto& future : futures_) {
+    reports.push_back(future.get());
+  }
+  return JobOutcome(std::move(reports));
+}
+
+std::optional<JobOutcome> Job::wait_for(std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  for (const auto& future : futures_) {
+    if (future.wait_until(deadline) != std::future_status::ready) {
+      return std::nullopt;
+    }
+  }
+  return wait();
+}
+
+JobBuilder& JobBuilder::kernel(std::string_view tcl_source,
+                               std::string_view entry) {
+  tcl::CompileOptions options;
+  options.entry = entry;
+  auto compiled = tcl::compile(tcl_source, options);
+  if (compiled.is_ok()) {
+    program_ = compiled->serialize();
+  } else {
+    program_ = compiled.status();
+  }
+  return *this;
+}
+
+JobBuilder& JobBuilder::program(Bytes serialized_program) {
+  program_ = std::move(serialized_program);
+  return *this;
+}
+
+Result<Job> JobBuilder::launch() {
+  TASKLETS_ASSIGN_OR_RETURN(auto program, std::move(program_));
+  if (invocations_.empty()) {
+    return make_error(StatusCode::kFailedPrecondition,
+                      "JobBuilder: no invocations added");
+  }
+  std::vector<proto::TaskletBody> bodies;
+  bodies.reserve(invocations_.size());
+  for (auto& args : invocations_) {
+    proto::VmBody body;
+    body.program = program;
+    body.args = std::move(args);
+    bodies.push_back(std::move(body));
+  }
+  invocations_.clear();
+  return Job(system_.submit_batch(std::move(bodies), qoc_));
+}
+
+Result<std::vector<tvm::HostArg>> run_map(
+    TaskletSystem& system, std::string_view tcl_source,
+    std::vector<std::vector<tvm::HostArg>> args_list, proto::Qoc qoc) {
+  JobBuilder builder(system);
+  builder.kernel(tcl_source).qoc(qoc);
+  for (auto& args : args_list) {
+    builder.add(std::move(args));
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto job, builder.launch());
+  return job.wait().results();
+}
+
+}  // namespace tasklets::core

@@ -1,0 +1,126 @@
+// Job-level consumer API.
+//
+// A Job is a batch of tasklets sharing one kernel and one QoC, submitted
+// together and harvested together — the shape almost every Tasklet
+// application has (map a kernel over a parameter list, gather the results).
+// JobBuilder compiles the kernel once and ships it with per-tasklet
+// arguments; Job tracks progress and aggregates the reports.
+//
+//   auto job = core::JobBuilder(system)
+//                  .kernel(core::kernels::kMonteCarloPi)
+//                  .qoc(reliable)
+//                  .add({samples, seed1})
+//                  .add({samples, seed2})
+//                  .launch();
+//   core::JobOutcome outcome = job->wait();
+//   // outcome.results()[i] corresponds to add() call i.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "core/system.hpp"
+
+namespace tasklets::core {
+
+// Aggregated view of a finished (or partially finished) job.
+class JobOutcome {
+ public:
+  explicit JobOutcome(std::vector<proto::TaskletReport> reports);
+
+  [[nodiscard]] std::size_t size() const noexcept { return reports_.size(); }
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::size_t failed() const noexcept {
+    return reports_.size() - completed_;
+  }
+  [[nodiscard]] bool all_completed() const noexcept {
+    return completed_ == reports_.size();
+  }
+
+  // Reports in submission order.
+  [[nodiscard]] const std::vector<proto::TaskletReport>& reports() const noexcept {
+    return reports_;
+  }
+
+  // Result values in submission order; error if any tasklet failed (the
+  // message names the first failure).
+  [[nodiscard]] Result<std::vector<tvm::HostArg>> results() const;
+
+  // Sums over completed tasklets.
+  [[nodiscard]] std::uint64_t total_fuel() const noexcept { return total_fuel_; }
+  [[nodiscard]] std::uint32_t total_attempts() const noexcept {
+    return total_attempts_;
+  }
+  [[nodiscard]] SimTime max_latency() const noexcept { return max_latency_; }
+
+ private:
+  std::vector<proto::TaskletReport> reports_;
+  std::size_t completed_ = 0;
+  std::uint64_t total_fuel_ = 0;
+  std::uint32_t total_attempts_ = 0;
+  SimTime max_latency_ = 0;
+};
+
+// A launched batch. Move-only; harvesting (wait) consumes the futures.
+class Job {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return futures_.size(); }
+
+  // Fraction of tasklets with a terminal report, in [0,1]. Non-blocking.
+  [[nodiscard]] double progress() const;
+
+  // True when every tasklet is terminal. Non-blocking.
+  [[nodiscard]] bool done() const { return progress() >= 1.0; }
+
+  // Blocks until all tasklets are terminal and aggregates. Call once.
+  [[nodiscard]] JobOutcome wait();
+
+  // Waits up to `budget`; returns the outcome if everything finished.
+  [[nodiscard]] std::optional<JobOutcome> wait_for(std::chrono::milliseconds budget);
+
+ private:
+  friend class JobBuilder;
+  explicit Job(std::vector<std::future<proto::TaskletReport>> futures)
+      : futures_(std::move(futures)) {}
+
+  std::vector<std::future<proto::TaskletReport>> futures_;
+};
+
+class JobBuilder {
+ public:
+  explicit JobBuilder(TaskletSystem& system) : system_(system) {}
+
+  // Sets the TCL kernel shared by every tasklet in the job. Compiled once.
+  JobBuilder& kernel(std::string_view tcl_source, std::string_view entry = "main");
+  // Uses an already compiled/serialized program.
+  JobBuilder& program(Bytes serialized_program);
+  JobBuilder& qoc(proto::Qoc qoc) {
+    qoc_ = qoc;
+    return *this;
+  }
+  // Adds one tasklet invoking the kernel with `args`.
+  JobBuilder& add(std::vector<tvm::HostArg> args) {
+    invocations_.push_back(std::move(args));
+    return *this;
+  }
+
+  // Submits everything under a fresh job id. Fails without submitting
+  // anything if the kernel failed to compile or no kernel/invocations were
+  // provided.
+  [[nodiscard]] Result<Job> launch();
+
+ private:
+  TaskletSystem& system_;
+  Result<Bytes> program_ = make_error(StatusCode::kFailedPrecondition,
+                                      "JobBuilder: no kernel set");
+  proto::Qoc qoc_{};
+  std::vector<std::vector<tvm::HostArg>> invocations_;
+};
+
+// Convenience: map `tcl_source` over `args_list` and return the results in
+// order. Blocks until the whole job finishes.
+[[nodiscard]] Result<std::vector<tvm::HostArg>> run_map(
+    TaskletSystem& system, std::string_view tcl_source,
+    std::vector<std::vector<tvm::HostArg>> args_list, proto::Qoc qoc = {});
+
+}  // namespace tasklets::core

@@ -1,0 +1,193 @@
+#include "core/kernels.hpp"
+
+namespace tasklets::core::kernels {
+
+const std::string_view kFib = R"(
+  int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+  int main(int n) { return fib(n); }
+)";
+
+const std::string_view kMandelbrotRow = R"(
+  int escape(float cr, float ci, int max_iter) {
+    float zr = 0.0;
+    float zi = 0.0;
+    int iter = 0;
+    while (iter < max_iter && zr * zr + zi * zi <= 4.0) {
+      float tmp = zr * zr - zi * zi + cr;
+      zi = 2.0 * zr * zi + ci;
+      zr = tmp;
+      iter = iter + 1;
+    }
+    return iter;
+  }
+  int[] main(int width, int row, int height, float x0, float x1,
+             float y0, float y1, int max_iter) {
+    int[] out = new int[width];
+    float ci = y0 + (y1 - y0) * float(row) / float(height);
+    for (int col = 0; col < width; col = col + 1) {
+      float cr = x0 + (x1 - x0) * float(col) / float(width);
+      out[col] = escape(cr, ci, max_iter);
+    }
+    return out;
+  }
+)";
+
+const std::string_view kMonteCarloPi = R"(
+  int main(int samples, int seed) {
+    // 48-bit LCG (drand48 constants) evaluated in 63-bit integer space.
+    int state = seed;
+    int a = 25214903917;
+    int c = 11;
+    int mask = 281474976710655;  // 2^48 - 1
+    int hits = 0;
+    for (int i = 0; i < samples; i = i + 1) {
+      state = (state * a + c) & mask;
+      float x = float(state) / 281474976710656.0;
+      state = (state * a + c) & mask;
+      float y = float(state) / 281474976710656.0;
+      if (x * x + y * y <= 1.0) { hits = hits + 1; }
+    }
+    return hits;
+  }
+)";
+
+const std::string_view kMatMul = R"(
+  float[] main(float[] a, float[] b, int n) {
+    float[] c = new float[n * n];
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        float sum = 0.0;
+        for (int k = 0; k < n; k = k + 1) {
+          sum = sum + a[i * n + k] * b[k * n + j];
+        }
+        c[i * n + j] = sum;
+      }
+    }
+    return c;
+  }
+)";
+
+const std::string_view kSieve = R"(
+  int main(int n) {
+    if (n < 3) { return 0; }
+    int[] composite = new int[n];
+    int count = 0;
+    for (int i = 2; i < n; i = i + 1) {
+      if (composite[i] == 0) {
+        count = count + 1;
+        for (int j = i + i; j < n; j = j + i) {
+          composite[j] = 1;
+        }
+      }
+    }
+    return count;
+  }
+)";
+
+const std::string_view kDot = R"(
+  float main(float[] a, float[] b) {
+    float sum = 0.0;
+    for (int i = 0; i < len(a); i = i + 1) {
+      sum = sum + a[i] * b[i];
+    }
+    return sum;
+  }
+)";
+
+const std::string_view kSpin = R"(
+  int main(int iterations) {
+    int acc = 1;
+    for (int i = 0; i < iterations; i = i + 1) {
+      acc = (acc * 6364136223846793005 + 1442695040888963407) % 1000000007;
+      if (acc < 0) { acc = -acc; }
+    }
+    return acc;
+  }
+)";
+
+const std::string_view kNBody = R"(
+  float[] main(float[] px, float[] py, float[] vx, float[] vy, float[] m,
+               float dt, int steps) {
+    int n = len(px);
+    for (int s = 0; s < steps; s = s + 1) {
+      for (int i = 0; i < n; i = i + 1) {
+        float ax = 0.0;
+        float ay = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+          if (j != i) {
+            float dx = px[j] - px[i];
+            float dy = py[j] - py[i];
+            float dist2 = dx * dx + dy * dy + 0.01;
+            float inv = 1.0 / (dist2 * sqrt(dist2));
+            ax = ax + m[j] * dx * inv;
+            ay = ay + m[j] * dy * inv;
+          }
+        }
+        vx[i] = vx[i] + ax * dt;
+        vy[i] = vy[i] + ay * dt;
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        px[i] = px[i] + vx[i] * dt;
+        py[i] = py[i] + vy[i] * dt;
+      }
+    }
+    return px;
+  }
+)";
+
+const std::string_view kQuicksort = R"(
+  int[] main(int[] xs) {
+    int n = len(xs);
+    if (n < 2) { return xs; }
+    // Explicit stack of [lo, hi] ranges (quicksort without recursion —
+    // keeps the operand stack shallow regardless of input size).
+    int[] stack = new int[2 * n + 4];
+    int top = 0;
+    stack[0] = 0;
+    stack[1] = n - 1;
+    top = 2;
+    while (top > 0) {
+      top -= 2;
+      int lo = stack[top];
+      int hi = stack[top + 1];
+      if (lo >= hi) { continue; }
+      // Median-of-three pivot to dodge the sorted-input worst case.
+      int mid = lo + (hi - lo) / 2;
+      int a = xs[lo];
+      int b = xs[mid];
+      int c = xs[hi];
+      int pivot = a;
+      if ((a <= b && b <= c) || (c <= b && b <= a)) { pivot = b; }
+      if ((a <= c && c <= b) || (b <= c && c <= a)) { pivot = c; }
+      int i = lo;
+      int j = hi;
+      while (i <= j) {
+        while (xs[i] < pivot) { i += 1; }
+        while (xs[j] > pivot) { j -= 1; }
+        if (i <= j) {
+          int tmp = xs[i];
+          xs[i] = xs[j];
+          xs[j] = tmp;
+          i += 1;
+          j -= 1;
+        }
+      }
+      if (lo < j) {
+        stack[top] = lo;
+        stack[top + 1] = j;
+        top += 2;
+      }
+      if (i < hi) {
+        stack[top] = i;
+        stack[top + 1] = hi;
+        top += 2;
+      }
+    }
+    return xs;
+  }
+)";
+
+}  // namespace tasklets::core::kernels

@@ -1,0 +1,48 @@
+// Standard TCL computation kernels.
+//
+// These are the workloads the examples and benchmark harnesses distribute:
+// classic embarrassingly parallel kernels (Mandelbrot rows, Monte-Carlo
+// sampling, matrix blocks) plus calibration/microbenchmark loops. Each is a
+// complete TCL translation unit whose `main` has the documented signature.
+#pragma once
+
+#include <string_view>
+
+namespace tasklets::core::kernels {
+
+// int main(int n) -> n-th Fibonacci number (naive recursion; exponential
+// work, the standard middleware-overhead microkernel).
+extern const std::string_view kFib;
+
+// int[] main(int width, int row, int height, float x0, float x1, float y0,
+//            float y1, int max_iter)
+// -> iteration counts for one Mandelbrot image row.
+extern const std::string_view kMandelbrotRow;
+
+// int main(int samples, int seed) -> number of pseudo-random points falling
+// inside the unit circle (Monte-Carlo pi; LCG-based, deterministic per seed).
+extern const std::string_view kMonteCarloPi;
+
+// float[] main(float[] a, float[] b, int n) -> n*n row-major matrix product.
+extern const std::string_view kMatMul;
+
+// int main(int n) -> number of primes < n (Eratosthenes sieve).
+extern const std::string_view kSieve;
+
+// float main(float[] a, float[] b) -> dot product (len(a) == len(b)).
+extern const std::string_view kDot;
+
+// int main(int iterations) -> busy integer loop, returns a checksum. Used
+// for calibration and as a "known fuel" workload.
+extern const std::string_view kSpin;
+
+// float[] main(float[] px, float[] py, float[] vx, float[] vy, float[] m,
+//              float dt, int steps)
+// -> n-body simulation (O(n^2) gravity), returns final x positions.
+extern const std::string_view kNBody;
+
+// int[] main(int[] xs) -> xs sorted ascending (in-place iterative
+// quicksort with an explicit stack; exercises arrays and deep control flow).
+extern const std::string_view kQuicksort;
+
+}  // namespace tasklets::core::kernels

@@ -1,0 +1,463 @@
+#include "core/sim_cluster.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace tasklets::core {
+
+namespace {
+
+// Rough wire size of a message for the transfer-time model: a fixed header
+// plus the dominant variable parts (bodies and results).
+std::size_t message_size(const proto::Message& message) {
+  constexpr std::size_t kHeader = 64;
+  if (const auto* submit = std::get_if<proto::SubmitTasklet>(&message)) {
+    return kHeader + proto::body_wire_size(submit->spec.body);
+  }
+  if (const auto* assign = std::get_if<proto::AssignTasklet>(&message)) {
+    return kHeader + proto::body_wire_size(assign->body);
+  }
+  if (const auto* result = std::get_if<proto::AttemptResult>(&message)) {
+    return kHeader + tvm::arg_wire_size(result->outcome.result);
+  }
+  if (const auto* done = std::get_if<proto::TaskletDone>(&message)) {
+    return kHeader + tvm::arg_wire_size(done->report.result);
+  }
+  return kHeader;
+}
+
+}  // namespace
+
+// Per-provider execution service: computes the real result (and fuel) via
+// the shared VmExecutor, converts fuel to virtual service time through the
+// device profile (charging only *remaining* fuel for migrated work), applies
+// fault injection, drops completions when the provider crashes mid-execution
+// (epoch check), and checkpoints in-flight work on graceful drain.
+class SimCluster::SimExecution final : public provider::ExecutionService {
+ public:
+  SimExecution(SimCluster& cluster, NodeId provider_id,
+               sim::DeviceProfile profile, Rng rng)
+      : cluster_(cluster),
+        provider_id_(provider_id),
+        profile_(std::move(profile)),
+        rng_(rng) {}
+
+  // Synthetic bodies checkpoint as a tiny "SSNP" record: total fuel +
+  // fuel already done.
+  static Bytes encode_synthetic_snapshot(std::uint64_t total, std::uint64_t done) {
+    ByteWriter w;
+    w.write_u32(0x5353'4E50);  // "SSNP"
+    w.write_varint(total);
+    w.write_varint(done);
+    return std::move(w).take();
+  }
+  static Result<std::pair<std::uint64_t, std::uint64_t>> decode_synthetic_snapshot(
+      const Bytes& state) {
+    ByteReader r(std::span<const std::byte>(state.data(), state.size()));
+    TASKLETS_ASSIGN_OR_RETURN(auto magic, r.read_u32());
+    if (magic != 0x5353'4E50) {
+      return make_error(StatusCode::kDataLoss, "bad synthetic snapshot");
+    }
+    TASKLETS_ASSIGN_OR_RETURN(auto total, r.read_varint());
+    TASKLETS_ASSIGN_OR_RETURN(auto done, r.read_varint());
+    return std::pair{total, done};
+  }
+
+  void execute(provider::ExecRequest request, provider::ExecDone done) override {
+    // Fuel the incoming work has already consumed elsewhere (migration).
+    std::uint64_t prior_fuel = 0;
+    proto::AttemptOutcome outcome;
+    if (const auto* synth = std::get_if<proto::SyntheticBody>(&request.body);
+        synth != nullptr && !request.resume_snapshot.empty()) {
+      const auto decoded = decode_synthetic_snapshot(request.resume_snapshot);
+      prior_fuel = decoded.is_ok() ? decoded->second : 0;
+      outcome.status = proto::AttemptStatus::kOk;
+      outcome.result = synth->result;
+      outcome.fuel_used = synth->fuel;
+    } else {
+      outcome = cluster_.executor_->run(request);
+      if (!request.resume_snapshot.empty()) {
+        const auto fuel = tvm::snapshot_fuel(std::span<const std::byte>(
+            request.resume_snapshot.data(), request.resume_snapshot.size()));
+        if (fuel.is_ok()) prior_fuel = *fuel;
+      }
+    }
+    outcome = provider::maybe_corrupt(std::move(outcome), profile_.fault_rate,
+                                      rng_);
+    const std::uint64_t remaining_fuel =
+        outcome.fuel_used > prior_fuel ? outcome.fuel_used - prior_fuel : 0;
+    const SimTime duration = outcome.status == proto::AttemptStatus::kRejected
+                                 ? profile_.startup_latency
+                                 : profile_.service_time(remaining_fuel);
+
+    const std::uint64_t key = request.attempt.value();
+    Pending pending;
+    pending.request = std::move(request);
+    pending.done = std::move(done);
+    pending.outcome = std::move(outcome);
+    pending.started = cluster_.engine_->now();
+    pending.duration = duration;
+    pending.prior_fuel = prior_fuel;
+    pending_.emplace(key, std::move(pending));
+
+    const std::uint64_t epoch = epoch_;
+    cluster_.engine_->schedule(duration, [this, key, epoch] {
+      if (epoch != epoch_) return;  // provider crashed mid-execution
+      const auto it = pending_.find(key);
+      if (it == pending_.end()) return;  // drained meanwhile
+      Pending finished = std::move(it->second);
+      pending_.erase(it);
+      proto::Outbox out(provider_id_);
+      finished.done(std::move(finished.outcome), cluster_.engine_->now(), out);
+      cluster_.process_outbox(out);
+    });
+  }
+
+  // Crash semantics: everything in flight is lost.
+  void bump_epoch() noexcept {
+    ++epoch_;
+    pending_.clear();
+  }
+
+  // Graceful drain: checkpoint every in-flight execution *now* and deliver
+  // kSuspended outcomes (or the final result, if the work would have
+  // finished by now anyway).
+  void drain_inflight() {
+    ++epoch_;  // cancel scheduled completion events
+    auto pending = std::move(pending_);
+    pending_.clear();
+    const SimTime now = cluster_.engine_->now();
+    for (auto& [key, entry] : pending) {
+      proto::AttemptOutcome outcome = suspend_outcome(entry, now);
+      proto::Outbox out(provider_id_);
+      entry.done(std::move(outcome), now, out);
+      cluster_.process_outbox(out);
+    }
+  }
+
+  [[nodiscard]] const sim::DeviceProfile& profile() const noexcept {
+    return profile_;
+  }
+
+ private:
+  struct Pending {
+    provider::ExecRequest request;
+    provider::ExecDone done;
+    proto::AttemptOutcome outcome;  // outcome if run to completion
+    SimTime started = 0;
+    SimTime duration = 0;
+    std::uint64_t prior_fuel = 0;
+  };
+
+  // Builds the outcome a drain delivers for one in-flight execution.
+  proto::AttemptOutcome suspend_outcome(Pending& entry, SimTime now) {
+    if (now - entry.started >= entry.duration) {
+      return std::move(entry.outcome);  // effectively finished: deliver it
+    }
+    // Work completed so far on this device (past the startup phase).
+    const SimTime compute_time =
+        std::max<SimTime>(0, now - entry.started - profile_.startup_latency);
+    const auto fuel_done_here = static_cast<std::uint64_t>(
+        to_seconds(compute_time) * profile_.speed_fuel_per_sec);
+    const std::uint64_t absolute_fuel = entry.prior_fuel + fuel_done_here;
+
+    proto::AttemptOutcome suspended;
+    suspended.status = proto::AttemptStatus::kSuspended;
+    if (const auto* synth =
+            std::get_if<proto::SyntheticBody>(&entry.request.body)) {
+      suspended.fuel_used = std::min(absolute_fuel, synth->fuel);
+      suspended.snapshot =
+          encode_synthetic_snapshot(synth->fuel, suspended.fuel_used);
+      return suspended;
+    }
+    // VM body: regenerate the machine state at the absolute fuel point by
+    // (deterministically) re-slicing; rare event, so the recompute is fine.
+    const auto& vm_body = std::get<proto::VmBody>(entry.request.body);
+    auto program = tvm::Program::deserialize(std::span<const std::byte>(
+        vm_body.program.data(), vm_body.program.size()));
+    if (!program.is_ok()) return std::move(entry.outcome);
+    Result<tvm::SliceOutcome> slice = [&]() -> Result<tvm::SliceOutcome> {
+      if (!entry.request.resume_snapshot.empty()) {
+        tvm::Suspension incoming;
+        incoming.state = entry.request.resume_snapshot;
+        return tvm::resume_slice(*program, incoming, {}, fuel_done_here);
+      }
+      return tvm::execute_slice(*program, vm_body.args, {}, absolute_fuel);
+    }();
+    if (!slice.is_ok() || std::holds_alternative<tvm::ExecOutcome>(*slice)) {
+      // Completed (or trapped) within the window: deliver the final outcome.
+      return std::move(entry.outcome);
+    }
+    auto& suspension = std::get<tvm::Suspension>(*slice);
+    suspended.fuel_used = suspension.fuel_used;
+    suspended.snapshot = std::move(suspension.state);
+    return suspended;
+  }
+
+  SimCluster& cluster_;
+  NodeId provider_id_;
+  sim::DeviceProfile profile_;
+  Rng rng_;
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+struct SimCluster::Node {
+  std::unique_ptr<proto::Actor> actor;
+  SimTime link_latency = 0;
+  double bandwidth_bps = 1e9;
+  // Provider-only:
+  std::unique_ptr<SimExecution> execution;
+  provider::ProviderAgent* provider = nullptr;
+  consumer::ConsumerAgent* consumer = nullptr;
+  Rng churn_rng;
+  double cost_per_gfuel = 0.0;
+};
+
+SimCluster::SimCluster(SimConfig config)
+    : config_(std::move(config)),
+      engine_(std::make_unique<sim::Engine>()),
+      rng_(config_.seed),
+      executor_(std::make_shared<provider::VmExecutor>(config_.exec_limits)) {
+  std::unique_ptr<broker::Scheduler> scheduler;
+  if (config_.scheduler_factory) {
+    scheduler = config_.scheduler_factory();
+  } else {
+    auto by_name = broker::make_scheduler(config_.scheduler);
+    if (!by_name.is_ok()) {
+      TASKLETS_LOG(kError, "sim") << by_name.status().to_string()
+                                  << "; using qoc_aware";
+      by_name = broker::make_qoc_aware();
+    }
+    scheduler = std::move(by_name).value();
+  }
+  broker_id_ = node_ids_.next();
+  auto broker_actor = std::make_unique<broker::Broker>(
+      broker_id_, std::move(scheduler), config_.broker);
+  broker_ = broker_actor.get();
+  auto node = std::make_unique<Node>();
+  node->actor = std::move(broker_actor);
+  node->link_latency = config_.broker_link_latency;
+  node->bandwidth_bps = config_.broker_bandwidth_bps;
+  nodes_.emplace(broker_id_, std::move(node));
+  // Broker startup at t=0.
+  engine_->schedule(0, [this] {
+    proto::Outbox out(broker_id_);
+    broker_->on_start(engine_->now(), out);
+    process_outbox(out);
+  });
+}
+
+SimCluster::~SimCluster() = default;
+
+SimCluster::Node& SimCluster::node(NodeId id) { return *nodes_.at(id); }
+
+SimTime SimCluster::now() const { return engine_->now(); }
+
+NodeId SimCluster::add_provider(const sim::DeviceProfile& profile) {
+  const NodeId id = node_ids_.next();
+  auto node = std::make_unique<Node>();
+  node->link_latency = profile.link_latency;
+  node->bandwidth_bps = profile.bandwidth_bps;
+  node->cost_per_gfuel = profile.cost_per_gfuel;
+  node->execution = std::make_unique<SimExecution>(*this, id, profile, rng_.fork());
+  node->churn_rng = rng_.fork();
+  // Providers must heartbeat at the cadence the broker's liveness timeout
+  // assumes.
+  provider::ProviderConfig provider_config;
+  provider_config.heartbeat_interval = config_.broker.heartbeat_interval;
+  auto agent = std::make_unique<provider::ProviderAgent>(
+      id, broker_id_, profile.capability(), *node->execution, provider_config);
+  node->provider = agent.get();
+  node->actor = std::move(agent);
+  Node* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  engine_->schedule(0, [this, raw, id] {
+    proto::Outbox out(id);
+    raw->actor->on_start(engine_->now(), out);
+    process_outbox(out);
+  });
+  if (profile.mean_session > 0) schedule_churn(id);
+  return id;
+}
+
+std::vector<NodeId> SimCluster::add_providers(const sim::DeviceProfile& profile,
+                                              std::size_t count) {
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(add_provider(profile));
+  return ids;
+}
+
+void SimCluster::schedule_churn(NodeId provider_id) {
+  Node& n = node(provider_id);
+  const auto& profile = n.execution->profile();
+  const SimTime session =
+      static_cast<SimTime>(n.churn_rng.exponential(
+          static_cast<double>(profile.mean_session)));
+  engine_->schedule(session, [this, provider_id] {
+    Node& n = node(provider_id);
+    const auto& profile = n.execution->profile();
+    if (profile.graceful_leave) {
+      // Announce the drain *before* emitting checkpoints: the (small)
+      // deregister frame would otherwise overtake the (larger) suspended
+      // results on the wire and the broker would re-issue from scratch.
+      // With draining=true it waits for the checkpoints instead.
+      proto::Outbox out(provider_id);
+      n.provider->leave(out);
+      process_outbox(out);
+      n.execution->drain_inflight();
+    } else {
+      n.provider->crash();
+      n.execution->bump_epoch();  // in-flight completions are lost
+    }
+    const SimTime downtime = static_cast<SimTime>(
+        n.churn_rng.exponential(static_cast<double>(profile.mean_downtime)));
+    engine_->schedule(downtime, [this, provider_id] {
+      Node& n = node(provider_id);
+      proto::Outbox out(provider_id);
+      n.provider->rejoin(engine_->now(), out);
+      process_outbox(out);
+      schedule_churn(provider_id);
+    });
+  });
+}
+
+NodeId SimCluster::add_consumer(std::string locality) {
+  const NodeId id = node_ids_.next();
+  auto node = std::make_unique<Node>();
+  node->link_latency = config_.consumer_link_latency;
+  node->bandwidth_bps = config_.consumer_bandwidth_bps;
+  auto agent = std::make_unique<consumer::ConsumerAgent>(id, broker_id_,
+                                                         std::move(locality));
+  node->consumer = agent.get();
+  node->actor = std::move(agent);
+  Node* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  engine_->schedule(0, [this, raw, id] {
+    proto::Outbox out(id);
+    raw->actor->on_start(engine_->now(), out);
+    process_outbox(out);
+  });
+  return id;
+}
+
+NodeId SimCluster::default_consumer() {
+  if (!default_consumer_id_.valid()) {
+    default_consumer_id_ = add_consumer();
+  }
+  return default_consumer_id_;
+}
+
+TaskletId SimCluster::submit(proto::TaskletBody body, proto::Qoc qoc,
+                             NodeId consumer, JobId job) {
+  return submit_at(0, std::move(body), qoc, consumer, job);
+}
+
+TaskletId SimCluster::submit_at(SimTime when, proto::TaskletBody body,
+                                proto::Qoc qoc, NodeId consumer, JobId job) {
+  const NodeId consumer_id = consumer.valid() ? consumer : default_consumer();
+  proto::TaskletSpec spec;
+  spec.id = tasklet_ids_.next();
+  spec.job = job.valid() ? job : job_ids_.next();
+  spec.body = std::move(body);
+  spec.qoc = qoc;
+  ++submitted_;
+  const TaskletId id = spec.id;
+  engine_->schedule(when, [this, consumer_id, spec = std::move(spec)]() mutable {
+    Node& n = node(consumer_id);
+    proto::Outbox out(consumer_id);
+    n.consumer->submit(
+        std::move(spec),
+        [this](const proto::TaskletReport& report) {
+          report_index_.emplace(report.id, reports_.size());
+          reports_.push_back(report);
+          if (report.status == proto::TaskletStatus::kCompleted &&
+              report.executed_by.valid()) {
+            const auto it = nodes_.find(report.executed_by);
+            if (it != nodes_.end()) {
+              total_cost_ += static_cast<double>(report.fuel_used) / 1e9 *
+                             it->second->cost_per_gfuel;
+            }
+          }
+        },
+        engine_->now(), out);
+    process_outbox(out);
+  });
+  return id;
+}
+
+void SimCluster::dispatch(proto::Envelope envelope) {
+  const auto from_it = nodes_.find(envelope.from);
+  const auto to_it = nodes_.find(envelope.to);
+  if (to_it == nodes_.end()) return;  // peer gone
+  const std::size_t size = message_size(envelope.payload);
+  SimTime delay = to_it->second->link_latency;
+  double bandwidth = to_it->second->bandwidth_bps;
+  if (from_it != nodes_.end()) {
+    delay += from_it->second->link_latency;
+    bandwidth = std::min(bandwidth, from_it->second->bandwidth_bps);
+  }
+  if (bandwidth > 0) {
+    delay += from_seconds(static_cast<double>(size) * 8.0 / bandwidth);
+  }
+  proto::Actor* target = to_it->second->actor.get();
+  engine_->schedule(delay, [this, target, envelope = std::move(envelope)] {
+    // Re-check liveness at delivery time: the node may have been removed.
+    proto::Outbox out(target->id());
+    target->on_message(envelope, engine_->now(), out);
+    process_outbox(out);
+  });
+}
+
+void SimCluster::process_outbox(proto::Outbox& out) {
+  for (auto& request : out.take_timers()) {
+    arm_timer(out.self(), request);
+  }
+  for (auto& envelope : out.take_messages()) {
+    dispatch(std::move(envelope));
+  }
+}
+
+void SimCluster::arm_timer(NodeId node_id, const proto::TimerRequest& request) {
+  // Key = node id hashed with timer id; generations give replace semantics.
+  const std::uint64_t key = node_id.value() * 0x9E3779B97F4A7C15ULL ^ request.timer_id;
+  const std::uint64_t generation = ++timer_generations_[key];
+  engine_->schedule(request.delay, [this, node_id, key, generation,
+                                    timer_id = request.timer_id] {
+    if (timer_generations_[key] != generation) return;  // re-armed since
+    const auto it = nodes_.find(node_id);
+    if (it == nodes_.end()) return;
+    proto::Outbox out(node_id);
+    it->second->actor->on_timer(timer_id, engine_->now(), out);
+    process_outbox(out);
+  });
+}
+
+bool SimCluster::run_until_quiescent(SimTime max_virtual_time) {
+  while (reports_.size() < submitted_ && !engine_->empty() &&
+         engine_->now() <= max_virtual_time) {
+    engine_->run(1);
+  }
+  return reports_.size() >= submitted_;
+}
+
+void SimCluster::run_for(SimTime duration) {
+  engine_->run_until(engine_->now() + duration);
+}
+
+const proto::TaskletReport* SimCluster::report_for(TaskletId id) const {
+  const auto it = report_index_.find(id);
+  return it == report_index_.end() ? nullptr : &reports_[it->second];
+}
+
+std::size_t SimCluster::completed_ok() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(reports_.begin(), reports_.end(),
+                    [](const proto::TaskletReport& r) {
+                      return r.status == proto::TaskletStatus::kCompleted;
+                    }));
+}
+
+}  // namespace tasklets::core

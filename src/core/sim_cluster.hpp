@@ -1,0 +1,120 @@
+// SimCluster: the deterministic discrete-event runtime.
+//
+// Runs the *same* broker/provider/consumer actors as the threaded runtime,
+// but over a virtual-time engine with explicit models for:
+//   * link latency + bandwidth per node (message delivery delay),
+//   * device speed (execution time = startup + fuel/speed),
+//   * churn (exponential online sessions / downtime per device profile),
+//   * silent result corruption (per-profile fault rate).
+//
+// Every run is bit-reproducible from the seed, which is what makes the
+// paper-style experiments (provider-count sweeps, churn sweeps, policy
+// comparisons) possible on one machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "consumer/consumer.hpp"
+#include "provider/provider.hpp"
+#include "sim/engine.hpp"
+#include "sim/profiles.hpp"
+
+namespace tasklets::core {
+
+struct SimConfig {
+  std::string scheduler = "qoc_aware";
+  // When set, overrides `scheduler`: used to inject custom policies
+  // (ablation studies, tests).
+  std::function<std::unique_ptr<broker::Scheduler>()> scheduler_factory;
+  broker::BrokerConfig broker{};
+  std::uint64_t seed = 42;
+  // The broker's own link (it usually sits on good infrastructure).
+  SimTime broker_link_latency = 500 * kMicrosecond;
+  double broker_bandwidth_bps = 1e9;
+  // Consumers' links.
+  SimTime consumer_link_latency = 1 * kMillisecond;
+  double consumer_bandwidth_bps = 100e6;
+  tvm::ExecLimits exec_limits{};
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(SimConfig config = {});
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  // --- topology (call before or between runs) --------------------------------
+  NodeId add_provider(const sim::DeviceProfile& profile);
+  // Adds `count` providers with the same profile.
+  std::vector<NodeId> add_providers(const sim::DeviceProfile& profile,
+                                    std::size_t count);
+  NodeId add_consumer(std::string locality = {});
+
+  // --- workload ----------------------------------------------------------------
+  // Submits from `consumer` (invalid id = the default consumer, created on
+  // demand). The submission is scheduled at the current virtual time.
+  TaskletId submit(proto::TaskletBody body, proto::Qoc qoc = {},
+                   NodeId consumer = {}, JobId job = {});
+  // Schedules a submission at a future virtual time (open-loop arrivals).
+  TaskletId submit_at(SimTime when, proto::TaskletBody body, proto::Qoc qoc = {},
+                      NodeId consumer = {}, JobId job = {});
+
+  // --- execution ------------------------------------------------------------------
+  // Runs until every submitted tasklet has a terminal report, or virtual
+  // time exceeds `max_virtual_time`. Returns true on full quiescence.
+  bool run_until_quiescent(SimTime max_virtual_time = 3600 * kSecond);
+  // Runs the clock forward by `duration` regardless of completion.
+  void run_for(SimTime duration);
+
+  // --- inspection -----------------------------------------------------------------
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] const std::vector<proto::TaskletReport>& reports() const noexcept {
+    return reports_;
+  }
+  [[nodiscard]] const proto::TaskletReport* report_for(TaskletId id) const;
+  [[nodiscard]] broker::Broker& broker() noexcept { return *broker_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] std::size_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::size_t completed_ok() const noexcept;
+  // Total accounting cost across completed tasklets (fuel * provider rate).
+  [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
+
+ private:
+  class SimExecution;
+  struct Node;
+
+  Node& node(NodeId id);
+  void dispatch(proto::Envelope envelope);
+  void process_outbox(proto::Outbox& out);
+  void arm_timer(NodeId node_id, const proto::TimerRequest& request);
+  void schedule_churn(NodeId provider_id);
+  NodeId default_consumer();
+
+  SimConfig config_;
+  std::unique_ptr<sim::Engine> engine_;
+  Rng rng_;
+  IdGenerator<NodeId> node_ids_;
+  IdGenerator<TaskletId> tasklet_ids_;
+  IdGenerator<JobId> job_ids_;
+  std::shared_ptr<provider::VmExecutor> executor_;
+
+  NodeId broker_id_;
+  broker::Broker* broker_ = nullptr;
+  NodeId default_consumer_id_;
+
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::uint64_t, std::uint64_t> timer_generations_;
+
+  std::size_t submitted_ = 0;
+  std::vector<proto::TaskletReport> reports_;
+  std::unordered_map<TaskletId, std::size_t> report_index_;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace tasklets::core

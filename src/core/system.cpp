@@ -1,0 +1,225 @@
+#include "core/system.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+#include "net/tcp.hpp"
+#include "provider/benchmark.hpp"
+#include "tcl/compiler.hpp"
+
+namespace tasklets::core {
+
+Result<proto::VmBody> compile_tasklet(std::string_view tcl_source,
+                                      std::vector<tvm::HostArg> args,
+                                      std::string_view entry) {
+  tcl::CompileOptions options;
+  options.entry = entry;
+  TASKLETS_ASSIGN_OR_RETURN(auto program, tcl::compile(tcl_source, options));
+  proto::VmBody body;
+  body.program = program.serialize();
+  body.args = std::move(args);
+  return body;
+}
+
+// Per-provider execution service: a worker pool sized to the slot count, an
+// optional emulated slowdown (sleeps proportionally to execution time) and
+// fault injection. Completions are posted back into the owning actor host.
+class TaskletSystem::ProviderExecution final : public provider::ExecutionService {
+ public:
+  ProviderExecution(std::shared_ptr<provider::VmExecutor> executor,
+                    std::uint32_t slots, double slowdown, double fault_rate,
+                    std::uint64_t fault_seed)
+      : executor_(std::move(executor)),
+        slowdown_(slowdown),
+        fault_rate_(fault_rate),
+        fault_rng_(fault_seed),
+        pool_(slots) {}
+
+  void set_owner(net::ActorHost* owner) noexcept {
+    owner_.store(owner, std::memory_order_release);
+  }
+
+  void execute(provider::ExecRequest request, provider::ExecDone done) override {
+    pool_.submit([this, request = std::move(request), done = std::move(done)] {
+      const SteadyClock clock;
+      const SimTime start = clock.now();
+      // Sliced execution so a drain request can checkpoint in-flight work at
+      // the next slice boundary (~tens of ms of compute).
+      constexpr std::uint64_t kFuelSlice = 2'000'000;
+      proto::AttemptOutcome outcome =
+          executor_->run_sliced(request, kFuelSlice, drain_);
+      if (slowdown_ > 1.0) {
+        const SimTime elapsed = clock.now() - start;
+        const auto extra = static_cast<SimTime>(
+            static_cast<double>(elapsed) * (slowdown_ - 1.0));
+        std::this_thread::sleep_for(std::chrono::nanoseconds(extra));
+      }
+      if (fault_rate_ > 0.0) {
+        const std::scoped_lock lock(fault_mutex_);
+        outcome = provider::maybe_corrupt(std::move(outcome), fault_rate_,
+                                          fault_rng_);
+      }
+      net::ActorHost* owner = owner_.load(std::memory_order_acquire);
+      if (owner == nullptr) return;
+      owner->post_closure([outcome = std::move(outcome), done = std::move(done)](
+                              SimTime now, proto::Outbox& out) mutable {
+        done(std::move(outcome), now, out);
+      });
+    });
+  }
+
+  void stop() { pool_.stop(); }
+
+  // In-flight work checkpoints at the next slice boundary and is reported
+  // kSuspended; new work is never drained (the agent rejects it while
+  // offline anyway).
+  void drain() noexcept { drain_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<provider::VmExecutor> executor_;
+  std::atomic<bool> drain_{false};
+  double slowdown_;
+  double fault_rate_;
+  std::mutex fault_mutex_;
+  Rng fault_rng_;
+  std::atomic<net::ActorHost*> owner_ = nullptr;
+  ThreadPool pool_;
+};
+
+TaskletSystem::TaskletSystem(SystemConfig config)
+    : config_(std::move(config)),
+      executor_(std::make_shared<provider::VmExecutor>(config_.exec_limits)) {
+  if (config_.transport == Transport::kTcp) {
+    runtime_ = std::make_unique<net::TcpRuntime>();
+  } else {
+    runtime_ = std::make_unique<net::InProcRuntime>();
+  }
+  auto scheduler = broker::make_scheduler(config_.scheduler);
+  if (!scheduler.is_ok()) {
+    // Configuration error: fall back loudly to the default policy.
+    TASKLETS_LOG(kError, "system") << scheduler.status().to_string()
+                                   << "; using qoc_aware";
+    scheduler = broker::make_qoc_aware();
+  }
+  broker_id_ = node_ids_.next();
+  auto broker_actor = std::make_unique<broker::Broker>(
+      broker_id_, std::move(scheduler).value(), config_.broker);
+  broker_ = broker_actor.get();
+  broker_host_ = &runtime_->add(std::move(broker_actor));
+
+  auto consumer_actor = std::make_unique<consumer::ConsumerAgent>(
+      node_ids_.next(), broker_id_, config_.consumer_locality);
+  consumer_ = consumer_actor.get();
+  consumer_host_ = &runtime_->add(std::move(consumer_actor));
+}
+
+TaskletSystem::~TaskletSystem() { stop(); }
+
+void TaskletSystem::stop() {
+  {
+    const std::scoped_lock lock(providers_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Actors first (no new work reaches the pools), then the pools.
+  runtime_->stop_all();
+  const std::scoped_lock lock(providers_mutex_);
+  for (auto& execution : provider_executions_) execution->stop();
+}
+
+std::size_t TaskletSystem::provider_count() const noexcept {
+  const std::scoped_lock lock(providers_mutex_);
+  return provider_executions_.size();
+}
+
+NodeId TaskletSystem::add_provider(ProviderOptions options) {
+  proto::Capability capability = options.capability;
+  if (capability.slots == 0) capability.slots = 1;
+  if (capability.speed_fuel_per_sec <= 0.0) {
+    capability.speed_fuel_per_sec =
+        provider::measure_speed(*executor_) / options.slowdown;
+  }
+  auto execution = std::make_unique<ProviderExecution>(
+      executor_, capability.slots, options.slowdown, options.fault_rate,
+      options.fault_seed);
+  const NodeId id = node_ids_.next();
+  provider::ProviderConfig provider_config;
+  provider_config.heartbeat_interval = config_.broker.heartbeat_interval;
+  auto agent = std::make_unique<provider::ProviderAgent>(
+      id, broker_id_, std::move(capability), *execution, provider_config);
+  // The execution service must know its host before the agent registers
+  // (registration can trigger an immediate assignment).
+  net::ActorHost& host = runtime_->add(std::move(agent), /*autostart=*/false);
+  execution->set_owner(&host);
+  host.start();
+  const std::scoped_lock lock(providers_mutex_);
+  providers_by_id_.emplace(id, std::make_pair(execution.get(), &host));
+  provider_executions_.push_back(std::move(execution));
+  return id;
+}
+
+void TaskletSystem::drain_provider(NodeId id) {
+  ProviderExecution* execution = nullptr;
+  net::ActorHost* host = nullptr;
+  {
+    const std::scoped_lock lock(providers_mutex_);
+    const auto it = providers_by_id_.find(id);
+    if (it == providers_by_id_.end()) return;
+    execution = it->second.first;
+    host = it->second.second;
+  }
+  // Order matters: deregister first so the broker stops assigning, then flip
+  // the drain flag so running slices checkpoint.
+  host->post_closure([host](SimTime, proto::Outbox& out) {
+    auto& agent = static_cast<provider::ProviderAgent&>(host->actor());
+    agent.leave(out);
+  });
+  execution->drain();
+}
+
+std::future<proto::TaskletReport> TaskletSystem::submit(proto::TaskletBody body,
+                                                        proto::Qoc qoc, JobId job) {
+  proto::TaskletSpec spec;
+  spec.id = tasklet_ids_.next();
+  spec.job = job.valid() ? job : job_ids_.next();
+  spec.body = std::move(body);
+  spec.qoc = qoc;
+
+  auto promise = std::make_shared<std::promise<proto::TaskletReport>>();
+  std::future<proto::TaskletReport> future = promise->get_future();
+  consumer::ConsumerAgent* agent = consumer_;
+  consumer_host_->post_closure(
+      [agent, spec = std::move(spec), promise](SimTime now,
+                                               proto::Outbox& out) mutable {
+        agent->submit(std::move(spec),
+                      [promise](const proto::TaskletReport& report) {
+                        promise->set_value(report);
+                      },
+                      now, out);
+      });
+  return future;
+}
+
+std::vector<std::future<proto::TaskletReport>> TaskletSystem::submit_batch(
+    std::vector<proto::TaskletBody> bodies, proto::Qoc qoc) {
+  const JobId job = job_ids_.next();
+  std::vector<std::future<proto::TaskletReport>> futures;
+  futures.reserve(bodies.size());
+  for (auto& body : bodies) {
+    futures.push_back(submit(std::move(body), qoc, job));
+  }
+  return futures;
+}
+
+broker::BrokerStats TaskletSystem::broker_stats() {
+  auto promise = std::make_shared<std::promise<broker::BrokerStats>>();
+  auto future = promise->get_future();
+  broker::Broker* broker = broker_;
+  broker_host_->post_closure(
+      [broker, promise](SimTime, proto::Outbox&) {
+        promise->set_value(broker->stats());
+      });
+  return future.get();
+}
+
+}  // namespace tasklets::core

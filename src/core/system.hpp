@@ -1,0 +1,120 @@
+// TaskletSystem: the threaded (real-execution) runtime facade.
+//
+// One process hosts a broker, any number of providers (each with its own
+// execution worker pool sized to its slot count) and a consumer endpoint
+// with a future-based submission API. This is the runtime the examples use
+// and the deployment shape a downstream application embeds; the simulator
+// (core/sim_cluster.hpp) shares every protocol component with it.
+//
+// Typical use:
+//   core::TaskletSystem system;
+//   system.add_provider();                       // self-measured capability
+//   auto body = core::compile_tasklet(source, {args...});
+//   auto future = system.submit(std::move(*body));
+//   proto::TaskletReport report = future.get();
+#pragma once
+
+#include <future>
+#include <unordered_map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "common/thread_pool.hpp"
+#include "consumer/consumer.hpp"
+#include "net/inproc.hpp"
+#include "proto/types.hpp"
+#include "provider/provider.hpp"
+#include "tvm/marshal.hpp"
+
+namespace tasklets::core {
+
+// Compiles TCL source and packages it with arguments as a tasklet body.
+[[nodiscard]] Result<proto::VmBody> compile_tasklet(
+    std::string_view tcl_source, std::vector<tvm::HostArg> args,
+    std::string_view entry = "main");
+
+struct ProviderOptions {
+  // Device identity advertised to the broker. If speed_fuel_per_sec is 0 it
+  // is self-measured with the calibration benchmark.
+  proto::Capability capability{};
+  // Emulated slowdown for heterogeneity experiments on one physical host:
+  // 2.0 makes the provider behave half as fast (sleeps after executing).
+  double slowdown = 1.0;
+  // Silent result-corruption probability (tests redundancy voting).
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0x5EED;
+};
+
+enum class Transport : std::uint8_t {
+  kInProc = 0,  // direct mailbox delivery (default)
+  kTcp,         // length-prefixed frames over loopback TCP sockets
+};
+
+struct SystemConfig {
+  std::string scheduler = "qoc_aware";
+  Transport transport = Transport::kInProc;
+  broker::BrokerConfig broker{};
+  tvm::ExecLimits exec_limits{};
+  std::string consumer_locality;  // origin tag for QoC locality matching
+};
+
+class TaskletSystem {
+ public:
+  explicit TaskletSystem(SystemConfig config = {});
+  ~TaskletSystem();
+
+  TaskletSystem(const TaskletSystem&) = delete;
+  TaskletSystem& operator=(const TaskletSystem&) = delete;
+
+  // Adds a provider node; returns its id. Thread-safe.
+  NodeId add_provider(ProviderOptions options = {});
+
+  // Gracefully drains a provider: it deregisters from the broker and its
+  // in-flight executions checkpoint at the next fuel-slice boundary and are
+  // reported as suspended — the broker migrates them to other providers,
+  // which resume from the snapshots. No work is lost or restarted.
+  void drain_provider(NodeId id);
+
+  // Submits a tasklet body; the future resolves with the terminal report.
+  [[nodiscard]] std::future<proto::TaskletReport> submit(proto::TaskletBody body,
+                                                         proto::Qoc qoc = {},
+                                                         JobId job = {});
+
+  // Submits a whole batch under one job id; futures in submission order.
+  [[nodiscard]] std::vector<std::future<proto::TaskletReport>> submit_batch(
+      std::vector<proto::TaskletBody> bodies, proto::Qoc qoc = {});
+
+  // Snapshot of broker statistics (synchronizes with the broker actor).
+  [[nodiscard]] broker::BrokerStats broker_stats();
+
+  // Number of providers added so far.
+  [[nodiscard]] std::size_t provider_count() const noexcept;
+
+  // Stops all actors and worker pools. Called by the destructor; after
+  // stop() submissions fail their futures with broken_promise.
+  void stop();
+
+ private:
+  class ProviderExecution;
+
+  SystemConfig config_;
+  std::unique_ptr<net::Runtime> runtime_;
+  IdGenerator<NodeId> node_ids_;
+  IdGenerator<TaskletId> tasklet_ids_;
+  IdGenerator<JobId> job_ids_;
+  NodeId broker_id_;
+  broker::Broker* broker_ = nullptr;      // owned by runtime_
+  consumer::ConsumerAgent* consumer_ = nullptr;  // owned by runtime_
+  net::ActorHost* broker_host_ = nullptr;
+  net::ActorHost* consumer_host_ = nullptr;
+  std::shared_ptr<provider::VmExecutor> executor_;
+  mutable std::mutex providers_mutex_;
+  std::vector<std::unique_ptr<ProviderExecution>> provider_executions_;
+  std::unordered_map<NodeId, std::pair<ProviderExecution*, net::ActorHost*>>
+      providers_by_id_;
+  bool stopped_ = false;
+};
+
+}  // namespace tasklets::core

@@ -1,0 +1,184 @@
+#include "net/inproc.hpp"
+
+#include <algorithm>
+
+namespace tasklets::net {
+
+// --- ActorHost -----------------------------------------------------------------
+
+ActorHost::ActorHost(std::unique_ptr<proto::Actor> actor, HostEnv& runtime)
+    : actor_(std::move(actor)), runtime_(runtime) {}
+
+ActorHost::~ActorHost() { stop(); }
+
+NodeId ActorHost::id() const noexcept { return actor_->id(); }
+
+void ActorHost::post(proto::Envelope envelope) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stop_requested_) return;
+    mailbox_.push_back(std::move(envelope));
+  }
+  cv_.notify_one();
+}
+
+void ActorHost::post_closure(ActorClosure fn) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stop_requested_) return;
+    mailbox_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ActorHost::start() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void ActorHost::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+  const std::scoped_lock lock(mutex_);
+  running_ = false;
+}
+
+bool ActorHost::idle() const {
+  const std::scoped_lock lock(mutex_);
+  return mailbox_.empty();
+}
+
+void ActorHost::arm_timers(std::vector<proto::TimerRequest> requests) {
+  // Caller holds no lock; take it here.
+  const std::scoped_lock lock(mutex_);
+  const SimTime now = runtime_.now();
+  for (const auto& request : requests) {
+    timers_[request.timer_id] = {now + request.delay, ++timer_generation_};
+  }
+}
+
+void ActorHost::dispatch_outbox(proto::Outbox& out) {
+  arm_timers(out.take_timers());
+  for (auto& envelope : out.take_messages()) {
+    runtime_.route(std::move(envelope));
+  }
+}
+
+void ActorHost::run_loop() {
+  // on_start runs first, in-context.
+  {
+    proto::Outbox out(actor_->id());
+    actor_->on_start(runtime_.now(), out);
+    dispatch_outbox(out);
+  }
+  for (;;) {
+    Item item{proto::Envelope{}};
+    bool have_item = false;
+    std::uint64_t due_timer = 0;
+    bool have_timer = false;
+    {
+      std::unique_lock lock(mutex_);
+      for (;;) {
+        if (stop_requested_) return;
+        if (!mailbox_.empty()) {
+          item = std::move(mailbox_.front());
+          mailbox_.pop_front();
+          have_item = true;
+          break;
+        }
+        // Find the earliest timer deadline.
+        SimTime earliest = 0;
+        std::uint64_t earliest_id = 0;
+        bool any = false;
+        for (const auto& [tid, entry] : timers_) {
+          if (!any || entry.first < earliest) {
+            earliest = entry.first;
+            earliest_id = tid;
+            any = true;
+          }
+        }
+        const SimTime now = runtime_.now();
+        if (any && earliest <= now) {
+          due_timer = earliest_id;
+          timers_.erase(earliest_id);
+          have_timer = true;
+          break;
+        }
+        if (any) {
+          cv_.wait_for(lock, std::chrono::nanoseconds(earliest - now));
+        } else {
+          cv_.wait(lock);
+        }
+      }
+    }
+    proto::Outbox out(actor_->id());
+    if (have_timer) {
+      actor_->on_timer(due_timer, runtime_.now(), out);
+    } else if (have_item) {
+      if (auto* envelope = std::get_if<proto::Envelope>(&item)) {
+        actor_->on_message(*envelope, runtime_.now(), out);
+      } else {
+        std::get<ActorClosure>(item)(runtime_.now(), out);
+      }
+    }
+    dispatch_outbox(out);
+  }
+}
+
+// --- InProcRuntime ---------------------------------------------------------------
+
+InProcRuntime::~InProcRuntime() { stop_all(); }
+
+ActorHost& InProcRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart) {
+  auto host = std::make_unique<ActorHost>(std::move(actor), *this);
+  ActorHost& ref = *host;
+  {
+    const std::unique_lock lock(registry_mutex_);
+    registry_[ref.id()] = &ref;
+    hosts_.push_back(std::move(host));
+  }
+  if (autostart) ref.start();
+  return ref;
+}
+
+void InProcRuntime::route(proto::Envelope envelope) {
+  ActorHost* target = nullptr;
+  {
+    const std::shared_lock lock(registry_mutex_);
+    const auto it = registry_.find(envelope.to);
+    if (it != registry_.end()) target = it->second;
+  }
+  if (target != nullptr) target->post(std::move(envelope));
+}
+
+ActorHost* InProcRuntime::find(NodeId id) {
+  const std::shared_lock lock(registry_mutex_);
+  const auto it = registry_.find(id);
+  return it != registry_.end() ? it->second : nullptr;
+}
+
+void InProcRuntime::stop_all() {
+  std::vector<std::unique_ptr<ActorHost>> hosts;
+  {
+    const std::unique_lock lock(registry_mutex_);
+    hosts = std::move(hosts_);
+    hosts_.clear();
+    registry_.clear();
+  }
+  // Destroy in reverse creation order; ~ActorHost joins its thread. Stopped
+  // hosts may still try to route to peers — the registry is already empty,
+  // so those sends drop harmlessly.
+  while (!hosts.empty()) hosts.pop_back();
+}
+
+}  // namespace tasklets::net

@@ -1,0 +1,138 @@
+// Threaded in-process runtime for protocol actors.
+//
+// Each actor gets an ActorHost: a mailbox drained by a dedicated thread, so
+// all handler invocations for one actor are serialized (the actor needs no
+// locking). Hosts exchange envelopes through the shared InProcRuntime
+// registry. Timers are implemented on the mailbox condition variable with
+// re-arm-replaces semantics. Arbitrary closures can be posted into the
+// actor's context — this is how execution services deliver completions.
+//
+// Delivery guarantees: reliable, FIFO per sender-receiver pair, no
+// artificial latency (for latency/bandwidth models use the simulator; for
+// real sockets use net/tcp.hpp).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+
+#include "common/clock.hpp"
+#include "proto/actor.hpp"
+
+namespace tasklets::net {
+
+class ActorHost;
+
+// A closure executed in the actor's context with a fresh outbox.
+using ActorClosure = std::function<void(SimTime, proto::Outbox&)>;
+
+// What an ActorHost needs from its surrounding runtime: a clock and a way
+// to hand off outbound envelopes. Implemented by InProcRuntime (direct
+// mailbox delivery) and TcpRuntime (length-prefixed frames over loopback
+// sockets, see net/tcp.hpp).
+class HostEnv {
+ public:
+  virtual ~HostEnv() = default;
+  virtual void route(proto::Envelope envelope) = 0;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+// A transport-agnostic runtime owning a set of hosts. Lets higher layers
+// (core::TaskletSystem) swap the wire without caring which one runs.
+class Runtime : public HostEnv {
+ public:
+  // Takes ownership of the actor. With autostart (default) the host's
+  // mailbox thread starts immediately; pass false when wiring (e.g. an
+  // execution service) must finish before on_start may send messages, and
+  // call host.start() afterwards.
+  virtual ActorHost& add(std::unique_ptr<proto::Actor> actor,
+                         bool autostart = true) = 0;
+  virtual void stop_all() = 0;
+};
+
+class ActorHost {
+ public:
+  ActorHost(std::unique_ptr<proto::Actor> actor, HostEnv& runtime);
+  ~ActorHost();
+
+  ActorHost(const ActorHost&) = delete;
+  ActorHost& operator=(const ActorHost&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept;
+  [[nodiscard]] proto::Actor& actor() noexcept { return *actor_; }
+
+  // Enqueues an envelope for delivery to this actor.
+  void post(proto::Envelope envelope);
+  // Runs `fn` in the actor's context (serialized with handlers).
+  void post_closure(ActorClosure fn);
+
+  // Starts the mailbox thread and invokes on_start. Idempotent.
+  void start();
+  // Drains nothing further; joins the thread. Idempotent.
+  void stop();
+
+  // True when the mailbox is empty and no timer is due — used by tests for
+  // quiescence detection (not a synchronization primitive).
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct TimerFire {
+    std::uint64_t timer_id;
+    std::uint64_t generation;
+  };
+  using Item = std::variant<proto::Envelope, ActorClosure>;
+
+  void run_loop();
+  void dispatch_outbox(proto::Outbox& out);
+  void arm_timers(std::vector<proto::TimerRequest> requests);
+
+  std::unique_ptr<proto::Actor> actor_;
+  HostEnv& runtime_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> mailbox_;
+  // timer_id -> (deadline, generation); re-arming bumps the generation.
+  std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> timers_;
+  std::uint64_t timer_generation_ = 0;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+class InProcRuntime final : public Runtime {
+ public:
+  InProcRuntime() = default;
+  ~InProcRuntime() override;
+
+  InProcRuntime(const InProcRuntime&) = delete;
+  InProcRuntime& operator=(const InProcRuntime&) = delete;
+
+  ActorHost& add(std::unique_ptr<proto::Actor> actor,
+                 bool autostart = true) override;
+
+  // Routes an envelope to its destination host; unknown destinations are
+  // dropped (the peer may have stopped — distributed systems shrug).
+  void route(proto::Envelope envelope) override;
+
+  [[nodiscard]] ActorHost* find(NodeId id);
+  [[nodiscard]] SimTime now() const override { return clock_.now(); }
+
+  // Stops all hosts (in reverse creation order).
+  void stop_all() override;
+
+ private:
+  SteadyClock clock_;
+  mutable std::shared_mutex registry_mutex_;
+  std::unordered_map<NodeId, ActorHost*> registry_;
+  std::vector<std::unique_ptr<ActorHost>> hosts_;
+};
+
+}  // namespace tasklets::net

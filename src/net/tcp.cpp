@@ -1,0 +1,259 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace tasklets::net {
+
+namespace {
+
+constexpr std::string_view kLog = "tcp";
+
+// Writes exactly `len` bytes; false on any error (connection is then dead).
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly `len` bytes; false on EOF or error.
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, p, len, 0);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct TcpRuntime::NodeEntry {
+  std::unique_ptr<ActorHost> host;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::thread acceptor;
+};
+
+TcpRuntime::TcpRuntime(TcpConfig config) : config_(config) {}
+
+TcpRuntime::~TcpRuntime() { stop_all(); }
+
+ActorHost& TcpRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart) {
+  auto entry = std::make_unique<NodeEntry>();
+  entry->host = std::make_unique<ActorHost>(std::move(actor), *this);
+
+  // Listener on an ephemeral loopback port.
+  entry->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (entry->listen_fd >= 0) {
+    const int one = 1;
+    ::setsockopt(entry->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(entry->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) == 0 &&
+        ::listen(entry->listen_fd, 64) == 0) {
+      socklen_t addr_len = sizeof addr;
+      ::getsockname(entry->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len);
+      entry->port = ntohs(addr.sin_port);
+    } else {
+      ::close(entry->listen_fd);
+      entry->listen_fd = -1;
+    }
+  }
+  if (entry->listen_fd < 0) {
+    TASKLETS_LOG(kError, kLog) << "failed to open listener for "
+                               << entry->host->id().to_string();
+  } else {
+    entry->acceptor = std::thread([this, raw = entry.get()] { accept_loop(raw); });
+  }
+
+  ActorHost& host = *entry->host;
+  {
+    const std::unique_lock lock(registry_mutex_);
+    nodes_.emplace(host.id(), std::move(entry));
+  }
+  if (autostart) host.start();
+  return host;
+}
+
+void TcpRuntime::add_remote(NodeId id, std::uint16_t port) {
+  const std::unique_lock lock(registry_mutex_);
+  remotes_[id] = port;
+}
+
+std::uint16_t TcpRuntime::port_of(NodeId id) const {
+  const std::shared_lock lock(registry_mutex_);
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second->port;
+}
+
+std::uint64_t TcpRuntime::bytes_sent() const noexcept {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+int TcpRuntime::connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpRuntime::route(proto::Envelope envelope) {
+  if (stopping_.load(std::memory_order_relaxed)) return;
+  std::uint16_t port = 0;
+  {
+    const std::shared_lock lock(registry_mutex_);
+    if (const auto it = nodes_.find(envelope.to); it != nodes_.end()) {
+      port = it->second->port;
+    } else if (const auto remote = remotes_.find(envelope.to);
+               remote != remotes_.end()) {
+      port = remote->second;
+    } else {
+      return;  // unknown peer: drop
+    }
+  }
+  if (port == 0) return;
+
+  const Bytes payload = proto::encode(envelope);
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(header, &len, 4);  // little-endian hosts only (x86/arm64 LE)
+
+  // Pooled connection, re-established once on failure.
+  const std::scoped_lock lock(connections_mutex_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    int fd = -1;
+    if (const auto it = outbound_.find(envelope.to); it != outbound_.end()) {
+      fd = it->second;
+    } else {
+      fd = connect_to(port);
+      if (fd < 0) return;  // peer unreachable: drop
+      outbound_[envelope.to] = fd;
+    }
+    if (write_all(fd, header, sizeof header) &&
+        write_all(fd, payload.data(), payload.size())) {
+      bytes_sent_.fetch_add(sizeof header + payload.size(),
+                            std::memory_order_relaxed);
+      return;
+    }
+    // Stale/broken connection: drop it and retry once with a fresh one.
+    ::close(fd);
+    outbound_.erase(envelope.to);
+  }
+}
+
+void TcpRuntime::accept_loop(NodeEntry* entry) {
+  for (;;) {
+    const int fd = ::accept(entry->listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::scoped_lock lock(readers_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    Reader reader;
+    reader.fd = fd;
+    reader.thread = std::thread([this, fd] { reader_loop(fd); });
+    readers_.push_back(std::move(reader));
+  }
+}
+
+void TcpRuntime::reader_loop(int fd) {
+  for (;;) {
+    std::uint8_t header[4];
+    if (!read_all(fd, header, sizeof header)) break;
+    std::uint32_t len = 0;
+    std::memcpy(&len, header, 4);
+    if (len == 0 || len > config_.max_frame_bytes) {
+      TASKLETS_LOG(kWarn, kLog) << "bad frame length " << len << "; closing";
+      break;
+    }
+    Bytes payload(len);
+    if (!read_all(fd, payload.data(), len)) break;
+    auto envelope = proto::decode(payload);
+    if (!envelope.is_ok()) {
+      TASKLETS_LOG(kWarn, kLog) << "undecodable frame: "
+                                << envelope.status().to_string();
+      break;  // protocol confusion: drop the connection
+    }
+    ActorHost* target = nullptr;
+    {
+      const std::shared_lock lock(registry_mutex_);
+      const auto it = nodes_.find(envelope->to);
+      if (it != nodes_.end()) target = it->second->host.get();
+    }
+    if (target != nullptr) target->post(std::move(envelope).value());
+  }
+  ::close(fd);
+}
+
+void TcpRuntime::stop_all() {
+  if (stopping_.exchange(true)) return;
+  // Close listeners: acceptors exit; then stop hosts; then join readers.
+  std::unordered_map<NodeId, std::unique_ptr<NodeEntry>> nodes;
+  {
+    const std::unique_lock lock(registry_mutex_);
+    nodes = std::move(nodes_);
+    nodes_.clear();
+  }
+  for (auto& [id, entry] : nodes) {
+    if (entry->listen_fd >= 0) {
+      ::shutdown(entry->listen_fd, SHUT_RDWR);
+      ::close(entry->listen_fd);
+    }
+  }
+  for (auto& [id, entry] : nodes) {
+    if (entry->acceptor.joinable()) entry->acceptor.join();
+    entry->host->stop();
+  }
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    for (auto& [id, fd] : outbound_) ::close(fd);
+    outbound_.clear();
+  }
+  std::vector<Reader> readers;
+  {
+    const std::scoped_lock lock(readers_mutex_);
+    readers = std::move(readers_);
+    readers_.clear();
+  }
+  // Unblock readers parked in recv(), then join. (During shutdown a reader
+  // may already have closed its fd; a stray shutdown on a stale number is
+  // harmless here because no new sockets are being opened.)
+  for (auto& reader : readers) ::shutdown(reader.fd, SHUT_RDWR);
+  for (auto& reader : readers) {
+    if (reader.thread.joinable()) reader.thread.join();
+  }
+  nodes.clear();  // destroys hosts
+}
+
+}  // namespace tasklets::net

@@ -1,0 +1,94 @@
+// Loopback TCP transport for protocol actors.
+//
+// Each node listens on an ephemeral 127.0.0.1 port; peers are discovered
+// through the runtime's in-process address book (in a multi-machine
+// deployment this would be a directory service — the framing and socket
+// handling below are exactly what such a deployment uses). Envelopes travel
+// as length-prefixed frames of the stable proto codec:
+//
+//   [u32 little-endian payload length][payload = proto::encode(envelope)]
+//
+// Delivery semantics: reliable and FIFO per sender->receiver connection
+// while the connection lives; messages to unknown or dead peers are dropped
+// (the middleware's re-issue machinery owns recovery, not the transport).
+// One outbound connection per (sender node, target node) is pooled and
+// re-established on demand after failures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/inproc.hpp"
+
+namespace tasklets::net {
+
+struct TcpConfig {
+  std::uint32_t max_frame_bytes = 64u << 20;  // reject larger frames
+};
+
+class TcpRuntime final : public Runtime {
+ public:
+  explicit TcpRuntime(TcpConfig config = {});
+  ~TcpRuntime() override;
+
+  TcpRuntime(const TcpRuntime&) = delete;
+  TcpRuntime& operator=(const TcpRuntime&) = delete;
+
+  // Adds an actor: opens its listener, registers it in the address book and
+  // starts its mailbox thread (unless autostart is false).
+  ActorHost& add(std::unique_ptr<proto::Actor> actor,
+                 bool autostart = true) override;
+
+  // Serializes the envelope and sends it over the pooled connection to the
+  // destination's listener. Unknown destination or I/O failure: dropped.
+  void route(proto::Envelope envelope) override;
+
+  [[nodiscard]] SimTime now() const override { return clock_.now(); }
+  void stop_all() override;
+
+  // Registers a peer hosted by ANOTHER TcpRuntime (another process/host in a
+  // real deployment): envelopes to `id` are sent to 127.0.0.1:`port`. Local
+  // nodes take precedence over remote entries with the same id.
+  void add_remote(NodeId id, std::uint16_t port);
+
+  // Listener port of a node (tests / external peers). 0 if unknown.
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const;
+  // Bytes actually pushed through sockets (tests assert the wire was used).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+
+ private:
+  struct NodeEntry;
+
+  void accept_loop(NodeEntry* entry);
+  void reader_loop(int fd);
+  [[nodiscard]] int connect_to(std::uint16_t port);
+
+  TcpConfig config_;
+  SteadyClock clock_;
+
+  mutable std::shared_mutex registry_mutex_;
+  std::unordered_map<NodeId, std::unique_ptr<NodeEntry>> nodes_;
+  std::unordered_map<NodeId, std::uint16_t> remotes_;
+
+  std::mutex connections_mutex_;
+  std::map<NodeId, int> outbound_;  // pooled fds by destination
+
+  struct Reader {
+    std::thread thread;
+    int fd = -1;
+  };
+  std::mutex readers_mutex_;
+  std::vector<Reader> readers_;
+
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace tasklets::net

@@ -1,0 +1,83 @@
+// Runtime-agnostic actor model.
+//
+// The broker, providers and consumers are written as deterministic protocol
+// state machines: they react to messages and timers by mutating local state
+// and emitting messages/timer requests into an Outbox. No threads, clocks or
+// sockets inside the actors — the surrounding runtime (threaded host or
+// discrete-event simulator) injects `now` and delivers the outbox. This is
+// what lets one implementation of the middleware logic power both the real
+// deployment path and the reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "proto/messages.hpp"
+
+namespace tasklets::proto {
+
+struct TimerRequest {
+  std::uint64_t timer_id = 0;
+  SimTime delay = 0;
+};
+
+// Collects an actor's side effects during one handler invocation.
+class Outbox {
+ public:
+  explicit Outbox(NodeId self) : self_(self) {}
+
+  void send(NodeId to, Message message) {
+    messages_.push_back(Envelope{self_, to, std::move(message)});
+  }
+
+  // Requests on_timer(timer_id) after `delay`. Timer ids are actor-scoped;
+  // re-arming the same id replaces any pending instance (runtimes implement
+  // replace semantics).
+  void arm_timer(std::uint64_t timer_id, SimTime delay) {
+    timers_.push_back(TimerRequest{timer_id, delay});
+  }
+
+  [[nodiscard]] const std::vector<Envelope>& messages() const noexcept {
+    return messages_;
+  }
+  [[nodiscard]] const std::vector<TimerRequest>& timers() const noexcept {
+    return timers_;
+  }
+  [[nodiscard]] std::vector<Envelope> take_messages() noexcept {
+    return std::move(messages_);
+  }
+  [[nodiscard]] std::vector<TimerRequest> take_timers() noexcept {
+    return std::move(timers_);
+  }
+  [[nodiscard]] NodeId self() const noexcept { return self_; }
+
+ private:
+  NodeId self_;
+  std::vector<Envelope> messages_;
+  std::vector<TimerRequest> timers_;
+};
+
+class Actor {
+ public:
+  explicit Actor(NodeId id) : id_(id) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  // Called once when the actor joins its runtime.
+  virtual void on_start(SimTime now, Outbox& out) = 0;
+  // Called for every envelope addressed to this actor.
+  virtual void on_message(const Envelope& envelope, SimTime now, Outbox& out) = 0;
+  // Called when a previously armed timer fires.
+  virtual void on_timer(std::uint64_t timer_id, SimTime now, Outbox& out) = 0;
+
+ private:
+  NodeId id_;
+};
+
+}  // namespace tasklets::proto

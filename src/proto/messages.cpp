@@ -1,0 +1,325 @@
+#include "proto/messages.hpp"
+
+namespace tasklets::proto {
+
+namespace {
+
+constexpr std::uint32_t kEnvelopeMagic = 0x54534B4C;  // "TSKL"
+
+enum class Tag : std::uint8_t {
+  kRegisterProvider = 0,
+  kDeregisterProvider,
+  kHeartbeat,
+  kAttemptResult,
+  kSubmitTasklet,
+  kCancelTasklet,
+  kAssignTasklet,
+  kTaskletDone,
+};
+
+// --- field codecs -------------------------------------------------------------
+
+void put_capability(ByteWriter& w, const Capability& c) {
+  w.write_u8(static_cast<std::uint8_t>(c.device_class));
+  w.write_f64(c.speed_fuel_per_sec);
+  w.write_varint(c.slots);
+  w.write_f64(c.cost_per_gfuel);
+  w.write_f64(c.reliability);
+  w.write_string(c.locality);
+}
+
+Result<Capability> get_capability(ByteReader& r) {
+  Capability c;
+  TASKLETS_ASSIGN_OR_RETURN(auto device_class, r.read_u8());
+  if (device_class > static_cast<std::uint8_t>(DeviceClass::kMobile)) {
+    return make_error(StatusCode::kDataLoss, "bad device class");
+  }
+  c.device_class = static_cast<DeviceClass>(device_class);
+  TASKLETS_ASSIGN_OR_RETURN(c.speed_fuel_per_sec, r.read_f64());
+  TASKLETS_ASSIGN_OR_RETURN(auto slots, r.read_varint());
+  c.slots = static_cast<std::uint32_t>(slots);
+  TASKLETS_ASSIGN_OR_RETURN(c.cost_per_gfuel, r.read_f64());
+  TASKLETS_ASSIGN_OR_RETURN(c.reliability, r.read_f64());
+  TASKLETS_ASSIGN_OR_RETURN(c.locality, r.read_string());
+  return c;
+}
+
+void put_qoc(ByteWriter& w, const Qoc& q) {
+  w.write_u8(static_cast<std::uint8_t>(q.speed));
+  w.write_u8(static_cast<std::uint8_t>(q.locality));
+  w.write_u8(q.redundancy);
+  w.write_u8(q.max_reissues);
+  w.write_i64(q.deadline);
+  w.write_f64(q.cost_ceiling);
+  w.write_u8(q.priority);
+}
+
+Result<Qoc> get_qoc(ByteReader& r) {
+  Qoc q;
+  TASKLETS_ASSIGN_OR_RETURN(auto speed, r.read_u8());
+  if (speed > static_cast<std::uint8_t>(SpeedGoal::kFast)) {
+    return make_error(StatusCode::kDataLoss, "bad speed goal");
+  }
+  q.speed = static_cast<SpeedGoal>(speed);
+  TASKLETS_ASSIGN_OR_RETURN(auto locality, r.read_u8());
+  if (locality > static_cast<std::uint8_t>(Locality::kRemoteOnly)) {
+    return make_error(StatusCode::kDataLoss, "bad locality");
+  }
+  q.locality = static_cast<Locality>(locality);
+  TASKLETS_ASSIGN_OR_RETURN(q.redundancy, r.read_u8());
+  TASKLETS_ASSIGN_OR_RETURN(q.max_reissues, r.read_u8());
+  TASKLETS_ASSIGN_OR_RETURN(q.deadline, r.read_i64());
+  TASKLETS_ASSIGN_OR_RETURN(q.cost_ceiling, r.read_f64());
+  TASKLETS_ASSIGN_OR_RETURN(q.priority, r.read_u8());
+  return q;
+}
+
+void put_body(ByteWriter& w, const TaskletBody& body) {
+  if (const auto* vm = std::get_if<VmBody>(&body)) {
+    w.write_u8(0);
+    w.write_bytes(vm->program);
+    tvm::encode_args(w, vm->args);
+  } else {
+    const auto& synth = std::get<SyntheticBody>(body);
+    w.write_u8(1);
+    w.write_varint(synth.fuel);
+    w.write_i64(synth.result);
+    w.write_varint(synth.payload_bytes);
+  }
+}
+
+Result<TaskletBody> get_body(ByteReader& r) {
+  TASKLETS_ASSIGN_OR_RETURN(auto tag, r.read_u8());
+  if (tag == 0) {
+    VmBody vm;
+    TASKLETS_ASSIGN_OR_RETURN(vm.program, r.read_bytes());
+    TASKLETS_ASSIGN_OR_RETURN(vm.args, tvm::decode_args(r));
+    return TaskletBody{std::move(vm)};
+  }
+  if (tag == 1) {
+    SyntheticBody synth;
+    TASKLETS_ASSIGN_OR_RETURN(synth.fuel, r.read_varint());
+    TASKLETS_ASSIGN_OR_RETURN(synth.result, r.read_i64());
+    TASKLETS_ASSIGN_OR_RETURN(synth.payload_bytes, r.read_varint());
+    return TaskletBody{synth};
+  }
+  return make_error(StatusCode::kDataLoss, "bad body tag");
+}
+
+void put_outcome(ByteWriter& w, const AttemptOutcome& o) {
+  w.write_u8(static_cast<std::uint8_t>(o.status));
+  tvm::encode_arg(w, o.result);
+  w.write_varint(o.fuel_used);
+  w.write_string(o.error);
+  w.write_bytes(o.snapshot);
+}
+
+Result<AttemptOutcome> get_outcome(ByteReader& r) {
+  AttemptOutcome o;
+  TASKLETS_ASSIGN_OR_RETURN(auto status, r.read_u8());
+  if (status > static_cast<std::uint8_t>(AttemptStatus::kSuspended)) {
+    return make_error(StatusCode::kDataLoss, "bad attempt status");
+  }
+  o.status = static_cast<AttemptStatus>(status);
+  TASKLETS_ASSIGN_OR_RETURN(o.result, tvm::decode_arg(r));
+  TASKLETS_ASSIGN_OR_RETURN(o.fuel_used, r.read_varint());
+  TASKLETS_ASSIGN_OR_RETURN(o.error, r.read_string());
+  TASKLETS_ASSIGN_OR_RETURN(o.snapshot, r.read_bytes());
+  return o;
+}
+
+void put_report(ByteWriter& w, const TaskletReport& report) {
+  w.write_u64(report.id.value());
+  w.write_u64(report.job.value());
+  w.write_u8(static_cast<std::uint8_t>(report.status));
+  tvm::encode_arg(w, report.result);
+  w.write_varint(report.fuel_used);
+  w.write_varint(report.attempts);
+  w.write_u64(report.executed_by.value());
+  w.write_i64(report.latency);
+  w.write_string(report.error);
+}
+
+Result<TaskletReport> get_report(ByteReader& r) {
+  TaskletReport report;
+  TASKLETS_ASSIGN_OR_RETURN(auto id, r.read_u64());
+  report.id = TaskletId{id};
+  TASKLETS_ASSIGN_OR_RETURN(auto job, r.read_u64());
+  report.job = JobId{job};
+  TASKLETS_ASSIGN_OR_RETURN(auto status, r.read_u8());
+  if (status > static_cast<std::uint8_t>(TaskletStatus::kExhausted)) {
+    return make_error(StatusCode::kDataLoss, "bad tasklet status");
+  }
+  report.status = static_cast<TaskletStatus>(status);
+  TASKLETS_ASSIGN_OR_RETURN(report.result, tvm::decode_arg(r));
+  TASKLETS_ASSIGN_OR_RETURN(report.fuel_used, r.read_varint());
+  TASKLETS_ASSIGN_OR_RETURN(auto attempts, r.read_varint());
+  report.attempts = static_cast<std::uint32_t>(attempts);
+  TASKLETS_ASSIGN_OR_RETURN(auto executed_by, r.read_u64());
+  report.executed_by = NodeId{executed_by};
+  TASKLETS_ASSIGN_OR_RETURN(report.latency, r.read_i64());
+  TASKLETS_ASSIGN_OR_RETURN(report.error, r.read_string());
+  return report;
+}
+
+// --- message-level codecs -----------------------------------------------------
+
+struct PutVisitor {
+  ByteWriter& w;
+
+  void operator()(const RegisterProvider& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kRegisterProvider));
+    put_capability(w, m.capability);
+  }
+  void operator()(const DeregisterProvider& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kDeregisterProvider));
+    w.write_bool(m.draining);
+  }
+  void operator()(const Heartbeat& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    w.write_varint(m.busy_slots);
+    w.write_varint(m.queued);
+  }
+  void operator()(const AttemptResult& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kAttemptResult));
+    w.write_u64(m.attempt.value());
+    w.write_u64(m.tasklet.value());
+    put_outcome(w, m.outcome);
+  }
+  void operator()(const SubmitTasklet& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kSubmitTasklet));
+    w.write_u64(m.spec.id.value());
+    w.write_u64(m.spec.job.value());
+    put_body(w, m.spec.body);
+    put_qoc(w, m.spec.qoc);
+    w.write_string(m.spec.origin_locality);
+  }
+  void operator()(const CancelTasklet& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kCancelTasklet));
+    w.write_u64(m.tasklet.value());
+  }
+  void operator()(const AssignTasklet& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kAssignTasklet));
+    w.write_u64(m.attempt.value());
+    w.write_u64(m.tasklet.value());
+    put_body(w, m.body);
+    w.write_varint(m.max_fuel);
+    w.write_bytes(m.resume_snapshot);
+  }
+  void operator()(const TaskletDone& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kTaskletDone));
+    put_report(w, m.report);
+  }
+};
+
+Result<Message> get_message(ByteReader& r) {
+  TASKLETS_ASSIGN_OR_RETURN(auto tag, r.read_u8());
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kRegisterProvider: {
+      RegisterProvider m;
+      TASKLETS_ASSIGN_OR_RETURN(m.capability, get_capability(r));
+      return Message{std::move(m)};
+    }
+    case Tag::kDeregisterProvider: {
+      DeregisterProvider m;
+      TASKLETS_ASSIGN_OR_RETURN(m.draining, r.read_bool());
+      return Message{m};
+    }
+    case Tag::kHeartbeat: {
+      Heartbeat m;
+      TASKLETS_ASSIGN_OR_RETURN(auto busy, r.read_varint());
+      m.busy_slots = static_cast<std::uint32_t>(busy);
+      TASKLETS_ASSIGN_OR_RETURN(auto queued, r.read_varint());
+      m.queued = static_cast<std::uint32_t>(queued);
+      return Message{m};
+    }
+    case Tag::kAttemptResult: {
+      AttemptResult m;
+      TASKLETS_ASSIGN_OR_RETURN(auto attempt, r.read_u64());
+      m.attempt = AttemptId{attempt};
+      TASKLETS_ASSIGN_OR_RETURN(auto tasklet, r.read_u64());
+      m.tasklet = TaskletId{tasklet};
+      TASKLETS_ASSIGN_OR_RETURN(m.outcome, get_outcome(r));
+      return Message{std::move(m)};
+    }
+    case Tag::kSubmitTasklet: {
+      SubmitTasklet m;
+      TASKLETS_ASSIGN_OR_RETURN(auto id, r.read_u64());
+      m.spec.id = TaskletId{id};
+      TASKLETS_ASSIGN_OR_RETURN(auto job, r.read_u64());
+      m.spec.job = JobId{job};
+      TASKLETS_ASSIGN_OR_RETURN(m.spec.body, get_body(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.spec.qoc, get_qoc(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.spec.origin_locality, r.read_string());
+      return Message{std::move(m)};
+    }
+    case Tag::kCancelTasklet: {
+      CancelTasklet m;
+      TASKLETS_ASSIGN_OR_RETURN(auto tasklet, r.read_u64());
+      m.tasklet = TaskletId{tasklet};
+      return Message{m};
+    }
+    case Tag::kAssignTasklet: {
+      AssignTasklet m;
+      TASKLETS_ASSIGN_OR_RETURN(auto attempt, r.read_u64());
+      m.attempt = AttemptId{attempt};
+      TASKLETS_ASSIGN_OR_RETURN(auto tasklet, r.read_u64());
+      m.tasklet = TaskletId{tasklet};
+      TASKLETS_ASSIGN_OR_RETURN(m.body, get_body(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.max_fuel, r.read_varint());
+      TASKLETS_ASSIGN_OR_RETURN(m.resume_snapshot, r.read_bytes());
+      return Message{std::move(m)};
+    }
+    case Tag::kTaskletDone: {
+      TaskletDone m;
+      TASKLETS_ASSIGN_OR_RETURN(m.report, get_report(r));
+      return Message{std::move(m)};
+    }
+  }
+  return make_error(StatusCode::kDataLoss, "unknown message tag");
+}
+
+}  // namespace
+
+std::string_view message_name(const Message& m) noexcept {
+  switch (static_cast<Tag>(m.index())) {
+    case Tag::kRegisterProvider: return "RegisterProvider";
+    case Tag::kDeregisterProvider: return "DeregisterProvider";
+    case Tag::kHeartbeat: return "Heartbeat";
+    case Tag::kAttemptResult: return "AttemptResult";
+    case Tag::kSubmitTasklet: return "SubmitTasklet";
+    case Tag::kCancelTasklet: return "CancelTasklet";
+    case Tag::kAssignTasklet: return "AssignTasklet";
+    case Tag::kTaskletDone: return "TaskletDone";
+  }
+  return "?";
+}
+
+Bytes encode(const Envelope& envelope) {
+  ByteWriter w;
+  w.write_u32(kEnvelopeMagic);
+  w.write_u64(envelope.from.value());
+  w.write_u64(envelope.to.value());
+  std::visit(PutVisitor{w}, envelope.payload);
+  return std::move(w).take();
+}
+
+Result<Envelope> decode(std::span<const std::byte> data) {
+  ByteReader r(data);
+  TASKLETS_ASSIGN_OR_RETURN(auto magic, r.read_u32());
+  if (magic != kEnvelopeMagic) {
+    return make_error(StatusCode::kDataLoss, "bad envelope magic");
+  }
+  Envelope envelope;
+  TASKLETS_ASSIGN_OR_RETURN(auto from, r.read_u64());
+  envelope.from = NodeId{from};
+  TASKLETS_ASSIGN_OR_RETURN(auto to, r.read_u64());
+  envelope.to = NodeId{to};
+  TASKLETS_ASSIGN_OR_RETURN(envelope.payload, get_message(r));
+  if (!r.exhausted()) {
+    return make_error(StatusCode::kDataLoss, "trailing bytes in envelope");
+  }
+  return envelope;
+}
+
+}  // namespace tasklets::proto

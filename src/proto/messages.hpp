@@ -1,0 +1,88 @@
+// Wire protocol between consumers, the broker and providers.
+//
+// Every message has a stable binary encoding so the same protocol runs over
+// the in-process transport, loopback TCP, and the simulator (which skips
+// encoding but shares the types). The codec is versioned through the
+// envelope magic.
+#pragma once
+
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "proto/types.hpp"
+
+namespace tasklets::proto {
+
+// --- Provider -> Broker -------------------------------------------------------
+
+struct RegisterProvider {
+  Capability capability;
+};
+
+struct DeregisterProvider {
+  // true = the provider is draining: it will checkpoint in-flight work and
+  // report it as suspended shortly — the broker waits (up to its drain
+  // grace) instead of re-issuing immediately. false = in-flight work is
+  // re-issued right away.
+  bool draining = false;
+};
+
+struct Heartbeat {
+  std::uint32_t busy_slots = 0;
+  std::uint32_t queued = 0;
+};
+
+// Provider's answer to an assignment.
+struct AttemptResult {
+  AttemptId attempt;
+  TaskletId tasklet;
+  AttemptOutcome outcome;
+};
+
+// --- Consumer -> Broker -------------------------------------------------------
+
+struct SubmitTasklet {
+  TaskletSpec spec;
+};
+
+struct CancelTasklet {
+  TaskletId tasklet;
+};
+
+// --- Broker -> Provider -------------------------------------------------------
+
+struct AssignTasklet {
+  AttemptId attempt;
+  TaskletId tasklet;
+  TaskletBody body;
+  std::uint64_t max_fuel = 0;  // 0 = provider default
+  // Non-empty when this assignment continues a migrated execution: the
+  // provider resumes from this TVM snapshot instead of starting over.
+  Bytes resume_snapshot;
+};
+
+// --- Broker -> Consumer -------------------------------------------------------
+
+struct TaskletDone {
+  TaskletReport report;
+};
+
+using Message =
+    std::variant<RegisterProvider, DeregisterProvider, Heartbeat, AttemptResult,
+                 SubmitTasklet, CancelTasklet, AssignTasklet, TaskletDone>;
+
+[[nodiscard]] std::string_view message_name(const Message& m) noexcept;
+
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  Message payload;
+};
+
+// Wire framing: magic, from, to, type tag, payload. decode() rejects
+// malformed frames with kDataLoss.
+[[nodiscard]] Bytes encode(const Envelope& envelope);
+[[nodiscard]] Result<Envelope> decode(std::span<const std::byte> data);
+
+}  // namespace tasklets::proto

@@ -1,0 +1,47 @@
+#include "proto/types.hpp"
+
+namespace tasklets::proto {
+
+std::string_view to_string(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::kServer: return "server";
+    case DeviceClass::kDesktop: return "desktop";
+    case DeviceClass::kLaptop: return "laptop";
+    case DeviceClass::kSbc: return "sbc";
+    case DeviceClass::kMobile: return "mobile";
+  }
+  return "?";
+}
+
+std::string_view to_string(AttemptStatus s) noexcept {
+  switch (s) {
+    case AttemptStatus::kOk: return "ok";
+    case AttemptStatus::kTrap: return "trap";
+    case AttemptStatus::kProviderLost: return "provider_lost";
+    case AttemptStatus::kRejected: return "rejected";
+    case AttemptStatus::kSuspended: return "suspended";
+  }
+  return "?";
+}
+
+std::string_view to_string(TaskletStatus s) noexcept {
+  switch (s) {
+    case TaskletStatus::kCompleted: return "completed";
+    case TaskletStatus::kFailed: return "failed";
+    case TaskletStatus::kUnschedulable: return "unschedulable";
+    case TaskletStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case TaskletStatus::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+std::size_t body_wire_size(const TaskletBody& body) noexcept {
+  if (const auto* vm = std::get_if<VmBody>(&body)) {
+    std::size_t n = vm->program.size();
+    for (const auto& a : vm->args) n += tvm::arg_wire_size(a);
+    return n;
+  }
+  return std::get<SyntheticBody>(body).payload_bytes;
+}
+
+}  // namespace tasklets::proto

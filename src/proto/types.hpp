@@ -1,0 +1,179 @@
+// Domain types shared across the Tasklet middleware: device classes,
+// provider capabilities, Quality-of-Computation (QoC) annotations, tasklet
+// bodies and execution outcomes.
+//
+// These are the vocabulary of the protocol in messages.hpp; they are kept
+// separate from the broker/provider/consumer actors so both runtimes (the
+// threaded runtime and the discrete-event simulator) and the wire codec can
+// depend on them without cycles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "tvm/interpreter.hpp"
+#include "tvm/marshal.hpp"
+
+namespace tasklets::proto {
+
+// Coarse device classification used by locality/speed-aware scheduling and
+// the heterogeneity experiments. Mirrors the device spectrum of the paper's
+// testbed (servers down to mobile-class hardware).
+enum class DeviceClass : std::uint8_t {
+  kServer = 0,
+  kDesktop,
+  kLaptop,
+  kSbc,     // single-board computer (Raspberry-Pi class)
+  kMobile,
+};
+
+[[nodiscard]] std::string_view to_string(DeviceClass c) noexcept;
+
+// What a provider advertises when registering with the broker.
+struct Capability {
+  DeviceClass device_class = DeviceClass::kDesktop;
+  // Benchmark score: TVM fuel units this device executes per second. In the
+  // threaded runtime it is self-measured (see provider/benchmark.hpp); in
+  // the simulator it comes from the device profile.
+  double speed_fuel_per_sec = 0.0;
+  std::uint32_t slots = 1;           // concurrent tasklet executions
+  double cost_per_gfuel = 0.0;       // accounting units per 1e9 fuel
+  // Historical completion ratio in [0,1] as advertised; the broker also
+  // tracks its own observation.
+  double reliability = 1.0;
+  // Locality tag: consumers with QoC locality constraints match on this
+  // (e.g. "site-a"). Empty means public/remote.
+  std::string locality;
+
+  friend bool operator==(const Capability&, const Capability&) = default;
+};
+
+// --- Quality of Computation ---------------------------------------------------
+
+enum class Locality : std::uint8_t {
+  kAny = 0,
+  kLocalOnly,   // never leaves the consumer's own device (privacy)
+  kRemoteOnly,  // must not run on the consumer's device (offloading)
+};
+
+enum class SpeedGoal : std::uint8_t {
+  kNone = 0,  // any provider
+  kFast,      // prefer high benchmark scores
+};
+
+// Per-tasklet developer annotations steering scheduling and execution.
+// Defaults mean "best effort, one attempt, anywhere".
+struct Qoc {
+  SpeedGoal speed = SpeedGoal::kNone;
+  Locality locality = Locality::kAny;
+  // Reliable execution: number of redundant replicas issued to *distinct*
+  // providers; the first result confirmed by majority vote wins. 1 = no
+  // redundancy.
+  std::uint8_t redundancy = 1;
+  // Automatic re-issue on provider failure/churn, up to this many times.
+  std::uint8_t max_reissues = 3;
+  // Optional completion deadline relative to submission; 0 = none.
+  SimTime deadline = 0;
+  // Optional cost ceiling per tasklet (accounting units); 0 = unlimited.
+  double cost_ceiling = 0.0;
+  // Priority class: when capacity is contended, queued replicas of a higher
+  // class are placed before *all* lower-class ones (FIFO within a class).
+  // 0 = normal; larger is more urgent.
+  std::uint8_t priority = 0;
+
+  friend bool operator==(const Qoc&, const Qoc&) = default;
+};
+
+// --- Tasklet body ------------------------------------------------------------------
+
+// Real body: portable bytecode + marshalled arguments.
+struct VmBody {
+  Bytes program;  // serialized tvm::Program
+  std::vector<tvm::HostArg> args;
+
+  friend bool operator==(const VmBody&, const VmBody&) = default;
+};
+
+// Synthetic body: used by simulation workloads where only the *cost* matters.
+// Executes instantly in virtual time `fuel / device_speed` and yields
+// `result` unchanged.
+struct SyntheticBody {
+  std::uint64_t fuel = 0;
+  std::int64_t result = 0;
+  std::uint64_t payload_bytes = 256;  // transfer-size model input
+
+  friend bool operator==(const SyntheticBody&, const SyntheticBody&) = default;
+};
+
+using TaskletBody = std::variant<VmBody, SyntheticBody>;
+
+// Approximate wire size of a body (transfer-cost model).
+[[nodiscard]] std::size_t body_wire_size(const TaskletBody& body) noexcept;
+
+// A tasklet as submitted by a consumer.
+struct TaskletSpec {
+  TaskletId id;
+  JobId job;
+  TaskletBody body;
+  Qoc qoc;
+  // The consumer's locality tag. `Locality::kLocalOnly` restricts execution
+  // to providers advertising the same tag (e.g. the consumer's own device or
+  // site); `kRemoteOnly` excludes them.
+  std::string origin_locality;
+};
+
+// --- Execution outcomes -----------------------------------------------------------
+
+enum class AttemptStatus : std::uint8_t {
+  kOk = 0,
+  kTrap,          // deterministic VM trap: re-running elsewhere cannot help
+  kProviderLost,  // provider churned/crashed mid-execution
+  kRejected,      // provider had no capacity / unverifiable program
+  kSuspended,     // provider drained: partial state in `snapshot` (migration)
+};
+
+[[nodiscard]] std::string_view to_string(AttemptStatus s) noexcept;
+
+struct AttemptOutcome {
+  AttemptStatus status = AttemptStatus::kOk;
+  tvm::HostArg result = std::int64_t{0};
+  std::uint64_t fuel_used = 0;
+  std::string error;  // trap description when status == kTrap
+  // Serialized TVM machine state when status == kSuspended: the broker
+  // re-places the tasklet with this snapshot so another provider resumes
+  // instead of restarting (tasklet migration).
+  Bytes snapshot;
+
+  friend bool operator==(const AttemptOutcome&, const AttemptOutcome&) = default;
+};
+
+// Terminal states of a tasklet as reported to the consumer.
+enum class TaskletStatus : std::uint8_t {
+  kCompleted = 0,
+  kFailed,            // deterministic trap
+  kUnschedulable,     // no provider can ever satisfy the QoC filter
+  kDeadlineExceeded,  // QoC deadline elapsed before completion
+  kExhausted,         // re-issue budget spent (persistent churn)
+};
+
+[[nodiscard]] std::string_view to_string(TaskletStatus s) noexcept;
+
+struct TaskletReport {
+  TaskletId id;
+  JobId job;
+  TaskletStatus status = TaskletStatus::kCompleted;
+  tvm::HostArg result = std::int64_t{0};
+  std::uint64_t fuel_used = 0;
+  std::uint32_t attempts = 0;      // total attempts issued (incl. replicas)
+  NodeId executed_by;              // winning provider (invalid if failed)
+  SimTime latency = 0;             // submission -> completion
+  std::string error;
+};
+
+}  // namespace tasklets::proto

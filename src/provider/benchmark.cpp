@@ -1,0 +1,65 @@
+#include "provider/benchmark.hpp"
+
+#include "tvm/assembler.hpp"
+
+namespace tasklets::provider {
+
+namespace {
+
+// Tight integer loop: representative mix of loads, arithmetic and branches.
+constexpr std::string_view kCalibrationKernel = R"(
+  .func main arity=1 locals=2
+    push_i 0
+    store 1
+  loop:
+    load 0
+    jz done
+    load 1
+    load 0
+    mul_i
+    push_i 1000003
+    mod_i
+    store 1
+    load 0
+    push_i 1
+    sub_i
+    store 0
+    jmp loop
+  done:
+    load 1
+    halt
+  .end
+  .entry main
+)";
+
+}  // namespace
+
+double measure_speed(VmExecutor& executor, SimTime budget) {
+  auto program = tvm::assemble(kCalibrationKernel);
+  if (!program.is_ok()) return 1.0;  // unreachable; keep the contract
+
+  ExecRequest request;
+  request.attempt = AttemptId{1};
+  request.tasklet = TaskletId{1};
+  proto::VmBody body;
+  body.program = program->serialize();
+  body.args = {std::int64_t{100000}};
+  request.body = std::move(body);
+
+  const SteadyClock clock;
+  const SimTime start = clock.now();
+  std::uint64_t fuel = 0;
+  int rounds = 0;
+  while (clock.now() - start < budget || rounds == 0) {
+    const auto outcome = executor.run(request);
+    if (outcome.status != proto::AttemptStatus::kOk) return 1.0;
+    fuel += outcome.fuel_used;
+    ++rounds;
+  }
+  const double elapsed = to_seconds(clock.now() - start);
+  if (elapsed <= 0.0) return 1.0;
+  const double speed = static_cast<double>(fuel) / elapsed;
+  return speed > 0.0 ? speed : 1.0;
+}
+
+}  // namespace tasklets::provider

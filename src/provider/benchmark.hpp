@@ -1,0 +1,20 @@
+// Provider speed self-assessment.
+//
+// On startup a provider in the threaded runtime measures how many TVM fuel
+// units per second this host actually executes, by timing a standard
+// calibration kernel. The score goes into the advertised Capability, making
+// heterogeneous hosts comparable — the same mechanism the paper uses to
+// rank devices.
+#pragma once
+
+#include "common/clock.hpp"
+#include "provider/execution.hpp"
+
+namespace tasklets::provider {
+
+// Runs the calibration kernel repeatedly for ~`budget` wall time and returns
+// the measured fuel/second. Never returns a non-positive value.
+[[nodiscard]] double measure_speed(VmExecutor& executor,
+                                   SimTime budget = 50 * kMillisecond);
+
+}  // namespace tasklets::provider

@@ -1,0 +1,151 @@
+#include "provider/execution.hpp"
+
+#include "common/bytes.hpp"
+#include "tvm/verifier.hpp"
+
+namespace tasklets::provider {
+
+VmExecutor::VmExecutor(tvm::ExecLimits default_limits)
+    : default_limits_(default_limits) {}
+
+std::size_t VmExecutor::cache_size() const {
+  const std::scoped_lock lock(mutex_);
+  return cache_.size();
+}
+
+const VmExecutor::CacheEntry* VmExecutor::lookup_or_verify(
+    const Bytes& program_bytes) {
+  const std::uint64_t key =
+      fnv1a(std::span<const std::byte>(program_bytes.data(), program_bytes.size()));
+  {
+    const std::scoped_lock lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second.get();
+    }
+  }
+  // Deserialize + verify outside the lock; insertion races are benign (both
+  // entries are identical, the loser is dropped).
+  auto entry = std::make_unique<CacheEntry>();
+  auto program = tvm::Program::deserialize(
+      std::span<const std::byte>(program_bytes.data(), program_bytes.size()));
+  if (!program.is_ok()) {
+    entry->verified_ok = false;
+    entry->verify_error = program.status().to_string();
+  } else {
+    entry->program = std::move(program).value();
+    const Status verdict = tvm::verify(entry->program);
+    entry->verified_ok = verdict.is_ok();
+    if (!verdict.is_ok()) entry->verify_error = verdict.to_string();
+  }
+  const std::scoped_lock lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(entry));
+  return it->second.get();
+}
+
+namespace {
+// Converts a slice result into an attempt outcome (completion path).
+proto::AttemptOutcome finish_outcome(tvm::ExecOutcome&& exec) {
+  proto::AttemptOutcome outcome;
+  outcome.status = proto::AttemptStatus::kOk;
+  outcome.result = std::move(exec.result);
+  outcome.fuel_used = exec.fuel_used;
+  return outcome;
+}
+
+proto::AttemptOutcome trap_outcome(const Status& status) {
+  proto::AttemptOutcome outcome;
+  outcome.status = proto::AttemptStatus::kTrap;
+  outcome.error = status.to_string();
+  return outcome;
+}
+}  // namespace
+
+proto::AttemptOutcome VmExecutor::run(const ExecRequest& request) {
+  // Unbounded slice, never-draining flag: plain execution.
+  static const std::atomic<bool> kNeverDrain{false};
+  return run_sliced(request, 0, kNeverDrain);
+}
+
+proto::AttemptOutcome VmExecutor::run_sliced(const ExecRequest& request,
+                                             std::uint64_t fuel_slice,
+                                             const std::atomic<bool>& drain) {
+  proto::AttemptOutcome outcome;
+  if (const auto* synth = std::get_if<proto::SyntheticBody>(&request.body)) {
+    outcome.status = proto::AttemptStatus::kOk;
+    outcome.result = synth->result;
+    outcome.fuel_used = synth->fuel;
+    return outcome;
+  }
+  const auto& vm_body = std::get<proto::VmBody>(request.body);
+  const CacheEntry* entry = lookup_or_verify(vm_body.program);
+  if (!entry->verified_ok) {
+    // Verification failure is deterministic: every honest provider would
+    // reject the same bytes. Report it as a trap so the broker fails fast
+    // instead of re-issuing (kRejected is reserved for capacity/offline).
+    outcome.status = proto::AttemptStatus::kTrap;
+    outcome.error = "program rejected: " + entry->verify_error;
+    return outcome;
+  }
+  tvm::ExecLimits limits = default_limits_;
+  if (request.max_fuel > 0) limits.max_fuel = request.max_fuel;
+
+  // First slice: fresh start or resume of a migrated snapshot.
+  Result<tvm::SliceOutcome> slice = [&]() -> Result<tvm::SliceOutcome> {
+    if (!request.resume_snapshot.empty()) {
+      tvm::Suspension incoming;
+      incoming.state = request.resume_snapshot;
+      return tvm::resume_slice(entry->program, incoming, limits, fuel_slice);
+    }
+    return tvm::execute_slice(entry->program, vm_body.args, limits, fuel_slice);
+  }();
+
+  for (;;) {
+    if (!slice.is_ok()) return trap_outcome(slice.status());
+    if (auto* exec = std::get_if<tvm::ExecOutcome>(&*slice)) {
+      return finish_outcome(std::move(*exec));
+    }
+    auto& suspension = std::get<tvm::Suspension>(*slice);
+    if (drain.load(std::memory_order_relaxed)) {
+      outcome.status = proto::AttemptStatus::kSuspended;
+      outcome.fuel_used = suspension.fuel_used;
+      outcome.snapshot = std::move(suspension.state);
+      return outcome;
+    }
+    slice = tvm::resume_slice(entry->program, suspension, limits, fuel_slice);
+  }
+}
+
+proto::AttemptOutcome maybe_corrupt(proto::AttemptOutcome outcome,
+                                    double fault_rate, Rng& rng) {
+  if (outcome.status != proto::AttemptStatus::kOk || fault_rate <= 0.0 ||
+      !rng.bernoulli(fault_rate)) {
+    return outcome;
+  }
+  // Perturb the result in a type-preserving way: silent corruption, not a
+  // visible failure.
+  std::visit(
+      [&](auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          v ^= static_cast<std::int64_t>(1 + rng.next_below(255));
+        } else if constexpr (std::is_same_v<T, double>) {
+          v += 1.0 + rng.uniform();
+        } else if constexpr (std::is_same_v<T, std::vector<std::int64_t>>) {
+          if (!v.empty()) {
+            v[rng.next_below(v.size())] ^= 0x5A;
+          } else {
+            v.push_back(-1);
+          }
+        } else {
+          if (!v.empty()) {
+            v[rng.next_below(v.size())] += 1.0;
+          } else {
+            v.push_back(-1.0);
+          }
+        }
+      },
+      outcome.result);
+  return outcome;
+}
+
+}  // namespace tasklets::provider

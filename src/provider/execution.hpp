@@ -1,0 +1,91 @@
+// Execution services: how a provider actually runs a tasklet body.
+//
+// The ProviderAgent is runtime-agnostic; it hands assignments to an
+// ExecutionService and gets completions back *in its own execution context*
+// (the hosting runtime guarantees the `done` continuation runs serialized
+// with the agent's other handlers, with a fresh Outbox). Implementations:
+//
+//   * VmExecutor — shared, thread-safe bytecode executor with a per-program
+//     verification cache; used directly by the threaded runtime's worker
+//     pool and by the simulator to obtain (result, fuel) pairs.
+//   * The simulator's ExecutionService lives in sim/ (it converts fuel to
+//     virtual time using the device profile).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "proto/actor.hpp"
+#include "proto/types.hpp"
+#include "tvm/interpreter.hpp"
+
+namespace tasklets::provider {
+
+struct ExecRequest {
+  AttemptId attempt;
+  TaskletId tasklet;
+  proto::TaskletBody body;
+  std::uint64_t max_fuel = 0;  // 0 = executor default
+  // Non-empty for migrated work: resume from this TVM snapshot instead of
+  // starting the program from its entry point.
+  Bytes resume_snapshot;
+};
+
+// Invoked exactly once per execute() call, serialized with the owning
+// actor's handlers.
+using ExecDone =
+    std::function<void(proto::AttemptOutcome, SimTime, proto::Outbox&)>;
+
+class ExecutionService {
+ public:
+  virtual ~ExecutionService() = default;
+  virtual void execute(ExecRequest request, ExecDone done) = 0;
+};
+
+// Synchronous bytecode execution with a content-hash verification cache.
+// Thread-safe: multiple provider slots may execute concurrently.
+class VmExecutor {
+ public:
+  explicit VmExecutor(tvm::ExecLimits default_limits = {});
+
+  // Runs a tasklet body to completion on the calling thread. VM traps are
+  // reported through AttemptOutcome (status kTrap), never as a Result error.
+  // Honours request.resume_snapshot (migration).
+  [[nodiscard]] proto::AttemptOutcome run(const ExecRequest& request);
+
+  // Like run(), but executes in fuel slices and checkpoints when `drain`
+  // becomes true between slices: returns status kSuspended with the machine
+  // snapshot in `outcome.snapshot`. This is how a provider evacuates
+  // in-flight work when asked to leave gracefully.
+  [[nodiscard]] proto::AttemptOutcome run_sliced(const ExecRequest& request,
+                                                 std::uint64_t fuel_slice,
+                                                 const std::atomic<bool>& drain);
+
+  // Number of verified programs currently cached.
+  [[nodiscard]] std::size_t cache_size() const;
+
+ private:
+  struct CacheEntry {
+    tvm::Program program;
+    bool verified_ok = false;
+    std::string verify_error;
+  };
+
+  [[nodiscard]] const CacheEntry* lookup_or_verify(const Bytes& program_bytes);
+
+  tvm::ExecLimits default_limits_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CacheEntry>> cache_;
+};
+
+// Injects silent result corruption with probability `fault_rate` — models
+// the faulty/byzantine providers that QoC redundancy voting defends
+// against. Deterministic given the seed.
+[[nodiscard]] proto::AttemptOutcome maybe_corrupt(proto::AttemptOutcome outcome,
+                                                  double fault_rate, Rng& rng);
+
+}  // namespace tasklets::provider

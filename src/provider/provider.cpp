@@ -1,0 +1,101 @@
+#include "provider/provider.hpp"
+
+#include "common/log.hpp"
+
+namespace tasklets::provider {
+
+ProviderAgent::ProviderAgent(NodeId id, NodeId broker, proto::Capability capability,
+                             ExecutionService& execution, ProviderConfig config)
+    : Actor(id),
+      broker_(broker),
+      capability_(std::move(capability)),
+      execution_(execution),
+      config_(config) {}
+
+void ProviderAgent::on_start(SimTime, proto::Outbox& out) {
+  out.send(broker_, proto::RegisterProvider{capability_});
+  out.arm_timer(kHeartbeatTimer, config_.heartbeat_interval);
+}
+
+void ProviderAgent::leave(proto::Outbox& out) {
+  online_ = false;
+  proto::DeregisterProvider deregister;
+  // In-flight work will be checkpointed by the runtime's execution service
+  // and reported as suspended; tell the broker to wait for it.
+  deregister.draining = !inflight_.empty();
+  out.send(broker_, deregister);
+}
+
+void ProviderAgent::rejoin(SimTime, proto::Outbox& out) {
+  online_ = true;
+  out.send(broker_, proto::RegisterProvider{capability_});
+}
+
+void ProviderAgent::on_timer(std::uint64_t timer_id, SimTime, proto::Outbox& out) {
+  if (timer_id != kHeartbeatTimer) return;
+  if (online_) {
+    proto::Heartbeat hb;
+    hb.busy_slots = busy_slots();
+    out.send(broker_, hb);
+  }
+  out.arm_timer(kHeartbeatTimer, config_.heartbeat_interval);
+}
+
+void ProviderAgent::on_message(const proto::Envelope& envelope, SimTime now,
+                               proto::Outbox& out) {
+  if (const auto* assign = std::get_if<proto::AssignTasklet>(&envelope.payload)) {
+    handle_assign(*assign, now, out);
+    return;
+  }
+  TASKLETS_LOG(kWarn, "provider")
+      << id().to_string() << ": unexpected message "
+      << proto::message_name(envelope.payload);
+}
+
+void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
+                                  proto::Outbox& out) {
+  ++stats_.assignments;
+  if (!online_ || inflight_.size() >= capability_.slots) {
+    ++stats_.rejected;
+    proto::AttemptResult result;
+    result.attempt = m.attempt;
+    result.tasklet = m.tasklet;
+    result.outcome.status = proto::AttemptStatus::kRejected;
+    result.outcome.error = online_ ? "no free execution slot" : "provider offline";
+    out.send(broker_, std::move(result));
+    return;
+  }
+  inflight_.insert(m.attempt);
+
+  ExecRequest request;
+  request.attempt = m.attempt;
+  request.tasklet = m.tasklet;
+  request.body = m.body;
+  request.max_fuel = m.max_fuel;
+  const TaskletId tasklet = m.tasklet;
+  const AttemptId attempt = m.attempt;
+  execution_.execute(
+      std::move(request),
+      [this, tasklet, attempt](proto::AttemptOutcome outcome, SimTime,
+                               proto::Outbox& done_out) {
+        inflight_.erase(attempt);
+        switch (outcome.status) {
+          case proto::AttemptStatus::kOk:
+            ++stats_.completed;
+            break;
+          case proto::AttemptStatus::kTrap:
+            ++stats_.trapped;
+            break;
+          default:
+            ++stats_.rejected;
+            break;
+        }
+        proto::AttemptResult result;
+        result.attempt = attempt;
+        result.tasklet = tasklet;
+        result.outcome = std::move(outcome);
+        done_out.send(broker_, std::move(result));
+      });
+}
+
+}  // namespace tasklets::provider

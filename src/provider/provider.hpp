@@ -1,0 +1,75 @@
+// The provider agent: a resource provider's middleware endpoint.
+//
+// Registers its capability with the broker, heartbeats, accepts tasklet
+// assignments up to its slot count (rejecting overload), delegates execution
+// to the runtime's ExecutionService and reports results. A provider can
+// leave gracefully (deregister) or vanish (churn) — the broker handles both.
+#pragma once
+
+#include <unordered_set>
+
+#include "proto/actor.hpp"
+#include "provider/execution.hpp"
+
+namespace tasklets::provider {
+
+struct ProviderConfig {
+  SimTime heartbeat_interval = 1 * kSecond;
+};
+
+struct ProviderAgentStats {
+  std::uint64_t assignments = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t trapped = 0;
+  std::uint64_t rejected = 0;
+};
+
+class ProviderAgent final : public proto::Actor {
+ public:
+  ProviderAgent(NodeId id, NodeId broker, proto::Capability capability,
+                ExecutionService& execution, ProviderConfig config = {});
+
+  void on_start(SimTime now, proto::Outbox& out) override;
+  void on_message(const proto::Envelope& envelope, SimTime now,
+                  proto::Outbox& out) override;
+  void on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) override;
+
+  // Graceful departure: deregisters with the broker; in-flight work still
+  // completes and is reported.
+  void leave(proto::Outbox& out);
+  // Crash semantics (churn): stops heartbeating and rejects assignments
+  // without telling the broker — the broker discovers via liveness timeout.
+  // In-flight results are suppressed by the runtime's execution service, so
+  // the slot accounting is cleared here (the work died with the process).
+  void crash() noexcept {
+    online_ = false;
+    inflight_.clear();
+  }
+  [[nodiscard]] bool online() const noexcept { return online_; }
+  // Re-join after churn downtime (the runtime calls this when the device
+  // comes back online).
+  void rejoin(SimTime now, proto::Outbox& out);
+
+  [[nodiscard]] std::uint32_t busy_slots() const noexcept {
+    return static_cast<std::uint32_t>(inflight_.size());
+  }
+  [[nodiscard]] const proto::Capability& capability() const noexcept {
+    return capability_;
+  }
+  [[nodiscard]] const ProviderAgentStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint64_t kHeartbeatTimer = 1;
+
+  void handle_assign(const proto::AssignTasklet& m, SimTime now, proto::Outbox& out);
+
+  NodeId broker_;
+  proto::Capability capability_;
+  ExecutionService& execution_;
+  ProviderConfig config_;
+  ProviderAgentStats stats_;
+  std::unordered_set<AttemptId> inflight_;
+  bool online_ = true;
+};
+
+}  // namespace tasklets::provider

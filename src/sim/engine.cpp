@@ -1,0 +1,32 @@
+#include "sim/engine.hpp"
+
+namespace tasklets::sim {
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    // Moving out of a priority_queue requires const_cast on top(); copy the
+    // metadata, move the closure.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Engine::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace tasklets::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulation engine.
+//
+// A classic calendar queue: events are (virtual time, sequence, closure),
+// popped in (time, sequence) order so same-time events execute in schedule
+// order — this plus the seeded Rng makes every simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace tasklets::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedules `fn` to run at now() + delay (delay < 0 clamps to 0).
+  void schedule(SimTime delay, Callback fn) {
+    schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Schedules at an absolute virtual time (>= now(); earlier clamps to now).
+  void schedule_at(SimTime when, Callback fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  // Runs events until the queue is empty or `max_events` executed.
+  // Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances now() to the deadline. Returns events executed.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator<(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tasklets::sim

@@ -1,0 +1,97 @@
+#include "sim/profiles.hpp"
+
+namespace tasklets::sim {
+
+DeviceProfile server_profile() {
+  DeviceProfile p;
+  p.name = "server";
+  p.device_class = proto::DeviceClass::kServer;
+  p.speed_fuel_per_sec = 800e6;
+  p.slots = 8;
+  p.startup_latency = 1 * kMillisecond;
+  p.link_latency = 5 * kMillisecond;  // typically off-site
+  p.bandwidth_bps = 1000e6;
+  p.mean_session = 0;  // effectively always on
+  p.fault_rate = 0.0;
+  p.cost_per_gfuel = 4.0;  // rented capacity is expensive
+  return p;
+}
+
+DeviceProfile desktop_profile() {
+  DeviceProfile p;
+  p.name = "desktop";
+  p.device_class = proto::DeviceClass::kDesktop;
+  p.speed_fuel_per_sec = 400e6;
+  p.slots = 4;
+  p.startup_latency = 2 * kMillisecond;
+  p.link_latency = 1 * kMillisecond;
+  p.bandwidth_bps = 100e6;
+  p.mean_session = 0;
+  p.fault_rate = 0.0;
+  p.cost_per_gfuel = 1.0;
+  return p;
+}
+
+DeviceProfile laptop_profile() {
+  DeviceProfile p;
+  p.name = "laptop";
+  p.device_class = proto::DeviceClass::kLaptop;
+  p.speed_fuel_per_sec = 200e6;
+  p.slots = 2;
+  p.startup_latency = 3 * kMillisecond;
+  p.link_latency = 2 * kMillisecond;  // wifi
+  p.bandwidth_bps = 50e6;
+  p.mean_session = 10 * 60 * kSecond;  // lids close
+  p.mean_downtime = 60 * kSecond;
+  p.fault_rate = 0.0;
+  p.cost_per_gfuel = 0.5;
+  return p;
+}
+
+DeviceProfile sbc_profile() {
+  DeviceProfile p;
+  p.name = "sbc";
+  p.device_class = proto::DeviceClass::kSbc;
+  p.speed_fuel_per_sec = 25e6;
+  p.slots = 1;
+  p.startup_latency = 10 * kMillisecond;
+  p.link_latency = 2 * kMillisecond;
+  p.bandwidth_bps = 20e6;
+  p.mean_session = 0;  // always-on but slow
+  p.fault_rate = 0.0;
+  p.cost_per_gfuel = 0.1;
+  return p;
+}
+
+DeviceProfile mobile_profile() {
+  DeviceProfile p;
+  p.name = "mobile";
+  p.device_class = proto::DeviceClass::kMobile;
+  p.speed_fuel_per_sec = 12.5e6;
+  p.slots = 1;
+  p.startup_latency = 20 * kMillisecond;
+  p.link_latency = 30 * kMillisecond;  // cellular
+  p.bandwidth_bps = 10e6;
+  p.mean_session = 3 * 60 * kSecond;  // users wander off
+  p.mean_downtime = 2 * 60 * kSecond;
+  p.fault_rate = 0.0;
+  p.cost_per_gfuel = 0.05;
+  return p;
+}
+
+const std::vector<DeviceProfile>& standard_catalogue() {
+  static const std::vector<DeviceProfile> catalogue = {
+      server_profile(), desktop_profile(), laptop_profile(), sbc_profile(),
+      mobile_profile()};
+  return catalogue;
+}
+
+Result<DeviceProfile> profile_by_name(std::string_view name) {
+  for (const auto& p : standard_catalogue()) {
+    if (p.name == name) return p;
+  }
+  return make_error(StatusCode::kNotFound,
+                    "no device profile named '" + std::string(name) + "'");
+}
+
+}  // namespace tasklets::sim

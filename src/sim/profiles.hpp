@@ -1,0 +1,93 @@
+// Device profiles: the heterogeneity model.
+//
+// The paper's testbed mixed servers, desktops, laptops, single-board
+// computers and phones; we model each class by its compute speed (TVM fuel
+// per second), per-attempt startup latency (VM spin-up / code onboarding),
+// network link (latency + bandwidth), availability (exponential session /
+// downtime lengths — the churn model) and a fault rate (probability an
+// execution returns a corrupted result, exercising redundancy voting).
+//
+// Absolute numbers are calibrated to plausible 2016-era hardware ratios;
+// the experiments depend on the *ratios*, not the absolute values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "proto/types.hpp"
+
+namespace tasklets::sim {
+
+struct DeviceProfile {
+  std::string name;
+  proto::DeviceClass device_class = proto::DeviceClass::kDesktop;
+
+  double speed_fuel_per_sec = 100e6;  // TVM fuel units per second
+  // Advertised benchmark score when it differs from the actual execution
+  // speed (0 = advertise the truth). Models degraded devices — thermal
+  // throttling, swapping, background load — whose stale benchmark hides the
+  // slowdown from the scheduler (exercised by the straggler experiments).
+  double advertised_speed_fuel_per_sec = 0.0;
+  std::uint32_t slots = 1;            // concurrent executions
+
+  SimTime startup_latency = 2 * kMillisecond;  // per-attempt spin-up
+  SimTime link_latency = 1 * kMillisecond;     // one-way network latency
+  double bandwidth_bps = 100e6;                // link bandwidth, bits/sec
+
+  // Churn: provider alternates online (exponential mean_session) and offline
+  // (exponential mean_downtime). mean_session == 0 disables churn.
+  SimTime mean_session = 0;
+  SimTime mean_downtime = 30 * kSecond;
+  // How a session ends: false = crash (in-flight work lost, broker discovers
+  // via liveness timeout), true = graceful leave (in-flight work checkpoints
+  // and migrates — battery-low warnings, user-initiated shutdowns).
+  bool graceful_leave = false;
+
+  // Probability an execution silently returns a corrupted result.
+  double fault_rate = 0.0;
+
+  double cost_per_gfuel = 1.0;  // accounting units per 1e9 fuel
+  std::string locality;         // capability locality tag
+
+  [[nodiscard]] proto::Capability capability() const {
+    proto::Capability c;
+    c.device_class = device_class;
+    c.speed_fuel_per_sec = advertised_speed_fuel_per_sec > 0.0
+                               ? advertised_speed_fuel_per_sec
+                               : speed_fuel_per_sec;
+    c.slots = slots;
+    c.cost_per_gfuel = cost_per_gfuel;
+    c.reliability = 1.0;
+    c.locality = locality;
+    return c;
+  }
+
+  // One-way transfer time for `bytes` over this device's link.
+  [[nodiscard]] SimTime transfer_time(std::size_t bytes) const {
+    if (bandwidth_bps <= 0) return link_latency;
+    const double seconds = static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    return link_latency + from_seconds(seconds);
+  }
+
+  // Virtual service time for `fuel` units of work on this device.
+  [[nodiscard]] SimTime service_time(std::uint64_t fuel) const {
+    if (speed_fuel_per_sec <= 0) return startup_latency;
+    return startup_latency +
+           from_seconds(static_cast<double>(fuel) / speed_fuel_per_sec);
+  }
+};
+
+// The standard catalogue used throughout the experiments.
+// Speeds are relative: server 8x, desktop 4x, laptop 2x, SBC 0.25x, mobile
+// 0.125x of a 100 Mfuel/s baseline desktop core.
+[[nodiscard]] DeviceProfile server_profile();
+[[nodiscard]] DeviceProfile desktop_profile();
+[[nodiscard]] DeviceProfile laptop_profile();
+[[nodiscard]] DeviceProfile sbc_profile();     // Raspberry-Pi class
+[[nodiscard]] DeviceProfile mobile_profile();  // phone class
+
+[[nodiscard]] const std::vector<DeviceProfile>& standard_catalogue();
+[[nodiscard]] Result<DeviceProfile> profile_by_name(std::string_view name);
+
+}  // namespace tasklets::sim

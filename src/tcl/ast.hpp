@@ -1,0 +1,245 @@
+// TCL abstract syntax tree.
+//
+// Nodes are a closed class hierarchy discriminated by `kind()`; ownership is
+// strictly tree-shaped via unique_ptr. Semantic analysis annotates
+// expressions with their resolved Type in place (see sema.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tcl/token.hpp"
+
+namespace tasklets::tcl {
+
+// --- Types -------------------------------------------------------------------
+
+enum class ScalarKind : std::uint8_t { kInt, kFloat };
+
+struct Type {
+  ScalarKind scalar = ScalarKind::kInt;
+  bool is_array = false;
+
+  [[nodiscard]] static Type int_type() noexcept { return {ScalarKind::kInt, false}; }
+  [[nodiscard]] static Type float_type() noexcept { return {ScalarKind::kFloat, false}; }
+  [[nodiscard]] static Type int_array() noexcept { return {ScalarKind::kInt, true}; }
+  [[nodiscard]] static Type float_array() noexcept { return {ScalarKind::kFloat, true}; }
+
+  [[nodiscard]] bool is_int() const noexcept {
+    return !is_array && scalar == ScalarKind::kInt;
+  }
+  [[nodiscard]] bool is_float() const noexcept {
+    return !is_array && scalar == ScalarKind::kFloat;
+  }
+  [[nodiscard]] Type element() const noexcept { return {scalar, false}; }
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = scalar == ScalarKind::kInt ? "int" : "float";
+    if (is_array) out += "[]";
+    return out;
+  }
+};
+
+// --- Expressions ----------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLiteral,
+  kFloatLiteral,
+  kVarRef,
+  kUnary,
+  kBinary,
+  kIndex,     // arr[i]
+  kCall,      // user function or builtin
+  kNewArray,  // new int[n] / new float[n]
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot };
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+struct Expr {
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual ExprKind kind() const noexcept = 0;
+
+  int line = 0;
+  int column = 0;
+  Type type;  // filled in by sema
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLiteralExpr final : Expr {
+  std::int64_t value = 0;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kIntLiteral; }
+};
+
+struct FloatLiteralExpr final : Expr {
+  double value = 0.0;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kFloatLiteral; }
+};
+
+struct VarRefExpr final : Expr {
+  std::string name;
+  int slot = -1;  // filled in by sema
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kVarRef; }
+};
+
+struct UnaryExpr final : Expr {
+  UnaryOp op = UnaryOp::kNeg;
+  ExprPtr operand;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kUnary; }
+};
+
+struct BinaryExpr final : Expr {
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kBinary; }
+};
+
+struct IndexExpr final : Expr {
+  ExprPtr array;
+  ExprPtr index;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kIndex; }
+};
+
+struct CallExpr final : Expr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+  // Resolution (sema): exactly one of these is set.
+  int function_index = -1;   // user function
+  int intrinsic_id = -1;     // tvm::Intrinsic
+  bool is_len = false;       // len(arr)
+  bool is_int_cast = false;  // int(float)
+  bool is_float_cast = false;  // float(int)
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kCall; }
+};
+
+struct NewArrayExpr final : Expr {
+  ScalarKind element = ScalarKind::kInt;
+  ExprPtr length;
+  [[nodiscard]] ExprKind kind() const noexcept override { return ExprKind::kNewArray; }
+};
+
+// --- Statements --------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kVarDecl,
+  kAssign,       // name = expr
+  kIndexAssign,  // name[i] = expr
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kExpr,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  virtual ~Stmt() = default;
+  [[nodiscard]] virtual StmtKind kind() const noexcept = 0;
+  int line = 0;
+  int column = 0;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt final : Stmt {
+  std::vector<StmtPtr> statements;
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kBlock; }
+};
+
+struct VarDeclStmt final : Stmt {
+  Type declared_type;
+  std::string name;
+  ExprPtr init;   // may be null (zero/empty default)
+  int slot = -1;  // filled in by sema
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kVarDecl; }
+};
+
+struct AssignStmt final : Stmt {
+  std::string name;
+  ExprPtr value;
+  int slot = -1;  // filled in by sema
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kAssign; }
+};
+
+struct IndexAssignStmt final : Stmt {
+  std::string name;
+  ExprPtr index;
+  ExprPtr value;
+  int slot = -1;  // filled in by sema
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kIndexAssign; }
+};
+
+struct IfStmt final : Stmt {
+  ExprPtr condition;
+  StmtPtr then_branch;            // block
+  StmtPtr else_branch;            // block / if / null
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kIf; }
+};
+
+struct WhileStmt final : Stmt {
+  ExprPtr condition;
+  StmtPtr body;
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kWhile; }
+};
+
+struct ForStmt final : Stmt {
+  StmtPtr init;       // VarDecl / Assign / null
+  ExprPtr condition;  // null means "always true"
+  StmtPtr step;       // Assign / IndexAssign / Expr / null
+  StmtPtr body;
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kFor; }
+};
+
+struct ReturnStmt final : Stmt {
+  ExprPtr value;
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kReturn; }
+};
+
+struct ExprStmt final : Stmt {
+  ExprPtr expr;
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kExpr; }
+};
+
+struct BreakStmt final : Stmt {
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kBreak; }
+};
+
+struct ContinueStmt final : Stmt {
+  [[nodiscard]] StmtKind kind() const noexcept override { return StmtKind::kContinue; }
+};
+
+// --- Declarations -----------------------------------------------------------------
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+struct FunctionDecl {
+  Type return_type;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;  // BlockStmt
+  int line = 0;
+  int num_slots = 0;  // filled in by sema: params + locals
+};
+
+struct TranslationUnit {
+  std::vector<FunctionDecl> functions;
+};
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,372 @@
+#include "tcl/codegen.hpp"
+
+#include <bit>
+#include <vector>
+
+namespace tasklets::tcl {
+
+namespace {
+
+using tvm::Instr;
+using tvm::OpCode;
+
+class FunctionEmitter {
+ public:
+  explicit FunctionEmitter(const FunctionDecl& decl) : decl_(decl) {}
+
+  Result<tvm::Function> run() {
+    TASKLETS_RETURN_IF_ERROR(gen_stmt(*decl_.body));
+    // Sema's definite-return analysis guarantees control cannot *fall* off
+    // the end at runtime, but branch targets can still point one past the
+    // last instruction (the dead jump after an if/else where both branches
+    // return; the statically-possible exit edge of `while (1)`). The
+    // verifier requires every target to be a real instruction, so emit an
+    // epilogue returning a default value of the declared type. It is
+    // dynamically dead.
+    bool needs_epilogue = code_.empty();
+    for (const Instr& instr : code_) {
+      if ((instr.op == OpCode::kJump || instr.op == OpCode::kJumpIfZero ||
+           instr.op == OpCode::kJumpIfNotZero) &&
+          instr.operand == static_cast<std::int64_t>(code_.size())) {
+        needs_epilogue = true;
+      }
+    }
+    if (needs_epilogue) {
+      if (decl_.return_type.is_array) {
+        emit(OpCode::kPushInt, 0);
+        emit(OpCode::kNewArray);
+      } else if (decl_.return_type.is_float()) {
+        emit(OpCode::kPushFloat, 0);
+      } else {
+        emit(OpCode::kPushInt, 0);
+      }
+      emit(OpCode::kReturn);
+    }
+    tvm::Function fn;
+    fn.name = decl_.name;
+    fn.arity = static_cast<std::uint32_t>(decl_.params.size());
+    fn.num_locals = static_cast<std::uint32_t>(decl_.num_slots) +
+                    (used_scratch_ ? 2 : 0);
+    fn.code = std::move(code_);
+    return fn;
+  }
+
+ private:
+  // --- emission helpers -----------------------------------------------------
+  std::size_t emit(OpCode op, std::int64_t operand = 0) {
+    code_.push_back(Instr{op, operand});
+    return code_.size() - 1;
+  }
+  [[nodiscard]] std::size_t here() const noexcept { return code_.size(); }
+  void patch(std::size_t instr_index, std::size_t target) {
+    code_[instr_index].operand = static_cast<std::int64_t>(target);
+  }
+
+  // --- statements -------------------------------------------------------------
+  Status gen_stmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock: {
+        const auto& block = static_cast<const BlockStmt&>(stmt);
+        for (const auto& s : block.statements) {
+          TASKLETS_RETURN_IF_ERROR(gen_stmt(*s));
+        }
+        return Status::ok();
+      }
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const VarDeclStmt&>(stmt);
+        if (decl.init != nullptr) {
+          TASKLETS_RETURN_IF_ERROR(gen_expr(*decl.init));
+        } else if (decl.declared_type.is_float()) {
+          emit(OpCode::kPushFloat, 0);
+        } else {
+          emit(OpCode::kPushInt, 0);
+        }
+        emit(OpCode::kStoreLocal, decl.slot);
+        return Status::ok();
+      }
+      case StmtKind::kAssign: {
+        const auto& assign = static_cast<const AssignStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*assign.value));
+        emit(OpCode::kStoreLocal, assign.slot);
+        return Status::ok();
+      }
+      case StmtKind::kIndexAssign: {
+        const auto& assign = static_cast<const IndexAssignStmt&>(stmt);
+        emit(OpCode::kLoadLocal, assign.slot);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*assign.index));
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*assign.value));
+        emit(OpCode::kArrayStore);
+        return Status::ok();
+      }
+      case StmtKind::kIf: {
+        const auto& branch = static_cast<const IfStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*branch.condition));
+        const std::size_t skip_then = emit(OpCode::kJumpIfZero);
+        TASKLETS_RETURN_IF_ERROR(gen_stmt(*branch.then_branch));
+        if (branch.else_branch != nullptr) {
+          const std::size_t skip_else = emit(OpCode::kJump);
+          patch(skip_then, here());
+          TASKLETS_RETURN_IF_ERROR(gen_stmt(*branch.else_branch));
+          patch(skip_else, here());
+        } else {
+          patch(skip_then, here());
+        }
+        return Status::ok();
+      }
+      case StmtKind::kWhile: {
+        const auto& loop = static_cast<const WhileStmt&>(stmt);
+        const std::size_t loop_start = here();
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*loop.condition));
+        const std::size_t exit_jump = emit(OpCode::kJumpIfZero);
+        loops_.push_back({loop_start, {}});
+        TASKLETS_RETURN_IF_ERROR(gen_stmt(*loop.body));
+        emit(OpCode::kJump, static_cast<std::int64_t>(loop_start));
+        patch(exit_jump, here());
+        finish_loop(here());
+        return Status::ok();
+      }
+      case StmtKind::kFor: {
+        const auto& loop = static_cast<const ForStmt&>(stmt);
+        if (loop.init != nullptr) TASKLETS_RETURN_IF_ERROR(gen_stmt(*loop.init));
+        const std::size_t loop_start = here();
+        std::size_t exit_jump = SIZE_MAX;
+        if (loop.condition != nullptr) {
+          TASKLETS_RETURN_IF_ERROR(gen_expr(*loop.condition));
+          exit_jump = emit(OpCode::kJumpIfZero);
+        }
+        // `continue` must run the step, whose position is unknown until the
+        // body is emitted — record patches, fix below.
+        loops_.push_back({SIZE_MAX, {}});
+        TASKLETS_RETURN_IF_ERROR(gen_stmt(*loop.body));
+        const std::size_t step_pos = here();
+        if (loop.step != nullptr) TASKLETS_RETURN_IF_ERROR(gen_stmt(*loop.step));
+        emit(OpCode::kJump, static_cast<std::int64_t>(loop_start));
+        if (exit_jump != SIZE_MAX) patch(exit_jump, here());
+        loops_.back().continue_target = step_pos;
+        finish_loop(here());
+        return Status::ok();
+      }
+      case StmtKind::kReturn: {
+        const auto& ret = static_cast<const ReturnStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*ret.value));
+        emit(OpCode::kReturn);
+        return Status::ok();
+      }
+      case StmtKind::kExpr: {
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*static_cast<const ExprStmt&>(stmt).expr));
+        emit(OpCode::kPop);
+        return Status::ok();
+      }
+      case StmtKind::kBreak: {
+        loops_.back().break_patches.push_back(emit(OpCode::kJump));
+        return Status::ok();
+      }
+      case StmtKind::kContinue: {
+        loops_.back().continue_patches.push_back(emit(OpCode::kJump));
+        return Status::ok();
+      }
+    }
+    return make_error(StatusCode::kInternal, "unhandled statement in codegen");
+  }
+
+  // --- expressions --------------------------------------------------------------
+  Status gen_expr(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kIntLiteral:
+        emit(OpCode::kPushInt, static_cast<const IntLiteralExpr&>(expr).value);
+        return Status::ok();
+      case ExprKind::kFloatLiteral:
+        emit(OpCode::kPushFloat,
+             static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(
+                 static_cast<const FloatLiteralExpr&>(expr).value)));
+        return Status::ok();
+      case ExprKind::kVarRef:
+        emit(OpCode::kLoadLocal, static_cast<const VarRefExpr&>(expr).slot);
+        return Status::ok();
+      case ExprKind::kUnary: {
+        const auto& unary = static_cast<const UnaryExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*unary.operand));
+        if (unary.op == UnaryOp::kNeg) {
+          emit(unary.type.is_float() ? OpCode::kNegFloat : OpCode::kNegInt);
+        } else {
+          emit(OpCode::kLogicalNot);
+        }
+        return Status::ok();
+      }
+      case ExprKind::kBinary:
+        return gen_binary(static_cast<const BinaryExpr&>(expr));
+      case ExprKind::kIndex: {
+        const auto& index = static_cast<const IndexExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*index.array));
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*index.index));
+        emit(OpCode::kArrayLoad);
+        return Status::ok();
+      }
+      case ExprKind::kCall: {
+        const auto& call = static_cast<const CallExpr&>(expr);
+        for (const auto& arg : call.args) {
+          TASKLETS_RETURN_IF_ERROR(gen_expr(*arg));
+        }
+        if (call.is_len) {
+          emit(OpCode::kArrayLen);
+        } else if (call.is_int_cast) {
+          emit(OpCode::kFloatToInt);
+        } else if (call.is_float_cast) {
+          emit(OpCode::kIntToFloat);
+        } else if (call.intrinsic_id >= 0) {
+          emit(OpCode::kIntrinsic, call.intrinsic_id);
+        } else {
+          emit(OpCode::kCall, call.function_index);
+        }
+        return Status::ok();
+      }
+      case ExprKind::kNewArray: {
+        const auto& alloc = static_cast<const NewArrayExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(gen_expr(*alloc.length));
+        emit(OpCode::kNewArray);
+        // Float arrays must read back as floats before any store: fill with
+        // 0.0 rather than int 0. A fill loop in bytecode would be costly, so
+        // the VM zero-fills with int 0 and the language guarantees writes
+        // before reads are not assumed; instead we fill here only for float
+        // arrays via a compact loop.
+        if (alloc.element == ScalarKind::kFloat) {
+          gen_float_fill();
+        }
+        return Status::ok();
+      }
+    }
+    return make_error(StatusCode::kInternal, "unhandled expression in codegen");
+  }
+
+  // Fills the array on top of the stack with float 0.0 (the VM zero-fills
+  // new arrays with *int* 0, which would trap on a float read). Leaves the
+  // array ref on the stack. Uses two scratch locals reserved past the
+  // sema-assigned slots; see run() for the reservation.
+  void gen_float_fill() {
+    used_scratch_ = true;
+    const auto scratch_arr = static_cast<std::int64_t>(decl_.num_slots);
+    const auto scratch_idx = scratch_arr + 1;
+    // Stack on entry: [arr]
+    emit(OpCode::kStoreLocal, scratch_arr);
+    emit(OpCode::kLoadLocal, scratch_arr);
+    emit(OpCode::kArrayLen);
+    emit(OpCode::kStoreLocal, scratch_idx);  // i = len
+    const std::size_t loop_start = here();
+    emit(OpCode::kLoadLocal, scratch_idx);
+    const std::size_t exit = emit(OpCode::kJumpIfZero);
+    emit(OpCode::kLoadLocal, scratch_idx);
+    emit(OpCode::kPushInt, 1);
+    emit(OpCode::kSubInt);
+    emit(OpCode::kStoreLocal, scratch_idx);  // i -= 1
+    emit(OpCode::kLoadLocal, scratch_arr);
+    emit(OpCode::kLoadLocal, scratch_idx);
+    emit(OpCode::kPushFloat, 0);  // bit pattern of 0.0 is 0
+    emit(OpCode::kArrayStore);    // arr[i] = 0.0
+    emit(OpCode::kJump, static_cast<std::int64_t>(loop_start));
+    patch(exit, here());
+    emit(OpCode::kLoadLocal, scratch_arr);  // restore [arr]
+  }
+
+  struct LoopContext {
+    std::size_t continue_target;
+    std::vector<std::size_t> break_patches;
+    std::vector<std::size_t> continue_patches;
+
+    LoopContext(std::size_t target, std::vector<std::size_t> breaks)
+        : continue_target(target), break_patches(std::move(breaks)) {}
+  };
+
+  void finish_loop(std::size_t break_target) {
+    for (const std::size_t p : loops_.back().break_patches) {
+      patch(p, break_target);
+    }
+    for (const std::size_t p : loops_.back().continue_patches) {
+      patch(p, loops_.back().continue_target);
+    }
+    loops_.pop_back();
+  }
+
+  Status gen_binary(const BinaryExpr& expr) {
+    if (expr.op == BinaryOp::kLogicalAnd || expr.op == BinaryOp::kLogicalOr) {
+      return gen_logical(expr);
+    }
+    TASKLETS_RETURN_IF_ERROR(gen_expr(*expr.lhs));
+    TASKLETS_RETURN_IF_ERROR(gen_expr(*expr.rhs));
+    const bool flt = expr.lhs->type.is_float();
+    switch (expr.op) {
+      case BinaryOp::kAdd: emit(flt ? OpCode::kAddFloat : OpCode::kAddInt); break;
+      case BinaryOp::kSub: emit(flt ? OpCode::kSubFloat : OpCode::kSubInt); break;
+      case BinaryOp::kMul: emit(flt ? OpCode::kMulFloat : OpCode::kMulInt); break;
+      case BinaryOp::kDiv: emit(flt ? OpCode::kDivFloat : OpCode::kDivInt); break;
+      case BinaryOp::kMod: emit(OpCode::kModInt); break;
+      case BinaryOp::kBitAnd: emit(OpCode::kBitAnd); break;
+      case BinaryOp::kBitOr: emit(OpCode::kBitOr); break;
+      case BinaryOp::kBitXor: emit(OpCode::kBitXor); break;
+      case BinaryOp::kShl: emit(OpCode::kShl); break;
+      case BinaryOp::kShr: emit(OpCode::kShr); break;
+      case BinaryOp::kEq: emit(flt ? OpCode::kCmpEqFloat : OpCode::kCmpEqInt); break;
+      case BinaryOp::kNe: emit(flt ? OpCode::kCmpNeFloat : OpCode::kCmpNeInt); break;
+      case BinaryOp::kLt: emit(flt ? OpCode::kCmpLtFloat : OpCode::kCmpLtInt); break;
+      case BinaryOp::kLe: emit(flt ? OpCode::kCmpLeFloat : OpCode::kCmpLeInt); break;
+      case BinaryOp::kGt: emit(flt ? OpCode::kCmpGtFloat : OpCode::kCmpGtInt); break;
+      case BinaryOp::kGe: emit(flt ? OpCode::kCmpGeFloat : OpCode::kCmpGeInt); break;
+      case BinaryOp::kLogicalAnd:
+      case BinaryOp::kLogicalOr:
+        return make_error(StatusCode::kInternal, "logical op in arithmetic path");
+    }
+    return Status::ok();
+  }
+
+  Status gen_logical(const BinaryExpr& expr) {
+    TASKLETS_RETURN_IF_ERROR(gen_expr(*expr.lhs));
+    if (expr.op == BinaryOp::kLogicalAnd) {
+      const std::size_t short_circuit = emit(OpCode::kJumpIfZero);
+      TASKLETS_RETURN_IF_ERROR(gen_expr(*expr.rhs));
+      // Normalise to 0/1.
+      emit(OpCode::kPushInt, 0);
+      emit(OpCode::kCmpNeInt);
+      const std::size_t done = emit(OpCode::kJump);
+      patch(short_circuit, here());
+      emit(OpCode::kPushInt, 0);
+      patch(done, here());
+    } else {
+      const std::size_t short_circuit = emit(OpCode::kJumpIfNotZero);
+      TASKLETS_RETURN_IF_ERROR(gen_expr(*expr.rhs));
+      emit(OpCode::kPushInt, 0);
+      emit(OpCode::kCmpNeInt);
+      const std::size_t done = emit(OpCode::kJump);
+      patch(short_circuit, here());
+      emit(OpCode::kPushInt, 1);
+      patch(done, here());
+    }
+    return Status::ok();
+  }
+
+  const FunctionDecl& decl_;
+  std::vector<Instr> code_;
+  std::vector<LoopContext> loops_;
+  bool used_scratch_ = false;  // float-array fill scratch slots in use
+};
+
+}  // namespace
+
+Result<tvm::Program> generate(const TranslationUnit& unit, std::string_view entry) {
+  tvm::Program program;
+  int entry_index = -1;
+  for (std::size_t i = 0; i < unit.functions.size(); ++i) {
+    FunctionEmitter emitter(unit.functions[i]);
+    TASKLETS_ASSIGN_OR_RETURN(auto fn, emitter.run());
+    program.add_function(std::move(fn));
+    if (unit.functions[i].name == entry) {
+      entry_index = static_cast<int>(i);
+    }
+  }
+  if (entry_index < 0) {
+    return make_error(StatusCode::kNotFound,
+                      "entry function '" + std::string(entry) + "' not found");
+  }
+  program.set_entry(static_cast<std::uint32_t>(entry_index));
+  return program;
+}
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,18 @@
+// Bytecode generation: lowers an analyzed TCL translation unit to a TVM
+// Program. Requires sema to have run (slots, types and callee indices are
+// read off the annotated AST). Generated code maintains the invariant that
+// the operand stack is empty between statements, so it always verifies.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "tcl/ast.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tcl {
+
+[[nodiscard]] Result<tvm::Program> generate(const TranslationUnit& unit,
+                                            std::string_view entry = "main");
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,25 @@
+#include "tcl/compiler.hpp"
+
+#include "tcl/codegen.hpp"
+#include "tcl/optimizer.hpp"
+#include "tcl/parser.hpp"
+#include "tcl/sema.hpp"
+#include "tvm/verifier.hpp"
+
+namespace tasklets::tcl {
+
+Result<tvm::Program> compile(std::string_view source,
+                             const CompileOptions& options) {
+  TASKLETS_ASSIGN_OR_RETURN(auto unit, parse(source));
+  TASKLETS_RETURN_IF_ERROR(analyze(unit));
+  TASKLETS_ASSIGN_OR_RETURN(auto program, generate(unit, options.entry));
+  if (options.optimize) {
+    optimize(program);
+  }
+  if (options.verify) {
+    TASKLETS_RETURN_IF_ERROR(tvm::verify(program));
+  }
+  return program;
+}
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,22 @@
+// Compiler driver: source text -> verified TVM Program.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tcl {
+
+struct CompileOptions {
+  std::string_view entry = "main";
+  bool verify = true;    // run the bytecode verifier on the output
+  bool optimize = true;  // run the bytecode optimizer (see optimizer.hpp)
+};
+
+// Lex + parse + analyze + generate (+ verify). Error messages carry
+// line:column positions from the offending source construct.
+[[nodiscard]] Result<tvm::Program> compile(std::string_view source,
+                                           const CompileOptions& options = {});
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,234 @@
+#include "tcl/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+
+namespace tasklets::tcl {
+
+namespace {
+
+const std::map<std::string_view, TokenKind> kKeywords = {
+    {"int", TokenKind::kKwInt},       {"float", TokenKind::kKwFloat},
+    {"if", TokenKind::kKwIf},         {"else", TokenKind::kKwElse},
+    {"while", TokenKind::kKwWhile},   {"for", TokenKind::kKwFor},
+    {"return", TokenKind::kKwReturn}, {"new", TokenKind::kKwNew},
+    {"break", TokenKind::kKwBreak},   {"continue", TokenKind::kKwContinue},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      TASKLETS_RETURN_IF_ERROR(skip_trivia());
+      if (at_end()) break;
+      TASKLETS_ASSIGN_OR_RETURN(auto token, next_token());
+      tokens.push_back(std::move(token));
+    }
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    eof.line = line_;
+    eof.column = column_;
+    tokens.push_back(std::move(eof));
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Status error(std::string what) const {
+    return make_error(StatusCode::kInvalidArgument,
+                      std::to_string(line_) + ":" + std::to_string(column_) +
+                          ": " + std::move(what));
+  }
+
+  Status skip_trivia() {
+    for (;;) {
+      if (at_end()) return Status::ok();
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) return error("unterminated block comment");
+        advance();
+        advance();
+      } else {
+        return Status::ok();
+      }
+    }
+  }
+
+  Result<Token> next_token() {
+    Token token;
+    token.line = line_;
+    token.column = column_;
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return lex_identifier(std::move(token));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      return lex_number(std::move(token));
+    }
+    return lex_operator(std::move(token));
+  }
+
+  Result<Token> lex_identifier(Token token) {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                         peek() == '_')) {
+      text.push_back(advance());
+    }
+    const auto it = kKeywords.find(text);
+    token.kind = it != kKeywords.end() ? it->second : TokenKind::kIdentifier;
+    token.text = std::move(text);
+    return token;
+  }
+
+  Result<Token> lex_number(Token token) {
+    std::string text;
+    bool is_float = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      text.push_back(advance());
+      text.push_back(advance());
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+        text.push_back(advance());
+      }
+      if (text.size() == 2) return error("incomplete hex literal");
+      std::int64_t value = 0;
+      const auto* begin = text.data() + 2;
+      const auto [ptr, ec] = std::from_chars(begin, text.data() + text.size(),
+                                             value, 16);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        return error("invalid hex literal '" + text + "'");
+      }
+      token.kind = TokenKind::kIntLiteral;
+      token.int_value = value;
+      token.text = std::move(text);
+      return token;
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      text.push_back(advance());
+    }
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+      is_float = true;
+      text.push_back(advance());
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        text.push_back(advance());
+      }
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      text.push_back(advance());
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return error("malformed exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        text.push_back(advance());
+      }
+    }
+    if (is_float) {
+      token.kind = TokenKind::kFloatLiteral;
+      token.float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      std::int64_t value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        return error("integer literal out of range '" + text + "'");
+      }
+      token.kind = TokenKind::kIntLiteral;
+      token.int_value = value;
+    }
+    token.text = std::move(text);
+    return token;
+  }
+
+  Result<Token> lex_operator(Token token) {
+    const char c = advance();
+    auto two = [&](char second, TokenKind pair, TokenKind single) {
+      if (peek() == second) {
+        advance();
+        token.kind = pair;
+      } else {
+        token.kind = single;
+      }
+    };
+    switch (c) {
+      case '(': token.kind = TokenKind::kLParen; break;
+      case ')': token.kind = TokenKind::kRParen; break;
+      case '{': token.kind = TokenKind::kLBrace; break;
+      case '}': token.kind = TokenKind::kRBrace; break;
+      case '[': token.kind = TokenKind::kLBracket; break;
+      case ']': token.kind = TokenKind::kRBracket; break;
+      case ',': token.kind = TokenKind::kComma; break;
+      case ';': token.kind = TokenKind::kSemicolon; break;
+      case '+': two('=', TokenKind::kPlusEq, TokenKind::kPlus); break;
+      case '-': two('=', TokenKind::kMinusEq, TokenKind::kMinus); break;
+      case '*': two('=', TokenKind::kStarEq, TokenKind::kStar); break;
+      case '/': two('=', TokenKind::kSlashEq, TokenKind::kSlash); break;
+      case '%': two('=', TokenKind::kPercentEq, TokenKind::kPercent); break;
+      case '^': token.kind = TokenKind::kCaret; break;
+      case '=': two('=', TokenKind::kEq, TokenKind::kAssign); break;
+      case '!': two('=', TokenKind::kNe, TokenKind::kBang); break;
+      case '&': two('&', TokenKind::kAmpAmp, TokenKind::kAmp); break;
+      case '|': two('|', TokenKind::kPipePipe, TokenKind::kPipe); break;
+      case '<':
+        if (peek() == '<') {
+          advance();
+          token.kind = TokenKind::kShl;
+        } else {
+          two('=', TokenKind::kLe, TokenKind::kLt);
+        }
+        break;
+      case '>':
+        if (peek() == '>') {
+          advance();
+          token.kind = TokenKind::kShr;
+        } else {
+          two('=', TokenKind::kGe, TokenKind::kGt);
+        }
+        break;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+    return token;
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,16 @@
+// TCL lexer: converts source text into a token stream. Supports `//` line
+// comments and `/* */` block comments; integer literals are decimal or hex
+// (0x...), float literals require a '.' or exponent.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "tcl/token.hpp"
+
+namespace tasklets::tcl {
+
+[[nodiscard]] Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace tasklets::tcl

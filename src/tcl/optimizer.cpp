@@ -1,0 +1,293 @@
+#include "tcl/optimizer.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace tasklets::tcl {
+
+namespace {
+
+using tvm::Function;
+using tvm::Instr;
+using tvm::OpCode;
+
+bool is_jump(OpCode op) {
+  return op == OpCode::kJump || op == OpCode::kJumpIfZero ||
+         op == OpCode::kJumpIfNotZero;
+}
+
+bool is_push_int(const Instr& instr) { return instr.op == OpCode::kPushInt; }
+bool is_push_float(const Instr& instr) { return instr.op == OpCode::kPushFloat; }
+
+double float_of(const Instr& instr) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(instr.operand));
+}
+
+Instr push_int(std::int64_t v) { return Instr{OpCode::kPushInt, v}; }
+Instr push_float(double v) {
+  return Instr{OpCode::kPushFloat,
+               static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(v))};
+}
+
+// Whether instruction `i` is a branch target of any instruction in `code`.
+std::vector<bool> branch_targets(const std::vector<Instr>& code) {
+  std::vector<bool> target(code.size() + 1, false);
+  for (const Instr& instr : code) {
+    if (is_jump(instr.op)) {
+      const auto t = static_cast<std::size_t>(instr.operand);
+      if (t < target.size()) target[t] = true;
+    }
+  }
+  return target;
+}
+
+// Folds int binary ops that cannot trap with the given operands.
+std::optional<std::int64_t> fold_int(OpCode op, std::int64_t a, std::int64_t b) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+    case OpCode::kAddInt: return static_cast<std::int64_t>(ua + ub);
+    case OpCode::kSubInt: return static_cast<std::int64_t>(ua - ub);
+    case OpCode::kMulInt: return static_cast<std::int64_t>(ua * ub);
+    case OpCode::kDivInt:
+      if (b == 0 || (a == std::numeric_limits<std::int64_t>::min() && b == -1)) {
+        return std::nullopt;  // would trap: preserve
+      }
+      return a / b;
+    case OpCode::kModInt:
+      if (b == 0) return std::nullopt;
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+      return a % b;
+    case OpCode::kBitAnd: return a & b;
+    case OpCode::kBitOr: return a | b;
+    case OpCode::kBitXor: return a ^ b;
+    case OpCode::kShl: return static_cast<std::int64_t>(ua << (ub & 63));
+    case OpCode::kShr: return a >> (ub & 63);
+    case OpCode::kCmpEqInt: return a == b ? 1 : 0;
+    case OpCode::kCmpNeInt: return a != b ? 1 : 0;
+    case OpCode::kCmpLtInt: return a < b ? 1 : 0;
+    case OpCode::kCmpLeInt: return a <= b ? 1 : 0;
+    case OpCode::kCmpGtInt: return a > b ? 1 : 0;
+    case OpCode::kCmpGeInt: return a >= b ? 1 : 0;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<Instr> fold_float(OpCode op, double a, double b) {
+  switch (op) {
+    case OpCode::kAddFloat: return push_float(a + b);
+    case OpCode::kSubFloat: return push_float(a - b);
+    case OpCode::kMulFloat: return push_float(a * b);
+    case OpCode::kDivFloat: return push_float(a / b);  // IEEE: never traps
+    case OpCode::kCmpEqFloat: return push_int(a == b ? 1 : 0);
+    case OpCode::kCmpNeFloat: return push_int(a != b ? 1 : 0);
+    case OpCode::kCmpLtFloat: return push_int(a < b ? 1 : 0);
+    case OpCode::kCmpLeFloat: return push_int(a <= b ? 1 : 0);
+    case OpCode::kCmpGtFloat: return push_int(a > b ? 1 : 0);
+    case OpCode::kCmpGeFloat: return push_int(a >= b ? 1 : 0);
+    default: return std::nullopt;
+  }
+}
+
+// One peephole pass over a function. Rewrites matched windows to kNop and
+// lets the dead-code pass compact. Returns rewrites performed.
+std::size_t peephole(Function& fn, OptimizeStats& stats) {
+  auto& code = fn.code;
+  const auto targets = branch_targets(code);
+  std::size_t changes = 0;
+
+  auto window_free = [&](std::size_t begin, std::size_t end) {
+    // A window can be rewritten only if control cannot enter mid-window.
+    for (std::size_t i = begin + 1; i <= end; ++i) {
+      if (targets[i]) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    // push X ; pop  =>  (nothing)
+    if ((is_push_int(code[i]) || is_push_float(code[i])) &&
+        code[i + 1].op == OpCode::kPop && window_free(i, i + 1)) {
+      code[i] = Instr{OpCode::kNop, 0};
+      code[i + 1] = Instr{OpCode::kNop, 0};
+      ++stats.pushes_elided;
+      ++changes;
+      continue;
+    }
+    // push_i X ; neg_i  =>  push_i -X (wrapping)
+    if (is_push_int(code[i]) && code[i + 1].op == OpCode::kNegInt &&
+        window_free(i, i + 1)) {
+      code[i] = push_int(static_cast<std::int64_t>(
+          0 - static_cast<std::uint64_t>(code[i].operand)));
+      code[i + 1] = Instr{OpCode::kNop, 0};
+      ++stats.constants_folded;
+      ++changes;
+      continue;
+    }
+    // push_f X ; neg_f  =>  push_f -X
+    if (is_push_float(code[i]) && code[i + 1].op == OpCode::kNegFloat &&
+        window_free(i, i + 1)) {
+      code[i] = push_float(-float_of(code[i]));
+      code[i + 1] = Instr{OpCode::kNop, 0};
+      ++stats.constants_folded;
+      ++changes;
+      continue;
+    }
+    // push_i X ; not  =>  push_i (X == 0)
+    if (is_push_int(code[i]) && code[i + 1].op == OpCode::kLogicalNot &&
+        window_free(i, i + 1)) {
+      code[i] = push_int(code[i].operand == 0 ? 1 : 0);
+      code[i + 1] = Instr{OpCode::kNop, 0};
+      ++stats.constants_folded;
+      ++changes;
+      continue;
+    }
+    // push_i X ; i2f  =>  push_f (double)X
+    if (is_push_int(code[i]) && code[i + 1].op == OpCode::kIntToFloat &&
+        window_free(i, i + 1)) {
+      code[i] = push_float(static_cast<double>(code[i].operand));
+      code[i + 1] = Instr{OpCode::kNop, 0};
+      ++stats.constants_folded;
+      ++changes;
+      continue;
+    }
+    if (i + 2 >= code.size()) continue;
+    // push ; push ; binop  =>  push folded
+    if (is_push_int(code[i]) && is_push_int(code[i + 1]) &&
+        window_free(i, i + 2)) {
+      if (const auto folded =
+              fold_int(code[i + 2].op, code[i].operand, code[i + 1].operand)) {
+        code[i] = push_int(*folded);
+        code[i + 1] = Instr{OpCode::kNop, 0};
+        code[i + 2] = Instr{OpCode::kNop, 0};
+        ++stats.constants_folded;
+        ++changes;
+        continue;
+      }
+    }
+    if (is_push_float(code[i]) && is_push_float(code[i + 1]) &&
+        window_free(i, i + 2)) {
+      if (const auto folded =
+              fold_float(code[i + 2].op, float_of(code[i]), float_of(code[i + 1]))) {
+        code[i] = *folded;
+        code[i + 1] = Instr{OpCode::kNop, 0};
+        code[i + 2] = Instr{OpCode::kNop, 0};
+        ++stats.constants_folded;
+        ++changes;
+        continue;
+      }
+    }
+  }
+  return changes;
+}
+
+// Branches pointing at unconditional jumps chase to the final destination.
+std::size_t thread_jumps(Function& fn, OptimizeStats& stats) {
+  auto& code = fn.code;
+  std::size_t changes = 0;
+  for (Instr& instr : code) {
+    if (!is_jump(instr.op)) continue;
+    // Chase a chain of unconditional jumps (and nops), bounded to avoid
+    // cycles.
+    auto target = static_cast<std::size_t>(instr.operand);
+    for (int hops = 0; hops < 16; ++hops) {
+      // Skip nops: jumping at a nop run lands on its first real successor.
+      while (target < code.size() && code[target].op == OpCode::kNop) ++target;
+      if (target >= code.size() || code[target].op != OpCode::kJump) break;
+      const auto next = static_cast<std::size_t>(code[target].operand);
+      if (next == target) break;  // self-loop
+      target = next;
+    }
+    if (target != static_cast<std::size_t>(instr.operand)) {
+      instr.operand = static_cast<std::int64_t>(target);
+      ++stats.jumps_threaded;
+      ++changes;
+    }
+  }
+  return changes;
+}
+
+// Removes unreachable instructions (including the nops left by peepholes on
+// reachable paths — a nop is "reachable" but harmless; we delete nops that
+// are provably skippable by retargeting, i.e. all of them, by treating nop
+// as falling through during compaction).
+std::size_t remove_dead(Function& fn, OptimizeStats& stats) {
+  auto& code = fn.code;
+  // Reachability from entry.
+  std::vector<bool> reachable(code.size(), false);
+  std::vector<std::size_t> worklist = {0};
+  while (!worklist.empty()) {
+    const std::size_t ip = worklist.back();
+    worklist.pop_back();
+    if (ip >= code.size() || reachable[ip]) continue;
+    reachable[ip] = true;
+    const Instr& instr = code[ip];
+    switch (instr.op) {
+      case OpCode::kJump:
+        worklist.push_back(static_cast<std::size_t>(instr.operand));
+        break;
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNotZero:
+        worklist.push_back(static_cast<std::size_t>(instr.operand));
+        worklist.push_back(ip + 1);
+        break;
+      case OpCode::kReturn:
+      case OpCode::kHalt:
+        break;
+      default:
+        worklist.push_back(ip + 1);
+        break;
+    }
+  }
+  // Keep reachable non-nop instructions; remap targets. A branch target that
+  // lands on removed instructions maps to the next kept instruction.
+  std::vector<std::size_t> new_index(code.size() + 1, 0);
+  std::vector<Instr> kept;
+  kept.reserve(code.size());
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    new_index[i] = kept.size();
+    if (reachable[i] && code[i].op != OpCode::kNop) {
+      kept.push_back(code[i]);
+    }
+  }
+  new_index[code.size()] = kept.size();
+  const std::size_t removed = code.size() - kept.size();
+  if (removed == 0) return 0;
+  for (Instr& instr : kept) {
+    if (is_jump(instr.op)) {
+      instr.operand =
+          static_cast<std::int64_t>(new_index[static_cast<std::size_t>(instr.operand)]);
+    }
+  }
+  code = std::move(kept);
+  stats.dead_removed += removed;
+  return removed;
+}
+
+}  // namespace
+
+OptimizeStats optimize(tvm::Program& program) {
+  OptimizeStats stats;
+  // Rebuild the program function by function (functions() is const-only).
+  std::vector<Function> functions(program.functions().begin(),
+                                  program.functions().end());
+  for (Function& fn : functions) {
+    for (int round = 0; round < 8; ++round) {
+      std::size_t changes = 0;
+      changes += peephole(fn, stats);
+      changes += thread_jumps(fn, stats);
+      changes += remove_dead(fn, stats);
+      if (changes == 0) break;
+    }
+  }
+  tvm::Program rebuilt;
+  for (Function& fn : functions) rebuilt.add_function(std::move(fn));
+  rebuilt.set_entry(program.entry());
+  program = std::move(rebuilt);
+  return stats;
+}
+
+}  // namespace tasklets::tcl

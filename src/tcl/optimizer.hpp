@@ -1,0 +1,43 @@
+// Bytecode optimizer.
+//
+// Runs after codegen (or on any verified program) and applies semantics-
+// preserving rewrites per function until a fixpoint:
+//
+//   * constant folding   — push a; push b; op  =>  push (a op b)
+//                          (never folds operations that could trap, e.g.
+//                          division by a zero constant, so runtime trap
+//                          behaviour is preserved exactly),
+//   * algebraic peephole — push; pop elimination, neg of constant, double
+//                          logical-not,
+//   * jump threading     — a branch to an unconditional jump retargets to
+//                          its final destination (chases chains, stops at
+//                          cycles),
+//   * dead-code removal  — instructions unreachable from the function entry
+//                          are deleted and branch targets remapped.
+//
+// Fuel note: optimization changes the fuel a program consumes (that is the
+// point). Fuel stays deterministic per *program*; callers that compare fuel
+// must compare like-for-like binaries.
+#pragma once
+
+#include "common/status.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tcl {
+
+struct OptimizeStats {
+  std::size_t constants_folded = 0;
+  std::size_t pushes_elided = 0;
+  std::size_t jumps_threaded = 0;
+  std::size_t dead_removed = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return constants_folded + pushes_elided + jumps_threaded + dead_removed;
+  }
+};
+
+// Optimizes in place. The input must be structurally valid (operand ranges);
+// the output verifies whenever the input did.
+OptimizeStats optimize(tvm::Program& program);
+
+}  // namespace tasklets::tcl

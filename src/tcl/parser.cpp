@@ -1,0 +1,532 @@
+#include "tcl/parser.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "tcl/lexer.hpp"
+
+namespace tasklets::tcl {
+
+namespace {
+
+// Deep copy of an expression tree; used to desugar compound assignment
+// (`a[i] += v` duplicates the index expression).
+ExprPtr clone_expr(const Expr& expr) {
+  auto copy_base = [&expr](auto node) {
+    node->line = expr.line;
+    node->column = expr.column;
+    return node;
+  };
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral: {
+      auto node = copy_base(std::make_unique<IntLiteralExpr>());
+      node->value = static_cast<const IntLiteralExpr&>(expr).value;
+      return node;
+    }
+    case ExprKind::kFloatLiteral: {
+      auto node = copy_base(std::make_unique<FloatLiteralExpr>());
+      node->value = static_cast<const FloatLiteralExpr&>(expr).value;
+      return node;
+    }
+    case ExprKind::kVarRef: {
+      auto node = copy_base(std::make_unique<VarRefExpr>());
+      node->name = static_cast<const VarRefExpr&>(expr).name;
+      return node;
+    }
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      auto node = copy_base(std::make_unique<UnaryExpr>());
+      node->op = unary.op;
+      node->operand = clone_expr(*unary.operand);
+      return node;
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      auto node = copy_base(std::make_unique<BinaryExpr>());
+      node->op = binary.op;
+      node->lhs = clone_expr(*binary.lhs);
+      node->rhs = clone_expr(*binary.rhs);
+      return node;
+    }
+    case ExprKind::kIndex: {
+      const auto& index = static_cast<const IndexExpr&>(expr);
+      auto node = copy_base(std::make_unique<IndexExpr>());
+      node->array = clone_expr(*index.array);
+      node->index = clone_expr(*index.index);
+      return node;
+    }
+    case ExprKind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      auto node = copy_base(std::make_unique<CallExpr>());
+      node->callee = call.callee;
+      for (const auto& arg : call.args) node->args.push_back(clone_expr(*arg));
+      return node;
+    }
+    case ExprKind::kNewArray: {
+      const auto& alloc = static_cast<const NewArrayExpr&>(expr);
+      auto node = copy_base(std::make_unique<NewArrayExpr>());
+      node->element = alloc.element;
+      node->length = clone_expr(*alloc.length);
+      return node;
+    }
+  }
+  return nullptr;  // unreachable: all kinds handled
+}
+
+std::optional<BinaryOp> compound_op(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlusEq: return BinaryOp::kAdd;
+    case TokenKind::kMinusEq: return BinaryOp::kSub;
+    case TokenKind::kStarEq: return BinaryOp::kMul;
+    case TokenKind::kSlashEq: return BinaryOp::kDiv;
+    case TokenKind::kPercentEq: return BinaryOp::kMod;
+    default: return std::nullopt;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<TranslationUnit> run() {
+    TranslationUnit unit;
+    while (!check(TokenKind::kEof)) {
+      TASKLETS_ASSIGN_OR_RETURN(auto fn, parse_function());
+      unit.functions.push_back(std::move(fn));
+    }
+    if (unit.functions.empty()) {
+      return make_error(StatusCode::kInvalidArgument, "no functions in source");
+    }
+    return unit;
+  }
+
+ private:
+  // --- token cursor --------------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+
+  Status error_at(const Token& token, std::string what) const {
+    return make_error(StatusCode::kInvalidArgument,
+                      std::to_string(token.line) + ":" +
+                          std::to_string(token.column) + ": " + std::move(what));
+  }
+
+  Result<Token> expect(TokenKind kind, std::string_view what) {
+    if (!check(kind)) {
+      return error_at(peek(), "expected " + std::string(what) + ", got '" +
+                                  (peek().text.empty()
+                                       ? std::string(to_string(peek().kind))
+                                       : peek().text) +
+                                  "'");
+    }
+    return advance();
+  }
+
+  template <typename T>
+  std::unique_ptr<T> make_node(const Token& at) {
+    auto node = std::make_unique<T>();
+    node->line = at.line;
+    node->column = at.column;
+    return node;
+  }
+
+  // --- declarations ----------------------------------------------------------
+  [[nodiscard]] bool at_type() const {
+    return check(TokenKind::kKwInt) || check(TokenKind::kKwFloat);
+  }
+
+  Result<Type> parse_type() {
+    Type type;
+    if (match(TokenKind::kKwInt)) {
+      type.scalar = ScalarKind::kInt;
+    } else if (match(TokenKind::kKwFloat)) {
+      type.scalar = ScalarKind::kFloat;
+    } else {
+      return error_at(peek(), "expected type");
+    }
+    if (match(TokenKind::kLBracket)) {
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'").status());
+      type.is_array = true;
+    }
+    return type;
+  }
+
+  Result<FunctionDecl> parse_function() {
+    FunctionDecl fn;
+    fn.line = peek().line;
+    TASKLETS_ASSIGN_OR_RETURN(fn.return_type, parse_type());
+    TASKLETS_ASSIGN_OR_RETURN(auto name, expect(TokenKind::kIdentifier, "function name"));
+    fn.name = name.text;
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('").status());
+    if (!check(TokenKind::kRParen)) {
+      do {
+        Param param;
+        TASKLETS_ASSIGN_OR_RETURN(param.type, parse_type());
+        TASKLETS_ASSIGN_OR_RETURN(auto pname,
+                                  expect(TokenKind::kIdentifier, "parameter name"));
+        param.name = pname.text;
+        fn.params.push_back(std::move(param));
+      } while (match(TokenKind::kComma));
+    }
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+    TASKLETS_ASSIGN_OR_RETURN(fn.body, parse_block());
+    return fn;
+  }
+
+  // --- statements ---------------------------------------------------------------
+  Result<StmtPtr> parse_block() {
+    TASKLETS_ASSIGN_OR_RETURN(auto brace, expect(TokenKind::kLBrace, "'{'"));
+    auto block = make_node<BlockStmt>(brace);
+    while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+      TASKLETS_ASSIGN_OR_RETURN(auto stmt, parse_statement());
+      block->statements.push_back(std::move(stmt));
+    }
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRBrace, "'}'").status());
+    return StmtPtr{std::move(block)};
+  }
+
+  Result<StmtPtr> parse_statement() {
+    if (check(TokenKind::kLBrace)) return parse_block();
+    if (check(TokenKind::kKwIf)) return parse_if();
+    if (check(TokenKind::kKwWhile)) return parse_while();
+    if (check(TokenKind::kKwFor)) return parse_for();
+    if (check(TokenKind::kKwReturn)) {
+      const Token& kw = advance();
+      auto stmt = make_node<ReturnStmt>(kw);
+      TASKLETS_ASSIGN_OR_RETURN(stmt->value, parse_expression());
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+      return StmtPtr{std::move(stmt)};
+    }
+    if (check(TokenKind::kKwBreak)) {
+      const Token& kw = advance();
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+      return StmtPtr{make_node<BreakStmt>(kw)};
+    }
+    if (check(TokenKind::kKwContinue)) {
+      const Token& kw = advance();
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+      return StmtPtr{make_node<ContinueStmt>(kw)};
+    }
+    if (at_type()) {
+      TASKLETS_ASSIGN_OR_RETURN(auto stmt, parse_var_decl());
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+      return stmt;
+    }
+    TASKLETS_ASSIGN_OR_RETURN(auto stmt, parse_simple());
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+    return stmt;
+  }
+
+  Result<StmtPtr> parse_var_decl() {
+    const Token& at = peek();
+    auto stmt = make_node<VarDeclStmt>(at);
+    TASKLETS_ASSIGN_OR_RETURN(stmt->declared_type, parse_type());
+    TASKLETS_ASSIGN_OR_RETURN(auto name, expect(TokenKind::kIdentifier, "variable name"));
+    stmt->name = name.text;
+    if (match(TokenKind::kAssign)) {
+      TASKLETS_ASSIGN_OR_RETURN(stmt->init, parse_expression());
+    }
+    return StmtPtr{std::move(stmt)};
+  }
+
+  // Assignment or expression statement (no trailing ';'). Compound
+  // assignments desugar in the parser: `x += v` becomes `x = x + v`, and
+  // `a[i] op= v` becomes `a[i] = a[i] op v` — note the index expression is
+  // evaluated twice in the desugared form.
+  Result<StmtPtr> parse_simple() {
+    if (check(TokenKind::kIdentifier)) {
+      // Lookahead: IDENT ('=' | op'=') / IDENT '[' ... ']' ('=' | op'=').
+      if (peek(1).kind == TokenKind::kAssign || compound_op(peek(1).kind)) {
+        const Token& name = advance();
+        const Token& op_token = advance();  // '=' or compound
+        auto stmt = make_node<AssignStmt>(name);
+        stmt->name = name.text;
+        TASKLETS_ASSIGN_OR_RETURN(auto value, parse_expression());
+        if (const auto op = compound_op(op_token.kind)) {
+          auto var = make_node<VarRefExpr>(name);
+          var->name = name.text;
+          auto binary = make_node<BinaryExpr>(op_token);
+          binary->op = *op;
+          binary->lhs = std::move(var);
+          binary->rhs = std::move(value);
+          stmt->value = std::move(binary);
+        } else {
+          stmt->value = std::move(value);
+        }
+        return StmtPtr{std::move(stmt)};
+      }
+      if (peek(1).kind == TokenKind::kLBracket) {
+        // Could be `a[i] = v` or an expression like `a[i] + 1`; parse the
+        // index, then decide.
+        const std::size_t save = pos_;
+        const Token& name = advance();
+        advance();  // '['
+        TASKLETS_ASSIGN_OR_RETURN(auto index, parse_expression());
+        TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'").status());
+        if (check(TokenKind::kAssign) || compound_op(peek().kind)) {
+          const Token& op_token = advance();
+          auto stmt = make_node<IndexAssignStmt>(name);
+          stmt->name = name.text;
+          TASKLETS_ASSIGN_OR_RETURN(auto value, parse_expression());
+          if (const auto op = compound_op(op_token.kind)) {
+            auto var = make_node<VarRefExpr>(name);
+            var->name = name.text;
+            auto element = make_node<IndexExpr>(op_token);
+            element->array = std::move(var);
+            element->index = clone_expr(*index);
+            auto binary = make_node<BinaryExpr>(op_token);
+            binary->op = *op;
+            binary->lhs = std::move(element);
+            binary->rhs = std::move(value);
+            stmt->value = std::move(binary);
+          } else {
+            stmt->value = std::move(value);
+          }
+          stmt->index = std::move(index);
+          return StmtPtr{std::move(stmt)};
+        }
+        pos_ = save;  // rewind: plain expression statement
+      }
+    }
+    const Token& at = peek();
+    auto stmt = make_node<ExprStmt>(at);
+    TASKLETS_ASSIGN_OR_RETURN(stmt->expr, parse_expression());
+    return StmtPtr{std::move(stmt)};
+  }
+
+  Result<StmtPtr> parse_if() {
+    const Token& kw = advance();
+    auto stmt = make_node<IfStmt>(kw);
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('").status());
+    TASKLETS_ASSIGN_OR_RETURN(stmt->condition, parse_expression());
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+    TASKLETS_ASSIGN_OR_RETURN(stmt->then_branch, parse_block());
+    if (match(TokenKind::kKwElse)) {
+      if (check(TokenKind::kKwIf)) {
+        TASKLETS_ASSIGN_OR_RETURN(stmt->else_branch, parse_if());
+      } else {
+        TASKLETS_ASSIGN_OR_RETURN(stmt->else_branch, parse_block());
+      }
+    }
+    return StmtPtr{std::move(stmt)};
+  }
+
+  Result<StmtPtr> parse_while() {
+    const Token& kw = advance();
+    auto stmt = make_node<WhileStmt>(kw);
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('").status());
+    TASKLETS_ASSIGN_OR_RETURN(stmt->condition, parse_expression());
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+    TASKLETS_ASSIGN_OR_RETURN(stmt->body, parse_block());
+    return StmtPtr{std::move(stmt)};
+  }
+
+  Result<StmtPtr> parse_for() {
+    const Token& kw = advance();
+    auto stmt = make_node<ForStmt>(kw);
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('").status());
+    if (!check(TokenKind::kSemicolon)) {
+      if (at_type()) {
+        TASKLETS_ASSIGN_OR_RETURN(stmt->init, parse_var_decl());
+      } else {
+        TASKLETS_ASSIGN_OR_RETURN(stmt->init, parse_simple());
+      }
+    }
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+    if (!check(TokenKind::kSemicolon)) {
+      TASKLETS_ASSIGN_OR_RETURN(stmt->condition, parse_expression());
+    }
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+    if (!check(TokenKind::kRParen)) {
+      TASKLETS_ASSIGN_OR_RETURN(stmt->step, parse_simple());
+    }
+    TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+    TASKLETS_ASSIGN_OR_RETURN(stmt->body, parse_block());
+    return StmtPtr{std::move(stmt)};
+  }
+
+  // --- expressions ------------------------------------------------------------
+  Result<ExprPtr> parse_expression() { return parse_or(); }
+
+  using BinaryParser = Result<ExprPtr> (Parser::*)();
+
+  Result<ExprPtr> parse_binary_level(
+      BinaryParser next, std::initializer_list<std::pair<TokenKind, BinaryOp>> ops) {
+    TASKLETS_ASSIGN_OR_RETURN(auto lhs, (this->*next)());
+    for (;;) {
+      bool matched = false;
+      for (const auto& [kind, op] : ops) {
+        if (check(kind)) {
+          const Token& token = advance();
+          TASKLETS_ASSIGN_OR_RETURN(auto rhs, (this->*next)());
+          auto node = make_node<BinaryExpr>(token);
+          node->op = op;
+          node->lhs = std::move(lhs);
+          node->rhs = std::move(rhs);
+          lhs = std::move(node);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  Result<ExprPtr> parse_or() {
+    return parse_binary_level(&Parser::parse_and,
+                              {{TokenKind::kPipePipe, BinaryOp::kLogicalOr}});
+  }
+  Result<ExprPtr> parse_and() {
+    return parse_binary_level(&Parser::parse_equality,
+                              {{TokenKind::kAmpAmp, BinaryOp::kLogicalAnd}});
+  }
+  Result<ExprPtr> parse_equality() {
+    return parse_binary_level(&Parser::parse_relational,
+                              {{TokenKind::kEq, BinaryOp::kEq},
+                               {TokenKind::kNe, BinaryOp::kNe}});
+  }
+  Result<ExprPtr> parse_relational() {
+    return parse_binary_level(&Parser::parse_bitwise,
+                              {{TokenKind::kLt, BinaryOp::kLt},
+                               {TokenKind::kLe, BinaryOp::kLe},
+                               {TokenKind::kGt, BinaryOp::kGt},
+                               {TokenKind::kGe, BinaryOp::kGe}});
+  }
+  Result<ExprPtr> parse_bitwise() {
+    return parse_binary_level(&Parser::parse_shift,
+                              {{TokenKind::kAmp, BinaryOp::kBitAnd},
+                               {TokenKind::kPipe, BinaryOp::kBitOr},
+                               {TokenKind::kCaret, BinaryOp::kBitXor}});
+  }
+  Result<ExprPtr> parse_shift() {
+    return parse_binary_level(&Parser::parse_additive,
+                              {{TokenKind::kShl, BinaryOp::kShl},
+                               {TokenKind::kShr, BinaryOp::kShr}});
+  }
+  Result<ExprPtr> parse_additive() {
+    return parse_binary_level(&Parser::parse_multiplicative,
+                              {{TokenKind::kPlus, BinaryOp::kAdd},
+                               {TokenKind::kMinus, BinaryOp::kSub}});
+  }
+  Result<ExprPtr> parse_multiplicative() {
+    return parse_binary_level(&Parser::parse_unary,
+                              {{TokenKind::kStar, BinaryOp::kMul},
+                               {TokenKind::kSlash, BinaryOp::kDiv},
+                               {TokenKind::kPercent, BinaryOp::kMod}});
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (check(TokenKind::kMinus) || check(TokenKind::kBang)) {
+      const Token& token = advance();
+      auto node = make_node<UnaryExpr>(token);
+      node->op = token.kind == TokenKind::kMinus ? UnaryOp::kNeg : UnaryOp::kNot;
+      TASKLETS_ASSIGN_OR_RETURN(node->operand, parse_unary());
+      return ExprPtr{std::move(node)};
+    }
+    return parse_postfix();
+  }
+
+  Result<ExprPtr> parse_postfix() {
+    TASKLETS_ASSIGN_OR_RETURN(auto expr, parse_primary());
+    while (check(TokenKind::kLBracket)) {
+      const Token& bracket = advance();
+      auto node = make_node<IndexExpr>(bracket);
+      node->array = std::move(expr);
+      TASKLETS_ASSIGN_OR_RETURN(node->index, parse_expression());
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'").status());
+      expr = std::move(node);
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_primary() {
+    if (check(TokenKind::kIntLiteral)) {
+      const Token& token = advance();
+      auto node = make_node<IntLiteralExpr>(token);
+      node->value = token.int_value;
+      return ExprPtr{std::move(node)};
+    }
+    if (check(TokenKind::kFloatLiteral)) {
+      const Token& token = advance();
+      auto node = make_node<FloatLiteralExpr>(token);
+      node->value = token.float_value;
+      return ExprPtr{std::move(node)};
+    }
+    if (match(TokenKind::kLParen)) {
+      TASKLETS_ASSIGN_OR_RETURN(auto expr, parse_expression());
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+      return expr;
+    }
+    if (check(TokenKind::kKwNew)) {
+      const Token& kw = advance();
+      auto node = make_node<NewArrayExpr>(kw);
+      if (match(TokenKind::kKwInt)) {
+        node->element = ScalarKind::kInt;
+      } else if (match(TokenKind::kKwFloat)) {
+        node->element = ScalarKind::kFloat;
+      } else {
+        return error_at(peek(), "expected 'int' or 'float' after 'new'");
+      }
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kLBracket, "'['").status());
+      TASKLETS_ASSIGN_OR_RETURN(node->length, parse_expression());
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRBracket, "']'").status());
+      return ExprPtr{std::move(node)};
+    }
+    // `int(...)` / `float(...)` casts use keyword tokens in call position.
+    if ((check(TokenKind::kKwInt) || check(TokenKind::kKwFloat)) &&
+        peek(1).kind == TokenKind::kLParen) {
+      const Token& kw = advance();
+      auto node = make_node<CallExpr>(kw);
+      node->callee = kw.kind == TokenKind::kKwInt ? "int" : "float";
+      advance();  // '('
+      TASKLETS_ASSIGN_OR_RETURN(auto arg, parse_expression());
+      node->args.push_back(std::move(arg));
+      TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+      return ExprPtr{std::move(node)};
+    }
+    if (check(TokenKind::kIdentifier)) {
+      const Token& token = advance();
+      if (match(TokenKind::kLParen)) {
+        auto node = make_node<CallExpr>(token);
+        node->callee = token.text;
+        if (!check(TokenKind::kRParen)) {
+          do {
+            TASKLETS_ASSIGN_OR_RETURN(auto arg, parse_expression());
+            node->args.push_back(std::move(arg));
+          } while (match(TokenKind::kComma));
+        }
+        TASKLETS_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+        return ExprPtr{std::move(node)};
+      }
+      auto node = make_node<VarRefExpr>(token);
+      node->name = token.text;
+      return ExprPtr{std::move(node)};
+    }
+    return error_at(peek(), "expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TranslationUnit> parse(std::string_view source) {
+  TASKLETS_ASSIGN_OR_RETURN(auto tokens, lex(source));
+  return Parser(std::move(tokens)).run();
+}
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,41 @@
+// Recursive-descent parser for TCL.
+//
+// Grammar (EBNF):
+//   unit      := function*
+//   function  := type IDENT '(' [param {',' param}] ')' block
+//   param     := type IDENT
+//   type      := ('int' | 'float') ['[' ']']
+//   block     := '{' stmt* '}'
+//   stmt      := varDecl ';' | simple ';' | if | while | for | return ';'
+//              | 'break' ';' | 'continue' ';' | block
+//   varDecl   := type IDENT ['=' expr]
+//   simple    := IDENT '=' expr | IDENT '[' expr ']' '=' expr | expr
+//   if        := 'if' '(' expr ')' block ['else' (if | block)]
+//   while     := 'while' '(' expr ')' block
+//   for       := 'for' '(' [varDecl|simple] ';' [expr] ';' [simple] ')' block
+//   return    := 'return' expr
+//   expr      := orExpr
+//   orExpr    := andExpr {'||' andExpr}
+//   andExpr   := eqExpr {'&&' eqExpr}
+//   eqExpr    := relExpr {('=='|'!=') relExpr}
+//   relExpr   := bitExpr {('<'|'<='|'>'|'>=') bitExpr}
+//   bitExpr   := shiftExpr {('&'|'|'|'^') shiftExpr}
+//   shiftExpr := addExpr {('<<'|'>>') addExpr}
+//   addExpr   := mulExpr {('+'|'-') mulExpr}
+//   mulExpr   := unary {('*'|'/'|'%') unary}
+//   unary     := ('-'|'!') unary | postfix
+//   postfix   := primary {'[' expr ']'}
+//   primary   := INT | FLOAT | IDENT ['(' args ')'] | '(' expr ')'
+//              | 'new' ('int'|'float') '[' expr ']'
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "tcl/ast.hpp"
+
+namespace tasklets::tcl {
+
+[[nodiscard]] Result<TranslationUnit> parse(std::string_view source);
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,497 @@
+#include "tcl/sema.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tvm/opcode.hpp"
+
+namespace tasklets::tcl {
+
+namespace {
+
+struct FunctionSig {
+  int index = 0;
+  Type return_type;
+  std::vector<Type> param_types;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(TranslationUnit& unit) : unit_(unit) {}
+
+  Status run() {
+    for (std::size_t i = 0; i < unit_.functions.size(); ++i) {
+      const FunctionDecl& fn = unit_.functions[i];
+      FunctionSig sig;
+      sig.index = static_cast<int>(i);
+      sig.return_type = fn.return_type;
+      for (const Param& p : fn.params) sig.param_types.push_back(p.type);
+      if (!functions_.emplace(fn.name, std::move(sig)).second) {
+        return error(fn.line, 0, "duplicate function '" + fn.name + "'");
+      }
+      if (is_builtin_name(fn.name)) {
+        return error(fn.line, 0,
+                     "function name '" + fn.name + "' shadows a builtin");
+      }
+    }
+    for (FunctionDecl& fn : unit_.functions) {
+      TASKLETS_RETURN_IF_ERROR(analyze_function(fn));
+    }
+    return Status::ok();
+  }
+
+ private:
+  static Status error(int line, int column, std::string what) {
+    return make_error(StatusCode::kInvalidArgument,
+                      std::to_string(line) + ":" + std::to_string(column) +
+                          ": " + std::move(what));
+  }
+
+  static bool is_builtin_name(const std::string& name) {
+    return name == "len" || name == "int" || name == "float" ||
+           tvm::intrinsic_by_name(name).has_value();
+  }
+
+  // --- scope management ------------------------------------------------------
+  struct Binding {
+    int slot;
+    Type type;
+  };
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  Status declare(const std::string& name, Type type, int line, int column,
+                 int& slot_out) {
+    if (scopes_.back().contains(name)) {
+      return error(line, column, "redefinition of '" + name + "' in this scope");
+    }
+    slot_out = next_slot_++;
+    scopes_.back().emplace(name, Binding{slot_out, type});
+    return Status::ok();
+  }
+
+  [[nodiscard]] const Binding* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (const auto found = it->find(name); found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- function analysis ----------------------------------------------------
+  Status analyze_function(FunctionDecl& fn) {
+    scopes_.clear();
+    next_slot_ = 0;
+    loop_depth_ = 0;
+    current_return_ = fn.return_type;
+    push_scope();
+    for (const Param& p : fn.params) {
+      int slot = 0;
+      TASKLETS_RETURN_IF_ERROR(declare(p.name, p.type, fn.line, 0, slot));
+    }
+    TASKLETS_RETURN_IF_ERROR(analyze_stmt(*fn.body));
+    pop_scope();
+    fn.num_slots = next_slot_;
+    if (!definitely_returns(*fn.body)) {
+      return error(fn.line, 0,
+                   "function '" + fn.name + "' may not return on all paths");
+    }
+    return Status::ok();
+  }
+
+  // --- statements --------------------------------------------------------------
+  Status analyze_stmt(Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kBlock: {
+        auto& block = static_cast<BlockStmt&>(stmt);
+        push_scope();
+        for (auto& s : block.statements) {
+          TASKLETS_RETURN_IF_ERROR(analyze_stmt(*s));
+        }
+        pop_scope();
+        return Status::ok();
+      }
+      case StmtKind::kVarDecl: {
+        auto& decl = static_cast<VarDeclStmt&>(stmt);
+        if (decl.init != nullptr) {
+          TASKLETS_RETURN_IF_ERROR(analyze_expr(*decl.init));
+          if (decl.init->type != decl.declared_type) {
+            return error(decl.line, decl.column,
+                         "cannot initialise " + decl.declared_type.to_string() +
+                             " '" + decl.name + "' with " +
+                             decl.init->type.to_string());
+          }
+        } else if (decl.declared_type.is_array) {
+          return error(decl.line, decl.column,
+                       "array variable '" + decl.name + "' needs an initialiser");
+        }
+        return declare(decl.name, decl.declared_type, decl.line, decl.column,
+                       decl.slot);
+      }
+      case StmtKind::kAssign: {
+        auto& assign = static_cast<AssignStmt&>(stmt);
+        const Binding* binding = lookup(assign.name);
+        if (binding == nullptr) {
+          return error(assign.line, assign.column,
+                       "undefined variable '" + assign.name + "'");
+        }
+        assign.slot = binding->slot;
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*assign.value));
+        if (assign.value->type != binding->type) {
+          return error(assign.line, assign.column,
+                       "cannot assign " + assign.value->type.to_string() +
+                           " to " + binding->type.to_string() + " '" +
+                           assign.name + "'");
+        }
+        return Status::ok();
+      }
+      case StmtKind::kIndexAssign: {
+        auto& assign = static_cast<IndexAssignStmt&>(stmt);
+        const Binding* binding = lookup(assign.name);
+        if (binding == nullptr) {
+          return error(assign.line, assign.column,
+                       "undefined variable '" + assign.name + "'");
+        }
+        if (!binding->type.is_array) {
+          return error(assign.line, assign.column,
+                       "'" + assign.name + "' is not an array");
+        }
+        assign.slot = binding->slot;
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*assign.index));
+        if (!assign.index->type.is_int()) {
+          return error(assign.line, assign.column, "array index must be int");
+        }
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*assign.value));
+        if (assign.value->type != binding->type.element()) {
+          return error(assign.line, assign.column,
+                       "cannot store " + assign.value->type.to_string() +
+                           " into " + binding->type.to_string());
+        }
+        return Status::ok();
+      }
+      case StmtKind::kIf: {
+        auto& branch = static_cast<IfStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(analyze_condition(*branch.condition));
+        TASKLETS_RETURN_IF_ERROR(analyze_stmt(*branch.then_branch));
+        if (branch.else_branch != nullptr) {
+          TASKLETS_RETURN_IF_ERROR(analyze_stmt(*branch.else_branch));
+        }
+        return Status::ok();
+      }
+      case StmtKind::kWhile: {
+        auto& loop = static_cast<WhileStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(analyze_condition(*loop.condition));
+        ++loop_depth_;
+        const Status body = analyze_stmt(*loop.body);
+        --loop_depth_;
+        return body;
+      }
+      case StmtKind::kFor: {
+        auto& loop = static_cast<ForStmt&>(stmt);
+        push_scope();  // for-init declarations scope to the loop
+        if (loop.init != nullptr) TASKLETS_RETURN_IF_ERROR(analyze_stmt(*loop.init));
+        if (loop.condition != nullptr) {
+          TASKLETS_RETURN_IF_ERROR(analyze_condition(*loop.condition));
+        }
+        if (loop.step != nullptr) TASKLETS_RETURN_IF_ERROR(analyze_stmt(*loop.step));
+        ++loop_depth_;
+        const Status body = analyze_stmt(*loop.body);
+        --loop_depth_;
+        pop_scope();
+        return body;
+      }
+      case StmtKind::kReturn: {
+        auto& ret = static_cast<ReturnStmt&>(stmt);
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*ret.value));
+        if (ret.value->type != current_return_) {
+          return error(ret.line, ret.column,
+                       "return type mismatch: expected " +
+                           current_return_.to_string() + ", got " +
+                           ret.value->type.to_string());
+        }
+        return Status::ok();
+      }
+      case StmtKind::kExpr:
+        return analyze_expr(*static_cast<ExprStmt&>(stmt).expr);
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          return error(stmt.line, stmt.column,
+                       stmt.kind() == StmtKind::kBreak
+                           ? "break outside loop"
+                           : "continue outside loop");
+        }
+        return Status::ok();
+    }
+    return make_error(StatusCode::kInternal, "unhandled statement kind");
+  }
+
+  Status analyze_condition(Expr& expr) {
+    TASKLETS_RETURN_IF_ERROR(analyze_expr(expr));
+    if (!expr.type.is_int()) {
+      return error(expr.line, expr.column,
+                   "condition must be int, got " + expr.type.to_string());
+    }
+    return Status::ok();
+  }
+
+  // --- expressions --------------------------------------------------------------
+  Status analyze_expr(Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kIntLiteral:
+        expr.type = Type::int_type();
+        return Status::ok();
+      case ExprKind::kFloatLiteral:
+        expr.type = Type::float_type();
+        return Status::ok();
+      case ExprKind::kVarRef: {
+        auto& ref = static_cast<VarRefExpr&>(expr);
+        const Binding* binding = lookup(ref.name);
+        if (binding == nullptr) {
+          return error(ref.line, ref.column,
+                       "undefined variable '" + ref.name + "'");
+        }
+        ref.slot = binding->slot;
+        ref.type = binding->type;
+        return Status::ok();
+      }
+      case ExprKind::kUnary: {
+        auto& unary = static_cast<UnaryExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*unary.operand));
+        const Type t = unary.operand->type;
+        if (unary.op == UnaryOp::kNeg) {
+          if (t.is_array) {
+            return error(unary.line, unary.column, "cannot negate an array");
+          }
+          unary.type = t;
+        } else {  // kNot
+          if (!t.is_int()) {
+            return error(unary.line, unary.column, "'!' requires int");
+          }
+          unary.type = Type::int_type();
+        }
+        return Status::ok();
+      }
+      case ExprKind::kBinary:
+        return analyze_binary(static_cast<BinaryExpr&>(expr));
+      case ExprKind::kIndex: {
+        auto& index = static_cast<IndexExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*index.array));
+        if (!index.array->type.is_array) {
+          return error(index.line, index.column, "indexing a non-array");
+        }
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*index.index));
+        if (!index.index->type.is_int()) {
+          return error(index.line, index.column, "array index must be int");
+        }
+        index.type = index.array->type.element();
+        return Status::ok();
+      }
+      case ExprKind::kCall:
+        return analyze_call(static_cast<CallExpr&>(expr));
+      case ExprKind::kNewArray: {
+        auto& alloc = static_cast<NewArrayExpr&>(expr);
+        TASKLETS_RETURN_IF_ERROR(analyze_expr(*alloc.length));
+        if (!alloc.length->type.is_int()) {
+          return error(alloc.line, alloc.column, "array length must be int");
+        }
+        alloc.type = Type{alloc.element, true};
+        return Status::ok();
+      }
+    }
+    return make_error(StatusCode::kInternal, "unhandled expression kind");
+  }
+
+  Status analyze_binary(BinaryExpr& expr) {
+    TASKLETS_RETURN_IF_ERROR(analyze_expr(*expr.lhs));
+    TASKLETS_RETURN_IF_ERROR(analyze_expr(*expr.rhs));
+    const Type lt = expr.lhs->type;
+    const Type rt = expr.rhs->type;
+    if (lt.is_array || rt.is_array) {
+      return error(expr.line, expr.column, "operator on array value");
+    }
+    const bool both_int = lt.is_int() && rt.is_int();
+    const bool both_float = lt.is_float() && rt.is_float();
+    if (!both_int && !both_float) {
+      return error(expr.line, expr.column,
+                   "operand type mismatch: " + lt.to_string() + " vs " +
+                       rt.to_string() + " (use int()/float() casts)");
+    }
+    switch (expr.op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        expr.type = lt;
+        return Status::ok();
+      case BinaryOp::kMod:
+      case BinaryOp::kBitAnd:
+      case BinaryOp::kBitOr:
+      case BinaryOp::kBitXor:
+      case BinaryOp::kShl:
+      case BinaryOp::kShr:
+      case BinaryOp::kLogicalAnd:
+      case BinaryOp::kLogicalOr:
+        if (!both_int) {
+          return error(expr.line, expr.column, "operator requires int operands");
+        }
+        expr.type = Type::int_type();
+        return Status::ok();
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        expr.type = Type::int_type();
+        return Status::ok();
+    }
+    return make_error(StatusCode::kInternal, "unhandled binary op");
+  }
+
+  Status analyze_call(CallExpr& call) {
+    for (auto& arg : call.args) {
+      TASKLETS_RETURN_IF_ERROR(analyze_expr(*arg));
+    }
+    // Builtin: len(array) -> int
+    if (call.callee == "len") {
+      if (call.args.size() != 1 || !call.args[0]->type.is_array) {
+        return error(call.line, call.column, "len() takes one array argument");
+      }
+      call.is_len = true;
+      call.type = Type::int_type();
+      return Status::ok();
+    }
+    // Builtin casts.
+    if (call.callee == "int") {
+      if (call.args.size() != 1 || !call.args[0]->type.is_float()) {
+        return error(call.line, call.column, "int() takes one float argument");
+      }
+      call.is_int_cast = true;
+      call.type = Type::int_type();
+      return Status::ok();
+    }
+    if (call.callee == "float") {
+      if (call.args.size() != 1 || !call.args[0]->type.is_int()) {
+        return error(call.line, call.column, "float() takes one int argument");
+      }
+      call.is_float_cast = true;
+      call.type = Type::float_type();
+      return Status::ok();
+    }
+    // TVM intrinsics.
+    if (const auto intrinsic = tvm::intrinsic_by_name(call.callee)) {
+      const auto& info = tvm::intrinsic_info(*intrinsic);
+      if (call.args.size() != static_cast<std::size_t>(info.arity)) {
+        return error(call.line, call.column,
+                     call.callee + "() takes " + std::to_string(info.arity) +
+                         " argument(s)");
+      }
+      const Type want = info.float_args ? Type::float_type() : Type::int_type();
+      for (const auto& arg : call.args) {
+        if (arg->type != want) {
+          return error(call.line, call.column,
+                       call.callee + "() requires " + want.to_string() +
+                           " arguments");
+        }
+      }
+      call.intrinsic_id = static_cast<int>(*intrinsic);
+      call.type = want;
+      return Status::ok();
+    }
+    // User function.
+    const auto it = functions_.find(call.callee);
+    if (it == functions_.end()) {
+      return error(call.line, call.column,
+                   "undefined function '" + call.callee + "'");
+    }
+    const FunctionSig& sig = it->second;
+    if (call.args.size() != sig.param_types.size()) {
+      return error(call.line, call.column,
+                   "'" + call.callee + "' expects " +
+                       std::to_string(sig.param_types.size()) + " arguments, got " +
+                       std::to_string(call.args.size()));
+    }
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      if (call.args[i]->type != sig.param_types[i]) {
+        return error(call.line, call.column,
+                     "argument " + std::to_string(i + 1) + " of '" + call.callee +
+                         "': expected " + sig.param_types[i].to_string() +
+                         ", got " + call.args[i]->type.to_string());
+      }
+    }
+    call.function_index = sig.index;
+    call.type = sig.return_type;
+    return Status::ok();
+  }
+
+  // --- definite-return analysis ----------------------------------------------
+  static bool definitely_returns(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kReturn:
+        return true;
+      case StmtKind::kBlock: {
+        const auto& block = static_cast<const BlockStmt&>(stmt);
+        for (const auto& s : block.statements) {
+          if (definitely_returns(*s)) return true;
+        }
+        return false;
+      }
+      case StmtKind::kIf: {
+        const auto& branch = static_cast<const IfStmt&>(stmt);
+        return branch.else_branch != nullptr &&
+               definitely_returns(*branch.then_branch) &&
+               definitely_returns(*branch.else_branch);
+      }
+      case StmtKind::kWhile: {
+        // `while (1)` with no break is treated as non-terminating-or-return.
+        const auto& loop = static_cast<const WhileStmt&>(stmt);
+        if (loop.condition->kind() == ExprKind::kIntLiteral &&
+            static_cast<const IntLiteralExpr&>(*loop.condition).value != 0) {
+          return !contains_break(*loop.body);
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  static bool contains_break(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kBreak:
+        return true;
+      case StmtKind::kBlock: {
+        const auto& block = static_cast<const BlockStmt&>(stmt);
+        for (const auto& s : block.statements) {
+          if (contains_break(*s)) return true;
+        }
+        return false;
+      }
+      case StmtKind::kIf: {
+        const auto& branch = static_cast<const IfStmt&>(stmt);
+        return contains_break(*branch.then_branch) ||
+               (branch.else_branch != nullptr && contains_break(*branch.else_branch));
+      }
+      // Breaks inside nested loops bind to the inner loop.
+      default:
+        return false;
+    }
+  }
+
+  TranslationUnit& unit_;
+  std::map<std::string, FunctionSig, std::less<>> functions_;
+  std::vector<std::map<std::string, Binding, std::less<>>> scopes_;
+  int next_slot_ = 0;
+  int loop_depth_ = 0;
+  Type current_return_;
+};
+
+}  // namespace
+
+Status analyze(TranslationUnit& unit) { return Analyzer(unit).run(); }
+
+}  // namespace tasklets::tcl

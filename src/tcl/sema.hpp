@@ -1,0 +1,24 @@
+// Semantic analysis for TCL.
+//
+// Responsibilities:
+//   * build the function table and reject duplicate / unknown callees,
+//   * resolve variable references to local slots (lexical scoping with
+//     shadowing across nested blocks),
+//   * type-check every expression and statement (no implicit numeric
+//     conversions; `int(x)` / `float(x)` are the explicit casts),
+//   * resolve builtin calls: `len`, casts, and the TVM intrinsic library,
+//   * verify loop placement of break/continue,
+//   * verify every function definitely returns on all paths.
+//
+// On success the AST is annotated in place (expression types, variable
+// slots, callee indices) and ready for code generation.
+#pragma once
+
+#include "common/status.hpp"
+#include "tcl/ast.hpp"
+
+namespace tasklets::tcl {
+
+[[nodiscard]] Status analyze(TranslationUnit& unit);
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,77 @@
+// Token model for TCL, the Tasklet C-like language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tasklets::tcl {
+
+enum class TokenKind : std::uint8_t {
+  kEof = 0,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+
+  // Keywords
+  kKwInt,
+  kKwFloat,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwNew,
+  kKwBreak,
+  kKwContinue,
+
+  // Punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+
+  // Operators
+  kAssign,      // =
+  kPlusEq,      // +=
+  kMinusEq,     // -=
+  kStarEq,      // *=
+  kSlashEq,     // /=
+  kPercentEq,   // %=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kAmp,         // &
+  kPipe,        // |
+  kCaret,       // ^
+  kShl,         // <<
+  kShr,         // >>
+  kAmpAmp,      // &&
+  kPipePipe,    // ||
+  kBang,        // !
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;          // identifier spelling / literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace tasklets::tcl

@@ -1,0 +1,39 @@
+// Textual assembly for TVM bytecode.
+//
+// Format (one instruction per line, ';' starts a comment):
+//
+//   .func main arity=1 locals=3
+//     load 0
+//     push_i 2
+//     clt_i
+//     jz recurse          ; labels resolve to instruction indices
+//     load 0
+//     ret
+//   recurse:
+//     ...
+//   .end
+//   .entry main
+//
+// Operands: `jmp/jz/jnz` accept labels or absolute indices, `call` accepts a
+// function name or index (forward references allowed), `intrin` accepts an
+// intrinsic name, `push_f` accepts a float literal, `push_i` and the rest
+// accept integers.
+//
+// Used by the test suite and by hand-written kernels; the TCL compiler emits
+// Program objects directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tvm {
+
+[[nodiscard]] Result<Program> assemble(std::string_view source);
+
+// Round-trippable listing of a program (assemble(disassemble(p)) == p).
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,798 @@
+#include "tvm/interpreter.hpp"
+
+#include <bit>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "tvm/value.hpp"
+#include "tvm/verifier.hpp"
+
+namespace tasklets::tvm {
+
+namespace {
+
+struct Frame {
+  const Function* fn = nullptr;
+  std::size_t ip = 0;
+  std::size_t locals_base = 0;
+};
+
+class Machine {
+ public:
+  Machine(const Program& program, const ExecLimits& limits)
+      : program_(program), limits_(limits) {}
+
+  Result<ExecOutcome> run(const std::vector<HostArg>& args);
+
+  // Resumable execution (see interpreter.hpp).
+  Status start(const std::vector<HostArg>& args);
+  Status restore(std::span<const std::byte> snapshot);
+  Result<SliceOutcome> run_slice(std::uint64_t fuel_slice);
+
+ private:
+  [[nodiscard]] Bytes snapshot() const;
+  // --- error helpers -------------------------------------------------------
+  Status trap(StatusCode code, std::string what) const {
+    const Frame& f = frames_.back();
+    return make_error(code, std::move(what) + " in '" + f.fn->name +
+                                "' at instruction " + std::to_string(f.ip - 1));
+  }
+
+  // --- stack helpers (verifier guarantees no underflow) --------------------
+  void push(Value v) { stack_.push_back(v); }
+  Value pop() {
+    Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+  Value& top() { return stack_.back(); }
+
+  Status pop_int(std::int64_t& out) {
+    const Value v = pop();
+    if (!v.is_int()) {
+      return trap(StatusCode::kAborted,
+                  std::string("expected int, got ") + std::string(to_string(v.tag())));
+    }
+    out = v.as_int();
+    return Status::ok();
+  }
+  Status pop_float(double& out) {
+    const Value v = pop();
+    if (!v.is_float()) {
+      return trap(StatusCode::kAborted,
+                  std::string("expected float, got ") + std::string(to_string(v.tag())));
+    }
+    out = v.as_float();
+    return Status::ok();
+  }
+  Status pop_array(ArrayHandle& out) {
+    const Value v = pop();
+    if (!v.is_array()) {
+      return trap(StatusCode::kAborted,
+                  std::string("expected array, got ") + std::string(to_string(v.tag())));
+    }
+    out = v.as_array();
+    return Status::ok();
+  }
+
+  // --- heap ----------------------------------------------------------------
+  Result<ArrayHandle> alloc_array(std::int64_t length) {
+    if (length < 0) {
+      return trap(StatusCode::kAborted, "negative array length");
+    }
+    const auto cells = static_cast<std::uint64_t>(length);
+    if (heap_cells_ + cells > limits_.max_heap_cells) {
+      return trap(StatusCode::kResourceExhausted, "heap limit exceeded");
+    }
+    heap_cells_ += cells;
+    heap_.emplace_back(static_cast<std::size_t>(length), Value::from_int(0));
+    return static_cast<ArrayHandle>(heap_.size() - 1);
+  }
+
+  // --- frames ----------------------------------------------------------------
+  Status enter(std::uint32_t fn_idx, bool from_host,
+               const std::vector<HostArg>* host_args);
+  Status do_return();
+
+  // --- marshalling -----------------------------------------------------------
+  Result<Value> host_to_value(const HostArg& arg);
+  Result<HostArg> value_to_host(Value v) const;
+
+  Status step();  // executes one instruction
+
+  const Program& program_;
+  const ExecLimits& limits_;
+  std::vector<Value> stack_;
+  std::vector<Value> locals_;
+  std::vector<Frame> frames_;
+  std::vector<std::vector<Value>> heap_;
+  std::uint64_t heap_cells_ = 0;
+  std::uint64_t fuel_used_ = 0;
+  std::uint32_t peak_depth_ = 0;
+  bool halted_ = false;
+};
+
+Status Machine::enter(std::uint32_t fn_idx, bool from_host,
+                      const std::vector<HostArg>* host_args) {
+  const Function& fn = program_.function(fn_idx);
+  if (frames_.size() >= limits_.max_call_depth) {
+    return make_error(StatusCode::kResourceExhausted,
+                      "call depth limit exceeded entering '" + fn.name + "'");
+  }
+  Frame frame;
+  frame.fn = &fn;
+  frame.ip = 0;
+  frame.locals_base = locals_.size();
+  locals_.resize(locals_.size() + fn.num_locals, Value::from_int(0));
+  if (from_host) {
+    if (host_args->size() != fn.arity) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "entry '" + fn.name + "' expects " +
+                            std::to_string(fn.arity) + " args, got " +
+                            std::to_string(host_args->size()));
+    }
+    for (std::uint32_t i = 0; i < fn.arity; ++i) {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, host_to_value((*host_args)[i]));
+      locals_[frame.locals_base + i] = v;
+    }
+  } else {
+    // Arguments were pushed left-to-right, so the last argument is on top.
+    for (std::uint32_t i = fn.arity; i-- > 0;) {
+      locals_[frame.locals_base + i] = pop();
+    }
+  }
+  frames_.push_back(frame);
+  peak_depth_ = std::max(peak_depth_, static_cast<std::uint32_t>(frames_.size()));
+  return Status::ok();
+}
+
+Status Machine::do_return() {
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  locals_.resize(frame.locals_base);
+  // Result value stays on the operand stack for the caller (or the host).
+  if (frames_.empty()) halted_ = true;
+  return Status::ok();
+}
+
+Result<Value> Machine::host_to_value(const HostArg& arg) {
+  if (const auto* i = std::get_if<std::int64_t>(&arg)) {
+    return Value::from_int(*i);
+  }
+  if (const auto* f = std::get_if<double>(&arg)) {
+    return Value::from_float(*f);
+  }
+  if (const auto* iv = std::get_if<std::vector<std::int64_t>>(&arg)) {
+    TASKLETS_ASSIGN_OR_RETURN(
+        auto h, alloc_array(static_cast<std::int64_t>(iv->size())));
+    auto& cells = heap_[h];
+    for (std::size_t i = 0; i < iv->size(); ++i) {
+      cells[i] = Value::from_int((*iv)[i]);
+    }
+    return Value::from_array(h);
+  }
+  const auto& fv = std::get<std::vector<double>>(arg);
+  TASKLETS_ASSIGN_OR_RETURN(auto h,
+                            alloc_array(static_cast<std::int64_t>(fv.size())));
+  auto& cells = heap_[h];
+  for (std::size_t i = 0; i < fv.size(); ++i) {
+    cells[i] = Value::from_float(fv[i]);
+  }
+  return Value::from_array(h);
+}
+
+Result<HostArg> Machine::value_to_host(Value v) const {
+  switch (v.tag()) {
+    case ValueTag::kInt:
+      return HostArg{v.as_int()};
+    case ValueTag::kFloat:
+      return HostArg{v.as_float()};
+    case ValueTag::kArray: {
+      const auto& cells = heap_[v.as_array()];
+      // Classify: all-int -> int array, otherwise all elements must be
+      // numeric and are widened to double. Nested arrays cannot cross the
+      // host boundary.
+      bool all_int = true;
+      for (const Value& c : cells) {
+        if (c.is_array()) {
+          return make_error(StatusCode::kAborted,
+                            "nested array cannot be returned to host");
+        }
+        if (!c.is_int()) all_int = false;
+      }
+      if (all_int) {
+        std::vector<std::int64_t> out;
+        out.reserve(cells.size());
+        for (const Value& c : cells) out.push_back(c.as_int());
+        return HostArg{std::move(out)};
+      }
+      std::vector<double> out;
+      out.reserve(cells.size());
+      for (const Value& c : cells) out.push_back(c.to_double());
+      return HostArg{std::move(out)};
+    }
+  }
+  return make_error(StatusCode::kInternal, "corrupt value tag");
+}
+
+Status Machine::step() {
+  Frame& frame = frames_.back();
+  const Instr instr = frame.fn->code[frame.ip++];
+
+  ++fuel_used_;
+  if (fuel_used_ > limits_.max_fuel) {
+    return trap(StatusCode::kDeadlineExceeded, "fuel exhausted");
+  }
+  if (stack_.size() >= limits_.max_operand_stack) {
+    return trap(StatusCode::kResourceExhausted, "operand stack limit");
+  }
+
+  switch (instr.op) {
+    case OpCode::kNop:
+      break;
+    case OpCode::kPushInt:
+      push(Value::from_int(instr.operand));
+      break;
+    case OpCode::kPushFloat:
+      push(Value::from_float(
+          std::bit_cast<double>(static_cast<std::uint64_t>(instr.operand))));
+      break;
+    case OpCode::kPop:
+      pop();
+      break;
+    case OpCode::kDup:
+      push(top());
+      break;
+    case OpCode::kSwap: {
+      Value b = pop();
+      Value a = pop();
+      push(b);
+      push(a);
+      break;
+    }
+    case OpCode::kLoadLocal:
+      push(locals_[frame.locals_base + static_cast<std::size_t>(instr.operand)]);
+      break;
+    case OpCode::kStoreLocal:
+      locals_[frame.locals_base + static_cast<std::size_t>(instr.operand)] = pop();
+      break;
+
+#define TASKLETS_BIN_INT(name, expr)                 \
+  case OpCode::name: {                               \
+    std::int64_t b, a;                               \
+    TASKLETS_RETURN_IF_ERROR(pop_int(b));            \
+    TASKLETS_RETURN_IF_ERROR(pop_int(a));            \
+    push(Value::from_int(expr));                     \
+    break;                                           \
+  }
+
+    TASKLETS_BIN_INT(kAddInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b)))
+    TASKLETS_BIN_INT(kSubInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b)))
+    TASKLETS_BIN_INT(kMulInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)))
+    TASKLETS_BIN_INT(kBitAnd, a & b)
+    TASKLETS_BIN_INT(kBitOr, a | b)
+    TASKLETS_BIN_INT(kBitXor, a ^ b)
+    TASKLETS_BIN_INT(kShl, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63)))
+    TASKLETS_BIN_INT(kShr, a >> (static_cast<std::uint64_t>(b) & 63))
+    TASKLETS_BIN_INT(kCmpEqInt, a == b ? 1 : 0)
+    TASKLETS_BIN_INT(kCmpNeInt, a != b ? 1 : 0)
+    TASKLETS_BIN_INT(kCmpLtInt, a < b ? 1 : 0)
+    TASKLETS_BIN_INT(kCmpLeInt, a <= b ? 1 : 0)
+    TASKLETS_BIN_INT(kCmpGtInt, a > b ? 1 : 0)
+    TASKLETS_BIN_INT(kCmpGeInt, a >= b ? 1 : 0)
+#undef TASKLETS_BIN_INT
+
+    case OpCode::kDivInt: {
+      std::int64_t b, a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(b));
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      if (b == 0) return trap(StatusCode::kAborted, "integer division by zero");
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        return trap(StatusCode::kAborted, "integer division overflow");
+      }
+      push(Value::from_int(a / b));
+      break;
+    }
+    case OpCode::kModInt: {
+      std::int64_t b, a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(b));
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      if (b == 0) return trap(StatusCode::kAborted, "integer modulo by zero");
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        push(Value::from_int(0));
+      } else {
+        push(Value::from_int(a % b));
+      }
+      break;
+    }
+    case OpCode::kNegInt: {
+      std::int64_t a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      push(Value::from_int(static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a))));
+      break;
+    }
+
+#define TASKLETS_BIN_FLOAT(name, expr)               \
+  case OpCode::name: {                               \
+    double b, a;                                     \
+    TASKLETS_RETURN_IF_ERROR(pop_float(b));          \
+    TASKLETS_RETURN_IF_ERROR(pop_float(a));          \
+    push(expr);                                      \
+    break;                                           \
+  }
+
+    TASKLETS_BIN_FLOAT(kAddFloat, Value::from_float(a + b))
+    TASKLETS_BIN_FLOAT(kSubFloat, Value::from_float(a - b))
+    TASKLETS_BIN_FLOAT(kMulFloat, Value::from_float(a * b))
+    TASKLETS_BIN_FLOAT(kDivFloat, Value::from_float(a / b))
+    TASKLETS_BIN_FLOAT(kCmpEqFloat, Value::from_int(a == b ? 1 : 0))
+    TASKLETS_BIN_FLOAT(kCmpNeFloat, Value::from_int(a != b ? 1 : 0))
+    TASKLETS_BIN_FLOAT(kCmpLtFloat, Value::from_int(a < b ? 1 : 0))
+    TASKLETS_BIN_FLOAT(kCmpLeFloat, Value::from_int(a <= b ? 1 : 0))
+    TASKLETS_BIN_FLOAT(kCmpGtFloat, Value::from_int(a > b ? 1 : 0))
+    TASKLETS_BIN_FLOAT(kCmpGeFloat, Value::from_int(a >= b ? 1 : 0))
+#undef TASKLETS_BIN_FLOAT
+
+    case OpCode::kNegFloat: {
+      double a;
+      TASKLETS_RETURN_IF_ERROR(pop_float(a));
+      push(Value::from_float(-a));
+      break;
+    }
+    case OpCode::kLogicalNot: {
+      std::int64_t a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      push(Value::from_int(a == 0 ? 1 : 0));
+      break;
+    }
+    case OpCode::kIntToFloat: {
+      std::int64_t a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      push(Value::from_float(static_cast<double>(a)));
+      break;
+    }
+    case OpCode::kFloatToInt: {
+      double a;
+      TASKLETS_RETURN_IF_ERROR(pop_float(a));
+      if (std::isnan(a) || a < -9.223372036854776e18 || a >= 9.223372036854776e18) {
+        return trap(StatusCode::kAborted, "float to int out of range");
+      }
+      push(Value::from_int(static_cast<std::int64_t>(a)));
+      break;
+    }
+
+    case OpCode::kJump:
+      frame.ip = static_cast<std::size_t>(instr.operand);
+      break;
+    case OpCode::kJumpIfZero: {
+      std::int64_t a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      if (a == 0) frame.ip = static_cast<std::size_t>(instr.operand);
+      break;
+    }
+    case OpCode::kJumpIfNotZero: {
+      std::int64_t a;
+      TASKLETS_RETURN_IF_ERROR(pop_int(a));
+      if (a != 0) frame.ip = static_cast<std::size_t>(instr.operand);
+      break;
+    }
+
+    case OpCode::kCall:
+      // Calls cost extra fuel: frame setup dominates a single opcode.
+      fuel_used_ += 3;
+      return enter(static_cast<std::uint32_t>(instr.operand),
+                   /*from_host=*/false, nullptr);
+    case OpCode::kReturn:
+      return do_return();
+    case OpCode::kHalt:
+      // Stops the whole machine (even inside a nested call); the value on
+      // top of the stack becomes the program result.
+      halted_ = true;
+      break;
+
+    case OpCode::kNewArray: {
+      std::int64_t len;
+      TASKLETS_RETURN_IF_ERROR(pop_int(len));
+      // Zero-filling large arrays is real work; charge proportionally.
+      fuel_used_ += static_cast<std::uint64_t>(len < 0 ? 0 : len) / 4;
+      TASKLETS_ASSIGN_OR_RETURN(auto h, alloc_array(len));
+      push(Value::from_array(h));
+      break;
+    }
+    case OpCode::kArrayLoad: {
+      std::int64_t idx;
+      ArrayHandle h;
+      TASKLETS_RETURN_IF_ERROR(pop_int(idx));
+      TASKLETS_RETURN_IF_ERROR(pop_array(h));
+      const auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return trap(StatusCode::kAborted, "array index out of bounds");
+      }
+      push(cells[static_cast<std::size_t>(idx)]);
+      break;
+    }
+    case OpCode::kArrayStore: {
+      const Value value = pop();
+      std::int64_t idx;
+      ArrayHandle h;
+      TASKLETS_RETURN_IF_ERROR(pop_int(idx));
+      TASKLETS_RETURN_IF_ERROR(pop_array(h));
+      auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return trap(StatusCode::kAborted, "array index out of bounds");
+      }
+      cells[static_cast<std::size_t>(idx)] = value;
+      break;
+    }
+    case OpCode::kArrayLen: {
+      ArrayHandle h;
+      TASKLETS_RETURN_IF_ERROR(pop_array(h));
+      push(Value::from_int(static_cast<std::int64_t>(heap_[h].size())));
+      break;
+    }
+
+    case OpCode::kIntrinsic: {
+      fuel_used_ += 4;  // libm calls are pricier than simple ALU ops
+      const auto id = static_cast<Intrinsic>(instr.operand);
+      const IntrinsicInfo& info = intrinsic_info(id);
+      if (info.float_args) {
+        double y = 0.0, x;
+        if (info.arity == 2) TASKLETS_RETURN_IF_ERROR(pop_float(y));
+        TASKLETS_RETURN_IF_ERROR(pop_float(x));
+        double r = 0.0;
+        switch (id) {
+          case Intrinsic::kSqrt: r = std::sqrt(x); break;
+          case Intrinsic::kSin: r = std::sin(x); break;
+          case Intrinsic::kCos: r = std::cos(x); break;
+          case Intrinsic::kTan: r = std::tan(x); break;
+          case Intrinsic::kExp: r = std::exp(x); break;
+          case Intrinsic::kLog: r = std::log(x); break;
+          case Intrinsic::kFloor: r = std::floor(x); break;
+          case Intrinsic::kCeil: r = std::ceil(x); break;
+          case Intrinsic::kRound: r = std::round(x); break;
+          case Intrinsic::kAbsFloat: r = std::fabs(x); break;
+          case Intrinsic::kPow: r = std::pow(x, y); break;
+          case Intrinsic::kAtan2: r = std::atan2(x, y); break;
+          case Intrinsic::kMinFloat: r = std::fmin(x, y); break;
+          case Intrinsic::kMaxFloat: r = std::fmax(x, y); break;
+          default:
+            return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
+        }
+        push(Value::from_float(r));
+      } else {
+        std::int64_t y = 0, x;
+        if (info.arity == 2) TASKLETS_RETURN_IF_ERROR(pop_int(y));
+        TASKLETS_RETURN_IF_ERROR(pop_int(x));
+        std::int64_t r = 0;
+        switch (id) {
+          case Intrinsic::kAbsInt:
+            r = x < 0 ? static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(x)) : x;
+            break;
+          case Intrinsic::kMinInt: r = std::min(x, y); break;
+          case Intrinsic::kMaxInt: r = std::max(x, y); break;
+          default:
+            return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
+        }
+        push(Value::from_int(r));
+      }
+      break;
+    }
+  }
+  return Status::ok();
+}
+
+Status Machine::start(const std::vector<HostArg>& args) {
+  stack_.reserve(256);
+  locals_.reserve(256);
+  frames_.reserve(16);
+  return enter(program_.entry(), /*from_host=*/true, &args);
+}
+
+Result<ExecOutcome> Machine::run(const std::vector<HostArg>& args) {
+  TASKLETS_RETURN_IF_ERROR(start(args));
+  while (!halted_) {
+    TASKLETS_RETURN_IF_ERROR(step());
+  }
+  ExecOutcome outcome;
+  TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
+  outcome.fuel_used = fuel_used_;
+  outcome.peak_call_depth = peak_depth_;
+  return outcome;
+}
+
+Result<SliceOutcome> Machine::run_slice(std::uint64_t fuel_slice) {
+  const std::uint64_t target =
+      fuel_slice == 0 ? std::numeric_limits<std::uint64_t>::max()
+                      : fuel_used_ + fuel_slice;
+  while (!halted_) {
+    if (fuel_used_ >= target) {
+      Suspension suspension;
+      suspension.state = snapshot();
+      suspension.fuel_used = fuel_used_;
+      return SliceOutcome{std::move(suspension)};
+    }
+    TASKLETS_RETURN_IF_ERROR(step());
+  }
+  ExecOutcome outcome;
+  TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
+  outcome.fuel_used = fuel_used_;
+  outcome.peak_call_depth = peak_depth_;
+  return SliceOutcome{std::move(outcome)};
+}
+
+// --- snapshot encoding ("TSNP") ----------------------------------------------
+
+namespace snapshot_format {
+constexpr std::uint32_t kMagic = 0x54534E50;  // "TSNP"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace snapshot_format
+
+namespace {
+void encode_value(ByteWriter& w, const Value& v) {
+  w.write_u8(static_cast<std::uint8_t>(v.tag()));
+  switch (v.tag()) {
+    case ValueTag::kInt: w.write_varint_signed(v.as_int()); break;
+    case ValueTag::kFloat: w.write_f64(v.as_float()); break;
+    case ValueTag::kArray: w.write_u32(v.as_array()); break;
+  }
+}
+
+Result<Value> decode_value(ByteReader& r) {
+  TASKLETS_ASSIGN_OR_RETURN(auto tag, r.read_u8());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kInt: {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, r.read_varint_signed());
+      return Value::from_int(v);
+    }
+    case ValueTag::kFloat: {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, r.read_f64());
+      return Value::from_float(v);
+    }
+    case ValueTag::kArray: {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, r.read_u32());
+      return Value::from_array(v);
+    }
+  }
+  return make_error(StatusCode::kDataLoss, "bad value tag in snapshot");
+}
+}  // namespace
+
+Bytes Machine::snapshot() const {
+  ByteWriter w;
+  w.write_u32(snapshot_format::kMagic);
+  w.write_u16(snapshot_format::kVersion);
+  w.write_u64(program_.content_hash());
+  w.write_varint(fuel_used_);
+  w.write_varint(peak_depth_);
+  w.write_varint(stack_.size());
+  for (const Value& v : stack_) encode_value(w, v);
+  w.write_varint(locals_.size());
+  for (const Value& v : locals_) encode_value(w, v);
+  w.write_varint(frames_.size());
+  for (const Frame& frame : frames_) {
+    // Function identity travels as an index (pointers are host-local).
+    std::uint32_t fn_idx = 0;
+    for (std::uint32_t i = 0; i < program_.function_count(); ++i) {
+      if (&program_.function(i) == frame.fn) {
+        fn_idx = i;
+        break;
+      }
+    }
+    w.write_varint(fn_idx);
+    w.write_varint(frame.ip);
+    w.write_varint(frame.locals_base);
+  }
+  w.write_varint(heap_.size());
+  for (const auto& cells : heap_) {
+    w.write_varint(cells.size());
+    for (const Value& v : cells) encode_value(w, v);
+  }
+  return std::move(w).take();
+}
+
+Status Machine::restore(std::span<const std::byte> snapshot_bytes) {
+  ByteReader r(snapshot_bytes);
+  TASKLETS_ASSIGN_OR_RETURN(auto magic, r.read_u32());
+  if (magic != snapshot_format::kMagic) {
+    return make_error(StatusCode::kDataLoss, "bad snapshot magic");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto version, r.read_u16());
+  if (version != snapshot_format::kVersion) {
+    return make_error(StatusCode::kDataLoss, "unsupported snapshot version");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto hash, r.read_u64());
+  if (hash != program_.content_hash()) {
+    return make_error(StatusCode::kFailedPrecondition,
+                      "snapshot belongs to a different program");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(fuel_used_, r.read_varint());
+  if (fuel_used_ > limits_.max_fuel) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot exceeds fuel limit");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto peak, r.read_varint());
+  peak_depth_ = static_cast<std::uint32_t>(peak);
+
+  TASKLETS_ASSIGN_OR_RETURN(auto stack_size, r.read_varint());
+  if (stack_size > limits_.max_operand_stack) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot stack too deep");
+  }
+  stack_.clear();
+  stack_.reserve(stack_size);
+  for (std::uint64_t i = 0; i < stack_size; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto v, decode_value(r));
+    stack_.push_back(v);
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto locals_size, r.read_varint());
+  if (locals_size > limits_.max_operand_stack) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot locals too large");
+  }
+  locals_.clear();
+  locals_.reserve(locals_size);
+  for (std::uint64_t i = 0; i < locals_size; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto v, decode_value(r));
+    locals_.push_back(v);
+  }
+
+  TASKLETS_ASSIGN_OR_RETURN(auto frame_count, r.read_varint());
+  if (frame_count == 0 || frame_count > limits_.max_call_depth) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot frame count invalid");
+  }
+  frames_.clear();
+  std::vector<std::pair<std::uint32_t, std::size_t>> frame_meta;  // (fn, ip)
+  std::size_t expected_base = 0;
+  for (std::uint64_t i = 0; i < frame_count; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto fn_idx, r.read_varint());
+    TASKLETS_ASSIGN_OR_RETURN(auto ip, r.read_varint());
+    TASKLETS_ASSIGN_OR_RETURN(auto locals_base, r.read_varint());
+    if (fn_idx >= program_.function_count()) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot frame function");
+    }
+    const Function& fn = program_.function(static_cast<std::uint32_t>(fn_idx));
+    if (ip >= fn.code.size()) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot frame ip");
+    }
+    if (locals_base != expected_base) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot locals layout");
+    }
+    expected_base += fn.num_locals;
+    Frame frame;
+    frame.fn = &fn;
+    frame.ip = static_cast<std::size_t>(ip);
+    frame.locals_base = static_cast<std::size_t>(locals_base);
+    frames_.push_back(frame);
+    frame_meta.emplace_back(static_cast<std::uint32_t>(fn_idx),
+                            static_cast<std::size_t>(ip));
+  }
+  if (expected_base != locals_.size()) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot locals size");
+  }
+
+  TASKLETS_ASSIGN_OR_RETURN(auto heap_count, r.read_varint());
+  heap_.clear();
+  heap_cells_ = 0;
+  for (std::uint64_t i = 0; i < heap_count; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto len, r.read_varint());
+    heap_cells_ += len;
+    if (heap_cells_ > limits_.max_heap_cells) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot heap too large");
+    }
+    std::vector<Value> cells;
+    cells.reserve(len);
+    for (std::uint64_t c = 0; c < len; ++c) {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, decode_value(r));
+      cells.push_back(v);
+    }
+    heap_.push_back(std::move(cells));
+  }
+  if (!r.exhausted()) {
+    return make_error(StatusCode::kDataLoss, "trailing bytes in snapshot");
+  }
+
+  // Every array handle anywhere in the state must point into the heap.
+  auto handles_valid = [&](const std::vector<Value>& values) {
+    for (const Value& v : values) {
+      if (v.is_array() && v.as_array() >= heap_.size()) return false;
+    }
+    return true;
+  };
+  if (!handles_valid(stack_) || !handles_valid(locals_)) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot array handle");
+  }
+  for (const auto& cells : heap_) {
+    if (!handles_valid(cells)) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot array handle");
+    }
+  }
+
+  // Call-chain consistency: each suspended caller must sit immediately after
+  // a kCall to the next frame's function.
+  for (std::size_t i = 0; i + 1 < frame_meta.size(); ++i) {
+    const Function& fn = program_.function(frame_meta[i].first);
+    const std::size_t ip = frame_meta[i].second;
+    if (ip == 0 || fn.code[ip - 1].op != OpCode::kCall ||
+        fn.code[ip - 1].operand !=
+            static_cast<std::int64_t>(frame_meta[i + 1].first)) {
+      return make_error(StatusCode::kInvalidArgument, "snapshot call chain");
+    }
+  }
+
+  // Operand-stack depth proven against the verifier's depth map: callers
+  // contribute their depth after the call minus the pending result; the top
+  // frame contributes its depth before the next instruction.
+  TASKLETS_ASSIGN_OR_RETURN(auto depth_map, stack_depth_map(program_));
+  std::int64_t expected_depth = 0;
+  for (std::size_t i = 0; i < frame_meta.size(); ++i) {
+    const auto [fn_idx, ip] = frame_meta[i];
+    const int depth = depth_map[fn_idx][ip];
+    if (depth < 0) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "snapshot ip at unreachable instruction");
+    }
+    expected_depth += i + 1 < frame_meta.size() ? depth - 1 : depth;
+  }
+  if (expected_depth < 0 ||
+      static_cast<std::size_t>(expected_depth) != stack_.size()) {
+    return make_error(StatusCode::kInvalidArgument, "snapshot stack depth");
+  }
+  halted_ = false;
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<ExecOutcome> execute(const Program& program,
+                            const std::vector<HostArg>& args,
+                            const ExecLimits& limits) {
+  Machine machine(program, limits);
+  return machine.run(args);
+}
+
+Result<ExecOutcome> verify_and_execute(const Program& program,
+                                       const std::vector<HostArg>& args,
+                                       const ExecLimits& limits) {
+  TASKLETS_RETURN_IF_ERROR(verify(program));
+  return execute(program, args, limits);
+}
+
+Result<SliceOutcome> execute_slice(const Program& program,
+                                   const std::vector<HostArg>& args,
+                                   const ExecLimits& limits,
+                                   std::uint64_t fuel_slice) {
+  Machine machine(program, limits);
+  TASKLETS_RETURN_IF_ERROR(machine.start(args));
+  return machine.run_slice(fuel_slice);
+}
+
+Result<std::uint64_t> snapshot_fuel(std::span<const std::byte> state) {
+  ByteReader r(state);
+  TASKLETS_ASSIGN_OR_RETURN(auto magic, r.read_u32());
+  if (magic != snapshot_format::kMagic) {
+    return make_error(StatusCode::kDataLoss, "bad snapshot magic");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto version, r.read_u16());
+  if (version != snapshot_format::kVersion) {
+    return make_error(StatusCode::kDataLoss, "unsupported snapshot version");
+  }
+  TASKLETS_ASSIGN_OR_RETURN(auto hash, r.read_u64());
+  (void)hash;
+  return r.read_varint();
+}
+
+Result<SliceOutcome> resume_slice(const Program& program,
+                                  const Suspension& suspension,
+                                  const ExecLimits& limits,
+                                  std::uint64_t fuel_slice) {
+  Machine machine(program, limits);
+  TASKLETS_RETURN_IF_ERROR(machine.restore(std::span<const std::byte>(
+      suspension.state.data(), suspension.state.size())));
+  return machine.run_slice(fuel_slice);
+}
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,97 @@
+// The TVM interpreter.
+//
+// Executes a verified Program against marshalled host arguments, with hard
+// resource limits (fuel, operand stack, call depth, heap cells) so a
+// provider can run untrusted tasklets without being wedged or exhausted.
+//
+// Determinism contract: for a given (program, args, limits), the result and
+// the fuel consumed are identical on every conforming host. Fuel therefore
+// doubles as the device-independent work measure the simulator converts to
+// virtual service time via a device's speed factor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "tvm/marshal.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tvm {
+
+struct ExecLimits {
+  std::uint64_t max_fuel = 500'000'000;
+  std::uint32_t max_operand_stack = 1u << 16;  // values
+  std::uint32_t max_call_depth = 512;
+  std::uint64_t max_heap_cells = 1u << 24;  // values across all arrays
+};
+
+struct ExecOutcome {
+  HostArg result;
+  std::uint64_t fuel_used = 0;
+  std::uint32_t peak_call_depth = 0;
+};
+
+// Runs the program's entry function. The caller is responsible for having
+// verified the program (see verifier.hpp); the interpreter still performs
+// dynamic type/bounds checks and traps cleanly, but relies on the verifier
+// for operand-range and stack-shape safety.
+//
+// Trap taxonomy (Status codes):
+//   kDeadlineExceeded   — fuel exhausted
+//   kResourceExhausted  — operand stack / call depth / heap limit
+//   kAborted            — deterministic runtime trap (type confusion,
+//                         division by zero, array bounds, bad f2i)
+//   kInvalidArgument    — argument count mismatch with entry arity
+[[nodiscard]] Result<ExecOutcome> execute(const Program& program,
+                                          const std::vector<HostArg>& args,
+                                          const ExecLimits& limits = {});
+
+// Convenience: verify + execute.
+[[nodiscard]] Result<ExecOutcome> verify_and_execute(
+    const Program& program, const std::vector<HostArg>& args,
+    const ExecLimits& limits = {});
+
+// --- Resumable execution: the tasklet-migration substrate ---------------------
+//
+// A running tasklet can be suspended at any instruction boundary into a
+// Suspension: a self-contained, serializable machine state (operand stack,
+// locals, call frames, heap, fuel) bound to its program by content hash.
+// Ship the bytes to another device and resume there — execution continues
+// bit-exactly where it stopped, which is what device-to-device tasklet
+// migration needs.
+//
+// Restore validates untrusted snapshot bytes rigorously before the
+// interpreter touches them: structural decoding, program-hash binding,
+// call-chain consistency (every suspended caller sits right after a kCall to
+// the next frame's function), operand-stack depth proven against the
+// verifier's per-instruction depth map, array-handle range checks and
+// resource limits. A forged or corrupted snapshot is rejected with
+// kDataLoss/kInvalidArgument; it cannot reach unsafe interpreter states.
+
+struct Suspension {
+  Bytes state;                  // opaque "TSNP" encoding of the machine
+  std::uint64_t fuel_used = 0;  // fuel consumed so far (scheduling input)
+};
+
+using SliceOutcome = std::variant<ExecOutcome, Suspension>;
+
+// Runs until completion or until ~`fuel_slice` additional fuel is consumed
+// (0 = unbounded, equivalent to execute()). The fuel ceiling in `limits`
+// still applies across all slices.
+[[nodiscard]] Result<SliceOutcome> execute_slice(const Program& program,
+                                                 const std::vector<HostArg>& args,
+                                                 const ExecLimits& limits,
+                                                 std::uint64_t fuel_slice);
+
+// Continues a suspended execution, on any host holding the same program.
+[[nodiscard]] Result<SliceOutcome> resume_slice(const Program& program,
+                                                const Suspension& suspension,
+                                                const ExecLimits& limits,
+                                                std::uint64_t fuel_slice);
+
+// Reads the fuel-consumed-so-far field out of snapshot bytes without
+// restoring the machine (schedulers use it to charge only remaining work).
+[[nodiscard]] Result<std::uint64_t> snapshot_fuel(std::span<const std::byte> state);
+
+}  // namespace tasklets::tvm

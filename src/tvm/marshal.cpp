@@ -1,0 +1,142 @@
+#include "tvm/marshal.hpp"
+
+#include <sstream>
+
+namespace tasklets::tvm {
+
+namespace {
+enum class ArgTag : std::uint8_t {
+  kInt = 0,
+  kFloat = 1,
+  kIntArray = 2,
+  kFloatArray = 3,
+};
+constexpr std::uint64_t kMaxArrayLen = 1u << 26;  // 64M elements
+constexpr std::uint64_t kMaxArgs = 1u << 16;
+}  // namespace
+
+std::string to_string(const HostArg& arg) {
+  std::ostringstream out;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t> || std::is_same_v<T, double>) {
+          out << v;
+        } else {
+          out << '[';
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0) out << ", ";
+            if (i >= 8) {
+              out << "... " << v.size() << " elements";
+              break;
+            }
+            out << v[i];
+          }
+          out << ']';
+        }
+      },
+      arg);
+  return out.str();
+}
+
+void encode_arg(ByteWriter& w, const HostArg& arg) {
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t>) {
+          w.write_u8(static_cast<std::uint8_t>(ArgTag::kInt));
+          w.write_varint_signed(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          w.write_u8(static_cast<std::uint8_t>(ArgTag::kFloat));
+          w.write_f64(v);
+        } else if constexpr (std::is_same_v<T, std::vector<std::int64_t>>) {
+          w.write_u8(static_cast<std::uint8_t>(ArgTag::kIntArray));
+          w.write_varint(v.size());
+          for (auto x : v) w.write_varint_signed(x);
+        } else {
+          w.write_u8(static_cast<std::uint8_t>(ArgTag::kFloatArray));
+          w.write_varint(v.size());
+          for (auto x : v) w.write_f64(x);
+        }
+      },
+      arg);
+}
+
+Result<HostArg> decode_arg(ByteReader& r) {
+  TASKLETS_ASSIGN_OR_RETURN(auto tag, r.read_u8());
+  switch (static_cast<ArgTag>(tag)) {
+    case ArgTag::kInt: {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, r.read_varint_signed());
+      return HostArg{v};
+    }
+    case ArgTag::kFloat: {
+      TASKLETS_ASSIGN_OR_RETURN(auto v, r.read_f64());
+      return HostArg{v};
+    }
+    case ArgTag::kIntArray: {
+      TASKLETS_ASSIGN_OR_RETURN(auto n, r.read_varint());
+      if (n > kMaxArrayLen) {
+        return make_error(StatusCode::kDataLoss, "array too long");
+      }
+      std::vector<std::int64_t> v;
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TASKLETS_ASSIGN_OR_RETURN(auto x, r.read_varint_signed());
+        v.push_back(x);
+      }
+      return HostArg{std::move(v)};
+    }
+    case ArgTag::kFloatArray: {
+      TASKLETS_ASSIGN_OR_RETURN(auto n, r.read_varint());
+      if (n > kMaxArrayLen) {
+        return make_error(StatusCode::kDataLoss, "array too long");
+      }
+      std::vector<double> v;
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        TASKLETS_ASSIGN_OR_RETURN(auto x, r.read_f64());
+        v.push_back(x);
+      }
+      return HostArg{std::move(v)};
+    }
+  }
+  return make_error(StatusCode::kDataLoss, "unknown argument tag");
+}
+
+void encode_args(ByteWriter& w, const std::vector<HostArg>& args) {
+  w.write_varint(args.size());
+  for (const auto& a : args) encode_arg(w, a);
+}
+
+Result<std::vector<HostArg>> decode_args(ByteReader& r) {
+  TASKLETS_ASSIGN_OR_RETURN(auto n, r.read_varint());
+  if (n > kMaxArgs) {
+    return make_error(StatusCode::kDataLoss, "too many arguments");
+  }
+  std::vector<HostArg> args;
+  args.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto a, decode_arg(r));
+    args.push_back(std::move(a));
+  }
+  return args;
+}
+
+bool args_equal(const HostArg& a, const HostArg& b) noexcept {
+  return a == b;  // variant + vector equality is exact, element-wise
+}
+
+std::size_t arg_wire_size(const HostArg& arg) noexcept {
+  return std::visit(
+      [](const auto& v) -> std::size_t {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::int64_t> || std::is_same_v<T, double>) {
+          return 9;
+        } else {
+          return 2 + v.size() * 8;
+        }
+      },
+      arg);
+}
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,41 @@
+// Marshalling of tasklet parameters and results across the consumer /
+// provider boundary.
+//
+// The host-visible data model is deliberately flat: scalars (int64, double)
+// and homogeneous 1-D arrays of them. Nested arrays exist only *inside* a
+// VM execution; the boundary keeps the wire format simple and every
+// implementation language able to produce/consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace tasklets::tvm {
+
+using HostArg = std::variant<std::int64_t, double, std::vector<std::int64_t>,
+                             std::vector<double>>;
+
+[[nodiscard]] std::string to_string(const HostArg& arg);
+
+// Wire encoding: tag byte, then payload (varint-signed scalar, raw f64, or
+// varint count + elements).
+void encode_arg(ByteWriter& w, const HostArg& arg);
+[[nodiscard]] Result<HostArg> decode_arg(ByteReader& r);
+
+void encode_args(ByteWriter& w, const std::vector<HostArg>& args);
+[[nodiscard]] Result<std::vector<HostArg>> decode_args(ByteReader& r);
+
+// Deep structural equality, with exact float comparison (results are
+// bit-deterministic across conforming TVMs, so replicas must agree exactly —
+// this is what redundancy voting uses).
+[[nodiscard]] bool args_equal(const HostArg& a, const HostArg& b) noexcept;
+
+// Approximate payload size in bytes (transfer-cost model input).
+[[nodiscard]] std::size_t arg_wire_size(const HostArg& arg) noexcept;
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,139 @@
+// TVM instruction set.
+//
+// A stack machine with typed arithmetic (the compiler resolves types
+// statically and emits int- or float- flavoured opcodes), structured call
+// frames, bounds-checked array storage and a small pure-math intrinsic
+// library. Every instruction carries one optional 64-bit operand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tasklets::tvm {
+
+enum class OpCode : std::uint8_t {
+  // Stack & constants ------------------------------------------------------
+  kNop = 0,
+  kPushInt,    // operand: immediate int64
+  kPushFloat,  // operand: IEEE-754 bit pattern of the double
+  kPop,
+  kDup,
+  kSwap,
+
+  // Locals (operand: slot index; parameters occupy the first slots) --------
+  kLoadLocal,
+  kStoreLocal,
+
+  // Integer arithmetic ------------------------------------------------------
+  kAddInt,
+  kSubInt,
+  kMulInt,
+  kDivInt,  // traps on divide-by-zero and INT64_MIN / -1
+  kModInt,  // traps on modulo-by-zero
+  kNegInt,
+
+  // Float arithmetic ---------------------------------------------------------
+  kAddFloat,
+  kSubFloat,
+  kMulFloat,
+  kDivFloat,  // IEEE semantics: x/0 is ±inf, 0/0 is NaN (no trap)
+  kNegFloat,
+
+  // Bit operations (int only) ------------------------------------------------
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  kShl,  // shift counts are masked to [0,63]
+  kShr,  // arithmetic shift right
+
+  // Comparisons: pop two, push int 0/1 ---------------------------------------
+  kCmpEqInt,
+  kCmpNeInt,
+  kCmpLtInt,
+  kCmpLeInt,
+  kCmpGtInt,
+  kCmpGeInt,
+  kCmpEqFloat,
+  kCmpNeFloat,
+  kCmpLtFloat,
+  kCmpLeFloat,
+  kCmpGtFloat,
+  kCmpGeFloat,
+
+  // Logic on int truth values -------------------------------------------------
+  kLogicalNot,  // pop x, push (x == 0)
+
+  // Conversions -----------------------------------------------------------------
+  kIntToFloat,
+  kFloatToInt,  // truncates toward zero; traps if out of int64 range or NaN
+
+  // Control flow (operand: absolute instruction index within the function) ----
+  kJump,
+  kJumpIfZero,     // pop int; jump when 0
+  kJumpIfNotZero,  // pop int; jump when != 0
+
+  // Calls (operand: function index). Arguments are popped (last on top) and
+  // become the callee's first locals. Every function returns exactly one value.
+  kCall,
+  kReturn,
+
+  // Arrays ---------------------------------------------------------------------
+  kNewArray,    // pop length (int), push array ref; elements zero-initialised
+  kArrayLoad,   // pop index, pop ref; push element
+  kArrayStore,  // pop value, pop index, pop ref
+  kArrayLen,    // pop ref, push length (int)
+
+  // Intrinsics (operand: Intrinsic id). Pops per-arity args, pushes result. ----
+  kIntrinsic,
+
+  kHalt,  // stop with the top of stack as the program result
+};
+
+constexpr std::uint8_t kNumOpCodes = static_cast<std::uint8_t>(OpCode::kHalt) + 1;
+
+// Pure-math intrinsics. Arity and result type are fixed per id.
+enum class Intrinsic : std::uint8_t {
+  kSqrt = 0,  // float -> float
+  kSin,
+  kCos,
+  kTan,
+  kExp,
+  kLog,       // natural log
+  kFloor,
+  kCeil,
+  kRound,
+  kAbsFloat,
+  kPow,       // (float, float) -> float
+  kAtan2,     // (float, float) -> float
+  kAbsInt,    // int -> int
+  kMinInt,    // (int, int) -> int
+  kMaxInt,
+  kMinFloat,  // (float, float) -> float
+  kMaxFloat,
+};
+
+constexpr std::uint8_t kNumIntrinsics = static_cast<std::uint8_t>(Intrinsic::kMaxFloat) + 1;
+
+struct IntrinsicInfo {
+  std::string_view name;
+  int arity;        // 1 or 2
+  bool float_args;  // whether args/result are float-typed
+};
+
+[[nodiscard]] const IntrinsicInfo& intrinsic_info(Intrinsic id) noexcept;
+[[nodiscard]] std::optional<Intrinsic> intrinsic_by_name(std::string_view name) noexcept;
+
+struct OpInfo {
+  std::string_view name;   // assembler mnemonic
+  bool has_operand;
+  // Stack effect. For kCall/kIntrinsic, pops is resolved dynamically from the
+  // callee arity / intrinsic table; these report pops = -1.
+  int pops;
+  int pushes;
+};
+
+[[nodiscard]] const OpInfo& op_info(OpCode op) noexcept;
+[[nodiscard]] std::optional<OpCode> opcode_by_name(std::string_view mnemonic) noexcept;
+
+}  // namespace tasklets::tvm

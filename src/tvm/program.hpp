@@ -1,0 +1,77 @@
+// The portable bytecode container. A Program is the unit shipped from a
+// consumer to a provider; it is fully self-contained (no external linkage)
+// and has a stable binary encoding ("TVM1") so heterogeneous nodes agree on
+// its meaning — this is the artifact that overcomes architecture and OS
+// heterogeneity in the Tasklet system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "tvm/opcode.hpp"
+
+namespace tasklets::tvm {
+
+struct Instr {
+  OpCode op = OpCode::kNop;
+  std::int64_t operand = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+struct Function {
+  std::string name;
+  std::uint32_t arity = 0;       // parameters occupy locals [0, arity)
+  std::uint32_t num_locals = 0;  // total local slots, including parameters
+  std::vector<Instr> code;
+
+  friend bool operator==(const Function&, const Function&) = default;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  // Adds a function, returning its index (used as the kCall operand).
+  std::uint32_t add_function(Function fn);
+
+  [[nodiscard]] const std::vector<Function>& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const Function& function(std::uint32_t idx) const {
+    return functions_.at(idx);
+  }
+  [[nodiscard]] std::size_t function_count() const noexcept {
+    return functions_.size();
+  }
+
+  [[nodiscard]] Result<std::uint32_t> find_function(std::string_view name) const;
+
+  void set_entry(std::uint32_t idx) noexcept { entry_ = idx; }
+  [[nodiscard]] std::uint32_t entry() const noexcept { return entry_; }
+
+  // Total instruction count across functions; a cheap size proxy used in
+  // transfer-cost models.
+  [[nodiscard]] std::size_t instruction_count() const noexcept;
+
+  // Stable binary encoding. serialize() always succeeds; deserialize()
+  // validates the container structure (magic, version, counts, opcode range)
+  // but not semantic well-formedness — run the Verifier for that.
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Result<Program> deserialize(std::span<const std::byte> data);
+
+  // Content hash over the serialized form: used as a cache key so providers
+  // can skip re-verification of programs they have already seen.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  friend bool operator==(const Program&, const Program&) = default;
+
+ private:
+  std::vector<Function> functions_;
+  std::uint32_t entry_ = 0;
+};
+
+}  // namespace tasklets::tvm

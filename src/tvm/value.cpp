@@ -1,0 +1,23 @@
+#include "tvm/value.hpp"
+
+#include <cstdio>
+
+namespace tasklets::tvm {
+
+std::string Value::to_string() const {
+  char buf[48];
+  switch (tag_) {
+    case ValueTag::kInt:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      break;
+    case ValueTag::kFloat:
+      std::snprintf(buf, sizeof buf, "%.17g", float_);
+      break;
+    case ValueTag::kArray:
+      std::snprintf(buf, sizeof buf, "array#%u", array_);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,93 @@
+// The TVM value model.
+//
+// A Value is a dynamically tagged 64-bit scalar (integer or float) or a
+// reference to a heap-allocated array. Arrays live in a per-execution heap
+// (see interpreter.hpp) and are addressed by handle, so values stay trivially
+// copyable and the whole machine state is serializable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace tasklets::tvm {
+
+enum class ValueTag : std::uint8_t { kInt = 0, kFloat = 1, kArray = 2 };
+
+[[nodiscard]] constexpr std::string_view to_string(ValueTag tag) noexcept {
+  switch (tag) {
+    case ValueTag::kInt: return "int";
+    case ValueTag::kFloat: return "float";
+    case ValueTag::kArray: return "array";
+  }
+  return "?";
+}
+
+// Handle into the execution heap. Index 0 is valid (first allocation).
+using ArrayHandle = std::uint32_t;
+
+class Value {
+ public:
+  constexpr Value() noexcept : tag_(ValueTag::kInt), int_(0) {}
+
+  [[nodiscard]] static constexpr Value from_int(std::int64_t v) noexcept {
+    Value out;
+    out.tag_ = ValueTag::kInt;
+    out.int_ = v;
+    return out;
+  }
+  [[nodiscard]] static constexpr Value from_float(double v) noexcept {
+    Value out;
+    out.tag_ = ValueTag::kFloat;
+    out.float_ = v;
+    return out;
+  }
+  [[nodiscard]] static constexpr Value from_array(ArrayHandle h) noexcept {
+    Value out;
+    out.tag_ = ValueTag::kArray;
+    out.array_ = h;
+    return out;
+  }
+
+  [[nodiscard]] constexpr ValueTag tag() const noexcept { return tag_; }
+  [[nodiscard]] constexpr bool is_int() const noexcept { return tag_ == ValueTag::kInt; }
+  [[nodiscard]] constexpr bool is_float() const noexcept { return tag_ == ValueTag::kFloat; }
+  [[nodiscard]] constexpr bool is_array() const noexcept { return tag_ == ValueTag::kArray; }
+
+  // Unchecked accessors; the interpreter checks tags before calling.
+  [[nodiscard]] constexpr std::int64_t as_int() const noexcept { return int_; }
+  [[nodiscard]] constexpr double as_float() const noexcept { return float_; }
+  [[nodiscard]] constexpr ArrayHandle as_array() const noexcept { return array_; }
+
+  // Numeric coercion used by comparison and conversion opcodes.
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return is_float() ? float_ : static_cast<double>(int_);
+  }
+
+  // Structural equality: tags must match; floats compare bitwise-exact by
+  // value (NaN != NaN, matching IEEE semantics used in programs).
+  friend constexpr bool operator==(const Value& a, const Value& b) noexcept {
+    if (a.tag_ != b.tag_) return false;
+    switch (a.tag_) {
+      case ValueTag::kInt: return a.int_ == b.int_;
+      case ValueTag::kFloat: return a.float_ == b.float_;
+      case ValueTag::kArray: return a.array_ == b.array_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ValueTag tag_;
+  union {
+    std::int64_t int_;
+    double float_;
+    ArrayHandle array_;
+  };
+};
+
+static_assert(sizeof(Value) == 16, "Value should stay two words");
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,194 @@
+#include "tvm/verifier.hpp"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace tasklets::tvm {
+
+namespace {
+
+std::string at(const Function& fn, std::size_t ip) {
+  return "in '" + fn.name + "' at instruction " + std::to_string(ip);
+}
+
+// Resolves the stack effect of an instruction; pops for calls and intrinsics
+// come from the callee signature.
+Status stack_effect(const Program& program, const Function& fn, std::size_t ip,
+                    int& pops, int& pushes) {
+  const Instr& instr = fn.code[ip];
+  const OpInfo& info = op_info(instr.op);
+  pops = info.pops;
+  pushes = info.pushes;
+  if (instr.op == OpCode::kCall) {
+    const auto callee = static_cast<std::uint64_t>(instr.operand);
+    pops = static_cast<int>(program.function(static_cast<std::uint32_t>(callee)).arity);
+  } else if (instr.op == OpCode::kIntrinsic) {
+    pops = intrinsic_info(static_cast<Intrinsic>(instr.operand)).arity;
+  }
+  return Status::ok();
+}
+
+Status verify_operands(const Program& program, const Function& fn) {
+  const auto code_len = static_cast<std::int64_t>(fn.code.size());
+  for (std::size_t ip = 0; ip < fn.code.size(); ++ip) {
+    const Instr& instr = fn.code[ip];
+    if (static_cast<std::uint8_t>(instr.op) >= kNumOpCodes) {
+      return make_error(StatusCode::kDataLoss, "unknown opcode " + at(fn, ip));
+    }
+    switch (instr.op) {
+      case OpCode::kLoadLocal:
+      case OpCode::kStoreLocal:
+        if (instr.operand < 0 || instr.operand >= static_cast<std::int64_t>(fn.num_locals)) {
+          return make_error(StatusCode::kOutOfRange,
+                            "local slot out of range " + at(fn, ip));
+        }
+        break;
+      case OpCode::kJump:
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNotZero:
+        if (instr.operand < 0 || instr.operand >= code_len) {
+          return make_error(StatusCode::kOutOfRange,
+                            "jump target out of range " + at(fn, ip));
+        }
+        break;
+      case OpCode::kCall:
+        if (instr.operand < 0 ||
+            instr.operand >= static_cast<std::int64_t>(program.function_count())) {
+          return make_error(StatusCode::kOutOfRange,
+                            "call target out of range " + at(fn, ip));
+        }
+        break;
+      case OpCode::kIntrinsic:
+        if (instr.operand < 0 || instr.operand >= kNumIntrinsics) {
+          return make_error(StatusCode::kOutOfRange,
+                            "unknown intrinsic " + at(fn, ip));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+// Flow-insensitive-in, flow-sensitive-out stack-depth analysis: propagates a
+// single depth to each instruction and rejects merge-point disagreements.
+// On success `depths_out` (when non-null) receives the depth before each
+// instruction (-1 = unreachable).
+Status verify_stack(const Program& program, const Function& fn,
+                    const VerifyLimits& limits,
+                    std::vector<int>* depths_out = nullptr) {
+  if (fn.code.empty()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "function '" + fn.name + "' has empty code");
+  }
+  constexpr int kUnvisited = -1;
+  std::vector<int> depth_at(fn.code.size(), kUnvisited);
+  std::deque<std::size_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+
+  auto propagate = [&](std::size_t target, int depth, std::size_t from) -> Status {
+    if (target >= fn.code.size()) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "control falls off code end " + at(fn, from));
+    }
+    if (depth_at[target] == kUnvisited) {
+      depth_at[target] = depth;
+      worklist.push_back(target);
+    } else if (depth_at[target] != depth) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "inconsistent stack depth at merge " + at(fn, target));
+    }
+    return Status::ok();
+  };
+
+  while (!worklist.empty()) {
+    const std::size_t ip = worklist.front();
+    worklist.pop_front();
+    const Instr& instr = fn.code[ip];
+    int pops = 0, pushes = 0;
+    TASKLETS_RETURN_IF_ERROR(stack_effect(program, fn, ip, pops, pushes));
+    const int depth = depth_at[ip];
+    if (depth < pops) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "operand stack underflow " + at(fn, ip));
+    }
+    const int next = depth - pops + pushes;
+    if (next > static_cast<int>(limits.max_stack_depth)) {
+      return make_error(StatusCode::kResourceExhausted,
+                        "static stack depth exceeds limit " + at(fn, ip));
+    }
+    switch (instr.op) {
+      case OpCode::kReturn:
+      case OpCode::kHalt:
+        // `ret`/`halt` consume the result; nothing may be left beneath it.
+        if (depth != 1) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "non-singleton stack at return " + at(fn, ip));
+        }
+        break;
+      case OpCode::kJump:
+        TASKLETS_RETURN_IF_ERROR(
+            propagate(static_cast<std::size_t>(instr.operand), next, ip));
+        break;
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNotZero:
+        TASKLETS_RETURN_IF_ERROR(
+            propagate(static_cast<std::size_t>(instr.operand), next, ip));
+        TASKLETS_RETURN_IF_ERROR(propagate(ip + 1, next, ip));
+        break;
+      default:
+        TASKLETS_RETURN_IF_ERROR(propagate(ip + 1, next, ip));
+        break;
+    }
+  }
+  if (depths_out != nullptr) *depths_out = depth_at;
+  return Status::ok();
+}
+
+}  // namespace
+
+Status verify(const Program& program, const VerifyLimits& limits) {
+  if (program.function_count() == 0) {
+    return make_error(StatusCode::kInvalidArgument, "program has no functions");
+  }
+  if (program.entry() >= program.function_count()) {
+    return make_error(StatusCode::kOutOfRange, "entry index out of range");
+  }
+  for (const auto& fn : program.functions()) {
+    if (fn.arity > fn.num_locals) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "arity exceeds locals in '" + fn.name + "'");
+    }
+    TASKLETS_RETURN_IF_ERROR(verify_operands(program, fn));
+    TASKLETS_RETURN_IF_ERROR(verify_stack(program, fn, limits));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::vector<int>>> stack_depth_map(const Program& program,
+                                                      const VerifyLimits& limits) {
+  if (program.function_count() == 0) {
+    return make_error(StatusCode::kInvalidArgument, "program has no functions");
+  }
+  if (program.entry() >= program.function_count()) {
+    return make_error(StatusCode::kOutOfRange, "entry index out of range");
+  }
+  std::vector<std::vector<int>> map;
+  map.reserve(program.function_count());
+  for (const auto& fn : program.functions()) {
+    if (fn.arity > fn.num_locals) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "arity exceeds locals in '" + fn.name + "'");
+    }
+    TASKLETS_RETURN_IF_ERROR(verify_operands(program, fn));
+    std::vector<int> depths;
+    TASKLETS_RETURN_IF_ERROR(verify_stack(program, fn, limits, &depths));
+    map.push_back(std::move(depths));
+  }
+  return map;
+}
+
+}  // namespace tasklets::tvm

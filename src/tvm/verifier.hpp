@@ -1,0 +1,39 @@
+// Static bytecode verification.
+//
+// Providers execute code authored by untrusted remote consumers, so every
+// program is verified before first execution (results are cached by content
+// hash). The verifier guarantees, per function:
+//
+//   * every operand index is in range (locals, jump targets, callees,
+//     intrinsic ids),
+//   * control flow cannot fall off the end of the code array,
+//   * the operand stack never underflows, its depth at any instruction is
+//     flow-independent (classic Java-style bytecode verification), and it
+//     is exactly 1 at every `ret`/`halt`,
+//   * the static stack depth stays under a fixed bound.
+//
+// Value *types* are checked dynamically by the interpreter; the verifier
+// makes memory-safety violations unreachable, the interpreter turns type
+// confusion into clean traps.
+#pragma once
+
+#include "common/status.hpp"
+#include "tvm/program.hpp"
+
+namespace tasklets::tvm {
+
+struct VerifyLimits {
+  std::uint32_t max_stack_depth = 1024;  // static operand-stack bound
+};
+
+[[nodiscard]] Status verify(const Program& program, const VerifyLimits& limits = {});
+
+// The operand-stack depth *before* each instruction, per function, as
+// established by verification (-1 = unreachable instruction). Fails when the
+// program does not verify. Used by snapshot restore (interpreter.hpp) to
+// prove that a resumed machine state is consistent with the bytecode before
+// the interpreter touches it.
+[[nodiscard]] Result<std::vector<std::vector<int>>> stack_depth_map(
+    const Program& program, const VerifyLimits& limits = {});
+
+}  // namespace tasklets::tvm

@@ -1,0 +1,415 @@
+// Unit tests for the common substrate: Status/Result, binary codec,
+// deterministic RNG, ids, clock formatting and statistics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+
+namespace tasklets {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = make_error(StatusCode::kNotFound, "missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = make_error(StatusCode::kUnavailable, "down");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+Result<int> helper_propagates(bool fail) {
+  Result<int> inner = fail ? Result<int>(make_error(StatusCode::kInternal, "x"))
+                           : Result<int>(3);
+  TASKLETS_ASSIGN_OR_RETURN(auto v, inner);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*helper_propagates(false), 6);
+  EXPECT_EQ(helper_propagates(true).status().code(), StatusCode::kInternal);
+}
+
+// --- Byte codec -------------------------------------------------------------
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0xBEEF);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i64(-12345);
+  w.write_f64(3.14159);
+  w.write_bool(true);
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(*r.read_u8(), 0xAB);
+  EXPECT_EQ(*r.read_u16(), 0xBEEF);
+  EXPECT_EQ(*r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.read_i64(), -12345);
+  EXPECT_DOUBLE_EQ(*r.read_f64(), 3.14159);
+  EXPECT_TRUE(*r.read_bool());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 std::numeric_limits<std::uint32_t>::max(),
+                                 std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (auto v : cases) w.write_varint(v);
+  ByteReader r(w.buffer());
+  for (auto v : cases) EXPECT_EQ(*r.read_varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, SignedVarintRoundTrip) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -64,
+                                63,
+                                -65536,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  ByteWriter w;
+  for (auto v : cases) w.write_varint_signed(v);
+  ByteReader r(w.buffer());
+  for (auto v : cases) EXPECT_EQ(*r.read_varint_signed(), v);
+}
+
+TEST(BytesTest, StringAndBlobRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello tasklets");
+  w.write_string("");
+  Bytes blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.write_bytes(blob);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(*r.read_string(), "hello tasklets");
+  EXPECT_EQ(*r.read_string(), "");
+  EXPECT_EQ(*r.read_bytes(), blob);
+}
+
+TEST(BytesTest, TruncatedReadFails) {
+  ByteWriter w;
+  w.write_u32(7);
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.read_u16().is_ok());
+  EXPECT_TRUE(r.read_u16().is_ok());
+  const auto bad = r.read_u8();
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  // Poisoned reader keeps failing.
+  EXPECT_FALSE(r.read_u8().is_ok());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, BlobLengthExceedingInputFails) {
+  ByteWriter w;
+  w.write_varint(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.read_bytes().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BytesTest, BoolRejectsInvalidEncoding) {
+  ByteWriter w;
+  w.write_u8(2);
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(r.read_bool().is_ok());
+}
+
+TEST(BytesTest, Fnv1aStableValues) {
+  // Known-answer: FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("tasklet"), fnv1a("tasklet"));
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBelowAvoidsOutOfRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, ExponentialMeanApproximately) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialNonPositiveMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(23);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// --- Ids -----------------------------------------------------------------------
+
+TEST(IdsTest, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(IdsTest, GeneratorStartsAtOneAndIncrements) {
+  IdGenerator<TaskletId> gen;
+  const auto a = gen.next();
+  const auto b = gen.next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.value(), 1u);
+  EXPECT_EQ(b.value(), 2u);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(IdsTest, ToStringHasTypedPrefix) {
+  EXPECT_EQ(NodeId{7}.to_string(), "node-7");
+  EXPECT_EQ(TaskletId{9}.to_string(), "tasklet-9");
+  EXPECT_EQ(JobId{1}.to_string(), "job-1");
+}
+
+TEST(IdsTest, HashableInUnorderedContainers) {
+  std::unordered_map<NodeId, int> m;
+  m[NodeId{1}] = 10;
+  m[NodeId{2}] = 20;
+  EXPECT_EQ(m.at(NodeId{1}), 10);
+  EXPECT_EQ(m.at(NodeId{2}), 20);
+}
+
+// --- Clock ------------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(5 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kMillisecond);
+  clock.set(kSecond);
+  EXPECT_EQ(clock.now(), kSecond);
+}
+
+TEST(ClockTest, SteadyClockMovesForward) {
+  SteadyClock clock;
+  const SimTime a = clock.now();
+  const SimTime b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(to_seconds(1500 * kMillisecond), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(2 * kSecond), 2000.0);
+  EXPECT_EQ(from_seconds(0.25), 250 * kMillisecond);
+  EXPECT_EQ(from_millis(1.5), 1500 * kMicrosecond);
+}
+
+TEST(ClockTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(500), "500 ns");
+  EXPECT_EQ(format_duration(2 * kMicrosecond), "2.000 us");
+  EXPECT_EQ(format_duration(3 * kMillisecond), "3.000 ms");
+  EXPECT_EQ(format_duration(4 * kSecond), "4.000 s");
+}
+
+// --- Stats -------------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, RunningStatsEmpty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatsTest, SamplerQuantiles) {
+  Sampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.p50(), 50.5, 0.01);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 0.01);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 0.01);
+  EXPECT_NEAR(s.p95(), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(StatsTest, SamplerInterleavedAddAndQuantile) {
+  Sampler s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 3.0);
+  s.add(1.0);  // must re-sort lazily after new sample
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+}
+
+TEST(StatsTest, LogHistogramQuantilesApproximate) {
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i) h.add(1000.0);  // all in one bucket
+  // Within one bucket the midpoint is reported, clamped by observed max.
+  EXPECT_LE(h.quantile(0.5), 1000.0);
+  EXPECT_GE(h.quantile(0.5), 840.0);  // bucket lower bound at ~19% error
+  EXPECT_EQ(h.count(), 10000u);
+}
+
+TEST(StatsTest, LogHistogramOrdering) {
+  LogHistogram h;
+  for (int i = 0; i < 900; ++i) h.add(100.0);
+  for (int i = 0; i < 100; ++i) h.add(100000.0);
+  EXPECT_LT(h.quantile(0.5), 200.0);
+  EXPECT_GT(h.quantile(0.95), 50000.0);
+}
+
+TEST(StatsTest, JainFairness) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace tasklets

@@ -1,0 +1,129 @@
+// Tests for the consumer agent: submission bookkeeping, handler routing,
+// cancellation, duplicate suppression and locality stamping.
+#include <gtest/gtest.h>
+
+#include "consumer/consumer.hpp"
+
+namespace tasklets::consumer {
+namespace {
+
+constexpr NodeId kBroker{1};
+constexpr NodeId kSelf{9};
+
+proto::TaskletSpec spec(std::uint64_t id) {
+  proto::TaskletSpec s;
+  s.id = TaskletId{id};
+  s.job = JobId{1};
+  s.body = proto::SyntheticBody{10, 1, 64};
+  return s;
+}
+
+proto::TaskletReport report_for(std::uint64_t id,
+                                proto::TaskletStatus status =
+                                    proto::TaskletStatus::kCompleted) {
+  proto::TaskletReport report;
+  report.id = TaskletId{id};
+  report.status = status;
+  report.result = std::int64_t{77};
+  return report;
+}
+
+TEST(ConsumerAgentTest, SubmitSendsToBrokerWithLocality) {
+  ConsumerAgent agent(kSelf, kBroker, "site-x");
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  ASSERT_EQ(out.messages().size(), 1u);
+  EXPECT_EQ(out.messages()[0].to, kBroker);
+  const auto& submit = std::get<proto::SubmitTasklet>(out.messages()[0].payload);
+  EXPECT_EQ(submit.spec.origin_locality, "site-x");
+  EXPECT_EQ(agent.outstanding(), 1u);
+  EXPECT_EQ(agent.stats().submitted, 1u);
+}
+
+TEST(ConsumerAgentTest, ReportRoutesToHandlerOnce) {
+  ConsumerAgent agent(kSelf, kBroker);
+  proto::Outbox out(kSelf);
+  int calls = 0;
+  std::int64_t value = 0;
+  agent.submit(spec(1),
+               [&](const proto::TaskletReport& report) {
+                 ++calls;
+                 value = std::get<std::int64_t>(report.result);
+               },
+               0, out);
+  proto::Outbox sink(kSelf);
+  agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(1)}}, 1, sink);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(value, 77);
+  EXPECT_EQ(agent.outstanding(), 0u);
+  EXPECT_EQ(agent.stats().completed, 1u);
+  // A duplicate report must not re-fire the handler.
+  agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(1)}}, 2, sink);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ConsumerAgentTest, FailureCountsSeparately) {
+  ConsumerAgent agent(kSelf, kBroker);
+  proto::Outbox out(kSelf);
+  proto::TaskletStatus seen = proto::TaskletStatus::kCompleted;
+  agent.submit(spec(1),
+               [&](const proto::TaskletReport& report) { seen = report.status; },
+               0, out);
+  proto::Outbox sink(kSelf);
+  agent.on_message(
+      {kBroker, kSelf,
+       proto::TaskletDone{report_for(1, proto::TaskletStatus::kExhausted)}},
+      1, sink);
+  EXPECT_EQ(seen, proto::TaskletStatus::kExhausted);
+  EXPECT_EQ(agent.stats().failed, 1u);
+  EXPECT_EQ(agent.stats().completed, 0u);
+}
+
+TEST(ConsumerAgentTest, CancelDropsHandlerAndNotifiesBroker) {
+  ConsumerAgent agent(kSelf, kBroker);
+  proto::Outbox out(kSelf);
+  int calls = 0;
+  agent.submit(spec(1), [&](const proto::TaskletReport&) { ++calls; }, 0, out);
+  proto::Outbox cancel_out(kSelf);
+  agent.cancel(TaskletId{1}, cancel_out);
+  ASSERT_EQ(cancel_out.messages().size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<proto::CancelTasklet>(
+      cancel_out.messages()[0].payload));
+  EXPECT_EQ(agent.outstanding(), 0u);
+  // Late report is ignored.
+  proto::Outbox sink(kSelf);
+  agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(1)}}, 1, sink);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ConsumerAgentTest, CancelOfUnknownIdIsNoop) {
+  ConsumerAgent agent(kSelf, kBroker);
+  proto::Outbox out(kSelf);
+  agent.cancel(TaskletId{42}, out);
+  EXPECT_TRUE(out.messages().empty());
+}
+
+TEST(ConsumerAgentTest, ManyOutstandingRouteIndependently) {
+  ConsumerAgent agent(kSelf, kBroker);
+  std::vector<std::uint64_t> completed;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    proto::Outbox out(kSelf);
+    agent.submit(spec(i),
+                 [&completed, i](const proto::TaskletReport&) {
+                   completed.push_back(i);
+                 },
+                 0, out);
+  }
+  EXPECT_EQ(agent.outstanding(), 10u);
+  // Complete in reverse order.
+  for (std::uint64_t i = 10; i >= 1; --i) {
+    proto::Outbox sink(kSelf);
+    agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(i)}}, 1, sink);
+    if (i == 1) break;
+  }
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}));
+  EXPECT_EQ(agent.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace tasklets::consumer

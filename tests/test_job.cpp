@@ -1,0 +1,153 @@
+// Tests for the job-level consumer API: JobBuilder, progress tracking,
+// outcome aggregation and the run_map convenience.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/job.hpp"
+#include "core/kernels.hpp"
+
+namespace tasklets::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::string_view kSquare = "int main(int n) { return n * n; }";
+
+TEST(JobTest, MapKernelOverArguments) {
+  TaskletSystem system;
+  system.add_provider();
+  system.add_provider();
+  auto job = JobBuilder(system)
+                 .kernel(kSquare)
+                 .add({std::int64_t{2}})
+                 .add({std::int64_t{5}})
+                 .add({std::int64_t{9}})
+                 .launch();
+  ASSERT_TRUE(job.is_ok()) << job.status().to_string();
+  EXPECT_EQ(job->size(), 3u);
+  const JobOutcome outcome = job->wait();
+  EXPECT_TRUE(outcome.all_completed());
+  EXPECT_EQ(outcome.completed(), 3u);
+  EXPECT_EQ(outcome.failed(), 0u);
+  auto results = outcome.results();
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_EQ(std::get<std::int64_t>((*results)[0]), 4);
+  EXPECT_EQ(std::get<std::int64_t>((*results)[1]), 25);
+  EXPECT_EQ(std::get<std::int64_t>((*results)[2]), 81);
+  EXPECT_GT(outcome.total_fuel(), 0u);
+  EXPECT_GE(outcome.total_attempts(), 3u);
+  EXPECT_GT(outcome.max_latency(), 0);
+}
+
+TEST(JobTest, CompileErrorSurfacesAtLaunch) {
+  TaskletSystem system;
+  system.add_provider();
+  auto job = JobBuilder(system)
+                 .kernel("int main( { broken")
+                 .add({std::int64_t{1}})
+                 .launch();
+  ASSERT_FALSE(job.is_ok());
+  EXPECT_EQ(job.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobTest, NoKernelFailsPrecondition) {
+  TaskletSystem system;
+  auto job = JobBuilder(system).add({std::int64_t{1}}).launch();
+  ASSERT_FALSE(job.is_ok());
+  EXPECT_EQ(job.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JobTest, NoInvocationsFailsPrecondition) {
+  TaskletSystem system;
+  auto job = JobBuilder(system).kernel(kSquare).launch();
+  ASSERT_FALSE(job.is_ok());
+  EXPECT_EQ(job.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JobTest, FailedTaskletSurfacesInResults) {
+  TaskletSystem system;
+  system.add_provider();
+  auto job = JobBuilder(system)
+                 .kernel("int main(int n) { return 100 / n; }")
+                 .add({std::int64_t{4}})
+                 .add({std::int64_t{0}})  // traps
+                 .launch();
+  ASSERT_TRUE(job.is_ok());
+  const JobOutcome outcome = job->wait();
+  EXPECT_EQ(outcome.completed(), 1u);
+  EXPECT_EQ(outcome.failed(), 1u);
+  EXPECT_FALSE(outcome.all_completed());
+  const auto results = outcome.results();
+  ASSERT_FALSE(results.is_ok());
+  EXPECT_NE(results.status().message().find("tasklet 1"), std::string::npos);
+  // Individual reports remain accessible.
+  EXPECT_EQ(outcome.reports()[0].status, proto::TaskletStatus::kCompleted);
+  EXPECT_EQ(outcome.reports()[1].status, proto::TaskletStatus::kFailed);
+}
+
+TEST(JobTest, ProgressReachesOne) {
+  TaskletSystem system;
+  system.add_provider();
+  auto job = JobBuilder(system)
+                 .kernel(kernels::kFib)
+                 .add({std::int64_t{18}})
+                 .add({std::int64_t{18}})
+                 .launch();
+  ASSERT_TRUE(job.is_ok());
+  const auto outcome = job->wait_for(30'000ms);
+  ASSERT_TRUE(outcome.has_value()) << "job did not finish in time";
+  EXPECT_TRUE(job->done());
+  EXPECT_DOUBLE_EQ(job->progress(), 1.0);
+}
+
+TEST(JobTest, PrecompiledProgramReuse) {
+  TaskletSystem system;
+  system.add_provider();
+  auto body = compile_tasklet(kSquare, {});
+  ASSERT_TRUE(body.is_ok());
+  auto job = JobBuilder(system)
+                 .program(body->program)
+                 .add({std::int64_t{7}})
+                 .launch();
+  ASSERT_TRUE(job.is_ok());
+  const auto results = job->wait().results();
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_EQ(std::get<std::int64_t>((*results)[0]), 49);
+}
+
+TEST(JobTest, RunMapConvenience) {
+  TaskletSystem system;
+  system.add_provider();
+  std::vector<std::vector<tvm::HostArg>> args;
+  for (std::int64_t i = 1; i <= 8; ++i) args.push_back({i});
+  const auto results = run_map(system, kSquare, std::move(args));
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  ASSERT_EQ(results->size(), 8u);
+  for (std::int64_t i = 1; i <= 8; ++i) {
+    EXPECT_EQ(std::get<std::int64_t>((*results)[static_cast<std::size_t>(i - 1)]),
+              i * i);
+  }
+}
+
+TEST(JobTest, QocAppliesToWholeJob) {
+  TaskletSystem system;
+  system.add_provider();
+  system.add_provider();
+  system.add_provider();
+  proto::Qoc qoc;
+  qoc.redundancy = 3;
+  auto job = JobBuilder(system)
+                 .kernel(kSquare)
+                 .qoc(qoc)
+                 .add({std::int64_t{6}})
+                 .launch();
+  ASSERT_TRUE(job.is_ok());
+  const JobOutcome outcome = job->wait();
+  ASSERT_TRUE(outcome.all_completed());
+  EXPECT_GE(outcome.total_attempts(), 3u);  // replicas counted
+  EXPECT_EQ(std::get<std::int64_t>((*outcome.results())[0]), 36);
+}
+
+}  // namespace
+}  // namespace tasklets::core

@@ -1,0 +1,227 @@
+// Tests for resumable execution — the tasklet-migration substrate:
+// slice/suspend/resume equivalence, cross-"host" transfer of snapshots,
+// rigorous rejection of forged snapshot bytes, and limits across slices.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/kernels.hpp"
+#include "tcl/compiler.hpp"
+#include "tvm/interpreter.hpp"
+
+namespace tasklets::tvm {
+namespace {
+
+Program compiled(std::string_view source) {
+  auto program = tcl::compile(source);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).value();
+}
+
+// Runs to completion via repeated suspend/resume with the given slice and
+// returns (outcome, number of suspensions).
+std::pair<ExecOutcome, int> run_sliced(const Program& program,
+                                       const std::vector<HostArg>& args,
+                                       std::uint64_t slice,
+                                       const ExecLimits& limits = {}) {
+  auto result = execute_slice(program, args, limits, slice);
+  int suspensions = 0;
+  for (;;) {
+    EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+    if (!result.is_ok()) return {ExecOutcome{}, suspensions};
+    if (auto* outcome = std::get_if<ExecOutcome>(&*result)) {
+      return {std::move(*outcome), suspensions};
+    }
+    ++suspensions;
+    const auto& suspension = std::get<Suspension>(*result);
+    EXPECT_GT(suspension.state.size(), 0u);
+    result = resume_slice(program, suspension, limits, slice);
+  }
+}
+
+TEST(MigrationTest, SlicedExecutionMatchesOneShot) {
+  const Program program = compiled(core::kernels::kFib);
+  const std::vector<HostArg> args = {std::int64_t{18}};
+  const auto oneshot = execute(program, args);
+  ASSERT_TRUE(oneshot.is_ok());
+
+  for (const std::uint64_t slice : {500, 5'000, 50'000}) {
+    const auto [outcome, suspensions] = run_sliced(program, args, slice);
+    EXPECT_TRUE(args_equal(outcome.result, oneshot->result)) << "slice " << slice;
+    EXPECT_EQ(outcome.fuel_used, oneshot->fuel_used) << "slice " << slice;
+    if (slice < oneshot->fuel_used) {
+      EXPECT_GT(suspensions, 0) << "slice " << slice;
+    }
+  }
+}
+
+TEST(MigrationTest, ZeroSliceRunsToCompletion) {
+  const Program program = compiled(core::kernels::kFib);
+  auto result = execute_slice(program, {std::int64_t{12}}, {}, 0);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_TRUE(std::holds_alternative<ExecOutcome>(*result));
+  EXPECT_EQ(std::get<std::int64_t>(std::get<ExecOutcome>(*result).result), 144);
+}
+
+TEST(MigrationTest, ArraysAndHeapSurviveSuspension) {
+  const Program program = compiled(core::kernels::kSieve);
+  const std::vector<HostArg> args = {std::int64_t{5000}};
+  const auto oneshot = execute(program, args);
+  ASSERT_TRUE(oneshot.is_ok());
+  const auto [outcome, suspensions] = run_sliced(program, args, 10'000);
+  EXPECT_GT(suspensions, 0);
+  EXPECT_TRUE(args_equal(outcome.result, oneshot->result));
+}
+
+TEST(MigrationTest, SnapshotTransfersAcrossProgramInstances) {
+  // "Device A" suspends; the snapshot plus the program's wire bytes travel
+  // to "device B", which deserializes its own Program object and resumes.
+  const Program device_a_program = compiled(core::kernels::kMandelbrotRow);
+  const std::vector<HostArg> args = {std::int64_t{64}, std::int64_t{5},
+                                     std::int64_t{16}, -2.0, 1.0, -1.2, 1.2,
+                                     std::int64_t{64}};
+  auto first = execute_slice(device_a_program, args, {}, 20'000);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(std::holds_alternative<Suspension>(*first));
+  const auto& suspension = std::get<Suspension>(*first);
+
+  const Bytes program_wire = device_a_program.serialize();
+  auto device_b_program = Program::deserialize(program_wire);
+  ASSERT_TRUE(device_b_program.is_ok());
+
+  auto resumed = resume_slice(*device_b_program, suspension, {}, 0);
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  ASSERT_TRUE(std::holds_alternative<ExecOutcome>(*resumed));
+
+  const auto oneshot = execute(device_a_program, args);
+  ASSERT_TRUE(oneshot.is_ok());
+  EXPECT_TRUE(args_equal(std::get<ExecOutcome>(*resumed).result,
+                         oneshot->result));
+  EXPECT_EQ(std::get<ExecOutcome>(*resumed).fuel_used, oneshot->fuel_used);
+}
+
+TEST(MigrationTest, SnapshotBytesAreDeterministic) {
+  const Program program = compiled(core::kernels::kSpin);
+  const std::vector<HostArg> args = {std::int64_t{100'000}};
+  auto a = execute_slice(program, args, {}, 12'345);
+  auto b = execute_slice(program, args, {}, 12'345);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_TRUE(std::holds_alternative<Suspension>(*a));
+  ASSERT_TRUE(std::holds_alternative<Suspension>(*b));
+  EXPECT_EQ(std::get<Suspension>(*a).state, std::get<Suspension>(*b).state);
+  EXPECT_EQ(std::get<Suspension>(*a).fuel_used,
+            std::get<Suspension>(*b).fuel_used);
+}
+
+TEST(MigrationTest, WrongProgramRejected) {
+  const Program program = compiled(core::kernels::kFib);
+  const Program other = compiled(core::kernels::kSieve);
+  auto suspended = execute_slice(program, {std::int64_t{20}}, {}, 1'000);
+  ASSERT_TRUE(suspended.is_ok());
+  const auto& suspension = std::get<Suspension>(*suspended);
+  const auto resumed = resume_slice(other, suspension, {}, 0);
+  ASSERT_FALSE(resumed.is_ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MigrationTest, BadMagicRejected) {
+  const Program program = compiled(core::kernels::kFib);
+  Suspension forged;
+  forged.state = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  EXPECT_FALSE(resume_slice(program, forged, {}, 0).is_ok());
+}
+
+TEST(MigrationTest, FuelCeilingAppliesAcrossSlices) {
+  const Program program = compiled(core::kernels::kFib);
+  ExecLimits limits;
+  limits.max_fuel = 5'000;  // fib(20) needs far more
+  auto result = execute_slice(program, {std::int64_t{20}}, limits, 2'000);
+  int rounds = 0;
+  while (result.is_ok() && std::holds_alternative<Suspension>(*result) &&
+         rounds < 10) {
+    result = resume_slice(program, std::get<Suspension>(*result), limits, 2'000);
+    ++rounds;
+  }
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(MigrationTest, TrapAfterResumeIsReported) {
+  // Spin for a while, then divide by zero: the trap happens after several
+  // suspensions.
+  const Program program = compiled(R"(
+    int main(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i += 1) { acc += i; }
+      return acc / (acc - acc);
+    }
+  )");
+  auto result = execute_slice(program, {std::int64_t{5'000}}, {}, 3'000);
+  int suspensions = 0;
+  while (result.is_ok() && std::holds_alternative<Suspension>(*result)) {
+    ++suspensions;
+    result = resume_slice(program, std::get<Suspension>(*result), {}, 3'000);
+  }
+  EXPECT_GT(suspensions, 0);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("division by zero"), std::string::npos);
+}
+
+TEST(MigrationTest, SnapshotFuelPeeksWithoutRestore) {
+  const Program program = compiled(core::kernels::kSpin);
+  auto suspended = execute_slice(program, {std::int64_t{100'000}}, {}, 7'000);
+  ASSERT_TRUE(suspended.is_ok());
+  const auto& suspension = std::get<Suspension>(*suspended);
+  const auto fuel = snapshot_fuel(std::span<const std::byte>(
+      suspension.state.data(), suspension.state.size()));
+  ASSERT_TRUE(fuel.is_ok());
+  EXPECT_EQ(*fuel, suspension.fuel_used);
+  EXPECT_GE(*fuel, 7'000u);  // at least the slice target
+}
+
+TEST(MigrationTest, SnapshotFuelRejectsGarbage) {
+  const Bytes garbage = {std::byte{9}, std::byte{9}, std::byte{9}};
+  EXPECT_FALSE(snapshot_fuel(std::span<const std::byte>(garbage.data(),
+                                                        garbage.size()))
+                   .is_ok());
+}
+
+// Property: arbitrary corruption of snapshot bytes must never reach an
+// unsafe interpreter state — every mutated snapshot is either rejected or
+// resumes to a clean result/trap.
+class SnapshotFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotFuzzSweep, MutatedSnapshotsNeverMisbehave) {
+  Rng rng(GetParam());
+  const Program program = compiled(core::kernels::kSieve);
+  auto suspended = execute_slice(program, {std::int64_t{2000}}, {}, 5'000);
+  ASSERT_TRUE(suspended.is_ok());
+  const Bytes pristine = std::get<Suspension>(*suspended).state;
+
+  ExecLimits limits;
+  limits.max_fuel = 500'000;
+  int accepted = 0;
+  for (int round = 0; round < 1'000; ++round) {
+    Suspension mutated;
+    mutated.state = pristine;
+    const int flips = 1 + static_cast<int>(rng.next_below(3));
+    for (int f = 0; f < flips; ++f) {
+      mutated.state[rng.next_below(mutated.state.size())] ^=
+          static_cast<std::byte>(1 + rng.next_below(255));
+    }
+    auto resumed = resume_slice(program, mutated, limits, 0);
+    if (!resumed.is_ok()) continue;  // rejected or clean trap: both fine
+    ++accepted;
+    // Accepted mutations (e.g. flipped data values) must still produce a
+    // well-formed outcome.
+    ASSERT_TRUE(std::holds_alternative<ExecOutcome>(*resumed));
+  }
+  // Data-only flips (heap/stack payload bytes) are legitimately accepted.
+  EXPECT_LT(accepted, 1'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SnapshotFuzzSweep, ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace tasklets::tvm

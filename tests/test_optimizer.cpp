@@ -1,0 +1,239 @@
+// Tests for the bytecode optimizer: individual rewrites, trap preservation,
+// and a semantic-equivalence sweep (optimized vs unoptimized programs agree
+// on every kernel and on randomly generated TCL sources).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/kernels.hpp"
+#include "tcl/compiler.hpp"
+#include "tcl/optimizer.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/interpreter.hpp"
+#include "tvm/verifier.hpp"
+
+namespace tasklets::tcl {
+namespace {
+
+tvm::Program compile_unoptimized(std::string_view source) {
+  CompileOptions options;
+  options.optimize = false;
+  auto program = compile(source, options);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return std::move(program).value();
+}
+
+std::int64_t run_int(const tvm::Program& program,
+                     std::vector<tvm::HostArg> args = {}) {
+  auto outcome = tvm::execute(program, args);
+  EXPECT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  return outcome.is_ok() ? std::get<std::int64_t>(outcome->result) : 0;
+}
+
+TEST(OptimizerTest, FoldsConstantArithmetic) {
+  tvm::Program program = compile_unoptimized(
+      "int main() { return (2 + 3) * (10 - 4); }");
+  const std::size_t before = program.instruction_count();
+  const OptimizeStats stats = optimize(program);
+  EXPECT_GT(stats.constants_folded, 0u);
+  EXPECT_LT(program.instruction_count(), before);
+  EXPECT_TRUE(tvm::verify(program).is_ok());
+  EXPECT_EQ(run_int(program), 30);
+  // Fully folded: push 30 ; ret.
+  EXPECT_EQ(program.instruction_count(), 2u);
+}
+
+TEST(OptimizerTest, FoldsFloatConstants) {
+  tvm::Program program =
+      compile_unoptimized("float main() { return 1.5 * 4.0 + 0.5; }");
+  optimize(program);
+  EXPECT_TRUE(tvm::verify(program).is_ok());
+  EXPECT_EQ(program.instruction_count(), 2u);
+  auto outcome = tvm::execute(program, {});
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_DOUBLE_EQ(std::get<double>(outcome->result), 6.5);
+}
+
+TEST(OptimizerTest, NeverFoldsTrappingDivision) {
+  tvm::Program program = compile_unoptimized("int main() { return 7 / 0; }");
+  optimize(program);
+  EXPECT_TRUE(tvm::verify(program).is_ok());
+  // The division by zero must still trap at runtime.
+  const auto outcome = tvm::execute(program, {});
+  ASSERT_FALSE(outcome.is_ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kAborted);
+}
+
+TEST(OptimizerTest, FoldsSafeDivision) {
+  tvm::Program program = compile_unoptimized("int main() { return 84 / 2; }");
+  const OptimizeStats stats = optimize(program);
+  EXPECT_GT(stats.constants_folded, 0u);
+  EXPECT_EQ(run_int(program), 42);
+  EXPECT_EQ(program.instruction_count(), 2u);
+}
+
+TEST(OptimizerTest, ElidesPushPopPairs) {
+  // An expression statement of a constant compiles to push; pop.
+  tvm::Program program = compile_unoptimized("int main() { 5; return 1; }");
+  const OptimizeStats stats = optimize(program);
+  EXPECT_GT(stats.pushes_elided, 0u);
+  EXPECT_EQ(run_int(program), 1);
+  EXPECT_EQ(program.instruction_count(), 2u);
+}
+
+TEST(OptimizerTest, RemovesDeadCodeAfterReturn) {
+  // `while (1)` without break: the epilogue codegen appends is unreachable.
+  tvm::Program program = compile_unoptimized(R"(
+    int main() {
+      if (1 == 1) { return 5; } else { return 6; }
+    }
+  )");
+  const std::size_t before = program.instruction_count();
+  const OptimizeStats stats = optimize(program);
+  EXPECT_GT(stats.dead_removed, 0u);
+  EXPECT_LT(program.instruction_count(), before);
+  EXPECT_EQ(run_int(program), 5);
+}
+
+TEST(OptimizerTest, ThreadsJumpChains) {
+  // Hand-written assembly with a jump-to-jump chain.
+  auto program = tvm::assemble(R"(
+    .func main arity=1 locals=1
+      load 0
+      jz a
+      push_i 1
+      ret
+    a:
+      jmp b
+    b:
+      jmp c
+    c:
+      push_i 2
+      ret
+    .end
+    .entry main
+  )");
+  ASSERT_TRUE(program.is_ok());
+  const OptimizeStats stats = optimize(*program);
+  EXPECT_GT(stats.jumps_threaded, 0u);
+  EXPECT_TRUE(tvm::verify(*program).is_ok());
+  EXPECT_EQ(run_int(*program, {std::int64_t{0}}), 2);
+  EXPECT_EQ(run_int(*program, {std::int64_t{9}}), 1);
+}
+
+TEST(OptimizerTest, PreservesBranchTargetsIntoExpressions) {
+  // A loop whose body starts with constant arithmetic: the loop head is a
+  // branch target, so windows spanning it must not be rewritten incorrectly.
+  constexpr std::string_view kSource = R"(
+    int main(int n) {
+      int sum = 0;
+      while (n > 0) {
+        sum = sum + 2 * 3;
+        n = n - 1;
+      }
+      return sum;
+    }
+  )";
+  tvm::Program program = compile_unoptimized(kSource);
+  optimize(program);
+  EXPECT_TRUE(tvm::verify(program).is_ok());
+  EXPECT_EQ(run_int(program, {std::int64_t{4}}), 24);
+}
+
+TEST(OptimizerTest, IdempotentAtFixpoint) {
+  tvm::Program program = compile_unoptimized(core::kernels::kMandelbrotRow.data());
+  optimize(program);
+  const tvm::Program once = program;
+  const OptimizeStats again = optimize(program);
+  EXPECT_EQ(again.total(), 0u);
+  EXPECT_EQ(program, once);
+}
+
+TEST(OptimizerTest, AllKernelsEquivalentAfterOptimization) {
+  struct Case {
+    std::string_view source;
+    std::vector<tvm::HostArg> args;
+  };
+  const std::vector<Case> cases = {
+      {core::kernels::kFib, {std::int64_t{15}}},
+      {core::kernels::kSieve, {std::int64_t{2000}}},
+      {core::kernels::kSpin, {std::int64_t{5000}}},
+      {core::kernels::kMonteCarloPi, {std::int64_t{2000}, std::int64_t{9}}},
+      {core::kernels::kMandelbrotRow,
+       {std::int64_t{48}, std::int64_t{7}, std::int64_t{16}, -2.0, 1.0, -1.2,
+        1.2, std::int64_t{64}}},
+      {core::kernels::kDot,
+       {std::vector<double>{1, 2, 3}, std::vector<double>{4, 5, 6}}},
+  };
+  for (const auto& c : cases) {
+    tvm::Program plain = compile_unoptimized(c.source);
+    tvm::Program optimized = plain;
+    optimize(optimized);
+    ASSERT_TRUE(tvm::verify(optimized).is_ok());
+    const auto a = tvm::execute(plain, c.args);
+    const auto b = tvm::execute(optimized, c.args);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_TRUE(tvm::args_equal(a->result, b->result));
+    EXPECT_LE(b->fuel_used, a->fuel_used);  // never slower
+  }
+}
+
+class OptimizerFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizerFuzzSweep, RandomProgramsEquivalent) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    // Random arithmetic over parameters and constants inside control flow —
+    // parameters keep some operands non-constant so folding is partial.
+    std::ostringstream source;
+    source << "int main(int p, int q) {\n int acc = " << rng.uniform_int(-9, 9)
+           << ";\n";
+    const int statements = 2 + static_cast<int>(rng.next_below(6));
+    for (int s = 0; s < statements; ++s) {
+      switch (rng.next_below(4)) {
+        case 0:
+          source << " acc = acc + (" << rng.uniform_int(-50, 50) << " * "
+                 << rng.uniform_int(-5, 5) << " + p);\n";
+          break;
+        case 1:
+          source << " if (acc > " << rng.uniform_int(-20, 20)
+                 << ") { acc = acc - q; } else { acc = acc + "
+                 << rng.uniform_int(1, 9) << "; }\n";
+          break;
+        case 2:
+          source << " for (int i = 0; i < " << rng.uniform_int(1, 5)
+                 << "; i = i + 1) { acc = acc * 2 - (3 - 1); }\n";
+          break;
+        default:
+          source << " acc = acc % " << rng.uniform_int(10, 1000) << ";\n";
+          break;
+      }
+    }
+    source << " return acc;\n}\n";
+
+    CompileOptions plain_options;
+    plain_options.optimize = false;
+    auto plain = compile(source.str(), plain_options);
+    ASSERT_TRUE(plain.is_ok()) << source.str();
+    tvm::Program optimized = *plain;
+    const OptimizeStats stats = optimize(optimized);
+    (void)stats;
+    ASSERT_TRUE(tvm::verify(optimized).is_ok()) << source.str();
+
+    const std::vector<tvm::HostArg> args = {rng.uniform_int(-100, 100),
+                                            rng.uniform_int(-100, 100)};
+    const auto a = tvm::execute(*plain, args);
+    const auto b = tvm::execute(optimized, args);
+    ASSERT_EQ(a.is_ok(), b.is_ok()) << source.str();
+    if (a.is_ok()) {
+      EXPECT_TRUE(tvm::args_equal(a->result, b->result)) << source.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, OptimizerFuzzSweep, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace tasklets::tcl

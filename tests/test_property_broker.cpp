@@ -1,0 +1,342 @@
+// Property tests for the broker under randomized event sequences, checking
+// the scheduling-safety invariants from DESIGN.md §6:
+//
+//   * assignments only go to providers that are registered and online,
+//   * a provider never holds more concurrent attempts than it has slots,
+//   * concurrent replicas of one tasklet land on distinct providers,
+//   * each tasklet receives at most one terminal report,
+//   * once the dust settles (all results delivered, scans run), every
+//     submitted tasklet is terminal — nothing is silently dropped.
+//
+// Also: a determinism sweep of the full simulation runtime across seeds and
+// policies (same seed => identical report traces).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "broker/broker.hpp"
+#include "core/sim_cluster.hpp"
+
+namespace tasklets::broker {
+namespace {
+
+using proto::AssignTasklet;
+using proto::AttemptResult;
+using proto::AttemptStatus;
+using proto::Envelope;
+using proto::SubmitTasklet;
+using proto::TaskletDone;
+
+constexpr NodeId kBrokerId{1};
+constexpr NodeId kConsumer{500};
+
+struct ProviderModel {
+  bool online = false;
+  std::uint32_t slots = 1;
+  SimTime last_heartbeat = 0;
+  std::set<AttemptId> inflight;  // attempts we have seen assigned, unresolved
+};
+
+class BrokerFuzzer {
+ public:
+  explicit BrokerFuzzer(std::uint64_t seed)
+      : rng_(seed),
+        broker_(kBrokerId, make_random(), config()) {
+    proto::Outbox out(kBrokerId);
+    broker_.on_start(now_, out);
+    absorb(out);
+  }
+
+  static BrokerConfig config() {
+    BrokerConfig c;
+    c.unschedulable_grace = 1 * kSecond;
+    return c;
+  }
+
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) {
+      step();
+    }
+    settle();
+    check_terminal_coverage();
+  }
+
+ private:
+  void step() {
+    now_ += static_cast<SimTime>(rng_.next_below(200)) * kMillisecond;
+    switch (rng_.next_below(10)) {
+      case 0: register_provider(); break;
+      case 1: deregister_provider(); break;
+      case 2: heartbeat_all(); break;
+      case 3:
+      case 4: submit(); break;
+      case 5: fire_scan(); break;
+      default: resolve_attempt(); break;
+    }
+  }
+
+  void register_provider() {
+    const NodeId id{2 + rng_.next_below(8)};  // small id space: re-registrations
+    proto::Capability capability;
+    capability.slots = 1 + static_cast<std::uint32_t>(rng_.next_below(3));
+    capability.speed_fuel_per_sec = rng_.uniform(10e6, 800e6);
+    auto& model = providers_[id];
+    // Re-registration implies restart: the broker re-issues whatever it
+    // thought was running there; our model drops those attempts too (their
+    // results will never be sent).
+    for (const AttemptId attempt : model.inflight) {
+      zombie_attempts_.insert(attempt);
+    }
+    model.inflight.clear();
+    model.online = true;
+    model.slots = capability.slots;
+    model.last_heartbeat = now_;
+    deliver(id, proto::RegisterProvider{std::move(capability)});
+  }
+
+  void deregister_provider() {
+    const auto victim = pick_online();
+    if (!victim.valid()) return;
+    auto& model = providers_[victim];
+    model.online = false;
+    for (const AttemptId attempt : model.inflight) {
+      zombie_attempts_.insert(attempt);
+    }
+    model.inflight.clear();
+    deliver(victim, proto::DeregisterProvider{});
+  }
+
+  void heartbeat_all() {
+    for (auto& [id, model] : providers_) {
+      if (model.online) {
+        model.last_heartbeat = now_;
+        deliver(id, proto::Heartbeat{});
+      }
+    }
+  }
+
+  void submit() {
+    proto::TaskletSpec spec;
+    spec.id = TaskletId{++next_tasklet_};
+    spec.job = JobId{1};
+    spec.body = proto::SyntheticBody{1000, static_cast<std::int64_t>(next_tasklet_), 64};
+    spec.qoc.redundancy = static_cast<std::uint8_t>(1 + rng_.next_below(3));
+    spec.qoc.max_reissues = static_cast<std::uint8_t>(rng_.next_below(4));
+    submitted_.insert(spec.id);
+    deliver(kConsumer, SubmitTasklet{std::move(spec)});
+  }
+
+  void fire_scan() {
+    // Mirror the broker's liveness rule: a provider whose heartbeat is older
+    // than 3.5 intervals is expired — its in-flight work is re-issued, so
+    // the model must drop those attempts (their results become zombies; we
+    // never send them).
+    const auto timeout = static_cast<SimTime>(
+        3.5 * static_cast<double>(BrokerConfig{}.heartbeat_interval));
+    for (auto& [id, model] : providers_) {
+      if (model.online && now_ - model.last_heartbeat > timeout) {
+        for (const AttemptId attempt : model.inflight) {
+          zombie_attempts_.insert(attempt);
+        }
+        model.inflight.clear();
+      }
+    }
+    proto::Outbox out(kBrokerId);
+    broker_.on_timer(1, now_, out);
+    absorb(out);
+  }
+
+  void resolve_attempt() {
+    // Pick any provider with an unresolved attempt and answer it.
+    for (auto& [id, model] : providers_) {
+      if (model.inflight.empty()) continue;
+      const AttemptId attempt = *model.inflight.begin();
+      model.inflight.erase(attempt);
+      AttemptResult result;
+      result.attempt = attempt;
+      result.tasklet = attempt_tasklet_.at(attempt);
+      const auto roll = rng_.next_below(10);
+      if (roll < 7) {
+        result.outcome.status = AttemptStatus::kOk;
+        result.outcome.result =
+            static_cast<std::int64_t>(result.tasklet.value());
+        result.outcome.fuel_used = 1000;
+      } else if (roll < 8) {
+        result.outcome.status = AttemptStatus::kRejected;
+        result.outcome.error = "no slot";
+      } else {
+        result.outcome.status = AttemptStatus::kProviderLost;
+        result.outcome.error = "lost";
+      }
+      deliver(id, std::move(result));
+      return;
+    }
+  }
+
+  // Completes all outstanding work and runs scans until quiescent.
+  void settle() {
+    for (int round = 0; round < 300; ++round) {
+      bool any = false;
+      for (auto& [id, model] : providers_) {
+        while (!model.inflight.empty()) {
+          const AttemptId attempt = *model.inflight.begin();
+          model.inflight.erase(attempt);
+          AttemptResult result;
+          result.attempt = attempt;
+          result.tasklet = attempt_tasklet_.at(attempt);
+          result.outcome.status = AttemptStatus::kOk;
+          result.outcome.result =
+              static_cast<std::int64_t>(result.tasklet.value());
+          result.outcome.fuel_used = 1000;
+          deliver(id, std::move(result));
+          any = true;
+        }
+      }
+      // Make sure at least one provider is available for queued work.
+      if (round == 0 && pick_online() == NodeId{}) {
+        register_provider();
+        any = true;
+      }
+      heartbeat_all();
+      now_ += 2 * kSecond;
+      fire_scan();
+      if (!any && broker_.queue_length() == 0) break;
+    }
+  }
+
+  void check_terminal_coverage() {
+    for (const TaskletId id : submitted_) {
+      EXPECT_TRUE(reported_.contains(id))
+          << id.to_string() << " never reached a terminal state";
+    }
+  }
+
+  NodeId pick_online() {
+    std::vector<NodeId> online;
+    for (const auto& [id, model] : providers_) {
+      if (model.online) online.push_back(id);
+    }
+    if (online.empty()) return NodeId{};
+    return online[rng_.next_below(online.size())];
+  }
+
+  void deliver(NodeId from, proto::Message message) {
+    proto::Outbox out(kBrokerId);
+    broker_.on_message(Envelope{from, kBrokerId, std::move(message)}, now_, out);
+    absorb(out);
+  }
+
+  // Observes the broker's outputs and checks invariants online.
+  void absorb(proto::Outbox& out) {
+    for (auto& envelope : out.take_messages()) {
+      if (const auto* assign = std::get_if<AssignTasklet>(&envelope.payload)) {
+        const NodeId target = envelope.to;
+        ASSERT_TRUE(providers_.contains(target))
+            << "assignment to unregistered " << target.to_string();
+        auto& model = providers_.at(target);
+        EXPECT_TRUE(model.online)
+            << "assignment to offline " << target.to_string();
+        EXPECT_LT(model.inflight.size(), model.slots)
+            << "slot overflow on " << target.to_string();
+        // Distinct-provider rule for concurrent replicas.
+        for (const auto& [other_id, other] : providers_) {
+          for (const AttemptId a : other.inflight) {
+            if (attempt_tasklet_.at(a) == assign->tasklet) {
+              EXPECT_NE(other_id, target)
+                  << "two live replicas of " << assign->tasklet.to_string()
+                  << " on " << target.to_string();
+            }
+          }
+        }
+        model.inflight.insert(assign->attempt);
+        attempt_tasklet_[assign->attempt] = assign->tasklet;
+      } else if (const auto* done = std::get_if<TaskletDone>(&envelope.payload)) {
+        EXPECT_EQ(envelope.to, kConsumer);
+        EXPECT_FALSE(reported_.contains(done->report.id))
+            << "duplicate terminal report for " << done->report.id.to_string();
+        reported_.insert(done->report.id);
+        if (done->report.status == proto::TaskletStatus::kCompleted) {
+          // Completed results carry the value the (honest) providers sent.
+          EXPECT_EQ(std::get<std::int64_t>(done->report.result),
+                    static_cast<std::int64_t>(done->report.id.value()));
+        }
+      }
+    }
+    (void)out.take_timers();
+  }
+
+  Rng rng_;
+  Broker broker_;
+  SimTime now_ = 0;
+  std::uint64_t next_tasklet_ = 0;
+  std::map<NodeId, ProviderModel> providers_;
+  std::map<AttemptId, TaskletId> attempt_tasklet_;
+  std::set<AttemptId> zombie_attempts_;
+  std::set<TaskletId> submitted_;
+  std::set<TaskletId> reported_;
+};
+
+class BrokerFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BrokerFuzzSweep, InvariantsHoldUnderRandomEventSequences) {
+  BrokerFuzzer fuzzer(GetParam());
+  fuzzer.run(600);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BrokerFuzzSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// --- full-runtime determinism sweep ------------------------------------------------
+
+struct DeterminismCase {
+  std::uint64_t seed;
+  const char* policy;
+};
+
+class SimDeterminismSweep : public ::testing::TestWithParam<DeterminismCase> {};
+
+TEST_P(SimDeterminismSweep, IdenticalReportTraces) {
+  const auto& param = GetParam();
+  auto run_once = [&] {
+    core::SimConfig config;
+    config.seed = param.seed;
+    config.scheduler = param.policy;
+    core::SimCluster cluster(config);
+    cluster.add_providers(sim::server_profile(), 1);
+    sim::DeviceProfile churny = sim::laptop_profile();
+    churny.mean_session = 20 * kSecond;
+    cluster.add_providers(churny, 3);
+    cluster.add_providers(sim::sbc_profile(), 2);
+    for (int i = 0; i < 40; ++i) {
+      proto::Qoc qoc;
+      qoc.redundancy = static_cast<std::uint8_t>(1 + i % 3);
+      qoc.max_reissues = 8;
+      cluster.submit_at(i * 20 * kMillisecond,
+                        proto::TaskletBody{proto::SyntheticBody{
+                            30'000'000 + static_cast<std::uint64_t>(i) * 1'000'000,
+                            i, 128}},
+                        qoc);
+    }
+    cluster.run_until_quiescent(3600 * kSecond);
+    std::vector<std::tuple<std::uint64_t, int, SimTime, std::uint32_t>> trace;
+    for (const auto& report : cluster.reports()) {
+      trace.emplace_back(report.id.value(), static_cast<int>(report.status),
+                         report.latency, report.attempts);
+    }
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Determinism, SimDeterminismSweep,
+    ::testing::Values(DeterminismCase{1, "qoc_aware"},
+                      DeterminismCase{2, "round_robin"},
+                      DeterminismCase{3, "random"},
+                      DeterminismCase{4, "least_loaded"},
+                      DeterminismCase{5, "fastest_first"},
+                      DeterminismCase{42, "qoc_aware"}));
+
+}  // namespace
+}  // namespace tasklets::broker

@@ -1,0 +1,128 @@
+// Tests for the discrete-event engine and the device-profile catalogue.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/profiles.hpp"
+
+namespace tasklets::sim {
+namespace {
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(30, [&] { order.push_back(3); });
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(EngineTest, SameTimeEventsRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule(10, chain);
+  };
+  engine.schedule(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(10, [&] { ++fired; });
+  engine.schedule(20, [&] { ++fired; });
+  engine.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 20);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockWithoutEvents) {
+  Engine engine;
+  engine.run_until(500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST(EngineTest, MaxEventsBound) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) engine.schedule(i, [&] { ++fired; });
+  EXPECT_EQ(engine.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(engine.pending(), 6u);
+}
+
+TEST(EngineTest, NegativeDelayClampsToNow) {
+  Engine engine;
+  engine.schedule(100, [] {});
+  engine.run();
+  SimTime fired_at = -1;
+  engine.schedule(-50, [&] { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(ProfilesTest, CatalogueCoversAllClasses) {
+  const auto& catalogue = standard_catalogue();
+  ASSERT_EQ(catalogue.size(), 5u);
+  EXPECT_EQ(catalogue[0].device_class, proto::DeviceClass::kServer);
+  EXPECT_EQ(catalogue[4].device_class, proto::DeviceClass::kMobile);
+  // Monotone speed ordering: server fastest, mobile slowest.
+  for (std::size_t i = 1; i < catalogue.size(); ++i) {
+    EXPECT_LT(catalogue[i].speed_fuel_per_sec, catalogue[i - 1].speed_fuel_per_sec);
+  }
+}
+
+TEST(ProfilesTest, LookupByName) {
+  ASSERT_TRUE(profile_by_name("sbc").is_ok());
+  EXPECT_EQ(profile_by_name("sbc")->device_class, proto::DeviceClass::kSbc);
+  EXPECT_FALSE(profile_by_name("mainframe").is_ok());
+}
+
+TEST(ProfilesTest, ServiceTimeScalesWithSpeed) {
+  const DeviceProfile server = server_profile();
+  const DeviceProfile sbc = sbc_profile();
+  constexpr std::uint64_t fuel = 100'000'000;
+  const SimTime fast = server.service_time(fuel) - server.startup_latency;
+  const SimTime slow = sbc.service_time(fuel) - sbc.startup_latency;
+  // server: 800 Mfuel/s, sbc: 25 Mfuel/s -> 32x ratio.
+  EXPECT_NEAR(static_cast<double>(slow) / static_cast<double>(fast), 32.0, 0.01);
+}
+
+TEST(ProfilesTest, TransferTimeIncludesLatencyAndBandwidth) {
+  DeviceProfile p = desktop_profile();
+  p.link_latency = 10 * kMillisecond;
+  p.bandwidth_bps = 8e6;  // 1 MB/s
+  EXPECT_EQ(p.transfer_time(0), 10 * kMillisecond);
+  // 1 MB at 1 MB/s = 1 s + latency.
+  EXPECT_NEAR(to_seconds(p.transfer_time(1'000'000)), 1.010, 1e-6);
+}
+
+TEST(ProfilesTest, CapabilityReflectsProfile) {
+  const DeviceProfile p = laptop_profile();
+  const proto::Capability c = p.capability();
+  EXPECT_EQ(c.device_class, proto::DeviceClass::kLaptop);
+  EXPECT_DOUBLE_EQ(c.speed_fuel_per_sec, p.speed_fuel_per_sec);
+  EXPECT_EQ(c.slots, p.slots);
+}
+
+}  // namespace
+}  // namespace tasklets::sim

@@ -1,0 +1,269 @@
+// taskletc — the Tasklet toolchain CLI.
+//
+//   taskletc build <file.tcl> [-o out.tvm] [--entry NAME]
+//       Compile + verify a TCL source file to a portable bytecode file.
+//   taskletc dis <file.tvm | file.tcl>
+//       Print the bytecode listing (compiles first when given source).
+//   taskletc run <file.tcl | file.tvm> [ARG...]
+//       Execute locally in the TVM and print result + fuel.
+//   taskletc exec <file.tcl | file.tvm> [ARG...] [--providers N] [--redundancy R]
+//       Execute through the full middleware (broker + N in-process providers).
+//
+// Arguments: integers (42), floats (3.5 — must contain '.' or 'e'), or
+// comma-separated arrays (1,2,3 / 1.5,2.5). Array element types follow the
+// first element.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "tcl/compiler.hpp"
+#include "tvm/assembler.hpp"
+#include "tvm/interpreter.hpp"
+#include "tvm/verifier.hpp"
+
+namespace {
+
+using namespace tasklets;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  taskletc build <file.tcl> [-o out.tvm] [--entry NAME]\n"
+               "  taskletc dis   <file.tvm|file.tcl>\n"
+               "  taskletc run   <file.tcl|file.tvm> [ARG...]\n"
+               "  taskletc exec  <file.tcl|file.tvm> [ARG...] [--providers N]"
+               " [--redundancy R]\n");
+  return 2;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_error(StatusCode::kNotFound, "cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status write_file(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_error(StatusCode::kInternal, "cannot write '" + path + "'");
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out ? Status::ok()
+             : make_error(StatusCode::kInternal, "short write to '" + path + "'");
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Loads a program from .tvm bytecode or compiles .tcl source.
+Result<tvm::Program> load_program(const std::string& path,
+                                  std::string_view entry = "main") {
+  TASKLETS_ASSIGN_OR_RETURN(auto contents, read_file(path));
+  if (has_suffix(path, ".tvm")) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(contents.data());
+    TASKLETS_ASSIGN_OR_RETURN(
+        auto program,
+        tvm::Program::deserialize(std::span(bytes, contents.size())));
+    TASKLETS_RETURN_IF_ERROR(tvm::verify(program));
+    return program;
+  }
+  tcl::CompileOptions options;
+  options.entry = entry;
+  return tcl::compile(contents, options);
+}
+
+bool looks_float(const std::string& token) {
+  return token.find('.') != std::string::npos ||
+         token.find('e') != std::string::npos ||
+         token.find('E') != std::string::npos;
+}
+
+Result<tvm::HostArg> parse_arg(const std::string& token) {
+  if (token.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "empty argument");
+  }
+  if (token.find(',') != std::string::npos) {
+    std::vector<std::string> parts;
+    std::stringstream stream(token);
+    std::string part;
+    while (std::getline(stream, part, ',')) parts.push_back(part);
+    if (parts.empty()) {
+      return make_error(StatusCode::kInvalidArgument, "empty array argument");
+    }
+    if (looks_float(parts[0])) {
+      std::vector<double> values;
+      for (const auto& p : parts) values.push_back(std::strtod(p.c_str(), nullptr));
+      return tvm::HostArg{std::move(values)};
+    }
+    std::vector<std::int64_t> values;
+    for (const auto& p : parts) values.push_back(std::strtoll(p.c_str(), nullptr, 10));
+    return tvm::HostArg{std::move(values)};
+  }
+  if (looks_float(token)) {
+    return tvm::HostArg{std::strtod(token.c_str(), nullptr)};
+  }
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "cannot parse argument '" + token + "'");
+  }
+  return tvm::HostArg{value};
+}
+
+void print_result(const tvm::HostArg& result) {
+  std::printf("%s\n", tvm::to_string(result).c_str());
+}
+
+int cmd_build(const std::vector<std::string>& args) {
+  std::string input, output, entry = "main";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      output = args[++i];
+    } else if (args[i] == "--entry" && i + 1 < args.size()) {
+      entry = args[++i];
+    } else if (input.empty()) {
+      input = args[i];
+    } else {
+      return usage();
+    }
+  }
+  if (input.empty()) return usage();
+  if (output.empty()) {
+    output = input;
+    if (has_suffix(output, ".tcl")) output.resize(output.size() - 4);
+    output += ".tvm";
+  }
+  auto program = load_program(input, entry);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", input.c_str(),
+                 program.status().to_string().c_str());
+    return 1;
+  }
+  const Bytes encoded = program->serialize();
+  if (const Status s = write_file(output, encoded); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu function(s), %zu instruction(s), %zu bytes -> %s\n",
+              input.c_str(), program->function_count(),
+              program->instruction_count(), encoded.size(), output.c_str());
+  return 0;
+}
+
+int cmd_dis(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  auto program = load_program(args[0]);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
+                 program.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(tvm::disassemble(*program).c_str(), stdout);
+  return 0;
+}
+
+Result<std::vector<tvm::HostArg>> parse_args(const std::vector<std::string>& tokens,
+                                             std::size_t start) {
+  std::vector<tvm::HostArg> out;
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    if (tokens[i].rfind("--", 0) == 0) break;
+    TASKLETS_ASSIGN_OR_RETURN(auto arg, parse_arg(tokens[i]));
+    out.push_back(std::move(arg));
+  }
+  return out;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  auto program = load_program(args[0]);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
+                 program.status().to_string().c_str());
+    return 1;
+  }
+  auto call_args = parse_args(args, 1);
+  if (!call_args.is_ok()) {
+    std::fprintf(stderr, "%s\n", call_args.status().to_string().c_str());
+    return 1;
+  }
+  const auto outcome = tvm::execute(*program, *call_args);
+  if (!outcome.is_ok()) {
+    std::fprintf(stderr, "trap: %s\n", outcome.status().to_string().c_str());
+    return 1;
+  }
+  print_result(outcome->result);
+  std::fprintf(stderr, "fuel: %llu\n",
+               static_cast<unsigned long long>(outcome->fuel_used));
+  return 0;
+}
+
+int cmd_exec(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  int providers = 2;
+  int redundancy = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--providers" && i + 1 < args.size()) {
+      providers = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--redundancy" && i + 1 < args.size()) {
+      redundancy = std::atoi(args[++i].c_str());
+    }
+  }
+  auto program = load_program(args[0]);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
+                 program.status().to_string().c_str());
+    return 1;
+  }
+  auto call_args = parse_args(args, 1);
+  if (!call_args.is_ok()) {
+    std::fprintf(stderr, "%s\n", call_args.status().to_string().c_str());
+    return 1;
+  }
+
+  core::TaskletSystem system;
+  for (int i = 0; i < std::max(1, providers); ++i) system.add_provider();
+  proto::VmBody body;
+  body.program = program->serialize();
+  body.args = std::move(*call_args);
+  proto::Qoc qoc;
+  qoc.redundancy = static_cast<std::uint8_t>(std::max(1, redundancy));
+  auto future = system.submit(proto::TaskletBody{std::move(body)}, qoc);
+  const proto::TaskletReport report = future.get();
+  if (report.status != proto::TaskletStatus::kCompleted) {
+    std::fprintf(stderr, "failed (%s): %s\n",
+                 std::string(proto::to_string(report.status)).c_str(),
+                 report.error.c_str());
+    return 1;
+  }
+  print_result(report.result);
+  std::fprintf(stderr, "fuel: %llu  attempts: %u  executed by: %s  latency: %s\n",
+               static_cast<unsigned long long>(report.fuel_used), report.attempts,
+               report.executed_by.to_string().c_str(),
+               format_duration(report.latency).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "build") return cmd_build(args);
+  if (command == "dis") return cmd_dis(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "exec") return cmd_exec(args);
+  return usage();
+}
