@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_broker"
+  "../bench/bench_broker.pdb"
+  "CMakeFiles/bench_broker.dir/bench_broker.cpp.o"
+  "CMakeFiles/bench_broker.dir/bench_broker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_qoc"
+  "../bench/bench_qoc.pdb"
+  "CMakeFiles/bench_qoc.dir/bench_qoc.cpp.o"
+  "CMakeFiles/bench_qoc.dir/bench_qoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

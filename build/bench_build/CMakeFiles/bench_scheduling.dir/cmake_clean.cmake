@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scheduling"
+  "../bench/bench_scheduling.pdb"
+  "CMakeFiles/bench_scheduling.dir/bench_scheduling.cpp.o"
+  "CMakeFiles/bench_scheduling.dir/bench_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/migration.cpp" "examples/CMakeFiles/migration.dir/migration.cpp.o" "gcc" "examples/CMakeFiles/migration.dir/migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tasklets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/tasklets_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/provider/CMakeFiles/tasklets_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/consumer/CMakeFiles/tasklets_consumer.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tasklets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tasklets_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tasklets_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcl/CMakeFiles/tasklets_tcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/tvm/CMakeFiles/tasklets_tvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasklets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

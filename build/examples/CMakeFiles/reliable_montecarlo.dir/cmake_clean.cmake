@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_montecarlo.dir/reliable_montecarlo.cpp.o"
+  "CMakeFiles/reliable_montecarlo.dir/reliable_montecarlo.cpp.o.d"
+  "reliable_montecarlo"
+  "reliable_montecarlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_sites.dir/two_sites.cpp.o"
+  "CMakeFiles/two_sites.dir/two_sites.cpp.o.d"
+  "two_sites"
+  "two_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

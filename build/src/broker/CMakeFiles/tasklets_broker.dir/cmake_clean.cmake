@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_broker.dir/broker.cpp.o"
+  "CMakeFiles/tasklets_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/tasklets_broker.dir/scheduling.cpp.o"
+  "CMakeFiles/tasklets_broker.dir/scheduling.cpp.o.d"
+  "libtasklets_broker.a"
+  "libtasklets_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

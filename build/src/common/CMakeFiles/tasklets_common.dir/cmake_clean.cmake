@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_common.dir/bytes.cpp.o"
+  "CMakeFiles/tasklets_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/tasklets_common.dir/clock.cpp.o"
+  "CMakeFiles/tasklets_common.dir/clock.cpp.o.d"
+  "CMakeFiles/tasklets_common.dir/log.cpp.o"
+  "CMakeFiles/tasklets_common.dir/log.cpp.o.d"
+  "CMakeFiles/tasklets_common.dir/stats.cpp.o"
+  "CMakeFiles/tasklets_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tasklets_common.dir/status.cpp.o"
+  "CMakeFiles/tasklets_common.dir/status.cpp.o.d"
+  "libtasklets_common.a"
+  "libtasklets_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

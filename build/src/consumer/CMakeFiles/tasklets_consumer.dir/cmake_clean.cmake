@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_consumer.dir/consumer.cpp.o"
+  "CMakeFiles/tasklets_consumer.dir/consumer.cpp.o.d"
+  "libtasklets_consumer.a"
+  "libtasklets_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_core.dir/job.cpp.o"
+  "CMakeFiles/tasklets_core.dir/job.cpp.o.d"
+  "CMakeFiles/tasklets_core.dir/kernels.cpp.o"
+  "CMakeFiles/tasklets_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/tasklets_core.dir/sim_cluster.cpp.o"
+  "CMakeFiles/tasklets_core.dir/sim_cluster.cpp.o.d"
+  "CMakeFiles/tasklets_core.dir/system.cpp.o"
+  "CMakeFiles/tasklets_core.dir/system.cpp.o.d"
+  "libtasklets_core.a"
+  "libtasklets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_net.dir/inproc.cpp.o"
+  "CMakeFiles/tasklets_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/tasklets_net.dir/tcp.cpp.o"
+  "CMakeFiles/tasklets_net.dir/tcp.cpp.o.d"
+  "libtasklets_net.a"
+  "libtasklets_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

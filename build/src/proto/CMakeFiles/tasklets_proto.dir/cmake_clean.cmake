@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_proto.dir/messages.cpp.o"
+  "CMakeFiles/tasklets_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/tasklets_proto.dir/types.cpp.o"
+  "CMakeFiles/tasklets_proto.dir/types.cpp.o.d"
+  "libtasklets_proto.a"
+  "libtasklets_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtasklets_proto.a"
+)

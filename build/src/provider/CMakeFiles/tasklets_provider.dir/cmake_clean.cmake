@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_provider.dir/benchmark.cpp.o"
+  "CMakeFiles/tasklets_provider.dir/benchmark.cpp.o.d"
+  "CMakeFiles/tasklets_provider.dir/execution.cpp.o"
+  "CMakeFiles/tasklets_provider.dir/execution.cpp.o.d"
+  "CMakeFiles/tasklets_provider.dir/provider.cpp.o"
+  "CMakeFiles/tasklets_provider.dir/provider.cpp.o.d"
+  "libtasklets_provider.a"
+  "libtasklets_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_sim.dir/engine.cpp.o"
+  "CMakeFiles/tasklets_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tasklets_sim.dir/profiles.cpp.o"
+  "CMakeFiles/tasklets_sim.dir/profiles.cpp.o.d"
+  "libtasklets_sim.a"
+  "libtasklets_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcl/codegen.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/codegen.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/codegen.cpp.o.d"
+  "/root/repo/src/tcl/compiler.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/compiler.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/compiler.cpp.o.d"
+  "/root/repo/src/tcl/lexer.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/lexer.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/lexer.cpp.o.d"
+  "/root/repo/src/tcl/optimizer.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/optimizer.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/optimizer.cpp.o.d"
+  "/root/repo/src/tcl/parser.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/parser.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/parser.cpp.o.d"
+  "/root/repo/src/tcl/sema.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/sema.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/sema.cpp.o.d"
+  "/root/repo/src/tcl/token.cpp" "src/tcl/CMakeFiles/tasklets_tcl.dir/token.cpp.o" "gcc" "src/tcl/CMakeFiles/tasklets_tcl.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tvm/CMakeFiles/tasklets_tvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tasklets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_tcl.dir/codegen.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/codegen.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/compiler.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/compiler.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/lexer.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/lexer.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/optimizer.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/parser.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/parser.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/sema.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/sema.cpp.o.d"
+  "CMakeFiles/tasklets_tcl.dir/token.cpp.o"
+  "CMakeFiles/tasklets_tcl.dir/token.cpp.o.d"
+  "libtasklets_tcl.a"
+  "libtasklets_tcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

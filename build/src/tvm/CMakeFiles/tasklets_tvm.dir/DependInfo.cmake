@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tvm/assembler.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/assembler.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/assembler.cpp.o.d"
+  "/root/repo/src/tvm/interpreter.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/interpreter.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/tvm/marshal.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/marshal.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/marshal.cpp.o.d"
+  "/root/repo/src/tvm/opcode.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/opcode.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/opcode.cpp.o.d"
+  "/root/repo/src/tvm/program.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/program.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/program.cpp.o.d"
+  "/root/repo/src/tvm/value.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/value.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/value.cpp.o.d"
+  "/root/repo/src/tvm/verifier.cpp" "src/tvm/CMakeFiles/tasklets_tvm.dir/verifier.cpp.o" "gcc" "src/tvm/CMakeFiles/tasklets_tvm.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tasklets_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasklets_tvm.dir/assembler.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/assembler.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/interpreter.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/marshal.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/marshal.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/opcode.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/opcode.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/program.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/program.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/value.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/value.cpp.o.d"
+  "CMakeFiles/tasklets_tvm.dir/verifier.cpp.o"
+  "CMakeFiles/tasklets_tvm.dir/verifier.cpp.o.d"
+  "libtasklets_tvm.a"
+  "libtasklets_tvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasklets_tvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consumer.dir/test_consumer.cpp.o"
+  "CMakeFiles/test_consumer.dir/test_consumer.cpp.o.d"
+  "test_consumer"
+  "test_consumer.pdb"
+  "test_consumer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_broker.dir/test_property_broker.cpp.o"
+  "CMakeFiles/test_property_broker.dir/test_property_broker.cpp.o.d"
+  "test_property_broker"
+  "test_property_broker.pdb"
+  "test_property_broker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provider.dir/test_provider.cpp.o"
+  "CMakeFiles/test_provider.dir/test_provider.cpp.o.d"
+  "test_provider"
+  "test_provider.pdb"
+  "test_provider[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcl.dir/test_tcl.cpp.o"
+  "CMakeFiles/test_tcl.dir/test_tcl.cpp.o.d"
+  "test_tcl"
+  "test_tcl.pdb"
+  "test_tcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

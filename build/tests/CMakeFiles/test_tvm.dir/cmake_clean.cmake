@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tvm.dir/test_tvm.cpp.o"
+  "CMakeFiles/test_tvm.dir/test_tvm.cpp.o.d"
+  "test_tvm"
+  "test_tvm.pdb"
+  "test_tvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskletc.dir/taskletc.cpp.o"
+  "CMakeFiles/taskletc.dir/taskletc.cpp.o.d"
+  "taskletc"
+  "taskletc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskletc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(taskletc_run "/root/repo/build/tools/taskletc" "run" "/root/repo/build/tools/fib.tcl" "12")
+set_tests_properties(taskletc_run PROPERTIES  PASS_REGULAR_EXPRESSION "(^|
+)144(
+|\$)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(taskletc_build_and_dis "/root/repo/build/tools/taskletc" "build" "/root/repo/build/tools/fib.tcl" "-o" "/root/repo/build/tools/fib.tvm")
+set_tests_properties(taskletc_build_and_dis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(taskletc_dis "/root/repo/build/tools/taskletc" "dis" "/root/repo/build/tools/fib.tvm")
+set_tests_properties(taskletc_dis PROPERTIES  DEPENDS "taskletc_build_and_dis" PASS_REGULAR_EXPRESSION "\\.entry main" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(taskletc_exec "/root/repo/build/tools/taskletc" "exec" "/root/repo/build/tools/fib.tcl" "10" "--providers" "2")
+set_tests_properties(taskletc_exec PROPERTIES  PASS_REGULAR_EXPRESSION "(^|
+)55(
+|\$)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
