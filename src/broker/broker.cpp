@@ -114,6 +114,43 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
                    "no registered provider satisfies the QoC constraints", now,
                    out);
     }
+    // Lost-message recovery: fence and re-issue attempts that have produced
+    // no result within the attempt timeout. The fence (erasing the attempt
+    // from the provider's in-flight set and the attempt index) guarantees a
+    // late result for the old attempt is ignored, so the re-issue cannot
+    // double-report.
+    if (config_.attempt_timeout > 0) {
+      std::vector<std::pair<AttemptId, TaskletId>> stale;
+      for (const auto& [attempt, tasklet_id] : attempt_index_) {
+        const auto it = tasklets_.find(tasklet_id);
+        if (it == tasklets_.end()) continue;
+        const auto ait = it->second.attempts.find(attempt);
+        if (ait == it->second.attempts.end()) continue;
+        if (now - ait->second.issued_at > config_.attempt_timeout) {
+          stale.emplace_back(attempt, tasklet_id);
+        }
+      }
+      for (const auto& [attempt, tasklet_id] : stale) {
+        ++stats_.attempts_timed_out;
+        auto& state = tasklets_.at(tasklet_id);
+        if (const auto ait = state.attempts.find(attempt);
+            ait != state.attempts.end()) {
+          if (const auto pit = providers_.find(ait->second.provider);
+              pit != providers_.end()) {
+            pit->second.inflight.erase(attempt);
+          }
+          state.attempts.erase(ait);
+        }
+        attempt_index_.erase(attempt);
+        if (state.done) continue;
+        TASKLETS_LOG(kInfo, kLog)
+            << "attempt " << attempt.to_string() << " of tasklet "
+            << tasklet_id.to_string() << " timed out; re-issuing";
+        ++stats_.attempts_lost;
+        reissue_or_exhaust(tasklet_id, state, now, out);
+      }
+      if (!stale.empty()) drain_queue(now, out);
+    }
     // Straggler mitigation: shadow long-running attempts of non-redundant
     // tasklets with one speculative backup on a different provider.
     if (config_.speculative_after > 0) {
@@ -164,9 +201,21 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
                              SimTime now, proto::Outbox& out) {
   ProviderState& p = providers_[from];
   const bool rejoin = p.view.id.valid();
+  if (rejoin && m.incarnation != 0 && m.incarnation == p.incarnation) {
+    // Retransmit of an already-acked registration (the provider re-sends
+    // until our ack gets through): refresh liveness, re-ack, and leave
+    // in-flight work alone — this is NOT a restart.
+    p.last_heartbeat = now;
+    p.online = true;
+    p.draining = false;
+    out.send(from, proto::RegisterAck{m.incarnation});
+    drain_queue(now, out);
+    return;
+  }
   if (rejoin && !p.inflight.empty()) {
-    // A (re-)registration means the provider restarted: anything the broker
-    // still thinks is running there died with the previous incarnation.
+    // A (re-)registration under a new incarnation means the provider
+    // restarted: anything the broker still thinks is running there died
+    // with the previous incarnation.
     on_provider_lost(from, now, out);
   }
   p.view.id = from;
@@ -177,6 +226,8 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
   if (!rejoin) {
     p.view.observed_reliability = 1.0;
   }
+  p.incarnation = m.incarnation;
+  out.send(from, proto::RegisterAck{m.incarnation});
   TASKLETS_LOG(kInfo, kLog) << "provider " << from.to_string() << " registered ("
                             << proto::to_string(m.capability.device_class) << ", "
                             << m.capability.speed_fuel_per_sec / 1e6 << " Mfuel/s, "
@@ -222,8 +273,19 @@ void Broker::handle_heartbeat(NodeId from, const proto::Heartbeat&, SimTime now,
 
 void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime now,
                            proto::Outbox& out) {
-  ++stats_.tasklets_submitted;
   const TaskletId id = m.spec.id;
+  if (const auto it = tasklets_.find(id); it != tasklets_.end()) {
+    // Submission is at-least-once from the consumer's side. A retransmit of
+    // a tasklet still in progress is dropped; one for a concluded tasklet
+    // replays the retained terminal report (the original TaskletDone may
+    // have been lost).
+    ++stats_.duplicate_submits;
+    if (it->second.done && it->second.final_report.has_value()) {
+      out.send(from, proto::TaskletDone{*it->second.final_report});
+    }
+    return;
+  }
+  ++stats_.tasklets_submitted;
   TaskletState& state = tasklets_[id];
   state.spec = m.spec;
   state.consumer = from;
@@ -385,29 +447,44 @@ void Broker::drain_queue(SimTime now, proto::Outbox& out) {
 
 void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
                                    SimTime now, proto::Outbox& out) {
-  // Free the provider slot regardless of tasklet fate.
+  // Free the provider slot — but only if this attempt was genuinely
+  // outstanding there. Duplicate results (network retransmits) and results
+  // for attempts already fenced (timeout, provider loss) must not distort
+  // the reliability EWMA or the completion counters.
   if (const auto pit = providers_.find(from); pit != providers_.end()) {
-    pit->second.inflight.erase(m.attempt);
-    auto& view = pit->second.view;
-    const double success = m.outcome.status == proto::AttemptStatus::kOk ? 1.0 : 0.0;
-    view.observed_reliability = (1.0 - config_.reliability_alpha) *
-                                    view.observed_reliability +
-                                config_.reliability_alpha * success;
-    if (m.outcome.status == proto::AttemptStatus::kOk) {
-      view.completed += 1;
-    } else {
-      view.failed += 1;
+    if (pit->second.inflight.erase(m.attempt) > 0) {
+      auto& view = pit->second.view;
+      const double success =
+          m.outcome.status == proto::AttemptStatus::kOk ? 1.0 : 0.0;
+      view.observed_reliability = (1.0 - config_.reliability_alpha) *
+                                      view.observed_reliability +
+                                  config_.reliability_alpha * success;
+      if (m.outcome.status == proto::AttemptStatus::kOk) {
+        view.completed += 1;
+      } else {
+        view.failed += 1;
+      }
     }
   }
 
   const auto idx = attempt_index_.find(m.attempt);
   if (idx == attempt_index_.end()) {
+    // Late result for a concluded or fenced attempt.
+    ++stats_.duplicate_results;
     drain_queue(now, out);
-    return;  // late result for a concluded attempt
+    return;
   }
   const TaskletId id = idx->second;
-  attempt_index_.erase(idx);
   auto& state = tasklets_.at(id);
+  // Attempt-id fencing: a result only counts if it comes from the provider
+  // the attempt was issued to (guards against corrupted/misrouted frames).
+  if (const auto ait = state.attempts.find(m.attempt);
+      ait != state.attempts.end() && ait->second.provider != from) {
+    ++stats_.duplicate_results;
+    drain_queue(now, out);
+    return;
+  }
+  attempt_index_.erase(idx);
   state.attempts.erase(m.attempt);
   if (state.done) {
     drain_queue(now, out);
@@ -432,16 +509,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       break;
     case proto::AttemptStatus::kProviderLost: {
       ++stats_.attempts_lost;
-      if (state.reissues_used < state.spec.qoc.max_reissues) {
-        state.reissues_used += 1;
-        state.replicas_pending += 1;
-        ++stats_.reissues;
-        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
-      } else if (state.attempts.empty() && state.replicas_pending == 0) {
-        ++stats_.tasklets_exhausted;
-        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
-                     "re-issue budget exhausted", now, out);
-      }
+      reissue_or_exhaust(id, state, now, out);
       break;
     }
     case proto::AttemptStatus::kSuspended: {
@@ -457,16 +525,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
         break;
       }
       ++stats_.attempts_lost;
-      if (state.reissues_used < state.spec.qoc.max_reissues) {
-        state.reissues_used += 1;
-        state.replicas_pending += 1;
-        ++stats_.reissues;
-        if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
-      } else if (state.attempts.empty() && state.replicas_pending == 0) {
-        ++stats_.tasklets_exhausted;
-        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
-                     "re-issue budget exhausted", now, out);
-      }
+      reissue_or_exhaust(id, state, now, out);
       break;
     }
     case proto::AttemptStatus::kRejected: {
@@ -513,18 +572,23 @@ void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) 
     state.attempts.erase(attempt);
     if (state.done) continue;
     ++stats_.attempts_lost;
-    if (state.reissues_used < state.spec.qoc.max_reissues) {
-      state.reissues_used += 1;
-      state.replicas_pending += 1;
-      ++stats_.reissues;
-      if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
-    } else if (state.attempts.empty() && state.replicas_pending == 0) {
-      ++stats_.tasklets_exhausted;
-      fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
-                   "re-issue budget exhausted", now, out);
-    }
+    reissue_or_exhaust(id, state, now, out);
   }
   drain_queue(now, out);
+}
+
+void Broker::reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
+                                proto::Outbox& out) {
+  if (state.reissues_used < state.spec.qoc.max_reissues) {
+    state.reissues_used += 1;
+    state.replicas_pending += 1;
+    ++stats_.reissues;
+    if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
+  } else if (state.attempts.empty() && state.replicas_pending == 0) {
+    ++stats_.tasklets_exhausted;
+    fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                 "re-issue budget exhausted", now, out);
+  }
 }
 
 std::uint32_t Broker::majority_threshold(const TaskletState& state) const {
@@ -616,6 +680,8 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
   // results arrive (and are then ignored); replicas pending in the queue are
   // skipped by drain_queue.
   (void)id;
+  // Retained so duplicate submissions replay the same terminal report.
+  state.final_report = report;
   out.send(state.consumer, proto::TaskletDone{std::move(report)});
 }
 

@@ -17,6 +17,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -54,6 +55,11 @@ struct BrokerConfig {
   // this is shadowed by one speculative replica on a different provider;
   // the first result wins, the loser is discarded. 0 disables speculation.
   SimTime speculative_after = 0;
+  // Lost-message recovery: when > 0, an attempt with no result after this
+  // long is fenced (its provider slot freed, late results ignored) and
+  // re-issued under the QoC re-issue budget. Covers dropped AssignTasklet /
+  // AttemptResult frames, which heartbeat liveness cannot see. 0 disables.
+  SimTime attempt_timeout = 0;
   std::uint64_t rng_seed = 0x7A5CB0A7;
 };
 
@@ -75,6 +81,9 @@ struct BrokerStats {
   std::uint64_t speculations = 0;       // backup attempts issued
   std::uint64_t speculation_wins = 0;   // tasklets whose backup finished first
   std::uint64_t migrations = 0;         // suspended attempts re-placed
+  std::uint64_t duplicate_submits = 0;  // SubmitTasklet retransmits fenced
+  std::uint64_t duplicate_results = 0;  // late/fenced AttemptResults ignored
+  std::uint64_t attempts_timed_out = 0; // attempts fenced by attempt_timeout
 };
 
 class Broker final : public proto::Actor {
@@ -103,6 +112,10 @@ class Broker final : public proto::Actor {
     bool online = false;
     bool draining = false;       // graceful drain pending
     SimTime draining_since = 0;  // when the drain began
+    // Registration epoch last acked (see proto::RegisterProvider). A
+    // re-registration with the same non-zero incarnation is a retransmit,
+    // not a restart.
+    std::uint64_t incarnation = 0;
     std::unordered_set<AttemptId> inflight;
   };
 
@@ -139,6 +152,10 @@ class Broker final : public proto::Actor {
     // Latest migration checkpoint: non-empty after a provider drained this
     // tasklet's execution; new attempts resume from it.
     Bytes resume_snapshot;
+    // The terminal report, retained so a duplicate SubmitTasklet arriving
+    // after conclusion replays it instead of re-running the tasklet (the
+    // consumer's resubmission loop makes submission at-least-once).
+    std::optional<proto::TaskletReport> final_report;
   };
 
   static constexpr std::uint64_t kScanTimer = 1;
@@ -186,6 +203,10 @@ class Broker final : public proto::Actor {
                         SimTime now, proto::Outbox& out);
   void finish(TaskletId id, TaskletState& state, proto::TaskletReport report,
               proto::Outbox& out);
+  // Shared lost-attempt recovery: burn one re-issue if the budget allows,
+  // else fail kExhausted once nothing else is outstanding.
+  void reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
+                          proto::Outbox& out);
 
   [[nodiscard]] std::uint32_t majority_threshold(const TaskletState& state) const;
 

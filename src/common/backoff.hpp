@@ -1,0 +1,58 @@
+// Jittered exponential backoff for at-least-once retry loops (consumer
+// resubmission, provider registration). Header-only; delays are SimTime so
+// the same policy runs under the simulator's virtual clock and the threaded
+// runtime's wall clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace tasklets {
+
+struct BackoffConfig {
+  SimTime base = 100 * kMillisecond;  // first delay
+  SimTime max = 10 * kSecond;        // cap after repeated growth
+  double multiplier = 2.0;
+  // Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter] so
+  // a fleet of retriers decorrelates instead of thundering in lockstep.
+  double jitter = 0.2;
+};
+
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff() = default;
+  explicit ExponentialBackoff(BackoffConfig config) : config_(config) {}
+
+  // The next delay; grows geometrically up to the cap, jittered by `rng`.
+  [[nodiscard]] SimTime next(Rng& rng) {
+    current_ = (attempts_ == 0)
+                   ? config_.base
+                   : std::min<SimTime>(
+                         config_.max,
+                         static_cast<SimTime>(static_cast<double>(current_) *
+                                              config_.multiplier));
+    ++attempts_;
+    const double factor =
+        1.0 + config_.jitter * (2.0 * rng.uniform() - 1.0);
+    const auto jittered = static_cast<SimTime>(
+        static_cast<double>(current_) * std::max(0.0, factor));
+    return std::max<SimTime>(1, jittered);
+  }
+
+  void reset() {
+    current_ = 0;
+    attempts_ = 0;
+  }
+
+  [[nodiscard]] std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  BackoffConfig config_;
+  SimTime current_ = 0;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace tasklets

@@ -1,28 +1,94 @@
 #include "consumer/consumer.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "common/log.hpp"
 
 namespace tasklets::consumer {
 
-ConsumerAgent::ConsumerAgent(NodeId id, NodeId broker, std::string locality)
-    : Actor(id), broker_(broker), locality_(std::move(locality)) {}
+ConsumerAgent::ConsumerAgent(NodeId id, NodeId broker, std::string locality,
+                             ConsumerConfig config)
+    : Actor(id),
+      broker_(broker),
+      locality_(std::move(locality)),
+      config_(config),
+      rng_(SplitMix64(config.rng_seed ^ id.value()).next()) {}
 
 void ConsumerAgent::on_start(SimTime, proto::Outbox&) {}
 
-void ConsumerAgent::on_timer(std::uint64_t, SimTime, proto::Outbox&) {}
-
 void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
-                           SimTime, proto::Outbox& out) {
+                           SimTime now, proto::Outbox& out) {
   spec.origin_locality = locality_;
   ++stats_.submitted;
-  pending_.emplace(spec.id, std::move(handler));
+  Pending entry;
+  entry.handler = std::move(handler);
+  entry.backoff = ExponentialBackoff(config_.backoff);
+  if (config_.resubmit) {
+    entry.spec = spec;
+    entry.next_resubmit = now + entry.backoff.next(rng_);
+  }
+  const TaskletId id = spec.id;
+  pending_.insert_or_assign(id, std::move(entry));
   out.send(broker_, proto::SubmitTasklet{std::move(spec)});
+  if (config_.resubmit) arm_retry_timer(now, out);
 }
 
 void ConsumerAgent::cancel(TaskletId id, proto::Outbox& out) {
   if (pending_.erase(id) > 0) {
     out.send(broker_, proto::CancelTasklet{id});
   }
+}
+
+void ConsumerAgent::on_timer(std::uint64_t timer_id, SimTime now,
+                             proto::Outbox& out) {
+  if (timer_id != kRetryTimer || !config_.resubmit) return;
+  std::vector<TaskletId> abandoned;
+  for (auto& [id, entry] : pending_) {
+    if (entry.next_resubmit == 0 || entry.next_resubmit > now) continue;
+    if (entry.resubmits >= config_.max_resubmits) {
+      abandoned.push_back(id);
+      continue;
+    }
+    ++entry.resubmits;
+    ++stats_.resubmits;
+    entry.next_resubmit = now + entry.backoff.next(rng_);
+    out.send(broker_, proto::SubmitTasklet{entry.spec});
+  }
+  for (const TaskletId id : abandoned) {
+    auto it = pending_.find(id);
+    Pending entry = std::move(it->second);
+    pending_.erase(it);
+    fail_locally(id, std::move(entry));
+  }
+  arm_retry_timer(now, out);
+}
+
+void ConsumerAgent::arm_retry_timer(SimTime now, proto::Outbox& out) {
+  SimTime earliest = 0;
+  for (const auto& [id, entry] : pending_) {
+    if (entry.next_resubmit == 0) continue;
+    if (earliest == 0 || entry.next_resubmit < earliest) {
+      earliest = entry.next_resubmit;
+    }
+  }
+  if (earliest == 0) return;  // nothing waiting on a retry
+  out.arm_timer(kRetryTimer, std::max<SimTime>(1, earliest - now));
+}
+
+void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry) {
+  ++stats_.failed;
+  ++stats_.abandoned;
+  TASKLETS_LOG(kWarn, "consumer")
+      << this->id().to_string() << ": abandoning tasklet " << id.to_string()
+      << " after " << entry.resubmits + 1 << " unanswered submissions";
+  proto::TaskletReport report;
+  report.id = id;
+  report.job = entry.spec.job;
+  report.status = proto::TaskletStatus::kExhausted;
+  report.attempts = 0;
+  report.error = "no terminal report from broker";
+  entry.handler(report);
 }
 
 void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime,
@@ -41,7 +107,7 @@ void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime,
   } else {
     ++stats_.failed;
   }
-  ReportHandler handler = std::move(it->second);
+  ReportHandler handler = std::move(it->second.handler);
   pending_.erase(it);
   handler(done->report);
 }

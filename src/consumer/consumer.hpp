@@ -5,26 +5,49 @@
 // is layered on top by the runtime-specific consumer libraries
 // (core/system.hpp for the threaded runtime, core/sim_cluster.hpp for the
 // simulator).
+//
+// Submission is at-least-once: until a terminal report arrives the agent
+// re-sends SubmitTasklet with jittered exponential backoff (the broker
+// deduplicates by tasklet id and replays the final report for late
+// retransmits). After `max_resubmits` unanswered sends the agent gives up
+// and synthesizes a local kExhausted report so the handler always fires
+// exactly once.
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 
+#include "common/backoff.hpp"
+#include "common/rng.hpp"
 #include "proto/actor.hpp"
 
 namespace tasklets::consumer {
+
+struct ConsumerConfig {
+  // false = fire-and-forget submission (seed behaviour): one SubmitTasklet,
+  // no retry timer, no local failure synthesis.
+  bool resubmit = true;
+  BackoffConfig backoff{2 * kSecond, 30 * kSecond, 2.0, 0.2};
+  // Resubmissions after the initial send before the tasklet is failed
+  // locally with kExhausted.
+  std::uint32_t max_resubmits = 8;
+  std::uint64_t rng_seed = 0xC0A57;
+};
 
 struct ConsumerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  // any non-completed terminal status
+  std::uint64_t resubmits = 0;
+  std::uint64_t abandoned = 0;  // failed locally after max_resubmits
 };
 
 class ConsumerAgent final : public proto::Actor {
  public:
   using ReportHandler = std::function<void(const proto::TaskletReport&)>;
 
-  ConsumerAgent(NodeId id, NodeId broker, std::string locality = {});
+  ConsumerAgent(NodeId id, NodeId broker, std::string locality = {},
+                ConsumerConfig config = {});
 
   void on_start(SimTime now, proto::Outbox& out) override;
   void on_message(const proto::Envelope& envelope, SimTime now,
@@ -45,10 +68,27 @@ class ConsumerAgent final : public proto::Actor {
   [[nodiscard]] const std::string& locality() const noexcept { return locality_; }
 
  private:
+  struct Pending {
+    ReportHandler handler;
+    proto::TaskletSpec spec;  // retained for resubmission
+    ExponentialBackoff backoff;
+    SimTime next_resubmit = 0;
+    std::uint32_t resubmits = 0;
+  };
+
+  void arm_retry_timer(SimTime now, proto::Outbox& out);
+  void fail_locally(TaskletId id, Pending&& entry);
+
+  static constexpr std::uint64_t kRetryTimer = 1;
+
   NodeId broker_;
   std::string locality_;
+  ConsumerConfig config_;
   ConsumerStats stats_;
-  std::unordered_map<TaskletId, ReportHandler> pending_;
+  Rng rng_;
+  // Ordered map: iterated to find the earliest retry deadline, and keeps
+  // retry scans deterministic under the simulator.
+  std::map<TaskletId, Pending> pending_;
 };
 
 }  // namespace tasklets::consumer

@@ -225,12 +225,13 @@ SimCluster::SimCluster(SimConfig config)
     scheduler = config_.scheduler_factory();
   } else {
     auto by_name = broker::make_scheduler(config_.scheduler);
-    if (!by_name.is_ok()) {
+    if (by_name.is_ok()) {
+      scheduler = std::move(by_name).value();
+    } else {
       TASKLETS_LOG(kError, "sim") << by_name.status().to_string()
                                   << "; using qoc_aware";
-      by_name = broker::make_qoc_aware();
+      scheduler = broker::make_qoc_aware();
     }
-    scheduler = std::move(by_name).value();
   }
   broker_id_ = node_ids_.next();
   auto broker_actor = std::make_unique<broker::Broker>(

@@ -94,21 +94,31 @@ TaskletSystem::TaskletSystem(SystemConfig config)
   } else {
     runtime_ = std::make_unique<net::InProcRuntime>();
   }
-  auto scheduler = broker::make_scheduler(config_.scheduler);
-  if (!scheduler.is_ok()) {
+  if (config_.fault_plan.has_value()) {
+    auto faulty = std::make_unique<net::FaultyRuntime>(std::move(runtime_),
+                                                       *config_.fault_plan);
+    faults_ = faulty.get();
+    runtime_ = std::move(faulty);
+  }
+  auto scheduler_result = broker::make_scheduler(config_.scheduler);
+  std::unique_ptr<broker::Scheduler> scheduler;
+  if (scheduler_result.is_ok()) {
+    scheduler = std::move(scheduler_result).value();
+  } else {
     // Configuration error: fall back loudly to the default policy.
-    TASKLETS_LOG(kError, "system") << scheduler.status().to_string()
+    TASKLETS_LOG(kError, "system") << scheduler_result.status().to_string()
                                    << "; using qoc_aware";
     scheduler = broker::make_qoc_aware();
   }
   broker_id_ = node_ids_.next();
   auto broker_actor = std::make_unique<broker::Broker>(
-      broker_id_, std::move(scheduler).value(), config_.broker);
+      broker_id_, std::move(scheduler), config_.broker);
   broker_ = broker_actor.get();
   broker_host_ = &runtime_->add(std::move(broker_actor));
 
+  consumer_id_ = node_ids_.next();
   auto consumer_actor = std::make_unique<consumer::ConsumerAgent>(
-      node_ids_.next(), broker_id_, config_.consumer_locality);
+      consumer_id_, broker_id_, config_.consumer_locality, config_.consumer);
   consumer_ = consumer_actor.get();
   consumer_host_ = &runtime_->add(std::move(consumer_actor));
 }
@@ -121,10 +131,14 @@ void TaskletSystem::stop() {
     if (stopped_) return;
     stopped_ = true;
   }
-  // Actors first (no new work reaches the pools), then the pools.
+  // Pools first: stop() joins in-flight executions, whose completion
+  // closures post into actor hosts, so the hosts must still be alive.
+  // Actors submitting to a stopped pool is harmless (submit is a no-op).
+  {
+    const std::scoped_lock lock(providers_mutex_);
+    for (auto& execution : provider_executions_) execution->stop();
+  }
   runtime_->stop_all();
-  const std::scoped_lock lock(providers_mutex_);
-  for (auto& execution : provider_executions_) execution->stop();
 }
 
 std::size_t TaskletSystem::provider_count() const noexcept {

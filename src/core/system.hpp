@@ -17,12 +17,14 @@
 #include <future>
 #include <unordered_map>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "broker/broker.hpp"
 #include "common/thread_pool.hpp"
 #include "consumer/consumer.hpp"
+#include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "proto/types.hpp"
 #include "provider/provider.hpp"
@@ -58,6 +60,10 @@ struct SystemConfig {
   broker::BrokerConfig broker{};
   tvm::ExecLimits exec_limits{};
   std::string consumer_locality;  // origin tag for QoC locality matching
+  consumer::ConsumerConfig consumer{};
+  // When set, the transport is wrapped in a net::FaultyRuntime applying
+  // this plan to every message (chaos testing). See faults().
+  std::optional<net::FaultPlan> fault_plan;
 };
 
 class TaskletSystem {
@@ -92,6 +98,14 @@ class TaskletSystem {
   // Number of providers added so far.
   [[nodiscard]] std::size_t provider_count() const noexcept;
 
+  // The fault-injection decorator, or nullptr when no fault plan was
+  // configured. Tests use it for partitions and the decision trace.
+  [[nodiscard]] net::FaultyRuntime* faults() noexcept { return faults_; }
+
+  // Ids of the system's fixed actors (for fault plans / partitions).
+  [[nodiscard]] NodeId broker_id() const noexcept { return broker_id_; }
+  [[nodiscard]] NodeId consumer_id() const noexcept { return consumer_id_; }
+
   // Stops all actors and worker pools. Called by the destructor; after
   // stop() submissions fail their futures with broken_promise.
   void stop();
@@ -101,10 +115,12 @@ class TaskletSystem {
 
   SystemConfig config_;
   std::unique_ptr<net::Runtime> runtime_;
+  net::FaultyRuntime* faults_ = nullptr;  // == runtime_.get() when wrapping
   IdGenerator<NodeId> node_ids_;
   IdGenerator<TaskletId> tasklet_ids_;
   IdGenerator<JobId> job_ids_;
   NodeId broker_id_;
+  NodeId consumer_id_;
   broker::Broker* broker_ = nullptr;      // owned by runtime_
   consumer::ConsumerAgent* consumer_ = nullptr;  // owned by runtime_
   net::ActorHost* broker_host_ = nullptr;

@@ -1,0 +1,257 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "net/tcp.hpp"
+#include "proto/messages.hpp"
+
+namespace tasklets::net {
+
+namespace {
+
+constexpr std::string_view kLog = "fault";
+
+// The per-message decision seed: a pure function of (plan seed, link, seq),
+// so fault schedules are reproducible regardless of thread interleaving.
+std::uint64_t message_seed(std::uint64_t seed, NodeId from, NodeId to,
+                           std::uint64_t seq) {
+  SplitMix64 sm(seed ^ (from.value() * 0x9E3779B97F4A7C15ULL) ^
+                (to.value() * 0xC2B2AE3D27D4EB4FULL) ^
+                (seq * 0x165667B19E3779F9ULL));
+  return sm.next();
+}
+
+LinkKey normalized(NodeId a, NodeId b) {
+  return a < b ? LinkKey{a, b} : LinkKey{b, a};
+}
+
+}  // namespace
+
+FaultyRuntime::FaultyRuntime(std::unique_ptr<Runtime> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  for (const auto& [a, b] : plan_.partitions) {
+    partitions_.insert(normalized(a, b));
+  }
+  delay_thread_ = std::thread([this] { delay_loop(); });
+}
+
+FaultyRuntime::~FaultyRuntime() { stop_all(); }
+
+ActorHost& FaultyRuntime::add(std::unique_ptr<proto::Actor> actor,
+                              bool autostart, HostEnv* env) {
+  // The inner runtime owns the host (and, for TCP, its listener), but the
+  // host's outbound envelopes route through this decorator.
+  return inner_->add(std::move(actor), autostart,
+                     env != nullptr ? env : this);
+}
+
+const LinkFaults& FaultyRuntime::faults_for(const LinkKey& link) const {
+  const auto it = plan_.links.find(link);
+  return it != plan_.links.end() ? it->second : plan_.default_faults;
+}
+
+bool FaultyRuntime::partitioned(NodeId a, NodeId b) const {
+  return partitions_.contains(normalized(a, b));
+}
+
+void FaultyRuntime::partition(NodeId a, NodeId b) {
+  const std::scoped_lock lock(mutex_);
+  partitions_.insert(normalized(a, b));
+}
+
+void FaultyRuntime::heal(NodeId a, NodeId b) {
+  const std::scoped_lock lock(mutex_);
+  partitions_.erase(normalized(a, b));
+}
+
+void FaultyRuntime::heal_all() {
+  const std::scoped_lock lock(mutex_);
+  partitions_.clear();
+}
+
+void FaultyRuntime::record(NodeId from, NodeId to, std::uint64_t seq,
+                           FaultAction action) {
+  const std::scoped_lock lock(mutex_);
+  trace_.push_back(FaultEvent{from, to, seq, action});
+}
+
+std::vector<FaultEvent> FaultyRuntime::trace() const {
+  std::vector<FaultEvent> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    out = trace_;
+  }
+  std::sort(out.begin(), out.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::uint64_t FaultyRuntime::delivered() const {
+  const std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+void FaultyRuntime::deliver(proto::Envelope envelope) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++delivered_;
+  }
+  inner_->route(std::move(envelope));
+}
+
+void FaultyRuntime::route(proto::Envelope envelope) {
+  const NodeId from = envelope.from;
+  const NodeId to = envelope.to;
+  std::uint64_t seq = 0;
+  std::optional<proto::Envelope> released;
+  {
+    const std::scoped_lock lock(mutex_);
+    LinkState& link = link_state_[{from, to}];
+    seq = ++link.seq;
+    if (partitioned(from, to)) {
+      trace_.push_back(FaultEvent{from, to, seq, FaultAction::kDropPartitioned});
+      return;
+    }
+    // A message held for reordering is released behind the current one.
+    if (link.held.has_value()) {
+      released = std::move(link.held);
+      link.held.reset();
+    }
+  }
+
+  const LinkFaults& faults = faults_for({from, to});
+  Rng rng(message_seed(plan_.seed, from, to, seq));
+
+  // A reset hits the connection, not this message: the frame still goes out
+  // (over a fresh connection on TCP).
+  if (faults.reset > 0.0 && rng.bernoulli(faults.reset)) {
+    if (auto* tcp = dynamic_cast<TcpRuntime*>(inner_.get())) {
+      tcp->drop_connection(to);
+    }
+  }
+
+  FaultAction action = FaultAction::kDeliver;
+  if (rng.bernoulli(faults.drop)) {
+    action = FaultAction::kDrop;
+  } else if (faults.corrupt > 0.0 && rng.bernoulli(faults.corrupt)) {
+    // Flip 1-4 bits of the encoded frame and re-decode: either the codec
+    // rejects the mutant (drop) or a decodable mutant is delivered — the
+    // layers above must fence it.
+    Bytes frame = proto::encode(envelope);
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < flips && !frame.empty(); ++i) {
+      frame[static_cast<std::size_t>(rng.next_below(frame.size()))] ^=
+          static_cast<std::byte>(1u << rng.next_below(8));
+    }
+    auto mutant = proto::decode(frame);
+    if (mutant.is_ok()) {
+      envelope = std::move(mutant).value();
+      action = FaultAction::kCorrupt;
+    } else {
+      action = FaultAction::kCorruptDrop;
+    }
+  } else if (rng.bernoulli(faults.duplicate)) {
+    action = FaultAction::kDuplicate;
+  } else if (rng.bernoulli(faults.reorder)) {
+    action = FaultAction::kReorderHold;
+  } else if (rng.bernoulli(faults.delay)) {
+    action = FaultAction::kDelay;
+  }
+  record(from, to, seq, action);
+
+  switch (action) {
+    case FaultAction::kDeliver:
+    case FaultAction::kCorrupt:
+      deliver(std::move(envelope));
+      break;
+    case FaultAction::kDrop:
+    case FaultAction::kCorruptDrop:
+    case FaultAction::kDropPartitioned:
+      break;
+    case FaultAction::kDuplicate:
+      deliver(envelope);
+      deliver(std::move(envelope));
+      break;
+    case FaultAction::kReorderHold: {
+      const std::scoped_lock lock(mutex_);
+      LinkState& link = link_state_[{from, to}];
+      if (!link.held.has_value()) {
+        link.held = std::move(envelope);
+      } else if (!released.has_value()) {
+        // A racing sender refilled the slot since we drained it: swap this
+        // message into the release path instead of losing the held one.
+        released = std::move(envelope);
+      }
+      break;
+    }
+    case FaultAction::kDelay: {
+      const SimTime span = std::max<SimTime>(0, faults.delay_max - faults.delay_min);
+      const SimTime d =
+          faults.delay_min +
+          (span > 0 ? static_cast<SimTime>(rng.next_below(
+                          static_cast<std::uint64_t>(span) + 1))
+                    : 0);
+      schedule_delayed(std::move(envelope), inner_->now() + d);
+      break;
+    }
+  }
+  if (released.has_value()) deliver(std::move(*released));
+}
+
+void FaultyRuntime::schedule_delayed(proto::Envelope envelope, SimTime due) {
+  {
+    const std::scoped_lock lock(delay_mutex_);
+    if (delay_stop_) return;  // shutting down: the delayed message is lost
+    delayed_.push(Delayed{due, ++delay_order_, std::move(envelope)});
+  }
+  delay_cv_.notify_one();
+}
+
+void FaultyRuntime::delay_loop() {
+  std::unique_lock lock(delay_mutex_);
+  for (;;) {
+    if (delay_stop_) return;
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock);
+      continue;
+    }
+    const SimTime due = delayed_.top().due;
+    const SimTime now = inner_->now();
+    if (due > now) {
+      delay_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      continue;
+    }
+    // priority_queue::top() is const; the envelope is moved out via a copy
+    // of the top element (frames are small relative to test volumes).
+    Delayed item = delayed_.top();
+    delayed_.pop();
+    lock.unlock();
+    deliver(std::move(item.envelope));
+    lock.lock();
+  }
+}
+
+void FaultyRuntime::stop_all() {
+  {
+    const std::scoped_lock lock(delay_mutex_);
+    delay_stop_ = true;
+  }
+  delay_cv_.notify_one();
+  if (delay_thread_.joinable()) delay_thread_.join();
+  const auto dropped = [this] {
+    const std::scoped_lock lock(delay_mutex_);
+    return delayed_.size();
+  }();
+  if (dropped > 0) {
+    TASKLETS_LOG(kInfo, kLog) << dropped
+                              << " delayed message(s) dropped at shutdown";
+  }
+  inner_->stop_all();
+}
+
+}  // namespace tasklets::net

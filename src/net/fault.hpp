@@ -1,0 +1,161 @@
+// Deterministic fault injection for the threaded runtimes.
+//
+// FaultyRuntime is a transport decorator: it wraps any Runtime (InProcRuntime
+// or TcpRuntime) and intercepts every outbound envelope, applying a seeded
+// FaultPlan — per-link drop / duplicate / delay / reorder probabilities,
+// payload bit-flips, network partitions and connection resets.
+//
+// Determinism: every decision for a message is a pure function of
+// (plan seed, from, to, per-link sequence number). The per-link sequence
+// number counts route() calls on that directed link, so as long as each
+// sender's per-link send sequence is deterministic, the injected fault
+// schedule is bit-identical across runs regardless of how threads
+// interleave globally. The recorded trace (one terminal FaultEvent per
+// message, keyed by link and sequence) is therefore reproducible and is
+// what the chaos tests compare across runs.
+//
+// Layering: the decorator sits *between* the actor hosts and the inner
+// transport — hosts are created by the inner runtime but route outbound
+// messages through the decorator (see Runtime::add's env override). On the
+// TCP transport the faults therefore apply to the encoded frames the
+// sockets would carry; corruption literally flips bytes of the encoded
+// envelope and re-decodes, exercising the same codec paths as bit rot on a
+// real wire.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/inproc.hpp"
+
+namespace tasklets::net {
+
+// Fault probabilities for one directed link. All independent per message;
+// evaluation order: partition check, reset, drop, corrupt, duplicate,
+// reorder, delay.
+struct LinkFaults {
+  double drop = 0.0;       // message vanishes
+  double duplicate = 0.0;  // delivered twice
+  double corrupt = 0.0;    // 1-4 byte flips in the encoded frame
+  double delay = 0.0;      // delivery postponed by [delay_min, delay_max]
+  double reorder = 0.0;    // held back until the next message on the link
+  double reset = 0.0;      // connection reset (TCP: pooled fd closed)
+  SimTime delay_min = 1 * kMillisecond;
+  SimTime delay_max = 20 * kMillisecond;
+};
+
+using LinkKey = std::pair<NodeId, NodeId>;  // (from, to), directed
+
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17;
+  LinkFaults default_faults;      // applied to every link without an override
+  std::map<LinkKey, LinkFaults> links;  // per-directed-link overrides
+  // Initially-partitioned unordered node pairs (both directions blocked).
+  // Mutable at runtime via FaultyRuntime::partition()/heal().
+  std::vector<LinkKey> partitions;
+};
+
+// What happened to one message. kDeliver/kDrop/... are terminal; exactly one
+// terminal event is recorded per route() call.
+enum class FaultAction : std::uint8_t {
+  kDeliver,          // passed through untouched
+  kDrop,             // random drop
+  kDropPartitioned,  // blocked by an active partition
+  kCorrupt,          // bytes flipped, still decodable: mutant delivered
+  kCorruptDrop,      // bytes flipped, frame no longer decodes: dropped
+  kDuplicate,        // delivered twice
+  kDelay,            // delivered after an injected delay
+  kReorderHold,      // held; released after the link's next message
+};
+
+struct FaultEvent {
+  NodeId from;
+  NodeId to;
+  std::uint64_t seq = 0;  // per-directed-link route() ordinal, from 1
+  FaultAction action = FaultAction::kDeliver;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultyRuntime final : public Runtime {
+ public:
+  FaultyRuntime(std::unique_ptr<Runtime> inner, FaultPlan plan);
+  ~FaultyRuntime() override;
+
+  FaultyRuntime(const FaultyRuntime&) = delete;
+  FaultyRuntime& operator=(const FaultyRuntime&) = delete;
+
+  // Hosts are owned by the inner runtime but route outbound messages
+  // through this decorator.
+  ActorHost& add(std::unique_ptr<proto::Actor> actor, bool autostart = true,
+                 HostEnv* env = nullptr) override;
+  void route(proto::Envelope envelope) override;
+  [[nodiscard]] SimTime now() const override { return inner_->now(); }
+  void stop_all() override;
+
+  [[nodiscard]] Runtime& inner() noexcept { return *inner_; }
+
+  // Runtime-mutable partitions (heartbeat-loss / split-brain scenarios).
+  // Block/unblock both directions between a and b.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void heal_all();
+
+  // The decision trace so far, sorted by (from, to, seq) — a deterministic
+  // total order independent of thread interleaving across links.
+  [[nodiscard]] std::vector<FaultEvent> trace() const;
+  // Messages that reached the inner transport (including duplicates and
+  // corrupted mutants).
+  [[nodiscard]] std::uint64_t delivered() const;
+
+ private:
+  struct LinkState {
+    std::uint64_t seq = 0;
+    std::optional<proto::Envelope> held;  // reorder hold-one slot
+  };
+
+  struct Delayed {
+    SimTime due;
+    std::uint64_t order;  // tie-break so the heap is a total order
+    proto::Envelope envelope;
+  };
+  struct DelayedLater {
+    bool operator()(const Delayed& a, const Delayed& b) const {
+      return a.due != b.due ? a.due > b.due : a.order > b.order;
+    }
+  };
+
+  [[nodiscard]] const LinkFaults& faults_for(const LinkKey& link) const;
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+  void record(NodeId from, NodeId to, std::uint64_t seq, FaultAction action);
+  void deliver(proto::Envelope envelope);
+  void schedule_delayed(proto::Envelope envelope, SimTime due);
+  void delay_loop();
+
+  std::unique_ptr<Runtime> inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mutex_;
+  std::map<LinkKey, LinkState> link_state_;
+  std::set<LinkKey> partitions_;  // normalized (min, max) pairs
+  std::vector<FaultEvent> trace_;
+  std::uint64_t delivered_ = 0;
+
+  std::mutex delay_mutex_;
+  std::condition_variable delay_cv_;
+  std::priority_queue<Delayed, std::vector<Delayed>, DelayedLater> delayed_;
+  std::uint64_t delay_order_ = 0;
+  bool delay_stop_ = false;
+  std::thread delay_thread_;
+};
+
+}  // namespace tasklets::net

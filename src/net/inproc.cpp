@@ -139,8 +139,10 @@ void ActorHost::run_loop() {
 
 InProcRuntime::~InProcRuntime() { stop_all(); }
 
-ActorHost& InProcRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart) {
-  auto host = std::make_unique<ActorHost>(std::move(actor), *this);
+ActorHost& InProcRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart,
+                              HostEnv* env) {
+  auto host = std::make_unique<ActorHost>(std::move(actor),
+                                          env != nullptr ? *env : *this);
   ActorHost& ref = *host;
   {
     const std::unique_lock lock(registry_mutex_);

@@ -51,9 +51,12 @@ class Runtime : public HostEnv {
   // Takes ownership of the actor. With autostart (default) the host's
   // mailbox thread starts immediately; pass false when wiring (e.g. an
   // execution service) must finish before on_start may send messages, and
-  // call host.start() afterwards.
+  // call host.start() afterwards. `env` overrides the environment the
+  // host's outbound messages route through — a decorator (net/fault.hpp)
+  // passes itself so it sits on every send while this runtime still owns
+  // the host.
   virtual ActorHost& add(std::unique_ptr<proto::Actor> actor,
-                         bool autostart = true) = 0;
+                         bool autostart = true, HostEnv* env = nullptr) = 0;
   virtual void stop_all() = 0;
 };
 
@@ -115,8 +118,8 @@ class InProcRuntime final : public Runtime {
   InProcRuntime(const InProcRuntime&) = delete;
   InProcRuntime& operator=(const InProcRuntime&) = delete;
 
-  ActorHost& add(std::unique_ptr<proto::Actor> actor,
-                 bool autostart = true) override;
+  ActorHost& add(std::unique_ptr<proto::Actor> actor, bool autostart = true,
+                 HostEnv* env = nullptr) override;
 
   // Routes an envelope to its destination host; unknown destinations are
   // dropped (the peer may have stopped — distributed systems shrug).

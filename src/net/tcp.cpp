@@ -53,9 +53,11 @@ TcpRuntime::TcpRuntime(TcpConfig config) : config_(config) {}
 
 TcpRuntime::~TcpRuntime() { stop_all(); }
 
-ActorHost& TcpRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart) {
+ActorHost& TcpRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostart,
+                           HostEnv* env) {
   auto entry = std::make_unique<NodeEntry>();
-  entry->host = std::make_unique<ActorHost>(std::move(actor), *this);
+  entry->host = std::make_unique<ActorHost>(std::move(actor),
+                                            env != nullptr ? *env : *this);
 
   // Listener on an ephemeral loopback port.
   entry->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -107,6 +109,14 @@ std::uint16_t TcpRuntime::port_of(NodeId id) const {
 
 std::uint64_t TcpRuntime::bytes_sent() const noexcept {
   return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+void TcpRuntime::drop_connection(NodeId to) {
+  const std::scoped_lock lock(connections_mutex_);
+  if (const auto it = outbound_.find(to); it != outbound_.end()) {
+    ::close(it->second);
+    outbound_.erase(it);
+  }
 }
 
 int TcpRuntime::connect_to(std::uint16_t port) {

@@ -43,8 +43,8 @@ class TcpRuntime final : public Runtime {
 
   // Adds an actor: opens its listener, registers it in the address book and
   // starts its mailbox thread (unless autostart is false).
-  ActorHost& add(std::unique_ptr<proto::Actor> actor,
-                 bool autostart = true) override;
+  ActorHost& add(std::unique_ptr<proto::Actor> actor, bool autostart = true,
+                 HostEnv* env = nullptr) override;
 
   // Serializes the envelope and sends it over the pooled connection to the
   // destination's listener. Unknown destination or I/O failure: dropped.
@@ -60,6 +60,10 @@ class TcpRuntime final : public Runtime {
 
   // Listener port of a node (tests / external peers). 0 if unknown.
   [[nodiscard]] std::uint16_t port_of(NodeId id) const;
+  // Forcibly closes the pooled outbound connection to `to` (if any). The
+  // next send re-establishes it; in-flight frames on the old socket may be
+  // lost. Used by the fault-injection layer to model connection resets.
+  void drop_connection(NodeId to);
   // Bytes actually pushed through sockets (tests assert the wire was used).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
 

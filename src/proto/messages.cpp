@@ -15,6 +15,7 @@ enum class Tag : std::uint8_t {
   kCancelTasklet,
   kAssignTasklet,
   kTaskletDone,
+  kRegisterAck,
 };
 
 // --- field codecs -------------------------------------------------------------
@@ -88,6 +89,11 @@ void put_body(ByteWriter& w, const TaskletBody& body) {
   }
 }
 
+// GCC 12 false positive: the inactive variant alternative's vector members
+// get flagged maybe-uninitialized when this inlines into Result's move path
+// (-O2 / -fsanitize). Same pattern and suppression as tvm/marshal.cpp.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 Result<TaskletBody> get_body(ByteReader& r) {
   TASKLETS_ASSIGN_OR_RETURN(auto tag, r.read_u8());
   if (tag == 0) {
@@ -105,6 +111,7 @@ Result<TaskletBody> get_body(ByteReader& r) {
   }
   return make_error(StatusCode::kDataLoss, "bad body tag");
 }
+#pragma GCC diagnostic pop
 
 void put_outcome(ByteWriter& w, const AttemptOutcome& o) {
   w.write_u8(static_cast<std::uint8_t>(o.status));
@@ -170,6 +177,7 @@ struct PutVisitor {
   void operator()(const RegisterProvider& m) {
     w.write_u8(static_cast<std::uint8_t>(Tag::kRegisterProvider));
     put_capability(w, m.capability);
+    w.write_varint(m.incarnation);
   }
   void operator()(const DeregisterProvider& m) {
     w.write_u8(static_cast<std::uint8_t>(Tag::kDeregisterProvider));
@@ -210,6 +218,10 @@ struct PutVisitor {
     w.write_u8(static_cast<std::uint8_t>(Tag::kTaskletDone));
     put_report(w, m.report);
   }
+  void operator()(const RegisterAck& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kRegisterAck));
+    w.write_varint(m.incarnation);
+  }
 };
 
 Result<Message> get_message(ByteReader& r) {
@@ -218,6 +230,7 @@ Result<Message> get_message(ByteReader& r) {
     case Tag::kRegisterProvider: {
       RegisterProvider m;
       TASKLETS_ASSIGN_OR_RETURN(m.capability, get_capability(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.incarnation, r.read_varint());
       return Message{std::move(m)};
     }
     case Tag::kDeregisterProvider: {
@@ -275,6 +288,11 @@ Result<Message> get_message(ByteReader& r) {
       TASKLETS_ASSIGN_OR_RETURN(m.report, get_report(r));
       return Message{std::move(m)};
     }
+    case Tag::kRegisterAck: {
+      RegisterAck m;
+      TASKLETS_ASSIGN_OR_RETURN(m.incarnation, r.read_varint());
+      return Message{m};
+    }
   }
   return make_error(StatusCode::kDataLoss, "unknown message tag");
 }
@@ -291,6 +309,7 @@ std::string_view message_name(const Message& m) noexcept {
     case Tag::kCancelTasklet: return "CancelTasklet";
     case Tag::kAssignTasklet: return "AssignTasklet";
     case Tag::kTaskletDone: return "TaskletDone";
+    case Tag::kRegisterAck: return "RegisterAck";
   }
   return "?";
 }

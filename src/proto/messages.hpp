@@ -18,6 +18,12 @@ namespace tasklets::proto {
 
 struct RegisterProvider {
   Capability capability;
+  // Monotonic per-provider-process registration epoch. The broker treats a
+  // re-registration with the *same* incarnation as a retransmit (refresh +
+  // re-ack, in-flight work untouched) and a *different* one as a restart
+  // (in-flight attempts re-issued). 0 = legacy sender: every registration
+  // is a restart.
+  std::uint64_t incarnation = 0;
 };
 
 struct DeregisterProvider {
@@ -68,9 +74,17 @@ struct TaskletDone {
   TaskletReport report;
 };
 
+// Broker -> Provider: acknowledges a RegisterProvider. Registration is
+// at-least-once — the provider keeps re-sending RegisterProvider on its
+// heartbeat cadence until the ack for its current incarnation arrives.
+struct RegisterAck {
+  std::uint64_t incarnation = 0;
+};
+
 using Message =
     std::variant<RegisterProvider, DeregisterProvider, Heartbeat, AttemptResult,
-                 SubmitTasklet, CancelTasklet, AssignTasklet, TaskletDone>;
+                 SubmitTasklet, CancelTasklet, AssignTasklet, TaskletDone,
+                 RegisterAck>;
 
 [[nodiscard]] std::string_view message_name(const Message& m) noexcept;
 

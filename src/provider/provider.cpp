@@ -12,13 +12,21 @@ ProviderAgent::ProviderAgent(NodeId id, NodeId broker, proto::Capability capabil
       execution_(execution),
       config_(config) {}
 
+void ProviderAgent::send_register(proto::Outbox& out) {
+  proto::RegisterProvider m;
+  m.capability = capability_;
+  m.incarnation = incarnation_;
+  out.send(broker_, std::move(m));
+}
+
 void ProviderAgent::on_start(SimTime, proto::Outbox& out) {
-  out.send(broker_, proto::RegisterProvider{capability_});
+  send_register(out);
   out.arm_timer(kHeartbeatTimer, config_.heartbeat_interval);
 }
 
 void ProviderAgent::leave(proto::Outbox& out) {
   online_ = false;
+  registered_ = false;
   proto::DeregisterProvider deregister;
   // In-flight work will be checkpointed by the runtime's execution service
   // and reported as suspended; tell the broker to wait for it.
@@ -28,15 +36,24 @@ void ProviderAgent::leave(proto::Outbox& out) {
 
 void ProviderAgent::rejoin(SimTime, proto::Outbox& out) {
   online_ = true;
-  out.send(broker_, proto::RegisterProvider{capability_});
+  registered_ = false;
+  ++incarnation_;  // a new epoch: the broker re-issues anything we held
+  send_register(out);
 }
 
 void ProviderAgent::on_timer(std::uint64_t timer_id, SimTime, proto::Outbox& out) {
   if (timer_id != kHeartbeatTimer) return;
   if (online_) {
-    proto::Heartbeat hb;
-    hb.busy_slots = busy_slots();
-    out.send(broker_, hb);
+    if (registered_) {
+      proto::Heartbeat hb;
+      hb.busy_slots = busy_slots();
+      out.send(broker_, hb);
+    } else {
+      // Registration is at-least-once: keep re-sending on the heartbeat
+      // cadence until the broker acks this incarnation. The broker treats
+      // same-incarnation retransmits as a refresh, so this is safe.
+      send_register(out);
+    }
   }
   out.arm_timer(kHeartbeatTimer, config_.heartbeat_interval);
 }
@@ -47,13 +64,35 @@ void ProviderAgent::on_message(const proto::Envelope& envelope, SimTime now,
     handle_assign(*assign, now, out);
     return;
   }
+  if (const auto* ack = std::get_if<proto::RegisterAck>(&envelope.payload)) {
+    // Acks for stale incarnations (pre-rejoin) are ignored.
+    if (ack->incarnation == incarnation_) registered_ = true;
+    return;
+  }
   TASKLETS_LOG(kWarn, "provider")
       << id().to_string() << ": unexpected message "
       << proto::message_name(envelope.payload);
 }
 
+void ProviderAgent::remember_attempt(AttemptId attempt) {
+  seen_attempts_.insert(attempt);
+  seen_order_.push_back(attempt);
+  if (seen_order_.size() > kSeenAttemptsCap) {
+    seen_attempts_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+}
+
 void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
                                   proto::Outbox& out) {
+  if (seen_attempts_.contains(m.attempt)) {
+    // Duplicate retransmit of an attempt we already accepted (possibly long
+    // finished). Re-executing would double-spend the slot and double-report;
+    // staying silent is safe because the broker re-issues via its attempt
+    // timeout if the original result was lost.
+    ++stats_.duplicate_assigns;
+    return;
+  }
   ++stats_.assignments;
   if (!online_ || inflight_.size() >= capability_.slots) {
     ++stats_.rejected;
@@ -66,12 +105,14 @@ void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
     return;
   }
   inflight_.insert(m.attempt);
+  remember_attempt(m.attempt);
 
   ExecRequest request;
   request.attempt = m.attempt;
   request.tasklet = m.tasklet;
   request.body = m.body;
   request.max_fuel = m.max_fuel;
+  request.resume_snapshot = m.resume_snapshot;
   const TaskletId tasklet = m.tasklet;
   const AttemptId attempt = m.attempt;
   execution_.execute(

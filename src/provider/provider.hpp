@@ -6,6 +6,7 @@
 // leave gracefully (deregister) or vanish (churn) — the broker handles both.
 #pragma once
 
+#include <deque>
 #include <unordered_set>
 
 #include "proto/actor.hpp"
@@ -22,6 +23,7 @@ struct ProviderAgentStats {
   std::uint64_t completed = 0;
   std::uint64_t trapped = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t duplicate_assigns = 0;  // retransmits fenced by the seen-set
 };
 
 class ProviderAgent final : public proto::Actor {
@@ -43,6 +45,7 @@ class ProviderAgent final : public proto::Actor {
   // the slot accounting is cleared here (the work died with the process).
   void crash() noexcept {
     online_ = false;
+    registered_ = false;
     inflight_.clear();
   }
   [[nodiscard]] bool online() const noexcept { return online_; }
@@ -57,11 +60,20 @@ class ProviderAgent final : public proto::Actor {
     return capability_;
   }
   [[nodiscard]] const ProviderAgentStats& stats() const noexcept { return stats_; }
+  // True once the broker acked the current registration incarnation.
+  [[nodiscard]] bool registered() const noexcept { return registered_; }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept { return incarnation_; }
 
  private:
   static constexpr std::uint64_t kHeartbeatTimer = 1;
+  // Fence window for duplicate AssignTasklet retransmits: attempt ids this
+  // agent has already accepted (including long-completed ones, so a very
+  // late duplicate cannot re-execute). Bounded FIFO to cap memory.
+  static constexpr std::size_t kSeenAttemptsCap = 4096;
 
   void handle_assign(const proto::AssignTasklet& m, SimTime now, proto::Outbox& out);
+  void send_register(proto::Outbox& out);
+  void remember_attempt(AttemptId attempt);
 
   NodeId broker_;
   proto::Capability capability_;
@@ -69,6 +81,10 @@ class ProviderAgent final : public proto::Actor {
   ProviderConfig config_;
   ProviderAgentStats stats_;
   std::unordered_set<AttemptId> inflight_;
+  std::unordered_set<AttemptId> seen_attempts_;
+  std::deque<AttemptId> seen_order_;
+  std::uint64_t incarnation_ = 1;
+  bool registered_ = false;
   bool online_ = true;
 };
 

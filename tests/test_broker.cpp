@@ -801,6 +801,164 @@ TEST(BrokerTest, UnplaceableHighPriorityDoesNotStarveLowerClasses) {
   EXPECT_EQ(assigns[0].second.tasklet, normal);
 }
 
+// --- idempotency & fencing (at-least-once delivery) -------------------------------
+
+TEST(BrokerTest, DuplicateSubmitIsFencedWhileRunning) {
+  BrokerHarness h;
+  h.register_provider(NodeId{2});
+  TaskletSpec spec;
+  spec.id = TaskletId{1};
+  spec.job = JobId{1};
+  spec.body = SyntheticBody{1000, 7, 64};
+  h.deliver(kConsumer, SubmitTasklet{spec});
+  h.deliver(kConsumer, SubmitTasklet{spec});  // consumer resubmission retransmit
+  EXPECT_EQ(h.all_sent<AssignTasklet>().size(), 1u);
+  EXPECT_EQ(h.broker().stats().tasklets_submitted, 1u);
+  EXPECT_EQ(h.broker().stats().duplicate_submits, 1u);
+}
+
+TEST(BrokerTest, DuplicateSubmitAfterConclusionReplaysFinalReport) {
+  BrokerHarness h;
+  h.register_provider(NodeId{2});
+  TaskletSpec spec;
+  spec.id = TaskletId{1};
+  spec.job = JobId{1};
+  spec.body = SyntheticBody{1000, 42, 64};
+  h.deliver(kConsumer, SubmitTasklet{spec});
+  const auto assigns = h.sent_to<AssignTasklet>(NodeId{2});
+  ASSERT_EQ(assigns.size(), 1u);
+  h.complete(NodeId{2}, assigns[0], 42);
+  h.clear_sent();
+
+  // The retransmit must not re-run anything: the retained report is replayed.
+  h.deliver(kConsumer, SubmitTasklet{spec});
+  EXPECT_TRUE(h.all_sent<AssignTasklet>().empty());
+  const auto done = h.sent_to<TaskletDone>(kConsumer);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].report.status, TaskletStatus::kCompleted);
+  EXPECT_EQ(std::get<std::int64_t>(done[0].report.result), 42);
+  EXPECT_EQ(h.broker().stats().tasklets_submitted, 1u);
+  EXPECT_EQ(h.broker().stats().tasklets_completed, 1u);
+  EXPECT_EQ(h.broker().stats().duplicate_submits, 1u);
+}
+
+TEST(BrokerTest, DuplicateAttemptResultCountsOnce) {
+  BrokerHarness h;
+  h.register_provider(NodeId{2});
+  h.submit({}, 7);
+  const auto assigns = h.sent_to<AssignTasklet>(NodeId{2});
+  ASSERT_EQ(assigns.size(), 1u);
+  h.complete(NodeId{2}, assigns[0], 7);
+  h.complete(NodeId{2}, assigns[0], 7);  // duplicated frame
+  EXPECT_EQ(h.sent_to<TaskletDone>(kConsumer).size(), 1u);
+  EXPECT_EQ(h.broker().stats().attempts_ok, 1u);
+  EXPECT_EQ(h.broker().stats().tasklets_completed, 1u);
+  EXPECT_GE(h.broker().stats().duplicate_results, 1u);
+  // The provider's completion count must not double either.
+  for (const auto& [id, completed] : h.broker().provider_completions()) {
+    if (id == NodeId{2}) {
+      EXPECT_EQ(completed, 1u);
+    }
+  }
+}
+
+TEST(BrokerTest, ResultFromWrongProviderIsFenced) {
+  BrokerHarness h;
+  h.register_provider(NodeId{2});
+  h.register_provider(NodeId{3});
+  h.submit({}, 7);
+  auto assigns = h.all_sent<AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 1u);
+  const NodeId assignee = assigns[0].first;
+  const NodeId impostor = assignee == NodeId{2} ? NodeId{3} : NodeId{2};
+  // A corrupted/forged frame claiming the attempt from the wrong node must
+  // not conclude the tasklet.
+  h.complete(impostor, assigns[0].second, 999);
+  EXPECT_TRUE(h.sent_to<TaskletDone>(kConsumer).empty());
+  EXPECT_EQ(h.broker().stats().duplicate_results, 1u);
+  h.complete(assignee, assigns[0].second, 7);
+  const auto done = h.sent_to<TaskletDone>(kConsumer);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(done[0].report.result), 7);
+}
+
+TEST(BrokerTest, SameIncarnationReregisterIsRetransmitNotRestart) {
+  BrokerHarness h;
+  h.deliver(NodeId{2}, RegisterProvider{capability(), /*incarnation=*/7});
+  ASSERT_EQ(h.sent_to<proto::RegisterAck>(NodeId{2}).size(), 1u);
+  EXPECT_EQ(h.sent_to<proto::RegisterAck>(NodeId{2})[0].incarnation, 7u);
+  h.submit({}, 7);
+  ASSERT_EQ(h.all_sent<AssignTasklet>().size(), 1u);
+  h.clear_sent();
+
+  // The ack was lost; the provider re-sends the same registration. The
+  // in-flight attempt must survive (no reissue) and the ack is repeated.
+  h.deliver(NodeId{2}, RegisterProvider{capability(), /*incarnation=*/7});
+  EXPECT_TRUE(h.all_sent<AssignTasklet>().empty());
+  EXPECT_EQ(h.broker().stats().reissues, 0u);
+  ASSERT_EQ(h.sent_to<proto::RegisterAck>(NodeId{2}).size(), 1u);
+  EXPECT_EQ(h.sent_to<proto::RegisterAck>(NodeId{2})[0].incarnation, 7u);
+}
+
+TEST(BrokerTest, NewIncarnationReregisterRestartsInflightWork) {
+  BrokerHarness h;
+  h.deliver(NodeId{2}, RegisterProvider{capability(), /*incarnation=*/7});
+  h.submit({}, 7);
+  auto assigns = h.all_sent<AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 1u);
+  const AttemptId first = assigns[0].second.attempt;
+
+  // The provider process restarted: its previous attempt died with it.
+  h.deliver(NodeId{2}, RegisterProvider{capability(), /*incarnation=*/8});
+  assigns = h.all_sent<AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 2u);
+  EXPECT_NE(assigns[1].second.attempt, first);
+  EXPECT_EQ(h.broker().stats().attempts_lost, 1u);
+  EXPECT_EQ(h.broker().stats().reissues, 1u);
+  // The stale attempt is fenced: a result from before the restart is ignored.
+  h.complete(NodeId{2}, AssignTasklet{first, assigns[0].second.tasklet, {}, 0, {}},
+             999);
+  EXPECT_TRUE(h.sent_to<TaskletDone>(kConsumer).empty());
+  EXPECT_GE(h.broker().stats().duplicate_results, 1u);
+}
+
+TEST(BrokerTest, AttemptTimeoutFencesAndReissues) {
+  BrokerConfig config;
+  config.attempt_timeout = 1 * kSecond;
+  BrokerHarness h("qoc_aware", config);
+  h.register_provider(NodeId{2});
+  h.register_provider(NodeId{3});
+  h.submit({}, 7);
+  auto assigns = h.all_sent<AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 1u);
+  const NodeId slow = assigns[0].first;
+
+  // Keep both providers alive but never deliver the result: the attempt
+  // timeout (not heartbeat liveness) must recover it.
+  h.now += 2 * kSecond;
+  h.deliver(NodeId{2}, Heartbeat{});
+  h.deliver(NodeId{3}, Heartbeat{});
+  h.fire_timer(1);
+  EXPECT_EQ(h.broker().stats().attempts_timed_out, 1u);
+  assigns = h.all_sent<AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 2u);
+  // Re-issue prefers a fresh provider.
+  EXPECT_NE(assigns[1].first, slow);
+
+  // The original provider finally answers: late result, fenced.
+  h.clear_sent();
+  h.complete(slow, assigns[0].second, 999);
+  EXPECT_TRUE(h.sent_to<TaskletDone>(kConsumer).empty());
+  EXPECT_GE(h.broker().stats().duplicate_results, 1u);
+
+  h.complete(assigns[1].first, assigns[1].second, 7);
+  const auto done = h.sent_to<TaskletDone>(kConsumer);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].report.status, TaskletStatus::kCompleted);
+  EXPECT_EQ(std::get<std::int64_t>(done[0].report.result), 7);
+  EXPECT_EQ(h.broker().stats().attempts_ok, 1u);
+}
+
 // --- scheduling policies (direct) ----------------------------------------------
 
 ProviderView view(std::uint64_t id, DeviceClass device_class, double speed,

@@ -1,0 +1,218 @@
+// Chaos suite: the system under a deterministic adversarial network.
+//
+// The fault layer (net/fault.hpp) drops, duplicates, delays, reorders and
+// corrupts frames, partitions links and resets TCP connections according to
+// a seeded plan. These tests assert the recovery machinery above it —
+// consumer resubmission, broker idempotency/fencing, attempt timeouts and
+// heartbeat liveness — delivers exactly-once *reported* semantics on top of
+// an at-least-once wire.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+
+#include "chaos_harness.hpp"
+#include "net/fault.hpp"
+#include "net/inproc.hpp"
+
+namespace tasklets::chaos {
+namespace {
+
+using core::SystemConfig;
+using core::TaskletSystem;
+using core::Transport;
+using net::FaultAction;
+using net::FaultEvent;
+using net::FaultPlan;
+using net::FaultyRuntime;
+using net::InProcRuntime;
+using proto::Qoc;
+using proto::TaskletStatus;
+using namespace std::chrono_literals;
+
+// --- determinism ------------------------------------------------------------------
+
+// Swallows everything; the trace under test is the fault layer's.
+class SinkActor final : public proto::Actor {
+ public:
+  using proto::Actor::Actor;
+  void on_start(SimTime, proto::Outbox&) override {}
+  void on_message(const proto::Envelope&, SimTime, proto::Outbox&) override {}
+  void on_timer(std::uint64_t, SimTime, proto::Outbox&) override {}
+};
+
+// Drives one directed link with a scripted message sequence and returns the
+// fault layer's decision trace.
+std::vector<FaultEvent> scripted_trace(std::uint64_t seed, int messages) {
+  net::LinkFaults faults;
+  faults.drop = 0.15;
+  faults.duplicate = 0.1;
+  faults.corrupt = 0.1;
+  faults.delay = 0.1;
+  faults.reorder = 0.1;
+  faults.delay_min = 0;
+  faults.delay_max = 1 * kMillisecond;
+  FaultyRuntime runtime(std::make_unique<InProcRuntime>(), plan_with(faults, seed));
+  runtime.add(std::make_unique<SinkActor>(NodeId{2}));
+  for (int i = 0; i < messages; ++i) {
+    runtime.route(proto::Envelope{NodeId{1}, NodeId{2},
+                                  proto::Heartbeat{static_cast<std::uint32_t>(i), 0}});
+  }
+  auto trace = runtime.trace();
+  runtime.stop_all();
+  return trace;
+}
+
+// Acceptance criterion: a fixed seed produces an identical delivery/drop
+// event trace across two in-process runs.
+TEST(ChaosDeterminism, FixedSeedGivesIdenticalTraceAcrossRuns) {
+  const auto first = scripted_trace(0xDE7E12, 400);
+  const auto second = scripted_trace(0xDE7E12, 400);
+  ASSERT_EQ(first.size(), 400u);
+  EXPECT_EQ(first, second);
+
+  // Sanity: the plan actually injected faults, and a different seed gives a
+  // different schedule.
+  std::set<FaultAction> actions;
+  for (const auto& event : first) actions.insert(event.action);
+  EXPECT_GE(actions.size(), 4u) << "fault plan too tame to test anything";
+  EXPECT_NE(scripted_trace(0x0714E5, 400), first);
+}
+
+TEST(ChaosDeterminism, PartitionBlocksBothDirectionsUntilHealed) {
+  FaultyRuntime runtime(std::make_unique<InProcRuntime>(), FaultPlan{});
+  runtime.add(std::make_unique<SinkActor>(NodeId{1}));
+  runtime.add(std::make_unique<SinkActor>(NodeId{2}));
+  runtime.partition(NodeId{1}, NodeId{2});
+  runtime.route(proto::Envelope{NodeId{1}, NodeId{2}, proto::Heartbeat{}});
+  runtime.route(proto::Envelope{NodeId{2}, NodeId{1}, proto::Heartbeat{}});
+  runtime.heal(NodeId{1}, NodeId{2});
+  runtime.route(proto::Envelope{NodeId{1}, NodeId{2}, proto::Heartbeat{}});
+  const auto trace = runtime.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].action, FaultAction::kDropPartitioned);
+  EXPECT_EQ(trace[1].action, FaultAction::kDeliver);  // sorted: (1,2,2) then (2,1,1)
+  EXPECT_EQ(trace[2].action, FaultAction::kDropPartitioned);
+  EXPECT_EQ(runtime.delivered(), 1u);
+  runtime.stop_all();
+}
+
+// --- end-to-end recovery ----------------------------------------------------------
+
+// Every tasklet must complete with the right value despite pervasive drops,
+// duplicates, delays and reordering on every link. Drops of AssignTasklet /
+// AttemptResult are recovered by the broker's attempt timeout; drops of
+// SubmitTasklet / TaskletDone by the consumer's resubmission loop (the
+// broker replays the retained final report); duplicates are fenced at every
+// layer.
+TEST(ChaosEndToEnd, LossyInProcClusterStillCompletesEverything) {
+  auto system = TaskletSystem(
+      chaos_config(plan_with(lossy_link(0.05, 0.10, 0.10, 0.05), 0xC4A05)));
+  system.add_provider();
+  system.add_provider();
+
+  Qoc qoc;
+  qoc.max_reissues = 50;  // the chaos budget: recovery, not a failure signal
+  std::vector<std::future<proto::TaskletReport>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(system.submit(fib_body(12), qoc));
+  }
+  for (auto& future : futures) {
+    const auto report = get_or_die(future);
+    ASSERT_EQ(report.status, TaskletStatus::kCompleted) << report.error;
+    EXPECT_EQ(std::get<std::int64_t>(report.result), 144);
+  }
+  ASSERT_NE(system.faults(), nullptr);
+  const auto trace = system.faults()->trace();
+  std::uint64_t injected = 0;
+  for (const auto& event : trace) {
+    if (event.action != FaultAction::kDeliver) ++injected;
+  }
+  EXPECT_GT(injected, 0u) << "plan injected nothing; test proved nothing";
+  EXPECT_EQ(system.broker_stats().tasklets_completed, 12u);
+}
+
+// Under payload corruption a bit flip can forge any field — including an
+// AttemptResult's value or status — so value equality cannot be asserted
+// without end-to-end integrity checksums (out of scope). The invariant that
+// must survive arbitrary corruption: every tasklet reaches a terminal state
+// exactly once (futures would throw on a second set), and nothing crashes.
+TEST(ChaosEndToEnd, CorruptionNeverWedgesOrDoubleReports) {
+  auto system = TaskletSystem(
+      chaos_config(plan_with(lossy_link(0.02, 0.05, 0.0, 0.0, 0.05), 0xBADB17)));
+  system.add_provider();
+  system.add_provider();
+
+  Qoc qoc;
+  qoc.max_reissues = 50;
+  std::vector<std::future<proto::TaskletReport>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(system.submit(fib_body(10), qoc));
+  }
+  int completed = 0;
+  for (auto& future : futures) {
+    const auto report = get_or_die(future);
+    if (report.status == TaskletStatus::kCompleted) ++completed;
+  }
+  // The loss rate is low; most tasklets must still make it through.
+  EXPECT_GE(completed, 5);
+}
+
+// A partitioned provider stops heartbeating; the broker must expire it and
+// re-issue its in-flight attempt to a freshly added provider.
+TEST(ChaosEndToEnd, PartitionTriggersHeartbeatReassignment) {
+  auto config = chaos_config(FaultPlan{});
+  // This tasklet legitimately runs for ~a second (much longer under
+  // sanitizers): recovery must come from heartbeat liveness, so park the
+  // attempt timeout — and the consumer's local-abandon budget, which only
+  // guards against a dead broker — far out of the picture.
+  config.broker.attempt_timeout = 600 * kSecond;
+  config.consumer.max_resubmits = 1000;
+  auto system = TaskletSystem(std::move(config));
+  const NodeId first = system.add_provider();
+
+  auto future = system.submit(spin_body(4'000'000));
+  ASSERT_TRUE(await([&] { return system.broker_stats().attempts_issued >= 1; }))
+      << "attempt never issued";
+  ASSERT_NE(system.faults(), nullptr);
+  system.faults()->partition(first, system.broker_id());
+  const NodeId second = system.add_provider();
+
+  const auto report = get_or_die(future, std::chrono::seconds(300));
+  ASSERT_EQ(report.status, TaskletStatus::kCompleted) << report.error;
+  const auto stats = system.broker_stats();
+  EXPECT_GE(stats.providers_expired, 1u);
+  EXPECT_GE(stats.attempts_issued, 2u);
+  EXPECT_EQ(report.executed_by, second);
+}
+
+// --- TCP transport ----------------------------------------------------------------
+
+// Same protocol over loopback sockets, now with connection resets thrown
+// in: the fault layer closes pooled connections mid-conversation and the
+// transport must reconnect while the recovery layers absorb any frames that
+// died with the connection.
+TEST(ChaosEndToEnd, TcpSurvivesResetsAndLoss) {
+  auto config = chaos_config(plan_with(lossy_link(0.02, 0.05), 0x7C9CA05));
+  config.fault_plan->default_faults.reset = 0.05;
+  config.transport = Transport::kTcp;
+  auto system = TaskletSystem(std::move(config));
+  system.add_provider();
+  system.add_provider();
+
+  Qoc qoc;
+  qoc.max_reissues = 50;
+  std::vector<std::future<proto::TaskletReport>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(system.submit(fib_body(12), qoc));
+  }
+  for (auto& future : futures) {
+    const auto report = get_or_die(future);
+    ASSERT_EQ(report.status, TaskletStatus::kCompleted) << report.error;
+    EXPECT_EQ(std::get<std::int64_t>(report.result), 144);
+  }
+  EXPECT_EQ(system.broker_stats().tasklets_completed, 8u);
+}
+
+}  // namespace
+}  // namespace tasklets::chaos

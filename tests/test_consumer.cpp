@@ -125,5 +125,160 @@ TEST(ConsumerAgentTest, ManyOutstandingRouteIndependently) {
   EXPECT_EQ(agent.outstanding(), 0u);
 }
 
+// --- at-least-once resubmission ---------------------------------------------------
+
+// The retry timer id as the agent armed it (timer ids are actor-scoped).
+std::uint64_t retry_timer_id(const proto::Outbox& out) {
+  return out.timers().empty() ? 1 : out.timers().back().timer_id;
+}
+
+// Deterministic retry policy: no jitter, 100ms base doubling to a 10s cap.
+ConsumerConfig retry_config(std::uint32_t max_resubmits = 3) {
+  ConsumerConfig config;
+  config.backoff = BackoffConfig{100 * kMillisecond, 10 * kSecond, 2.0, 0.0};
+  config.max_resubmits = max_resubmits;
+  return config;
+}
+
+TEST(ConsumerRetryTest, SubmitArmsRetryTimerAndOverdueEntryResends) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config());
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  ASSERT_EQ(out.timers().size(), 1u);
+  EXPECT_EQ(out.timers()[0].delay, 100 * kMillisecond);
+
+  // Firing before the deadline re-arms but does not resend.
+  proto::Outbox early(kSelf);
+  agent.on_timer(out.timers()[0].timer_id, 50 * kMillisecond, early);
+  EXPECT_TRUE(early.messages().empty());
+  ASSERT_EQ(early.timers().size(), 1u);
+  EXPECT_EQ(early.timers()[0].delay, 50 * kMillisecond);
+
+  // Past the deadline the same SubmitTasklet goes out again.
+  proto::Outbox late(kSelf);
+  agent.on_timer(out.timers()[0].timer_id, 100 * kMillisecond, late);
+  ASSERT_EQ(late.messages().size(), 1u);
+  EXPECT_EQ(late.messages()[0].to, kBroker);
+  const auto& resent = std::get<proto::SubmitTasklet>(late.messages()[0].payload);
+  EXPECT_EQ(resent.spec.id, TaskletId{1});
+  EXPECT_EQ(agent.stats().resubmits, 1u);
+  EXPECT_EQ(agent.stats().submitted, 1u);  // a resend is not a new submission
+}
+
+TEST(ConsumerRetryTest, ResubmitDelaysGrowGeometrically) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config(8));
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  ASSERT_EQ(out.timers().size(), 1u);
+
+  SimTime now = 0;
+  SimTime delay = out.timers()[0].delay;
+  std::vector<SimTime> delays{delay};
+  for (int round = 0; round < 3; ++round) {
+    now += delay;
+    proto::Outbox fire(kSelf);
+    agent.on_timer(retry_timer_id(out), now, fire);
+    ASSERT_EQ(fire.messages().size(), 1u);
+    ASSERT_EQ(fire.timers().size(), 1u);
+    delay = fire.timers()[0].delay;
+    delays.push_back(delay);
+  }
+  EXPECT_EQ(delays, (std::vector<SimTime>{100 * kMillisecond, 200 * kMillisecond,
+                                          400 * kMillisecond, 800 * kMillisecond}));
+}
+
+TEST(ConsumerRetryTest, ExhaustedRetriesFailLocallyExactlyOnce) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config(2));
+  proto::Outbox out(kSelf);
+  int calls = 0;
+  proto::TaskletReport last;
+  agent.submit(spec(1),
+               [&](const proto::TaskletReport& report) {
+                 ++calls;
+                 last = report;
+               },
+               0, out);
+  // Drive the timer far past every deadline: two resubmits, then abandon.
+  SimTime now = 0;
+  for (int round = 0; round < 4; ++round) {
+    now += 20 * kSecond;
+    proto::Outbox fire(kSelf);
+    agent.on_timer(retry_timer_id(out), now, fire);
+  }
+  EXPECT_EQ(agent.stats().resubmits, 2u);
+  EXPECT_EQ(agent.stats().abandoned, 1u);
+  EXPECT_EQ(agent.stats().failed, 1u);
+  EXPECT_EQ(agent.outstanding(), 0u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.status, proto::TaskletStatus::kExhausted);
+  EXPECT_EQ(last.error, "no terminal report from broker");
+  // A late broker report after local failure is ignored.
+  proto::Outbox sink(kSelf);
+  agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(1)}}, now, sink);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ConsumerRetryTest, TerminalReportStopsResubmission) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config());
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  proto::Outbox sink(kSelf);
+  agent.on_message({kBroker, kSelf, proto::TaskletDone{report_for(1)}},
+                   10 * kMillisecond, sink);
+  // A stale timer firing after completion sends nothing and stays disarmed.
+  proto::Outbox fire(kSelf);
+  agent.on_timer(retry_timer_id(out), kSecond, fire);
+  EXPECT_TRUE(fire.messages().empty());
+  EXPECT_TRUE(fire.timers().empty());
+  EXPECT_EQ(agent.stats().resubmits, 0u);
+}
+
+TEST(ConsumerRetryTest, CancelStopsResubmission) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config());
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  proto::Outbox cancel_out(kSelf);
+  agent.cancel(TaskletId{1}, cancel_out);
+  proto::Outbox fire(kSelf);
+  agent.on_timer(retry_timer_id(out), kSecond, fire);
+  EXPECT_TRUE(fire.messages().empty());
+  EXPECT_TRUE(fire.timers().empty());
+}
+
+TEST(ConsumerRetryTest, RetryTimerTracksEarliestPendingDeadline) {
+  ConsumerAgent agent(kSelf, kBroker, "", retry_config());
+  proto::Outbox first(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, first);
+  ASSERT_EQ(first.timers().size(), 1u);
+  EXPECT_EQ(first.timers()[0].delay, 100 * kMillisecond);
+  // A second submission 60ms in re-arms for tasklet 1's deadline, 40ms away.
+  proto::Outbox second(kSelf);
+  agent.submit(spec(2), [](const proto::TaskletReport&) {}, 60 * kMillisecond,
+               second);
+  ASSERT_EQ(second.timers().size(), 1u);
+  EXPECT_EQ(second.timers()[0].delay, 40 * kMillisecond);
+  // At t=100ms only tasklet 1 is due.
+  proto::Outbox fire(kSelf);
+  agent.on_timer(retry_timer_id(second), 100 * kMillisecond, fire);
+  ASSERT_EQ(fire.messages().size(), 1u);
+  EXPECT_EQ(std::get<proto::SubmitTasklet>(fire.messages()[0].payload).spec.id,
+            TaskletId{1});
+}
+
+TEST(ConsumerRetryTest, FireAndForgetConfigDisablesRetries) {
+  ConsumerConfig config;
+  config.resubmit = false;
+  ConsumerAgent agent(kSelf, kBroker, "", config);
+  proto::Outbox out(kSelf);
+  agent.submit(spec(1), [](const proto::TaskletReport&) {}, 0, out);
+  EXPECT_EQ(out.messages().size(), 1u);
+  EXPECT_TRUE(out.timers().empty());
+  proto::Outbox fire(kSelf);
+  agent.on_timer(1, kSecond, fire);
+  EXPECT_TRUE(fire.messages().empty());
+  EXPECT_EQ(agent.stats().resubmits, 0u);
+  EXPECT_EQ(agent.outstanding(), 1u);  // still awaiting the broker, no local fail
+}
+
 }  // namespace
 }  // namespace tasklets::consumer

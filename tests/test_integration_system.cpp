@@ -181,7 +181,8 @@ TEST(SystemIntegration, DrainMigratesInFlightWorkWithoutRestart) {
   std::this_thread::sleep_for(50ms);
   system.drain_provider(first);
 
-  ASSERT_EQ(future.wait_for(60s), std::future_status::ready);
+  // Generous: sanitized builds under a parallel ctest run are very slow.
+  ASSERT_EQ(future.wait_for(300s), std::future_status::ready);
   const auto report = future.get();
   ASSERT_EQ(report.status, TaskletStatus::kCompleted);
   EXPECT_TRUE(tvm::args_equal(report.result, reference->result));

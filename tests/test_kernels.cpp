@@ -134,9 +134,12 @@ class MonteCarloSweep
 
 TEST_P(MonteCarloSweep, MatchesHostLcg) {
   const auto [samples, seed] = GetParam();
-  // Host replica of the kernel's LCG sampling.
-  std::int64_t state = seed;
-  constexpr std::int64_t a = 25214903917, c = 11, mask = 281474976710655;
+  // Host replica of the kernel's LCG sampling. Unsigned arithmetic: the
+  // multiply wraps (the VM's i64 mul wraps too), and signed overflow would
+  // be UB. The & mask keeps every state below 2^48, so the signed/unsigned
+  // distinction never reaches the double conversions.
+  std::uint64_t state = static_cast<std::uint64_t>(seed);
+  constexpr std::uint64_t a = 25214903917, c = 11, mask = 281474976710655;
   std::int64_t hits = 0;
   for (std::int64_t i = 0; i < samples; ++i) {
     state = (state * a + c) & mask;

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "core/kernels.hpp"
+#include "proto/messages.hpp"
 #include "tcl/compiler.hpp"
 #include "tvm/interpreter.hpp"
 
@@ -222,6 +223,127 @@ TEST_P(SnapshotFuzzSweep, MutatedSnapshotsNeverMisbehave) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, SnapshotFuzzSweep, ::testing::Values(51, 52, 53));
+
+// --- snapshots crossing a faulty link ----------------------------------------------
+//
+// In the real system a snapshot travels inside an AttemptResult(kSuspended)
+// frame from the draining provider to the broker, then inside an
+// AssignTasklet.resume_snapshot to the next provider — over links the fault
+// layer can duplicate, delay or corrupt. These tests put snapshot bytes
+// through that wire path under each fault.
+
+// Wraps a suspension the way the provider ships it and round-trips the
+// encoded frame, returning the snapshot as the broker would store it.
+Bytes through_wire(const Suspension& suspension) {
+  proto::AttemptResult result;
+  result.attempt = AttemptId{1};
+  result.tasklet = TaskletId{1};
+  result.outcome.status = proto::AttemptStatus::kSuspended;
+  result.outcome.fuel_used = suspension.fuel_used;
+  result.outcome.snapshot = suspension.state;
+  const Bytes frame =
+      proto::encode(proto::Envelope{NodeId{2}, NodeId{1}, std::move(result)});
+  auto decoded = proto::decode(frame);
+  EXPECT_TRUE(decoded.is_ok());
+  return std::get<proto::AttemptResult>(decoded->payload).outcome.snapshot;
+}
+
+TEST(MigrationFaultTest, DuplicatedSnapshotFrameResumesIdentically) {
+  const Program program = compiled(core::kernels::kSpin);
+  auto suspended = execute_slice(program, {std::int64_t{50'000}}, {}, 20'000);
+  ASSERT_TRUE(suspended.is_ok());
+  const auto& suspension = std::get<Suspension>(*suspended);
+
+  // The link duplicated the frame: the broker (and hence the next provider)
+  // may see the same snapshot twice. Resuming each copy must give the same
+  // outcome as resuming the original — snapshot restore has no side effects
+  // on the bytes, so redelivery is idempotent.
+  const Bytes first_copy = through_wire(suspension);
+  const Bytes second_copy = through_wire(suspension);
+  EXPECT_EQ(first_copy, second_copy);
+
+  auto reference = resume_slice(program, suspension, {}, 0);
+  ASSERT_TRUE(reference.is_ok());
+  const auto& want = std::get<ExecOutcome>(*reference);
+  for (const Bytes& copy : {first_copy, second_copy}) {
+    auto resumed =
+        resume_slice(program, Suspension{copy, suspension.fuel_used}, {}, 0);
+    ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+    const auto& got = std::get<ExecOutcome>(*resumed);
+    EXPECT_TRUE(args_equal(got.result, want.result));
+    EXPECT_EQ(got.fuel_used, want.fuel_used);
+  }
+}
+
+TEST(MigrationFaultTest, CorruptedSnapshotFrameNeverMisbehaves) {
+  const Program program = compiled(core::kernels::kSieve);
+  auto suspended = execute_slice(program, {std::int64_t{2000}}, {}, 5'000);
+  ASSERT_TRUE(suspended.is_ok());
+  const auto& suspension = std::get<Suspension>(*suspended);
+
+  proto::AttemptResult result;
+  result.attempt = AttemptId{1};
+  result.tasklet = TaskletId{1};
+  result.outcome.status = proto::AttemptStatus::kSuspended;
+  result.outcome.snapshot = suspension.state;
+  const Bytes frame =
+      proto::encode(proto::Envelope{NodeId{2}, NodeId{1}, std::move(result)});
+
+  Rng rng(0x516);
+  ExecLimits limits;
+  limits.max_fuel = 500'000;
+  int frames_decoded = 0;
+  for (int round = 0; round < 400; ++round) {
+    Bytes mutant = frame;
+    const int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      mutant[rng.next_below(mutant.size())] ^=
+          static_cast<std::byte>(1u << rng.next_below(8));
+    }
+    // Layer 1: the codec may reject the frame outright.
+    auto decoded = proto::decode(mutant);
+    if (!decoded.is_ok()) continue;
+    const auto* delivered = std::get_if<proto::AttemptResult>(&decoded->payload);
+    if (delivered == nullptr) continue;  // flipped into another message type
+    ++frames_decoded;
+    // Layer 2: snapshot restore validates the (possibly corrupted) bytes;
+    // any Status is fine, crashing or resuming into garbage is not.
+    auto resumed = resume_slice(
+        program, Suspension{delivered->outcome.snapshot, 0}, limits, 0);
+    if (resumed.is_ok()) {
+      ASSERT_TRUE(std::holds_alternative<ExecOutcome>(*resumed));
+    }
+  }
+  EXPECT_GT(frames_decoded, 0) << "no mutant exercised the restore path";
+}
+
+TEST(MigrationFaultTest, StaleSnapshotRedeliveryConvergesToSameResult) {
+  // A delayed/reordered link can hand the next provider an *older* snapshot
+  // of the same execution (e.g. the broker re-issues after a timeout and
+  // the late frame wins the race). Resuming from an earlier checkpoint must
+  // converge to exactly the same result and total fuel — staleness costs
+  // recomputation, never correctness.
+  const Program program = compiled(core::kernels::kSpin);
+  const std::vector<HostArg> args = {std::int64_t{50'000}};
+  auto early = execute_slice(program, args, {}, 10'000);
+  auto late = execute_slice(program, args, {}, 40'000);
+  ASSERT_TRUE(early.is_ok());
+  ASSERT_TRUE(late.is_ok());
+  const auto& early_snapshot = std::get<Suspension>(*early);
+  const auto& late_snapshot = std::get<Suspension>(*late);
+  ASSERT_LT(early_snapshot.fuel_used, late_snapshot.fuel_used);
+
+  auto from_early = resume_slice(
+      program, Suspension{through_wire(early_snapshot), 0}, {}, 0);
+  auto from_late = resume_slice(
+      program, Suspension{through_wire(late_snapshot), 0}, {}, 0);
+  ASSERT_TRUE(from_early.is_ok());
+  ASSERT_TRUE(from_late.is_ok());
+  const auto& a = std::get<ExecOutcome>(*from_early);
+  const auto& b = std::get<ExecOutcome>(*from_late);
+  EXPECT_TRUE(args_equal(a.result, b.result));
+  EXPECT_EQ(a.fuel_used, b.fuel_used);  // total fuel, not the remainder
+}
 
 }  // namespace
 }  // namespace tasklets::tvm

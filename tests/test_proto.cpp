@@ -35,6 +35,19 @@ TEST(ProtoCodec, RegisterProviderRoundTrip) {
   EXPECT_EQ(m.capability, sample_capability());
 }
 
+TEST(ProtoCodec, RegisterProviderCarriesIncarnation) {
+  // The incarnation number is what lets the broker tell a retransmitted
+  // registration (same value) from a provider restart (new value).
+  Envelope in{NodeId{5}, NodeId{1}, RegisterProvider{sample_capability(), 42}};
+  const Envelope out = round_trip(in);
+  EXPECT_EQ(std::get<RegisterProvider>(out.payload).incarnation, 42u);
+}
+
+TEST(ProtoCodec, RegisterAckRoundTrip) {
+  const Envelope out = round_trip({NodeId{1}, NodeId{5}, RegisterAck{42}});
+  EXPECT_EQ(std::get<RegisterAck>(out.payload).incarnation, 42u);
+}
+
 TEST(ProtoCodec, HeartbeatRoundTrip) {
   Heartbeat hb;
   hb.busy_slots = 3;

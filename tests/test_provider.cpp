@@ -172,7 +172,7 @@ TEST(FaultInjectionTest, FailedOutcomesPassThrough) {
 TEST(BenchmarkTest, MeasuresPositiveSpeed) {
   VmExecutor executor;
   const double speed = measure_speed(executor, 10 * kMillisecond);
-  EXPECT_GT(speed, 1e6);   // any real machine beats 1 Mfuel/s
+  EXPECT_GT(speed, 1e5);   // loose floor: sanitized builds run ~10x slower
   EXPECT_LT(speed, 1e12);  // sanity upper bound
 }
 
@@ -230,6 +230,11 @@ TEST(ProviderAgentTest, HeartbeatReportsBusySlots) {
   ProviderAgent agent(kSelf, kBroker, capability, execution);
   proto::Outbox start(kSelf);
   agent.on_start(0, start);
+  // Ack the registration: heartbeats replace register retransmits.
+  proto::Outbox ack_out(kSelf);
+  agent.on_message({kBroker, kSelf, proto::RegisterAck{agent.incarnation()}}, 0,
+                   ack_out);
+  EXPECT_TRUE(agent.registered());
   proto::Outbox assign_out(kSelf);
   agent.on_message({kBroker, kSelf, assignment(1)}, 0, assign_out);
   EXPECT_EQ(agent.busy_slots(), 1u);
@@ -240,6 +245,74 @@ TEST(ProviderAgentTest, HeartbeatReportsBusySlots) {
   const auto& beat = std::get<proto::Heartbeat>(hb.messages()[0].payload);
   EXPECT_EQ(beat.busy_slots, 1u);
   ASSERT_EQ(hb.timers().size(), 1u);  // re-armed
+}
+
+TEST(ProviderAgentTest, ResendsRegistrationUntilAcked) {
+  StubExecution execution;
+  proto::Capability capability;
+  capability.slots = 1;
+  ProviderAgent agent(kSelf, kBroker, capability, execution);
+  proto::Outbox start(kSelf);
+  agent.on_start(0, start);
+  EXPECT_FALSE(agent.registered());
+  // Un-acked: the heartbeat tick retransmits RegisterProvider with the same
+  // incarnation instead of a heartbeat.
+  proto::Outbox retry(kSelf);
+  agent.on_timer(1, kSecond, retry);
+  ASSERT_EQ(retry.messages().size(), 1u);
+  const auto& re = std::get<proto::RegisterProvider>(retry.messages()[0].payload);
+  EXPECT_EQ(re.incarnation, agent.incarnation());
+  // A stale ack (wrong incarnation) is ignored.
+  proto::Outbox stale(kSelf);
+  agent.on_message({kBroker, kSelf, proto::RegisterAck{agent.incarnation() + 7}},
+                   0, stale);
+  EXPECT_FALSE(agent.registered());
+  proto::Outbox ack_out(kSelf);
+  agent.on_message({kBroker, kSelf, proto::RegisterAck{agent.incarnation()}}, 0,
+                   ack_out);
+  EXPECT_TRUE(agent.registered());
+  proto::Outbox hb(kSelf);
+  agent.on_timer(1, 2 * kSecond, hb);
+  ASSERT_EQ(hb.messages().size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<proto::Heartbeat>(hb.messages()[0].payload));
+}
+
+TEST(ProviderAgentTest, DuplicateAssignmentIsFencedSilently) {
+  StubExecution execution;
+  proto::Capability capability;
+  capability.slots = 2;
+  ProviderAgent agent(kSelf, kBroker, capability, execution);
+  proto::Outbox start(kSelf);
+  agent.on_start(0, start);
+  proto::Outbox first(kSelf);
+  agent.on_message({kBroker, kSelf, assignment(1)}, 0, first);
+  ASSERT_EQ(execution.pending(), 1u);
+  // A retransmit of the same attempt id must not re-execute or respond —
+  // the broker's attempt timeout owns recovery for lost results.
+  proto::Outbox dup(kSelf);
+  agent.on_message({kBroker, kSelf, assignment(1)}, 1, dup);
+  EXPECT_EQ(execution.pending(), 1u);
+  EXPECT_TRUE(dup.messages().empty());
+  EXPECT_EQ(agent.stats().duplicate_assigns, 1u);
+  EXPECT_EQ(agent.stats().assignments, 1u);
+}
+
+TEST(ProviderAgentTest, RejoinBumpsIncarnation) {
+  StubExecution execution;
+  proto::Capability capability;
+  capability.slots = 1;
+  ProviderAgent agent(kSelf, kBroker, capability, execution);
+  proto::Outbox start(kSelf);
+  agent.on_start(0, start);
+  const std::uint64_t first = agent.incarnation();
+  agent.crash();
+  proto::Outbox rejoin_out(kSelf);
+  agent.rejoin(kSecond, rejoin_out);
+  ASSERT_EQ(rejoin_out.messages().size(), 1u);
+  const auto& re =
+      std::get<proto::RegisterProvider>(rejoin_out.messages()[0].payload);
+  EXPECT_EQ(re.incarnation, first + 1);
+  EXPECT_FALSE(agent.registered());
 }
 
 TEST(ProviderAgentTest, CompletionSendsResultAndFreesSlot) {
