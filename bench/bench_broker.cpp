@@ -53,7 +53,7 @@ int main() {
       proto::Outbox out(NodeId{1});
       broker.on_message(
           proto::Envelope{NodeId{2}, NodeId{1},
-                          proto::SubmitTasklet{std::move(spec)}},
+                          proto::SubmitTasklet{std::move(spec), {}}},
           static_cast<SimTime>(i), out);
       const auto t1 = std::chrono::steady_clock::now();
       latencies.add(

@@ -16,6 +16,7 @@
 #include <cmath>
 
 #include "bench_util.hpp"
+#include "common/metrics.hpp"
 #include "core/kernels.hpp"
 #include "core/system.hpp"
 #include "tcl/compiler.hpp"
@@ -116,6 +117,9 @@ int main() {
   using bench::line;
 
   header("E1", "middleware overhead vs native execution (threaded runtime)");
+  // E1 measures the uninstrumented floor: observability off (tracing is off
+  // by default; disabled metric sites cost one relaxed load + branch).
+  tasklets::metrics::set_enabled(false);
   core::TaskletSystem system;
   system.add_provider();
 

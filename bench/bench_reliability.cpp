@@ -11,7 +11,12 @@
 //     under churn it *costs*: it multiplies offered load and demands more
 //     surviving replicas. Its payoff is integrity against silently faulty
 //     providers (see E8), not churn tolerance.
+#include <cstdlib>
+#include <fstream>
+
 #include "bench_util.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 int main() {
   using namespace tasklets;
@@ -20,6 +25,55 @@ int main() {
 
   constexpr int kTasklets = 100;
   constexpr std::uint64_t kFuel = 800'000'000;  // 2 s on a desktop core
+
+  // Observability export mode (the CI validation step): when
+  // TASKLETS_TRACE_OUT is set, run one traced churn configuration instead of
+  // the full sweep, write the Chrome trace JSON to that path and the metrics
+  // snapshot to TASKLETS_METRICS_OUT (JSON) when that is also set.
+  if (const char* trace_out = std::getenv("TASKLETS_TRACE_OUT")) {
+    metrics::MetricsRegistry::instance().reset();
+    metrics::set_enabled(true);
+    TraceStore trace;
+    core::SimConfig config;
+    config.seed = 17;
+    config.trace = &trace;
+    core::SimCluster cluster(config);
+    sim::DeviceProfile profile = sim::desktop_profile();
+    profile.slots = 2;
+    profile.mean_session = from_seconds(5.0);  // heavy churn: retries happen
+    profile.mean_downtime = from_seconds(3.0);
+    cluster.add_providers(profile, 12);
+    proto::Qoc qoc;
+    qoc.max_reissues = 10;
+    for (int i = 0; i < kTasklets; ++i) {
+      cluster.submit(proto::TaskletBody{proto::SyntheticBody{kFuel, i, 512}},
+                     qoc);
+    }
+    cluster.run_until_quiescent(30 * 60 * kSecond);
+    {
+      std::ofstream out(trace_out, std::ios::trunc);
+      out << trace.export_chrome_json();
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out);
+        return 1;
+      }
+    }
+    line("trace: %zu spans (%llu dropped) -> %s", trace.size(),
+         static_cast<unsigned long long>(trace.dropped()), trace_out);
+    const auto snapshot = metrics::MetricsRegistry::instance().snapshot();
+    if (const char* metrics_out = std::getenv("TASKLETS_METRICS_OUT")) {
+      std::ofstream out(metrics_out, std::ios::trunc);
+      out << snapshot.to_json() << '\n';
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out);
+        return 1;
+      }
+      line("metrics -> %s", metrics_out);
+    } else {
+      line("%s", snapshot.to_text().c_str());
+    }
+    return 0;
+  }
 
   struct Mode {
     std::string name;

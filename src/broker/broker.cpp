@@ -3,12 +3,39 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace tasklets::broker {
 
 namespace {
 constexpr std::string_view kLog = "broker";
 }  // namespace
+
+void Broker::trace_instant(const TaskletState& state, std::string name,
+                           TaskletId id, SimTime now,
+                           std::vector<std::pair<std::string, std::string>> args) {
+  if (config_.trace == nullptr || !state.trace.active()) return;
+  config_.trace->instant(state.trace, std::move(name), this->id(), id, now,
+                         std::move(args));
+}
+
+void Broker::end_attempt_span(const TaskletState& state, TaskletId id,
+                              const AttemptState& attempt, SimTime now,
+                              std::string_view status) {
+  if (config_.trace == nullptr || !state.trace.active()) return;
+  Span span;
+  span.trace_id = state.trace.trace_id;
+  span.span_id = attempt.span;
+  span.parent_span = state.trace.parent_span;
+  span.name = "attempt";
+  span.node = this->id();
+  span.tasklet = id;
+  span.start = attempt.issued_at;
+  span.end = now;
+  span.args.emplace_back("provider", attempt.provider.to_string());
+  span.args.emplace_back("status", std::string(status));
+  config_.trace->add(std::move(span));
+}
 
 Broker::Broker(NodeId id, std::unique_ptr<Scheduler> scheduler, BrokerConfig config)
     : Actor(id),
@@ -132,9 +159,11 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
       }
       for (const auto& [attempt, tasklet_id] : stale) {
         ++stats_.attempts_timed_out;
+        TASKLETS_COUNT("broker.attempts_timed_out", 1);
         auto& state = tasklets_.at(tasklet_id);
         if (const auto ait = state.attempts.find(attempt);
             ait != state.attempts.end()) {
+          end_attempt_span(state, tasklet_id, ait->second, now, "timeout");
           if (const auto pit = providers_.find(ait->second.provider);
               pit != providers_.end()) {
             pit->second.inflight.erase(attempt);
@@ -147,6 +176,7 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
             << "attempt " << attempt.to_string() << " of tasklet "
             << tasklet_id.to_string() << " timed out; re-issuing";
         ++stats_.attempts_lost;
+        TASKLETS_COUNT("broker.attempts_lost", 1);
         reissue_or_exhaust(tasklet_id, state, now, out);
       }
       if (!stale.empty()) drain_queue(now, out);
@@ -177,6 +207,9 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
           state.speculated = true;
           state.speculative_attempt = backup;
           ++stats_.speculations;
+          TASKLETS_COUNT("broker.speculations", 1);
+          trace_instant(state, "speculate", id, now,
+                        {{"backup", backup.to_string()}});
         } else {
           state.replicas_pending -= 1;  // no capacity: retry next scan
         }
@@ -280,15 +313,18 @@ void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime n
     // replays the retained terminal report (the original TaskletDone may
     // have been lost).
     ++stats_.duplicate_submits;
+    TASKLETS_COUNT("broker.duplicate_submits", 1);
     if (it->second.done && it->second.final_report.has_value()) {
       out.send(from, proto::TaskletDone{*it->second.final_report});
     }
     return;
   }
   ++stats_.tasklets_submitted;
+  TASKLETS_COUNT("broker.submitted", 1);
   TaskletState& state = tasklets_[id];
   state.spec = m.spec;
   state.consumer = from;
+  state.trace = m.trace;
   state.submitted_at = now;
   state.replicas_pending = std::max<std::uint32_t>(1, m.spec.qoc.redundancy);
 
@@ -393,13 +429,39 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
 
   ProviderState& provider = providers_.at(choice);
   const AttemptId attempt = attempt_ids_.next();
+  const bool tracing = config_.trace != nullptr && state.trace.active();
+  AttemptState attempt_state{choice, now, tracing ? next_span_id() : 0};
+  if (tracing) {
+    if (state.attempts_total == 0) {
+      // Queue wait: submission to the moment the first attempt is placed.
+      Span queue_span;
+      queue_span.trace_id = state.trace.trace_id;
+      queue_span.parent_span = state.trace.parent_span;
+      queue_span.name = "queue";
+      queue_span.node = this->id();
+      queue_span.tasklet = id;
+      queue_span.start = state.submitted_at;
+      queue_span.end = now;
+      config_.trace->add(std::move(queue_span));
+    }
+    trace_instant(state, "schedule", id, now,
+                  {{"provider", choice.to_string()},
+                   {"attempt", attempt.to_string()}});
+  }
   provider.inflight.insert(attempt);
-  state.attempts.emplace(attempt, AttemptState{choice, now});
+  state.attempts.emplace(attempt, attempt_state);
   state.used_providers.insert(choice);
   state.attempts_total += 1;
   state.replicas_pending -= 1;
   attempt_index_.emplace(attempt, id);
   ++stats_.attempts_issued;
+  TASKLETS_COUNT("broker.attempts_issued", 1);
+  if (metrics::enabled()) {
+    // Per-provider assignment counts (dynamic name, so no macro cache).
+    metrics::MetricsRegistry::instance()
+        .counter("broker.assigned." + choice.to_string())
+        .inc();
+  }
 
   proto::AssignTasklet assign;
   assign.attempt = attempt;
@@ -409,6 +471,8 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
   // Migrated work resumes from the latest checkpoint (single-replica only;
   // redundant tasklets never migrate, so this stays empty for them).
   assign.resume_snapshot = state.resume_snapshot;
+  // The attempt span is the parent of everything the provider records.
+  assign.trace = TraceContext{state.trace.trace_id, attempt_state.span};
   out.send(choice, std::move(assign));
   return attempt;
 }
@@ -419,6 +483,8 @@ void Broker::enqueue_replica(TaskletId id) {
   ++pending_count_;
   stats_.max_queue_length =
       std::max<std::uint64_t>(stats_.max_queue_length, pending_count_);
+  TASKLETS_GAUGE_SET("broker.queue_depth",
+                     static_cast<std::int64_t>(pending_count_));
 }
 
 void Broker::drain_queue(SimTime now, proto::Outbox& out) {
@@ -441,6 +507,8 @@ void Broker::drain_queue(SimTime now, proto::Outbox& out) {
       --pending_count_;
     }
   }
+  TASKLETS_GAUGE_SET("broker.queue_depth",
+                     static_cast<std::int64_t>(pending_count_));
 }
 
 // --- results & lifecycle ----------------------------------------------------------
@@ -471,6 +539,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
   if (idx == attempt_index_.end()) {
     // Late result for a concluded or fenced attempt.
     ++stats_.duplicate_results;
+    TASKLETS_COUNT("broker.duplicate_results", 1);
     drain_queue(now, out);
     return;
   }
@@ -481,10 +550,16 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
   if (const auto ait = state.attempts.find(m.attempt);
       ait != state.attempts.end() && ait->second.provider != from) {
     ++stats_.duplicate_results;
+    TASKLETS_COUNT("broker.duplicate_results", 1);
     drain_queue(now, out);
     return;
   }
   attempt_index_.erase(idx);
+  if (const auto ait = state.attempts.find(m.attempt);
+      ait != state.attempts.end()) {
+    end_attempt_span(state, id, ait->second, now,
+                     proto::to_string(m.outcome.status));
+  }
   state.attempts.erase(m.attempt);
   if (state.done) {
     drain_queue(now, out);
@@ -494,6 +569,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
   switch (m.outcome.status) {
     case proto::AttemptStatus::kOk: {
       ++stats_.attempts_ok;
+      TASKLETS_COUNT("broker.attempts_ok", 1);
       state.fuel_total += m.outcome.fuel_used;
       const bool from_backup =
           state.speculated && m.attempt == state.speculative_attempt;
@@ -509,6 +585,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       break;
     case proto::AttemptStatus::kProviderLost: {
       ++stats_.attempts_lost;
+      TASKLETS_COUNT("broker.attempts_lost", 1);
       reissue_or_exhaust(id, state, now, out);
       break;
     }
@@ -520,11 +597,17 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       if (state.spec.qoc.redundancy <= 1 && !m.outcome.snapshot.empty()) {
         state.resume_snapshot = m.outcome.snapshot;
         ++stats_.migrations;
+        TASKLETS_COUNT("broker.migrations", 1);
+        trace_instant(state, "migrate", id, now,
+                      {{"from", from.to_string()},
+                       {"snapshot_bytes",
+                        std::to_string(m.outcome.snapshot.size())}});
         state.replicas_pending += 1;
         if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
         break;
       }
       ++stats_.attempts_lost;
+      TASKLETS_COUNT("broker.attempts_lost", 1);
       reissue_or_exhaust(id, state, now, out);
       break;
     }
@@ -533,10 +616,14 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       // under the (larger) rejection budget — the QoC re-issue budget is for
       // work actually lost.
       ++stats_.attempts_lost;
+      TASKLETS_COUNT("broker.attempts_lost", 1);
       if (state.rejections < config_.max_rejections) {
         state.rejections += 1;
         state.replicas_pending += 1;
         ++stats_.reissues;
+        TASKLETS_COUNT("broker.reissues", 1);
+        trace_instant(state, "retry", id, now,
+                      {{"reason", "rejected"}, {"by", from.to_string()}});
         if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
       } else if (state.attempts.empty() && state.replicas_pending == 0) {
         ++stats_.tasklets_exhausted;
@@ -569,9 +656,14 @@ void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) 
     const TaskletId id = idx->second;
     attempt_index_.erase(idx);
     auto& state = tasklets_.at(id);
+    if (const auto ait = state.attempts.find(attempt);
+        ait != state.attempts.end()) {
+      end_attempt_span(state, id, ait->second, now, "provider_lost");
+    }
     state.attempts.erase(attempt);
     if (state.done) continue;
     ++stats_.attempts_lost;
+    TASKLETS_COUNT("broker.attempts_lost", 1);
     reissue_or_exhaust(id, state, now, out);
   }
   drain_queue(now, out);
@@ -583,6 +675,10 @@ void Broker::reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
     state.reissues_used += 1;
     state.replicas_pending += 1;
     ++stats_.reissues;
+    TASKLETS_COUNT("broker.reissues", 1);
+    trace_instant(state, "retry", id, now,
+                  {{"reason", "lost"},
+                   {"reissue", std::to_string(state.reissues_used)}});
     if (!try_place_replica(id, now, out).valid()) enqueue_replica(id);
   } else if (state.attempts.empty() && state.replicas_pending == 0) {
     ++stats_.tasklets_exhausted;
@@ -607,6 +703,7 @@ void Broker::record_vote(TaskletState& state, const proto::AttemptOutcome& outco
   VoteEntry entry;
   entry.result = outcome.result;
   entry.fuel = outcome.fuel_used;
+  entry.instructions = outcome.instructions;
   entry.count = 1;
   entry.first_provider = provider;
   state.votes.push_back(std::move(entry));
@@ -641,6 +738,7 @@ void Broker::complete_tasklet(TaskletId id, TaskletState& state,
                               const VoteEntry& winner, SimTime now,
                               proto::Outbox& out) {
   ++stats_.tasklets_completed;
+  TASKLETS_COUNT("broker.completed", 1);
   // Count replicas that disagreed with the winning value.
   for (const auto& vote : state.votes) {
     if (!tvm::args_equal(vote.result, winner.result)) {
@@ -653,6 +751,7 @@ void Broker::complete_tasklet(TaskletId id, TaskletState& state,
   report.status = proto::TaskletStatus::kCompleted;
   report.result = winner.result;
   report.fuel_used = winner.fuel;
+  report.instructions = winner.instructions;
   report.attempts = state.attempts_total;
   report.executed_by = winner.first_provider;
   report.latency = now - state.submitted_at;
@@ -663,6 +762,12 @@ void Broker::fail_tasklet(TaskletId id, TaskletState& state,
                           proto::TaskletStatus status, std::string error,
                           SimTime now, proto::Outbox& out) {
   if (status == proto::TaskletStatus::kFailed) ++stats_.tasklets_failed;
+  if (metrics::enabled()) {
+    metrics::MetricsRegistry::instance()
+        .counter(std::string("broker.failed.") +
+                 std::string(proto::to_string(status)))
+        .inc();
+  }
   proto::TaskletReport report;
   report.id = id;
   report.job = state.spec.job;
@@ -679,7 +784,12 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
   // Outstanding attempt index entries for this tasklet stay until their
   // results arrive (and are then ignored); replicas pending in the queue are
   // skipped by drain_queue.
-  (void)id;
+  TASKLETS_OBSERVE("broker.latency_ns", static_cast<double>(report.latency));
+  // Both callers computed latency as (now - submitted_at), so the terminal
+  // instant's timestamp can be reconstructed without threading `now` here.
+  trace_instant(state, "report", id, state.submitted_at + report.latency,
+                {{"status", std::string(proto::to_string(report.status))},
+                 {"attempts", std::to_string(report.attempts)}});
   // Retained so duplicate submissions replay the same terminal report.
   state.final_report = report;
   out.send(state.consumer, proto::TaskletDone{std::move(report)});

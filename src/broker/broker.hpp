@@ -24,6 +24,7 @@
 
 #include "broker/scheduling.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "proto/actor.hpp"
 
 namespace tasklets::broker {
@@ -61,6 +62,8 @@ struct BrokerConfig {
   // AttemptResult frames, which heartbeat liveness cannot see. 0 disables.
   SimTime attempt_timeout = 0;
   std::uint64_t rng_seed = 0x7A5CB0A7;
+  // Span collector; nullptr disables tracing at the broker.
+  TraceStore* trace = nullptr;
 };
 
 // Aggregate counters for benches and monitoring.
@@ -122,11 +125,14 @@ class Broker final : public proto::Actor {
   struct AttemptState {
     NodeId provider;
     SimTime issued_at = 0;
+    // Tracing: this attempt's span id; the AssignTasklet's trace parent.
+    std::uint64_t span = 0;
   };
 
   struct VoteEntry {
     tvm::HostArg result;
     std::uint64_t fuel = 0;
+    std::uint64_t instructions = 0;
     std::uint32_t count = 0;
     NodeId first_provider;
   };
@@ -134,6 +140,8 @@ class Broker final : public proto::Actor {
   struct TaskletState {
     proto::TaskletSpec spec;
     NodeId consumer;
+    // Tracing context from the submit (trace id + consumer root span).
+    TraceContext trace;
     SimTime submitted_at = 0;
     std::unordered_map<AttemptId, AttemptState> attempts;
     // Every provider that ever received an attempt for this tasklet:
@@ -209,6 +217,16 @@ class Broker final : public proto::Actor {
                           proto::Outbox& out);
 
   [[nodiscard]] std::uint32_t majority_threshold(const TaskletState& state) const;
+
+  // --- tracing helpers (no-ops when config_.trace is null or the submit
+  // carried no context) -------------------------------------------------------
+  void trace_instant(const TaskletState& state, std::string name, TaskletId id,
+                     SimTime now,
+                     std::vector<std::pair<std::string, std::string>> args = {});
+  // Closes an attempt's complete span (issue -> result/fence).
+  void end_attempt_span(const TaskletState& state, TaskletId id,
+                        const AttemptState& attempt, SimTime now,
+                        std::string_view status);
 
   std::unique_ptr<Scheduler> scheduler_;
   BrokerConfig config_;

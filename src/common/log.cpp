@@ -1,13 +1,10 @@
 #include "common/log.hpp"
 
 #include <cstdio>
-#include <mutex>
 
 namespace tasklets {
 
 namespace {
-std::mutex g_log_mutex;
-
 constexpr std::string_view level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -19,21 +16,96 @@ constexpr std::string_view level_name(LogLevel level) noexcept {
   }
   return "?????";
 }
+
+// Monotonic origin shared by every log line in the process.
+const SteadyClock& process_clock() {
+  static const SteadyClock clock;
+  return clock;
+}
 }  // namespace
+
+std::uint64_t log_thread_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string format_record(const LogRecord& record) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%.*s] %.6f t%llu ",
+                static_cast<int>(level_name(record.level).size()),
+                level_name(record.level).data(), to_seconds(record.timestamp),
+                static_cast<unsigned long long>(record.thread_id));
+  std::string out = prefix;
+  out += record.component;
+  out += ": ";
+  out += record.message;
+  out += record.fields;
+  return out;
+}
+
+void StderrSink::write(const LogRecord& record) {
+  const std::string line = format_record(record);
+  const std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void RingBufferSink::write(const LogRecord& record) {
+  std::string line = format_record(record);
+  const std::scoped_lock lock(mutex_);
+  lines_.push_back(std::move(line));
+  if (lines_.size() > capacity_) lines_.pop_front();
+}
+
+std::vector<std::string> RingBufferSink::lines() const {
+  const std::scoped_lock lock(mutex_);
+  return {lines_.begin(), lines_.end()};
+}
+
+bool RingBufferSink::contains(std::string_view needle) const {
+  const std::scoped_lock lock(mutex_);
+  for (const std::string& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void RingBufferSink::clear() {
+  const std::scoped_lock lock(mutex_);
+  lines_.clear();
+}
+
+Logger::Logger() : sink_(std::make_shared<StderrSink>()) {}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+void Logger::set_sink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) sink = std::make_shared<StderrSink>();
+  const std::scoped_lock lock(sink_mutex_);
+  sink_ = std::move(sink);
+}
+
+std::shared_ptr<LogSink> Logger::sink() const {
+  const std::scoped_lock lock(sink_mutex_);
+  return sink_;
+}
+
 void Logger::write(LogLevel level, std::string_view component,
-                   std::string_view message) {
+                   std::string_view message, std::string_view fields) {
   if (!enabled(level)) return;
-  const std::scoped_lock lock(g_log_mutex);
-  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
-               static_cast<int>(level_name(level).size()), level_name(level).data(),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.fields = fields;
+  record.timestamp = process_clock().now();
+  record.thread_id = log_thread_id();
+  // Hold a reference, not the lock, while writing: sinks may be slow.
+  sink()->write(record);
 }
 
 }  // namespace tasklets

@@ -1,16 +1,74 @@
 // Minimal leveled logger. Thread-safe, printf-free (streams into a single
 // write), and cheap when the level is disabled. Benchmarks run with the
 // logger set to kWarn so logging never perturbs measurements.
+//
+// Every line is stamped with a monotonic timestamp (ns since process start)
+// and a small per-thread id, carries optional structured key=value fields
+// (LogLine::kv), and goes to a pluggable LogSink — stderr by default, a
+// RingBufferSink in tests that assert on log output.
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
 
 namespace tasklets {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// One log line, fully structured: sinks decide how to render it.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view component;
+  std::string_view message;
+  std::string_view fields;   // pre-rendered " key=value key=value" suffix
+  SimTime timestamp = 0;     // monotonic ns since process start
+  std::uint64_t thread_id = 0;
+};
+
+// "[WARN ] 1.234567 t3 broker: message key=value"
+[[nodiscard]] std::string format_record(const LogRecord& record);
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+// Default sink: formatted lines to stderr, serialized by an internal mutex.
+class StderrSink final : public LogSink {
+ public:
+  void write(const LogRecord& record) override;
+
+ private:
+  std::mutex mutex_;
+};
+
+// Test sink: retains the last `capacity` formatted lines.
+class RingBufferSink final : public LogSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void write(const LogRecord& record) override;
+  [[nodiscard]] std::vector<std::string> lines() const;
+  [[nodiscard]] bool contains(std::string_view needle) const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<std::string> lines_;
+};
+
+// Small dense thread id for log lines (1, 2, ... in first-log order).
+[[nodiscard]] std::uint64_t log_thread_id() noexcept;
 
 class Logger {
  public:
@@ -26,11 +84,18 @@ class Logger {
     return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
   }
 
-  void write(LogLevel level, std::string_view component, std::string_view message);
+  // Replaces the sink; pass nullptr to restore the default stderr sink.
+  void set_sink(std::shared_ptr<LogSink> sink);
+  [[nodiscard]] std::shared_ptr<LogSink> sink() const;
+
+  void write(LogLevel level, std::string_view component, std::string_view message,
+             std::string_view fields = {});
 
  private:
-  Logger() = default;
+  Logger();
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  mutable std::mutex sink_mutex_;
+  std::shared_ptr<LogSink> sink_;
 };
 
 namespace detail {
@@ -38,7 +103,9 @@ class LogLine {
  public:
   LogLine(LogLevel level, std::string_view component) noexcept
       : level_(level), component_(component) {}
-  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+  ~LogLine() {
+    Logger::instance().write(level_, component_, stream_.str(), fields_.str());
+  }
 
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
@@ -49,16 +116,25 @@ class LogLine {
     return *this;
   }
 
+  // Structured field: rendered as " key=value" after the message.
+  template <typename T>
+  LogLine& kv(std::string_view key, const T& value) {
+    fields_ << ' ' << key << '=' << value;
+    return *this;
+  }
+
  private:
   LogLevel level_;
   std::string_view component_;
   std::ostringstream stream_;
+  std::ostringstream fields_;
 };
 }  // namespace detail
 
 }  // namespace tasklets
 
 // Usage: TASKLETS_LOG(kInfo, "broker") << "provider " << id << " joined";
+//        TASKLETS_LOG(kInfo, "broker").kv("provider", id) << "joined";
 #define TASKLETS_LOG(level, component)                                     \
   if (!::tasklets::Logger::instance().enabled(::tasklets::LogLevel::level)) \
     ;                                                                      \

@@ -1,0 +1,157 @@
+// Process-wide runtime metrics: named counters, gauges and latency
+// histograms.
+//
+// Handles returned by the registry are stable for the process lifetime, so
+// hot paths resolve a metric once (static local) and then pay only a relaxed
+// atomic increment. Histograms wrap the log-bucketed LogHistogram under a
+// small mutex — observation volume in the middleware is per-message, not
+// per-instruction, so the lock is uncontended in practice.
+//
+// The global enable flag gates the TASKLETS_COUNT/GAUGE/OBSERVE macros:
+// disabled, a metric site costs one relaxed load and a branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace tasklets::metrics {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void observe(double x) noexcept {
+    const std::scoped_lock lock(mutex_);
+    hist_.add(x);
+  }
+  // Copy of the underlying histogram for quantile queries.
+  [[nodiscard]] LogHistogram snapshot() const {
+    const std::scoped_lock lock(mutex_);
+    return hist_;
+  }
+  void reset() noexcept {
+    const std::scoped_lock lock(mutex_);
+    hist_ = LogHistogram{};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LogHistogram hist_;
+};
+
+// Point-in-time copy of every registered metric, with text and JSON
+// renderings for dashboards, benches and the CI exporter check.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    std::size_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  // Value of a named counter/gauge; 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const noexcept;
+
+  // "name value" per line, sorted by name.
+  [[nodiscard]] std::string to_text() const;
+  // {"counters":{...},"gauges":{...},"histograms":{...}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Lookup-or-create; the returned reference stays valid for the process
+  // lifetime (node-based storage).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  // Zeroes every metric (benches and tests isolate runs with this; the
+  // registry is process-wide).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  // std::map: node-based, so references survive later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Global enable flag (default on). Disabled, the macros below skip the
+// atomic write entirely.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+}  // namespace tasklets::metrics
+
+// Hot-path instrumentation: the handle is resolved once per call site.
+#define TASKLETS_COUNT(name, n)                                            \
+  do {                                                                     \
+    if (::tasklets::metrics::enabled()) {                                  \
+      static ::tasklets::metrics::Counter& tasklets_metric_ =              \
+          ::tasklets::metrics::MetricsRegistry::instance().counter(name);  \
+      tasklets_metric_.inc(n);                                             \
+    }                                                                      \
+  } while (0)
+
+#define TASKLETS_GAUGE_SET(name, v)                                        \
+  do {                                                                     \
+    if (::tasklets::metrics::enabled()) {                                  \
+      static ::tasklets::metrics::Gauge& tasklets_metric_ =                \
+          ::tasklets::metrics::MetricsRegistry::instance().gauge(name);    \
+      tasklets_metric_.set(v);                                             \
+    }                                                                      \
+  } while (0)
+
+#define TASKLETS_OBSERVE(name, x)                                          \
+  do {                                                                     \
+    if (::tasklets::metrics::enabled()) {                                  \
+      static ::tasklets::metrics::Histogram& tasklets_metric_ =            \
+          ::tasklets::metrics::MetricsRegistry::instance().histogram(name); \
+      tasklets_metric_.observe(x);                                         \
+    }                                                                      \
+  } while (0)

@@ -49,6 +49,9 @@ double Sampler::quantile(double q) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Clamp q into [0, 1]; the !(q > 0) form also maps NaN to 0.
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, samples_.size() - 1);
@@ -83,6 +86,9 @@ void LogHistogram::add(double x) noexcept {
 
 double LogHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
+  // Clamp q into [0, 1]; the !(q > 0) form also maps NaN to 0.
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_ - 1));
   std::uint64_t seen = 0;

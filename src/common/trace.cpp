@@ -1,0 +1,137 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace tasklets {
+
+namespace {
+std::atomic<std::uint64_t> g_next_span{1};
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+}  // namespace
+
+std::uint64_t next_span_id() noexcept {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceStore::TraceStore(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceStore::add(Span span) {
+  const std::scoped_lock lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  if (span.span_id == 0) span.span_id = next_span_id();
+  spans_.push_back(std::move(span));
+}
+
+void TraceStore::instant(const TraceContext& ctx, std::string name, NodeId node,
+                         TaskletId tasklet, SimTime at,
+                         std::vector<std::pair<std::string, std::string>> args) {
+  Span span;
+  span.trace_id = ctx.trace_id;
+  span.parent_span = ctx.parent_span;
+  span.name = std::move(name);
+  span.node = node;
+  span.tasklet = tasklet;
+  span.start = at;
+  span.end = at;
+  span.instant = true;
+  span.args = std::move(args);
+  add(std::move(span));
+}
+
+std::size_t TraceStore::size() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t TraceStore::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+std::vector<Span> TraceStore::all() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_;
+}
+
+std::vector<Span> TraceStore::spans_for(TaskletId id) const {
+  std::vector<Span> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const Span& span : spans_) {
+      if (span.tasklet == id) out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start != b.start ? a.start < b.start : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+std::string TraceStore::export_chrome_json() const {
+  const std::vector<Span> spans = all();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const Span& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"cat\":\"tasklet\",\"ph\":";
+    const double ts_us = static_cast<double>(span.start) / 1e3;
+    if (span.instant) {
+      std::snprintf(buf, sizeof buf, "\"i\",\"s\":\"g\",\"ts\":%.3f", ts_us);
+    } else {
+      const double dur_us = static_cast<double>(span.end - span.start) / 1e3;
+      std::snprintf(buf, sizeof buf, "\"X\",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                    dur_us);
+    }
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%llu,\"args\":{",
+                  static_cast<unsigned long long>(span.node.value()));
+    out += buf;
+    out += "\"tasklet\":";
+    append_json_string(out, span.tasklet.to_string());
+    std::snprintf(buf, sizeof buf,
+                  ",\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+                  static_cast<unsigned long long>(span.trace_id),
+                  static_cast<unsigned long long>(span.span_id),
+                  static_cast<unsigned long long>(span.parent_span));
+    out += buf;
+    for (const auto& [key, value] : span.args) {
+      out.push_back(',');
+      append_json_string(out, key);
+      out.push_back(':');
+      append_json_string(out, value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tasklets

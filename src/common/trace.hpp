@@ -1,0 +1,87 @@
+// Distributed tasklet tracing.
+//
+// A TraceContext (trace id + parent span id) rides on the wire protocol
+// (SubmitTasklet / AssignTasklet), so every hop of a tasklet's lifecycle —
+// consumer submit, broker queue wait and schedule decision, provider
+// dispatch, TVM execution, result return, plus retry/migration/reassignment
+// events under faults — lands as a Span in a shared TraceStore. The store is
+// queryable by tasklet id and exports Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto.
+//
+// Actors hold a nullable TraceStore*: tracing off is a null check per hop.
+// Span ids come from a process-wide atomic so parent/child links are unique
+// across every node of one system. Trace ids are the tasklet id value, which
+// is what makes the store queryable by tasklet without an extra index.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace tasklets {
+
+// Carried in wire messages; 0/0 means "no trace" (tracing disabled at the
+// sender, or a legacy frame).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  [[nodiscard]] constexpr bool active() const noexcept { return trace_id != 0; }
+  friend constexpr bool operator==(const TraceContext&,
+                                   const TraceContext&) noexcept = default;
+};
+
+// Process-wide span id source; never returns 0.
+[[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+// One completed span or instant event. `instant` events carry a point in
+// time (end == start); complete spans carry a duration.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::string name;      // taxonomy: submit/queue/schedule/attempt/execute/...
+  NodeId node;           // emitting node (rendered as the Chrome "tid")
+  TaskletId tasklet;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool instant = false;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Thread-safe append-only span collector with a capacity cap (spans beyond
+// the cap are counted, not stored, so long sweeps cannot exhaust memory).
+class TraceStore {
+ public:
+  explicit TraceStore(std::size_t capacity = 1u << 20);
+
+  void add(Span span);
+  // Convenience for instant events.
+  void instant(const TraceContext& ctx, std::string name, NodeId node,
+               TaskletId tasklet, SimTime at,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::vector<Span> all() const;
+  // Spans of one tasklet, ordered by (start, span id) — causal order for
+  // spans emitted against one runtime clock.
+  [[nodiscard]] std::vector<Span> spans_for(TaskletId id) const;
+
+  // Chrome trace_event JSON ("X" complete spans, "i" instant events, ts/dur
+  // in microseconds). Loadable in chrome://tracing and Perfetto.
+  [[nodiscard]] std::string export_chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<Span> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tasklets

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace tasklets::consumer {
 
@@ -17,10 +18,34 @@ ConsumerAgent::ConsumerAgent(NodeId id, NodeId broker, std::string locality,
 
 void ConsumerAgent::on_start(SimTime, proto::Outbox&) {}
 
+TraceContext ConsumerAgent::trace_ctx(TaskletId id,
+                                      const Pending& entry) const noexcept {
+  if (config_.trace == nullptr) return {};
+  return TraceContext{id.value(), entry.root_span};
+}
+
+// Records the root "submit" complete span covering submission to terminal
+// report (or local abandonment).
+void ConsumerAgent::end_root_span(TaskletId id, const Pending& entry,
+                                  SimTime now, std::string_view status) {
+  if (config_.trace == nullptr) return;
+  Span span;
+  span.trace_id = id.value();
+  span.span_id = entry.root_span;
+  span.name = "submit";
+  span.node = this->id();
+  span.tasklet = id;
+  span.start = entry.submitted_at;
+  span.end = now;
+  span.args.emplace_back("status", std::string(status));
+  config_.trace->add(std::move(span));
+}
+
 void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
                            SimTime now, proto::Outbox& out) {
   spec.origin_locality = locality_;
   ++stats_.submitted;
+  TASKLETS_COUNT("consumer.submitted", 1);
   Pending entry;
   entry.handler = std::move(handler);
   entry.backoff = ExponentialBackoff(config_.backoff);
@@ -29,8 +54,13 @@ void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
     entry.next_resubmit = now + entry.backoff.next(rng_);
   }
   const TaskletId id = spec.id;
+  if (config_.trace != nullptr) {
+    entry.root_span = next_span_id();
+    entry.submitted_at = now;
+  }
+  const TraceContext ctx = trace_ctx(id, entry);
   pending_.insert_or_assign(id, std::move(entry));
-  out.send(broker_, proto::SubmitTasklet{std::move(spec)});
+  out.send(broker_, proto::SubmitTasklet{std::move(spec), ctx});
   if (config_.resubmit) arm_retry_timer(now, out);
 }
 
@@ -52,14 +82,22 @@ void ConsumerAgent::on_timer(std::uint64_t timer_id, SimTime now,
     }
     ++entry.resubmits;
     ++stats_.resubmits;
-    entry.next_resubmit = now + entry.backoff.next(rng_);
-    out.send(broker_, proto::SubmitTasklet{entry.spec});
+    TASKLETS_COUNT("consumer.resubmits", 1);
+    const SimTime delay = entry.backoff.next(rng_);
+    TASKLETS_OBSERVE("consumer.backoff_wait_ns", static_cast<double>(delay));
+    entry.next_resubmit = now + delay;
+    if (config_.trace != nullptr) {
+      config_.trace->instant(trace_ctx(id, entry), "resubmit", this->id(), id,
+                             now,
+                             {{"attempt", std::to_string(entry.resubmits)}});
+    }
+    out.send(broker_, proto::SubmitTasklet{entry.spec, trace_ctx(id, entry)});
   }
   for (const TaskletId id : abandoned) {
     auto it = pending_.find(id);
     Pending entry = std::move(it->second);
     pending_.erase(it);
-    fail_locally(id, std::move(entry));
+    fail_locally(id, std::move(entry), now);
   }
   arm_retry_timer(now, out);
 }
@@ -76,12 +114,18 @@ void ConsumerAgent::arm_retry_timer(SimTime now, proto::Outbox& out) {
   out.arm_timer(kRetryTimer, std::max<SimTime>(1, earliest - now));
 }
 
-void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry) {
+void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry, SimTime now) {
   ++stats_.failed;
   ++stats_.abandoned;
+  TASKLETS_COUNT("consumer.abandoned", 1);
+  if (config_.trace != nullptr) {
+    config_.trace->instant(trace_ctx(id, entry), "abandon", this->id(), id, now);
+    end_root_span(id, entry, now, "abandoned");
+  }
   TASKLETS_LOG(kWarn, "consumer")
-      << this->id().to_string() << ": abandoning tasklet " << id.to_string()
-      << " after " << entry.resubmits + 1 << " unanswered submissions";
+      .kv("tasklet", id.to_string())
+      .kv("submissions", entry.resubmits + 1)
+      << this->id().to_string() << ": abandoning tasklet with no broker reply";
   proto::TaskletReport report;
   report.id = id;
   report.job = entry.spec.job;
@@ -91,7 +135,7 @@ void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry) {
   entry.handler(report);
 }
 
-void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime,
+void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime now,
                                proto::Outbox&) {
   const auto* done = std::get_if<proto::TaskletDone>(&envelope.payload);
   if (done == nullptr) {
@@ -104,8 +148,14 @@ void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime,
   if (it == pending_.end()) return;  // cancelled or duplicate
   if (done->report.status == proto::TaskletStatus::kCompleted) {
     ++stats_.completed;
+    TASKLETS_COUNT("consumer.completed", 1);
   } else {
     ++stats_.failed;
+    TASKLETS_COUNT("consumer.failed", 1);
+  }
+  if (config_.trace != nullptr) {
+    end_root_span(done->report.id, it->second, now,
+                  proto::to_string(done->report.status));
   }
   ReportHandler handler = std::move(it->second.handler);
   pending_.erase(it);

@@ -19,6 +19,7 @@
 
 #include "common/backoff.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "proto/actor.hpp"
 
 namespace tasklets::consumer {
@@ -32,6 +33,8 @@ struct ConsumerConfig {
   // locally with kExhausted.
   std::uint32_t max_resubmits = 8;
   std::uint64_t rng_seed = 0xC0A57;
+  // Span collector; nullptr disables tracing (no context rides on submits).
+  TraceStore* trace = nullptr;
 };
 
 struct ConsumerStats {
@@ -74,10 +77,19 @@ class ConsumerAgent final : public proto::Actor {
     ExponentialBackoff backoff;
     SimTime next_resubmit = 0;
     std::uint32_t resubmits = 0;
+    // Tracing: the root "submit" span (submit -> terminal report).
+    std::uint64_t root_span = 0;
+    SimTime submitted_at = 0;
   };
 
+  // TraceContext for messages about this tasklet, 0/0 when tracing is off.
+  [[nodiscard]] TraceContext trace_ctx(TaskletId id,
+                                       const Pending& entry) const noexcept;
+  void end_root_span(TaskletId id, const Pending& entry, SimTime now,
+                     std::string_view status);
+
   void arm_retry_timer(SimTime now, proto::Outbox& out);
-  void fail_locally(TaskletId id, Pending&& entry);
+  void fail_locally(TaskletId id, Pending&& entry, SimTime now);
 
   static constexpr std::uint64_t kRetryTimer = 1;
 

@@ -109,6 +109,7 @@ class SimCluster::SimExecution final : public provider::ExecutionService {
       Pending finished = std::move(it->second);
       pending_.erase(it);
       proto::Outbox out(provider_id_);
+      record_vm_span(finished, finished.outcome, cluster_.engine_->now());
       finished.done(std::move(finished.outcome), cluster_.engine_->now(), out);
       cluster_.process_outbox(out);
     });
@@ -131,6 +132,7 @@ class SimCluster::SimExecution final : public provider::ExecutionService {
     for (auto& [key, entry] : pending) {
       proto::AttemptOutcome outcome = suspend_outcome(entry, now);
       proto::Outbox out(provider_id_);
+      record_vm_span(entry, outcome, now);
       entry.done(std::move(outcome), now, out);
       cluster_.process_outbox(out);
     }
@@ -149,6 +151,27 @@ class SimCluster::SimExecution final : public provider::ExecutionService {
     SimTime duration = 0;
     std::uint64_t prior_fuel = 0;
   };
+
+  // The virtual-time "vm" span: the modelled service window (startup +
+  // fuel/speed), ending when the completion (or drain checkpoint) fires.
+  void record_vm_span(const Pending& entry, const proto::AttemptOutcome& outcome,
+                      SimTime now) {
+    TraceStore* store = cluster_.config_.trace;
+    if (store == nullptr || !entry.request.trace.active()) return;
+    Span span;
+    span.trace_id = entry.request.trace.trace_id;
+    span.parent_span = entry.request.trace.parent_span;
+    span.name = "vm";
+    span.node = provider_id_;
+    span.tasklet = entry.request.tasklet;
+    span.start = entry.started;
+    span.end = now;
+    span.args.emplace_back("status",
+                           std::string(proto::to_string(outcome.status)));
+    span.args.emplace_back("instructions", std::to_string(outcome.instructions));
+    span.args.emplace_back("fuel", std::to_string(outcome.fuel_used));
+    store->add(std::move(span));
+  }
 
   // Builds the outcome a drain delivers for one in-flight execution.
   proto::AttemptOutcome suspend_outcome(Pending& entry, SimTime now) {
@@ -220,6 +243,7 @@ SimCluster::SimCluster(SimConfig config)
       engine_(std::make_unique<sim::Engine>()),
       rng_(config_.seed),
       executor_(std::make_shared<provider::VmExecutor>(config_.exec_limits)) {
+  config_.broker.trace = config_.trace;
   std::unique_ptr<broker::Scheduler> scheduler;
   if (config_.scheduler_factory) {
     scheduler = config_.scheduler_factory();
@@ -268,6 +292,7 @@ NodeId SimCluster::add_provider(const sim::DeviceProfile& profile) {
   // assumes.
   provider::ProviderConfig provider_config;
   provider_config.heartbeat_interval = config_.broker.heartbeat_interval;
+  provider_config.trace = config_.trace;
   auto agent = std::make_unique<provider::ProviderAgent>(
       id, broker_id_, profile.capability(), *node->execution, provider_config);
   node->provider = agent.get();
@@ -330,8 +355,10 @@ NodeId SimCluster::add_consumer(std::string locality) {
   auto node = std::make_unique<Node>();
   node->link_latency = config_.consumer_link_latency;
   node->bandwidth_bps = config_.consumer_bandwidth_bps;
-  auto agent = std::make_unique<consumer::ConsumerAgent>(id, broker_id_,
-                                                         std::move(locality));
+  consumer::ConsumerConfig consumer_config;
+  consumer_config.trace = config_.trace;
+  auto agent = std::make_unique<consumer::ConsumerAgent>(
+      id, broker_id_, std::move(locality), consumer_config);
   node->consumer = agent.get();
   node->actor = std::move(agent);
   Node* raw = node.get();

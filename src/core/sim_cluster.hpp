@@ -39,6 +39,10 @@ struct SimConfig {
   SimTime consumer_link_latency = 1 * kMillisecond;
   double consumer_bandwidth_bps = 100e6;
   tvm::ExecLimits exec_limits{};
+  // Span collector (caller-owned, must outlive the cluster); when set it is
+  // wired into every actor, so whole-lifecycle traces come out of sim runs
+  // with virtual timestamps. nullptr disables tracing.
+  TraceStore* trace = nullptr;
 };
 
 class SimCluster {

@@ -39,6 +39,13 @@ class TaskletSystem::ProviderExecution final : public provider::ExecutionService
     owner_.store(owner, std::memory_order_release);
   }
 
+  // Enables "vm" spans for executions on this provider. Set before the agent
+  // starts (same ordering requirement as set_owner).
+  void set_trace(TraceStore* store, NodeId node) noexcept {
+    trace_ = store;
+    node_ = node;
+  }
+
   void execute(provider::ExecRequest request, provider::ExecDone done) override {
     pool_.submit([this, request = std::move(request), done = std::move(done)] {
       const SteadyClock clock;
@@ -61,8 +68,30 @@ class TaskletSystem::ProviderExecution final : public provider::ExecutionService
       }
       net::ActorHost* owner = owner_.load(std::memory_order_acquire);
       if (owner == nullptr) return;
-      owner->post_closure([outcome = std::move(outcome), done = std::move(done)](
+      // The worker's wall clock and the actor host's `now` share no epoch, so
+      // the "vm" span is anchored to the completion's host timestamp and
+      // extends backwards by the measured execution time.
+      const SimTime elapsed = clock.now() - start;
+      owner->post_closure([this, outcome = std::move(outcome),
+                           done = std::move(done), elapsed,
+                           ctx = request.trace, tasklet = request.tasklet](
                               SimTime now, proto::Outbox& out) mutable {
+        if (trace_ != nullptr && ctx.active()) {
+          Span span;
+          span.trace_id = ctx.trace_id;
+          span.parent_span = ctx.parent_span;
+          span.name = "vm";
+          span.node = node_;
+          span.tasklet = tasklet;
+          span.start = now > elapsed ? now - elapsed : 0;
+          span.end = now;
+          span.args.emplace_back("status",
+                                 std::string(proto::to_string(outcome.status)));
+          span.args.emplace_back("instructions",
+                                 std::to_string(outcome.instructions));
+          span.args.emplace_back("fuel", std::to_string(outcome.fuel_used));
+          trace_->add(std::move(span));
+        }
         done(std::move(outcome), now, out);
       });
     });
@@ -83,12 +112,19 @@ class TaskletSystem::ProviderExecution final : public provider::ExecutionService
   std::mutex fault_mutex_;
   Rng fault_rng_;
   std::atomic<net::ActorHost*> owner_ = nullptr;
+  TraceStore* trace_ = nullptr;
+  NodeId node_;
   ThreadPool pool_;
 };
 
 TaskletSystem::TaskletSystem(SystemConfig config)
     : config_(std::move(config)),
       executor_(std::make_shared<provider::VmExecutor>(config_.exec_limits)) {
+  if (config_.tracing) {
+    trace_ = std::make_unique<TraceStore>();
+    config_.broker.trace = trace_.get();
+    config_.consumer.trace = trace_.get();
+  }
   if (config_.transport == Transport::kTcp) {
     runtime_ = std::make_unique<net::TcpRuntime>();
   } else {
@@ -159,6 +195,8 @@ NodeId TaskletSystem::add_provider(ProviderOptions options) {
   const NodeId id = node_ids_.next();
   provider::ProviderConfig provider_config;
   provider_config.heartbeat_interval = config_.broker.heartbeat_interval;
+  provider_config.trace = trace_.get();
+  execution->set_trace(trace_.get(), id);
   auto agent = std::make_unique<provider::ProviderAgent>(
       id, broker_id_, std::move(capability), *execution, provider_config);
   // The execution service must know its host before the agent registers
@@ -223,6 +261,10 @@ std::vector<std::future<proto::TaskletReport>> TaskletSystem::submit_batch(
     futures.push_back(submit(std::move(body), qoc, job));
   }
   return futures;
+}
+
+metrics::MetricsSnapshot TaskletSystem::metrics_snapshot() {
+  return metrics::MetricsRegistry::instance().snapshot();
 }
 
 broker::BrokerStats TaskletSystem::broker_stats() {

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "broker/broker.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "consumer/consumer.hpp"
 #include "net/fault.hpp"
 #include "net/inproc.hpp"
@@ -64,6 +66,10 @@ struct SystemConfig {
   // When set, the transport is wrapped in a net::FaultyRuntime applying
   // this plan to every message (chaos testing). See faults().
   std::optional<net::FaultPlan> fault_plan;
+  // Distributed tracing: when true the system owns a TraceStore and every
+  // actor (broker, consumer, providers, VM executions) records spans into
+  // it. Query via trace_store(); export with TraceStore::export_chrome_json.
+  bool tracing = false;
 };
 
 class TaskletSystem {
@@ -95,6 +101,14 @@ class TaskletSystem {
   // Snapshot of broker statistics (synchronizes with the broker actor).
   [[nodiscard]] broker::BrokerStats broker_stats();
 
+  // Snapshot of the process-wide metrics registry (see common/metrics.hpp).
+  // The registry is process-global, so counters aggregate across systems if
+  // several coexist; MetricsRegistry::instance().reset() isolates runs.
+  [[nodiscard]] static metrics::MetricsSnapshot metrics_snapshot();
+
+  // The system's span collector, or nullptr unless SystemConfig::tracing.
+  [[nodiscard]] TraceStore* trace_store() noexcept { return trace_.get(); }
+
   // Number of providers added so far.
   [[nodiscard]] std::size_t provider_count() const noexcept;
 
@@ -114,6 +128,9 @@ class TaskletSystem {
   class ProviderExecution;
 
   SystemConfig config_;
+  // Declared before runtime_: actors hold raw pointers into the store, so it
+  // must outlive them (members destroy in reverse declaration order).
+  std::unique_ptr<TraceStore> trace_;
   std::unique_ptr<net::Runtime> runtime_;
   net::FaultyRuntime* faults_ = nullptr;  // == runtime_.get() when wrapping
   IdGenerator<NodeId> node_ids_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "net/tcp.hpp"
 #include "proto/messages.hpp"
 
@@ -71,8 +72,43 @@ void FaultyRuntime::heal_all() {
   partitions_.clear();
 }
 
+namespace {
+
+// Injected-fault counter, bucketed by kind. kDeliver is the no-fault path
+// and is deliberately not a metric (deliveries are counted by the transports).
+void count_fault(FaultAction action) {
+  switch (action) {
+    case FaultAction::kDeliver:
+      return;
+    case FaultAction::kDrop:
+      TASKLETS_COUNT("net.fault.drop", 1);
+      return;
+    case FaultAction::kDropPartitioned:
+      TASKLETS_COUNT("net.fault.drop_partitioned", 1);
+      return;
+    case FaultAction::kCorrupt:
+      TASKLETS_COUNT("net.fault.corrupt", 1);
+      return;
+    case FaultAction::kCorruptDrop:
+      TASKLETS_COUNT("net.fault.corrupt_drop", 1);
+      return;
+    case FaultAction::kDuplicate:
+      TASKLETS_COUNT("net.fault.duplicate", 1);
+      return;
+    case FaultAction::kDelay:
+      TASKLETS_COUNT("net.fault.delay", 1);
+      return;
+    case FaultAction::kReorderHold:
+      TASKLETS_COUNT("net.fault.reorder", 1);
+      return;
+  }
+}
+
+}  // namespace
+
 void FaultyRuntime::record(NodeId from, NodeId to, std::uint64_t seq,
                            FaultAction action) {
+  count_fault(action);
   const std::scoped_lock lock(mutex_);
   trace_.push_back(FaultEvent{from, to, seq, action});
 }
@@ -114,6 +150,7 @@ void FaultyRuntime::route(proto::Envelope envelope) {
     LinkState& link = link_state_[{from, to}];
     seq = ++link.seq;
     if (partitioned(from, to)) {
+      count_fault(FaultAction::kDropPartitioned);
       trace_.push_back(FaultEvent{from, to, seq, FaultAction::kDropPartitioned});
       return;
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
+
 namespace tasklets::net {
 
 // --- ActorHost -----------------------------------------------------------------
@@ -154,6 +156,7 @@ ActorHost& InProcRuntime::add(std::unique_ptr<proto::Actor> actor, bool autostar
 }
 
 void InProcRuntime::route(proto::Envelope envelope) {
+  TASKLETS_COUNT("net.inproc.routed", 1);
   ActorHost* target = nullptr;
   {
     const std::shared_lock lock(registry_mutex_);

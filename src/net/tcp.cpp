@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace tasklets::net {
 
@@ -171,6 +172,8 @@ void TcpRuntime::route(proto::Envelope envelope) {
         write_all(fd, payload.data(), payload.size())) {
       bytes_sent_.fetch_add(sizeof header + payload.size(),
                             std::memory_order_relaxed);
+      TASKLETS_COUNT("net.tcp.frames_out", 1);
+      TASKLETS_COUNT("net.tcp.bytes_out", sizeof header + payload.size());
       return;
     }
     // Stale/broken connection: drop it and retry once with a fresh one.
@@ -209,6 +212,8 @@ void TcpRuntime::reader_loop(int fd) {
     }
     Bytes payload(len);
     if (!read_all(fd, payload.data(), len)) break;
+    TASKLETS_COUNT("net.tcp.frames_in", 1);
+    TASKLETS_COUNT("net.tcp.bytes_in", sizeof header + len);
     auto envelope = proto::decode(payload);
     if (!envelope.is_ok()) {
       TASKLETS_LOG(kWarn, kLog) << "undecodable frame: "

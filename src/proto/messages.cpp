@@ -113,10 +113,23 @@ Result<TaskletBody> get_body(ByteReader& r) {
 }
 #pragma GCC diagnostic pop
 
+void put_trace(ByteWriter& w, const TraceContext& t) {
+  w.write_varint(t.trace_id);
+  w.write_varint(t.parent_span);
+}
+
+Result<TraceContext> get_trace(ByteReader& r) {
+  TraceContext t;
+  TASKLETS_ASSIGN_OR_RETURN(t.trace_id, r.read_varint());
+  TASKLETS_ASSIGN_OR_RETURN(t.parent_span, r.read_varint());
+  return t;
+}
+
 void put_outcome(ByteWriter& w, const AttemptOutcome& o) {
   w.write_u8(static_cast<std::uint8_t>(o.status));
   tvm::encode_arg(w, o.result);
   w.write_varint(o.fuel_used);
+  w.write_varint(o.instructions);
   w.write_string(o.error);
   w.write_bytes(o.snapshot);
 }
@@ -130,6 +143,7 @@ Result<AttemptOutcome> get_outcome(ByteReader& r) {
   o.status = static_cast<AttemptStatus>(status);
   TASKLETS_ASSIGN_OR_RETURN(o.result, tvm::decode_arg(r));
   TASKLETS_ASSIGN_OR_RETURN(o.fuel_used, r.read_varint());
+  TASKLETS_ASSIGN_OR_RETURN(o.instructions, r.read_varint());
   TASKLETS_ASSIGN_OR_RETURN(o.error, r.read_string());
   TASKLETS_ASSIGN_OR_RETURN(o.snapshot, r.read_bytes());
   return o;
@@ -141,6 +155,7 @@ void put_report(ByteWriter& w, const TaskletReport& report) {
   w.write_u8(static_cast<std::uint8_t>(report.status));
   tvm::encode_arg(w, report.result);
   w.write_varint(report.fuel_used);
+  w.write_varint(report.instructions);
   w.write_varint(report.attempts);
   w.write_u64(report.executed_by.value());
   w.write_i64(report.latency);
@@ -160,6 +175,7 @@ Result<TaskletReport> get_report(ByteReader& r) {
   report.status = static_cast<TaskletStatus>(status);
   TASKLETS_ASSIGN_OR_RETURN(report.result, tvm::decode_arg(r));
   TASKLETS_ASSIGN_OR_RETURN(report.fuel_used, r.read_varint());
+  TASKLETS_ASSIGN_OR_RETURN(report.instructions, r.read_varint());
   TASKLETS_ASSIGN_OR_RETURN(auto attempts, r.read_varint());
   report.attempts = static_cast<std::uint32_t>(attempts);
   TASKLETS_ASSIGN_OR_RETURN(auto executed_by, r.read_u64());
@@ -201,6 +217,7 @@ struct PutVisitor {
     put_body(w, m.spec.body);
     put_qoc(w, m.spec.qoc);
     w.write_string(m.spec.origin_locality);
+    put_trace(w, m.trace);
   }
   void operator()(const CancelTasklet& m) {
     w.write_u8(static_cast<std::uint8_t>(Tag::kCancelTasklet));
@@ -213,6 +230,7 @@ struct PutVisitor {
     put_body(w, m.body);
     w.write_varint(m.max_fuel);
     w.write_bytes(m.resume_snapshot);
+    put_trace(w, m.trace);
   }
   void operator()(const TaskletDone& m) {
     w.write_u8(static_cast<std::uint8_t>(Tag::kTaskletDone));
@@ -264,6 +282,7 @@ Result<Message> get_message(ByteReader& r) {
       TASKLETS_ASSIGN_OR_RETURN(m.spec.body, get_body(r));
       TASKLETS_ASSIGN_OR_RETURN(m.spec.qoc, get_qoc(r));
       TASKLETS_ASSIGN_OR_RETURN(m.spec.origin_locality, r.read_string());
+      TASKLETS_ASSIGN_OR_RETURN(m.trace, get_trace(r));
       return Message{std::move(m)};
     }
     case Tag::kCancelTasklet: {
@@ -281,6 +300,7 @@ Result<Message> get_message(ByteReader& r) {
       TASKLETS_ASSIGN_OR_RETURN(m.body, get_body(r));
       TASKLETS_ASSIGN_OR_RETURN(m.max_fuel, r.read_varint());
       TASKLETS_ASSIGN_OR_RETURN(m.resume_snapshot, r.read_bytes());
+      TASKLETS_ASSIGN_OR_RETURN(m.trace, get_trace(r));
       return Message{std::move(m)};
     }
     case Tag::kTaskletDone: {

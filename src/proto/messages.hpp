@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/trace.hpp"
 #include "proto/types.hpp"
 
 namespace tasklets::proto {
@@ -50,6 +51,9 @@ struct AttemptResult {
 
 struct SubmitTasklet {
   TaskletSpec spec;
+  // Tracing context (0/0 when tracing is off). trace_id identifies the
+  // tasklet's trace; parent_span is the consumer's root "submit" span.
+  TraceContext trace;
 };
 
 struct CancelTasklet {
@@ -66,6 +70,8 @@ struct AssignTasklet {
   // Non-empty when this assignment continues a migrated execution: the
   // provider resumes from this TVM snapshot instead of starting over.
   Bytes resume_snapshot;
+  // Tracing context; parent_span is the broker's per-attempt span.
+  TraceContext trace;
 };
 
 // --- Broker -> Consumer -------------------------------------------------------

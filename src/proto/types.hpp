@@ -144,6 +144,9 @@ struct AttemptOutcome {
   AttemptStatus status = AttemptStatus::kOk;
   tvm::HostArg result = std::int64_t{0};
   std::uint64_t fuel_used = 0;
+  // TVM instructions retired this attempt. Unlike fuel this is not
+  // persisted in migration snapshots, so it counts from the resume point.
+  std::uint64_t instructions = 0;
   std::string error;  // trap description when status == kTrap
   // Serialized TVM machine state when status == kSuspended: the broker
   // re-places the tasklet with this snapshot so another provider resumes
@@ -170,6 +173,7 @@ struct TaskletReport {
   TaskletStatus status = TaskletStatus::kCompleted;
   tvm::HostArg result = std::int64_t{0};
   std::uint64_t fuel_used = 0;
+  std::uint64_t instructions = 0;  // TVM instructions retired (winning attempt)
   std::uint32_t attempts = 0;      // total attempts issued (incl. replicas)
   NodeId executed_by;              // winning provider (invalid if failed)
   SimTime latency = 0;             // submission -> completion

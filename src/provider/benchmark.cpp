@@ -41,6 +41,7 @@ double measure_speed(VmExecutor& executor, SimTime budget) {
   ExecRequest request;
   request.attempt = AttemptId{1};
   request.tasklet = TaskletId{1};
+  request.calibration = true;
   proto::VmBody body;
   body.program = program->serialize();
   body.args = {std::int64_t{100000}};

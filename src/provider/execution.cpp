@@ -1,6 +1,7 @@
 #include "provider/execution.hpp"
 
 #include "common/bytes.hpp"
+#include "common/metrics.hpp"
 #include "tvm/verifier.hpp"
 
 namespace tasklets::provider {
@@ -49,6 +50,7 @@ proto::AttemptOutcome finish_outcome(tvm::ExecOutcome&& exec) {
   outcome.status = proto::AttemptStatus::kOk;
   outcome.result = std::move(exec.result);
   outcome.fuel_used = exec.fuel_used;
+  outcome.instructions = exec.instructions;
   return outcome;
 }
 
@@ -99,18 +101,32 @@ proto::AttemptOutcome VmExecutor::run_sliced(const ExecRequest& request,
     return tvm::execute_slice(entry->program, vm_body.args, limits, fuel_slice);
   }();
 
+  const bool count = !request.calibration;
   for (;;) {
-    if (!slice.is_ok()) return trap_outcome(slice.status());
+    if (!slice.is_ok()) {
+      if (count) TASKLETS_COUNT("provider.vm.traps", 1);
+      return trap_outcome(slice.status());
+    }
     if (auto* exec = std::get_if<tvm::ExecOutcome>(&*slice)) {
+      if (count) {
+        TASKLETS_COUNT("provider.vm.executions", 1);
+        TASKLETS_COUNT("provider.vm.instructions", exec->instructions);
+      }
       return finish_outcome(std::move(*exec));
     }
     auto& suspension = std::get<tvm::Suspension>(*slice);
     if (drain.load(std::memory_order_relaxed)) {
       outcome.status = proto::AttemptStatus::kSuspended;
       outcome.fuel_used = suspension.fuel_used;
+      outcome.instructions = suspension.instructions;
       outcome.snapshot = std::move(suspension.state);
+      if (count) {
+        TASKLETS_COUNT("provider.vm.suspensions", 1);
+        TASKLETS_COUNT("provider.vm.snapshot_bytes", outcome.snapshot.size());
+      }
       return outcome;
     }
+    if (count) TASKLETS_COUNT("provider.vm.slices", 1);
     slice = tvm::resume_slice(entry->program, suspension, limits, fuel_slice);
   }
 }

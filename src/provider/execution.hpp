@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 #include "proto/actor.hpp"
 #include "proto/types.hpp"
 #include "tvm/interpreter.hpp"
@@ -33,6 +34,12 @@ struct ExecRequest {
   // Non-empty for migrated work: resume from this TVM snapshot instead of
   // starting the program from its entry point.
   Bytes resume_snapshot;
+  // Tracing context of the assignment; execution services that record "vm"
+  // spans parent them under this.
+  TraceContext trace;
+  // Self-measurement runs (provider/benchmark.cpp) set this so calibration
+  // work is excluded from the provider.vm.* metrics.
+  bool calibration = false;
 };
 
 // Invoked exactly once per execute() call, serialized with the owning

@@ -1,6 +1,7 @@
 #include "provider/provider.hpp"
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace tasklets::provider {
 
@@ -83,7 +84,7 @@ void ProviderAgent::remember_attempt(AttemptId attempt) {
   }
 }
 
-void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
+void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime now,
                                   proto::Outbox& out) {
   if (seen_attempts_.contains(m.attempt)) {
     // Duplicate retransmit of an attempt we already accepted (possibly long
@@ -91,11 +92,19 @@ void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
     // staying silent is safe because the broker re-issues via its attempt
     // timeout if the original result was lost.
     ++stats_.duplicate_assigns;
+    TASKLETS_COUNT("provider.duplicate_assigns", 1);
     return;
   }
   ++stats_.assignments;
+  TASKLETS_COUNT("provider.assignments", 1);
   if (!online_ || inflight_.size() >= capability_.slots) {
     ++stats_.rejected;
+    TASKLETS_COUNT("provider.rejected", 1);
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          m.trace, "reject", id(), m.tasklet, now,
+          {{"reason", online_ ? "no free slot" : "offline"}});
+    }
     proto::AttemptResult result;
     result.attempt = m.attempt;
     result.tasklet = m.tasklet;
@@ -113,23 +122,45 @@ void ProviderAgent::handle_assign(const proto::AssignTasklet& m, SimTime,
   request.body = m.body;
   request.max_fuel = m.max_fuel;
   request.resume_snapshot = m.resume_snapshot;
+  request.trace = m.trace;
   const TaskletId tasklet = m.tasklet;
   const AttemptId attempt = m.attempt;
+  // The "execute" span covers assignment acceptance to result send; ctx and
+  // start ride in the completion (the agent keeps no per-attempt map).
+  const TraceContext ctx = m.trace;
+  const SimTime accepted_at = now;
   execution_.execute(
       std::move(request),
-      [this, tasklet, attempt](proto::AttemptOutcome outcome, SimTime,
-                               proto::Outbox& done_out) {
+      [this, tasklet, attempt, ctx, accepted_at](proto::AttemptOutcome outcome,
+                                                 SimTime done_now,
+                                                 proto::Outbox& done_out) {
         inflight_.erase(attempt);
         switch (outcome.status) {
           case proto::AttemptStatus::kOk:
             ++stats_.completed;
+            TASKLETS_COUNT("provider.completed", 1);
             break;
           case proto::AttemptStatus::kTrap:
             ++stats_.trapped;
+            TASKLETS_COUNT("provider.trapped", 1);
             break;
           default:
             ++stats_.rejected;
+            TASKLETS_COUNT("provider.rejected", 1);
             break;
+        }
+        if (config_.trace != nullptr) {
+          Span span;
+          span.trace_id = ctx.trace_id;
+          span.parent_span = ctx.parent_span;
+          span.name = "execute";
+          span.node = id();
+          span.tasklet = tasklet;
+          span.start = accepted_at;
+          span.end = done_now;
+          span.args.emplace_back("status",
+                                 std::string(to_string(outcome.status)));
+          config_.trace->add(std::move(span));
         }
         proto::AttemptResult result;
         result.attempt = attempt;

@@ -16,6 +16,8 @@ namespace tasklets::provider {
 
 struct ProviderConfig {
   SimTime heartbeat_interval = 1 * kSecond;
+  // Span collector; nullptr disables tracing on this provider.
+  TraceStore* trace = nullptr;
 };
 
 struct ProviderAgentStats {

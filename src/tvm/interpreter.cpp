@@ -2,7 +2,10 @@
 
 #include <bit>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -31,6 +34,11 @@ class Machine {
   Status start(const std::vector<HostArg>& args);
   Status restore(std::span<const std::byte> snapshot);
   Result<SliceOutcome> run_slice(std::uint64_t fuel_slice);
+
+  void set_profile(ExecProfile* profile) noexcept { profile_ = profile; }
+  // Seeds the retired-instruction counter when resuming from a Suspension
+  // whose in-memory count survived (same-host slicing).
+  void set_instructions(std::uint64_t n) noexcept { instructions_ = n; }
 
  private:
   [[nodiscard]] Bytes snapshot() const;
@@ -102,6 +110,11 @@ class Machine {
   Result<HostArg> value_to_host(Value v) const;
 
   Status step();  // executes one instruction
+  // step() plus per-opcode timing into profile_. Kept out of step() so the
+  // unprofiled path carries no clock reads.
+  Status step_profiled();
+  // One step, dispatched on whether profiling is on.
+  Status advance() { return profile_ != nullptr ? step_profiled() : step(); }
 
   const Program& program_;
   const ExecLimits& limits_;
@@ -111,8 +124,10 @@ class Machine {
   std::vector<std::vector<Value>> heap_;
   std::uint64_t heap_cells_ = 0;
   std::uint64_t fuel_used_ = 0;
+  std::uint64_t instructions_ = 0;
   std::uint32_t peak_depth_ = 0;
   bool halted_ = false;
+  ExecProfile* profile_ = nullptr;
 };
 
 Status Machine::enter(std::uint32_t fn_idx, bool from_host,
@@ -225,10 +240,24 @@ Result<HostArg> Machine::value_to_host(Value v) const {
 }
 #pragma GCC diagnostic pop
 
+Status Machine::step_profiled() {
+  const OpCode op = frames_.back().fn->code[frames_.back().ip].op;
+  const auto begin = std::chrono::steady_clock::now();
+  const Status status = step();
+  const auto end = std::chrono::steady_clock::now();
+  ExecProfile::OpEntry& entry = profile_->ops[static_cast<std::size_t>(op)];
+  ++entry.count;
+  entry.nanos += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+  ++profile_->instructions;
+  return status;
+}
+
 Status Machine::step() {
   Frame& frame = frames_.back();
   const Instr instr = frame.fn->code[frame.ip++];
 
+  ++instructions_;
   ++fuel_used_;
   if (fuel_used_ > limits_.max_fuel) {
     return trap(StatusCode::kDeadlineExceeded, "fuel exhausted");
@@ -505,11 +534,12 @@ Status Machine::start(const std::vector<HostArg>& args) {
 Result<ExecOutcome> Machine::run(const std::vector<HostArg>& args) {
   TASKLETS_RETURN_IF_ERROR(start(args));
   while (!halted_) {
-    TASKLETS_RETURN_IF_ERROR(step());
+    TASKLETS_RETURN_IF_ERROR(advance());
   }
   ExecOutcome outcome;
   TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
   outcome.fuel_used = fuel_used_;
+  outcome.instructions = instructions_;
   outcome.peak_call_depth = peak_depth_;
   return outcome;
 }
@@ -523,13 +553,15 @@ Result<SliceOutcome> Machine::run_slice(std::uint64_t fuel_slice) {
       Suspension suspension;
       suspension.state = snapshot();
       suspension.fuel_used = fuel_used_;
+      suspension.instructions = instructions_;
       return SliceOutcome{std::move(suspension)};
     }
-    TASKLETS_RETURN_IF_ERROR(step());
+    TASKLETS_RETURN_IF_ERROR(advance());
   }
   ExecOutcome outcome;
   TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
   outcome.fuel_used = fuel_used_;
+  outcome.instructions = instructions_;
   outcome.peak_call_depth = peak_depth_;
   return SliceOutcome{std::move(outcome)};
 }
@@ -754,25 +786,67 @@ Status Machine::restore(std::span<const std::byte> snapshot_bytes) {
 
 }  // namespace
 
+void ExecProfile::merge(const ExecProfile& other) noexcept {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i].count += other.ops[i].count;
+    ops[i].nanos += other.ops[i].nanos;
+  }
+  instructions += other.instructions;
+}
+
+std::string ExecProfile::to_string() const {
+  // Opcodes hit, heaviest total time first.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].count > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return ops[a].nanos != ops[b].nanos ? ops[a].nanos > ops[b].nanos
+                                        : ops[a].count > ops[b].count;
+  });
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%-14s %12s %12s %8s\n", "opcode", "count",
+                "total_ns", "avg_ns");
+  out += buf;
+  for (const std::size_t i : order) {
+    const double avg =
+        static_cast<double>(ops[i].nanos) / static_cast<double>(ops[i].count);
+    std::snprintf(buf, sizeof buf, "%-14s %12llu %12llu %8.1f\n",
+                  std::string(op_info(static_cast<OpCode>(i)).name).c_str(),
+                  static_cast<unsigned long long>(ops[i].count),
+                  static_cast<unsigned long long>(ops[i].nanos), avg);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "instructions   %12llu\n",
+                static_cast<unsigned long long>(instructions));
+  out += buf;
+  return out;
+}
+
 Result<ExecOutcome> execute(const Program& program,
                             const std::vector<HostArg>& args,
-                            const ExecLimits& limits) {
+                            const ExecLimits& limits, ExecProfile* profile) {
   Machine machine(program, limits);
+  machine.set_profile(profile);
   return machine.run(args);
 }
 
 Result<ExecOutcome> verify_and_execute(const Program& program,
                                        const std::vector<HostArg>& args,
-                                       const ExecLimits& limits) {
+                                       const ExecLimits& limits,
+                                       ExecProfile* profile) {
   TASKLETS_RETURN_IF_ERROR(verify(program));
-  return execute(program, args, limits);
+  return execute(program, args, limits, profile);
 }
 
 Result<SliceOutcome> execute_slice(const Program& program,
                                    const std::vector<HostArg>& args,
                                    const ExecLimits& limits,
-                                   std::uint64_t fuel_slice) {
+                                   std::uint64_t fuel_slice,
+                                   ExecProfile* profile) {
   Machine machine(program, limits);
+  machine.set_profile(profile);
   TASKLETS_RETURN_IF_ERROR(machine.start(args));
   return machine.run_slice(fuel_slice);
 }
@@ -795,10 +869,13 @@ Result<std::uint64_t> snapshot_fuel(std::span<const std::byte> state) {
 Result<SliceOutcome> resume_slice(const Program& program,
                                   const Suspension& suspension,
                                   const ExecLimits& limits,
-                                  std::uint64_t fuel_slice) {
+                                  std::uint64_t fuel_slice,
+                                  ExecProfile* profile) {
   Machine machine(program, limits);
+  machine.set_profile(profile);
   TASKLETS_RETURN_IF_ERROR(machine.restore(std::span<const std::byte>(
       suspension.state.data(), suspension.state.size())));
+  machine.set_instructions(suspension.instructions);
   return machine.run_slice(fuel_slice);
 }
 

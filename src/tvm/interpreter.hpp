@@ -10,11 +10,14 @@
 // virtual service time via a device's speed factor.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
 #include "tvm/marshal.hpp"
+#include "tvm/opcode.hpp"
 #include "tvm/program.hpp"
 
 namespace tasklets::tvm {
@@ -29,7 +32,26 @@ struct ExecLimits {
 struct ExecOutcome {
   HostArg result;
   std::uint64_t fuel_used = 0;
+  // Instructions retired. Unlike fuel this is plain per-run accounting: it
+  // is NOT persisted in migration snapshots and restarts from 0 on resume.
+  std::uint64_t instructions = 0;
   std::uint32_t peak_call_depth = 0;
+};
+
+// Optional per-opcode execution profile. Pass a pointer to execute()/
+// execute_slice()/resume_slice() to turn profiling on; it adds a
+// steady_clock read per instruction, so keep it off in benchmarks.
+struct ExecProfile {
+  struct OpEntry {
+    std::uint64_t count = 0;
+    std::uint64_t nanos = 0;
+  };
+  std::array<OpEntry, kNumOpCodes> ops{};
+  std::uint64_t instructions = 0;
+
+  void merge(const ExecProfile& other) noexcept;
+  // Table of opcodes hit, sorted by total time, with count/total/avg columns.
+  [[nodiscard]] std::string to_string() const;
 };
 
 // Runs the program's entry function. The caller is responsible for having
@@ -45,12 +67,13 @@ struct ExecOutcome {
 //   kInvalidArgument    — argument count mismatch with entry arity
 [[nodiscard]] Result<ExecOutcome> execute(const Program& program,
                                           const std::vector<HostArg>& args,
-                                          const ExecLimits& limits = {});
+                                          const ExecLimits& limits = {},
+                                          ExecProfile* profile = nullptr);
 
 // Convenience: verify + execute.
 [[nodiscard]] Result<ExecOutcome> verify_and_execute(
     const Program& program, const std::vector<HostArg>& args,
-    const ExecLimits& limits = {});
+    const ExecLimits& limits = {}, ExecProfile* profile = nullptr);
 
 // --- Resumable execution: the tasklet-migration substrate ---------------------
 //
@@ -72,6 +95,9 @@ struct ExecOutcome {
 struct Suspension {
   Bytes state;                  // opaque "TSNP" encoding of the machine
   std::uint64_t fuel_used = 0;  // fuel consumed so far (scheduling input)
+  // Instructions retired so far. In-memory only — not part of `state`, so
+  // it survives same-host slicing but resets to 0 across a migration.
+  std::uint64_t instructions = 0;
 };
 
 using SliceOutcome = std::variant<ExecOutcome, Suspension>;
@@ -82,13 +108,15 @@ using SliceOutcome = std::variant<ExecOutcome, Suspension>;
 [[nodiscard]] Result<SliceOutcome> execute_slice(const Program& program,
                                                  const std::vector<HostArg>& args,
                                                  const ExecLimits& limits,
-                                                 std::uint64_t fuel_slice);
+                                                 std::uint64_t fuel_slice,
+                                                 ExecProfile* profile = nullptr);
 
 // Continues a suspended execution, on any host holding the same program.
 [[nodiscard]] Result<SliceOutcome> resume_slice(const Program& program,
                                                 const Suspension& suspension,
                                                 const ExecLimits& limits,
-                                                std::uint64_t fuel_slice);
+                                                std::uint64_t fuel_slice,
+                                                ExecProfile* profile = nullptr);
 
 // Reads the fuel-consumed-so-far field out of snapshot bytes without
 // restoring the machine (schedulers use it to charge only remaining work).

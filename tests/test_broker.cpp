@@ -102,7 +102,7 @@ class BrokerHarness {
     spec.body = SyntheticBody{1000, result, 64};
     spec.qoc = qoc;
     spec.origin_locality = std::move(origin);
-    deliver(kConsumer, SubmitTasklet{std::move(spec)});
+    deliver(kConsumer, SubmitTasklet{std::move(spec), {}});
     return TaskletId{next_tasklet_.value() - 1};
   }
 
@@ -810,8 +810,8 @@ TEST(BrokerTest, DuplicateSubmitIsFencedWhileRunning) {
   spec.id = TaskletId{1};
   spec.job = JobId{1};
   spec.body = SyntheticBody{1000, 7, 64};
-  h.deliver(kConsumer, SubmitTasklet{spec});
-  h.deliver(kConsumer, SubmitTasklet{spec});  // consumer resubmission retransmit
+  h.deliver(kConsumer, SubmitTasklet{spec, {}});
+  h.deliver(kConsumer, SubmitTasklet{spec, {}});  // consumer resubmission retransmit
   EXPECT_EQ(h.all_sent<AssignTasklet>().size(), 1u);
   EXPECT_EQ(h.broker().stats().tasklets_submitted, 1u);
   EXPECT_EQ(h.broker().stats().duplicate_submits, 1u);
@@ -824,14 +824,14 @@ TEST(BrokerTest, DuplicateSubmitAfterConclusionReplaysFinalReport) {
   spec.id = TaskletId{1};
   spec.job = JobId{1};
   spec.body = SyntheticBody{1000, 42, 64};
-  h.deliver(kConsumer, SubmitTasklet{spec});
+  h.deliver(kConsumer, SubmitTasklet{spec, {}});
   const auto assigns = h.sent_to<AssignTasklet>(NodeId{2});
   ASSERT_EQ(assigns.size(), 1u);
   h.complete(NodeId{2}, assigns[0], 42);
   h.clear_sent();
 
   // The retransmit must not re-run anything: the retained report is replayed.
-  h.deliver(kConsumer, SubmitTasklet{spec});
+  h.deliver(kConsumer, SubmitTasklet{spec, {}});
   EXPECT_TRUE(h.all_sent<AssignTasklet>().empty());
   const auto done = h.sent_to<TaskletDone>(kConsumer);
   ASSERT_EQ(done.size(), 1u);
@@ -916,7 +916,7 @@ TEST(BrokerTest, NewIncarnationReregisterRestartsInflightWork) {
   EXPECT_EQ(h.broker().stats().attempts_lost, 1u);
   EXPECT_EQ(h.broker().stats().reissues, 1u);
   // The stale attempt is fenced: a result from before the restart is ignored.
-  h.complete(NodeId{2}, AssignTasklet{first, assigns[0].second.tasklet, {}, 0, {}},
+  h.complete(NodeId{2}, AssignTasklet{first, assigns[0].second.tasklet, {}, 0, {}, {}},
              999);
   EXPECT_TRUE(h.sent_to<TaskletDone>(kConsumer).empty());
   EXPECT_GE(h.broker().stats().duplicate_results, 1u);

@@ -8,10 +8,12 @@
 // an at-least-once wire.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 
 #include "chaos_harness.hpp"
+#include "common/trace.hpp"
 #include "net/fault.hpp"
 #include "net/inproc.hpp"
 
@@ -184,6 +186,135 @@ TEST(ChaosEndToEnd, PartitionTriggersHeartbeatReassignment) {
   EXPECT_GE(stats.providers_expired, 1u);
   EXPECT_GE(stats.attempts_issued, 2u);
   EXPECT_EQ(report.executed_by, second);
+}
+
+// --- tracing under faults ---------------------------------------------------------
+
+const Span* first_named(const std::vector<Span>& spans, std::string_view name) {
+  for (const auto& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+// Same heartbeat-expiry scenario as above, now with tracing on: the retried
+// tasklet's trace must show the whole recovery — submit, schedule, execute,
+// a retry event after the first placement, and the terminal report — in
+// causal order, all linked to the consumer's root span.
+TEST(ChaosTracing, RetriedTaskletTraceShowsRecoveryInCausalOrder) {
+  auto config = chaos_config(FaultPlan{});
+  config.tracing = true;
+  config.broker.attempt_timeout = 600 * kSecond;
+  config.consumer.max_resubmits = 1000;
+  auto system = TaskletSystem(std::move(config));
+  const NodeId first = system.add_provider();
+
+  auto future = system.submit(spin_body(4'000'000));
+  ASSERT_TRUE(await([&] { return system.broker_stats().attempts_issued >= 1; }))
+      << "attempt never issued";
+  ASSERT_NE(system.faults(), nullptr);
+  system.faults()->partition(first, system.broker_id());
+  system.add_provider();
+
+  const auto report = get_or_die(future, std::chrono::seconds(300));
+  ASSERT_EQ(report.status, TaskletStatus::kCompleted) << report.error;
+
+  ASSERT_NE(system.trace_store(), nullptr);
+  const std::vector<Span> spans = system.trace_store()->spans_for(report.id);
+  ASSERT_FALSE(spans.empty());
+  for (const Span& span : spans) {
+    EXPECT_EQ(span.trace_id, report.id.value()) << span.name;
+  }
+
+  // The consumer's root span opens the trace and covers the whole lifecycle.
+  const Span& root = spans.front();
+  ASSERT_EQ(root.name, "submit");
+  EXPECT_EQ(root.parent_span, 0u);
+  EXPECT_FALSE(root.instant);
+
+  const Span* schedule = first_named(spans, "schedule");
+  const Span* attempt = first_named(spans, "attempt");
+  const Span* execute = first_named(spans, "execute");
+  const Span* vm = first_named(spans, "vm");
+  const Span* retry = first_named(spans, "retry");
+  const Span* terminal = first_named(spans, "report");
+  ASSERT_NE(schedule, nullptr);
+  ASSERT_NE(attempt, nullptr);
+  ASSERT_NE(execute, nullptr);
+  ASSERT_NE(vm, nullptr);
+  ASSERT_NE(retry, nullptr) << "heartbeat expiry never re-issued the attempt";
+  ASSERT_NE(terminal, nullptr);
+
+  // Causal order against the runtime's shared clock: submit -> schedule ->
+  // execute, the retry strictly after the first placement, and the terminal
+  // report inside the root span.
+  EXPECT_LE(root.start, schedule->start);
+  EXPECT_LE(schedule->start, execute->start);
+  EXPECT_GT(retry->start, schedule->start);
+  EXPECT_LE(terminal->start, root.end);
+  // Attempts hang off the consumer's root span (the broker's parent link).
+  EXPECT_EQ(attempt->parent_span, root.span_id);
+
+  // One schedule decision per placement: the fenced attempt and its retry.
+  const auto schedules = std::count_if(
+      spans.begin(), spans.end(),
+      [](const Span& span) { return span.name == "schedule"; });
+  EXPECT_GE(schedules, 2);
+
+  // The whole store exports well-formed Chrome trace JSON.
+  const std::string json = system.trace_store()->export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// A graceful drain mid-execution checkpoints the tasklet and migrates it:
+// the trace must show the suspended execution, the broker's migrate event
+// and the resumed execution in causal order.
+TEST(ChaosTracing, MigratedTaskletTraceShowsMigrationSpans) {
+  SystemConfig config;
+  config.tracing = true;
+  auto system = TaskletSystem(std::move(config));
+  const NodeId first = system.add_provider();
+
+  auto future = system.submit(spin_body(4'000'000));
+  std::this_thread::sleep_for(50ms);
+  system.add_provider();
+  std::this_thread::sleep_for(50ms);
+  system.drain_provider(first);
+
+  const auto report = get_or_die(future, std::chrono::seconds(300));
+  ASSERT_EQ(report.status, TaskletStatus::kCompleted) << report.error;
+  if (system.broker_stats().migrations == 0) {
+    GTEST_SKIP() << "tasklet finished before the drain landed (fast machine)";
+  }
+
+  ASSERT_NE(system.trace_store(), nullptr);
+  const std::vector<Span> spans = system.trace_store()->spans_for(report.id);
+  const Span* migrate = first_named(spans, "migrate");
+  ASSERT_NE(migrate, nullptr);
+  EXPECT_TRUE(migrate->instant);
+  EXPECT_TRUE(std::any_of(
+      migrate->args.begin(), migrate->args.end(),
+      [](const auto& kv) { return kv.first == "snapshot_bytes"; }));
+
+  // The checkpointed execution precedes the migration decision, which
+  // precedes the end of the resumed execution.
+  const Span* suspended = nullptr;
+  const Span* resumed = nullptr;
+  for (const Span& span : spans) {
+    if (span.name != "execute") continue;
+    for (const auto& [key, value] : span.args) {
+      if (key != "status") continue;
+      if (value == "suspended") suspended = &span;
+      if (value == "ok") resumed = &span;
+    }
+  }
+  ASSERT_NE(suspended, nullptr);
+  ASSERT_NE(resumed, nullptr);
+  EXPECT_LE(suspended->end, migrate->start);
+  EXPECT_LE(migrate->start, resumed->end);
 }
 
 // --- TCP transport ----------------------------------------------------------------

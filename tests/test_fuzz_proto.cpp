@@ -107,7 +107,7 @@ std::vector<proto::Envelope> envelope_corpus() {
   corpus.push_back({a, b, Heartbeat{2, 5}});
   corpus.push_back({a, b, AttemptResult{AttemptId{9}, TaskletId{7}, ok_outcome}});
   corpus.push_back({a, b, AttemptResult{AttemptId{9}, TaskletId{7}, suspended}});
-  corpus.push_back({a, b, SubmitTasklet{std::move(spec)}});
+  corpus.push_back({a, b, SubmitTasklet{std::move(spec), TraceContext{7, 9}}});
   corpus.push_back({a, b, CancelTasklet{TaskletId{7}}});
   corpus.push_back({a, b, std::move(assign)});
   corpus.push_back({a, b, TaskletDone{std::move(report)}});

@@ -1,0 +1,336 @@
+// Tests for the observability stack: the metrics registry (common/metrics),
+// quantile edge cases in the estimators it builds on (common/stats), the
+// trace store + Chrome export (common/trace) and the structured logger's
+// pluggable sink (common/log).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+
+namespace tasklets {
+namespace {
+
+// The registry is process-global; each test starts from a clean slate.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::MetricsRegistry::instance().reset();
+    metrics::set_enabled(true);
+  }
+  void TearDown() override { metrics::set_enabled(true); }
+};
+
+TEST_F(MetricsTest, CounterGaugeHistogramBasics) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  auto& counter = registry.counter("t.counter");
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+
+  auto& gauge = registry.gauge("t.gauge");
+  gauge.set(7);
+  gauge.add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+
+  auto& hist = registry.histogram("t.hist");
+  for (int i = 1; i <= 100; ++i) hist.observe(static_cast<double>(i));
+  const LogHistogram snap = hist.snapshot();
+  EXPECT_EQ(snap.count(), 100u);
+  EXPECT_GT(snap.quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, RegistryReferencesAreStableAcrossInsertions) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  metrics::Counter& first = registry.counter("stable.first");
+  first.inc();
+  // Later insertions must not invalidate the earlier handle (node storage).
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter("stable.fill." + std::to_string(i)).inc();
+  }
+  first.inc();
+  EXPECT_EQ(&first, &registry.counter("stable.first"));
+  EXPECT_EQ(registry.counter("stable.first").value(), 2u);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAggregate) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncsPerThread; ++i) {
+        // Lookup in the loop: exercises the registry lock, not just the
+        // atomic.
+        registry.counter("concurrent.hits").inc();
+        registry.histogram("concurrent.lat").observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("concurrent.hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+  EXPECT_EQ(registry.histogram("concurrent.lat").snapshot().count(),
+            static_cast<std::size_t>(kThreads) * kIncsPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotLooksUpNamesAndDefaultsMissingToZero) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  registry.counter("snap.count").inc(5);
+  registry.gauge("snap.depth").set(-2);
+  registry.histogram("snap.lat").observe(100.0);
+
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter("snap.count"), 5u);
+  EXPECT_EQ(snapshot.gauge("snap.depth"), -2);
+  EXPECT_EQ(snapshot.counter("no.such.metric"), 0u);
+  EXPECT_EQ(snapshot.gauge("no.such.metric"), 0);
+  // reset() zeroes entries but keeps them registered (handles are stable for
+  // the process lifetime), so look the histogram up by name.
+  const auto it = std::find_if(
+      snapshot.histograms.begin(), snapshot.histograms.end(),
+      [](const auto& h) { return h.name == "snap.lat"; });
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->count, 1u);
+}
+
+TEST_F(MetricsTest, TextAndJsonRenderings) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  registry.counter("render.count").inc(3);
+  registry.gauge("render.gauge").set(9);
+  registry.histogram("render.hist").observe(50.0);
+
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  const std::string text = snapshot.to_text();
+  EXPECT_NE(text.find("render.count 3"), std::string::npos);
+  EXPECT_NE(text.find("render.gauge 9"), std::string::npos);
+  EXPECT_NE(text.find("render.hist"), std::string::npos);
+
+  const std::string json = snapshot.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"render.count\":3"), std::string::npos);
+  // Crude structural sanity: braces balance.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(MetricsTest, DisableFlagGatesTheMacros) {
+  metrics::set_enabled(false);
+  TASKLETS_COUNT("gated.count", 1);
+  TASKLETS_GAUGE_SET("gated.gauge", 5);
+  TASKLETS_OBSERVE("gated.hist", 1.0);
+  metrics::set_enabled(true);
+  const metrics::MetricsSnapshot snapshot =
+      metrics::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snapshot.counter("gated.count"), 0u);
+  EXPECT_EQ(snapshot.gauge("gated.gauge"), 0);
+
+  TASKLETS_COUNT("gated.count", 2);
+  EXPECT_EQ(metrics::MetricsRegistry::instance().counter("gated.count").value(),
+            2u);
+}
+
+TEST(QuantileEdgeCases, SamplerEmptyAndOutOfRangeQ) {
+  Sampler empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(-1.0), 0.0);
+  EXPECT_EQ(empty.quantile(2.0), 0.0);
+
+  Sampler one;
+  one.add(7.0);
+  EXPECT_EQ(one.quantile(0.0), 7.0);
+  EXPECT_EQ(one.quantile(0.5), 7.0);
+  EXPECT_EQ(one.quantile(1.0), 7.0);
+  // Out-of-range and NaN quantiles clamp instead of indexing out of bounds.
+  EXPECT_EQ(one.quantile(-3.0), 7.0);
+  EXPECT_EQ(one.quantile(42.0), 7.0);
+  EXPECT_EQ(one.quantile(std::numeric_limits<double>::quiet_NaN()), 7.0);
+
+  Sampler many;
+  for (int i = 1; i <= 9; ++i) many.add(static_cast<double>(i));
+  EXPECT_EQ(many.quantile(-0.5), 1.0);   // clamps to the minimum
+  EXPECT_EQ(many.quantile(1.5), 9.0);    // clamps to the maximum
+  EXPECT_EQ(many.quantile(0.5), 5.0);
+  EXPECT_EQ(many.quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
+}
+
+TEST(QuantileEdgeCases, LogHistogramEmptyAndOutOfRangeQ) {
+  LogHistogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(-1.0), 0.0);
+  EXPECT_EQ(empty.quantile(2.0), 0.0);
+
+  LogHistogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.add(static_cast<double>(i));
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1000.0);
+  // Clamped extremes stay within the observed range.
+  EXPECT_LE(hist.quantile(5.0), 1000.0);
+  EXPECT_GE(hist.quantile(-5.0), 0.0);
+  EXPECT_LE(hist.quantile(std::numeric_limits<double>::quiet_NaN()), 1000.0);
+}
+
+TEST(TraceTest, SpanIdsAreNonZeroAndUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(TraceTest, SpansForFiltersAndOrdersCausally) {
+  TraceStore store;
+  const TaskletId tasklet{7};
+  const TaskletId other{8};
+  auto make_span = [&](std::string name, SimTime start, SimTime end,
+                       TaskletId id) {
+    Span span;
+    span.trace_id = id.value();
+    span.name = std::move(name);
+    span.tasklet = id;
+    span.start = start;
+    span.end = end;
+    return span;
+  };
+  // Inserted out of causal order on purpose.
+  store.add(make_span("execute", 200, 300, tasklet));
+  store.add(make_span("submit", 0, 400, tasklet));
+  store.add(make_span("queue", 50, 150, tasklet));
+  store.add(make_span("submit", 10, 20, other));
+  store.instant(TraceContext{tasklet.value(), 0}, "schedule", NodeId{1},
+                tasklet, 150);
+
+  const std::vector<Span> spans = store.spans_for(tasklet);
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "submit");
+  EXPECT_EQ(spans[1].name, "queue");
+  EXPECT_EQ(spans[2].name, "schedule");
+  EXPECT_TRUE(spans[2].instant);
+  EXPECT_EQ(spans[3].name, "execute");
+  EXPECT_EQ(store.size(), 5u);
+}
+
+TEST(TraceTest, CapacityCapCountsDropsInsteadOfGrowing) {
+  TraceStore store(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    Span span;
+    span.name = "s" + std::to_string(i);
+    store.add(std::move(span));
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dropped(), 3u);
+}
+
+TEST(TraceTest, ChromeExportRendersCompleteAndInstantEvents) {
+  TraceStore store;
+  Span span;
+  span.trace_id = 1;
+  span.span_id = 10;
+  span.name = "submit";
+  span.node = NodeId{2};
+  span.tasklet = TaskletId{1};
+  span.start = 1000;
+  span.end = 5000;
+  span.args.emplace_back("status", "completed");
+  store.add(std::move(span));
+  store.instant(TraceContext{1, 10}, "retry", NodeId{3}, TaskletId{1}, 2500,
+                {{"reason", "lost"}});
+
+  const std::string json = store.export_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":4.000"), std::string::npos);  // ns -> us
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"lost\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":10"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceTest, ExportEscapesJsonMetacharacters) {
+  TraceStore store;
+  Span span;
+  span.name = "quote\"back\\slash\nnewline";
+  store.add(std::move(span));
+  const std::string json = store.export_chrome_json();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"), std::string::npos);
+}
+
+TEST(LogTest, RingBufferSinkCapturesStructuredFields) {
+  auto sink = std::make_shared<RingBufferSink>();
+  Logger::instance().set_sink(sink);
+  const LogLevel saved = Logger::instance().level();
+  Logger::instance().set_level(LogLevel::kInfo);
+
+  TASKLETS_LOG(kInfo, "test-component").kv("tasklet", 7).kv("provider", "n2")
+      << "placed";
+
+  Logger::instance().set_level(saved);
+  Logger::instance().set_sink(nullptr);  // restore stderr
+
+  ASSERT_EQ(sink->lines().size(), 1u);
+  EXPECT_TRUE(sink->contains("test-component"));
+  EXPECT_TRUE(sink->contains("placed"));
+  EXPECT_TRUE(sink->contains("tasklet=7"));
+  EXPECT_TRUE(sink->contains("provider=n2"));
+}
+
+TEST(LogTest, RingBufferSinkEvictsOldestBeyondCapacity) {
+  RingBufferSink sink(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    LogRecord record;
+    record.component = "c";
+    const std::string message = "line" + std::to_string(i);
+    record.message = message;
+    sink.write(record);
+  }
+  EXPECT_EQ(sink.lines().size(), 3u);
+  EXPECT_FALSE(sink.contains("line0"));
+  EXPECT_FALSE(sink.contains("line1"));
+  EXPECT_TRUE(sink.contains("line2"));
+  EXPECT_TRUE(sink.contains("line4"));
+}
+
+TEST(LogTest, FormatIncludesTimestampThreadAndFields) {
+  LogRecord record;
+  record.level = LogLevel::kWarn;
+  record.component = "broker";
+  record.message = "late result";
+  record.fields = " attempt=9";
+  record.timestamp = 1'234'567'000;  // 1.234567 s
+  record.thread_id = 3;
+  const std::string line = format_record(record);
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("1.234567"), std::string::npos);
+  EXPECT_NE(line.find("t3"), std::string::npos);
+  EXPECT_NE(line.find("broker"), std::string::npos);
+  EXPECT_NE(line.find("late result attempt=9"), std::string::npos);
+}
+
+TEST(LogTest, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {
+  const std::uint64_t mine = log_thread_id();
+  EXPECT_EQ(log_thread_id(), mine);  // stable within a thread
+  std::uint64_t theirs = 0;
+  std::thread([&theirs] { theirs = log_thread_id(); }).join();
+  EXPECT_NE(theirs, 0u);
+  EXPECT_NE(theirs, mine);
+}
+
+}  // namespace
+}  // namespace tasklets

@@ -124,7 +124,7 @@ class BrokerFuzzer {
     spec.qoc.redundancy = static_cast<std::uint8_t>(1 + rng_.next_below(3));
     spec.qoc.max_reissues = static_cast<std::uint8_t>(rng_.next_below(4));
     submitted_.insert(spec.id);
-    deliver(kConsumer, SubmitTasklet{std::move(spec)});
+    deliver(kConsumer, SubmitTasklet{std::move(spec), {}});
   }
 
   void fire_scan() {
@@ -372,7 +372,7 @@ class ChaosBrokerFuzzer {
     spec.qoc.redundancy = static_cast<std::uint8_t>(1 + rng_.next_below(3));
     spec.qoc.max_reissues = static_cast<std::uint8_t>(rng_.next_below(4));
     specs_.emplace(spec.id, spec);
-    channel_in(kConsumer, SubmitTasklet{std::move(spec)});
+    channel_in(kConsumer, SubmitTasklet{std::move(spec), {}});
   }
 
   // The at-least-once consumer: re-send a random retained spec, reported or
@@ -381,7 +381,7 @@ class ChaosBrokerFuzzer {
     if (specs_.empty()) return;
     auto it = specs_.begin();
     std::advance(it, static_cast<long>(rng_.next_below(specs_.size())));
-    channel_in(kConsumer, SubmitTasklet{it->second});
+    channel_in(kConsumer, SubmitTasklet{it->second, {}});
   }
 
   void heartbeat_all() {
@@ -499,7 +499,7 @@ class ChaosBrokerFuzzer {
         resolve_one(/*always_ok=*/true);
       }
       for (const auto& [id, spec] : specs_) {
-        if (!first_report_.contains(id)) channel_in(kConsumer, SubmitTasklet{spec});
+        if (!first_report_.contains(id)) channel_in(kConsumer, SubmitTasklet{spec, {}});
       }
       fire_scan();
       if (delayed_.empty() && unresolved_.empty() &&

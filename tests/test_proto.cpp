@@ -155,7 +155,8 @@ TEST(ProtoCodec, RejectsTruncatedFrames) {
   const Bytes wire = encode({NodeId{1}, NodeId{2},
                              SubmitTasklet{TaskletSpec{
                                  TaskletId{1}, JobId{1},
-                                 SyntheticBody{100, 5, 64}, Qoc{}, "x"}}});
+                                 SyntheticBody{100, 5, 64}, Qoc{}, "x"},
+                                 TraceContext{}}});
   for (std::size_t cut = 1; cut < wire.size(); ++cut) {
     const std::span<const std::byte> prefix(wire.data(), cut);
     EXPECT_FALSE(decode(prefix).is_ok()) << "cut=" << cut;

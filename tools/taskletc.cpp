@@ -4,8 +4,9 @@
 //       Compile + verify a TCL source file to a portable bytecode file.
 //   taskletc dis <file.tvm | file.tcl>
 //       Print the bytecode listing (compiles first when given source).
-//   taskletc run <file.tcl | file.tvm> [ARG...]
-//       Execute locally in the TVM and print result + fuel.
+//   taskletc run <file.tcl | file.tvm> [ARG...] [--profile]
+//       Execute locally in the TVM and print result + fuel. With --profile,
+//       also print the per-opcode execution profile (counts + cycle time).
 //   taskletc exec <file.tcl | file.tvm> [ARG...] [--providers N] [--redundancy R]
 //       Execute through the full middleware (broker + N in-process providers).
 //
@@ -34,7 +35,7 @@ int usage() {
                "usage:\n"
                "  taskletc build <file.tcl> [-o out.tvm] [--entry NAME]\n"
                "  taskletc dis   <file.tvm|file.tcl>\n"
-               "  taskletc run   <file.tcl|file.tvm> [ARG...]\n"
+               "  taskletc run   <file.tcl|file.tvm> [ARG...] [--profile]\n"
                "  taskletc exec  <file.tcl|file.tvm> [ARG...] [--providers N]"
                " [--redundancy R]\n");
   return 2;
@@ -187,6 +188,10 @@ Result<std::vector<tvm::HostArg>> parse_args(const std::vector<std::string>& tok
 
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
+  bool want_profile = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--profile") want_profile = true;
+  }
   auto program = load_program(args[0]);
   if (!program.is_ok()) {
     std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
@@ -198,14 +203,18 @@ int cmd_run(const std::vector<std::string>& args) {
     std::fprintf(stderr, "%s\n", call_args.status().to_string().c_str());
     return 1;
   }
-  const auto outcome = tvm::execute(*program, *call_args);
+  tvm::ExecProfile profile;
+  const auto outcome = tvm::execute(*program, *call_args, {},
+                                    want_profile ? &profile : nullptr);
   if (!outcome.is_ok()) {
     std::fprintf(stderr, "trap: %s\n", outcome.status().to_string().c_str());
+    if (want_profile) std::fputs(profile.to_string().c_str(), stderr);
     return 1;
   }
   print_result(outcome->result);
   std::fprintf(stderr, "fuel: %llu\n",
                static_cast<unsigned long long>(outcome->fuel_used));
+  if (want_profile) std::fputs(profile.to_string().c_str(), stderr);
   return 0;
 }
 
