@@ -23,8 +23,8 @@ int main() {
   constexpr int kMaxIter = 96;
 
   header("E2", "speedup vs provider count (mandelbrot 192x96, row tasklets)");
-  line("%10s %10s %12s %10s %12s", "providers", "slots", "makespan(s)",
-       "speedup", "efficiency");
+  line("%10s %10s %12s %10s %12s %14s", "providers", "slots", "makespan(s)",
+       "speedup", "efficiency", "wire(B/task)");
 
   double baseline = 0.0;
   for (const std::size_t providers : {1, 2, 4, 8, 16, 32, 64, 96, 128}) {
@@ -50,10 +50,15 @@ int main() {
     if (providers == 1) baseline = metrics.makespan_s;
     const double speedup = baseline / metrics.makespan_s;
     const double efficiency = speedup / static_cast<double>(providers);
-    line("%10zu %10zu %12.3f %10.2f %12.2f", providers, providers,
-         metrics.makespan_s, speedup, efficiency);
-    line("csv,E2,%zu,%.4f,%.3f,%.3f", providers, metrics.makespan_s, speedup,
-         efficiency);
+    // All traffic the job put on the (virtual) wire, per tasklet — submits,
+    // assigns, results, heartbeats. The dedup study proper is E9; this
+    // column shows the steady-state cost the row fan-out pays.
+    const double wire_per_task =
+        static_cast<double>(cluster.wire_bytes()) / kHeight;
+    line("%10zu %10zu %12.3f %10.2f %12.2f %14.0f", providers, providers,
+         metrics.makespan_s, speedup, efficiency, wire_per_task);
+    line("csv,E2,%zu,%.4f,%.3f,%.3f,%.0f", providers, metrics.makespan_s,
+         speedup, efficiency, wire_per_task);
   }
 
   line("");

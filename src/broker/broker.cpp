@@ -41,7 +41,9 @@ Broker::Broker(NodeId id, std::unique_ptr<Scheduler> scheduler, BrokerConfig con
     : Actor(id),
       scheduler_(std::move(scheduler)),
       config_(config),
-      rng_(config.rng_seed) {}
+      rng_(config.rng_seed),
+      blobs_(config.blob_budget_bytes),
+      memo_(config.memo_entries) {}
 
 void Broker::on_start(SimTime, proto::Outbox& out) {
   out.arm_timer(kScanTimer, config_.scan_interval);
@@ -84,6 +86,10 @@ void Broker::on_message(const proto::Envelope& envelope, SimTime now,
           handle_cancel(m, now);
         } else if constexpr (std::is_same_v<T, proto::AttemptResult>) {
           handle_attempt_result(envelope.from, m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::FetchProgram>) {
+          handle_fetch_program(envelope.from, m, out);
+        } else if constexpr (std::is_same_v<T, proto::ProgramData>) {
+          handle_program_data(m, now, out);
         } else {
           TASKLETS_LOG(kWarn, kLog)
               << "unexpected message " << proto::message_name(envelope.payload);
@@ -215,6 +221,45 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         }
       }
     }
+    // Program fetches (r3): FetchProgram to the consumer is at-least-once —
+    // re-send on the scan cadence for submissions still parked, and fail
+    // those past the fetch grace (the consumer is gone or keeps losing
+    // frames; without the bytes the tasklet can never run).
+    if (!awaiting_program_.empty()) {
+      std::vector<TaskletId> fetch_failed;
+      for (auto it = awaiting_program_.begin();
+           it != awaiting_program_.end();) {
+        auto& waiting = it->second;
+        std::erase_if(waiting, [&](TaskletId id) {
+          const auto tit = tasklets_.find(id);
+          return tit == tasklets_.end() || tit->second.done ||
+                 !tit->second.awaiting_program;
+        });
+        NodeId refetch_consumer;
+        for (const TaskletId id : waiting) {
+          const TaskletState& state = tasklets_.at(id);
+          if (now - state.fetch_started > config_.program_fetch_grace) {
+            fetch_failed.push_back(id);
+          } else {
+            refetch_consumer = state.consumer;
+          }
+        }
+        if (refetch_consumer.valid()) {
+          ++stats_.program_fetches;
+          TASKLETS_COUNT("broker.store.program_fetches", 1);
+          out.send(refetch_consumer, proto::FetchProgram{it->first});
+        }
+        it = waiting.empty() ? awaiting_program_.erase(it) : ++it;
+      }
+      for (const TaskletId id : fetch_failed) {
+        auto& state = tasklets_.at(id);
+        if (state.done) continue;
+        state.awaiting_program = false;
+        ++stats_.tasklets_exhausted;
+        fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
+                     "program fetch failed", now, out);
+      }
+    }
     out.arm_timer(kScanTimer, config_.scan_interval);
     return;
   }
@@ -250,6 +295,12 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
     // restarted: anything the broker still thinks is running there died
     // with the previous incarnation.
     on_provider_lost(from, now, out);
+  }
+  if (rejoin) {
+    // The program cache died with the old process: forget the warm set so
+    // affinity scheduling doesn't send digests the provider cannot resolve.
+    p.warm.clear();
+    p.warm_order.clear();
   }
   p.view.id = from;
   p.view.capability = m.capability;
@@ -334,6 +385,10 @@ void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime n
   if (m.spec.qoc.deadline > 0) {
     out.arm_timer(kDeadlineTimerBit | id.value(), m.spec.qoc.deadline);
   }
+  // Content store (r3): digest the body, answer from the memo, intern the
+  // program. A memo hit concluded the tasklet; a DigestBody with unknown
+  // bytes is parked until the consumer answers our FetchProgram.
+  if (resolve_body(id, state, now, out)) return;
   while (state.replicas_pending > 0 && try_place_replica(id, now, out).valid()) {
   }
   for (std::uint32_t i = 0; i < tasklets_.at(id).replicas_pending; ++i) {
@@ -346,6 +401,7 @@ void Broker::handle_cancel(const proto::CancelTasklet& m, SimTime) {
   if (it == tasklets_.end() || it->second.done) return;
   // Mark done; in-flight results will be ignored, queued replicas skipped.
   it->second.done = true;
+  release_program_ref(it->second);
 }
 
 // Whether a provider's static capability satisfies the tasklet's QoC filter
@@ -393,6 +449,10 @@ std::vector<ProviderView> Broker::eligible_providers(const TaskletState& state) 
     if (inflight_here) continue;
     ProviderView view = p.view;
     view.busy_slots = static_cast<std::uint32_t>(p.inflight.size());
+    // Cache affinity: only meaningful when digest assignment is on — with it
+    // off every assign ships the full program anyway.
+    view.warm = config_.dedup_assign && state.program_digest.valid() &&
+                p.warm.contains(state.program_digest);
     eligible.push_back(std::move(view));
   }
   // Soft rule: prefer providers this tasklet has never touched — retries
@@ -466,7 +526,7 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
   proto::AssignTasklet assign;
   assign.attempt = attempt;
   assign.tasklet = id;
-  assign.body = state.spec.body;
+  assign.body = make_assign_body(state, provider);
   assign.max_fuel = config_.default_max_fuel;
   // Migrated work resumes from the latest checkpoint (single-replica only;
   // redundant tasklets never migrate, so this stays empty for them).
@@ -615,6 +675,14 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       // An instant "no": the provider had no slot or was offline. Re-place
       // under the (larger) rejection budget — the QoC re-issue budget is for
       // work actually lost.
+      // Whatever the reason, stop believing the provider's cache holds this
+      // program — "program unavailable" rejections in particular mean its
+      // fetches failed, and a digest-only retry there would loop.
+      if (state.program_digest.valid()) {
+        if (const auto pit = providers_.find(from); pit != providers_.end()) {
+          pit->second.warm.erase(state.program_digest);
+        }
+      }
       ++stats_.attempts_lost;
       TASKLETS_COUNT("broker.attempts_lost", 1);
       if (state.rejections < config_.max_rejections) {
@@ -745,6 +813,18 @@ void Broker::complete_tasklet(TaskletId id, TaskletState& state,
       stats_.votes_overruled += vote.count;
     }
   }
+  // Memoize the verified (vote-winning) result so repeat submissions of the
+  // same (program, args) under a memoizing QoC complete without a provider
+  // round trip. Only opted-in results are stored: the knob is the caller's
+  // assertion that the tasklet is a pure function of its arguments.
+  if (state.spec.qoc.memoize && state.program_digest.valid() &&
+      state.args_digest.valid()) {
+    memo_.insert({state.program_digest, state.args_digest},
+                 {winner.result, winner.fuel, winner.instructions,
+                  winner.first_provider});
+    ++stats_.memo_inserts;
+    TASKLETS_COUNT("broker.store.memo_inserts", 1);
+  }
   proto::TaskletReport report;
   report.id = id;
   report.job = state.spec.job;
@@ -781,6 +861,7 @@ void Broker::fail_tasklet(TaskletId id, TaskletState& state,
 void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport report,
                     proto::Outbox& out) {
   state.done = true;
+  release_program_ref(state);
   // Outstanding attempt index entries for this tasklet stay until their
   // results arrive (and are then ignored); replicas pending in the queue are
   // skipped by drain_queue.
@@ -793,6 +874,199 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
   // Retained so duplicate submissions replay the same terminal report.
   state.final_report = report;
   out.send(state.consumer, proto::TaskletDone{std::move(report)});
+}
+
+// --- content store (r3) ---------------------------------------------------------
+
+bool Broker::resolve_body(TaskletId id, TaskletState& state, SimTime now,
+                          proto::Outbox& out) {
+  if (const auto* vm = std::get_if<proto::VmBody>(&state.spec.body)) {
+    state.program_digest = store::digest_bytes(vm->program);
+    state.args_digest = store::digest_args(vm->args);
+    if (try_memo_hit(id, state, now, out)) return true;
+    // Intern and pin the program: assigns can now go digest-only to warm
+    // providers, and future DigestBody submissions of it resolve locally.
+    blobs_.put(state.program_digest, vm->program);
+    blobs_.ref(state.program_digest);
+    state.program_ref = true;
+    // Digest-only submissions may have raced ahead of this inline one (they
+    // are smaller, so the network delivers them first); they parked on this
+    // digest and can run now.
+    unpark_waiters(state.program_digest, /*deduped=*/true, now, out);
+    return false;
+  }
+  if (const auto* digest = std::get_if<proto::DigestBody>(&state.spec.body)) {
+    state.program_digest = digest->program_digest;
+    state.args_digest = store::digest_args(digest->args);
+    if (try_memo_hit(id, state, now, out)) return true;
+    if (blobs_.contains(state.program_digest)) {
+      blobs_.ref(state.program_digest);
+      state.program_ref = true;
+      ++stats_.program_dedup_hits;
+      TASKLETS_COUNT("broker.store.program_dedup_hits", 1);
+      return false;
+    }
+    // Unknown content: pull the bytes from the submitting consumer. The
+    // tasklet parks (deadline timer already armed) until ProgramData lands;
+    // the scan timer re-sends the fetch and enforces program_fetch_grace.
+    // One FetchProgram per digest, however many tasklets pile up on it —
+    // later waiters ride the in-flight fetch (the scan retry covers loss).
+    state.awaiting_program = true;
+    state.fetch_started = now;
+    auto& waiters = awaiting_program_[state.program_digest];
+    const bool fetch_in_flight = !waiters.empty();
+    waiters.push_back(id);
+    trace_instant(state, "program_fetch", id, now,
+                  {{"digest", state.program_digest.to_string()}});
+    if (!fetch_in_flight) {
+      ++stats_.program_fetches;
+      TASKLETS_COUNT("broker.store.program_fetches", 1);
+      out.send(state.consumer, proto::FetchProgram{state.program_digest});
+    }
+    return true;
+  }
+  return false;  // synthetic body: nothing content-addressed about it
+}
+
+bool Broker::try_memo_hit(TaskletId id, TaskletState& state, SimTime now,
+                          proto::Outbox& out) {
+  if (!state.spec.qoc.memoize || !state.program_digest.valid() ||
+      !state.args_digest.valid()) {
+    return false;
+  }
+  const store::MemoEntry* entry =
+      memo_.lookup({state.program_digest, state.args_digest});
+  if (entry == nullptr) return false;
+  ++stats_.memo_hits;
+  TASKLETS_COUNT("broker.store.memo_hits", 1);
+  trace_instant(state, "memo_hit", id, now,
+                {{"program", state.program_digest.to_string()},
+                 {"provider", entry->provider.to_string()}});
+  proto::TaskletReport report;
+  report.id = id;
+  report.job = state.spec.job;
+  report.status = proto::TaskletStatus::kCompleted;
+  report.result = entry->result;
+  report.fuel_used = entry->fuel;
+  report.instructions = entry->instructions;
+  report.attempts = 0;  // the memo's defining property: no provider round trip
+  report.executed_by = entry->provider;
+  report.latency = now - state.submitted_at;
+  // A memo hit is still a completion — keep the aggregate consistent with
+  // the provider-executed path.
+  ++stats_.tasklets_completed;
+  TASKLETS_COUNT("broker.completed", 1);
+  finish(id, state, std::move(report), out);
+  return true;
+}
+
+proto::TaskletBody Broker::make_assign_body(const TaskletState& state,
+                                            ProviderState& provider) {
+  if (!state.program_digest.valid()) return state.spec.body;  // synthetic
+  const std::vector<tvm::HostArg>* args = proto::body_args(state.spec.body);
+  if (args == nullptr) return state.spec.body;
+  if (config_.dedup_assign && provider.warm.contains(state.program_digest)) {
+    ++stats_.assigns_by_digest;
+    TASKLETS_COUNT("broker.store.assigns_by_digest", 1);
+    std::size_t program_size = 0;
+    if (const auto* vm = std::get_if<proto::VmBody>(&state.spec.body)) {
+      program_size = vm->program.size();
+    } else if (const Bytes* blob = blobs_.get(state.program_digest)) {
+      program_size = blob->size();
+    }
+    if (program_size > 16) stats_.assign_bytes_saved += program_size - 16;
+    return proto::DigestBody{state.program_digest, *args};
+  }
+  // Cold (or dedup off): ship the bytes inline and remember the provider now
+  // holds them. If the assign is lost the warm belief is optimistic; the
+  // provider then pulls via FetchProgram, and rejects if that fails too —
+  // which clears the warm bit and forces the next attempt inline.
+  if (const auto* vm = std::get_if<proto::VmBody>(&state.spec.body)) {
+    mark_warm(provider, state.program_digest);
+    return *vm;
+  }
+  if (const Bytes* blob = blobs_.get(state.program_digest)) {
+    mark_warm(provider, state.program_digest);
+    return proto::VmBody{*blob, *args};
+  }
+  // Pinned content should always be resident; fall back to digest-only and
+  // let the provider's pull path (or its rejection) sort it out.
+  return proto::DigestBody{state.program_digest, *args};
+}
+
+void Broker::mark_warm(ProviderState& provider, const store::Digest& digest) {
+  if (provider.warm.contains(digest)) return;
+  provider.warm.insert(digest);
+  provider.warm_order.push_back(digest);
+  while (provider.warm_order.size() > config_.warm_entries_per_provider) {
+    provider.warm.erase(provider.warm_order.front());
+    provider.warm_order.pop_front();
+  }
+}
+
+void Broker::release_program_ref(TaskletState& state) {
+  if (!state.program_ref) return;
+  state.program_ref = false;
+  blobs_.unref(state.program_digest);
+}
+
+void Broker::handle_fetch_program(NodeId from, const proto::FetchProgram& m,
+                                  proto::Outbox& out) {
+  const Bytes* blob = blobs_.get(m.program_digest);
+  if (blob == nullptr) {
+    // Unknown content (evicted, or the requester is confused): stay silent —
+    // the provider's own retry budget concludes with a rejection, which
+    // re-issues the attempt inline.
+    return;
+  }
+  ++stats_.program_serves;
+  TASKLETS_COUNT("broker.store.program_serves", 1);
+  if (const auto it = providers_.find(from); it != providers_.end()) {
+    mark_warm(it->second, m.program_digest);
+  }
+  out.send(from, proto::ProgramData{m.program_digest, *blob});
+}
+
+void Broker::handle_program_data(const proto::ProgramData& m, SimTime now,
+                                 proto::Outbox& out) {
+  // Verify content against its name before interning: a corrupted frame that
+  // still decodes must not poison the store (every later assignment of this
+  // digest would ship the wrong bytes).
+  if (store::digest_bytes(m.program) != m.program_digest) {
+    TASKLETS_LOG(kWarn, kLog) << "ProgramData digest mismatch for "
+                              << m.program_digest.to_string() << "; dropped";
+    return;
+  }
+  blobs_.put(m.program_digest, m.program);
+  unpark_waiters(m.program_digest, /*deduped=*/false, now, out);
+}
+
+void Broker::unpark_waiters(const store::Digest& digest, bool deduped,
+                            SimTime now, proto::Outbox& out) {
+  const auto it = awaiting_program_.find(digest);
+  if (it == awaiting_program_.end()) return;  // duplicate / unsolicited
+  const std::vector<TaskletId> waiting = std::move(it->second);
+  awaiting_program_.erase(it);
+  for (const TaskletId id : waiting) {
+    const auto tit = tasklets_.find(id);
+    if (tit == tasklets_.end()) continue;
+    TaskletState& state = tit->second;
+    if (state.done || !state.awaiting_program) continue;
+    state.awaiting_program = false;
+    blobs_.ref(state.program_digest);
+    state.program_ref = true;
+    if (deduped) {
+      ++stats_.program_dedup_hits;
+      TASKLETS_COUNT("broker.store.program_dedup_hits", 1);
+    }
+    trace_instant(state, "program_ready", id, now);
+    while (state.replicas_pending > 0 &&
+           try_place_replica(id, now, out).valid()) {
+    }
+    for (std::uint32_t i = 0; i < tasklets_.at(id).replicas_pending; ++i) {
+      enqueue_replica(id);
+    }
+  }
 }
 
 }  // namespace tasklets::broker

@@ -26,6 +26,8 @@
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "proto/actor.hpp"
+#include "store/blob_store.hpp"
+#include "store/memo.hpp"
 
 namespace tasklets::broker {
 
@@ -64,6 +66,22 @@ struct BrokerConfig {
   std::uint64_t rng_seed = 0x7A5CB0A7;
   // Span collector; nullptr disables tracing at the broker.
   TraceStore* trace = nullptr;
+
+  // --- content-addressed store (protocol r3) ---------------------------------
+  // Send digest-only AssignTasklet bodies to providers whose program cache
+  // is known-warm (they pull the bytes on a miss). Off forces every assign
+  // inline, as in r2.
+  bool dedup_assign = true;
+  // Byte budget for interned program blobs. Blobs referenced by live
+  // tasklets are pinned and never evicted, even over budget.
+  std::size_t blob_budget_bytes = 64u << 20;
+  // Result memo table capacity ((program, args) entries).
+  std::size_t memo_entries = 4096;
+  // Per-provider warm-digest history the affinity scheduling tracks.
+  std::size_t warm_entries_per_provider = 256;
+  // A DigestBody submission whose program cannot be fetched from its
+  // consumer within this grace fails kExhausted.
+  SimTime program_fetch_grace = 10 * kSecond;
 };
 
 // Aggregate counters for benches and monitoring.
@@ -87,6 +105,14 @@ struct BrokerStats {
   std::uint64_t duplicate_submits = 0;  // SubmitTasklet retransmits fenced
   std::uint64_t duplicate_results = 0;  // late/fenced AttemptResults ignored
   std::uint64_t attempts_timed_out = 0; // attempts fenced by attempt_timeout
+  // Content-addressed store (r3).
+  std::uint64_t memo_hits = 0;          // submissions answered from the memo
+  std::uint64_t memo_inserts = 0;       // verified results stored
+  std::uint64_t program_dedup_hits = 0; // DigestBody submits resolved locally
+  std::uint64_t program_fetches = 0;    // FetchProgram sent to consumers
+  std::uint64_t program_serves = 0;     // ProgramData served to providers
+  std::uint64_t assigns_by_digest = 0;  // digest-only assignments sent
+  std::uint64_t assign_bytes_saved = 0; // program bytes not re-shipped
 };
 
 class Broker final : public proto::Actor {
@@ -108,6 +134,14 @@ class Broker final : public proto::Actor {
   // Per-provider completed-attempt counts (utilisation / fairness metrics).
   [[nodiscard]] std::vector<std::pair<NodeId, std::uint64_t>> provider_completions() const;
 
+  // Content store introspection (tests, benches).
+  [[nodiscard]] const store::BlobStore& blob_store() const noexcept {
+    return blobs_;
+  }
+  [[nodiscard]] const store::MemoTable& memo_table() const noexcept {
+    return memo_;
+  }
+
  private:
   struct ProviderState {
     ProviderView view;
@@ -120,6 +154,11 @@ class Broker final : public proto::Actor {
     // not a restart.
     std::uint64_t incarnation = 0;
     std::unordered_set<AttemptId> inflight;
+    // Program digests this provider's cache is believed to hold (from
+    // inline assignments and served fetches); FIFO-capped. Cleared when a
+    // new incarnation registers — the cache died with the old process.
+    std::unordered_set<store::Digest> warm;
+    std::deque<store::Digest> warm_order;
   };
 
   struct AttemptState {
@@ -160,6 +199,17 @@ class Broker final : public proto::Actor {
     // Latest migration checkpoint: non-empty after a provider drained this
     // tasklet's execution; new attempts resume from it.
     Bytes resume_snapshot;
+    // Content digests of the body (invalid for synthetic bodies). Computed
+    // once at submission; key the blob pin, the memo table and the
+    // warm-provider affinity signal.
+    store::Digest program_digest;
+    store::Digest args_digest;
+    // The tasklet holds a pin on blobs_[program_digest] until it finishes.
+    bool program_ref = false;
+    // DigestBody submission whose program bytes are still being pulled from
+    // the consumer; replicas are placed once ProgramData lands.
+    bool awaiting_program = false;
+    SimTime fetch_started = 0;
     // The terminal report, retained so a duplicate SubmitTasklet arriving
     // after conclusion replays it instead of re-running the tasklet (the
     // consumer's resubmission loop makes submission at-least-once).
@@ -181,6 +231,12 @@ class Broker final : public proto::Actor {
   void handle_cancel(const proto::CancelTasklet& m, SimTime now);
   void handle_attempt_result(NodeId from, const proto::AttemptResult& m,
                              SimTime now, proto::Outbox& out);
+  // Provider pulling program bytes for a digest-only assignment.
+  void handle_fetch_program(NodeId from, const proto::FetchProgram& m,
+                            proto::Outbox& out);
+  // Consumer answering our FetchProgram for a DigestBody submission.
+  void handle_program_data(const proto::ProgramData& m, SimTime now,
+                           proto::Outbox& out);
 
   // --- scheduling ---------------------------------------------------------------
   // Providers eligible for one more replica of `state` right now.
@@ -218,6 +274,29 @@ class Broker final : public proto::Actor {
 
   [[nodiscard]] std::uint32_t majority_threshold(const TaskletState& state) const;
 
+  // --- content store (r3) -----------------------------------------------------
+  // Computes digests, interns/pins program bytes, answers from the memo
+  // table. Returns true if the submission concluded (memo hit) or parked
+  // (program fetch pending) — i.e. no replicas should be placed yet.
+  bool resolve_body(TaskletId id, TaskletState& state, SimTime now,
+                    proto::Outbox& out);
+  // Builds the assignment body for one attempt: digest-only for warm
+  // providers when dedup_assign allows, inline otherwise (marking the
+  // provider warm).
+  [[nodiscard]] proto::TaskletBody make_assign_body(const TaskletState& state,
+                                                    ProviderState& provider);
+  void mark_warm(ProviderState& provider, const store::Digest& digest);
+  void release_program_ref(TaskletState& state);
+  // Answers a repeat submission from the memo table; true on a hit.
+  bool try_memo_hit(TaskletId id, TaskletState& state, SimTime now,
+                    proto::Outbox& out);
+  // Releases tasklets parked on `digest` once its bytes are resident: binds
+  // the pin and places replicas. `deduped` marks the waiters as dedup hits
+  // (the blob arrived via another submission's inline bytes, so these
+  // submissions never re-shipped the program).
+  void unpark_waiters(const store::Digest& digest, bool deduped, SimTime now,
+                      proto::Outbox& out);
+
   // --- tracing helpers (no-ops when config_.trace is null or the submit
   // carried no context) -------------------------------------------------------
   void trace_instant(const TaskletState& state, std::string name, TaskletId id,
@@ -240,6 +319,11 @@ class Broker final : public proto::Actor {
   // within a class). One entry per replica.
   std::map<std::uint8_t, std::deque<TaskletId>, std::greater<>> pending_;
   std::size_t pending_count_ = 0;
+  // Content-addressed store (r3): interned program blobs, memoized results,
+  // and submissions parked on a pending program fetch.
+  store::BlobStore blobs_;
+  store::MemoTable memo_;
+  std::unordered_map<store::Digest, std::vector<TaskletId>> awaiting_program_;
 };
 
 }  // namespace tasklets::broker

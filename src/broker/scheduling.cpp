@@ -46,11 +46,17 @@ class LeastLoaded final : public Scheduler {
  public:
   NodeId pick(const proto::TaskletSpec&, const SchedulingContext& context,
               Rng&) override {
+    // Load first, then speed, then cache warmth as the final tie-break —
+    // among otherwise-equal candidates, reusing a warm program cache is
+    // free bandwidth.
     const ProviderView* best = &context.eligible.front();
     for (const auto& p : context.eligible) {
       if (p.load() < best->load() ||
           (p.load() == best->load() &&
-           p.capability.speed_fuel_per_sec > best->capability.speed_fuel_per_sec)) {
+           p.capability.speed_fuel_per_sec > best->capability.speed_fuel_per_sec) ||
+          (p.load() == best->load() &&
+           p.capability.speed_fuel_per_sec == best->capability.speed_fuel_per_sec &&
+           p.warm && !best->warm)) {
         best = &p;
       }
     }
@@ -121,6 +127,10 @@ class QocAware final : public Scheduler {
     if (spec.qoc.cost_ceiling > 0.0) {
       score /= 1.0 + p.capability.cost_per_gfuel;
     }
+    // Cache affinity: a warm provider skips the program transfer and the
+    // verify pass. Mild bonus only — affinity must never override the
+    // speed/selectivity decisions that carry the latency experiments.
+    if (p.warm) score *= 1.25;
     return score;
   }
 };

@@ -28,6 +28,10 @@ struct ProviderView {
   double observed_reliability = 1.0;  // EWMA of attempt success
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  // Cache affinity (r3): true when the broker believes this provider's
+  // program cache already holds the tasklet's program — assigning there
+  // ships a 16-byte digest instead of the bytecode and skips re-verification.
+  bool warm = false;
 
   [[nodiscard]] double load() const noexcept {
     return capability.slots == 0

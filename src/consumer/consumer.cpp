@@ -14,7 +14,8 @@ ConsumerAgent::ConsumerAgent(NodeId id, NodeId broker, std::string locality,
       broker_(broker),
       locality_(std::move(locality)),
       config_(config),
-      rng_(SplitMix64(config.rng_seed ^ id.value()).next()) {}
+      rng_(SplitMix64(config.rng_seed ^ id.value()).next()),
+      programs_(config.program_store_budget_bytes) {}
 
 void ConsumerAgent::on_start(SimTime, proto::Outbox&) {}
 
@@ -46,7 +47,25 @@ void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
   spec.origin_locality = locality_;
   ++stats_.submitted;
   TASKLETS_COUNT("consumer.submitted", 1);
+  // Program dedup (r3): the first submission of a program ships it inline
+  // (and pins it locally so the broker can re-pull it); repeats ship only
+  // the 16-byte digest. The pin lasts until the terminal report.
+  store::Digest program_digest;
+  if (config_.dedup_programs) {
+    if (auto* vm = std::get_if<proto::VmBody>(&spec.body)) {
+      program_digest = store::digest_bytes(vm->program);
+      if (programs_.contains(program_digest)) {
+        ++stats_.digest_submits;
+        TASKLETS_COUNT("consumer.digest_submits", 1);
+        spec.body = proto::DigestBody{program_digest, std::move(vm->args)};
+      } else {
+        programs_.put(program_digest, vm->program);
+      }
+      programs_.ref(program_digest);
+    }
+  }
   Pending entry;
+  entry.program_digest = program_digest;
   entry.handler = std::move(handler);
   entry.backoff = ExponentialBackoff(config_.backoff);
   if (config_.resubmit) {
@@ -65,9 +84,17 @@ void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
 }
 
 void ConsumerAgent::cancel(TaskletId id, proto::Outbox& out) {
-  if (pending_.erase(id) > 0) {
-    out.send(broker_, proto::CancelTasklet{id});
-  }
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  release_program(it->second);
+  pending_.erase(it);
+  out.send(broker_, proto::CancelTasklet{id});
+}
+
+void ConsumerAgent::release_program(Pending& entry) {
+  if (!entry.program_digest.valid()) return;
+  programs_.unref(entry.program_digest);
+  entry.program_digest = {};
 }
 
 void ConsumerAgent::on_timer(std::uint64_t timer_id, SimTime now,
@@ -115,6 +142,7 @@ void ConsumerAgent::arm_retry_timer(SimTime now, proto::Outbox& out) {
 }
 
 void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry, SimTime now) {
+  release_program(entry);
   ++stats_.failed;
   ++stats_.abandoned;
   TASKLETS_COUNT("consumer.abandoned", 1);
@@ -136,7 +164,21 @@ void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry, SimTime now) {
 }
 
 void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime now,
-                               proto::Outbox&) {
+                               proto::Outbox& out) {
+  if (const auto* fetch =
+          std::get_if<proto::FetchProgram>(&envelope.payload)) {
+    // The broker lost (or never had) the bytes behind one of our digest
+    // submissions: re-serve them. Misses are ignored — the broker keeps
+    // re-fetching on its scan cadence and eventually fails the tasklet,
+    // which our at-least-once submit loop surfaces.
+    if (const Bytes* blob = programs_.get(fetch->program_digest)) {
+      ++stats_.program_serves;
+      TASKLETS_COUNT("consumer.program_serves", 1);
+      out.send(envelope.from,
+               proto::ProgramData{fetch->program_digest, *blob});
+    }
+    return;
+  }
   const auto* done = std::get_if<proto::TaskletDone>(&envelope.payload);
   if (done == nullptr) {
     TASKLETS_LOG(kWarn, "consumer")
@@ -158,6 +200,7 @@ void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime now,
                   proto::to_string(done->report.status));
   }
   ReportHandler handler = std::move(it->second.handler);
+  release_program(it->second);
   pending_.erase(it);
   handler(done->report);
 }

@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "proto/actor.hpp"
+#include "store/blob_store.hpp"
 
 namespace tasklets::consumer {
 
@@ -35,6 +36,14 @@ struct ConsumerConfig {
   std::uint64_t rng_seed = 0xC0A57;
   // Span collector; nullptr disables tracing (no context rides on submits).
   TraceStore* trace = nullptr;
+  // Protocol r3: after the first submission of a program, repeat submissions
+  // ship a 16-byte DigestBody instead of the bytecode (the broker pulls the
+  // bytes via FetchProgram if its own store lost them). Off restores the
+  // always-inline r2 behaviour.
+  bool dedup_programs = true;
+  // Byte budget for the local program store backing FetchProgram re-serves.
+  // Programs of outstanding tasklets are pinned regardless of budget.
+  std::size_t program_store_budget_bytes = 16u << 20;
 };
 
 struct ConsumerStats {
@@ -43,6 +52,8 @@ struct ConsumerStats {
   std::uint64_t failed = 0;  // any non-completed terminal status
   std::uint64_t resubmits = 0;
   std::uint64_t abandoned = 0;  // failed locally after max_resubmits
+  std::uint64_t digest_submits = 0;  // submissions sent by digest (r3 dedup)
+  std::uint64_t program_serves = 0;  // ProgramData replies to broker fetches
 };
 
 class ConsumerAgent final : public proto::Actor {
@@ -80,6 +91,9 @@ class ConsumerAgent final : public proto::Actor {
     // Tracing: the root "submit" span (submit -> terminal report).
     std::uint64_t root_span = 0;
     SimTime submitted_at = 0;
+    // Pin held in programs_ while this tasklet is outstanding (invalid when
+    // the body carried no program or dedup is off).
+    store::Digest program_digest;
   };
 
   // TraceContext for messages about this tasklet, 0/0 when tracing is off.
@@ -90,6 +104,8 @@ class ConsumerAgent final : public proto::Actor {
 
   void arm_retry_timer(SimTime now, proto::Outbox& out);
   void fail_locally(TaskletId id, Pending&& entry, SimTime now);
+  // Drops the entry's pin on its program blob (idempotent).
+  void release_program(Pending& entry);
 
   static constexpr std::uint64_t kRetryTimer = 1;
 
@@ -101,6 +117,9 @@ class ConsumerAgent final : public proto::Actor {
   // Ordered map: iterated to find the earliest retry deadline, and keeps
   // retry scans deterministic under the simulator.
   std::map<TaskletId, Pending> pending_;
+  // Local program store (r3): backs digest submissions and answers the
+  // broker's FetchProgram pulls. Outstanding tasklets pin their program.
+  store::BlobStore programs_{16u << 20};
 };
 
 }  // namespace tasklets::consumer

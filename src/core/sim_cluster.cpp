@@ -6,28 +6,6 @@
 
 namespace tasklets::core {
 
-namespace {
-
-// Rough wire size of a message for the transfer-time model: a fixed header
-// plus the dominant variable parts (bodies and results).
-std::size_t message_size(const proto::Message& message) {
-  constexpr std::size_t kHeader = 64;
-  if (const auto* submit = std::get_if<proto::SubmitTasklet>(&message)) {
-    return kHeader + proto::body_wire_size(submit->spec.body);
-  }
-  if (const auto* assign = std::get_if<proto::AssignTasklet>(&message)) {
-    return kHeader + proto::body_wire_size(assign->body);
-  }
-  if (const auto* result = std::get_if<proto::AttemptResult>(&message)) {
-    return kHeader + tvm::arg_wire_size(result->outcome.result);
-  }
-  if (const auto* done = std::get_if<proto::TaskletDone>(&message)) {
-    return kHeader + tvm::arg_wire_size(done->report.result);
-  }
-  return kHeader;
-}
-
-}  // namespace
 
 // Per-provider execution service: computes the real result (and fuel) via
 // the shared VmExecutor, converts fuel to virtual service time through the
@@ -355,7 +333,7 @@ NodeId SimCluster::add_consumer(std::string locality) {
   auto node = std::make_unique<Node>();
   node->link_latency = config_.consumer_link_latency;
   node->bandwidth_bps = config_.consumer_bandwidth_bps;
-  consumer::ConsumerConfig consumer_config;
+  consumer::ConsumerConfig consumer_config = config_.consumer;
   consumer_config.trace = config_.trace;
   auto agent = std::make_unique<consumer::ConsumerAgent>(
       id, broker_id_, std::move(locality), consumer_config);
@@ -420,7 +398,10 @@ void SimCluster::dispatch(proto::Envelope envelope) {
   const auto from_it = nodes_.find(envelope.from);
   const auto to_it = nodes_.find(envelope.to);
   if (to_it == nodes_.end()) return;  // peer gone
-  const std::size_t size = message_size(envelope.payload);
+  const std::size_t size = proto::message_wire_size(envelope.payload);
+  wire_bytes_ += size;
+  wire_bytes_by_message_[std::string(proto::message_name(envelope.payload))] +=
+      size;
   SimTime delay = to_it->second->link_latency;
   double bandwidth = to_it->second->bandwidth_bps;
   if (from_it != nodes_.end()) {

@@ -31,6 +31,9 @@ struct SimConfig {
   // (ablation studies, tests).
   std::function<std::unique_ptr<broker::Scheduler>()> scheduler_factory;
   broker::BrokerConfig broker{};
+  // Applied to every consumer the cluster creates (`trace` below still
+  // overrides the consumer's trace sink).
+  consumer::ConsumerConfig consumer{};
   std::uint64_t seed = 42;
   // The broker's own link (it usually sits on good infrastructure).
   SimTime broker_link_latency = 500 * kMicrosecond;
@@ -88,6 +91,14 @@ class SimCluster {
   [[nodiscard]] std::size_t completed_ok() const noexcept;
   // Total accounting cost across completed tasklets (fuel * provider rate).
   [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
+  // Modelled bytes-on-wire, total and by message kind (proto::message_name).
+  // What the bandwidth/latency model charged — the basis for the E9
+  // dedup/memoization byte-savings measurements.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept { return wire_bytes_; }
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
+  wire_bytes_by_message() const noexcept {
+    return wire_bytes_by_message_;
+  }
 
  private:
   class SimExecution;
@@ -116,6 +127,8 @@ class SimCluster {
   std::unordered_map<std::uint64_t, std::uint64_t> timer_generations_;
 
   std::size_t submitted_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::unordered_map<std::string, std::uint64_t> wire_bytes_by_message_;
   std::vector<proto::TaskletReport> reports_;
   std::unordered_map<TaskletId, std::size_t> report_index_;
   double total_cost_ = 0.0;

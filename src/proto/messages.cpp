@@ -16,6 +16,8 @@ enum class Tag : std::uint8_t {
   kAssignTasklet,
   kTaskletDone,
   kRegisterAck,
+  kFetchProgram,
+  kProgramData,
 };
 
 // --- field codecs -------------------------------------------------------------
@@ -45,6 +47,18 @@ Result<Capability> get_capability(ByteReader& r) {
   return c;
 }
 
+void put_digest(ByteWriter& w, const store::Digest& d) {
+  w.write_u64(d.hi);
+  w.write_u64(d.lo);
+}
+
+Result<store::Digest> get_digest(ByteReader& r) {
+  store::Digest d;
+  TASKLETS_ASSIGN_OR_RETURN(d.hi, r.read_u64());
+  TASKLETS_ASSIGN_OR_RETURN(d.lo, r.read_u64());
+  return d;
+}
+
 void put_qoc(ByteWriter& w, const Qoc& q) {
   w.write_u8(static_cast<std::uint8_t>(q.speed));
   w.write_u8(static_cast<std::uint8_t>(q.locality));
@@ -53,6 +67,7 @@ void put_qoc(ByteWriter& w, const Qoc& q) {
   w.write_i64(q.deadline);
   w.write_f64(q.cost_ceiling);
   w.write_u8(q.priority);
+  w.write_bool(q.memoize);
 }
 
 Result<Qoc> get_qoc(ByteReader& r) {
@@ -72,6 +87,7 @@ Result<Qoc> get_qoc(ByteReader& r) {
   TASKLETS_ASSIGN_OR_RETURN(q.deadline, r.read_i64());
   TASKLETS_ASSIGN_OR_RETURN(q.cost_ceiling, r.read_f64());
   TASKLETS_ASSIGN_OR_RETURN(q.priority, r.read_u8());
+  TASKLETS_ASSIGN_OR_RETURN(q.memoize, r.read_bool());
   return q;
 }
 
@@ -80,6 +96,10 @@ void put_body(ByteWriter& w, const TaskletBody& body) {
     w.write_u8(0);
     w.write_bytes(vm->program);
     tvm::encode_args(w, vm->args);
+  } else if (const auto* digest = std::get_if<DigestBody>(&body)) {
+    w.write_u8(2);
+    put_digest(w, digest->program_digest);
+    tvm::encode_args(w, digest->args);
   } else {
     const auto& synth = std::get<SyntheticBody>(body);
     w.write_u8(1);
@@ -108,6 +128,15 @@ Result<TaskletBody> get_body(ByteReader& r) {
     TASKLETS_ASSIGN_OR_RETURN(synth.result, r.read_i64());
     TASKLETS_ASSIGN_OR_RETURN(synth.payload_bytes, r.read_varint());
     return TaskletBody{synth};
+  }
+  if (tag == 2) {
+    DigestBody digest;
+    TASKLETS_ASSIGN_OR_RETURN(digest.program_digest, get_digest(r));
+    if (!digest.program_digest.valid()) {
+      return make_error(StatusCode::kDataLoss, "null digest in body");
+    }
+    TASKLETS_ASSIGN_OR_RETURN(digest.args, tvm::decode_args(r));
+    return TaskletBody{std::move(digest)};
   }
   return make_error(StatusCode::kDataLoss, "bad body tag");
 }
@@ -240,6 +269,15 @@ struct PutVisitor {
     w.write_u8(static_cast<std::uint8_t>(Tag::kRegisterAck));
     w.write_varint(m.incarnation);
   }
+  void operator()(const FetchProgram& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kFetchProgram));
+    put_digest(w, m.program_digest);
+  }
+  void operator()(const ProgramData& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kProgramData));
+    put_digest(w, m.program_digest);
+    w.write_bytes(m.program);
+  }
 };
 
 Result<Message> get_message(ByteReader& r) {
@@ -313,6 +351,17 @@ Result<Message> get_message(ByteReader& r) {
       TASKLETS_ASSIGN_OR_RETURN(m.incarnation, r.read_varint());
       return Message{m};
     }
+    case Tag::kFetchProgram: {
+      FetchProgram m;
+      TASKLETS_ASSIGN_OR_RETURN(m.program_digest, get_digest(r));
+      return Message{m};
+    }
+    case Tag::kProgramData: {
+      ProgramData m;
+      TASKLETS_ASSIGN_OR_RETURN(m.program_digest, get_digest(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.program, r.read_bytes());
+      return Message{std::move(m)};
+    }
   }
   return make_error(StatusCode::kDataLoss, "unknown message tag");
 }
@@ -330,8 +379,30 @@ std::string_view message_name(const Message& m) noexcept {
     case Tag::kAssignTasklet: return "AssignTasklet";
     case Tag::kTaskletDone: return "TaskletDone";
     case Tag::kRegisterAck: return "RegisterAck";
+    case Tag::kFetchProgram: return "FetchProgram";
+    case Tag::kProgramData: return "ProgramData";
   }
   return "?";
+}
+
+std::size_t message_wire_size(const Message& m) noexcept {
+  constexpr std::size_t kHeader = 64;
+  if (const auto* submit = std::get_if<SubmitTasklet>(&m)) {
+    return kHeader + body_wire_size(submit->spec.body);
+  }
+  if (const auto* assign = std::get_if<AssignTasklet>(&m)) {
+    return kHeader + body_wire_size(assign->body);
+  }
+  if (const auto* result = std::get_if<AttemptResult>(&m)) {
+    return kHeader + tvm::arg_wire_size(result->outcome.result);
+  }
+  if (const auto* done = std::get_if<TaskletDone>(&m)) {
+    return kHeader + tvm::arg_wire_size(done->report.result);
+  }
+  if (const auto* data = std::get_if<ProgramData>(&m)) {
+    return kHeader + data->program.size();
+  }
+  return kHeader;
 }
 
 Bytes encode(const Envelope& envelope) {

@@ -87,12 +87,37 @@ struct RegisterAck {
   std::uint64_t incarnation = 0;
 };
 
+// --- Content store (protocol r3) ---------------------------------------------
+//
+// Pull-on-miss for digest-addressed bodies. A provider handed a DigestBody
+// it cannot resolve asks the broker; a broker handed a DigestBody submit it
+// cannot resolve asks the consumer. Both directions are at-least-once: the
+// requester re-sends on its retry cadence until ProgramData arrives (or it
+// gives up and rejects/fails the work), and the receiver verifies the
+// payload against the digest and treats duplicates as idempotent puts — so
+// dropped, duplicated or corrupted frames are all safe.
+
+struct FetchProgram {
+  store::Digest program_digest;
+};
+
+struct ProgramData {
+  store::Digest program_digest;
+  Bytes program;  // serialized tvm::Program whose digest is program_digest
+};
+
 using Message =
     std::variant<RegisterProvider, DeregisterProvider, Heartbeat, AttemptResult,
                  SubmitTasklet, CancelTasklet, AssignTasklet, TaskletDone,
-                 RegisterAck>;
+                 RegisterAck, FetchProgram, ProgramData>;
 
 [[nodiscard]] std::string_view message_name(const Message& m) noexcept;
+
+// Approximate wire size of a message: a fixed header estimate plus the
+// dominant variable parts (bodies, results, program blobs). Shared by the
+// simulator's transfer-time model and the runtimes' byte counters, so both
+// report the same "bytes on wire" for a given traffic mix.
+[[nodiscard]] std::size_t message_wire_size(const Message& m) noexcept;
 
 struct Envelope {
   NodeId from;

@@ -41,7 +41,19 @@ std::size_t body_wire_size(const TaskletBody& body) noexcept {
     for (const auto& a : vm->args) n += tvm::arg_wire_size(a);
     return n;
   }
+  if (const auto* digest = std::get_if<DigestBody>(&body)) {
+    std::size_t n = sizeof(digest->program_digest.hi) +
+                    sizeof(digest->program_digest.lo);
+    for (const auto& a : digest->args) n += tvm::arg_wire_size(a);
+    return n;
+  }
   return std::get<SyntheticBody>(body).payload_bytes;
+}
+
+const std::vector<tvm::HostArg>* body_args(const TaskletBody& body) noexcept {
+  if (const auto* vm = std::get_if<VmBody>(&body)) return &vm->args;
+  if (const auto* digest = std::get_if<DigestBody>(&body)) return &digest->args;
+  return nullptr;
 }
 
 }  // namespace tasklets::proto

@@ -17,6 +17,7 @@
 #include "common/clock.hpp"
 #include "common/ids.hpp"
 #include "common/status.hpp"
+#include "store/digest.hpp"
 #include "tvm/interpreter.hpp"
 #include "tvm/marshal.hpp"
 
@@ -86,6 +87,12 @@ struct Qoc {
   // class are placed before *all* lower-class ones (FIFO within a class).
   // 0 = normal; larger is more urgent.
   std::uint8_t priority = 0;
+  // Result memoization opt-in (protocol r3): the broker may answer this
+  // tasklet from its (program, args)-keyed memo table — no provider round
+  // trip — and may store its verified result for future submissions. Valid
+  // because tasklets are side-effect-free and the TVM is deterministic;
+  // off by default since the result becomes shared, cacheable state.
+  bool memoize = false;
 
   friend bool operator==(const Qoc&, const Qoc&) = default;
 };
@@ -111,10 +118,27 @@ struct SyntheticBody {
   friend bool operator==(const SyntheticBody&, const SyntheticBody&) = default;
 };
 
-using TaskletBody = std::variant<VmBody, SyntheticBody>;
+// Content-addressed body (protocol r3): names the program by digest instead
+// of shipping its bytes. Consumers use it for repeat submissions of interned
+// programs; the broker uses it for assignments to providers whose program
+// cache is known-warm. A receiver missing the content pulls it with
+// FetchProgram / ProgramData (messages.hpp).
+struct DigestBody {
+  store::Digest program_digest;
+  std::vector<tvm::HostArg> args;
+
+  friend bool operator==(const DigestBody&, const DigestBody&) = default;
+};
+
+using TaskletBody = std::variant<VmBody, SyntheticBody, DigestBody>;
 
 // Approximate wire size of a body (transfer-cost model).
 [[nodiscard]] std::size_t body_wire_size(const TaskletBody& body) noexcept;
+
+// The marshalled argument vector of a VM or digest body; nullptr for
+// synthetic bodies (they carry no args).
+[[nodiscard]] const std::vector<tvm::HostArg>* body_args(
+    const TaskletBody& body) noexcept;
 
 // A tasklet as submitted by a consumer.
 struct TaskletSpec {

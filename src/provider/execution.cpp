@@ -6,27 +6,35 @@
 
 namespace tasklets::provider {
 
-VmExecutor::VmExecutor(tvm::ExecLimits default_limits)
-    : default_limits_(default_limits) {}
+VmExecutor::VmExecutor(tvm::ExecLimits default_limits,
+                       std::size_t max_cache_entries)
+    : default_limits_(default_limits),
+      max_cache_entries_(max_cache_entries == 0 ? 1 : max_cache_entries) {}
 
 std::size_t VmExecutor::cache_size() const {
   const std::scoped_lock lock(mutex_);
   return cache_.size();
 }
 
-const VmExecutor::CacheEntry* VmExecutor::lookup_or_verify(
+std::uint64_t VmExecutor::cache_evictions() const {
+  const std::scoped_lock lock(mutex_);
+  return evictions_;
+}
+
+std::shared_ptr<const VmExecutor::CacheEntry> VmExecutor::lookup_or_verify(
     const Bytes& program_bytes) {
-  const std::uint64_t key =
-      fnv1a(std::span<const std::byte>(program_bytes.data(), program_bytes.size()));
+  const store::Digest key = store::digest_bytes(
+      std::span<const std::byte>(program_bytes.data(), program_bytes.size()));
   {
     const std::scoped_lock lock(mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
-      return it->second.get();
+      lru_.splice(lru_.begin(), lru_, it->second->lru);
+      return it->second;
     }
   }
   // Deserialize + verify outside the lock; insertion races are benign (both
   // entries are identical, the loser is dropped).
-  auto entry = std::make_unique<CacheEntry>();
+  auto entry = std::make_shared<CacheEntry>();
   auto program = tvm::Program::deserialize(
       std::span<const std::byte>(program_bytes.data(), program_bytes.size()));
   if (!program.is_ok()) {
@@ -38,9 +46,31 @@ const VmExecutor::CacheEntry* VmExecutor::lookup_or_verify(
     entry->verified_ok = verdict.is_ok();
     if (!verdict.is_ok()) entry->verify_error = verdict.to_string();
   }
-  const std::scoped_lock lock(mutex_);
-  const auto [it, inserted] = cache_.emplace(key, std::move(entry));
-  return it->second.get();
+  std::uint64_t evicted = 0;
+  std::shared_ptr<const CacheEntry> result;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      // Lost the verify race; keep the incumbent.
+      lru_.splice(lru_.begin(), lru_, it->second->lru);
+      result = it->second;
+    } else {
+      lru_.push_front(key);
+      entry->lru = lru_.begin();
+      result = cache_.emplace(key, std::move(entry)).first->second;
+      while (cache_.size() > max_cache_entries_) {
+        // Coldest first. An executing thread still holding the shared_ptr
+        // keeps its entry alive past eviction; only the cache forgets it.
+        cache_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+        ++evicted;
+      }
+    }
+  }
+  if (evicted > 0) TASKLETS_COUNT("provider.vm.cache_evictions", evicted);
+  return result;
 }
 
 namespace {
@@ -78,8 +108,17 @@ proto::AttemptOutcome VmExecutor::run_sliced(const ExecRequest& request,
     outcome.fuel_used = synth->fuel;
     return outcome;
   }
+  if (std::holds_alternative<proto::DigestBody>(request.body)) {
+    // Digest bodies are resolved to inline bytecode by the ProviderAgent
+    // before execution; one reaching the executor means the resolution
+    // layer was bypassed. Rejecting lets the broker re-issue inline.
+    outcome.status = proto::AttemptStatus::kRejected;
+    outcome.error = "unresolved digest body";
+    return outcome;
+  }
   const auto& vm_body = std::get<proto::VmBody>(request.body);
-  const CacheEntry* entry = lookup_or_verify(vm_body.program);
+  const std::shared_ptr<const CacheEntry> entry =
+      lookup_or_verify(vm_body.program);
   if (!entry->verified_ok) {
     // Verification failure is deterministic: every honest provider would
     // reject the same bytes. Report it as a trap so the broker fails fast

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "common/trace.hpp"
 #include "proto/actor.hpp"
 #include "proto/types.hpp"
+#include "store/digest.hpp"
 #include "tvm/interpreter.hpp"
 
 namespace tasklets::provider {
@@ -53,11 +55,17 @@ class ExecutionService {
   virtual void execute(ExecRequest request, ExecDone done) = 0;
 };
 
-// Synchronous bytecode execution with a content-hash verification cache.
-// Thread-safe: multiple provider slots may execute concurrently.
+// Synchronous bytecode execution with a content-digest verification cache.
+// Thread-safe: multiple provider slots may execute concurrently. The cache
+// is entry-capped with LRU eviction so long multi-program runs cannot grow
+// it without bound; entries in use by a running execution survive their own
+// eviction (shared ownership) and are simply dropped when the run finishes.
 class VmExecutor {
  public:
-  explicit VmExecutor(tvm::ExecLimits default_limits = {});
+  explicit VmExecutor(tvm::ExecLimits default_limits = {},
+                      std::size_t max_cache_entries = kDefaultCacheEntries);
+
+  static constexpr std::size_t kDefaultCacheEntries = 128;
 
   // Runs a tasklet body to completion on the calling thread. VM traps are
   // reported through AttemptOutcome (status kTrap), never as a Result error.
@@ -74,19 +82,27 @@ class VmExecutor {
 
   // Number of verified programs currently cached.
   [[nodiscard]] std::size_t cache_size() const;
+  // Entries dropped by the LRU cap since construction (also exported as the
+  // provider.vm.cache_evictions metric).
+  [[nodiscard]] std::uint64_t cache_evictions() const;
 
  private:
   struct CacheEntry {
     tvm::Program program;
     bool verified_ok = false;
     std::string verify_error;
+    std::list<store::Digest>::iterator lru;  // position in lru_
   };
 
-  [[nodiscard]] const CacheEntry* lookup_or_verify(const Bytes& program_bytes);
+  [[nodiscard]] std::shared_ptr<const CacheEntry> lookup_or_verify(
+      const Bytes& program_bytes);
 
   tvm::ExecLimits default_limits_;
+  std::size_t max_cache_entries_;
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<CacheEntry>> cache_;
+  std::uint64_t evictions_ = 0;
+  std::list<store::Digest> lru_;  // most-recent first
+  std::unordered_map<store::Digest, std::shared_ptr<CacheEntry>> cache_;
 };
 
 // Injects silent result corruption with probability `fault_rate` — models

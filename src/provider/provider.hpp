@@ -7,10 +7,13 @@
 #pragma once
 
 #include <deque>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "proto/actor.hpp"
 #include "provider/execution.hpp"
+#include "store/blob_store.hpp"
 
 namespace tasklets::provider {
 
@@ -18,6 +21,13 @@ struct ProviderConfig {
   SimTime heartbeat_interval = 1 * kSecond;
   // Span collector; nullptr disables tracing on this provider.
   TraceStore* trace = nullptr;
+  // Byte budget for the local digest -> program-bytes cache that resolves
+  // DigestBody assignments (protocol r3).
+  std::size_t program_cache_budget_bytes = 16u << 20;
+  // FetchProgram re-sends (on the heartbeat cadence) before a parked
+  // assignment is rejected with "program unavailable" — the broker then
+  // re-issues it, inline.
+  std::uint32_t program_fetch_attempts = 5;
 };
 
 struct ProviderAgentStats {
@@ -26,6 +36,9 @@ struct ProviderAgentStats {
   std::uint64_t trapped = 0;
   std::uint64_t rejected = 0;
   std::uint64_t duplicate_assigns = 0;  // retransmits fenced by the seen-set
+  std::uint64_t program_cache_hits = 0;    // DigestBody resolved locally
+  std::uint64_t program_cache_misses = 0;  // DigestBody parked for a fetch
+  std::uint64_t program_fetches = 0;       // FetchProgram messages sent
 };
 
 class ProviderAgent final : public proto::Actor {
@@ -45,10 +58,14 @@ class ProviderAgent final : public proto::Actor {
   // without telling the broker — the broker discovers via liveness timeout.
   // In-flight results are suppressed by the runtime's execution service, so
   // the slot accounting is cleared here (the work died with the process).
+  // The program cache dies with the process too — the broker learns this
+  // from the rejoin incarnation bump and forgets our warm set.
   void crash() noexcept {
     online_ = false;
     registered_ = false;
     inflight_.clear();
+    parked_.clear();
+    programs_.clear();
   }
   [[nodiscard]] bool online() const noexcept { return online_; }
   // Re-join after churn downtime (the runtime calls this when the device
@@ -73,7 +90,23 @@ class ProviderAgent final : public proto::Actor {
   // late duplicate cannot re-execute). Bounded FIFO to cap memory.
   static constexpr std::size_t kSeenAttemptsCap = 4096;
 
+  // An accepted DigestBody assignment waiting for its program bytes.
+  struct ParkedAssign {
+    proto::AssignTasklet assign;
+    SimTime accepted_at = 0;
+    std::uint32_t fetches = 0;
+  };
+
   void handle_assign(const proto::AssignTasklet& m, SimTime now, proto::Outbox& out);
+  void handle_program_data(const proto::ProgramData& m, SimTime now);
+  // Starts execution of an accepted assignment whose body is fully inline
+  // (the completion reports through its own outbox).
+  void start_execution(const proto::AssignTasklet& m, SimTime now);
+  void reject_attempt(const proto::AssignTasklet& m, std::string reason,
+                      SimTime now, proto::Outbox& out);
+  // Re-sends FetchProgram for parked work; gives up (rejects) past the
+  // fetch-attempt budget. Runs on the heartbeat cadence.
+  void retry_parked_fetches(SimTime now, proto::Outbox& out);
   void send_register(proto::Outbox& out);
   void remember_attempt(AttemptId attempt);
 
@@ -85,6 +118,13 @@ class ProviderAgent final : public proto::Actor {
   std::unordered_set<AttemptId> inflight_;
   std::unordered_set<AttemptId> seen_attempts_;
   std::deque<AttemptId> seen_order_;
+  // Local program store for DigestBody resolution: digest -> serialized
+  // program. Unpinned LRU within its byte budget (re-fetching evicted
+  // content is always possible, so nothing needs a refcount here).
+  store::BlobStore programs_{16u << 20};
+  // Parked assignments by awaited digest (slot already occupied — they are
+  // in inflight_, so overload rejection still accounts for them).
+  std::unordered_map<store::Digest, std::vector<ParkedAssign>> parked_;
   std::uint64_t incarnation_ = 1;
   bool registered_ = false;
   bool online_ = true;

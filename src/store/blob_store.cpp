@@ -1,0 +1,77 @@
+#include "store/blob_store.hpp"
+
+namespace tasklets::store {
+
+void BlobStore::touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void BlobStore::put(const Digest& digest, Bytes blob) {
+  if (const auto it = entries_.find(digest); it != entries_.end()) {
+    ++stats_.dedup_puts;
+    touch(it->second);
+    return;
+  }
+  ++stats_.puts;
+  bytes_ += blob.size();
+  lru_.push_front(digest);
+  Entry entry;
+  entry.blob = std::move(blob);
+  entry.lru = lru_.begin();
+  entries_.emplace(digest, std::move(entry));
+  // The just-interned blob is exempt: callers pin right after put(), and
+  // evicting it in between would make put-then-ref silently fail.
+  evict_over_budget(&digest);
+}
+
+const Bytes* BlobStore::get(const Digest& digest) {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  touch(it->second);
+  return &it->second.blob;
+}
+
+bool BlobStore::ref(const Digest& digest) {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) return false;
+  ++it->second.refcount;
+  return true;
+}
+
+void BlobStore::unref(const Digest& digest) {
+  const auto it = entries_.find(digest);
+  if (it == entries_.end() || it->second.refcount == 0) return;
+  --it->second.refcount;
+  // A blob going unpinned over budget is reclaimed immediately.
+  if (it->second.refcount == 0) evict_over_budget();
+}
+
+void BlobStore::evict_over_budget(const Digest* keep) {
+  if (bytes_ <= budget_bytes_) return;
+  // Walk from coldest to warmest, skipping pinned entries (and `keep`); stop
+  // as soon as the budget holds again. If everything left is pinned, the
+  // store runs over budget — pins are correctness, the budget is a target.
+  auto it = lru_.end();
+  while (bytes_ > budget_bytes_ && it != lru_.begin()) {
+    --it;
+    const auto entry_it = entries_.find(*it);
+    if (entry_it->second.refcount > 0) continue;
+    if (keep != nullptr && *it == *keep) continue;
+    bytes_ -= entry_it->second.blob.size();
+    ++stats_.evictions;
+    it = lru_.erase(it);
+    entries_.erase(entry_it);
+  }
+}
+
+void BlobStore::clear() {
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace tasklets::store

@@ -1,0 +1,85 @@
+// Content-addressed blob store with refcounts and a byte-budgeted LRU.
+//
+// Maps Digest -> immutable byte blobs (serialized programs). Used broker-side
+// to intern program bytes across submissions, and consumer-side to pin the
+// programs it may be asked to re-serve via FetchProgram. Two retention
+// mechanisms compose:
+//
+//   * refcounts pin blobs that live work depends on (a pinned blob is never
+//     evicted, even over budget — correctness beats the budget),
+//   * unpinned blobs stay cached LRU within `budget_bytes` so future
+//     submissions of the same program still dedup (warm capacity).
+//
+// Not thread-safe: owned by a single actor (broker / consumer), which is
+// the repo-wide concurrency model for protocol state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "store/digest.hpp"
+
+namespace tasklets::store {
+
+struct BlobStoreStats {
+  std::uint64_t puts = 0;        // insertions of new content
+  std::uint64_t dedup_puts = 0;  // puts of already-present content
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class BlobStore {
+ public:
+  explicit BlobStore(std::size_t budget_bytes = 64u << 20)
+      : budget_bytes_(budget_bytes) {}
+
+  // Interns `blob` under `digest` (precomputed by the caller, which always
+  // has it anyway — avoids a re-hash here). Idempotent: re-putting existing
+  // content only refreshes recency.
+  void put(const Digest& digest, Bytes blob);
+
+  // Content lookup; refreshes recency. nullptr on miss. The pointer stays
+  // valid until the entry is evicted or the store is cleared.
+  [[nodiscard]] const Bytes* get(const Digest& digest);
+
+  // Presence probe: no recency refresh, no hit/miss accounting.
+  [[nodiscard]] bool contains(const Digest& digest) const {
+    return entries_.contains(digest);
+  }
+
+  // Pin / unpin. ref() on an absent digest is a no-op returning false —
+  // callers pin right after put() or a contains() check.
+  bool ref(const Digest& digest);
+  void unref(const Digest& digest);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_bytes_; }
+  [[nodiscard]] const BlobStoreStats& stats() const noexcept { return stats_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    Bytes blob;
+    std::uint32_t refcount = 0;
+    std::list<Digest>::iterator lru;  // position in lru_
+  };
+
+  void touch(Entry& entry);
+  // Evicts cold unpinned entries until the budget holds; `keep` (when set)
+  // is never a victim, whatever its recency.
+  void evict_over_budget(const Digest* keep = nullptr);
+
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  BlobStoreStats stats_;
+  std::list<Digest> lru_;  // most-recent first
+  std::unordered_map<Digest, Entry> entries_;
+};
+
+}  // namespace tasklets::store

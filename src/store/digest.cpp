@@ -1,0 +1,76 @@
+#include "store/digest.hpp"
+
+#include <array>
+
+namespace tasklets::store {
+
+namespace {
+
+// 64-bit finalization mix (splitmix64 constants): full avalanche, so every
+// input bit influences every output bit of its lane.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Assembles up to 8 bytes little-endian — byte order on the wire, not host
+// order, so digests agree across platforms.
+constexpr std::uint64_t load_le(const std::byte* p, std::size_t n) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string Digest::to_string() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t lane = i < 8 ? hi : lo;
+    const int shift = 8 * (7 - (i % 8));
+    s[static_cast<std::size_t>(2 * i)] = kHex[(lane >> (shift + 4)) & 0xF];
+    s[static_cast<std::size_t>(2 * i + 1)] = kHex[(lane >> shift) & 0xF];
+  }
+  return s;
+}
+
+Digest digest_bytes(std::span<const std::byte> data) noexcept {
+  // Two independently-seeded lanes absorbing 8-byte words with
+  // multiply-rotate rounds, finalized with a cross-lane avalanche. The
+  // length is folded in so prefixes of each other never collide.
+  std::uint64_t a = 0x9AE16A3B2F90404FULL ^ data.size();
+  std::uint64_t b = 0xC949D7C7509E6557ULL + data.size() * 0x9E3779B97F4A7C15ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t w = load_le(data.data() + i, 8);
+    a = mix64(a ^ w) * 0xFF51AFD7ED558CCDULL;
+    b = (b + w) * 0xC4CEB9FE1A85EC53ULL;
+    b ^= b >> 33;
+  }
+  if (i < data.size()) {
+    const std::uint64_t w = load_le(data.data() + i, data.size() - i);
+    a = mix64(a ^ w) * 0xFF51AFD7ED558CCDULL;
+    b = (b + w) * 0xC4CEB9FE1A85EC53ULL;
+  }
+  Digest d;
+  d.hi = mix64(a + b);
+  d.lo = mix64(b ^ a ^ 0x8E51AFD7ED558CCDULL);
+  if (!d.valid()) d.lo = 1;  // keep 0/0 reserved for "no digest"
+  return d;
+}
+
+Digest digest_args(const std::vector<tvm::HostArg>& args) {
+  ByteWriter w;
+  tvm::encode_args(w, args);
+  return digest_bytes(w.buffer());
+}
+
+}  // namespace tasklets::store

@@ -1,0 +1,63 @@
+// Canonical 128-bit content digests for the content-addressed tasklet store.
+//
+// A Digest names immutable content: serialized TVM programs (`digest_bytes`
+// over the bytecode container) and marshalled argument vectors
+// (`digest_args` over the stable tvm::encode_args wire form). Because both
+// inputs have a single canonical encoding, equal digests mean equal content
+// for every honest party — which is what lets the broker dedup program
+// bytes across submissions and memoize results by (program, args).
+//
+// The hash is a fixed, platform-stable function (explicit little-endian
+// lane assembly, no seeds): the same bytes digest identically on every node
+// of a deployment, today and in replayed traces. 128 bits keep accidental
+// collisions out of reach at any realistic store size; this is an integrity
+// check against corruption and a dedup key, not a defence against adaptive
+// adversaries (providers are already untrusted at the *result* level and
+// handled by QoC redundancy voting).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "tvm/marshal.hpp"
+
+namespace tasklets::store {
+
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  // 0/0 is reserved as "no digest" (synthetic bodies, legacy frames). The
+  // hash function never produces it for any input.
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return (hi | lo) != 0;
+  }
+  friend constexpr bool operator==(const Digest&, const Digest&) noexcept =
+      default;
+  friend constexpr auto operator<=>(const Digest&, const Digest&) noexcept =
+      default;
+
+  // 32 lowercase hex chars (hi then lo); used in traces and logs.
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Digests raw content (serialized programs, snapshots, ...).
+[[nodiscard]] Digest digest_bytes(std::span<const std::byte> data) noexcept;
+
+// Digests an argument vector via its canonical marshalled form.
+[[nodiscard]] Digest digest_args(const std::vector<tvm::HostArg>& args);
+
+}  // namespace tasklets::store
+
+template <>
+struct std::hash<tasklets::store::Digest> {
+  std::size_t operator()(const tasklets::store::Digest& d) const noexcept {
+    // The digest is already uniformly mixed; fold the lanes.
+    return static_cast<std::size_t>(d.hi ^ (d.lo * 0x9E3779B97F4A7C15ULL));
+  }
+};

@@ -1,0 +1,37 @@
+#include "store/memo.hpp"
+
+#include <utility>
+
+namespace tasklets::store {
+
+const MemoEntry* MemoTable::lookup(const MemoKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return &it->second.entry;
+}
+
+void MemoTable::insert(const MemoKey& key, MemoEntry entry) {
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  ++stats_.inserts;
+  lru_.push_front(key);
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.lru = lru_.begin();
+  entries_.emplace(key, std::move(slot));
+  while (entries_.size() > max_entries_) {
+    ++stats_.evictions;
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace tasklets::store

@@ -1,0 +1,82 @@
+// Result memoization table keyed by (program digest, args digest).
+//
+// Tasklets are side-effect-free and the TVM has no nondeterministic
+// opcodes, so equal (program, args) implies an equal result — a repeat
+// submission can be answered from this table without a provider round trip.
+// The broker populates it only from verified terminal results (the winning
+// vote under QoC redundancy), and consults it only for tasklets whose QoC
+// opts in via `memoize` (results are still application-visible state; the
+// knob is the developer's assertion that staleness semantics don't apply).
+//
+// Entry-capped LRU; owned by the broker actor, not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "store/digest.hpp"
+#include "tvm/marshal.hpp"
+
+namespace tasklets::store {
+
+struct MemoKey {
+  Digest program;
+  Digest args;
+
+  friend constexpr bool operator==(const MemoKey&, const MemoKey&) noexcept =
+      default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const noexcept {
+    return std::hash<Digest>{}(k.program) ^
+           (std::hash<Digest>{}(k.args) * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+struct MemoEntry {
+  tvm::HostArg result = std::int64_t{0};
+  std::uint64_t fuel = 0;
+  std::uint64_t instructions = 0;
+  NodeId provider;  // who originally computed it (report provenance)
+};
+
+struct MemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+};
+
+class MemoTable {
+ public:
+  explicit MemoTable(std::size_t max_entries = 4096)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  // nullptr on miss; refreshes recency on hit. The pointer stays valid
+  // until the next insert (which may evict).
+  [[nodiscard]] const MemoEntry* lookup(const MemoKey& key);
+
+  // Last write wins for an existing key (results are equal by construction,
+  // so this only refreshes provenance and recency).
+  void insert(const MemoKey& key, MemoEntry entry);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const MemoStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Slot {
+    MemoEntry entry;
+    std::list<MemoKey>::iterator lru;
+  };
+
+  std::size_t max_entries_;
+  MemoStats stats_;
+  std::list<MemoKey> lru_;  // most-recent first
+  std::unordered_map<MemoKey, Slot, MemoKeyHash> entries_;
+};
+
+}  // namespace tasklets::store

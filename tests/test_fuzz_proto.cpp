@@ -107,11 +107,30 @@ std::vector<proto::Envelope> envelope_corpus() {
   corpus.push_back({a, b, Heartbeat{2, 5}});
   corpus.push_back({a, b, AttemptResult{AttemptId{9}, TaskletId{7}, ok_outcome}});
   corpus.push_back({a, b, AttemptResult{AttemptId{9}, TaskletId{7}, suspended}});
+  // r3 content-store messages: digest-only submission and assignment, plus
+  // the program pull pair.
+  TaskletSpec digest_spec;
+  digest_spec.id = TaskletId{8};
+  DigestBody digest_body;
+  digest_body.program_digest = store::Digest{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+  digest_body.args = {std::int64_t{15}};
+  digest_spec.body = digest_body;
+  digest_spec.qoc.memoize = true;
+
+  AssignTasklet digest_assign;
+  digest_assign.attempt = AttemptId{10};
+  digest_assign.tasklet = TaskletId{8};
+  digest_assign.body = digest_body;
+
   corpus.push_back({a, b, SubmitTasklet{std::move(spec), TraceContext{7, 9}}});
   corpus.push_back({a, b, CancelTasklet{TaskletId{7}}});
   corpus.push_back({a, b, std::move(assign)});
   corpus.push_back({a, b, TaskletDone{std::move(report)}});
   corpus.push_back({a, b, RegisterAck{7}});
+  corpus.push_back({a, b, SubmitTasklet{std::move(digest_spec), TraceContext{}}});
+  corpus.push_back({a, b, std::move(digest_assign)});
+  corpus.push_back({a, b, FetchProgram{digest_body.program_digest}});
+  corpus.push_back({a, b, ProgramData{digest_body.program_digest, Bytes(48, std::byte{0x3C})}});
   return corpus;
 }
 

@@ -145,6 +145,54 @@ TEST(ProtoCodec, CancelRoundTrip) {
   EXPECT_EQ(std::get<CancelTasklet>(out.payload).tasklet, TaskletId{3});
 }
 
+TEST(ProtoCodec, SubmitDigestBodyRoundTrip) {
+  // r3: repeat submission naming the program by digest, opted into the memo.
+  SubmitTasklet submit;
+  submit.spec.id = TaskletId{43};
+  DigestBody body;
+  body.program_digest = store::Digest{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  body.args = {std::int64_t{15}, std::vector<double>{0.5, -1.0}};
+  submit.spec.body = body;
+  submit.spec.qoc.memoize = true;
+
+  const Envelope out = round_trip({NodeId{9}, NodeId{1}, submit});
+  const auto& m = std::get<SubmitTasklet>(out.payload);
+  EXPECT_EQ(std::get<DigestBody>(m.spec.body), body);
+  EXPECT_TRUE(m.spec.qoc.memoize);
+}
+
+TEST(ProtoCodec, AssignDigestBodyRoundTrip) {
+  // r3: digest-only assignment to a warm provider.
+  AssignTasklet assign;
+  assign.attempt = AttemptId{4};
+  assign.tasklet = TaskletId{43};
+  DigestBody body;
+  body.program_digest = store::Digest{7, 9};
+  body.args = {std::int64_t{1}};
+  assign.body = body;
+
+  const Envelope out = round_trip({NodeId{1}, NodeId{3}, assign});
+  const auto& m = std::get<AssignTasklet>(out.payload);
+  EXPECT_EQ(m.attempt, AttemptId{4});
+  EXPECT_EQ(std::get<DigestBody>(m.body), body);
+}
+
+TEST(ProtoCodec, FetchProgramRoundTrip) {
+  const store::Digest digest{0xdeadbeefULL, 0xcafef00dULL};
+  const Envelope out = round_trip({NodeId{3}, NodeId{1}, FetchProgram{digest}});
+  EXPECT_EQ(std::get<FetchProgram>(out.payload).program_digest, digest);
+}
+
+TEST(ProtoCodec, ProgramDataRoundTrip) {
+  ProgramData data;
+  data.program_digest = store::Digest{1, 2};
+  data.program = {std::byte{9}, std::byte{8}, std::byte{7}};
+  const Envelope out = round_trip({NodeId{1}, NodeId{3}, data});
+  const auto& m = std::get<ProgramData>(out.payload);
+  EXPECT_EQ(m.program_digest, data.program_digest);
+  EXPECT_EQ(m.program, data.program);
+}
+
 TEST(ProtoCodec, RejectsBadMagic) {
   Bytes wire = encode({NodeId{1}, NodeId{2}, Heartbeat{}});
   wire[0] = std::byte{0x00};
