@@ -42,9 +42,15 @@ std::shared_ptr<const VmExecutor::CacheEntry> VmExecutor::lookup_or_verify(
     entry->verify_error = program.status().to_string();
   } else {
     entry->program = std::move(program).value();
-    const Status verdict = tvm::verify(entry->program);
-    entry->verified_ok = verdict.is_ok();
-    if (!verdict.is_ok()) entry->verify_error = verdict.to_string();
+    // analyze() accepts exactly the programs verify() accepts, and
+    // additionally yields the fast-path plan, so one pass does both.
+    auto plan = tvm::analyze(entry->program);
+    entry->verified_ok = plan.is_ok();
+    if (plan.is_ok()) {
+      entry->plan = std::move(plan).value();
+    } else {
+      entry->verify_error = plan.status().to_string();
+    }
   }
   std::uint64_t evicted = 0;
   std::shared_ptr<const CacheEntry> result;
@@ -129,15 +135,19 @@ proto::AttemptOutcome VmExecutor::run_sliced(const ExecRequest& request,
   }
   tvm::ExecLimits limits = default_limits_;
   if (request.max_fuel > 0) limits.max_fuel = request.max_fuel;
+  tvm::ExecOptions options;
+  options.plan = &entry->plan;
 
   // First slice: fresh start or resume of a migrated snapshot.
   Result<tvm::SliceOutcome> slice = [&]() -> Result<tvm::SliceOutcome> {
     if (!request.resume_snapshot.empty()) {
       tvm::Suspension incoming;
       incoming.state = request.resume_snapshot;
-      return tvm::resume_slice(entry->program, incoming, limits, fuel_slice);
+      return tvm::resume_slice(entry->program, incoming, limits, fuel_slice,
+                               options);
     }
-    return tvm::execute_slice(entry->program, vm_body.args, limits, fuel_slice);
+    return tvm::execute_slice(entry->program, vm_body.args, limits, fuel_slice,
+                              options);
   }();
 
   const bool count = !request.calibration;
@@ -166,7 +176,8 @@ proto::AttemptOutcome VmExecutor::run_sliced(const ExecRequest& request,
       return outcome;
     }
     if (count) TASKLETS_COUNT("provider.vm.slices", 1);
-    slice = tvm::resume_slice(entry->program, suspension, limits, fuel_slice);
+    slice = tvm::resume_slice(entry->program, suspension, limits, fuel_slice,
+                              options);
   }
 }
 

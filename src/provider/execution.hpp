@@ -6,8 +6,9 @@
 // with the agent's other handlers, with a fresh Outbox). Implementations:
 //
 //   * VmExecutor — shared, thread-safe bytecode executor with a per-program
-//     verification cache; used directly by the threaded runtime's worker
-//     pool and by the simulator to obtain (result, fuel) pairs.
+//     verification + fast-path-plan cache; used directly by the threaded
+//     runtime's worker pool and by the simulator to obtain (result, fuel)
+//     pairs.
 //   * The simulator's ExecutionService lives in sim/ (it converts fuel to
 //     virtual time using the device profile).
 #pragma once
@@ -89,6 +90,9 @@ class VmExecutor {
  private:
   struct CacheEntry {
     tvm::Program program;
+    // Fast-path execution plan (tvm::analyze), built once per cached
+    // program so repeat executions skip analysis entirely.
+    tvm::ExecPlan plan;
     bool verified_ok = false;
     std::string verify_error;
     std::list<store::Digest>::iterator lru;  // position in lru_

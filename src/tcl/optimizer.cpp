@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace tasklets::tcl {
@@ -88,6 +89,39 @@ std::optional<Instr> fold_float(OpCode op, double a, double b) {
     case OpCode::kCmpLeFloat: return push_int(a <= b ? 1 : 0);
     case OpCode::kCmpGtFloat: return push_int(a > b ? 1 : 0);
     case OpCode::kCmpGeFloat: return push_int(a >= b ? 1 : 0);
+    default: return std::nullopt;
+  }
+}
+
+// Swapped-operand form of a commutative or order-reversible int binop, or
+// nullopt when operand order cannot be exchanged (sub/div/mod/shifts).
+std::optional<OpCode> swapped_int_op(OpCode op) {
+  switch (op) {
+    case OpCode::kAddInt:
+    case OpCode::kMulInt:
+    case OpCode::kBitAnd:
+    case OpCode::kBitOr:
+    case OpCode::kBitXor:
+    case OpCode::kCmpEqInt:
+    case OpCode::kCmpNeInt: return op;
+    case OpCode::kCmpLtInt: return OpCode::kCmpGtInt;
+    case OpCode::kCmpLeInt: return OpCode::kCmpGeInt;
+    case OpCode::kCmpGtInt: return OpCode::kCmpLtInt;
+    case OpCode::kCmpGeInt: return OpCode::kCmpLeInt;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<OpCode> swapped_float_op(OpCode op) {
+  switch (op) {
+    case OpCode::kAddFloat:
+    case OpCode::kMulFloat:
+    case OpCode::kCmpEqFloat:
+    case OpCode::kCmpNeFloat: return op;
+    case OpCode::kCmpLtFloat: return OpCode::kCmpGtFloat;
+    case OpCode::kCmpLeFloat: return OpCode::kCmpGeFloat;
+    case OpCode::kCmpGtFloat: return OpCode::kCmpLtFloat;
+    case OpCode::kCmpGeFloat: return OpCode::kCmpLeFloat;
     default: return std::nullopt;
   }
 }
@@ -179,6 +213,27 @@ std::size_t peephole(Function& fn, OptimizeStats& stats) {
         ++changes;
         continue;
       }
+    }
+    // push k ; load x ; <commutative/reversible binop>  =>
+    // load x ; push k ; op'. The constant lands adjacent to its consumer,
+    // the shape tvm::analyze fuses into an immediate-form quickened op.
+    // Ordered comparisons flip direction (k < x ⟺ x > k). The push type
+    // must match the op flavour (a mismatched window traps at runtime, and
+    // swapping it could change which operand traps first). A NaN constant
+    // stays put: with at most one NaN operand the swap is bit-exact, but x
+    // is unknown here.
+    const auto swapped =
+        is_push_int(code[i]) ? swapped_int_op(code[i + 2].op)
+        : is_push_float(code[i]) && !std::isnan(float_of(code[i]))
+            ? swapped_float_op(code[i + 2].op)
+            : std::nullopt;
+    if (swapped && code[i + 1].op == OpCode::kLoadLocal &&
+        window_free(i, i + 2)) {
+      std::swap(code[i], code[i + 1]);
+      code[i + 2].op = *swapped;
+      ++stats.operands_canonicalized;
+      ++changes;
+      continue;
     }
   }
   return changes;

@@ -12,6 +12,12 @@
 //   * jump threading     — a branch to an unconditional jump retargets to
 //                          its final destination (chases chains, stops at
 //                          cycles),
+//   * operand canonicalization — push k; load x; <commutative op> becomes
+//                          load x; push k; op (comparison direction flipped
+//                          for the ordered comparisons), putting the
+//                          constant adjacent to its consumer so the
+//                          verifier's quickening pass (tvm::analyze) can
+//                          fuse the pair into an immediate-form opcode,
 //   * dead-code removal  — instructions unreachable from the function entry
 //                          are deleted and branch targets remapped.
 //
@@ -30,9 +36,11 @@ struct OptimizeStats {
   std::size_t pushes_elided = 0;
   std::size_t jumps_threaded = 0;
   std::size_t dead_removed = 0;
+  std::size_t operands_canonicalized = 0;
 
   [[nodiscard]] std::size_t total() const noexcept {
-    return constants_folded + pushes_elided + jumps_threaded + dead_removed;
+    return constants_folded + pushes_elided + jumps_threaded + dead_removed +
+           operands_canonicalized;
   }
 };
 

@@ -7,11 +7,20 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 
 #include "common/bytes.hpp"
 #include "tvm/value.hpp"
 #include "tvm/verifier.hpp"
+
+// Computed-goto dispatch needs the GNU address-of-label extension; fall back
+// to the switch-based fast loop elsewhere even when the option is set.
+#if defined(TASKLETS_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define TASKLETS_COMPUTED_GOTO 1
+#else
+#define TASKLETS_COMPUTED_GOTO 0
+#endif
 
 namespace tasklets::tvm {
 
@@ -19,9 +28,84 @@ namespace {
 
 struct Frame {
   const Function* fn = nullptr;
+  std::uint32_t fn_idx = 0;  // index of `fn` in the program
   std::size_t ip = 0;
   std::size_t locals_base = 0;
 };
+
+// Raw-buffer operand stack. The fast-path engine runs a proven basic block
+// through a bare Value* cursor with no per-push checks (capacity is
+// reserved from the block's proven max depth at block entry); std::vector
+// cannot legally be written past size(), so the buffer is managed directly.
+class OperandStack {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] Value* data() noexcept { return data_.get(); }
+  [[nodiscard]] const Value* begin() const noexcept { return data_.get(); }
+  [[nodiscard]] const Value* end() const noexcept { return data_.get() + size_; }
+  [[nodiscard]] Value& back() noexcept { return data_[size_ - 1]; }
+
+  void reserve(std::size_t cap) {
+    if (cap > cap_) grow(cap);
+  }
+  void push_back(Value v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data_[size_++] = v;
+  }
+  void pop_back() noexcept { --size_; }
+  void clear() noexcept { size_ = 0; }
+  // Publishes the cursor position after a fast-path block ran over data().
+  void set_size(std::size_t n) noexcept { size_ = n; }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = cap_ == 0 ? 256 : cap_;
+    while (cap < need) cap *= 2;
+    auto next = std::make_unique<Value[]>(cap);
+    std::copy(data_.get(), data_.get() + size_, next.get());
+    data_ = std::move(next);
+    cap_ = cap;
+  }
+
+  std::unique_ptr<Value[]> data_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+};
+
+// Intrinsic kernels shared by both engines (tag checks are the caller's
+// job). Returns false on an id/table mismatch, which the callers surface as
+// the reference stepper's "intrinsic dispatch mismatch" internal trap.
+bool eval_intrinsic_float(Intrinsic id, double x, double y, double& r) {
+  switch (id) {
+    case Intrinsic::kSqrt: r = std::sqrt(x); return true;
+    case Intrinsic::kSin: r = std::sin(x); return true;
+    case Intrinsic::kCos: r = std::cos(x); return true;
+    case Intrinsic::kTan: r = std::tan(x); return true;
+    case Intrinsic::kExp: r = std::exp(x); return true;
+    case Intrinsic::kLog: r = std::log(x); return true;
+    case Intrinsic::kFloor: r = std::floor(x); return true;
+    case Intrinsic::kCeil: r = std::ceil(x); return true;
+    case Intrinsic::kRound: r = std::round(x); return true;
+    case Intrinsic::kAbsFloat: r = std::fabs(x); return true;
+    case Intrinsic::kPow: r = std::pow(x, y); return true;
+    case Intrinsic::kAtan2: r = std::atan2(x, y); return true;
+    case Intrinsic::kMinFloat: r = std::fmin(x, y); return true;
+    case Intrinsic::kMaxFloat: r = std::fmax(x, y); return true;
+    default: return false;
+  }
+}
+
+bool eval_intrinsic_int(Intrinsic id, std::int64_t x, std::int64_t y,
+                        std::int64_t& r) {
+  switch (id) {
+    case Intrinsic::kAbsInt:
+      r = x < 0 ? static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(x)) : x;
+      return true;
+    case Intrinsic::kMinInt: r = std::min(x, y); return true;
+    case Intrinsic::kMaxInt: r = std::max(x, y); return true;
+    default: return false;
+  }
+}
 
 class Machine {
  public:
@@ -39,6 +123,10 @@ class Machine {
   // Seeds the retired-instruction counter when resuming from a Suspension
   // whose in-memory count survived (same-host slicing).
   void set_instructions(std::uint64_t n) noexcept { instructions_ = n; }
+  // Enables the fast-path engine; `plan` must outlive the machine. Null (or
+  // a kReference engine, or profiling) keeps the reference stepper.
+  void set_plan(const ExecPlan* plan) noexcept { plan_ = plan; }
+  void set_engine(Engine engine) noexcept { engine_ = engine; }
 
  private:
   [[nodiscard]] Bytes snapshot() const;
@@ -116,9 +204,18 @@ class Machine {
   // One step, dispatched on whether profiling is on.
   Status advance() { return profile_ != nullptr ? step_profiled() : step(); }
 
+  // The fast-path engine is usable when a plan is attached and nothing
+  // forces per-instruction observation.
+  [[nodiscard]] bool fast_enabled() const noexcept {
+    return plan_ != nullptr && profile_ == nullptr && engine_ == Engine::kFast;
+  }
+  // Runs fast-path blocks until halt, trap, or fuel_used_ >= `target` at an
+  // instruction boundary (sets `suspended` in the latter case).
+  Status run_fast(std::uint64_t target, bool& suspended);
+
   const Program& program_;
   const ExecLimits& limits_;
-  std::vector<Value> stack_;
+  OperandStack stack_;
   std::vector<Value> locals_;
   std::vector<Frame> frames_;
   std::vector<std::vector<Value>> heap_;
@@ -128,6 +225,12 @@ class Machine {
   std::uint32_t peak_depth_ = 0;
   bool halted_ = false;
   ExecProfile* profile_ = nullptr;
+  const ExecPlan* plan_ = nullptr;
+  Engine engine_ = Engine::kFast;
+  // step_profiled's batched clock: the previous step's end timestamp serves
+  // as the next step's begin, halving steady_clock reads.
+  std::chrono::steady_clock::time_point clock_mark_{};
+  bool clock_primed_ = false;
 };
 
 Status Machine::enter(std::uint32_t fn_idx, bool from_host,
@@ -139,6 +242,7 @@ Status Machine::enter(std::uint32_t fn_idx, bool from_host,
   }
   Frame frame;
   frame.fn = &fn;
+  frame.fn_idx = fn_idx;
   frame.ip = 0;
   frame.locals_base = locals_.size();
   locals_.resize(locals_.size() + fn.num_locals, Value::from_int(0));
@@ -242,13 +346,22 @@ Result<HostArg> Machine::value_to_host(Value v) const {
 
 Status Machine::step_profiled() {
   const OpCode op = frames_.back().fn->code[frames_.back().ip].op;
-  const auto begin = std::chrono::steady_clock::now();
+  // One steady_clock read per instruction: the previous step's end timestamp
+  // is this step's begin (only the first profiled step pays two reads). The
+  // cost is a small skew — loop overhead between steps lands in the next
+  // opcode's bucket; see docs/OBSERVABILITY.md.
+  if (!clock_primed_) {
+    clock_mark_ = std::chrono::steady_clock::now();
+    clock_primed_ = true;
+  }
+  const auto begin = clock_mark_;
   const Status status = step();
-  const auto end = std::chrono::steady_clock::now();
+  clock_mark_ = std::chrono::steady_clock::now();
   ExecProfile::OpEntry& entry = profile_->ops[static_cast<std::size_t>(op)];
   ++entry.count;
   entry.nanos += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_mark_ - begin)
+          .count());
   ++profile_->instructions;
   return status;
 }
@@ -483,23 +596,8 @@ Status Machine::step() {
         if (info.arity == 2) TASKLETS_RETURN_IF_ERROR(pop_float(y));
         TASKLETS_RETURN_IF_ERROR(pop_float(x));
         double r = 0.0;
-        switch (id) {
-          case Intrinsic::kSqrt: r = std::sqrt(x); break;
-          case Intrinsic::kSin: r = std::sin(x); break;
-          case Intrinsic::kCos: r = std::cos(x); break;
-          case Intrinsic::kTan: r = std::tan(x); break;
-          case Intrinsic::kExp: r = std::exp(x); break;
-          case Intrinsic::kLog: r = std::log(x); break;
-          case Intrinsic::kFloor: r = std::floor(x); break;
-          case Intrinsic::kCeil: r = std::ceil(x); break;
-          case Intrinsic::kRound: r = std::round(x); break;
-          case Intrinsic::kAbsFloat: r = std::fabs(x); break;
-          case Intrinsic::kPow: r = std::pow(x, y); break;
-          case Intrinsic::kAtan2: r = std::atan2(x, y); break;
-          case Intrinsic::kMinFloat: r = std::fmin(x, y); break;
-          case Intrinsic::kMaxFloat: r = std::fmax(x, y); break;
-          default:
-            return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
+        if (!eval_intrinsic_float(id, x, y, r)) {
+          return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
         }
         push(Value::from_float(r));
       } else {
@@ -507,22 +605,732 @@ Status Machine::step() {
         if (info.arity == 2) TASKLETS_RETURN_IF_ERROR(pop_int(y));
         TASKLETS_RETURN_IF_ERROR(pop_int(x));
         std::int64_t r = 0;
-        switch (id) {
-          case Intrinsic::kAbsInt:
-            r = x < 0 ? static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(x)) : x;
-            break;
-          case Intrinsic::kMinInt: r = std::min(x, y); break;
-          case Intrinsic::kMaxInt: r = std::max(x, y); break;
-          default:
-            return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
+        if (!eval_intrinsic_int(id, x, y, r)) {
+          return trap(StatusCode::kInternal, "intrinsic dispatch mismatch");
         }
         push(Value::from_int(r));
       }
       break;
     }
+
+    default:
+      // Quickened opcodes (>= kNumOpCodes) exist only inside an ExecPlan's
+      // quick code; the reference stepper executes original program code and
+      // can never encounter them.
+      return trap(StatusCode::kInternal, "unexecutable opcode");
   }
   return Status::ok();
 }
+
+// --- fast-path engine ---------------------------------------------------------
+//
+// Executes one proven basic block at a time over the plan's quickened code,
+// with the reference stepper's per-instruction fuel and stack-limit checks
+// hoisted to block entry. Exact parity with the reference stepper is by
+// construction: a block runs fast only when the plan proves it cannot trap
+// on fuel or stack and cannot cross `target` mid-block; every other case —
+// data-dependent fuel (kNewArray), a possible mid-block fuel/stack trap or
+// slice-target crossing, a mid-block resume point after snapshot restore —
+// drains through single checked reference steps, which re-evaluate the fast
+// conditions at the next boundary. Fuel and instruction counters are
+// charged when a block completes; a mid-block trap discards the machine, so
+// only the trap's code and message (which carry the exact instruction
+// index) are observable and both are reproduced exactly.
+
+// Type-checked pops for un-quickened opcodes inside a fast block; trap
+// messages match the reference stepper's pop_int/pop_float/pop_array.
+#define TASKLETS_FPOP_INT(var)                                                \
+  std::int64_t var;                                                           \
+  {                                                                           \
+    const Value v_ = *--sp;                                                   \
+    if (!v_.is_int()) {                                                       \
+      return fast_trap(StatusCode::kAborted,                                  \
+                       std::string("expected int, got ") +                    \
+                           std::string(to_string(v_.tag())),                  \
+                       ip);                                                   \
+    }                                                                         \
+    var = v_.as_int();                                                        \
+  }
+
+#define TASKLETS_FPOP_FLOAT(var)                                              \
+  double var;                                                                 \
+  {                                                                           \
+    const Value v_ = *--sp;                                                   \
+    if (!v_.is_float()) {                                                     \
+      return fast_trap(StatusCode::kAborted,                                  \
+                       std::string("expected float, got ") +                  \
+                           std::string(to_string(v_.tag())),                  \
+                       ip);                                                   \
+    }                                                                         \
+    var = v_.as_float();                                                      \
+  }
+
+#define TASKLETS_FPOP_ARRAY(var)                                              \
+  ArrayHandle var;                                                            \
+  {                                                                           \
+    const Value v_ = *--sp;                                                   \
+    if (!v_.is_array()) {                                                     \
+      return fast_trap(StatusCode::kAborted,                                  \
+                       std::string("expected array, got ") +                  \
+                           std::string(to_string(v_.tag())),                  \
+                       ip);                                                   \
+    }                                                                         \
+    var = v_.as_array();                                                      \
+  }
+
+// Handler families. Checked forms replicate the reference stepper's pop
+// order (b first, then a); unchecked forms rely on verifier-proven tags.
+#define TASKLETS_FAST_BIN_INT(name, expr)                                     \
+  TASKLETS_OP(name) : {                                                       \
+    TASKLETS_FPOP_INT(b)                                                      \
+    TASKLETS_FPOP_INT(a)                                                      \
+    *sp++ = Value::from_int(expr);                                            \
+    ++ip;                                                                     \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#define TASKLETS_FAST_BIN_INT_U(name, expr)                                   \
+  TASKLETS_OP(name) : {                                                       \
+    const std::int64_t b = (--sp)->as_int();                                  \
+    const std::int64_t a = sp[-1].as_int();                                   \
+    sp[-1] = Value::from_int(expr);                                           \
+    ++ip;                                                                     \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#define TASKLETS_FAST_IMM_INT(name, expr)                                     \
+  TASKLETS_OP(name) : {                                                       \
+    const std::int64_t b = cur.operand;                                       \
+    const std::int64_t a = sp[-1].as_int();                                   \
+    sp[-1] = Value::from_int(expr);                                           \
+    ip += 2;                                                                  \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#define TASKLETS_FAST_BIN_FLOAT(name, push_expr)                              \
+  TASKLETS_OP(name) : {                                                       \
+    TASKLETS_FPOP_FLOAT(b)                                                    \
+    TASKLETS_FPOP_FLOAT(a)                                                    \
+    *sp++ = push_expr;                                                        \
+    ++ip;                                                                     \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#define TASKLETS_FAST_BIN_FLOAT_U(name, push_expr)                            \
+  TASKLETS_OP(name) : {                                                       \
+    const double b = (--sp)->as_float();                                      \
+    const double a = sp[-1].as_float();                                       \
+    sp[-1] = push_expr;                                                       \
+    ++ip;                                                                     \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#define TASKLETS_FAST_IMM_FLOAT(name, push_expr)                              \
+  TASKLETS_OP(name) : {                                                       \
+    const double b =                                                          \
+        std::bit_cast<double>(static_cast<std::uint64_t>(cur.operand));       \
+    const double a = sp[-1].as_float();                                       \
+    sp[-1] = push_expr;                                                       \
+    ip += 2;                                                                  \
+    TASKLETS_NEXT();                                                          \
+  }
+
+#if TASKLETS_COMPUTED_GOTO
+// Token-threaded dispatch: each handler ends in its own indirect jump
+// through the label table, giving the branch predictor one site per
+// *predecessor opcode* instead of one shared site for the whole loop.
+#define TASKLETS_OP(name) h_##name
+#define TASKLETS_NEXT()                                                       \
+  do {                                                                        \
+    if (ip == block_end) goto fast_block_done;                                \
+    cur = code[ip];                                                           \
+    goto* kDispatch[static_cast<std::size_t>(cur.op)];                        \
+  } while (0)
+#else
+#define TASKLETS_OP(name) case OpCode::name
+#define TASKLETS_NEXT() goto fast_dispatch
+#endif
+
+Status Machine::run_fast(std::uint64_t target, bool& suspended) {
+  suspended = false;
+#if TASKLETS_COMPUTED_GOTO
+  static const void* const kDispatch[kNumVmOps] = {
+#define TASKLETS_LABEL_ADDR(name) &&h_##name,
+      TASKLETS_BASE_OPS(TASKLETS_LABEL_ADDR)
+      TASKLETS_QUICKENED_OPS(TASKLETS_LABEL_ADDR)
+#undef TASKLETS_LABEL_ADDR
+  };
+#endif
+  while (!halted_) {
+    Frame& frame = frames_.back();
+    const FunctionPlan& fplan = plan_->functions[frame.fn_idx];
+    std::size_t ip = frame.ip;
+    const std::uint32_t block_idx = fplan.block_of[ip];
+    const BlockInfo* block =
+        block_idx == kNoBlock ? nullptr : &fplan.blocks[block_idx];
+    if (fuel_used_ >= target) {
+      suspended = true;
+      return Status::ok();
+    }
+    if (block == nullptr || block->begin != ip ||  // mid-block resume point
+        block->variable_fuel ||                    // kNewArray: dynamic fuel
+        fuel_used_ > limits_.max_fuel ||           // kCall overshoot pending
+        block->base_fuel > limits_.max_fuel - fuel_used_ ||  // mid-block trap
+        block->base_fuel >= target - fuel_used_ ||  // mid-block suspension
+        stack_.size() + block->max_depth >= limits_.max_operand_stack) {
+      // One checked reference step; conditions re-evaluate at the next
+      // boundary, so this lane drains exactly as far as it has to.
+      TASKLETS_RETURN_IF_ERROR(step());
+      continue;
+    }
+
+    // Fast lane: the block cannot trap on fuel or stack and cannot cross
+    // the slice target, so no per-instruction checks are needed.
+    stack_.reserve(stack_.size() + block->max_depth + 2);
+    const Instr* const code = fplan.quick.data();
+    const Function& fn = *frame.fn;
+    Value* const locals = locals_.data() + frame.locals_base;
+    Value* sp = stack_.data() + stack_.size();
+    const std::size_t block_end = block->end;
+    Instr cur;
+    auto fast_trap = [&fn](StatusCode code_, std::string what,
+                           std::size_t trap_ip) {
+      return make_error(code_, std::move(what) + " in '" + fn.name +
+                                   "' at instruction " +
+                                   std::to_string(trap_ip));
+    };
+
+#if TASKLETS_COMPUTED_GOTO
+    TASKLETS_NEXT();
+#else
+  fast_dispatch:
+    if (ip == block_end) goto fast_block_done;
+    cur = code[ip];
+    switch (cur.op) {
+#endif
+
+    // --- stack & constants --------------------------------------------------
+    TASKLETS_OP(kNop) : {
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kPushInt) : {
+      *sp++ = Value::from_int(cur.operand);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kPushFloat) : {
+      *sp++ = Value::from_float(
+          std::bit_cast<double>(static_cast<std::uint64_t>(cur.operand)));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kPop) : {
+      --sp;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kDup) : {
+      *sp = sp[-1];
+      ++sp;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kSwap) : {
+      const Value tmp = sp[-1];
+      sp[-1] = sp[-2];
+      sp[-2] = tmp;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kLoadLocal) : {
+      *sp++ = locals[static_cast<std::size_t>(cur.operand)];
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kStoreLocal) : {
+      locals[static_cast<std::size_t>(cur.operand)] = *--sp;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- integer arithmetic (checked: operand tags unproven) ----------------
+    TASKLETS_FAST_BIN_INT(kAddInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_BIN_INT(kSubInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_BIN_INT(kMulInt, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)))
+    TASKLETS_OP(kDivInt) : {
+      TASKLETS_FPOP_INT(b)
+      TASKLETS_FPOP_INT(a)
+      if (b == 0) {
+        return fast_trap(StatusCode::kAborted, "integer division by zero", ip);
+      }
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        return fast_trap(StatusCode::kAborted, "integer division overflow", ip);
+      }
+      *sp++ = Value::from_int(a / b);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kModInt) : {
+      TASKLETS_FPOP_INT(b)
+      TASKLETS_FPOP_INT(a)
+      if (b == 0) {
+        return fast_trap(StatusCode::kAborted, "integer modulo by zero", ip);
+      }
+      *sp++ = Value::from_int(
+          a == std::numeric_limits<std::int64_t>::min() && b == -1 ? 0 : a % b);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kNegInt) : {
+      TASKLETS_FPOP_INT(a)
+      *sp++ = Value::from_int(
+          static_cast<std::int64_t>(0 - static_cast<std::uint64_t>(a)));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- float arithmetic (checked) -----------------------------------------
+    TASKLETS_FAST_BIN_FLOAT(kAddFloat, Value::from_float(a + b))
+    TASKLETS_FAST_BIN_FLOAT(kSubFloat, Value::from_float(a - b))
+    TASKLETS_FAST_BIN_FLOAT(kMulFloat, Value::from_float(a * b))
+    TASKLETS_FAST_BIN_FLOAT(kDivFloat, Value::from_float(a / b))
+    TASKLETS_OP(kNegFloat) : {
+      TASKLETS_FPOP_FLOAT(a)
+      *sp++ = Value::from_float(-a);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- bit operations (checked) -------------------------------------------
+    TASKLETS_FAST_BIN_INT(kBitAnd, a & b)
+    TASKLETS_FAST_BIN_INT(kBitOr, a | b)
+    TASKLETS_FAST_BIN_INT(kBitXor, a ^ b)
+    TASKLETS_FAST_BIN_INT(kShl, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63)))
+    TASKLETS_FAST_BIN_INT(kShr, a >> (static_cast<std::uint64_t>(b) & 63))
+
+    // --- comparisons (checked) ----------------------------------------------
+    TASKLETS_FAST_BIN_INT(kCmpEqInt, a == b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT(kCmpNeInt, a != b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT(kCmpLtInt, a < b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT(kCmpLeInt, a <= b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT(kCmpGtInt, a > b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT(kCmpGeInt, a >= b ? 1 : 0)
+    TASKLETS_FAST_BIN_FLOAT(kCmpEqFloat, Value::from_int(a == b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT(kCmpNeFloat, Value::from_int(a != b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT(kCmpLtFloat, Value::from_int(a < b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT(kCmpLeFloat, Value::from_int(a <= b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT(kCmpGtFloat, Value::from_int(a > b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT(kCmpGeFloat, Value::from_int(a >= b ? 1 : 0))
+
+    // --- logic & conversions (checked) --------------------------------------
+    TASKLETS_OP(kLogicalNot) : {
+      TASKLETS_FPOP_INT(a)
+      *sp++ = Value::from_int(a == 0 ? 1 : 0);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kIntToFloat) : {
+      TASKLETS_FPOP_INT(a)
+      *sp++ = Value::from_float(static_cast<double>(a));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kFloatToInt) : {
+      TASKLETS_FPOP_FLOAT(a)
+      if (std::isnan(a) || a < -9.223372036854776e18 ||
+          a >= 9.223372036854776e18) {
+        return fast_trap(StatusCode::kAborted, "float to int out of range", ip);
+      }
+      *sp++ = Value::from_int(static_cast<std::int64_t>(a));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- control flow (always block terminators) ----------------------------
+    TASKLETS_OP(kJump) : {
+      ip = static_cast<std::size_t>(cur.operand);
+      goto fast_block_done;
+    }
+    TASKLETS_OP(kJumpIfZero) : {
+      TASKLETS_FPOP_INT(a)
+      ip = a == 0 ? static_cast<std::size_t>(cur.operand) : ip + 1;
+      goto fast_block_done;
+    }
+    TASKLETS_OP(kJumpIfNotZero) : {
+      TASKLETS_FPOP_INT(a)
+      ip = a != 0 ? static_cast<std::size_t>(cur.operand) : ip + 1;
+      goto fast_block_done;
+    }
+    TASKLETS_OP(kCall) : { goto fast_block_call; }
+    TASKLETS_OP(kReturn) : { goto fast_block_return; }
+    TASKLETS_OP(kHalt) : { goto fast_block_halt; }
+
+    // --- arrays (checked; kNewArray never reaches the fast lane) ------------
+    TASKLETS_OP(kNewArray) : {
+      // Blocks containing kNewArray have variable_fuel set and always run
+      // through the checked stepper.
+      return fast_trap(StatusCode::kInternal, "fast-path dispatch mismatch",
+                       ip);
+    }
+    TASKLETS_OP(kArrayLoad) : {
+      TASKLETS_FPOP_INT(idx)
+      TASKLETS_FPOP_ARRAY(h)
+      const auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return fast_trap(StatusCode::kAborted, "array index out of bounds", ip);
+      }
+      *sp++ = cells[static_cast<std::size_t>(idx)];
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayStore) : {
+      const Value value = *--sp;
+      TASKLETS_FPOP_INT(idx)
+      TASKLETS_FPOP_ARRAY(h)
+      auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return fast_trap(StatusCode::kAborted, "array index out of bounds", ip);
+      }
+      cells[static_cast<std::size_t>(idx)] = value;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayLen) : {
+      TASKLETS_FPOP_ARRAY(h)
+      *sp++ = Value::from_int(static_cast<std::int64_t>(heap_[h].size()));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- intrinsics (checked) -----------------------------------------------
+    TASKLETS_OP(kIntrinsic) : {
+      const auto id = static_cast<Intrinsic>(cur.operand);
+      const IntrinsicInfo& info = intrinsic_info(id);
+      if (info.float_args) {
+        double y = 0.0;
+        if (info.arity == 2) {
+          TASKLETS_FPOP_FLOAT(y2)
+          y = y2;
+        }
+        TASKLETS_FPOP_FLOAT(x)
+        double r = 0.0;
+        if (!eval_intrinsic_float(id, x, y, r)) {
+          return fast_trap(StatusCode::kInternal, "intrinsic dispatch mismatch",
+                           ip);
+        }
+        *sp++ = Value::from_float(r);
+      } else {
+        std::int64_t y = 0;
+        if (info.arity == 2) {
+          TASKLETS_FPOP_INT(y2)
+          y = y2;
+        }
+        TASKLETS_FPOP_INT(x)
+        std::int64_t r = 0;
+        if (!eval_intrinsic_int(id, x, y, r)) {
+          return fast_trap(StatusCode::kInternal, "intrinsic dispatch mismatch",
+                           ip);
+        }
+        *sp++ = Value::from_int(r);
+      }
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- quickened: unchecked integer arithmetic ----------------------------
+    TASKLETS_FAST_BIN_INT_U(kAddIntU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_BIN_INT_U(kSubIntU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_BIN_INT_U(kMulIntU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)))
+    TASKLETS_OP(kDivIntU) : {
+      const std::int64_t b = (--sp)->as_int();
+      const std::int64_t a = sp[-1].as_int();
+      if (b == 0) {
+        return fast_trap(StatusCode::kAborted, "integer division by zero", ip);
+      }
+      if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+        return fast_trap(StatusCode::kAborted, "integer division overflow", ip);
+      }
+      sp[-1] = Value::from_int(a / b);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kModIntU) : {
+      const std::int64_t b = (--sp)->as_int();
+      const std::int64_t a = sp[-1].as_int();
+      if (b == 0) {
+        return fast_trap(StatusCode::kAborted, "integer modulo by zero", ip);
+      }
+      sp[-1] = Value::from_int(
+          a == std::numeric_limits<std::int64_t>::min() && b == -1 ? 0 : a % b);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_FAST_BIN_INT_U(kBitAndU, a & b)
+    TASKLETS_FAST_BIN_INT_U(kBitOrU, a | b)
+    TASKLETS_FAST_BIN_INT_U(kBitXorU, a ^ b)
+    TASKLETS_FAST_BIN_INT_U(kShlU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63)))
+    TASKLETS_FAST_BIN_INT_U(kShrU, a >> (static_cast<std::uint64_t>(b) & 63))
+    TASKLETS_FAST_BIN_INT_U(kCmpEqIntU, a == b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT_U(kCmpNeIntU, a != b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT_U(kCmpLtIntU, a < b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT_U(kCmpLeIntU, a <= b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT_U(kCmpGtIntU, a > b ? 1 : 0)
+    TASKLETS_FAST_BIN_INT_U(kCmpGeIntU, a >= b ? 1 : 0)
+    TASKLETS_OP(kNegIntU) : {
+      sp[-1] = Value::from_int(static_cast<std::int64_t>(
+          0 - static_cast<std::uint64_t>(sp[-1].as_int())));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kLogicalNotU) : {
+      sp[-1] = Value::from_int(sp[-1].as_int() == 0 ? 1 : 0);
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kIntToFloatU) : {
+      sp[-1] = Value::from_float(static_cast<double>(sp[-1].as_int()));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- quickened: unchecked float arithmetic ------------------------------
+    TASKLETS_FAST_BIN_FLOAT_U(kAddFloatU, Value::from_float(a + b))
+    TASKLETS_FAST_BIN_FLOAT_U(kSubFloatU, Value::from_float(a - b))
+    TASKLETS_FAST_BIN_FLOAT_U(kMulFloatU, Value::from_float(a * b))
+    TASKLETS_FAST_BIN_FLOAT_U(kDivFloatU, Value::from_float(a / b))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpEqFloatU, Value::from_int(a == b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpNeFloatU, Value::from_int(a != b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpLtFloatU, Value::from_int(a < b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpLeFloatU, Value::from_int(a <= b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpGtFloatU, Value::from_int(a > b ? 1 : 0))
+    TASKLETS_FAST_BIN_FLOAT_U(kCmpGeFloatU, Value::from_int(a >= b ? 1 : 0))
+    TASKLETS_OP(kNegFloatU) : {
+      sp[-1] = Value::from_float(-sp[-1].as_float());
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kFloatToIntU) : {
+      const double a = sp[-1].as_float();
+      if (std::isnan(a) || a < -9.223372036854776e18 ||
+          a >= 9.223372036854776e18) {
+        return fast_trap(StatusCode::kAborted, "float to int out of range", ip);
+      }
+      sp[-1] = Value::from_int(static_cast<std::int64_t>(a));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- quickened: branches on a proven-int condition ----------------------
+    TASKLETS_OP(kJumpIfZeroU) : {
+      const std::int64_t a = (--sp)->as_int();
+      ip = a == 0 ? static_cast<std::size_t>(cur.operand) : ip + 1;
+      goto fast_block_done;
+    }
+    TASKLETS_OP(kJumpIfNotZeroU) : {
+      const std::int64_t a = (--sp)->as_int();
+      ip = a != 0 ? static_cast<std::size_t>(cur.operand) : ip + 1;
+      goto fast_block_done;
+    }
+
+    // --- quickened: arrays with proven ref/index tags -----------------------
+    TASKLETS_OP(kArrayLoadU) : {
+      const std::int64_t idx = (--sp)->as_int();
+      const ArrayHandle h = (--sp)->as_array();
+      const auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return fast_trap(StatusCode::kAborted, "array index out of bounds", ip);
+      }
+      *sp++ = cells[static_cast<std::size_t>(idx)];
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayStoreU) : {
+      const Value value = *--sp;
+      const std::int64_t idx = (--sp)->as_int();
+      const ArrayHandle h = (--sp)->as_array();
+      auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return fast_trap(StatusCode::kAborted, "array index out of bounds", ip);
+      }
+      cells[static_cast<std::size_t>(idx)] = value;
+      ++ip;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayLenU) : {
+      sp[-1] = Value::from_int(
+          static_cast<std::int64_t>(heap_[sp[-1].as_array()].size()));
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- quickened: intrinsic with proven argument tags ---------------------
+    TASKLETS_OP(kIntrinsicU) : {
+      const auto id = static_cast<Intrinsic>(cur.operand);
+      const IntrinsicInfo& info = intrinsic_info(id);
+      if (info.float_args) {
+        double y = 0.0;
+        if (info.arity == 2) y = (--sp)->as_float();
+        const double x = (--sp)->as_float();
+        double r = 0.0;
+        if (!eval_intrinsic_float(id, x, y, r)) {
+          return fast_trap(StatusCode::kInternal, "intrinsic dispatch mismatch",
+                           ip);
+        }
+        *sp++ = Value::from_float(r);
+      } else {
+        std::int64_t y = 0;
+        if (info.arity == 2) y = (--sp)->as_int();
+        const std::int64_t x = (--sp)->as_int();
+        std::int64_t r = 0;
+        if (!eval_intrinsic_int(id, x, y, r)) {
+          return fast_trap(StatusCode::kInternal, "intrinsic dispatch mismatch",
+                           ip);
+        }
+        *sp++ = Value::from_int(r);
+      }
+      ++ip;
+      TASKLETS_NEXT();
+    }
+
+    // --- quickened: fused `push_i k; <op>` (operand = k, 2 slots) -----------
+    TASKLETS_FAST_IMM_INT(kAddIntImmU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_IMM_INT(kSubIntImmU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_IMM_INT(kMulIntImmU, static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)))
+    TASKLETS_FAST_IMM_INT(kCmpEqIntImmU, a == b ? 1 : 0)
+    TASKLETS_FAST_IMM_INT(kCmpNeIntImmU, a != b ? 1 : 0)
+    TASKLETS_FAST_IMM_INT(kCmpLtIntImmU, a < b ? 1 : 0)
+    TASKLETS_FAST_IMM_INT(kCmpLeIntImmU, a <= b ? 1 : 0)
+    TASKLETS_FAST_IMM_INT(kCmpGtIntImmU, a > b ? 1 : 0)
+    TASKLETS_FAST_IMM_INT(kCmpGeIntImmU, a >= b ? 1 : 0)
+
+    // --- quickened: fused `push_f x; <op>` (operand = IEEE bits, 2 slots) ---
+    TASKLETS_FAST_IMM_FLOAT(kAddFloatImmU, Value::from_float(a + b))
+    TASKLETS_FAST_IMM_FLOAT(kSubFloatImmU, Value::from_float(a - b))
+    TASKLETS_FAST_IMM_FLOAT(kMulFloatImmU, Value::from_float(a * b))
+    TASKLETS_FAST_IMM_FLOAT(kDivFloatImmU, Value::from_float(a / b))
+    TASKLETS_FAST_IMM_FLOAT(kCmpEqFloatImmU, Value::from_int(a == b ? 1 : 0))
+    TASKLETS_FAST_IMM_FLOAT(kCmpNeFloatImmU, Value::from_int(a != b ? 1 : 0))
+    TASKLETS_FAST_IMM_FLOAT(kCmpLtFloatImmU, Value::from_int(a < b ? 1 : 0))
+    TASKLETS_FAST_IMM_FLOAT(kCmpLeFloatImmU, Value::from_int(a <= b ? 1 : 0))
+    TASKLETS_FAST_IMM_FLOAT(kCmpGtFloatImmU, Value::from_int(a > b ? 1 : 0))
+    TASKLETS_FAST_IMM_FLOAT(kCmpGeFloatImmU, Value::from_int(a >= b ? 1 : 0))
+
+    // --- quickened: fused local loads ---------------------------------------
+    TASKLETS_OP(kLoadLocal2) : {
+      const auto packed = static_cast<std::uint64_t>(cur.operand);
+      *sp++ = locals[packed & 0xFFFFFFFFu];
+      *sp++ = locals[packed >> 32];
+      ip += 2;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayLoadLLU) : {
+      const auto packed = static_cast<std::uint64_t>(cur.operand);
+      const ArrayHandle h = locals[packed & 0xFFFFFFFFu].as_array();
+      const std::int64_t idx = locals[packed >> 32].as_int();
+      const auto& cells = heap_[h];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        // The trap site is the fused aload, two slots past the window start.
+        return fast_trap(StatusCode::kAborted, "array index out of bounds",
+                         ip + 2);
+      }
+      *sp++ = cells[static_cast<std::size_t>(idx)];
+      ip += 3;
+      TASKLETS_NEXT();
+    }
+    TASKLETS_OP(kArrayLoadLLC) : {
+      // Tag-checked variant: check order (index first, then ref) and trap
+      // site match the reference stepper executing the unfused triple.
+      const auto packed = static_cast<std::uint64_t>(cur.operand);
+      const Value vref = locals[packed & 0xFFFFFFFFu];
+      const Value vidx = locals[packed >> 32];
+      if (!vidx.is_int()) {
+        return fast_trap(StatusCode::kAborted,
+                         std::string("expected int, got ") +
+                             std::string(to_string(vidx.tag())),
+                         ip + 2);
+      }
+      if (!vref.is_array()) {
+        return fast_trap(StatusCode::kAborted,
+                         std::string("expected array, got ") +
+                             std::string(to_string(vref.tag())),
+                         ip + 2);
+      }
+      const std::int64_t idx = vidx.as_int();
+      const auto& cells = heap_[vref.as_array()];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= cells.size()) {
+        return fast_trap(StatusCode::kAborted, "array index out of bounds",
+                         ip + 2);
+      }
+      *sp++ = cells[static_cast<std::size_t>(idx)];
+      ip += 3;
+      TASKLETS_NEXT();
+    }
+
+#if !TASKLETS_COMPUTED_GOTO
+    default:
+      return fast_trap(StatusCode::kInternal, "fast-path dispatch mismatch",
+                       ip);
+    }  // switch
+#endif
+
+  fast_block_done:
+    // Whole block retired (fallthrough or branch): publish the cursor and
+    // charge the proven block totals in one shot.
+    stack_.set_size(static_cast<std::size_t>(sp - stack_.data()));
+    frame.ip = ip;
+    fuel_used_ += block->base_fuel;
+    instructions_ += block->end - block->begin;
+    continue;
+
+  fast_block_call:
+    stack_.set_size(static_cast<std::size_t>(sp - stack_.data()));
+    frame.ip = ip + 1;  // resume point for the caller, as in the stepper
+    fuel_used_ += block->base_fuel;
+    instructions_ += block->end - block->begin;
+    TASKLETS_RETURN_IF_ERROR(enter(static_cast<std::uint32_t>(cur.operand),
+                                   /*from_host=*/false, nullptr));
+    continue;
+
+  fast_block_return:
+    stack_.set_size(static_cast<std::size_t>(sp - stack_.data()));
+    fuel_used_ += block->base_fuel;
+    instructions_ += block->end - block->begin;
+    TASKLETS_RETURN_IF_ERROR(do_return());
+    continue;
+
+  fast_block_halt:
+    stack_.set_size(static_cast<std::size_t>(sp - stack_.data()));
+    fuel_used_ += block->base_fuel;
+    instructions_ += block->end - block->begin;
+    halted_ = true;
+    continue;
+  }
+  return Status::ok();
+}
+
+#undef TASKLETS_OP
+#undef TASKLETS_NEXT
+#undef TASKLETS_FPOP_INT
+#undef TASKLETS_FPOP_FLOAT
+#undef TASKLETS_FPOP_ARRAY
+#undef TASKLETS_FAST_BIN_INT
+#undef TASKLETS_FAST_BIN_INT_U
+#undef TASKLETS_FAST_IMM_INT
+#undef TASKLETS_FAST_BIN_FLOAT
+#undef TASKLETS_FAST_BIN_FLOAT_U
+#undef TASKLETS_FAST_IMM_FLOAT
 
 Status Machine::start(const std::vector<HostArg>& args) {
   stack_.reserve(256);
@@ -533,8 +1341,14 @@ Status Machine::start(const std::vector<HostArg>& args) {
 
 Result<ExecOutcome> Machine::run(const std::vector<HostArg>& args) {
   TASKLETS_RETURN_IF_ERROR(start(args));
-  while (!halted_) {
-    TASKLETS_RETURN_IF_ERROR(advance());
+  if (fast_enabled()) {
+    bool suspended = false;  // unreachable: the target is unlimited
+    TASKLETS_RETURN_IF_ERROR(
+        run_fast(std::numeric_limits<std::uint64_t>::max(), suspended));
+  } else {
+    while (!halted_) {
+      TASKLETS_RETURN_IF_ERROR(advance());
+    }
   }
   ExecOutcome outcome;
   TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
@@ -544,19 +1358,33 @@ Result<ExecOutcome> Machine::run(const std::vector<HostArg>& args) {
   return outcome;
 }
 
+// GCC 12 false positive: the inactive SliceOutcome alternative's members get
+// flagged maybe-uninitialized when the variant construction inlines into
+// Result's move path (-O2 / -fsanitize). Same suppression as value_to_host.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 Result<SliceOutcome> Machine::run_slice(std::uint64_t fuel_slice) {
   const std::uint64_t target =
       fuel_slice == 0 ? std::numeric_limits<std::uint64_t>::max()
                       : fuel_used_ + fuel_slice;
-  while (!halted_) {
-    if (fuel_used_ >= target) {
-      Suspension suspension;
-      suspension.state = snapshot();
-      suspension.fuel_used = fuel_used_;
-      suspension.instructions = instructions_;
-      return SliceOutcome{std::move(suspension)};
+  bool suspended = false;
+  if (fast_enabled()) {
+    TASKLETS_RETURN_IF_ERROR(run_fast(target, suspended));
+  } else {
+    while (!halted_) {
+      if (fuel_used_ >= target) {
+        suspended = true;
+        break;
+      }
+      TASKLETS_RETURN_IF_ERROR(advance());
     }
-    TASKLETS_RETURN_IF_ERROR(advance());
+  }
+  if (suspended) {
+    Suspension suspension;
+    suspension.state = snapshot();
+    suspension.fuel_used = fuel_used_;
+    suspension.instructions = instructions_;
+    return SliceOutcome{std::move(suspension)};
   }
   ExecOutcome outcome;
   TASKLETS_ASSIGN_OR_RETURN(outcome.result, value_to_host(pop()));
@@ -565,6 +1393,7 @@ Result<SliceOutcome> Machine::run_slice(std::uint64_t fuel_slice) {
   outcome.peak_call_depth = peak_depth_;
   return SliceOutcome{std::move(outcome)};
 }
+#pragma GCC diagnostic pop
 
 // --- snapshot encoding ("TSNP") ----------------------------------------------
 
@@ -617,14 +1446,7 @@ Bytes Machine::snapshot() const {
   w.write_varint(frames_.size());
   for (const Frame& frame : frames_) {
     // Function identity travels as an index (pointers are host-local).
-    std::uint32_t fn_idx = 0;
-    for (std::uint32_t i = 0; i < program_.function_count(); ++i) {
-      if (&program_.function(i) == frame.fn) {
-        fn_idx = i;
-        break;
-      }
-    }
-    w.write_varint(fn_idx);
+    w.write_varint(frame.fn_idx);
     w.write_varint(frame.ip);
     w.write_varint(frame.locals_base);
   }
@@ -703,6 +1525,7 @@ Status Machine::restore(std::span<const std::byte> snapshot_bytes) {
     expected_base += fn.num_locals;
     Frame frame;
     frame.fn = &fn;
+    frame.fn_idx = static_cast<std::uint32_t>(fn_idx);
     frame.ip = static_cast<std::size_t>(ip);
     frame.locals_base = static_cast<std::size_t>(locals_base);
     frames_.push_back(frame);
@@ -735,7 +1558,7 @@ Status Machine::restore(std::span<const std::byte> snapshot_bytes) {
   }
 
   // Every array handle anywhere in the state must point into the heap.
-  auto handles_valid = [&](const std::vector<Value>& values) {
+  auto handles_valid = [&](const auto& values) {
     for (const Value& v : values) {
       if (v.is_array() && v.as_array() >= heap_.size()) return false;
     }
@@ -824,11 +1647,51 @@ std::string ExecProfile::to_string() const {
   return out;
 }
 
+namespace {
+
+// Resolve the engine for one run. Profiling forces the reference stepper
+// (per-opcode attribution needs per-instruction stepping); otherwise use the
+// caller's plan when it matches this program, or analyze here. A program
+// that analyze() rejects silently falls back to the reference engine, which
+// then traps or succeeds exactly as it always has.
+void configure_engine(Machine& machine, const Program& program,
+                      const ExecOptions& options, ExecPlan& plan_storage) {
+  machine.set_profile(options.profile);
+  if (options.engine != Engine::kFast || options.profile != nullptr) {
+    machine.set_engine(Engine::kReference);
+    return;
+  }
+  const ExecPlan* plan = nullptr;
+  if (options.plan != nullptr && options.plan->compatible_with(program)) {
+    plan = options.plan;
+  } else {
+    auto analyzed = analyze(program);
+    if (analyzed.is_ok()) {
+      plan_storage = std::move(analyzed).value();
+      plan = &plan_storage;
+    }
+  }
+  machine.set_plan(plan);
+  machine.set_engine(plan != nullptr ? Engine::kFast : Engine::kReference);
+}
+
+}  // namespace
+
 Result<ExecOutcome> execute(const Program& program,
                             const std::vector<HostArg>& args,
                             const ExecLimits& limits, ExecProfile* profile) {
+  ExecOptions options;
+  options.profile = profile;
+  return execute(program, args, limits, options);
+}
+
+Result<ExecOutcome> execute(const Program& program,
+                            const std::vector<HostArg>& args,
+                            const ExecLimits& limits,
+                            const ExecOptions& options) {
   Machine machine(program, limits);
-  machine.set_profile(profile);
+  ExecPlan plan_storage;
+  configure_engine(machine, program, options, plan_storage);
   return machine.run(args);
 }
 
@@ -845,8 +1708,19 @@ Result<SliceOutcome> execute_slice(const Program& program,
                                    const ExecLimits& limits,
                                    std::uint64_t fuel_slice,
                                    ExecProfile* profile) {
+  ExecOptions options;
+  options.profile = profile;
+  return execute_slice(program, args, limits, fuel_slice, options);
+}
+
+Result<SliceOutcome> execute_slice(const Program& program,
+                                   const std::vector<HostArg>& args,
+                                   const ExecLimits& limits,
+                                   std::uint64_t fuel_slice,
+                                   const ExecOptions& options) {
   Machine machine(program, limits);
-  machine.set_profile(profile);
+  ExecPlan plan_storage;
+  configure_engine(machine, program, options, plan_storage);
   TASKLETS_RETURN_IF_ERROR(machine.start(args));
   return machine.run_slice(fuel_slice);
 }
@@ -871,8 +1745,19 @@ Result<SliceOutcome> resume_slice(const Program& program,
                                   const ExecLimits& limits,
                                   std::uint64_t fuel_slice,
                                   ExecProfile* profile) {
+  ExecOptions options;
+  options.profile = profile;
+  return resume_slice(program, suspension, limits, fuel_slice, options);
+}
+
+Result<SliceOutcome> resume_slice(const Program& program,
+                                  const Suspension& suspension,
+                                  const ExecLimits& limits,
+                                  std::uint64_t fuel_slice,
+                                  const ExecOptions& options) {
   Machine machine(program, limits);
-  machine.set_profile(profile);
+  ExecPlan plan_storage;
+  configure_engine(machine, program, options, plan_storage);
   TASKLETS_RETURN_IF_ERROR(machine.restore(std::span<const std::byte>(
       suspension.state.data(), suspension.state.size())));
   machine.set_instructions(suspension.instructions);

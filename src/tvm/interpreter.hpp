@@ -54,6 +54,42 @@ struct ExecProfile {
   [[nodiscard]] std::string to_string() const;
 };
 
+// --- Execution engines --------------------------------------------------------
+//
+// Two engines run the same bytecode:
+//
+//   kReference — the one-instruction-at-a-time checked stepper. It is the
+//     executable specification: every dynamic check (fuel, operand-stack
+//     limit, value tags) runs before every instruction.
+//   kFast — a basic-block engine driven by a verifier ExecPlan
+//     (verifier.hpp::analyze). Fuel and stack-limit checks are hoisted to
+//     block entry using the plan's proven worst-case block facts, and
+//     instructions whose operand tags the verifier proved are executed in
+//     quickened/fused form. Blocks the plan cannot bound (data-dependent
+//     fuel, possible mid-block fuel/stack trap or slice-target crossing,
+//     mid-block resume points) drain through the reference stepper.
+//
+// Observable behavior is bit-identical between engines: results,
+// `fuel_used`, `instructions`, trap codes/messages/sites, suspension points
+// and snapshot bytes. This is a hard invariant — fuel doubles as the
+// device-independent work measure (store memoization keys and the
+// simulator's virtual service times depend on it), so the fast engine is
+// never allowed to drift, only to reach the same numbers faster.
+enum class Engine : std::uint8_t {
+  kFast,
+  kReference,
+};
+
+struct ExecOptions {
+  // Per-opcode timing (see ExecProfile); non-null forces kReference.
+  ExecProfile* profile = nullptr;
+  // Cached analyze() result for this program, so repeat executions skip the
+  // analysis. Null = analyze on entry (falling back to kReference if the
+  // program does not verify). An incompatible plan is ignored.
+  const ExecPlan* plan = nullptr;
+  Engine engine = Engine::kFast;
+};
+
 // Runs the program's entry function. The caller is responsible for having
 // verified the program (see verifier.hpp); the interpreter still performs
 // dynamic type/bounds checks and traps cleanly, but relies on the verifier
@@ -69,6 +105,11 @@ struct ExecProfile {
                                           const std::vector<HostArg>& args,
                                           const ExecLimits& limits = {},
                                           ExecProfile* profile = nullptr);
+
+[[nodiscard]] Result<ExecOutcome> execute(const Program& program,
+                                          const std::vector<HostArg>& args,
+                                          const ExecLimits& limits,
+                                          const ExecOptions& options);
 
 // Convenience: verify + execute.
 [[nodiscard]] Result<ExecOutcome> verify_and_execute(
@@ -111,12 +152,27 @@ using SliceOutcome = std::variant<ExecOutcome, Suspension>;
                                                  std::uint64_t fuel_slice,
                                                  ExecProfile* profile = nullptr);
 
+[[nodiscard]] Result<SliceOutcome> execute_slice(const Program& program,
+                                                 const std::vector<HostArg>& args,
+                                                 const ExecLimits& limits,
+                                                 std::uint64_t fuel_slice,
+                                                 const ExecOptions& options);
+
 // Continues a suspended execution, on any host holding the same program.
+// Snapshots are engine-agnostic: a suspension taken under one engine resumes
+// under the other (both engines suspend only at instruction boundaries with
+// fully reconciled state).
 [[nodiscard]] Result<SliceOutcome> resume_slice(const Program& program,
                                                 const Suspension& suspension,
                                                 const ExecLimits& limits,
                                                 std::uint64_t fuel_slice,
                                                 ExecProfile* profile = nullptr);
+
+[[nodiscard]] Result<SliceOutcome> resume_slice(const Program& program,
+                                                const Suspension& suspension,
+                                                const ExecLimits& limits,
+                                                std::uint64_t fuel_slice,
+                                                const ExecOptions& options);
 
 // Reads the fuel-consumed-so-far field out of snapshot bytes without
 // restoring the machine (schedulers use it to charge only remaining work).

@@ -79,7 +79,41 @@ constexpr std::array<IntrinsicInfo, kNumIntrinsics> kIntrinsicTable = {{
     {"fmax", 2, true},
 }};
 
+constexpr std::array<std::string_view,
+                     kNumVmOps - kNumOpCodes> kQuickNames = {{
+#define TASKLETS_OP_NAME(name) #name,
+    TASKLETS_QUICKENED_OPS(TASKLETS_OP_NAME)
+#undef TASKLETS_OP_NAME
+}};
+
+// TASKLETS_BASE_OPS must mirror the OpCode enum value-for-value: the fast
+// engine indexes its dispatch table with the raw opcode byte.
+constexpr std::array kBaseOpOrder = {
+#define TASKLETS_OP_VALUE(name) OpCode::name,
+    TASKLETS_BASE_OPS(TASKLETS_OP_VALUE)
+#undef TASKLETS_OP_VALUE
+};
+static_assert(kBaseOpOrder.size() == kNumOpCodes,
+              "TASKLETS_BASE_OPS is missing opcodes");
+constexpr bool base_ops_in_enum_order() {
+  for (std::size_t i = 0; i < kBaseOpOrder.size(); ++i) {
+    if (kBaseOpOrder[i] != static_cast<OpCode>(i)) return false;
+  }
+  return true;
+}
+static_assert(base_ops_in_enum_order(),
+              "TASKLETS_BASE_OPS is out of order w.r.t. the OpCode enum");
+static_assert(static_cast<std::uint8_t>(OpCode::kAddIntU) == kNumOpCodes,
+              "quickened opcodes must start right after kHalt");
+
 }  // namespace
+
+std::string_view vm_op_name(OpCode op) noexcept {
+  const auto idx = static_cast<std::size_t>(op);
+  if (idx < kNumOpCodes) return kOpTable[idx].name;
+  if (idx < kNumVmOps) return kQuickNames[idx - kNumOpCodes];
+  return "?";
+}
 
 const OpInfo& op_info(OpCode op) noexcept {
   return kOpTable[static_cast<std::size_t>(op)];

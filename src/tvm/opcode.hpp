@@ -12,6 +12,63 @@
 
 namespace tasklets::tvm {
 
+// Base opcode list in enum order, X-macro for building dense per-opcode
+// tables (the fast engine's dispatch table in particular). Must mirror the
+// enum exactly; opcode.cpp static_asserts the correspondence.
+#define TASKLETS_BASE_OPS(X)                                                  \
+  X(kNop) X(kPushInt) X(kPushFloat) X(kPop) X(kDup) X(kSwap)                  \
+  X(kLoadLocal) X(kStoreLocal)                                                \
+  X(kAddInt) X(kSubInt) X(kMulInt) X(kDivInt) X(kModInt) X(kNegInt)           \
+  X(kAddFloat) X(kSubFloat) X(kMulFloat) X(kDivFloat) X(kNegFloat)            \
+  X(kBitAnd) X(kBitOr) X(kBitXor) X(kShl) X(kShr)                             \
+  X(kCmpEqInt) X(kCmpNeInt) X(kCmpLtInt) X(kCmpLeInt) X(kCmpGtInt)            \
+  X(kCmpGeInt)                                                                \
+  X(kCmpEqFloat) X(kCmpNeFloat) X(kCmpLtFloat) X(kCmpLeFloat) X(kCmpGtFloat)  \
+  X(kCmpGeFloat)                                                              \
+  X(kLogicalNot) X(kIntToFloat) X(kFloatToInt)                                \
+  X(kJump) X(kJumpIfZero) X(kJumpIfNotZero)                                   \
+  X(kCall) X(kReturn)                                                         \
+  X(kNewArray) X(kArrayLoad) X(kArrayStore) X(kArrayLen)                      \
+  X(kIntrinsic) X(kHalt)
+
+// Quickened opcode list, X-macro so the enum, the name table and the fast
+// engine's dispatch table stay in sync by construction (see the enum below
+// for semantics).
+#define TASKLETS_QUICKENED_OPS(X)                                             \
+  /* int binops, tag checks removed */                                        \
+  X(kAddIntU) X(kSubIntU) X(kMulIntU) X(kDivIntU) X(kModIntU)                 \
+  X(kBitAndU) X(kBitOrU) X(kBitXorU) X(kShlU) X(kShrU)                        \
+  X(kCmpEqIntU) X(kCmpNeIntU) X(kCmpLtIntU) X(kCmpLeIntU)                     \
+  X(kCmpGtIntU) X(kCmpGeIntU)                                                 \
+  X(kNegIntU) X(kLogicalNotU) X(kIntToFloatU)                                 \
+  /* float binops, tag checks removed */                                      \
+  X(kAddFloatU) X(kSubFloatU) X(kMulFloatU) X(kDivFloatU)                     \
+  X(kCmpEqFloatU) X(kCmpNeFloatU) X(kCmpLtFloatU) X(kCmpLeFloatU)             \
+  X(kCmpGtFloatU) X(kCmpGeFloatU)                                             \
+  X(kNegFloatU) X(kFloatToIntU)                                               \
+  /* branches on a proven-int condition */                                    \
+  X(kJumpIfZeroU) X(kJumpIfNotZeroU)                                          \
+  /* arrays with proven ref/index tags (bounds checks kept) */                \
+  X(kArrayLoadU) X(kArrayStoreU) X(kArrayLenU)                                \
+  /* intrinsic with proven argument tags */                                   \
+  X(kIntrinsicU)                                                              \
+  /* fused `push_i k; <op>`: operand = k, occupies 2 slots */                 \
+  X(kAddIntImmU) X(kSubIntImmU) X(kMulIntImmU)                                \
+  X(kCmpEqIntImmU) X(kCmpNeIntImmU) X(kCmpLtIntImmU) X(kCmpLeIntImmU)         \
+  X(kCmpGtIntImmU) X(kCmpGeIntImmU)                                           \
+  /* fused `push_f x; <op>`: operand = IEEE bits of x, occupies 2 slots */    \
+  X(kAddFloatImmU) X(kSubFloatImmU) X(kMulFloatImmU) X(kDivFloatImmU)         \
+  X(kCmpEqFloatImmU) X(kCmpNeFloatImmU) X(kCmpLtFloatImmU)                    \
+  X(kCmpLeFloatImmU) X(kCmpGtFloatImmU) X(kCmpGeFloatImmU)                    \
+  /* fused `load x; load y`: operand = x | y<<32, occupies 2 slots */         \
+  X(kLoadLocal2)                                                              \
+  /* fused `load ref; load idx; aload`: operand = ref | idx<<32, 3 slots; */  \
+  /* LLU = tags proven, LLC = tag-checked at runtime with exact trap */       \
+  /* message parity against the reference stepper */                          \
+  X(kArrayLoadLLU) X(kArrayLoadLLC)
+
+#define TASKLETS_DECLARE_OP(name) name,
+
 enum class OpCode : std::uint8_t {
   // Stack & constants ------------------------------------------------------
   kNop = 0,
@@ -88,9 +145,29 @@ enum class OpCode : std::uint8_t {
   kIntrinsic,
 
   kHalt,  // stop with the top of stack as the program result
+
+  // --- Quickened forms (fast-path engine only) -------------------------------
+  //
+  // Produced by the verifier's quickening pass (verifier.hpp::analyze) when
+  // operand tags are proven monomorphic by dataflow, and consumed only by the
+  // interpreter's fast-path engine. They are deliberately OUTSIDE
+  // kNumOpCodes: the wire codec, the verifier and the reference stepper all
+  // reject them, so a quickened instruction can never be serialized,
+  // deserialized or verified — it exists only inside an ExecPlan.
+  //
+  // `U` suffix: tag checks removed (semantic traps — div0, bounds, f2i
+  // range — are kept). `ImmU` suffix: fused `push_<k>; op` pair, the operand
+  // is the immediate; occupies the pair's first slot, execution skips two
+  // slots. `LL` prefix pair fusions read locals directly.
+  TASKLETS_QUICKENED_OPS(TASKLETS_DECLARE_OP)
+
+  kQuickOpLimit,  // sentinel: one past the last dispatchable opcode
 };
 
 constexpr std::uint8_t kNumOpCodes = static_cast<std::uint8_t>(OpCode::kHalt) + 1;
+// Total dispatchable opcodes, including quickened forms (fast-engine table
+// size). Quickened values live in [kNumOpCodes, kNumVmOps).
+constexpr std::uint8_t kNumVmOps = static_cast<std::uint8_t>(OpCode::kQuickOpLimit);
 
 // Pure-math intrinsics. Arity and result type are fixed per id.
 enum class Intrinsic : std::uint8_t {
@@ -135,5 +212,15 @@ struct OpInfo {
 
 [[nodiscard]] const OpInfo& op_info(OpCode op) noexcept;
 [[nodiscard]] std::optional<OpCode> opcode_by_name(std::string_view mnemonic) noexcept;
+
+[[nodiscard]] constexpr bool is_quickened(OpCode op) noexcept {
+  return static_cast<std::uint8_t>(op) >= kNumOpCodes &&
+         static_cast<std::uint8_t>(op) < kNumVmOps;
+}
+
+// Name of any dispatchable opcode, including quickened forms (base opcodes
+// render their assembler mnemonic; quickened ones their enumerator name).
+// For plan listings and fast-engine debugging only.
+[[nodiscard]] std::string_view vm_op_name(OpCode op) noexcept;
 
 }  // namespace tasklets::tvm

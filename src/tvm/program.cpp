@@ -106,6 +106,18 @@ Result<Program> Program::deserialize(std::span<const std::byte> data) {
   return program;
 }
 
+bool ExecPlan::compatible_with(const Program& program) const noexcept {
+  if (functions.size() != program.function_count()) return false;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const std::size_t code_len = program.functions()[i].code.size();
+    if (functions[i].quick.size() != code_len ||
+        functions[i].block_of.size() != code_len) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::uint64_t Program::content_hash() const {
   const Bytes encoded = serialize();
   return fnv1a(std::span<const std::byte>(encoded.data(), encoded.size()));

@@ -74,4 +74,52 @@ class Program {
   std::uint32_t entry_ = 0;
 };
 
+// --- Fast-path execution metadata --------------------------------------------
+//
+// Derived, host-local facts about a verified program, produced by
+// verifier.hpp::analyze() and consumed by the interpreter's fast-path
+// engine (interpreter.hpp). A plan never travels on the wire and does not
+// participate in Program equality or content hashing: it is a cache of what
+// the verifier proved, not part of the program's meaning.
+
+// Static facts about one basic block.
+struct BlockInfo {
+  std::uint32_t begin = 0;  // first instruction (a leader)
+  std::uint32_t end = 0;    // one past the terminator
+  // Fuel charged by a full run of the block: 1 per instruction plus the
+  // kCall (+3) and kIntrinsic (+4) surcharges. Excludes kNewArray's
+  // data-dependent surcharge; see variable_fuel.
+  std::uint64_t base_fuel = 0;
+  // Worst-case operand-stack depth reached at any instruction boundary in
+  // the block, relative to the depth at block entry. Lets the fast path
+  // hoist the per-instruction stack-limit check to block entry.
+  std::uint32_t max_depth = 0;
+  // Block contains kNewArray, whose surcharge depends on the popped length:
+  // fuel cannot be bounded statically, so the fast path runs the block
+  // through the checked stepper.
+  bool variable_fuel = false;
+};
+
+inline constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
+struct FunctionPlan {
+  // Quickened copy of Function::code, index-aligned with the original so
+  // ips, jump targets, trap sites and snapshots agree between engines.
+  // Fused instructions occupy their window's first slot; the remaining
+  // slots keep their original content but are skipped by the fast engine.
+  std::vector<Instr> quick;
+  std::vector<BlockInfo> blocks;
+  // Instruction ip -> index into `blocks` (kNoBlock for unreachable code).
+  std::vector<std::uint32_t> block_of;
+};
+
+// Per-function plans, index-aligned with Program::functions().
+struct ExecPlan {
+  std::vector<FunctionPlan> functions;
+
+  // Structural sanity check that this plan was built from `program` (shape
+  // only — function and code sizes; it does not re-run the analysis).
+  [[nodiscard]] bool compatible_with(const Program& program) const noexcept;
+};
+
 }  // namespace tasklets::tvm

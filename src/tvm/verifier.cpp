@@ -1,7 +1,10 @@
 #include "tvm/verifier.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tasklets::tvm {
@@ -148,6 +151,456 @@ Status verify_stack(const Program& program, const Function& fn,
   return Status::ok();
 }
 
+// --- Fast-path plan construction ---------------------------------------------
+
+// Abstract value tag for the quickening dataflow. kTop = unknown/any.
+enum class Tag : std::uint8_t { kInt, kFloat, kArray, kTop };
+
+Tag merge_tag(Tag a, Tag b) { return a == b ? a : Tag::kTop; }
+
+struct AbsState {
+  std::vector<Tag> stack;   // operand tags, bottom first
+  std::vector<Tag> locals;  // local-slot tags
+
+  // Pointwise merge; returns whether anything weakened.
+  bool merge_from(const AbsState& other) {
+    bool changed = false;
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      const Tag m = merge_tag(stack[i], other.stack[i]);
+      if (m != stack[i]) {
+        stack[i] = m;
+        changed = true;
+      }
+    }
+    for (std::size_t i = 0; i < locals.size(); ++i) {
+      const Tag m = merge_tag(locals[i], other.locals[i]);
+      if (m != locals[i]) {
+        locals[i] = m;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+// Applies one instruction's effect to the abstract state (success path; trap
+// paths have no successors to feed). Sizes are guaranteed by the depth map.
+void abs_apply(const Program& program, const Instr& instr, AbsState& s) {
+  auto push = [&](Tag t) { s.stack.push_back(t); };
+  auto pop = [&]() {
+    const Tag t = s.stack.back();
+    s.stack.pop_back();
+    return t;
+  };
+  switch (instr.op) {
+    case OpCode::kNop:
+      break;
+    case OpCode::kPushInt:
+      push(Tag::kInt);
+      break;
+    case OpCode::kPushFloat:
+      push(Tag::kFloat);
+      break;
+    case OpCode::kPop:
+      pop();
+      break;
+    case OpCode::kDup:
+      push(s.stack.back());
+      break;
+    case OpCode::kSwap:
+      std::swap(s.stack[s.stack.size() - 1], s.stack[s.stack.size() - 2]);
+      break;
+    case OpCode::kLoadLocal:
+      push(s.locals[static_cast<std::size_t>(instr.operand)]);
+      break;
+    case OpCode::kStoreLocal:
+      s.locals[static_cast<std::size_t>(instr.operand)] = pop();
+      break;
+    case OpCode::kAddInt:
+    case OpCode::kSubInt:
+    case OpCode::kMulInt:
+    case OpCode::kDivInt:
+    case OpCode::kModInt:
+    case OpCode::kBitAnd:
+    case OpCode::kBitOr:
+    case OpCode::kBitXor:
+    case OpCode::kShl:
+    case OpCode::kShr:
+    case OpCode::kCmpEqInt:
+    case OpCode::kCmpNeInt:
+    case OpCode::kCmpLtInt:
+    case OpCode::kCmpLeInt:
+    case OpCode::kCmpGtInt:
+    case OpCode::kCmpGeInt:
+    case OpCode::kCmpEqFloat:
+    case OpCode::kCmpNeFloat:
+    case OpCode::kCmpLtFloat:
+    case OpCode::kCmpLeFloat:
+    case OpCode::kCmpGtFloat:
+    case OpCode::kCmpGeFloat:
+      pop();
+      pop();
+      push(Tag::kInt);
+      break;
+    case OpCode::kAddFloat:
+    case OpCode::kSubFloat:
+    case OpCode::kMulFloat:
+    case OpCode::kDivFloat:
+      pop();
+      pop();
+      push(Tag::kFloat);
+      break;
+    case OpCode::kNegInt:
+    case OpCode::kLogicalNot:
+    case OpCode::kFloatToInt:
+      pop();
+      push(Tag::kInt);
+      break;
+    case OpCode::kNegFloat:
+    case OpCode::kIntToFloat:
+      pop();
+      push(Tag::kFloat);
+      break;
+    case OpCode::kJump:
+      break;
+    case OpCode::kJumpIfZero:
+    case OpCode::kJumpIfNotZero:
+      pop();
+      break;
+    case OpCode::kCall: {
+      const auto& callee =
+          program.function(static_cast<std::uint32_t>(instr.operand));
+      for (std::uint32_t i = 0; i < callee.arity; ++i) pop();
+      push(Tag::kTop);  // return values are not tracked across calls
+      break;
+    }
+    case OpCode::kReturn:
+    case OpCode::kHalt:
+      break;  // terminal; no successors consume this state
+    case OpCode::kNewArray:
+      pop();
+      push(Tag::kArray);
+      break;
+    case OpCode::kArrayLoad:
+      pop();
+      pop();
+      push(Tag::kTop);  // element tags are not tracked
+      break;
+    case OpCode::kArrayStore:
+      pop();
+      pop();
+      pop();
+      break;
+    case OpCode::kArrayLen:
+      pop();
+      push(Tag::kInt);
+      break;
+    case OpCode::kIntrinsic: {
+      const IntrinsicInfo& info =
+          intrinsic_info(static_cast<Intrinsic>(instr.operand));
+      for (int i = 0; i < info.arity; ++i) pop();
+      push(info.float_args ? Tag::kFloat : Tag::kInt);
+      break;
+    }
+    default:
+      break;  // quickened ops never appear in verified programs
+  }
+}
+
+// Forward dataflow over operand/local tags; `in_out[ip]` receives the state
+// before each reachable instruction.
+void infer_tags(const Program& program, const Function& fn,
+                std::vector<std::optional<AbsState>>& in_out) {
+  in_out.assign(fn.code.size(), std::nullopt);
+  AbsState entry;
+  entry.locals.assign(fn.num_locals, Tag::kInt);  // zero-initialised slots
+  for (std::uint32_t i = 0; i < fn.arity; ++i) {
+    entry.locals[i] = Tag::kTop;  // caller-supplied, any tag
+  }
+  in_out[0] = entry;
+  std::deque<std::size_t> worklist{0};
+  auto flow = [&](std::size_t target, const AbsState& state) {
+    if (!in_out[target].has_value()) {
+      in_out[target] = state;
+      worklist.push_back(target);
+    } else if (in_out[target]->merge_from(state)) {
+      worklist.push_back(target);
+    }
+  };
+  while (!worklist.empty()) {
+    const std::size_t ip = worklist.front();
+    worklist.pop_front();
+    const Instr& instr = fn.code[ip];
+    AbsState out = *in_out[ip];
+    abs_apply(program, instr, out);
+    switch (instr.op) {
+      case OpCode::kReturn:
+      case OpCode::kHalt:
+        break;
+      case OpCode::kJump:
+        flow(static_cast<std::size_t>(instr.operand), out);
+        break;
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNotZero:
+        flow(static_cast<std::size_t>(instr.operand), out);
+        flow(ip + 1, out);
+        break;
+      default:
+        flow(ip + 1, out);
+        break;
+    }
+  }
+}
+
+// Rewrites one instruction to its unchecked form when the dataflow proved
+// the consumed tags. Returns the original op when nothing is provable.
+OpCode quicken_op(const Instr& instr, const AbsState& in) {
+  auto top = [&](std::size_t k) {
+    return in.stack[in.stack.size() - 1 - k];
+  };
+  auto bin_int = [&]() { return top(0) == Tag::kInt && top(1) == Tag::kInt; };
+  auto bin_float = [&]() {
+    return top(0) == Tag::kFloat && top(1) == Tag::kFloat;
+  };
+  switch (instr.op) {
+    case OpCode::kAddInt: return bin_int() ? OpCode::kAddIntU : instr.op;
+    case OpCode::kSubInt: return bin_int() ? OpCode::kSubIntU : instr.op;
+    case OpCode::kMulInt: return bin_int() ? OpCode::kMulIntU : instr.op;
+    case OpCode::kDivInt: return bin_int() ? OpCode::kDivIntU : instr.op;
+    case OpCode::kModInt: return bin_int() ? OpCode::kModIntU : instr.op;
+    case OpCode::kBitAnd: return bin_int() ? OpCode::kBitAndU : instr.op;
+    case OpCode::kBitOr: return bin_int() ? OpCode::kBitOrU : instr.op;
+    case OpCode::kBitXor: return bin_int() ? OpCode::kBitXorU : instr.op;
+    case OpCode::kShl: return bin_int() ? OpCode::kShlU : instr.op;
+    case OpCode::kShr: return bin_int() ? OpCode::kShrU : instr.op;
+    case OpCode::kCmpEqInt: return bin_int() ? OpCode::kCmpEqIntU : instr.op;
+    case OpCode::kCmpNeInt: return bin_int() ? OpCode::kCmpNeIntU : instr.op;
+    case OpCode::kCmpLtInt: return bin_int() ? OpCode::kCmpLtIntU : instr.op;
+    case OpCode::kCmpLeInt: return bin_int() ? OpCode::kCmpLeIntU : instr.op;
+    case OpCode::kCmpGtInt: return bin_int() ? OpCode::kCmpGtIntU : instr.op;
+    case OpCode::kCmpGeInt: return bin_int() ? OpCode::kCmpGeIntU : instr.op;
+    case OpCode::kNegInt:
+      return top(0) == Tag::kInt ? OpCode::kNegIntU : instr.op;
+    case OpCode::kLogicalNot:
+      return top(0) == Tag::kInt ? OpCode::kLogicalNotU : instr.op;
+    case OpCode::kIntToFloat:
+      return top(0) == Tag::kInt ? OpCode::kIntToFloatU : instr.op;
+    case OpCode::kAddFloat: return bin_float() ? OpCode::kAddFloatU : instr.op;
+    case OpCode::kSubFloat: return bin_float() ? OpCode::kSubFloatU : instr.op;
+    case OpCode::kMulFloat: return bin_float() ? OpCode::kMulFloatU : instr.op;
+    case OpCode::kDivFloat: return bin_float() ? OpCode::kDivFloatU : instr.op;
+    case OpCode::kCmpEqFloat:
+      return bin_float() ? OpCode::kCmpEqFloatU : instr.op;
+    case OpCode::kCmpNeFloat:
+      return bin_float() ? OpCode::kCmpNeFloatU : instr.op;
+    case OpCode::kCmpLtFloat:
+      return bin_float() ? OpCode::kCmpLtFloatU : instr.op;
+    case OpCode::kCmpLeFloat:
+      return bin_float() ? OpCode::kCmpLeFloatU : instr.op;
+    case OpCode::kCmpGtFloat:
+      return bin_float() ? OpCode::kCmpGtFloatU : instr.op;
+    case OpCode::kCmpGeFloat:
+      return bin_float() ? OpCode::kCmpGeFloatU : instr.op;
+    case OpCode::kNegFloat:
+      return top(0) == Tag::kFloat ? OpCode::kNegFloatU : instr.op;
+    case OpCode::kFloatToInt:
+      return top(0) == Tag::kFloat ? OpCode::kFloatToIntU : instr.op;
+    case OpCode::kJumpIfZero:
+      return top(0) == Tag::kInt ? OpCode::kJumpIfZeroU : instr.op;
+    case OpCode::kJumpIfNotZero:
+      return top(0) == Tag::kInt ? OpCode::kJumpIfNotZeroU : instr.op;
+    case OpCode::kArrayLoad:
+      return top(0) == Tag::kInt && top(1) == Tag::kArray ? OpCode::kArrayLoadU
+                                                          : instr.op;
+    case OpCode::kArrayStore:
+      return top(1) == Tag::kInt && top(2) == Tag::kArray ? OpCode::kArrayStoreU
+                                                          : instr.op;
+    case OpCode::kArrayLen:
+      return top(0) == Tag::kArray ? OpCode::kArrayLenU : instr.op;
+    case OpCode::kIntrinsic: {
+      const IntrinsicInfo& info =
+          intrinsic_info(static_cast<Intrinsic>(instr.operand));
+      const Tag want = info.float_args ? Tag::kFloat : Tag::kInt;
+      for (int i = 0; i < info.arity; ++i) {
+        if (top(static_cast<std::size_t>(i)) != want) return instr.op;
+      }
+      return OpCode::kIntrinsicU;
+    }
+    default:
+      return instr.op;
+  }
+}
+
+std::int64_t pack_slots(std::int64_t lo, std::int64_t hi) {
+  return lo | (hi << 32);
+}
+
+// Pairs `push_i k` / `push_f x` with a following unchecked binop into an
+// immediate form. Returns kNop when the pair is not fusable.
+OpCode imm_fused_op(OpCode push_op, OpCode next) {
+  if (push_op == OpCode::kPushInt) {
+    switch (next) {
+      case OpCode::kAddIntU: return OpCode::kAddIntImmU;
+      case OpCode::kSubIntU: return OpCode::kSubIntImmU;
+      case OpCode::kMulIntU: return OpCode::kMulIntImmU;
+      case OpCode::kCmpEqIntU: return OpCode::kCmpEqIntImmU;
+      case OpCode::kCmpNeIntU: return OpCode::kCmpNeIntImmU;
+      case OpCode::kCmpLtIntU: return OpCode::kCmpLtIntImmU;
+      case OpCode::kCmpLeIntU: return OpCode::kCmpLeIntImmU;
+      case OpCode::kCmpGtIntU: return OpCode::kCmpGtIntImmU;
+      case OpCode::kCmpGeIntU: return OpCode::kCmpGeIntImmU;
+      default: return OpCode::kNop;
+    }
+  }
+  switch (next) {
+    case OpCode::kAddFloatU: return OpCode::kAddFloatImmU;
+    case OpCode::kSubFloatU: return OpCode::kSubFloatImmU;
+    case OpCode::kMulFloatU: return OpCode::kMulFloatImmU;
+    case OpCode::kDivFloatU: return OpCode::kDivFloatImmU;
+    case OpCode::kCmpEqFloatU: return OpCode::kCmpEqFloatImmU;
+    case OpCode::kCmpNeFloatU: return OpCode::kCmpNeFloatImmU;
+    case OpCode::kCmpLtFloatU: return OpCode::kCmpLtFloatImmU;
+    case OpCode::kCmpLeFloatU: return OpCode::kCmpLeFloatImmU;
+    case OpCode::kCmpGtFloatU: return OpCode::kCmpGtFloatImmU;
+    case OpCode::kCmpGeFloatU: return OpCode::kCmpGeFloatImmU;
+    default: return OpCode::kNop;
+  }
+}
+
+// Fuses short windows inside a basic block. Safe because fused windows lie
+// within one block (no branch lands mid-window) and the fast engine enters
+// code mid-block only through the checked stepper, which runs the original
+// (unfused) instructions.
+void fuse(const Function& fn, FunctionPlan& plan) {
+  auto& quick = plan.quick;
+  auto same_block = [&](std::size_t a, std::size_t b) {
+    return plan.block_of[a] != kNoBlock && plan.block_of[a] == plan.block_of[b];
+  };
+  std::size_t ip = 0;
+  while (ip < quick.size()) {
+    // `load ref; load idx; aload` -> one fused array read.
+    auto aload_triple_at = [&](std::size_t p) {
+      return p + 2 < quick.size() && fn.code[p].op == OpCode::kLoadLocal &&
+             fn.code[p + 1].op == OpCode::kLoadLocal &&
+             (quick[p + 2].op == OpCode::kArrayLoadU ||
+              quick[p + 2].op == OpCode::kArrayLoad) &&
+             same_block(p, p + 2);
+    };
+    if (aload_triple_at(ip)) {
+      const OpCode fused = quick[ip + 2].op == OpCode::kArrayLoadU
+                               ? OpCode::kArrayLoadLLU
+                               : OpCode::kArrayLoadLLC;
+      quick[ip] = Instr{fused, pack_slots(fn.code[ip].operand,
+                                          fn.code[ip + 1].operand)};
+      ip += 3;
+      continue;
+    }
+    if (ip + 1 < quick.size() && same_block(ip, ip + 1)) {
+      // `push k; <unchecked binop>` -> immediate form.
+      if (fn.code[ip].op == OpCode::kPushInt ||
+          fn.code[ip].op == OpCode::kPushFloat) {
+        const OpCode fused = imm_fused_op(fn.code[ip].op, quick[ip + 1].op);
+        if (fused != OpCode::kNop) {
+          quick[ip] = Instr{fused, fn.code[ip].operand};
+          ip += 2;
+          continue;
+        }
+      }
+      // `load x; load y` -> paired load, unless the second load starts an
+      // aload triple (the triple fusion saves more).
+      if (fn.code[ip].op == OpCode::kLoadLocal &&
+          fn.code[ip + 1].op == OpCode::kLoadLocal &&
+          !aload_triple_at(ip + 1)) {
+        quick[ip] = Instr{OpCode::kLoadLocal2,
+                          pack_slots(fn.code[ip].operand,
+                                     fn.code[ip + 1].operand)};
+        ip += 2;
+        continue;
+      }
+    }
+    ++ip;
+  }
+}
+
+Result<FunctionPlan> plan_function(const Program& program, const Function& fn,
+                                   const VerifyLimits& limits) {
+  TASKLETS_RETURN_IF_ERROR(verify_operands(program, fn));
+  std::vector<int> depths;
+  TASKLETS_RETURN_IF_ERROR(verify_stack(program, fn, limits, &depths));
+
+  FunctionPlan plan;
+  plan.quick = fn.code;
+  plan.block_of.assign(fn.code.size(), kNoBlock);
+
+  // Leaders: entry, branch targets, and successors of control transfers
+  // (kCall ends a block because the machine leaves the frame).
+  std::vector<bool> leader(fn.code.size(), false);
+  leader[0] = true;
+  for (std::size_t ip = 0; ip < fn.code.size(); ++ip) {
+    switch (fn.code[ip].op) {
+      case OpCode::kJump:
+      case OpCode::kJumpIfZero:
+      case OpCode::kJumpIfNotZero:
+        leader[static_cast<std::size_t>(fn.code[ip].operand)] = true;
+        [[fallthrough]];
+      case OpCode::kCall:
+      case OpCode::kReturn:
+      case OpCode::kHalt:
+        if (ip + 1 < fn.code.size()) leader[ip + 1] = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Blocks over reachable leaders. Reachability is uniform within a block:
+  // mid-block instructions are reached only by fallthrough from their
+  // leader (branches target leaders by construction).
+  for (std::size_t begin = 0; begin < fn.code.size();) {
+    std::size_t end = begin + 1;
+    while (end < fn.code.size() && !leader[end]) ++end;
+    if (depths[begin] >= 0) {
+      BlockInfo info;
+      info.begin = static_cast<std::uint32_t>(begin);
+      info.end = static_cast<std::uint32_t>(end);
+      const int entry_depth = depths[begin];
+      int max_rel = 0;
+      for (std::size_t ip = begin; ip < end; ++ip) {
+        const Instr& instr = fn.code[ip];
+        info.base_fuel += 1;
+        if (instr.op == OpCode::kCall) info.base_fuel += 3;
+        if (instr.op == OpCode::kIntrinsic) info.base_fuel += 4;
+        if (instr.op == OpCode::kNewArray) info.variable_fuel = true;
+        max_rel = std::max(max_rel, depths[ip] - entry_depth);
+        plan.block_of[ip] = static_cast<std::uint32_t>(plan.blocks.size());
+      }
+      // Depth after the terminator also bounds the reserve the fast engine
+      // needs (e.g. a trailing push).
+      {
+        int pops = 0, pushes = 0;
+        TASKLETS_RETURN_IF_ERROR(
+            stack_effect(program, fn, end - 1, pops, pushes));
+        max_rel = std::max(max_rel,
+                           depths[end - 1] - pops + pushes - entry_depth);
+      }
+      info.max_depth = static_cast<std::uint32_t>(max_rel);
+      plan.blocks.push_back(info);
+    }
+    begin = end;
+  }
+
+  // Quickening: rewrite ops whose consumed tags the dataflow proves, then
+  // fuse windows.
+  std::vector<std::optional<AbsState>> states;
+  infer_tags(program, fn, states);
+  for (std::size_t ip = 0; ip < fn.code.size(); ++ip) {
+    if (!states[ip].has_value()) continue;
+    plan.quick[ip].op = quicken_op(fn.code[ip], *states[ip]);
+  }
+  fuse(fn, plan);
+  return plan;
+}
+
 }  // namespace
 
 Status verify(const Program& program, const VerifyLimits& limits) {
@@ -166,6 +619,26 @@ Status verify(const Program& program, const VerifyLimits& limits) {
     TASKLETS_RETURN_IF_ERROR(verify_stack(program, fn, limits));
   }
   return Status::ok();
+}
+
+Result<ExecPlan> analyze(const Program& program, const VerifyLimits& limits) {
+  if (program.function_count() == 0) {
+    return make_error(StatusCode::kInvalidArgument, "program has no functions");
+  }
+  if (program.entry() >= program.function_count()) {
+    return make_error(StatusCode::kOutOfRange, "entry index out of range");
+  }
+  ExecPlan plan;
+  plan.functions.reserve(program.function_count());
+  for (const auto& fn : program.functions()) {
+    if (fn.arity > fn.num_locals) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "arity exceeds locals in '" + fn.name + "'");
+    }
+    TASKLETS_ASSIGN_OR_RETURN(auto fn_plan, plan_function(program, fn, limits));
+    plan.functions.push_back(std::move(fn_plan));
+  }
+  return plan;
 }
 
 Result<std::vector<std::vector<int>>> stack_depth_map(const Program& program,

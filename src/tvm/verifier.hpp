@@ -28,6 +28,24 @@ struct VerifyLimits {
 
 [[nodiscard]] Status verify(const Program& program, const VerifyLimits& limits = {});
 
+// Verification plus fast-path plan construction. Accepts exactly the
+// programs verify() accepts, and additionally proves per-basic-block static
+// facts the interpreter's fast-path engine hoists out of its hot loop:
+//
+//   * worst-case fuel of a full block run (so the per-instruction fuel
+//     check moves to block entry),
+//   * worst-case operand-stack depth relative to block entry (so the
+//     per-instruction stack-limit check moves to block entry),
+//   * operand tags where a forward dataflow over {int, float, array}
+//     proves them monomorphic — those instructions are rewritten to
+//     unchecked/fused quickened forms (opcode.hpp) in an index-aligned
+//     copy of the code.
+//
+// The plan is host-local derived data: it is never serialized and has no
+// effect on program identity. See program.hpp for the structures.
+[[nodiscard]] Result<ExecPlan> analyze(const Program& program,
+                                       const VerifyLimits& limits = {});
+
 // The operand-stack depth *before* each instruction, per function, as
 // established by verification (-1 = unreachable instruction). Fails when the
 // program does not verify. Used by snapshot restore (interpreter.hpp) to

@@ -311,5 +311,141 @@ TEST_P(TclFuzzSweep, CompiledProgramsAlwaysVerify) {
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, TclFuzzSweep, ::testing::Values(7, 77, 777));
 
+// --- differential engine sweep ------------------------------------------------
+//
+// The fast-path engine's hard invariant (interpreter.hpp): observable
+// behavior is bit-identical to the reference stepper. Random verified
+// programs run through both engines — whole runs, sliced runs with
+// mid-program suspension, and cross-engine resume (a snapshot taken under
+// one engine restored under the other) — comparing results, fuel,
+// instruction counts, trap status (code AND message, which carries the trap
+// site), and every intermediate snapshot byte-for-byte.
+
+// Everything observable from one sliced run.
+struct RunTrace {
+  bool ok = false;
+  std::string error;  // full status (code + message) when !ok
+  HostArg result;
+  std::uint64_t fuel = 0;
+  std::uint64_t instructions = 0;
+  std::uint32_t peak_call_depth = 0;
+  std::vector<Bytes> snapshots;  // state bytes at each suspension
+};
+
+RunTrace run_sliced(const Program& program, const std::vector<HostArg>& args,
+                    const ExecLimits& limits, std::uint64_t fuel_slice,
+                    Engine first_engine, Engine resume_engine) {
+  RunTrace trace;
+  ExecOptions first_options;
+  first_options.engine = first_engine;
+  ExecOptions resume_options;
+  resume_options.engine = resume_engine;
+  auto slice = execute_slice(program, args, limits, fuel_slice, first_options);
+  for (int hops = 0;; ++hops) {
+    if (!slice.is_ok()) {
+      trace.ok = false;
+      trace.error = slice.status().to_string();
+      return trace;
+    }
+    if (auto* exec = std::get_if<ExecOutcome>(&*slice)) {
+      trace.ok = true;
+      trace.result = exec->result;
+      trace.fuel = exec->fuel_used;
+      trace.instructions = exec->instructions;
+      trace.peak_call_depth = exec->peak_call_depth;
+      return trace;
+    }
+    auto& suspension = std::get<Suspension>(*slice);
+    trace.snapshots.push_back(suspension.state);
+    if (hops > 100'000) {
+      ADD_FAILURE() << "sliced run failed to terminate";
+      return trace;
+    }
+    slice = resume_slice(program, suspension, limits, fuel_slice,
+                         resume_options);
+  }
+}
+
+void expect_traces_equal(const RunTrace& a, const RunTrace& b,
+                         const Program& program, std::string_view label) {
+  ASSERT_EQ(a.ok, b.ok) << label << "\n" << a.error << "\n" << b.error << "\n"
+                        << disassemble(program);
+  if (a.ok) {
+    EXPECT_TRUE(args_equal(a.result, b.result)) << label << "\n"
+                                                << disassemble(program);
+    EXPECT_EQ(a.fuel, b.fuel) << label << "\n" << disassemble(program);
+    EXPECT_EQ(a.instructions, b.instructions)
+        << label << "\n" << disassemble(program);
+    EXPECT_EQ(a.peak_call_depth, b.peak_call_depth)
+        << label << "\n" << disassemble(program);
+  } else {
+    EXPECT_EQ(a.error, b.error) << label << "\n" << disassemble(program);
+  }
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size())
+      << label << "\n" << disassemble(program);
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    EXPECT_EQ(a.snapshots[i], b.snapshots[i])
+        << label << ": snapshot " << i << " differs\n" << disassemble(program);
+  }
+}
+
+class EngineDifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineDifferentialSweep, FastEngineMatchesReferenceBitExactly) {
+  Rng rng(GetParam());
+  ExecLimits limits;
+  limits.max_fuel = 100'000;
+  limits.max_call_depth = 64;
+  limits.max_heap_cells = 1 << 16;
+  ExecOptions fast_options;
+  fast_options.engine = Engine::kFast;
+  ExecOptions ref_options;
+  ref_options.engine = Engine::kReference;
+
+  for (int round = 0; round < 200; ++round) {
+    const Program program = random_verified_program(rng);
+    ASSERT_TRUE(verify(program).is_ok()) << disassemble(program);
+    const auto args = args_for(program, rng);
+
+    // Whole runs: identical outcome, fuel, instruction count, call depth —
+    // or the identical trap, down to the message text (which pins the trap
+    // site: "... in 'fn' at instruction N").
+    const auto fast = execute(program, args, limits, fast_options);
+    const auto ref = execute(program, args, limits, ref_options);
+    ASSERT_EQ(fast.is_ok(), ref.is_ok())
+        << fast.status().to_string() << "\n" << ref.status().to_string()
+        << "\n" << disassemble(program);
+    if (fast.is_ok()) {
+      EXPECT_TRUE(args_equal(fast->result, ref->result)) << disassemble(program);
+      EXPECT_EQ(fast->fuel_used, ref->fuel_used) << disassemble(program);
+      EXPECT_EQ(fast->instructions, ref->instructions) << disassemble(program);
+      EXPECT_EQ(fast->peak_call_depth, ref->peak_call_depth)
+          << disassemble(program);
+    } else {
+      EXPECT_EQ(fast.status().to_string(), ref.status().to_string())
+          << disassemble(program);
+    }
+
+    // Sliced runs: identical suspension points with bit-identical snapshot
+    // bytes, and snapshots restore across engines (fast-suspend →
+    // reference-resume and vice versa reproduce the single-engine run).
+    const std::uint64_t slice = 8 + rng.next_below(200);
+    const RunTrace ff =
+        run_sliced(program, args, limits, slice, Engine::kFast, Engine::kFast);
+    const RunTrace rr = run_sliced(program, args, limits, slice,
+                                   Engine::kReference, Engine::kReference);
+    const RunTrace fr = run_sliced(program, args, limits, slice,
+                                   Engine::kFast, Engine::kReference);
+    const RunTrace rf = run_sliced(program, args, limits, slice,
+                                   Engine::kReference, Engine::kFast);
+    expect_traces_equal(ff, rr, program, "fast/fast vs ref/ref");
+    expect_traces_equal(ff, fr, program, "fast/fast vs fast/ref");
+    expect_traces_equal(ff, rf, program, "fast/fast vs ref/fast");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EngineDifferentialSweep,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
 }  // namespace
 }  // namespace tasklets::tvm

@@ -962,5 +962,228 @@ TEST(InterpreterProperty, DeterministicAcrossRuns) {
   }
 }
 
+// --- Fast-path engine ---------------------------------------------------------
+
+Result<ExecOutcome> run_engine(const Program& program,
+                               const std::vector<HostArg>& args, Engine engine,
+                               const ExecLimits& limits = {}) {
+  ExecOptions options;
+  options.engine = engine;
+  return execute(program, args, limits, options);
+}
+
+TEST(FastEngineTest, AnalyzeQuickensProvenOpsAndKeepsCheckedOnes) {
+  const Program p = asm_or_die(R"(
+    .func main arity=1 locals=2
+      load 0
+      push_i 10
+      mul_i
+      store 1
+      load 1
+      push_i 3
+      add_i
+      halt
+    .end
+    .entry main
+  )");
+  auto plan = analyze(p);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_TRUE(plan->compatible_with(p));
+  const auto& fp = plan->functions[0];
+  ASSERT_EQ(fp.quick.size(), p.function(0).code.size());
+  ASSERT_EQ(fp.block_of.size(), p.function(0).code.size());
+  // Local 0 is a caller argument (unknown tag), so the first mul keeps its
+  // checked form; local 1 was stored from an int-producing op, so the
+  // second window fuses `push_i 3; add_i` into an immediate add.
+  EXPECT_EQ(fp.quick[2].op, OpCode::kMulInt);
+  bool saw_imm_add = false;
+  for (const Instr& instr : fp.quick) {
+    if (instr.op == OpCode::kAddIntImmU) {
+      saw_imm_add = true;
+      EXPECT_EQ(instr.operand, 3);
+    }
+  }
+  EXPECT_TRUE(saw_imm_add) << "push_i 3; add_i did not fuse";
+}
+
+TEST(FastEngineTest, FuelTrapParityWithReference) {
+  const Program p = asm_or_die(R"(
+    .func main arity=1 locals=2
+    loop:
+      load 1
+      push_i 1
+      add_i
+      store 1
+      load 1
+      load 0
+      clt_i
+      jnz loop
+      load 1
+      halt
+    .end
+    .entry main
+  )");
+  ExecLimits limits;
+  limits.max_fuel = 777;
+  const auto fast =
+      run_engine(p, {std::int64_t{1'000'000}}, Engine::kFast, limits);
+  const auto ref =
+      run_engine(p, {std::int64_t{1'000'000}}, Engine::kReference, limits);
+  ASSERT_FALSE(fast.is_ok());
+  ASSERT_FALSE(ref.is_ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kDeadlineExceeded);
+  // Message parity pins the trap site ("... at instruction N"): the fast
+  // engine must burn fuel at exactly the reference's instruction.
+  EXPECT_EQ(fast.status().to_string(), ref.status().to_string());
+}
+
+TEST(FastEngineTest, FusedArrayLoadTrapSiteMatchesReference) {
+  const Program p = asm_or_die(R"(
+    .func main arity=0 locals=2
+      push_i 4
+      newarr
+      store 0
+      push_i 9
+      store 1
+      load 0
+      load 1
+      aload
+      halt
+    .end
+    .entry main
+  )");
+  // `load 0; load 1; aload` fuses (both tags proven: array, int); the
+  // out-of-bounds trap must still report the aload's own instruction index.
+  const auto fast = run_engine(p, {}, Engine::kFast);
+  const auto ref = run_engine(p, {}, Engine::kReference);
+  ASSERT_FALSE(fast.is_ok());
+  ASSERT_FALSE(ref.is_ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(fast.status().to_string(), ref.status().to_string());
+  EXPECT_NE(fast.status().to_string().find("at instruction 7"),
+            std::string::npos)
+      << fast.status().to_string();
+}
+
+TEST(FastEngineTest, TypeConfusionTrapParity) {
+  // Local 0 arrives from the caller, so its tag is unproven: the fast block
+  // keeps the checked add and must trap identically to the reference.
+  const Program p = asm_or_die(R"(
+    .func main arity=1 locals=1
+      load 0
+      push_i 1
+      add_i
+      halt
+    .end
+    .entry main
+  )");
+  const auto fast = run_engine(p, {2.5}, Engine::kFast);
+  const auto ref = run_engine(p, {2.5}, Engine::kReference);
+  ASSERT_FALSE(fast.is_ok());
+  ASSERT_FALSE(ref.is_ok());
+  EXPECT_EQ(fast.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(fast.status().to_string(), ref.status().to_string());
+}
+
+TEST(FastEngineTest, SuspensionSnapshotsMatchReferenceAtAnySlice) {
+  const Program p = asm_or_die(R"(
+    .func main arity=0 locals=2
+      push_i 0
+      store 1
+    loop:
+      load 1
+      push_i 1
+      add_i
+      store 1
+      load 1
+      push_i 60
+      clt_i
+      jnz loop
+      load 1
+      halt
+    .end
+    .entry main
+  )");
+  ExecLimits limits;
+  ExecOptions fast_options;
+  fast_options.engine = Engine::kFast;
+  ExecOptions ref_options;
+  ref_options.engine = Engine::kReference;
+  for (const std::uint64_t slice :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{7},
+        std::uint64_t{33}, std::uint64_t{100}}) {
+    auto fast = execute_slice(p, {}, limits, slice, fast_options);
+    auto ref = execute_slice(p, {}, limits, slice, ref_options);
+    for (;;) {
+      ASSERT_TRUE(fast.is_ok()) << fast.status().to_string();
+      ASSERT_TRUE(ref.is_ok()) << ref.status().to_string();
+      const bool fast_suspended = std::holds_alternative<Suspension>(*fast);
+      ASSERT_EQ(fast_suspended, std::holds_alternative<Suspension>(*ref))
+          << "slice=" << slice;
+      if (!fast_suspended) break;
+      auto& fs = std::get<Suspension>(*fast);
+      auto& rs = std::get<Suspension>(*ref);
+      ASSERT_EQ(fs.state, rs.state) << "slice=" << slice;
+      EXPECT_EQ(fs.fuel_used, rs.fuel_used);
+      EXPECT_EQ(fs.instructions, rs.instructions);
+      fast = resume_slice(p, fs, limits, slice, fast_options);
+      ref = resume_slice(p, rs, limits, slice, ref_options);
+    }
+    const auto& fast_done = std::get<ExecOutcome>(*fast);
+    const auto& ref_done = std::get<ExecOutcome>(*ref);
+    EXPECT_TRUE(args_equal(fast_done.result, ref_done.result));
+    EXPECT_EQ(fast_done.fuel_used, ref_done.fuel_used) << "slice=" << slice;
+    EXPECT_EQ(fast_done.instructions, ref_done.instructions);
+  }
+}
+
+TEST(FastEngineTest, IncompatiblePlanIsIgnoredNotTrusted) {
+  const Program a = asm_or_die(R"(
+    .func main arity=0 locals=1
+      push_i 20
+      push_i 22
+      add_i
+      halt
+    .end
+    .entry main
+  )");
+  const Program b = asm_or_die(R"(
+    .func main arity=0 locals=1
+      push_i 1
+      halt
+    .end
+    .entry main
+  )");
+  auto plan_b = analyze(b);
+  ASSERT_TRUE(plan_b.is_ok());
+  // A plan for a different program must be detected and replaced by a fresh
+  // analysis, never applied.
+  ExecOptions options;
+  options.plan = &*plan_b;
+  const auto outcome = execute(a, {}, {}, options);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  EXPECT_EQ(std::get<std::int64_t>(outcome->result), 42);
+}
+
+TEST(FastEngineTest, ProfilingForcesReferenceEngineAndStillCounts) {
+  const Program p = asm_or_die(R"(
+    .func main arity=0 locals=0
+      push_i 2
+      push_i 3
+      mul_i
+      halt
+    .end
+    .entry main
+  )");
+  ExecProfile profile;
+  ExecOptions options;
+  options.profile = &profile;
+  const auto outcome = execute(p, {}, {}, options);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(std::get<std::int64_t>(outcome->result), 6);
+  EXPECT_EQ(profile.instructions, 4u);
+  EXPECT_EQ(profile.ops[static_cast<std::size_t>(OpCode::kMulInt)].count, 1u);
+}
+
 }  // namespace
 }  // namespace tasklets::tvm
