@@ -29,6 +29,17 @@ inline void line(const char* fmt, ...) {
   std::printf("\n");
 }
 
+// The standard mixed pool used by the policy-comparison experiments (E5,
+// E10) and by integration-style tests: 2 servers, 4 desktops, 6 laptops,
+// 8 SBCs, 10 phones — the paper's "everything from a rack to a pocket" mix.
+inline void add_standard_mixed_pool(core::SimCluster& cluster) {
+  cluster.add_providers(sim::server_profile(), 2);
+  cluster.add_providers(sim::desktop_profile(), 4);
+  cluster.add_providers(sim::laptop_profile(), 6);
+  cluster.add_providers(sim::sbc_profile(), 8);
+  cluster.add_providers(sim::mobile_profile(), 10);
+}
+
 // Aggregate metrics over a finished SimCluster run.
 struct RunMetrics {
   std::size_t submitted = 0;
@@ -37,10 +48,17 @@ struct RunMetrics {
   double makespan_s = 0.0;       // submission->completion of the last report
   double mean_latency_s = 0.0;
   double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
   double mean_attempts = 0.0;
   double total_cost = 0.0;
   std::uint64_t reissues = 0;
   double fairness = 0.0;  // Jain index over provider completion counts
+  // Deadline accounting: when every submission carries a QoC deadline, the
+  // hit rate is completed / submitted (anything late was failed
+  // kDeadlineExceeded, anything rejected by admission control counts as a
+  // miss too — the scheduler's job was to finish the work in time).
+  std::size_t deadline_missed = 0;  // kDeadlineExceeded reports
+  double deadline_hit_rate = 0.0;
 };
 
 inline RunMetrics collect(core::SimCluster& cluster) {
@@ -50,6 +68,9 @@ inline RunMetrics collect(core::SimCluster& cluster) {
   double attempts = 0.0;
   SimTime last_done = 0;
   for (const auto& report : cluster.reports()) {
+    if (report.status == proto::TaskletStatus::kDeadlineExceeded) {
+      metrics.deadline_missed += 1;
+    }
     if (report.status != proto::TaskletStatus::kCompleted) continue;
     metrics.completed += 1;
     latencies.add(to_seconds(report.latency));
@@ -63,6 +84,8 @@ inline RunMetrics collect(core::SimCluster& cluster) {
   metrics.makespan_s = to_seconds(last_done);
   metrics.mean_latency_s = latencies.mean();
   metrics.p95_latency_s = latencies.p95();
+  metrics.p99_latency_s = latencies.p99();
+  metrics.deadline_hit_rate = metrics.success_rate;
   metrics.mean_attempts =
       metrics.completed == 0 ? 0.0 : attempts / static_cast<double>(metrics.completed);
   metrics.total_cost = cluster.total_cost();

@@ -69,6 +69,36 @@ std::vector<std::pair<NodeId, std::uint64_t>> Broker::provider_completions() con
   return out;
 }
 
+double Broker::measured_speed(NodeId provider) const noexcept {
+  const auto it = providers_.find(provider);
+  return it != providers_.end() ? it->second.speed.estimate() : 0.0;
+}
+
+std::uint64_t Broker::speed_samples(NodeId provider) const noexcept {
+  const auto it = providers_.find(provider);
+  return it != providers_.end() ? it->second.speed.samples() : 0;
+}
+
+void Broker::record_speed_sample(NodeId provider, std::uint64_t fuel,
+                                 SimTime elapsed) {
+  const auto it = providers_.find(provider);
+  if (it == providers_.end()) return;
+  ProviderState& p = it->second;
+  p.speed.record(static_cast<double>(fuel), to_seconds(elapsed));
+  completions_.record(elapsed);
+  // Publish into the policy-visible view only once confident — until then
+  // ProviderView::effective_speed() keeps returning the advertised score.
+  p.view.speed_samples = p.speed.samples();
+  p.view.measured_speed_fuel_per_sec =
+      p.speed.confident() ? p.speed.estimate() : 0.0;
+  if (metrics::enabled()) {
+    // Per-provider estimator gauge (dynamic name, so no macro cache).
+    metrics::MetricsRegistry::instance()
+        .gauge("broker.speed." + provider.to_string())
+        .set(static_cast<std::int64_t>(p.speed.estimate()));
+  }
+}
+
 void Broker::on_message(const proto::Envelope& envelope, SimTime now,
                         proto::Outbox& out) {
   std::visit(
@@ -221,6 +251,11 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         }
       }
     }
+    // Adaptive straggler defense: same idea as speculative_after, but the
+    // threshold is a quantile of *measured* completion durations instead of
+    // a fixed knob, and far-gone attempts are fenced and reassigned rather
+    // than merely shadowed.
+    if (config_.straggler_multiplier > 0) defend_stragglers(now, out);
     // Program fetches (r3): FetchProgram to the consumer is at-least-once —
     // re-send on the scan cadence for submissions still parked, and fail
     // those past the fetch grace (the consumer is gone or keeps losing
@@ -309,6 +344,7 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
   p.draining = false;
   if (!rejoin) {
     p.view.observed_reliability = 1.0;
+    p.speed = SpeedEstimator(config_.speed_estimator);
   }
   p.incarnation = m.incarnation;
   out.send(from, proto::RegisterAck{m.incarnation});
@@ -379,6 +415,9 @@ void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime n
   state.submitted_at = now;
   state.replicas_pending = std::max<std::uint32_t>(1, m.spec.qoc.redundancy);
 
+  // Deadline admission control: refuse work the measured pool provably
+  // cannot finish in time, before it occupies a slot or the queue.
+  if (admission_rejects(id, state, now, out)) return;
   // Unsatisfiable tasklets queue rather than fail: providers may still be
   // registering. The scan timer declares them unschedulable after the grace
   // period (see on_timer).
@@ -482,6 +521,8 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
     if (p.online && qoc_admits(state, p.view.capability)) {
       context.best_online_speed = std::max(context.best_online_speed,
                                            p.view.capability.speed_fuel_per_sec);
+      context.best_online_effective_speed = std::max(
+          context.best_online_effective_speed, p.view.effective_speed());
     }
   }
   const NodeId choice = scheduler_->pick(state.spec, context, rng_);
@@ -578,9 +619,11 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
   // Free the provider slot — but only if this attempt was genuinely
   // outstanding there. Duplicate results (network retransmits) and results
   // for attempts already fenced (timeout, provider loss) must not distort
-  // the reliability EWMA or the completion counters.
+  // the reliability EWMA, the speed estimator, or the completion counters.
+  bool genuine = false;
   if (const auto pit = providers_.find(from); pit != providers_.end()) {
     if (pit->second.inflight.erase(m.attempt) > 0) {
+      genuine = true;
       auto& view = pit->second.view;
       const double success =
           m.outcome.status == proto::AttemptStatus::kOk ? 1.0 : 0.0;
@@ -619,6 +662,10 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       ait != state.attempts.end()) {
     end_attempt_span(state, id, ait->second, now,
                      proto::to_string(m.outcome.status));
+    if (genuine && m.outcome.status == proto::AttemptStatus::kOk) {
+      record_speed_sample(from, m.outcome.fuel_used,
+                          now - ait->second.issued_at);
+    }
   }
   state.attempts.erase(m.attempt);
   if (state.done) {
@@ -753,6 +800,108 @@ void Broker::reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
     fail_tasklet(id, state, proto::TaskletStatus::kExhausted,
                  "re-issue budget exhausted", now, out);
   }
+}
+
+void Broker::defend_stragglers(SimTime now, proto::Outbox& out) {
+  const SimTime bound =
+      completions_.bound(config_.straggler_quantile, config_.straggler_multiplier,
+                         config_.straggler_min_samples);
+  if (bound <= 0) return;
+  // Classify first — fencing mutates attempt_index_ mid-iteration otherwise.
+  std::vector<std::pair<AttemptId, TaskletId>> fence;  // past 2x the bound
+  std::vector<TaskletId> shadow;                       // past 1x the bound
+  for (const auto& [attempt, tasklet_id] : attempt_index_) {
+    const auto it = tasklets_.find(tasklet_id);
+    if (it == tasklets_.end() || it->second.done) continue;
+    const auto ait = it->second.attempts.find(attempt);
+    if (ait == it->second.attempts.end()) continue;
+    const SimTime age = now - ait->second.issued_at;
+    if (age > 2 * bound) {
+      fence.emplace_back(attempt, tasklet_id);
+    } else if (age > bound && !it->second.speculated &&
+               it->second.spec.qoc.redundancy <= 1) {
+      shadow.push_back(tasklet_id);
+    }
+  }
+  // Far-gone attempts: fence (the provider's slot is freed and its late
+  // result can no longer count — the same guarantee attempt_timeout gives)
+  // and reassign. A tasklet that was already shadowed by a backup is NOT
+  // re-issued again: the live backup is the reassignment.
+  for (const auto& [attempt, tasklet_id] : fence) {
+    auto& state = tasklets_.at(tasklet_id);
+    NodeId provider;
+    if (const auto ait = state.attempts.find(attempt);
+        ait != state.attempts.end()) {
+      provider = ait->second.provider;
+      end_attempt_span(state, tasklet_id, ait->second, now, "straggler");
+      if (const auto pit = providers_.find(provider); pit != providers_.end()) {
+        pit->second.inflight.erase(attempt);
+      }
+      state.attempts.erase(ait);
+    }
+    attempt_index_.erase(attempt);
+    if (state.done) continue;
+    ++stats_.straggler_reassigns;
+    TASKLETS_COUNT("broker.straggler_reassigns", 1);
+    trace_instant(state, "reassign", tasklet_id, now,
+                  {{"from", provider.to_string()},
+                   {"bound", format_duration(2 * bound)}});
+    if (state.attempts.empty()) {
+      ++stats_.attempts_lost;
+      TASKLETS_COUNT("broker.attempts_lost", 1);
+      reissue_or_exhaust(tasklet_id, state, now, out);
+    }
+  }
+  // Moderately late attempts: one speculative backup, exactly like the
+  // speculative_after path (first result wins, loser fenced on arrival).
+  for (const TaskletId id : shadow) {
+    auto& state = tasklets_.at(id);
+    if (state.done || state.speculated) continue;
+    state.replicas_pending += 1;
+    const AttemptId backup = try_place_replica(id, now, out);
+    if (backup.valid()) {
+      state.speculated = true;
+      state.speculative_attempt = backup;
+      ++stats_.speculations;
+      TASKLETS_COUNT("broker.speculations", 1);
+      trace_instant(state, "speculate", id, now,
+                    {{"backup", backup.to_string()}, {"reason", "straggler"}});
+    } else {
+      state.replicas_pending -= 1;  // no capacity: retry next scan
+    }
+  }
+  if (!fence.empty()) drain_queue(now, out);
+}
+
+bool Broker::admission_rejects(TaskletId id, TaskletState& state, SimTime now,
+                               proto::Outbox& out) {
+  if (!config_.admission_control || state.spec.qoc.deadline <= 0) return false;
+  // Only synthetic bodies declare their fuel up front; VM programs' cost is
+  // unknown until they run, so they are always admitted.
+  const auto* synthetic = std::get_if<proto::SyntheticBody>(&state.spec.body);
+  if (synthetic == nullptr || synthetic->fuel == 0) return false;
+  // Fastest admissible provider at *measured* speed. No online admissible
+  // provider is not a rejection — providers may still be registering; the
+  // unschedulable grace in the scan timer owns that case.
+  double best = 0.0;
+  for (const auto& [pid, p] : providers_) {
+    if (p.online && qoc_admits(state, p.view.capability)) {
+      best = std::max(best, p.view.effective_speed());
+    }
+  }
+  if (best <= 0.0) return false;
+  const double predicted_s =
+      config_.admission_safety * static_cast<double>(synthetic->fuel) / best;
+  if (from_seconds(predicted_s) <= state.spec.qoc.deadline) return false;
+  ++stats_.admission_rejected;
+  TASKLETS_COUNT("broker.admission_rejected", 1);
+  trace_instant(state, "admission_reject", id, now,
+                {{"predicted", format_duration(from_seconds(predicted_s))},
+                 {"deadline", format_duration(state.spec.qoc.deadline)}});
+  ++stats_.tasklets_unschedulable;
+  fail_tasklet(id, state, proto::TaskletStatus::kUnschedulable,
+               "QoC deadline infeasible for the current pool", now, out);
+  return true;
 }
 
 std::uint32_t Broker::majority_threshold(const TaskletState& state) const {

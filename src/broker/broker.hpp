@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "broker/scheduling.hpp"
+#include "broker/speed_estimator.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "proto/actor.hpp"
@@ -63,6 +64,28 @@ struct BrokerConfig {
   // re-issued under the QoC re-issue budget. Covers dropped AssignTasklet /
   // AttemptResult frames, which heartbeat liveness cannot see. 0 disables.
   SimTime attempt_timeout = 0;
+  // Per-provider effective-speed estimation (EWMA of fuel/s per completed
+  // attempt). Always on — it is passive measurement; only the adaptive
+  // policy and the defenses below consume it.
+  SpeedEstimatorConfig speed_estimator;
+  // Quantile-based straggler defense: when `straggler_multiplier` > 0, an
+  // in-flight attempt older than multiplier × the `straggler_quantile` of
+  // completed-attempt durations gets one speculative backup; past twice
+  // that bound it is fenced (late result ignored) and reassigned. Unlike
+  // `speculative_after` / `attempt_timeout` this bound adapts to what the
+  // pool actually needs, so it stays quiet on a uniformly slow pool and
+  // fires early on a fast one. Engages only after `straggler_min_samples`
+  // completions — before that the duration distribution is too thin.
+  double straggler_multiplier = 0.0;
+  double straggler_quantile = 0.95;
+  std::size_t straggler_min_samples = 20;
+  // Deadline admission control: reject a submission outright (as
+  // unschedulable) when its QoC deadline cannot be met even by the fastest
+  // admissible provider at measured speed. Only synthetic bodies carry a
+  // known fuel requirement, so only they are ever rejected. `safety`
+  // inflates the predicted runtime to cover queueing and transfer.
+  bool admission_control = false;
+  double admission_safety = 1.25;
   std::uint64_t rng_seed = 0x7A5CB0A7;
   // Span collector; nullptr disables tracing at the broker.
   TraceStore* trace = nullptr;
@@ -105,6 +128,8 @@ struct BrokerStats {
   std::uint64_t duplicate_submits = 0;  // SubmitTasklet retransmits fenced
   std::uint64_t duplicate_results = 0;  // late/fenced AttemptResults ignored
   std::uint64_t attempts_timed_out = 0; // attempts fenced by attempt_timeout
+  std::uint64_t straggler_reassigns = 0;  // attempts fenced by the straggler bound
+  std::uint64_t admission_rejected = 0;   // submits rejected as deadline-infeasible
   // Content-addressed store (r3).
   std::uint64_t memo_hits = 0;          // submissions answered from the memo
   std::uint64_t memo_inserts = 0;       // verified results stored
@@ -134,6 +159,16 @@ class Broker final : public proto::Actor {
   // Per-provider completed-attempt counts (utilisation / fairness metrics).
   [[nodiscard]] std::vector<std::pair<NodeId, std::uint64_t>> provider_completions() const;
 
+  // Speed-estimator introspection (tests, benches): the EWMA effective
+  // fuel/s the broker measured for `provider` (0 if unknown / no samples)
+  // and how many samples back it.
+  [[nodiscard]] double measured_speed(NodeId provider) const noexcept;
+  [[nodiscard]] std::uint64_t speed_samples(NodeId provider) const noexcept;
+  // Completed-attempt durations feeding the straggler bound.
+  [[nodiscard]] std::size_t completion_samples() const noexcept {
+    return completions_.count();
+  }
+
   // Content store introspection (tests, benches).
   [[nodiscard]] const store::BlobStore& blob_store() const noexcept {
     return blobs_;
@@ -159,6 +194,9 @@ class Broker final : public proto::Actor {
     // new incarnation registers — the cache died with the old process.
     std::unordered_set<store::Digest> warm;
     std::deque<store::Digest> warm_order;
+    // Measured effective speed (EWMA over completed attempts). Kept across
+    // re-registrations — the device restarted, but it is the same hardware.
+    SpeedEstimator speed;
   };
 
   struct AttemptState {
@@ -271,6 +309,16 @@ class Broker final : public proto::Actor {
   // else fail kExhausted once nothing else is outstanding.
   void reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
                           proto::Outbox& out);
+  // Measurement half of the feedback loop: fold one completed attempt
+  // (fuel over elapsed) into the provider's speed estimate and the
+  // pool-wide completion-duration distribution.
+  void record_speed_sample(NodeId provider, std::uint64_t fuel, SimTime elapsed);
+  // Straggler defense (scan-timer): speculate on attempts past the
+  // quantile bound, fence + reassign those past twice the bound.
+  void defend_stragglers(SimTime now, proto::Outbox& out);
+  // Deadline admission control; true when the submit was rejected.
+  bool admission_rejects(TaskletId id, TaskletState& state, SimTime now,
+                         proto::Outbox& out);
 
   [[nodiscard]] std::uint32_t majority_threshold(const TaskletState& state) const;
 
@@ -324,6 +372,8 @@ class Broker final : public proto::Actor {
   store::BlobStore blobs_;
   store::MemoTable memo_;
   std::unordered_map<store::Digest, std::vector<TaskletId>> awaiting_program_;
+  // Pool-wide completed-attempt durations (straggler bound input).
+  CompletionTracker completions_;
 };
 
 }  // namespace tasklets::broker

@@ -82,39 +82,26 @@ class FastestFirst final : public Scheduler {
   std::string_view name() const noexcept override { return "fastest_first"; }
 };
 
-class QocAware final : public Scheduler {
- public:
-  NodeId pick(const proto::TaskletSpec& spec, const SchedulingContext& context,
-              Rng&) override {
-    // Selectivity: a device more than `ratio` slower than the best online
-    // device is declined — waiting briefly for a fast slot beats occupying
-    // a slow device for the whole service time. This is the core
-    // "overcoming heterogeneity" decision.
-    const double ratio =
-        spec.qoc.speed == proto::SpeedGoal::kFast ? 2.0 : 8.0;
-    const double floor_speed = context.best_online_speed / ratio;
+// Shared QoC composite used by both qoc_aware (advertised speed) and
+// adaptive (measured speed): selectivity floor against the best online
+// device, then load-discounted speed blended with the tasklet's goals. The
+// two policies differ only in which speed they believe, so the blend lives
+// in one place.
+NodeId qoc_pick(const proto::TaskletSpec& spec, const SchedulingContext& context,
+                double best_speed, double (*speed_of)(const ProviderView&)) {
+  // Selectivity: a device more than `ratio` slower than the best online
+  // device is declined — waiting briefly for a fast slot beats occupying
+  // a slow device for the whole service time. This is the core
+  // "overcoming heterogeneity" decision.
+  const double ratio = spec.qoc.speed == proto::SpeedGoal::kFast ? 2.0 : 8.0;
+  const double floor_speed = best_speed / ratio;
 
-    const ProviderView* best = nullptr;
-    double best_score = -std::numeric_limits<double>::infinity();
-    for (const auto& p : context.eligible) {
-      if (p.capability.speed_fuel_per_sec < floor_speed) continue;
-      const double score = this->score(spec, p);
-      if (best == nullptr || score > best_score ||
-          (score == best_score && p.id < best->id)) {
-        best = &p;
-        best_score = score;
-      }
-    }
-    return best != nullptr ? best->id : NodeId{};
-  }
-  std::string_view name() const noexcept override { return "qoc_aware"; }
-
- private:
-  static double score(const proto::TaskletSpec& spec, const ProviderView& p) {
+  const ProviderView* best = nullptr;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& p : context.eligible) {
+    if (speed_of(p) < floor_speed) continue;
     // Load-discounted speed: an idle desktop can beat a nearly-full server.
-    const double effective_speed =
-        p.capability.speed_fuel_per_sec * (1.0 - 0.8 * p.load());
-    double score = effective_speed / 1e6;
+    double score = speed_of(p) * (1.0 - 0.8 * p.load()) / 1e6;
     if (spec.qoc.speed == proto::SpeedGoal::kFast) {
       score *= 4.0;  // weight raw speed much higher for latency-critical work
     }
@@ -131,8 +118,42 @@ class QocAware final : public Scheduler {
     // verify pass. Mild bonus only — affinity must never override the
     // speed/selectivity decisions that carry the latency experiments.
     if (p.warm) score *= 1.25;
-    return score;
+    if (best == nullptr || score > best_score ||
+        (score == best_score && p.id < best->id)) {
+      best = &p;
+      best_score = score;
+    }
   }
+  return best != nullptr ? best->id : NodeId{};
+}
+
+class QocAware final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec& spec, const SchedulingContext& context,
+              Rng&) override {
+    return qoc_pick(spec, context, context.best_online_speed,
+                    [](const ProviderView& p) {
+                      return p.capability.speed_fuel_per_sec;
+                    });
+  }
+  std::string_view name() const noexcept override { return "qoc_aware"; }
+};
+
+class Adaptive final : public Scheduler {
+ public:
+  NodeId pick(const proto::TaskletSpec& spec, const SchedulingContext& context,
+              Rng&) override {
+    // Same blend as qoc_aware, but on measured effective speed: the
+    // selectivity floor is anchored to the best *measured* device, so a
+    // straggler advertising a stale high benchmark neither attracts work
+    // nor inflates the floor past every honest provider.
+    const double best = context.best_online_effective_speed > 0.0
+                            ? context.best_online_effective_speed
+                            : context.best_online_speed;
+    return qoc_pick(spec, context, best,
+                    [](const ProviderView& p) { return p.effective_speed(); });
+  }
+  std::string_view name() const noexcept override { return "adaptive"; }
 };
 
 class CloudOnly final : public Scheduler {
@@ -157,6 +178,7 @@ std::unique_ptr<Scheduler> make_least_loaded() { return std::make_unique<LeastLo
 std::unique_ptr<Scheduler> make_fastest_first() { return std::make_unique<FastestFirst>(); }
 std::unique_ptr<Scheduler> make_qoc_aware() { return std::make_unique<QocAware>(); }
 std::unique_ptr<Scheduler> make_cloud_only() { return std::make_unique<CloudOnly>(); }
+std::unique_ptr<Scheduler> make_adaptive() { return std::make_unique<Adaptive>(); }
 
 Result<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name) {
   if (name == "round_robin") return make_round_robin();
@@ -165,6 +187,7 @@ Result<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name) {
   if (name == "fastest_first") return make_fastest_first();
   if (name == "qoc_aware") return make_qoc_aware();
   if (name == "cloud_only") return make_cloud_only();
+  if (name == "adaptive") return make_adaptive();
   return make_error(StatusCode::kNotFound,
                     "unknown scheduler '" + std::string(name) + "'");
 }

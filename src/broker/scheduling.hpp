@@ -32,11 +32,24 @@ struct ProviderView {
   // program cache already holds the tasklet's program — assigning there
   // ships a 16-byte digest instead of the bytecode and skips re-verification.
   bool warm = false;
+  // Measured-speed feedback: the broker's EWMA of this provider's effective
+  // fuel/s from completed attempts (speed_estimator.hpp). 0 until enough
+  // samples accumulated — static policies ignore it; the adaptive policy
+  // falls back to the advertised benchmark score while it is 0.
+  double measured_speed_fuel_per_sec = 0.0;
+  std::uint64_t speed_samples = 0;
 
   [[nodiscard]] double load() const noexcept {
     return capability.slots == 0
                ? 1.0
                : static_cast<double>(busy_slots) / capability.slots;
+  }
+
+  // The speed the adaptive policy believes: measured when available,
+  // advertised otherwise.
+  [[nodiscard]] double effective_speed() const noexcept {
+    return measured_speed_fuel_per_sec > 0.0 ? measured_speed_fuel_per_sec
+                                             : capability.speed_fuel_per_sec;
   }
 };
 
@@ -48,6 +61,11 @@ struct ProviderView {
 struct SchedulingContext {
   std::span<const ProviderView> eligible;
   double best_online_speed = 0.0;
+  // Same baseline computed over *effective* speeds (measured where
+  // available). A degraded device advertising a stale high score inflates
+  // best_online_speed and with it the selectivity floor; the adaptive
+  // policy anchors its floor here instead.
+  double best_online_effective_speed = 0.0;
 };
 
 class Scheduler {
@@ -90,8 +108,17 @@ class Scheduler {
 // offloading); other devices are ignored even when idle.
 [[nodiscard]] std::unique_ptr<Scheduler> make_cloud_only();
 
+// QoC-aware scoring over *measured* speed: identical blend to qoc_aware,
+// but every speed term (selectivity floor, load-discounted score) uses the
+// EWMA effective fuel/s the broker measured from completed attempts,
+// falling back to the advertised score per provider until enough samples
+// exist. This is what closes the measurement -> placement loop: degraded
+// or lying providers lose work as their estimate decays, instead of
+// monopolising it on the strength of a stale benchmark.
+[[nodiscard]] std::unique_ptr<Scheduler> make_adaptive();
+
 // Factory by name ("round_robin", "random", "least_loaded", "fastest_first",
-// "qoc_aware", "cloud_only") — used by benches to sweep policies.
+// "qoc_aware", "cloud_only", "adaptive") — used by benches to sweep policies.
 [[nodiscard]] Result<std::unique_ptr<Scheduler>> make_scheduler(std::string_view name);
 
 }  // namespace tasklets::broker

@@ -1,0 +1,20 @@
+#include "broker/speed_estimator.hpp"
+
+namespace tasklets::broker {
+
+void SpeedEstimator::record(double fuel, double seconds) noexcept {
+  if (fuel <= 0.0 || seconds <= 0.0) return;
+  const double sample = fuel / seconds;
+  if (samples_ == 0) {
+    estimate_ = sample;
+    min_ = sample;
+    max_ = sample;
+  } else {
+    estimate_ = (1.0 - config_.alpha) * estimate_ + config_.alpha * sample;
+    if (sample < min_) min_ = sample;
+    if (sample > max_) max_ = sample;
+  }
+  ++samples_;
+}
+
+}  // namespace tasklets::broker

@@ -1,0 +1,104 @@
+// Online provider-speed estimation: the measurement half of the
+// measurement -> placement feedback loop.
+//
+// The QoC-aware scheduler historically trusted the benchmark score a
+// provider advertised at registration. Real pools drift: devices throttle,
+// swap, pick up background load, or lie outright — the HEET observation is
+// that heterogeneity must be *measured* continuously, not assumed. Every
+// completed attempt already reports fuel executed, and the broker knows how
+// long the attempt was outstanding, so each completion yields one sample of
+// the provider's *effective* throughput (fuel per second of wall/virtual
+// time, transfer and startup included — which is exactly the quantity
+// placement cares about).
+//
+// Two trackers live here:
+//   * SpeedEstimator — per-provider EWMA of effective fuel/s, with
+//     min/max bounds and a sample count gating when the measurement is
+//     trusted over the advertised score,
+//   * CompletionTracker — pool-wide log-bucketed histogram of completed
+//     attempt durations, whose upper quantile gives the straggler defense
+//     its expected-completion bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+
+namespace tasklets::broker {
+
+struct SpeedEstimatorConfig {
+  // EWMA weight of the newest sample. Higher adapts faster but tracks
+  // noise; 0.25 halves the influence of a sample after ~2.4 further ones.
+  double alpha = 0.25;
+  // Samples before estimate() is considered trustworthy (confident());
+  // until then placement falls back to the advertised benchmark score.
+  std::uint64_t min_samples = 3;
+};
+
+// EWMA of one provider's effective execution speed (fuel per second).
+class SpeedEstimator {
+ public:
+  SpeedEstimator() = default;
+  explicit SpeedEstimator(SpeedEstimatorConfig config) : config_(config) {}
+
+  // Records one completed attempt: `fuel` units retired over `seconds` of
+  // elapsed time. Non-positive inputs are ignored (zero-fuel bodies,
+  // clock anomalies) — they carry no speed information.
+  void record(double fuel, double seconds) noexcept;
+
+  // Current EWMA estimate in fuel/s; 0 before the first sample.
+  [[nodiscard]] double estimate() const noexcept { return estimate_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] bool confident() const noexcept {
+    return samples_ >= config_.min_samples;
+  }
+  // Extremes of the raw samples seen (0 before the first sample). The EWMA
+  // is a convex combination of samples, so estimate() always lies within
+  // [min_observed, max_observed] — property-tested in test_scheduling.
+  [[nodiscard]] double min_observed() const noexcept { return min_; }
+  [[nodiscard]] double max_observed() const noexcept { return max_; }
+
+  // The speed placement should believe: the measured estimate once enough
+  // samples accumulated, the advertised benchmark score until then.
+  [[nodiscard]] double effective_speed(double advertised) const noexcept {
+    return confident() ? estimate_ : advertised;
+  }
+
+ private:
+  SpeedEstimatorConfig config_{};
+  double estimate_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+// Pool-wide distribution of completed-attempt durations. The straggler
+// defense compares an in-flight attempt's age against an upper quantile of
+// this distribution: work running far past what the pool normally needs is
+// either on a degraded device or lost, and deserves a backup (or a fence).
+class CompletionTracker {
+ public:
+  void record(SimTime duration) noexcept {
+    if (duration <= 0) return;
+    durations_.add(static_cast<double>(duration));
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return durations_.count(); }
+
+  // Expected-completion bound: `multiplier` times the `quantile` of
+  // completed-attempt durations. Returns 0 (no bound — defense stays quiet)
+  // until `min_count` completions have been observed: early in a run the
+  // distribution is too thin to call anything a straggler.
+  [[nodiscard]] SimTime bound(double quantile, double multiplier,
+                              std::size_t min_count) const noexcept {
+    if (durations_.count() < min_count) return 0;
+    return static_cast<SimTime>(durations_.quantile(quantile) * multiplier);
+  }
+
+ private:
+  LogHistogram durations_;
+};
+
+}  // namespace tasklets::broker

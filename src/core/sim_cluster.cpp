@@ -282,8 +282,57 @@ NodeId SimCluster::add_provider(const sim::DeviceProfile& profile) {
     raw->actor->on_start(engine_->now(), out);
     process_outbox(out);
   });
-  if (profile.mean_session > 0) schedule_churn(id);
+  // Trace-driven churn (explicit offline windows) takes precedence over the
+  // exponential session model when the profile carries a trace.
+  if (!profile.churn_trace.empty()) {
+    schedule_churn_trace(id);
+  } else if (profile.mean_session > 0) {
+    schedule_churn(id);
+  }
   return id;
+}
+
+void SimCluster::take_offline(NodeId provider_id) {
+  Node& n = node(provider_id);
+  if (n.execution->profile().graceful_leave) {
+    // Announce the drain *before* emitting checkpoints: the (small)
+    // deregister frame would otherwise overtake the (larger) suspended
+    // results on the wire and the broker would re-issue from scratch.
+    // With draining=true it waits for the checkpoints instead.
+    proto::Outbox out(provider_id);
+    n.provider->leave(out);
+    process_outbox(out);
+    n.execution->drain_inflight();
+  } else {
+    n.provider->crash();
+    n.execution->bump_epoch();  // in-flight completions are lost
+  }
+}
+
+void SimCluster::bring_online(NodeId provider_id) {
+  Node& n = node(provider_id);
+  proto::Outbox out(provider_id);
+  n.provider->rejoin(engine_->now(), out);
+  process_outbox(out);
+}
+
+void SimCluster::schedule_churn_trace(NodeId provider_id) {
+  // Trace times are absolute virtual times; providers are normally added at
+  // t=0, but clamp anyway so late-added providers replay their remaining
+  // windows instead of scheduling into the past.
+  const SimTime now = engine_->now();
+  for (const auto& [down_at, up_at] :
+       node(provider_id).execution->profile().churn_trace) {
+    if (down_at >= now) {
+      engine_->schedule(down_at - now,
+                        [this, provider_id] { take_offline(provider_id); });
+    }
+    // up_at <= down_at encodes a permanent departure.
+    if (up_at > down_at && up_at >= now) {
+      engine_->schedule(up_at - now,
+                        [this, provider_id] { bring_online(provider_id); });
+    }
+  }
 }
 
 std::vector<NodeId> SimCluster::add_providers(const sim::DeviceProfile& profile,
@@ -302,27 +351,11 @@ void SimCluster::schedule_churn(NodeId provider_id) {
           static_cast<double>(profile.mean_session)));
   engine_->schedule(session, [this, provider_id] {
     Node& n = node(provider_id);
-    const auto& profile = n.execution->profile();
-    if (profile.graceful_leave) {
-      // Announce the drain *before* emitting checkpoints: the (small)
-      // deregister frame would otherwise overtake the (larger) suspended
-      // results on the wire and the broker would re-issue from scratch.
-      // With draining=true it waits for the checkpoints instead.
-      proto::Outbox out(provider_id);
-      n.provider->leave(out);
-      process_outbox(out);
-      n.execution->drain_inflight();
-    } else {
-      n.provider->crash();
-      n.execution->bump_epoch();  // in-flight completions are lost
-    }
-    const SimTime downtime = static_cast<SimTime>(
-        n.churn_rng.exponential(static_cast<double>(profile.mean_downtime)));
+    take_offline(provider_id);
+    const SimTime downtime = static_cast<SimTime>(n.churn_rng.exponential(
+        static_cast<double>(n.execution->profile().mean_downtime)));
     engine_->schedule(downtime, [this, provider_id] {
-      Node& n = node(provider_id);
-      proto::Outbox out(provider_id);
-      n.provider->rejoin(engine_->now(), out);
-      process_outbox(out);
+      bring_online(provider_id);
       schedule_churn(provider_id);
     });
   });

@@ -109,6 +109,11 @@ class SimCluster {
   void process_outbox(proto::Outbox& out);
   void arm_timer(NodeId node_id, const proto::TimerRequest& request);
   void schedule_churn(NodeId provider_id);
+  // Replays a profile's explicit churn_trace (absolute offline/online times).
+  void schedule_churn_trace(NodeId provider_id);
+  // One availability transition (crash or graceful drain per the profile).
+  void take_offline(NodeId provider_id);
+  void bring_online(NodeId provider_id);
   NodeId default_consumer();
 
   SimConfig config_;

@@ -1,5 +1,8 @@
 #include "sim/profiles.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace tasklets::sim {
 
 DeviceProfile server_profile() {
@@ -92,6 +95,74 @@ Result<DeviceProfile> profile_by_name(std::string_view name) {
   }
   return make_error(StatusCode::kNotFound,
                     "no device profile named '" + std::string(name) + "'");
+}
+
+// --- dynamism scenarios ------------------------------------------------------
+
+DeviceProfile straggler_profile(DeviceProfile base, double degradation) {
+  if (base.advertised_speed_fuel_per_sec <= 0.0) {
+    base.advertised_speed_fuel_per_sec = base.speed_fuel_per_sec;
+  }
+  base.speed_fuel_per_sec *= degradation;
+  base.name += "_straggler";
+  return base;
+}
+
+std::vector<std::pair<SimTime, SimTime>> make_churn_trace(
+    std::size_t sessions, SimTime start, SimTime horizon, SimTime mean_online,
+    SimTime mean_offline, Rng& rng) {
+  std::vector<std::pair<SimTime, SimTime>> trace;
+  SimTime t = start;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    t += static_cast<SimTime>(
+        rng.exponential(static_cast<double>(mean_online)));
+    if (t >= horizon) break;
+    const SimTime down = t;
+    t += static_cast<SimTime>(
+        rng.exponential(static_cast<double>(mean_offline)));
+    trace.emplace_back(down, t);
+  }
+  return trace;
+}
+
+void add_correlated_failure(std::vector<DeviceProfile>& group,
+                            SimTime offline_at, SimTime online_at) {
+  for (auto& profile : group) {
+    profile.churn_trace.emplace_back(offline_at, online_at);
+  }
+}
+
+std::vector<SimTime> diurnal_arrivals(std::size_t count,
+                                      SimTime mean_interarrival,
+                                      double amplitude, SimTime period,
+                                      Rng& rng) {
+  constexpr double kTwoPi = 6.283185307179586;
+  std::vector<SimTime> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Exponential gap whose mean shrinks at the wave's crest and grows in
+    // its trough: instantaneous rate = (1 + A sin(2*pi*t/T)) / mean.
+    const double phase =
+        period > 0 ? kTwoPi * t / static_cast<double>(period) : 0.0;
+    const double rate_scale =
+        std::max(1e-9, 1.0 + amplitude * std::sin(phase));
+    t += rng.exponential(static_cast<double>(mean_interarrival) / rate_scale);
+    out.push_back(static_cast<SimTime>(t));
+  }
+  return out;
+}
+
+std::vector<SimTime> poisson_arrivals(std::size_t count,
+                                      SimTime mean_interarrival, Rng& rng) {
+  std::vector<SimTime> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(static_cast<double>(mean_interarrival));
+    out.push_back(static_cast<SimTime>(t));
+  }
+  return out;
 }
 
 }  // namespace tasklets::sim

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "proto/types.hpp"
 
 namespace tasklets::sim {
@@ -46,6 +48,13 @@ struct DeviceProfile {
 
   // Probability an execution silently returns a corrupted result.
   double fault_rate = 0.0;
+
+  // Trace-driven churn: explicit (offline_at, online_at) pairs in absolute
+  // virtual time, replayed instead of the exponential session model when
+  // non-empty. online_at <= offline_at means the device never comes back.
+  // Giving several devices the *same* trace models correlated failures (a
+  // rack, a site, a building's wifi going down together).
+  std::vector<std::pair<SimTime, SimTime>> churn_trace;
 
   double cost_per_gfuel = 1.0;  // accounting units per 1e9 fuel
   std::string locality;         // capability locality tag
@@ -89,5 +98,45 @@ struct DeviceProfile {
 
 [[nodiscard]] const std::vector<DeviceProfile>& standard_catalogue();
 [[nodiscard]] Result<DeviceProfile> profile_by_name(std::string_view name);
+
+// --- dynamism scenarios ------------------------------------------------------
+// Generators for the pool/arrival shapes the adaptive-scheduling experiments
+// sweep. All are pure functions of their inputs (plus an explicit Rng), so
+// a fixed seed reproduces the scenario bit-for-bit.
+
+// Slow-node straggler: the device actually runs at `degradation` times its
+// class speed but keeps advertising the original benchmark score — the
+// stale-benchmark liar the measured-speed feedback loop exists to catch.
+[[nodiscard]] DeviceProfile straggler_profile(DeviceProfile base,
+                                              double degradation);
+
+// Trace-driven churn: carves `sessions` alternating offline/online windows
+// into [start, horizon), mean session `mean_online` and outage `mean_offline`
+// (exponential draws from `rng`). Unlike the built-in exponential churn
+// model the resulting trace is explicit data — print it, perturb it, or
+// hand-write one from a real availability log.
+[[nodiscard]] std::vector<std::pair<SimTime, SimTime>> make_churn_trace(
+    std::size_t sessions, SimTime start, SimTime horizon, SimTime mean_online,
+    SimTime mean_offline, Rng& rng);
+
+// Correlated failure: stamps one shared offline window onto every profile in
+// `group` — the whole group fails and recovers at the same instants.
+void add_correlated_failure(std::vector<DeviceProfile>& group,
+                            SimTime offline_at, SimTime online_at);
+
+// Diurnal load wave: `count` arrival offsets whose instantaneous rate swings
+// sinusoidally around 1/`mean_interarrival` with relative `amplitude` in
+// [0, 1) over `period` — load peaks crest and trough like a day cycle.
+// Jittered by `rng`; offsets are returned sorted.
+[[nodiscard]] std::vector<SimTime> diurnal_arrivals(std::size_t count,
+                                                    SimTime mean_interarrival,
+                                                    double amplitude,
+                                                    SimTime period, Rng& rng);
+
+// Open-loop Poisson arrivals at mean rate 1/`mean_interarrival` (the flat
+// baseline the diurnal wave is compared against).
+[[nodiscard]] std::vector<SimTime> poisson_arrivals(std::size_t count,
+                                                    SimTime mean_interarrival,
+                                                    Rng& rng);
 
 }  // namespace tasklets::sim

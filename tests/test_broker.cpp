@@ -7,6 +7,7 @@
 
 #include "broker/broker.hpp"
 #include "broker/scheduling.hpp"
+#include "broker_harness.hpp"
 
 namespace tasklets::broker {
 namespace {
@@ -28,121 +29,15 @@ using proto::TaskletDone;
 using proto::TaskletSpec;
 using proto::TaskletStatus;
 
-constexpr NodeId kBrokerId{1};
-constexpr NodeId kConsumer{100};
-
-Capability capability(DeviceClass device_class = DeviceClass::kDesktop,
-                      double speed = 100e6, std::uint32_t slots = 1,
-                      std::string locality = {}, double cost = 1.0) {
-  Capability c;
-  c.device_class = device_class;
-  c.speed_fuel_per_sec = speed;
-  c.slots = slots;
-  c.locality = std::move(locality);
-  c.cost_per_gfuel = cost;
-  return c;
-}
-
-// Drives a Broker directly and records everything it emits.
-class BrokerHarness {
- public:
-  explicit BrokerHarness(std::string_view policy = "qoc_aware",
-                         BrokerConfig config = {})
-      : broker_(kBrokerId, std::move(make_scheduler(policy)).value(), config) {
-    proto::Outbox out(kBrokerId);
-    broker_.on_start(now, out);
-    absorb(out);
-  }
-
-  void deliver(NodeId from, Message message) {
-    proto::Outbox out(kBrokerId);
-    broker_.on_message(Envelope{from, kBrokerId, std::move(message)}, now, out);
-    absorb(out);
-  }
-
-  void fire_timer(std::uint64_t timer_id) {
-    proto::Outbox out(kBrokerId);
-    broker_.on_timer(timer_id, now, out);
-    absorb(out);
-  }
-
-  // All recorded envelopes of type T (optionally to one node).
-  template <typename T>
-  std::vector<T> sent_to(NodeId to) const {
-    std::vector<T> out;
-    for (const auto& envelope : sent_) {
-      if (envelope.to != to) continue;
-      if (const auto* m = std::get_if<T>(&envelope.payload)) out.push_back(*m);
-    }
-    return out;
-  }
-  template <typename T>
-  std::vector<std::pair<NodeId, T>> all_sent() const {
-    std::vector<std::pair<NodeId, T>> out;
-    for (const auto& envelope : sent_) {
-      if (const auto* m = std::get_if<T>(&envelope.payload)) {
-        out.emplace_back(envelope.to, *m);
-      }
-    }
-    return out;
-  }
-  void clear_sent() { sent_.clear(); }
-
-  // Convenience flows -------------------------------------------------------
-  void register_provider(NodeId id, Capability c = capability()) {
-    deliver(id, RegisterProvider{std::move(c)});
-  }
-
-  TaskletId submit(Qoc qoc = {}, std::int64_t result = 7,
-                   std::string origin = {}) {
-    TaskletSpec spec;
-    spec.id = next_tasklet_;
-    next_tasklet_ = TaskletId{next_tasklet_.value() + 1};
-    spec.job = JobId{1};
-    spec.body = SyntheticBody{1000, result, 64};
-    spec.qoc = qoc;
-    spec.origin_locality = std::move(origin);
-    deliver(kConsumer, SubmitTasklet{std::move(spec), {}});
-    return TaskletId{next_tasklet_.value() - 1};
-  }
-
-  void complete(NodeId provider, const AssignTasklet& assign,
-                std::int64_t result = 7, std::uint64_t fuel = 1000) {
-    AttemptResult r;
-    r.attempt = assign.attempt;
-    r.tasklet = assign.tasklet;
-    r.outcome.status = AttemptStatus::kOk;
-    r.outcome.result = result;
-    r.outcome.fuel_used = fuel;
-    deliver(provider, r);
-  }
-
-  void fail_attempt(NodeId provider, const AssignTasklet& assign,
-                    AttemptStatus status, std::string error = "x") {
-    AttemptResult r;
-    r.attempt = assign.attempt;
-    r.tasklet = assign.tasklet;
-    r.outcome.status = status;
-    r.outcome.error = std::move(error);
-    deliver(provider, r);
-  }
-
-  Broker& broker() { return broker_; }
-  SimTime now = 0;
-
- private:
-  void absorb(proto::Outbox& out) {
-    for (auto& envelope : out.take_messages()) sent_.push_back(std::move(envelope));
-    for (const auto& timer : out.take_timers()) {
-      timers_[timer.timer_id] = now + timer.delay;
-    }
-  }
-
-  Broker broker_;
-  std::vector<Envelope> sent_;
-  std::map<std::uint64_t, SimTime> timers_;
-  TaskletId next_tasklet_{1};
-};
+// The harness and pool-builder helpers are shared with test_scheduling (and
+// the benches' policy sweeps) via broker_harness.hpp.
+using testing::BrokerHarness;
+using testing::capability;
+using testing::context_for;
+using testing::kBrokerId;
+using testing::kConsumer;
+using testing::spec_with;
+using testing::view;
 
 // --- registration & matchmaking -------------------------------------------------
 
@@ -960,36 +855,7 @@ TEST(BrokerTest, AttemptTimeoutFencesAndReissues) {
 }
 
 // --- scheduling policies (direct) ----------------------------------------------
-
-ProviderView view(std::uint64_t id, DeviceClass device_class, double speed,
-                  std::uint32_t slots, std::uint32_t busy,
-                  double reliability = 1.0, double cost = 1.0) {
-  ProviderView v;
-  v.id = NodeId{id};
-  v.capability = capability(device_class, speed, slots, "", cost);
-  v.busy_slots = busy;
-  v.observed_reliability = reliability;
-  return v;
-}
-
-
-SchedulingContext context_for(const std::vector<ProviderView>& pool) {
-  SchedulingContext context;
-  context.eligible = pool;
-  for (const auto& p : pool) {
-    context.best_online_speed =
-        std::max(context.best_online_speed, p.capability.speed_fuel_per_sec);
-  }
-  return context;
-}
-
-proto::TaskletSpec spec_with(Qoc qoc) {
-  proto::TaskletSpec spec;
-  spec.id = TaskletId{1};
-  spec.body = SyntheticBody{};
-  spec.qoc = qoc;
-  return spec;
-}
+// view()/context_for()/spec_with() come from broker_harness.hpp.
 
 TEST(SchedulerTest, FastestFirstPicksTopSpeed) {
   auto policy = make_fastest_first();

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <set>
 
+#include "broker_harness.hpp"
 #include "chaos_harness.hpp"
 #include "common/trace.hpp"
 #include "net/fault.hpp"
@@ -343,6 +344,77 @@ TEST(ChaosEndToEnd, TcpSurvivesResetsAndLoss) {
     EXPECT_EQ(std::get<std::int64_t>(report.result), 144);
   }
   EXPECT_EQ(system.broker_stats().tasklets_completed, 8u);
+}
+
+// --- straggler reassignment x idempotency fencing ---------------------------------
+
+// The quantile straggler defense fences an attempt that outlives twice the
+// expected-completion bound and reroutes the tasklet. The wire is
+// at-least-once, so the fenced original's result can still arrive — late,
+// and possibly duplicated. Exactly-once reporting must hold: the late
+// result is discarded by the attempt fence (PR 1 idempotency), never
+// double-counted, and never double-reported to the consumer.
+TEST(ChaosIdempotency, StragglerFenceDiscardsLateAndDuplicatedResults) {
+  using Harness = broker::testing::BrokerHarness;
+  using broker::testing::kConsumer;
+
+  broker::BrokerConfig config;
+  config.straggler_multiplier = 3.0;
+  config.straggler_min_samples = 5;
+  Harness h("qoc_aware", config);
+  h.register_provider(NodeId{2}, broker::testing::capability(
+                                     proto::DeviceClass::kDesktop, 100e6, 4));
+  h.register_provider(NodeId{3}, broker::testing::capability(
+                                     proto::DeviceClass::kDesktop, 100e6, 4));
+
+  // Feed the completion histogram so the bound engages (~3 x p95 of 1s).
+  for (int i = 0; i < 5; ++i) {
+    h.clear_sent();
+    h.submit({}, 1);
+    const auto warm = h.all_sent<proto::AssignTasklet>();
+    ASSERT_EQ(warm.size(), 1u);
+    h.now += 1 * kSecond;
+    h.complete(warm[0].first, warm[0].second, 1);
+  }
+  h.clear_sent();
+
+  h.submit({}, 42);
+  auto assigns = h.all_sent<proto::AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 1u);
+  const auto original = assigns[0];
+
+  // Run the attempt far past twice the bound: scan speculates, then fences.
+  for (int step = 0; step < 2; ++step) {
+    h.now += 4 * kSecond;
+    h.deliver(NodeId{2}, proto::Heartbeat{});
+    h.deliver(NodeId{3}, proto::Heartbeat{});
+    h.fire_timer(1);
+  }
+  ASSERT_EQ(h.broker().stats().straggler_reassigns, 1u);
+  assigns = h.all_sent<proto::AssignTasklet>();
+  ASSERT_EQ(assigns.size(), 2u);  // the speculative backup is the replacement
+  const auto backup = assigns[1];
+  ASSERT_NE(backup.first, original.first);
+
+  // The fenced original reports — twice (duplicated frame). Both discarded,
+  // and neither feeds the speed estimator (a fenced attempt's duration is
+  // not a trustworthy sample).
+  const auto dupes_before = h.broker().stats().duplicate_results;
+  const auto samples_before = h.broker().speed_samples(original.first);
+  h.complete(original.first, original.second, 42);
+  h.complete(original.first, original.second, 42);
+  EXPECT_EQ(h.sent_to<proto::TaskletDone>(kConsumer).size(), 0u);
+  EXPECT_EQ(h.broker().stats().duplicate_results, dupes_before + 2);
+  EXPECT_EQ(h.broker().speed_samples(original.first), samples_before);
+
+  // The backup's result completes the tasklet exactly once; its duplicate
+  // is also fenced (the attempt record is gone after completion).
+  h.complete(backup.first, backup.second, 42);
+  h.complete(backup.first, backup.second, 42);
+  const auto dones = h.sent_to<proto::TaskletDone>(kConsumer);
+  ASSERT_EQ(dones.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(dones[0].report.result), 42);
+  EXPECT_EQ(h.broker().stats().tasklets_completed, 6u);  // 5 warmup + 1
 }
 
 }  // namespace
