@@ -229,5 +229,65 @@ int main() {
   line("in every scenario, and the gap widens with the straggler count and");
   line("churn intensity — the static policy keeps trusting stale benchmarks,");
   line("the adaptive one reroutes after a handful of measured completions.");
+
+  // --- E11: heterogeneity score vs measured speed dispersion ----------------
+  //
+  // Five pools of five desktops each. At level 0 every device runs at its
+  // class speed; each level widens the spread of *actual* speeds (stale
+  // advertised benchmarks stay identical) by degrading the tail of the
+  // pool further. round_robin placement guarantees every provider,
+  // however slow, completes enough attempts for the speed estimator to
+  // converge, so the broker's pool_stats() score reflects measured
+  // reality. Expected shape — and asserted below, this is the acceptance
+  // gate for the score's definition: the heterogeneity score rises
+  // strictly with each widening, from ~0 for the uniform pool, staying
+  // inside [0, 1).
+  header("E11", "pool heterogeneity score vs actual speed dispersion");
+  line("%-6s %10s %12s %12s %12s", "level", "spread", "het score", "cv",
+       "confident");
+
+  bool monotone = true;
+  double previous_score = -1.0;
+  for (int level = 0; level <= 4; ++level) {
+    core::SimConfig config;
+    config.scheduler = "round_robin";
+    config.seed = 11;
+    // The quantile straggler defense would fence the deliberately slow
+    // providers and steal their completions; E11 wants their speeds
+    // measured, not defended against.
+    config.broker.straggler_multiplier = 100.0;
+    core::SimCluster cluster(config);
+    // Provider i runs at (1 - 0.2*level*i/4) of class speed: level 0 is
+    // uniform, level 4 spans 1.0x down to 0.2x.
+    for (int i = 0; i < 5; ++i) {
+      const double degradation =
+          1.0 - 0.2 * level * (static_cast<double>(i) / 4.0);
+      cluster.add_provider(
+          sim::straggler_profile(sim::desktop_profile(), degradation));
+    }
+    for (int i = 0; i < 60; ++i) {
+      cluster.submit(
+          proto::TaskletBody{proto::SyntheticBody{100'000'000, i, 256}});
+    }
+    cluster.run_until_quiescent();
+    const broker::PoolStats stats = cluster.broker().pool_stats();
+    const double spread = 0.2 * level;
+    line("%-6d %10.2f %12.4f %12.4f %9zu/%zu", level, spread,
+         stats.heterogeneity, stats.cv, stats.confident, stats.providers);
+    line("csv,E11,%d,%.2f,%.6f,%.6f", level, spread, stats.heterogeneity,
+         stats.cv);
+    monotone = monotone && stats.heterogeneity > previous_score &&
+               stats.heterogeneity >= 0.0 && stats.heterogeneity < 1.0;
+    previous_score = stats.heterogeneity;
+  }
+  line("csv,E11,monotone,%d", monotone ? 1 : 0);
+  if (!monotone) {
+    line("E11 FAILED: heterogeneity score is not strictly monotone in the");
+    line("pool's speed dispersion");
+    return 1;
+  }
+  line("");
+  line("shape check: the score is ~0 for the uniform pool and rises strictly");
+  line("with every widening of the measured-speed spread, bounded in [0, 1).");
   return 0;
 }

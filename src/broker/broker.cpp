@@ -69,6 +69,47 @@ std::vector<std::pair<NodeId, std::uint64_t>> Broker::provider_completions() con
   return out;
 }
 
+std::vector<ProviderView> Broker::provider_views() const {
+  std::vector<ProviderView> views;
+  views.reserve(providers_.size());
+  for (const auto& [id, p] : providers_) {
+    if (!p.online) continue;
+    ProviderView view = p.view;
+    view.busy_slots = static_cast<std::uint32_t>(p.inflight.size());
+    views.push_back(std::move(view));
+  }
+  std::sort(views.begin(), views.end(),
+            [](const ProviderView& a, const ProviderView& b) {
+              return a.id < b.id;
+            });
+  return views;
+}
+
+PoolStats Broker::pool_stats() const {
+  return compute_pool_stats(provider_views());
+}
+
+void Broker::refresh_pool_signals() {
+  const PoolStats pool = pool_stats();
+  pool_heterogeneity_ = pool.heterogeneity;
+  if (!metrics::enabled()) return;
+  auto& registry = metrics::MetricsRegistry::instance();
+  registry.gauge("broker.pool.heterogeneity")
+      .set(static_cast<std::int64_t>(pool.heterogeneity * 1e6));
+  registry.gauge("broker.pool.online")
+      .set(static_cast<std::int64_t>(pool.providers));
+  registry.gauge("broker.pool.confident")
+      .set(static_cast<std::int64_t>(pool.confident));
+  registry.gauge("broker.pool.mean_speed")
+      .set(static_cast<std::int64_t>(pool.mean_speed));
+  for (const auto& [id, p] : providers_) {
+    if (!p.online) continue;
+    // Per-provider health gauge (dynamic name, so no macro cache).
+    registry.gauge("broker.health." + id.to_string())
+        .set(static_cast<std::int64_t>(health_score(p.view) * 1e6));
+  }
+}
+
 double Broker::measured_speed(NodeId provider) const noexcept {
   const auto it = providers_.find(provider);
   return it != providers_.end() ? it->second.speed.estimate() : 0.0;
@@ -203,6 +244,7 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
           if (const auto pit = providers_.find(ait->second.provider);
               pit != providers_.end()) {
             pit->second.inflight.erase(attempt);
+            pit->second.view.timed_out += 1;
           }
           state.attempts.erase(ait);
         }
@@ -256,6 +298,9 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
     // a fixed knob, and far-gone attempts are fenced and reassigned rather
     // than merely shadowed.
     if (config_.straggler_multiplier > 0) defend_stragglers(now, out);
+    // Pool signals: heterogeneity score + per-provider health gauges, on the
+    // same cadence as everything else derived from measurement.
+    refresh_pool_signals();
     // Program fetches (r3): FetchProgram to the consumer is at-least-once —
     // re-send on the scan cadence for submissions still parked, and fail
     // those past the fetch grace (the consumer is gone or keeps losing
@@ -515,6 +560,7 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
   if (eligible.empty()) return AttemptId{};
   SchedulingContext context;
   context.eligible = eligible;
+  context.pool_heterogeneity = pool_heterogeneity_;
   // Baseline for selective policies: the fastest *online and QoC-admissible*
   // provider — waiting for a fast slot the filter excludes would be futile.
   for (const auto& [pid, p] : providers_) {
@@ -836,6 +882,7 @@ void Broker::defend_stragglers(SimTime now, proto::Outbox& out) {
       end_attempt_span(state, tasklet_id, ait->second, now, "straggler");
       if (const auto pit = providers_.find(provider); pit != providers_.end()) {
         pit->second.inflight.erase(attempt);
+        pit->second.view.straggler_fences += 1;
       }
       state.attempts.erase(ait);
     }

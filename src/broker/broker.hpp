@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "broker/pool_stats.hpp"
 #include "broker/scheduling.hpp"
 #include "broker/speed_estimator.hpp"
 #include "common/rng.hpp"
@@ -158,6 +159,13 @@ class Broker final : public proto::Actor {
 
   // Per-provider completed-attempt counts (utilisation / fairness metrics).
   [[nodiscard]] std::vector<std::pair<NodeId, std::uint64_t>> provider_completions() const;
+
+  // Ops-plane introspection: a copy of every *online* provider's view with
+  // busy_slots refreshed (id-sorted), and the pool aggregate over it. Both
+  // are what the admin endpoint's `providers` command and the heterogeneity
+  // gauges render.
+  [[nodiscard]] std::vector<ProviderView> provider_views() const;
+  [[nodiscard]] PoolStats pool_stats() const;
 
   // Speed-estimator introspection (tests, benches): the EWMA effective
   // fuel/s the broker measured for `provider` (0 if unknown / no samples)
@@ -316,6 +324,9 @@ class Broker final : public proto::Actor {
   // Straggler defense (scan-timer): speculate on attempts past the
   // quantile bound, fence + reassign those past twice the bound.
   void defend_stragglers(SimTime now, proto::Outbox& out);
+  // Pool signals (scan-timer): recompute the heterogeneity score policies
+  // see in SchedulingContext and publish the pool/health gauges.
+  void refresh_pool_signals();
   // Deadline admission control; true when the submit was rejected.
   bool admission_rejects(TaskletId id, TaskletState& state, SimTime now,
                          proto::Outbox& out);
@@ -374,6 +385,9 @@ class Broker final : public proto::Actor {
   std::unordered_map<store::Digest, std::vector<TaskletId>> awaiting_program_;
   // Pool-wide completed-attempt durations (straggler bound input).
   CompletionTracker completions_;
+  // Heterogeneity score cached on the scan cadence — placement happens per
+  // message, so the O(providers) aggregate is not recomputed per attempt.
+  double pool_heterogeneity_ = 0.0;
 };
 
 }  // namespace tasklets::broker

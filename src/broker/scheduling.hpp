@@ -38,6 +38,11 @@ struct ProviderView {
   // falls back to the advertised benchmark score while it is 0.
   double measured_speed_fuel_per_sec = 0.0;
   std::uint64_t speed_samples = 0;
+  // Fence pressure feeding the per-node health score (pool_stats.hpp):
+  // attempts of this provider fenced by the quantile straggler defense and
+  // by the attempt timeout, respectively.
+  std::uint64_t straggler_fences = 0;
+  std::uint64_t timed_out = 0;
 
   [[nodiscard]] double load() const noexcept {
     return capability.slots == 0
@@ -66,6 +71,11 @@ struct SchedulingContext {
   // best_online_speed and with it the selectivity floor; the adaptive
   // policy anchors its floor here instead.
   double best_online_effective_speed = 0.0;
+  // Pool heterogeneity score (pool_stats.hpp), refreshed on the broker's
+  // scan cadence: 0 for a uniform pool, toward 1 as measured effective
+  // speeds spread out. Published for policies so a later PR can switch
+  // strategy (or tune selectivity) as the pool widens.
+  double pool_heterogeneity = 0.0;
 };
 
 class Scheduler {

@@ -1,0 +1,306 @@
+#include "common/health_rules.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace tasklets::health {
+
+namespace {
+constexpr std::string_view kLog = "health";
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> tokenize(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// A duration token the parser accepts back ("250ms", "5s"), unlike
+// format_duration's human form ("5.000 s") — to_string() must round-trip.
+std::string duration_token(SimTime d) {
+  char buf[32];
+  if (d % kSecond == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(d / kSecond));
+  } else if (d % kMillisecond == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(d / kMillisecond));
+  } else if (d % kMicrosecond == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(d / kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+const char* kind_word(HealthRule::Kind kind) {
+  switch (kind) {
+    case HealthRule::Kind::kLevel: return "";
+    case HealthRule::Kind::kJump: return "jump";
+    case HealthRule::Kind::kRate: return "rate";
+  }
+  return "";
+}
+}  // namespace
+
+Result<SimTime> parse_duration(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "empty duration");
+  }
+  // Longest numeric prefix strtod accepts; the remainder is the unit.
+  const std::string buf(text);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "bad duration: " + buf);
+  }
+  const std::string_view unit = trim(std::string_view(end));
+  double scale = static_cast<double>(kSecond);  // bare number = seconds
+  if (unit == "ns") scale = static_cast<double>(kNanosecond);
+  else if (unit == "us") scale = static_cast<double>(kMicrosecond);
+  else if (unit == "ms") scale = static_cast<double>(kMillisecond);
+  else if (unit == "s" || unit.empty()) scale = static_cast<double>(kSecond);
+  else if (unit == "m") scale = 60.0 * static_cast<double>(kSecond);
+  else {
+    return make_error(StatusCode::kInvalidArgument,
+                      "bad duration unit: " + std::string(unit));
+  }
+  return static_cast<SimTime>(value * scale);
+}
+
+Result<HealthRule> parse_rule(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "rule needs '<name>: <condition>': " + std::string(text));
+  }
+  HealthRule rule;
+  rule.name = std::string(trim(text.substr(0, colon)));
+  if (rule.name.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "empty rule name");
+  }
+  auto tokens = tokenize(text.substr(colon + 1));
+  // Shape: <series> [jump|rate] <op> <threshold> [for|over <duration>]
+  if (tokens.size() < 3) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "rule too short: " + std::string(text));
+  }
+  std::size_t i = 0;
+  rule.series = std::string(tokens[i++]);
+  if (tokens[i] == "jump") {
+    rule.kind = HealthRule::Kind::kJump;
+    ++i;
+  } else if (tokens[i] == "rate") {
+    rule.kind = HealthRule::Kind::kRate;
+    ++i;
+  }
+  if (i >= tokens.size()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "rule missing comparison: " + std::string(text));
+  }
+  if (tokens[i] == ">") {
+    rule.op = HealthRule::Op::kGt;
+  } else if (tokens[i] == "<") {
+    rule.op = HealthRule::Op::kLt;
+  } else {
+    return make_error(StatusCode::kInvalidArgument,
+                      "expected '>' or '<', got: " + std::string(tokens[i]));
+  }
+  ++i;
+  if (i >= tokens.size()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "rule missing threshold: " + std::string(text));
+  }
+  {
+    const std::string buf(tokens[i]);
+    char* end = nullptr;
+    rule.threshold = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || *end != '\0') {
+      return make_error(StatusCode::kInvalidArgument,
+                        "bad threshold: " + buf);
+    }
+  }
+  ++i;
+  if (i < tokens.size()) {
+    const std::string_view keyword = tokens[i];
+    if (keyword != "for" && keyword != "over") {
+      return make_error(StatusCode::kInvalidArgument,
+                        "expected 'for' or 'over', got: " + std::string(keyword));
+    }
+    ++i;
+    if (i >= tokens.size()) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "missing duration after '" + std::string(keyword) + "'");
+    }
+    TASKLETS_ASSIGN_OR_RETURN(const SimTime duration,
+                              parse_duration(tokens[i]));
+    ++i;
+    if (rule.kind == HealthRule::Kind::kLevel) {
+      rule.sustain = duration;
+    } else {
+      rule.window = duration;
+    }
+  }
+  if (i != tokens.size()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "trailing tokens in rule: " + std::string(text));
+  }
+  return rule;
+}
+
+std::string HealthRule::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", threshold);
+  std::string out = name + ": " + series;
+  const char* word = kind_word(kind);
+  if (*word != '\0') {
+    out += ' ';
+    out += word;
+  }
+  out += op == Op::kGt ? " > " : " < ";
+  out += buf;
+  if (kind == Kind::kLevel) {
+    if (sustain > 0) out += " for " + duration_token(sustain);
+  } else {
+    out += " over " + duration_token(window);
+  }
+  return out;
+}
+
+HealthRuleEngine::HealthRuleEngine(std::vector<HealthRule> rules,
+                                   TraceStore* trace)
+    : rules_(std::move(rules)), trace_(trace), states_(rules_.size()) {}
+
+std::vector<Alert> HealthRuleEngine::evaluate(
+    const metrics::MetricsHistory& history, SimTime now) {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Alert> fired_now;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const HealthRule& rule = rules_[i];
+    RuleState& state = states_[i];
+    const metrics::TimeSeries* series = history.series(rule.series);
+    if (series == nullptr || series->size() == 0) continue;
+
+    double value = 0.0;
+    switch (rule.kind) {
+      case HealthRule::Kind::kLevel:
+        value = series->latest().value;
+        break;
+      case HealthRule::Kind::kJump:
+        value = series->delta(now - rule.window);
+        break;
+      case HealthRule::Kind::kRate:
+        value = series->rate_per_sec(now - rule.window);
+        break;
+    }
+    const bool breach = rule.op == HealthRule::Op::kGt
+                            ? value > rule.threshold
+                            : value < rule.threshold;
+    bool firing = false;
+    if (breach) {
+      if (state.breach_since < 0) state.breach_since = now;
+      const SimTime held = now - state.breach_since;
+      firing = rule.kind != HealthRule::Kind::kLevel || held >= rule.sustain;
+    } else {
+      state.breach_since = -1;
+    }
+
+    if (firing && !state.active) {
+      state.active = true;
+      ++fired_;
+      Alert alert;
+      alert.rule = rule.name;
+      alert.series = rule.series;
+      alert.value = value;
+      alert.threshold = rule.threshold;
+      alert.fired_at = now;
+      if (log_.size() >= kLogCapacity) {
+        log_.erase(log_.begin());
+        ++log_evicted_;
+        for (RuleState& other : states_) {
+          if (other.log_index != SIZE_MAX && other.log_index > 0) {
+            --other.log_index;
+          } else if (other.log_index == 0) {
+            other.log_index = SIZE_MAX;  // its entry was evicted
+          }
+        }
+      }
+      state.log_index = log_.size();
+      log_.push_back(alert);
+      fired_now.push_back(alert);
+      TASKLETS_COUNT("health.alerts_fired", 1);
+      TASKLETS_LOG(kWarn, kLog)
+              .kv("rule", rule.name)
+              .kv("series", rule.series)
+              .kv("value", value)
+              .kv("threshold", rule.threshold)
+          << "alert fired";
+      if (trace_ != nullptr) {
+        Span span;
+        span.span_id = next_span_id();
+        span.name = "health";
+        span.start = now;
+        span.end = now;
+        span.instant = true;
+        span.args = {{"rule", rule.name},
+                     {"series", rule.series},
+                     {"value", std::to_string(value)},
+                     {"threshold", std::to_string(rule.threshold)}};
+        trace_->add(std::move(span));
+      }
+    } else if (!firing && state.active && !breach) {
+      state.active = false;
+      if (state.log_index != SIZE_MAX && state.log_index < log_.size()) {
+        log_[state.log_index].active = false;
+        log_[state.log_index].cleared_at = now;
+      }
+      state.log_index = SIZE_MAX;
+      TASKLETS_LOG(kInfo, kLog).kv("rule", rule.name) << "alert cleared";
+    }
+  }
+  return fired_now;
+}
+
+std::vector<Alert> HealthRuleEngine::active_alerts() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Alert> out;
+  for (const Alert& a : log_) {
+    if (a.active) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Alert> HealthRuleEngine::alert_log() const {
+  const std::scoped_lock lock(mutex_);
+  return log_;
+}
+
+std::uint64_t HealthRuleEngine::fired_count() const {
+  const std::scoped_lock lock(mutex_);
+  return fired_;
+}
+
+}  // namespace tasklets::health

@@ -1,0 +1,103 @@
+// Declarative health / SLO rules over the metrics time-series layer.
+//
+// A rule names one series in a MetricsHistory and a condition; the engine is
+// evaluated on the sampling cadence (sampler thread in the real runtime,
+// per-tick event in the simulator) and tracks firing state across
+// evaluations. Three rule kinds:
+//
+//   level — "p99_latency: broker.latency_ns.p99 > 5e9 for 5s"
+//           the latest sample breaches the threshold, continuously for the
+//           sustain duration ("for 0s" fires on the first breach).
+//   jump  — "het_jump: broker.pool.heterogeneity jump > 200000 over 10s"
+//           the series moved by more than the threshold across the window
+//           (newest minus oldest sample inside it).
+//   rate  — "reassigns: broker.straggler_reassigns rate > 2 over 5s"
+//           the series' per-second rate across the window breaches.
+//
+// Firing emits a structured log line, bumps the "health.alerts_fired"
+// counter, appends to the engine's alert log, and (when a TraceStore is
+// attached) records a "health" instant so alerts land on the same timeline
+// as the tasklet spans. Clearing updates the alert in place.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+#include "common/status.hpp"
+#include "common/trace.hpp"
+
+namespace tasklets::health {
+
+struct HealthRule {
+  enum class Kind { kLevel, kJump, kRate };
+  enum class Op { kGt, kLt };
+
+  std::string name;
+  std::string series;
+  Kind kind = Kind::kLevel;
+  Op op = Op::kGt;
+  double threshold = 0.0;
+  SimTime sustain = 0;             // level: how long the breach must hold
+  SimTime window = 5 * kSecond;    // jump/rate: lookback
+
+  // Render back to the rule syntax (docs, admin endpoint).
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Parses the rule syntax described above. Durations accept ns/us/ms/s/m
+// suffixes; a bare number means seconds.
+[[nodiscard]] Result<HealthRule> parse_rule(std::string_view text);
+[[nodiscard]] Result<SimTime> parse_duration(std::string_view text);
+
+struct Alert {
+  std::string rule;
+  std::string series;
+  double value = 0.0;       // the observed value that breached
+  double threshold = 0.0;
+  SimTime fired_at = 0;
+  SimTime cleared_at = 0;   // meaningful only when !active
+  bool active = true;
+};
+
+class HealthRuleEngine {
+ public:
+  explicit HealthRuleEngine(std::vector<HealthRule> rules,
+                            TraceStore* trace = nullptr);
+
+  // Evaluates every rule against `history` at time `now`; returns the
+  // alerts that newly fired during this evaluation. Thread-safe.
+  std::vector<Alert> evaluate(const metrics::MetricsHistory& history,
+                              SimTime now);
+
+  [[nodiscard]] std::vector<Alert> active_alerts() const;
+  // Full fired-alert log, oldest first, capped at `kLogCapacity`.
+  [[nodiscard]] std::vector<Alert> alert_log() const;
+  [[nodiscard]] std::uint64_t fired_count() const;
+  [[nodiscard]] const std::vector<HealthRule>& rules() const noexcept {
+    return rules_;
+  }
+
+  static constexpr std::size_t kLogCapacity = 256;
+
+ private:
+  struct RuleState {
+    SimTime breach_since = -1;  // first evaluation of the current breach run
+    bool active = false;
+    std::size_t log_index = SIZE_MAX;  // this firing's slot in log_
+  };
+
+  std::vector<HealthRule> rules_;
+  TraceStore* trace_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> states_;
+  std::vector<Alert> log_;
+  std::uint64_t log_evicted_ = 0;  // log_ entries dropped by the cap
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace tasklets::health

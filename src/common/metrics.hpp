@@ -12,13 +12,18 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/stats.hpp"
 
 namespace tasklets::metrics {
@@ -71,6 +76,24 @@ class Histogram {
   LogHistogram hist_;
 };
 
+// Appends `s` to `out` as a quoted, escaped JSON string. Shared by every
+// hand-rolled JSON renderer in the ops plane.
+void json_append_escaped(std::string& out, std::string_view s);
+
+// What kind of instrument a registry entry is. Exported alongside values so
+// dashboards and the admin endpoint can interpret a metric without
+// out-of-band knowledge.
+enum class MetricType { kCounter, kGauge, kHistogram };
+[[nodiscard]] const char* metric_type_name(MetricType t) noexcept;
+
+// Help text for a metric name: exact catalog match first, then the longest
+// dotted prefix — which is how dynamic families like "broker.speed.<node>"
+// resolve to one catalog entry. Unknown names return "".
+[[nodiscard]] std::string metric_help(std::string_view name);
+// Register help text at runtime. Built-in names ship in a static catalog;
+// modules with their own metric families add themselves here.
+void describe_metric(std::string name, std::string help);
+
 // Point-in-time copy of every registered metric, with text and JSON
 // renderings for dashboards, benches and the CI exporter check.
 struct MetricsSnapshot {
@@ -82,17 +105,28 @@ struct MetricsSnapshot {
     double p99 = 0.0;
   };
 
+  // Self-description of one metric (satellite of the ops plane: exports are
+  // machine-consumable without reading the source).
+  struct MetaEntry {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::string help;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramEntry> histograms;
+  std::vector<MetaEntry> meta;  // one per metric, sorted by name
 
   // Value of a named counter/gauge; 0 when absent.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const noexcept;
   [[nodiscard]] std::int64_t gauge(std::string_view name) const noexcept;
 
-  // "name value" per line, sorted by name.
+  // "name value" per line, sorted by name within each kind; metrics with
+  // catalog help text are preceded by "# HELP <name> <text>" and
+  // "# TYPE <name> <kind>" comment lines (Prometheus-style exposition).
   [[nodiscard]] std::string to_text() const;
-  // {"counters":{...},"gauges":{...},"histograms":{...}}
+  // {"counters":{...},"gauges":{...},"histograms":{...},"meta":{...}}
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -125,6 +159,120 @@ class MetricsRegistry {
 // atomic write entirely.
 [[nodiscard]] bool enabled() noexcept;
 void set_enabled(bool on) noexcept;
+
+// --- time-series layer -------------------------------------------------------
+//
+// The registry answers "what is the value now"; the history answers "what
+// was it over the last N seconds". A sampler (background thread in the real
+// runtime, per-tick event in the simulator) appends one point per metric per
+// interval into fixed-capacity ring buffers, so memory stays bounded no
+// matter how long the cluster runs.
+
+struct SeriesPoint {
+  SimTime at = 0;  // sample time: steady-clock ns (real) or virtual ns (sim)
+  double value = 0.0;
+};
+
+// Sentinel "window covers the whole series".
+inline constexpr SimTime kWholeSeries = std::numeric_limits<SimTime>::min();
+
+// Fixed-capacity ring buffer of timestamped samples with windowed queries.
+// Thread-safe: the sampler appends while admin-endpoint readers query.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 512);
+
+  void record(SimTime at, double value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  // Total points ever recorded, including ones the ring has since evicted.
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] SeriesPoint latest() const;  // zero point when empty
+
+  // Oldest-to-newest copies; `window` keeps only points with at >= since.
+  [[nodiscard]] std::vector<SeriesPoint> points() const;
+  [[nodiscard]] std::vector<SeriesPoint> window(SimTime since) const;
+
+  // Windowed queries over points with at >= since (kWholeSeries = all that
+  // survive in the ring). Fewer than two points: delta/rate are 0.
+  [[nodiscard]] double delta(SimTime since = kWholeSeries) const;
+  [[nodiscard]] double rate_per_sec(SimTime since = kWholeSeries) const;
+  [[nodiscard]] double min(SimTime since = kWholeSeries) const;
+  [[nodiscard]] double max(SimTime since = kWholeSeries) const;
+  [[nodiscard]] double mean(SimTime since = kWholeSeries) const;
+  // Exact quantile (linear interpolation) over window values; 0 when empty.
+  [[nodiscard]] double quantile(double q, SimTime since = kWholeSeries) const;
+
+ private:
+  // Callers hold mutex_.
+  [[nodiscard]] std::vector<SeriesPoint> window_locked(SimTime since) const;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<SeriesPoint> ring_;
+  std::size_t head_ = 0;  // next write slot once the ring is full
+  std::uint64_t total_ = 0;
+};
+
+// Named time series fed from successive registry snapshots. Counters and
+// gauges become one series each under their metric name; histograms fan out
+// into derived "<name>.count" / ".p50" / ".p95" / ".p99" series. Series are
+// node-based and never removed, so `series()` pointers stay valid while the
+// history lives; TimeSeries is internally synchronized, so a returned
+// pointer can be queried while sampling continues.
+class MetricsHistory {
+ public:
+  explicit MetricsHistory(std::size_t capacity_per_series = 512);
+
+  // Record one point per metric in `snap` at time `at`.
+  void sample(const MetricsSnapshot& snap, SimTime at);
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] const TimeSeries* series(std::string_view name) const;
+  [[nodiscard]] std::uint64_t samples_taken() const;
+  [[nodiscard]] std::size_t series_capacity() const noexcept {
+    return capacity_;
+  }
+
+ private:
+  TimeSeries& series_for(std::string_view name);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  // std::map: node-based, so TimeSeries addresses survive later insertions.
+  std::map<std::string, TimeSeries, std::less<>> series_;
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+// Background sampler for the threaded runtime: every `interval` it snapshots
+// the registry into `history`, then invokes `on_sample` (the ops plane hooks
+// rule evaluation there). The simulator does not use this — it samples from
+// a virtual-time event instead (see core::SimCluster).
+class MetricsSampler {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  MetricsSampler(MetricsHistory& history, SimTime interval,
+                 Callback on_sample = nullptr);
+  ~MetricsSampler();
+
+  // One synchronous sample+callback; safe concurrently with the thread.
+  void sample_now();
+  void stop();
+
+ private:
+  void loop();
+
+  MetricsHistory& history_;
+  SimTime interval_;
+  Callback on_sample_;
+  SteadyClock clock_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 }  // namespace tasklets::metrics
 

@@ -1,0 +1,142 @@
+// OpsPlane: the live observability plane shared by both runtimes.
+//
+// Glues the layers the ops stack is built from into one object a runtime
+// owns:
+//
+//   * a MetricsHistory fed from periodic registry snapshots (background
+//     sampler thread in the threaded runtime; the simulator calls sample()
+//     from a recurring virtual-time event instead),
+//   * a HealthRuleEngine evaluated on the same cadence over that history,
+//   * optionally, an AdminServer (net/admin.hpp) answering the line-protocol
+//     introspection commands: status, metrics, series, providers, alerts,
+//     trace, top.
+//
+// The plane reads broker state through a callback so it never touches actor
+// internals from the wrong thread — TaskletSystem marshals the read through
+// the broker's ActorHost, the simulator reads directly (single-threaded).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.hpp"
+#include "broker/pool_stats.hpp"
+#include "common/clock.hpp"
+#include "common/health_rules.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "net/admin.hpp"
+
+namespace tasklets::core {
+
+struct OpsConfig {
+  // Master switch: disabled (the default), the runtime constructs no
+  // OpsPlane at all and the ops stack costs nothing.
+  bool enabled = false;
+  // Serve the admin endpoint (real runtime only; the simulator forces this
+  // off — a socket thread cannot answer consistently while virtual time is
+  // single-stepped).
+  bool serve_admin = true;
+  // Admin listener port; 0 binds an ephemeral port (see admin_port()).
+  std::uint16_t admin_port = 0;
+  // Sampling cadence for the time-series layer and rule evaluation.
+  SimTime sample_interval = 250 * kMillisecond;
+  // Ring capacity per series (512 points at 250ms ≈ the last two minutes).
+  std::size_t series_capacity = 512;
+  // Health/SLO rules in the health_rules.hpp syntax. Invalid rules are
+  // logged and skipped, never fatal.
+  std::vector<std::string> rules;
+};
+
+// Parses `texts` into rules, logging and skipping invalid entries.
+[[nodiscard]] std::vector<health::HealthRule> parse_rules_lenient(
+    const std::vector<std::string>& texts);
+
+class OpsPlane {
+ public:
+  // Broker-side state one admin request needs, captured atomically with
+  // respect to the broker actor by whoever provides the callback.
+  struct BrokerState {
+    broker::BrokerStats stats;
+    std::vector<broker::ProviderView> providers;  // online, id-sorted
+    broker::PoolStats pool;
+    std::size_t queue_length = 0;
+  };
+  using BrokerStateFn = std::function<BrokerState()>;
+
+  // `start_sampler` spawns the background sampler thread (threaded runtime);
+  // the simulator passes false and drives sample() itself. `trace` may be
+  // null (alerts then skip their trace instants; `trace` command errors).
+  OpsPlane(OpsConfig config, BrokerStateFn broker_state, TraceStore* trace,
+           bool start_sampler);
+  ~OpsPlane();
+
+  OpsPlane(const OpsPlane&) = delete;
+  OpsPlane& operator=(const OpsPlane&) = delete;
+
+  // One observation: snapshot the registry into the history, then evaluate
+  // the rules. The sampler thread calls this on its cadence; the simulator
+  // calls it per tick with virtual `now`.
+  void sample(SimTime now);
+
+  // Answers one admin request with one JSON line (no newline). Public so
+  // tests and the simulator can query without a socket.
+  [[nodiscard]] std::string handle(const net::AdminRequest& request);
+
+  [[nodiscard]] const metrics::MetricsHistory& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] health::HealthRuleEngine& rule_engine() noexcept {
+    return engine_;
+  }
+  [[nodiscard]] bool admin_listening() const noexcept {
+    return admin_ != nullptr && admin_->listening();
+  }
+  // Ephemeral-port resolution for "port 0" configs; 0 when not serving.
+  [[nodiscard]] std::uint16_t admin_port() const noexcept {
+    return admin_ != nullptr ? admin_->port() : 0;
+  }
+
+  // Stops the sampler thread and the admin listener. Idempotent; the
+  // destructor calls it. The owning runtime stops the plane *before* the
+  // actors so no admin request races teardown.
+  void stop();
+
+ private:
+  // Post-snapshot half of one observation: anchor timestamps, run the rules.
+  // The sampler thread lands here after it has already filled history_.
+  void evaluate(SimTime now);
+
+  [[nodiscard]] std::string handle_status();
+  [[nodiscard]] std::string handle_metrics(const net::AdminRequest& request);
+  [[nodiscard]] std::string handle_series(const net::AdminRequest& request);
+  [[nodiscard]] std::string handle_providers();
+  [[nodiscard]] std::string handle_alerts();
+  [[nodiscard]] std::string handle_trace(const net::AdminRequest& request);
+  [[nodiscard]] std::string handle_top();
+
+  // "now" for windowed queries: the last sample time — correct under both
+  // clocks, since all series points carry the same timebase.
+  [[nodiscard]] SimTime now_anchor() const noexcept {
+    return last_sample_at_.load(std::memory_order_relaxed);
+  }
+  // Window start from a request's `window=` duration param (kWholeSeries
+  // when absent or unparseable).
+  [[nodiscard]] SimTime window_since(const net::AdminRequest& request) const;
+
+  OpsConfig config_;
+  BrokerStateFn broker_state_;
+  TraceStore* trace_;
+  metrics::MetricsHistory history_;
+  health::HealthRuleEngine engine_;
+  std::atomic<SimTime> last_sample_at_{0};
+  std::atomic<SimTime> first_sample_at_{-1};
+  std::unique_ptr<metrics::MetricsSampler> sampler_;
+  std::unique_ptr<net::AdminServer> admin_;
+};
+
+}  // namespace tasklets::core

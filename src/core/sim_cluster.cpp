@@ -250,9 +250,36 @@ SimCluster::SimCluster(SimConfig config)
     broker_->on_start(engine_->now(), out);
     process_outbox(out);
   });
+
+  if (config_.ops.enabled) {
+    OpsConfig ops_config = config_.ops;
+    ops_config.serve_admin = false;  // see SimConfig::ops
+    // Single-threaded virtual time: broker state is read directly.
+    ops_ = std::make_unique<OpsPlane>(
+        std::move(ops_config),
+        [this]() {
+          OpsPlane::BrokerState state;
+          state.stats = broker_->stats();
+          state.providers = broker_->provider_views();
+          state.pool = broker::compute_pool_stats(state.providers);
+          state.queue_length = broker_->queue_length();
+          return state;
+        },
+        config_.trace, /*start_sampler=*/false);
+    schedule_ops_sample();
+  }
 }
 
 SimCluster::~SimCluster() = default;
+
+void SimCluster::schedule_ops_sample() {
+  // Perpetual by design: run_until_quiescent terminates on the report count,
+  // not engine emptiness, and run_for stops at its deadline either way.
+  engine_->schedule(config_.ops.sample_interval, [this] {
+    ops_->sample(engine_->now());
+    schedule_ops_sample();
+  });
+}
 
 SimCluster::Node& SimCluster::node(NodeId id) { return *nodes_.at(id); }
 

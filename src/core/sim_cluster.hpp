@@ -19,6 +19,7 @@
 
 #include "broker/broker.hpp"
 #include "consumer/consumer.hpp"
+#include "core/ops.hpp"
 #include "provider/provider.hpp"
 #include "sim/engine.hpp"
 #include "sim/profiles.hpp"
@@ -46,6 +47,12 @@ struct SimConfig {
   // wired into every actor, so whole-lifecycle traces come out of sim runs
   // with virtual timestamps. nullptr disables tracing.
   TraceStore* trace = nullptr;
+  // Live ops plane over virtual time: metrics are sampled from a recurring
+  // engine event every ops.sample_interval, and health rules evaluate on the
+  // same cadence with virtual timestamps. serve_admin is forced off — a
+  // socket thread cannot answer consistently while the sim thread
+  // single-steps virtual time; query via ops()->handle() instead.
+  OpsConfig ops{};
 };
 
 class SimCluster {
@@ -87,6 +94,8 @@ class SimCluster {
   [[nodiscard]] const proto::TaskletReport* report_for(TaskletId id) const;
   [[nodiscard]] broker::Broker& broker() noexcept { return *broker_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  // The ops plane, or nullptr unless SimConfig::ops.enabled.
+  [[nodiscard]] OpsPlane* ops() noexcept { return ops_.get(); }
   [[nodiscard]] std::size_t submitted() const noexcept { return submitted_; }
   [[nodiscard]] std::size_t completed_ok() const noexcept;
   // Total accounting cost across completed tasklets (fuel * provider rate).
@@ -115,6 +124,8 @@ class SimCluster {
   void take_offline(NodeId provider_id);
   void bring_online(NodeId provider_id);
   NodeId default_consumer();
+  // Recurring virtual-time event feeding the ops plane's time series.
+  void schedule_ops_sample();
 
   SimConfig config_;
   std::unique_ptr<sim::Engine> engine_;
@@ -127,6 +138,7 @@ class SimCluster {
   NodeId broker_id_;
   broker::Broker* broker_ = nullptr;
   NodeId default_consumer_id_;
+  std::unique_ptr<OpsPlane> ops_;
 
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint64_t, std::uint64_t> timer_generations_;

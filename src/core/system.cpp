@@ -157,6 +157,28 @@ TaskletSystem::TaskletSystem(SystemConfig config)
       consumer_id_, broker_id_, config_.consumer_locality, config_.consumer);
   consumer_ = consumer_actor.get();
   consumer_host_ = &runtime_->add(std::move(consumer_actor));
+
+  if (config_.ops.enabled) {
+    // Admin requests read broker state via the broker's actor host, so the
+    // read is serialized with message handling like every other access.
+    broker::Broker* broker = broker_;
+    net::ActorHost* host = broker_host_;
+    auto state_fn = [broker, host]() {
+      auto promise = std::make_shared<std::promise<OpsPlane::BrokerState>>();
+      auto future = promise->get_future();
+      host->post_closure([broker, promise](SimTime, proto::Outbox&) {
+        OpsPlane::BrokerState state;
+        state.stats = broker->stats();
+        state.providers = broker->provider_views();
+        state.pool = broker::compute_pool_stats(state.providers);
+        state.queue_length = broker->queue_length();
+        promise->set_value(std::move(state));
+      });
+      return future.get();
+    };
+    ops_ = std::make_unique<OpsPlane>(config_.ops, std::move(state_fn),
+                                      trace_.get(), /*start_sampler=*/true);
+  }
 }
 
 TaskletSystem::~TaskletSystem() { stop(); }
@@ -167,6 +189,9 @@ void TaskletSystem::stop() {
     if (stopped_) return;
     stopped_ = true;
   }
+  // Ops plane first: its stop() joins the sampler and every in-flight admin
+  // handler, so nothing reaches into the broker host after this line.
+  if (ops_ != nullptr) ops_->stop();
   // Pools first: stop() joins in-flight executions, whose completion
   // closures post into actor hosts, so the hosts must still be alive.
   // Actors submitting to a stopped pool is harmless (submit is a no-op).

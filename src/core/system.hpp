@@ -26,6 +26,7 @@
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "consumer/consumer.hpp"
+#include "core/ops.hpp"
 #include "net/fault.hpp"
 #include "net/inproc.hpp"
 #include "proto/types.hpp"
@@ -70,6 +71,9 @@ struct SystemConfig {
   // actor (broker, consumer, providers, VM executions) records spans into
   // it. Query via trace_store(); export with TraceStore::export_chrome_json.
   bool tracing = false;
+  // Live ops plane (core/ops.hpp): metrics time series + health rules +
+  // admin endpoint. Off by default.
+  OpsConfig ops{};
 };
 
 class TaskletSystem {
@@ -109,6 +113,11 @@ class TaskletSystem {
   // The system's span collector, or nullptr unless SystemConfig::tracing.
   [[nodiscard]] TraceStore* trace_store() noexcept { return trace_.get(); }
 
+  // The live ops plane, or nullptr unless SystemConfig::ops.enabled. Use
+  // ops()->admin_port() to reach the introspection endpoint when the config
+  // asked for an ephemeral port.
+  [[nodiscard]] OpsPlane* ops() noexcept { return ops_.get(); }
+
   // Number of providers added so far.
   [[nodiscard]] std::size_t provider_count() const noexcept;
 
@@ -147,6 +156,9 @@ class TaskletSystem {
   std::vector<std::unique_ptr<ProviderExecution>> provider_executions_;
   std::unordered_map<NodeId, std::pair<ProviderExecution*, net::ActorHost*>>
       providers_by_id_;
+  // Constructed last, stopped first: its admin handlers and sampler reach
+  // into the broker host, so it must never outlive the runtime's actors.
+  std::unique_ptr<OpsPlane> ops_;
   bool stopped_ = false;
 };
 

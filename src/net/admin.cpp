@@ -1,0 +1,207 @@
+#include "net/admin.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace tasklets::net {
+
+namespace {
+constexpr std::string_view kLog = "admin";
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+bool send_all(int fd, std::string_view data) {
+  const char* p = data.data();
+  std::size_t len = data.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+}  // namespace
+
+std::string_view AdminRequest::param(std::string_view key,
+                                     std::string_view fallback) const {
+  const auto it = params.find(std::string(key));
+  return it != params.end() ? std::string_view(it->second) : fallback;
+}
+
+AdminRequest parse_admin_request(std::string_view line) {
+  // Tolerate CR from netcat/telnet clients.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.remove_suffix(1);
+  }
+  AdminRequest request;
+  const auto q = line.find('?');
+  request.cmd = std::string(line.substr(0, q));
+  if (q == std::string_view::npos) return request;
+  std::string_view rest = line.substr(q + 1);
+  while (!rest.empty()) {
+    const auto amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    const auto eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      request.params[unescape(pair.substr(0, eq))] =
+          unescape(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      request.params[unescape(pair)] = "";
+    }
+    if (amp == std::string_view::npos) break;
+    rest = rest.substr(amp + 1);
+  }
+  return request;
+}
+
+AdminServer::AdminServer(std::uint16_t port, Handler handler)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  socklen_t addr_len = sizeof addr;
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0 ||
+      ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    TASKLETS_LOG(kError, kLog) << "failed to bind admin listener on port "
+                               << port;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed: shutting down
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    client_fds_.push_back(fd);
+    clients_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void AdminServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty() || line == "\r") continue;
+      std::string response = handler_(parse_admin_request(line));
+      response.push_back('\n');
+      if (!send_all(fd, response)) return;
+    }
+    // A protocol abuser streaming bytes with no newline: cap the buffer.
+    if (buffer.size() > (1u << 16)) return;
+  }
+}
+
+void AdminServer::stop() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  // Unblock readers parked in recv(), then join. The acceptor has exited,
+  // so clients_ can no longer grow.
+  std::vector<int> fds;
+  std::vector<std::thread> clients;
+  {
+    const std::scoped_lock lock(mutex_);
+    fds.swap(client_fds_);
+    clients.swap(clients_);
+  }
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& t : clients) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : fds) ::close(fd);
+  listen_fd_ = -1;
+}
+
+std::string admin_query(std::uint16_t port, std::string_view request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string line(request);
+  line.push_back('\n');
+  if (!send_all(fd, line)) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto nl = response.find('\n');
+  if (nl != std::string::npos) response.resize(nl);
+  return response;
+}
+
+}  // namespace tasklets::net

@@ -1,0 +1,78 @@
+// Admin introspection listener: the ops plane's wire surface.
+//
+// A loopback TCP listener speaking a line protocol: each request is one
+// line, "<cmd>" or "<cmd>?key=val&key=val", and each response is one line
+// of JSON. Connections stay open for any number of requests ("taskletc top
+// --watch" polls over one connection), and several clients can be connected
+// at once (thread per connection — admin traffic is humans and CI scrapers,
+// not the data path).
+//
+// The server owns no cluster state: every request is delegated to the
+// handler callback, which the ops plane (core/ops.hpp) points at the
+// system. An unknown command should produce a JSON error line, never a
+// closed connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <mutex>
+
+namespace tasklets::net {
+
+struct AdminRequest {
+  std::string cmd;
+  std::map<std::string, std::string> params;
+
+  // Parameter by name, or `fallback` when absent.
+  [[nodiscard]] std::string_view param(std::string_view key,
+                                       std::string_view fallback = {}) const;
+};
+
+// Parses "cmd?key=val&key=val" (keys/values are %XX-unescaped).
+[[nodiscard]] AdminRequest parse_admin_request(std::string_view line);
+
+class AdminServer {
+ public:
+  // One JSON line (no trailing newline) per request.
+  using Handler = std::function<std::string(const AdminRequest&)>;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral; see port()). Throws nothing:
+  // listening() reports failure.
+  AdminServer(std::uint16_t port, Handler handler);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  [[nodiscard]] bool listening() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> clients_;
+};
+
+// Blocking admin round trip for CLI tools and tests: connects to
+// 127.0.0.1:`port`, sends `request` as one line, returns the response line
+// (without the newline). Empty string on any socket failure.
+[[nodiscard]] std::string admin_query(std::uint16_t port,
+                                      std::string_view request);
+
+}  // namespace tasklets::net

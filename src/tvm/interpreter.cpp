@@ -198,11 +198,13 @@ class Machine {
   Result<HostArg> value_to_host(Value v) const;
 
   Status step();  // executes one instruction
-  // step() plus per-opcode timing into profile_. Kept out of step() so the
-  // unprofiled path carries no clock reads.
-  Status step_profiled();
-  // One step, dispatched on whether profiling is on.
-  Status advance() { return profile_ != nullptr ? step_profiled() : step(); }
+  // Profiled interpreter loop: step() plus per-opcode timing into profile_,
+  // until halt/trap or fuel_used_ >= `target` at an instruction boundary
+  // (sets `suspended`). Kept out of step() so the unprofiled path carries no
+  // clock reads; kept a loop (not a profiled step called from the generic
+  // run loop) so the inter-read window stays a handful of instructions —
+  // see the definition for the skew bound.
+  Status run_profiled(std::uint64_t target, bool& suspended);
 
   // The fast-path engine is usable when a plan is attached and nothing
   // forces per-instruction observation.
@@ -227,10 +229,6 @@ class Machine {
   ExecProfile* profile_ = nullptr;
   const ExecPlan* plan_ = nullptr;
   Engine engine_ = Engine::kFast;
-  // step_profiled's batched clock: the previous step's end timestamp serves
-  // as the next step's begin, halving steady_clock reads.
-  std::chrono::steady_clock::time_point clock_mark_{};
-  bool clock_primed_ = false;
 };
 
 Status Machine::enter(std::uint32_t fn_idx, bool from_host,
@@ -344,26 +342,37 @@ Result<HostArg> Machine::value_to_host(Value v) const {
 }
 #pragma GCC diagnostic pop
 
-Status Machine::step_profiled() {
-  const OpCode op = frames_.back().fn->code[frames_.back().ip].op;
-  // One steady_clock read per instruction: the previous step's end timestamp
-  // is this step's begin (only the first profiled step pays two reads). The
-  // cost is a small skew — loop overhead between steps lands in the next
-  // opcode's bucket; see docs/OBSERVABILITY.md.
-  if (!clock_primed_) {
-    clock_mark_ = std::chrono::steady_clock::now();
-    clock_primed_ = true;
+// One steady_clock read per instruction: the previous step's end timestamp
+// is this step's begin (only the first step pays two reads). Batching has a
+// cost: everything between two reads that is not step() itself — the bucket
+// update, the halt/target checks and the next opcode fetch — is billed to
+// the *next* opcode's window. This loop exists to bound that residual: the
+// inter-read code is ~10 straight-line instructions with no allocation,
+// branch misprediction aside, versus the previous shape (a profiled step()
+// driven from the generic run loop) which also billed a Status-object
+// round trip and a profiling dispatch branch per step. The residual bound
+// is documented in docs/OBSERVABILITY.md; it cannot reach zero without a
+// second clock read per instruction, which would double the probe cost.
+Status Machine::run_profiled(std::uint64_t target, bool& suspended) {
+  auto mark = std::chrono::steady_clock::now();
+  while (!halted_) {
+    if (fuel_used_ >= target) {
+      suspended = true;
+      return Status::ok();
+    }
+    const OpCode op = frames_.back().fn->code[frames_.back().ip].op;
+    const Status status = step();
+    const auto end = std::chrono::steady_clock::now();
+    ExecProfile::OpEntry& entry = profile_->ops[static_cast<std::size_t>(op)];
+    ++entry.count;
+    entry.nanos += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - mark)
+            .count());
+    mark = end;
+    ++profile_->instructions;
+    if (!status.is_ok()) return status;
   }
-  const auto begin = clock_mark_;
-  const Status status = step();
-  clock_mark_ = std::chrono::steady_clock::now();
-  ExecProfile::OpEntry& entry = profile_->ops[static_cast<std::size_t>(op)];
-  ++entry.count;
-  entry.nanos += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(clock_mark_ - begin)
-          .count());
-  ++profile_->instructions;
-  return status;
+  return Status::ok();
 }
 
 Status Machine::step() {
@@ -1345,9 +1354,13 @@ Result<ExecOutcome> Machine::run(const std::vector<HostArg>& args) {
     bool suspended = false;  // unreachable: the target is unlimited
     TASKLETS_RETURN_IF_ERROR(
         run_fast(std::numeric_limits<std::uint64_t>::max(), suspended));
+  } else if (profile_ != nullptr) {
+    bool suspended = false;  // unreachable: the target is unlimited
+    TASKLETS_RETURN_IF_ERROR(
+        run_profiled(std::numeric_limits<std::uint64_t>::max(), suspended));
   } else {
     while (!halted_) {
-      TASKLETS_RETURN_IF_ERROR(advance());
+      TASKLETS_RETURN_IF_ERROR(step());
     }
   }
   ExecOutcome outcome;
@@ -1370,13 +1383,15 @@ Result<SliceOutcome> Machine::run_slice(std::uint64_t fuel_slice) {
   bool suspended = false;
   if (fast_enabled()) {
     TASKLETS_RETURN_IF_ERROR(run_fast(target, suspended));
+  } else if (profile_ != nullptr) {
+    TASKLETS_RETURN_IF_ERROR(run_profiled(target, suspended));
   } else {
     while (!halted_) {
       if (fuel_used_ >= target) {
         suspended = true;
         break;
       }
-      TASKLETS_RETURN_IF_ERROR(advance());
+      TASKLETS_RETURN_IF_ERROR(step());
     }
   }
   if (suspended) {
@@ -1644,6 +1659,37 @@ std::string ExecProfile::to_string() const {
   std::snprintf(buf, sizeof buf, "instructions   %12llu\n",
                 static_cast<unsigned long long>(instructions));
   out += buf;
+  return out;
+}
+
+std::string ExecProfile::to_json() const {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].count > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return ops[a].nanos != ops[b].nanos ? ops[a].nanos > ops[b].nanos
+                                        : ops[a].count > ops[b].count;
+  });
+  std::string out = "{\"instructions\":" + std::to_string(instructions);
+  out += ",\"ops\":[";
+  char buf[160];
+  bool first = true;
+  for (const std::size_t i : order) {
+    const double avg =
+        static_cast<double>(ops[i].nanos) / static_cast<double>(ops[i].count);
+    // Opcode names are plain identifiers; no JSON escaping needed.
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"op\":\"%s\",\"count\":%llu,\"total_ns\":%llu,"
+                  "\"avg_ns\":%.1f}",
+                  first ? "" : ",",
+                  std::string(op_info(static_cast<OpCode>(i)).name).c_str(),
+                  static_cast<unsigned long long>(ops[i].count),
+                  static_cast<unsigned long long>(ops[i].nanos), avg);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
   return out;
 }
 

@@ -52,6 +52,9 @@ struct ExecProfile {
   void merge(const ExecProfile& other) noexcept;
   // Table of opcodes hit, sorted by total time, with count/total/avg columns.
   [[nodiscard]] std::string to_string() const;
+  // Same data machine-readable, heaviest opcode first:
+  // {"instructions":N,"ops":[{"op":...,"count":N,"total_ns":N,"avg_ns":X}]}
+  [[nodiscard]] std::string to_json() const;
 };
 
 // --- Execution engines --------------------------------------------------------

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <set>
 #include <thread>
@@ -321,6 +324,261 @@ TEST(LogTest, FormatIncludesTimestampThreadAndFields) {
   EXPECT_NE(line.find("t3"), std::string::npos);
   EXPECT_NE(line.find("broker"), std::string::npos);
   EXPECT_NE(line.find("late result attempt=9"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesMetaAndHelpText) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  registry.counter("broker.completed").inc(2);
+  registry.gauge("broker.queue_depth").set(3);
+  registry.histogram("broker.latency_ns").observe(1e6);
+  // Dynamic family: help resolves via the longest dotted catalog prefix.
+  registry.gauge("broker.health.node-5").set(990000);
+
+  // reset() keeps earlier tests' entries registered, so look our four up by
+  // name instead of asserting on the total.
+  const metrics::MetricsSnapshot snapshot = registry.snapshot();
+  auto meta_for = [&](std::string_view name) {
+    for (const auto& meta : snapshot.meta) {
+      if (meta.name == name) return meta;
+    }
+    ADD_FAILURE() << "no meta entry for " << name;
+    return metrics::MetricsSnapshot::MetaEntry{};
+  };
+  EXPECT_EQ(meta_for("broker.completed").type, metrics::MetricType::kCounter);
+  EXPECT_EQ(meta_for("broker.queue_depth").type, metrics::MetricType::kGauge);
+  EXPECT_EQ(meta_for("broker.latency_ns").type,
+            metrics::MetricType::kHistogram);
+  EXPECT_FALSE(meta_for("broker.completed").help.empty());
+  EXPECT_FALSE(meta_for("broker.health.node-5").help.empty());
+  EXPECT_EQ(metrics::metric_help("broker.health.node-5"),
+            metrics::metric_help("broker.health.node-9"));
+  EXPECT_EQ(metrics::metric_help("no.such.metric"), "");
+
+  const std::string text = snapshot.to_text();
+  EXPECT_NE(text.find("# HELP broker.completed"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE broker.completed counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE broker.queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE broker.latency_ns histogram"), std::string::npos);
+
+  const std::string json = snapshot.to_json();
+  EXPECT_NE(json.find("\"meta\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, DescribeMetricRegistersRuntimeHelp) {
+  metrics::describe_metric("custom.family", "a runtime-registered family");
+  EXPECT_EQ(metrics::metric_help("custom.family"),
+            "a runtime-registered family");
+  EXPECT_EQ(metrics::metric_help("custom.family.sub"),
+            "a runtime-registered family");
+}
+
+TEST(TimeSeriesTest, RingWraparoundKeepsNewestPoints) {
+  metrics::TimeSeries series(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    series.record(i * 100, static_cast<double>(i));
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.total_recorded(), 10u);
+  const auto points = series.points();
+  ASSERT_EQ(points.size(), 4u);
+  // Oldest-to-newest, and exactly the last four records survive.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].at, static_cast<SimTime>((6 + i) * 100));
+    EXPECT_EQ(points[i].value, static_cast<double>(6 + i));
+  }
+  EXPECT_EQ(series.latest().value, 9.0);
+}
+
+TEST(TimeSeriesTest, WindowedDeltaRateAndAggregates) {
+  metrics::TimeSeries series;
+  // A counter advancing 5/sec: points at 0s, 1s, ... 4s with values 0..20.
+  for (int i = 0; i <= 4; ++i) {
+    series.record(i * kSecond, static_cast<double>(i * 5));
+  }
+  EXPECT_DOUBLE_EQ(series.delta(), 20.0);
+  EXPECT_DOUBLE_EQ(series.rate_per_sec(), 5.0);
+  // Window covering the last two points only.
+  EXPECT_DOUBLE_EQ(series.delta(3 * kSecond), 5.0);
+  EXPECT_DOUBLE_EQ(series.rate_per_sec(3 * kSecond), 5.0);
+  EXPECT_DOUBLE_EQ(series.min(3 * kSecond), 15.0);
+  EXPECT_DOUBLE_EQ(series.max(3 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(series.mean(3 * kSecond), 17.5);
+  // A window past the newest point is empty: everything reports zero.
+  EXPECT_DOUBLE_EQ(series.delta(9 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(series.rate_per_sec(9 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(series.mean(9 * kSecond), 0.0);
+}
+
+TEST(TimeSeriesTest, QuantileEdgeCases) {
+  metrics::TimeSeries empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.latest().value, 0.0);
+  EXPECT_EQ(empty.delta(), 0.0);
+
+  metrics::TimeSeries one;
+  one.record(0, 7.0);
+  // One point: every quantile is that point; delta/rate need two.
+  EXPECT_EQ(one.quantile(0.0), 7.0);
+  EXPECT_EQ(one.quantile(1.0), 7.0);
+  EXPECT_EQ(one.quantile(-2.0), 7.0);  // clamps
+  EXPECT_EQ(one.quantile(5.0), 7.0);
+  EXPECT_EQ(one.delta(), 0.0);
+  EXPECT_EQ(one.rate_per_sec(), 0.0);
+
+  metrics::TimeSeries series;
+  for (int i = 1; i <= 9; ++i) series.record(i, static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(series.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(series.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(series.quantile(1.0), 9.0);
+  // Interpolated between ranks.
+  EXPECT_DOUBLE_EQ(series.quantile(0.25), 3.0);
+  // Windowed quantile sees only the window's values.
+  EXPECT_DOUBLE_EQ(series.quantile(0.5, 8), 8.5);
+}
+
+TEST_F(MetricsTest, HistoryFansHistogramsIntoDerivedSeries) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  metrics::MetricsHistory history(/*capacity_per_series=*/8);
+
+  registry.counter("h.jobs").inc(4);
+  registry.histogram("h.lat").observe(10.0);
+  history.sample(registry.snapshot(), 1 * kSecond);
+  registry.counter("h.jobs").inc(6);
+  registry.histogram("h.lat").observe(30.0);
+  history.sample(registry.snapshot(), 2 * kSecond);
+
+  EXPECT_EQ(history.samples_taken(), 2u);
+  const metrics::TimeSeries* jobs = history.series("h.jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_DOUBLE_EQ(jobs->delta(), 6.0);
+  EXPECT_DOUBLE_EQ(jobs->rate_per_sec(), 6.0);
+  // Histograms fan out into derived count/quantile series.
+  const metrics::TimeSeries* count = history.series("h.lat.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->latest().value, 2.0);
+  EXPECT_NE(history.series("h.lat.p50"), nullptr);
+  EXPECT_NE(history.series("h.lat.p95"), nullptr);
+  EXPECT_NE(history.series("h.lat.p99"), nullptr);
+  EXPECT_EQ(history.series("h.lat"), nullptr);  // no raw histogram series
+  EXPECT_EQ(history.series("h.missing"), nullptr);
+}
+
+TEST_F(MetricsTest, HistorySeriesPointersSurviveLaterInsertions) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  metrics::MetricsHistory history;
+  registry.counter("aaa.first").inc();
+  history.sample(registry.snapshot(), 1);
+  const metrics::TimeSeries* first = history.series("aaa.first");
+  ASSERT_NE(first, nullptr);
+  for (int i = 0; i < 200; ++i) {
+    registry.counter("zzz.fill." + std::to_string(i)).inc();
+  }
+  history.sample(registry.snapshot(), 2);
+  EXPECT_EQ(history.series("aaa.first"), first);
+  EXPECT_EQ(first->size(), 2u);
+}
+
+// TSan-friendly stress: writers hammer the registry while a sampler thread
+// snapshots into a small-capacity history (forcing ring eviction) and
+// readers run windowed queries off the live series.
+TEST_F(MetricsTest, ConcurrentWritersSamplerAndReaders) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  metrics::MetricsHistory history(/*capacity_per_series=*/16);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry.counter("stress.hits").inc();
+        registry.gauge("stress.depth").set(static_cast<std::int64_t>(i % 100));
+        registry.histogram("stress.lat").observe(static_cast<double>(t + 1));
+        ++i;
+      }
+    });
+  }
+  // The sampler drives the test length: enough samples to wrap the
+  // 16-point ring several times, then everyone stops.
+  std::thread sampler([&registry, &history, &stop] {
+    for (SimTime at = kMillisecond; at <= 48 * kMillisecond;
+         at += kMillisecond) {
+      history.sample(registry.snapshot(), at);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&history, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (const metrics::TimeSeries* series = history.series("stress.hits")) {
+        (void)series->rate_per_sec();
+        (void)series->quantile(0.9);
+        (void)series->points();
+      }
+      (void)history.names();
+    }
+  });
+  sampler.join();  // sets stop after its 48 samples
+  for (auto& w : writers) w.join();
+  reader.join();
+
+  const metrics::TimeSeries* hits = history.series("stress.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_LE(hits->size(), 16u);                  // capacity enforced
+  EXPECT_GT(hits->total_recorded(), hits->size());  // eviction happened
+  // The ring stayed consistent: points are time-ordered and monotone (a
+  // counter series never decreases).
+  const auto points = hits->points();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].at, points[i].at);
+    EXPECT_LE(points[i - 1].value, points[i].value);
+  }
+}
+
+TEST_F(MetricsTest, SamplerThreadFeedsHistoryAndCallback) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  registry.counter("sampled.count").inc(3);
+  metrics::MetricsHistory history;
+  std::atomic<int> callbacks{0};
+  {
+    metrics::MetricsSampler sampler(history, 5 * kMillisecond,
+                                    [&callbacks](SimTime) { ++callbacks; });
+    sampler.sample_now();  // deterministic floor regardless of timing
+    while (callbacks.load() < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }  // destructor stops and joins the thread
+  EXPECT_GE(history.samples_taken(), 2u);
+  EXPECT_GE(callbacks.load(), 2);
+  const metrics::TimeSeries* series = history.series("sampled.count");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->latest().value, 3.0);
+}
+
+// Concurrent TraceStore writers against the capacity cap: total stored +
+// dropped must equal total added, with no lost updates.
+TEST(TraceTest, ConcurrentWritersAgainstCapacityCap) {
+  TraceStore store(/*capacity=*/100);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span;
+        span.trace_id = static_cast<std::uint64_t>(t) + 1;
+        span.tasklet = TaskletId{static_cast<std::uint64_t>(t) + 1};
+        span.name = "s";
+        span.start = i;
+        span.end = i + 1;
+        store.add(std::move(span));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_EQ(store.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread - 100u);
 }
 
 TEST(LogTest, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {

@@ -4,23 +4,33 @@
 //       Compile + verify a TCL source file to a portable bytecode file.
 //   taskletc dis <file.tvm | file.tcl>
 //       Print the bytecode listing (compiles first when given source).
-//   taskletc run <file.tcl | file.tvm> [ARG...] [--profile]
+//   taskletc run <file.tcl | file.tvm> [ARG...] [--profile] [--json]
 //       Execute locally in the TVM and print result + fuel. With --profile,
-//       also print the per-opcode execution profile (counts + cycle time).
+//       also print the per-opcode execution profile (counts + cycle time);
+//       --json emits one machine-readable JSON object instead.
 //   taskletc exec <file.tcl | file.tvm> [ARG...] [--providers N] [--redundancy R]
 //       Execute through the full middleware (broker + N in-process providers).
+//   taskletc serve [--providers N] [--stragglers K] [--port P] [--duration S]
+//       Run a live cluster with emulated stragglers, the ops plane enabled
+//       and the admin endpoint listening; feeds a continuous workload.
+//   taskletc top <port> [--watch]
+//       One-shot (or 1 Hz refreshing) cluster summary from a serve endpoint.
 //
 // Arguments: integers (42), floats (3.5 — must contain '.' or 'e'), or
 // comma-separated arrays (1,2,3 / 1.5,2.5). Array element types follow the
 // first element.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/system.hpp"
+#include "net/admin.hpp"
 #include "tcl/compiler.hpp"
 #include "tvm/assembler.hpp"
 #include "tvm/interpreter.hpp"
@@ -35,9 +45,13 @@ int usage() {
                "usage:\n"
                "  taskletc build <file.tcl> [-o out.tvm] [--entry NAME]\n"
                "  taskletc dis   <file.tvm|file.tcl>\n"
-               "  taskletc run   <file.tcl|file.tvm> [ARG...] [--profile]\n"
+               "  taskletc run   <file.tcl|file.tvm> [ARG...] [--profile]"
+               " [--json]\n"
                "  taskletc exec  <file.tcl|file.tvm> [ARG...] [--providers N]"
-               " [--redundancy R]\n");
+               " [--redundancy R]\n"
+               "  taskletc serve [--providers N] [--stragglers K] [--port P]"
+               " [--duration S]\n"
+               "  taskletc top   <port> [--watch]\n");
   return 2;
 }
 
@@ -189,8 +203,10 @@ Result<std::vector<tvm::HostArg>> parse_args(const std::vector<std::string>& tok
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool want_profile = false;
+  bool want_json = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--profile") want_profile = true;
+    if (args[i] == "--json") want_json = true;
   }
   auto program = load_program(args[0]);
   if (!program.is_ok()) {
@@ -208,8 +224,21 @@ int cmd_run(const std::vector<std::string>& args) {
                                     want_profile ? &profile : nullptr);
   if (!outcome.is_ok()) {
     std::fprintf(stderr, "trap: %s\n", outcome.status().to_string().c_str());
-    if (want_profile) std::fputs(profile.to_string().c_str(), stderr);
+    if (want_profile && !want_json) {
+      std::fputs(profile.to_string().c_str(), stderr);
+    }
     return 1;
+  }
+  if (want_json) {
+    // One JSON object on stdout for scripted consumers.
+    std::string out = "{\"result\":";
+    metrics::json_append_escaped(out, tvm::to_string(outcome->result));
+    out += ",\"fuel\":" + std::to_string(outcome->fuel_used);
+    out += ",\"instructions\":" + std::to_string(outcome->instructions);
+    if (want_profile) out += ",\"profile\":" + profile.to_json();
+    out += "}";
+    std::printf("%s\n", out.c_str());
+    return 0;
   }
   print_result(outcome->result);
   std::fprintf(stderr, "fuel: %llu\n",
@@ -264,6 +293,181 @@ int cmd_exec(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Workload kernel for `serve`: enough fuel per tasklet that a 25x straggler
+// visibly lags, little enough that fast providers finish in milliseconds.
+constexpr std::string_view kServeKernel = R"(
+  int main(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i = i + 1) { s = s + i % 7; }
+    return s;
+  }
+)";
+
+int cmd_serve(const std::vector<std::string>& args) {
+  int providers = 4;
+  int stragglers = 1;
+  int port = 0;
+  int duration_s = 20;
+  int rate = 50;  // submissions per second
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--providers" && i + 1 < args.size()) {
+      providers = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--stragglers" && i + 1 < args.size()) {
+      stragglers = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--port" && i + 1 < args.size()) {
+      port = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--duration" && i + 1 < args.size()) {
+      duration_s = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--rate" && i + 1 < args.size()) {
+      rate = std::atoi(args[++i].c_str());
+    } else {
+      return usage();
+    }
+  }
+
+  core::SystemConfig config;
+  config.tracing = true;
+  // Round-robin so stragglers actually receive work (the selective policies
+  // would shun them and the defense would have nothing to defend against).
+  config.scheduler = "round_robin";
+  config.broker.scan_interval = 100 * kMillisecond;
+  config.broker.straggler_multiplier = 2.0;
+  // p75 rather than the broker's p95 default: with up to ~1/4 of the pool
+  // deliberately degraded, a higher quantile lands inside the slow cluster
+  // itself and the bound would then never call anything a straggler.
+  config.broker.straggler_quantile = 0.75;
+  config.broker.straggler_min_samples = 10;
+  config.ops.enabled = true;
+  config.ops.admin_port = static_cast<std::uint16_t>(port);
+  config.ops.sample_interval = 100 * kMillisecond;
+  config.ops.rules = {
+      "stragglers: broker.straggler_reassigns > 0",
+      "queue_deep: broker.queue_depth > 200 for 2s",
+      "het_high: broker.pool.heterogeneity > 900000 for 5s",
+  };
+
+  core::TaskletSystem system(config);
+  for (int i = 0; i < std::max(1, providers); ++i) system.add_provider();
+  for (int i = 0; i < stragglers; ++i) {
+    core::ProviderOptions options;
+    options.slowdown = 50.0;
+    system.add_provider(options);
+  }
+  if (system.ops() == nullptr || !system.ops()->admin_listening()) {
+    std::fprintf(stderr, "failed to start the admin endpoint\n");
+    return 1;
+  }
+  // CI and `taskletc top` parse this line for the resolved port.
+  std::printf("admin listening on 127.0.0.1:%u\n", system.ops()->admin_port());
+  std::fflush(stdout);
+
+  std::uint64_t sequence = 0;
+  std::uint64_t completed = 0;
+  std::deque<std::future<proto::TaskletReport>> outstanding;
+  const auto drain_ready = [&] {
+    while (!outstanding.empty() &&
+           outstanding.front().wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      if (outstanding.front().get().status == proto::TaskletStatus::kCompleted) {
+        ++completed;
+      }
+      outstanding.pop_front();
+    }
+  };
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(std::max(1, duration_s));
+  const auto gap = std::chrono::microseconds(1'000'000 / std::max(1, rate));
+  while (duration_s == 0 || std::chrono::steady_clock::now() < deadline) {
+    // Distinct argument per submission: identical (program, args) pairs
+    // would be answered from the broker's memo table without executing.
+    auto body = core::compile_tasklet(
+        kServeKernel, {static_cast<std::int64_t>(30'000 + sequence % 10'000)});
+    if (!body.is_ok()) {
+      std::fprintf(stderr, "compile error: %s\n",
+                   body.status().to_string().c_str());
+      return 1;
+    }
+    ++sequence;
+    outstanding.push_back(system.submit(std::move(*body)));
+    drain_ready();
+    // Backpressure: never let the submission loop outrun the pool unboundedly.
+    while (outstanding.size() > 2000) {
+      outstanding.front().wait();
+      drain_ready();
+    }
+    std::this_thread::sleep_for(gap);
+  }
+  while (!outstanding.empty()) {
+    outstanding.front().wait();
+    drain_ready();
+  }
+  const broker::BrokerStats stats = system.broker_stats();
+  std::printf("served %llu tasklets (%llu completed)  straggler fences: %llu  "
+              "alerts fired: %llu\n",
+              static_cast<unsigned long long>(sequence),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(stats.straggler_reassigns),
+              static_cast<unsigned long long>(
+                  system.ops()->rule_engine().fired_count()));
+  return 0;
+}
+
+// Pulls the "text" field out of the admin `top` response — the one JSON
+// string the response contains, so a targeted unescape beats a parser.
+std::string extract_text_field(const std::string& response) {
+  const auto key = response.find("\"text\":\"");
+  if (key == std::string::npos) return response + "\n";
+  std::string out;
+  for (std::size_t i = key + 8; i < response.size(); ++i) {
+    const char c = response[i];
+    if (c == '"') break;
+    if (c != '\\' || i + 1 >= response.size()) {
+      out.push_back(c);
+      continue;
+    }
+    const char esc = response[++i];
+    switch (esc) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'u':
+        // json_append_escaped only emits \u00XX for control bytes.
+        if (i + 4 < response.size()) {
+          out.push_back(static_cast<char>(
+              std::strtol(response.substr(i + 1, 4).c_str(), nullptr, 16)));
+          i += 4;
+        }
+        break;
+      default: out.push_back(esc); break;
+    }
+  }
+  return out;
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const int port = std::atoi(args[0].c_str());
+  bool watch = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--watch") watch = true;
+  }
+  if (port <= 0 || port > 65535) return usage();
+  while (true) {
+    const std::string response =
+        net::admin_query(static_cast<std::uint16_t>(port), "top");
+    if (response.empty()) {
+      std::fprintf(stderr, "no response from 127.0.0.1:%d\n", port);
+      return 1;
+    }
+    if (watch) std::printf("\033[H\033[2J");
+    std::fputs(extract_text_field(response).c_str(), stdout);
+    std::fflush(stdout);
+    if (!watch) return 0;
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,5 +478,7 @@ int main(int argc, char** argv) {
   if (command == "dis") return cmd_dis(args);
   if (command == "run") return cmd_run(args);
   if (command == "exec") return cmd_exec(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "top") return cmd_top(args);
   return usage();
 }
