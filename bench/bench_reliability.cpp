@@ -50,16 +50,18 @@ int main() {
                      qoc);
     }
     cluster.run_until_quiescent(30 * 60 * kSecond);
-    {
-      std::ofstream out(trace_out, std::ios::trunc);
-      out << trace.export_chrome_json();
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", trace_out);
-        return 1;
-      }
+    // Stream through the incremental writer (the same path `serve
+    // --trace-out` uses) so CI validates the drained/streamed format.
+    const std::uint64_t dropped = trace.dropped();
+    ChromeTraceWriter writer(trace_out);
+    writer.write_all(trace.drain());
+    if (!writer.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out);
+      return 1;
     }
-    line("trace: %zu spans (%llu dropped) -> %s", trace.size(),
-         static_cast<unsigned long long>(trace.dropped()), trace_out);
+    writer.finish();
+    line("trace: %zu spans (%llu dropped) -> %s", writer.written(),
+         static_cast<unsigned long long>(dropped), trace_out);
     const auto snapshot = metrics::MetricsRegistry::instance().snapshot();
     if (const char* metrics_out = std::getenv("TASKLETS_METRICS_OUT")) {
       std::ofstream out(metrics_out, std::ios::trunc);

@@ -23,6 +23,9 @@ void Broker::end_attempt_span(const TaskletState& state, TaskletId id,
                               const AttemptState& attempt, SimTime now,
                               std::string_view status) {
   if (config_.trace == nullptr || !state.trace.active()) return;
+  // span 0 means already closed (close_open_spans at conclusion) — a late
+  // result for it must not emit the span twice.
+  if (attempt.span == 0) return;
   Span span;
   span.trace_id = state.trace.trace_id;
   span.span_id = attempt.span;
@@ -35,6 +38,34 @@ void Broker::end_attempt_span(const TaskletState& state, TaskletId id,
   span.args.emplace_back("provider", attempt.provider.to_string());
   span.args.emplace_back("status", std::string(status));
   config_.trace->add(std::move(span));
+}
+
+void Broker::close_open_spans(TaskletState& state, TaskletId id, SimTime now) {
+  if (config_.trace == nullptr || !state.trace.active()) return;
+  // A tasklet can conclude while attempts are still outstanding (fences,
+  // cancels, speculative losers, results that never arrive). Close their
+  // spans as "abandoned" so phase attribution sees that wall time instead of
+  // undercounting it; zeroing the stored span id keeps a late result from
+  // emitting the span twice.
+  for (auto& [attempt_id, attempt] : state.attempts) {
+    if (attempt.span == 0) continue;
+    end_attempt_span(state, id, attempt, now, "abandoned");
+    attempt.span = 0;
+  }
+  if (state.attempts_total == 0) {
+    // Never placed (admission reject, unschedulable, failed program fetch,
+    // memo hit): the queue span from try_place_replica never happened, so
+    // account the queue wait here, submission to conclusion.
+    Span queue_span;
+    queue_span.trace_id = state.trace.trace_id;
+    queue_span.parent_span = state.trace.parent_span;
+    queue_span.name = "queue";
+    queue_span.node = this->id();
+    queue_span.tasklet = id;
+    queue_span.start = state.submitted_at;
+    queue_span.end = now;
+    config_.trace->add(std::move(queue_span));
+  }
 }
 
 Broker::Broker(NodeId id, std::unique_ptr<Scheduler> scheduler, BrokerConfig config)
@@ -480,11 +511,12 @@ void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime n
   }
 }
 
-void Broker::handle_cancel(const proto::CancelTasklet& m, SimTime) {
+void Broker::handle_cancel(const proto::CancelTasklet& m, SimTime now) {
   const auto it = tasklets_.find(m.tasklet);
   if (it == tasklets_.end() || it->second.done) return;
   // Mark done; in-flight results will be ignored, queued replicas skipped.
   it->second.done = true;
+  close_open_spans(it->second, m.tasklet, now);
   release_program_ref(it->second);
 }
 
@@ -1064,7 +1096,9 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
   TASKLETS_OBSERVE("broker.latency_ns", static_cast<double>(report.latency));
   // Both callers computed latency as (now - submitted_at), so the terminal
   // instant's timestamp can be reconstructed without threading `now` here.
-  trace_instant(state, "report", id, state.submitted_at + report.latency,
+  const SimTime terminal = state.submitted_at + report.latency;
+  close_open_spans(state, id, terminal);
+  trace_instant(state, "report", id, terminal,
                 {{"status", std::string(proto::to_string(report.status))},
                  {"attempts", std::to_string(report.attempts)}});
   // Retained so duplicate submissions replay the same terminal report.

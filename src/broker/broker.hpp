@@ -361,10 +361,15 @@ class Broker final : public proto::Actor {
   void trace_instant(const TaskletState& state, std::string name, TaskletId id,
                      SimTime now,
                      std::vector<std::pair<std::string, std::string>> args = {});
-  // Closes an attempt's complete span (issue -> result/fence).
+  // Closes an attempt's complete span (issue -> result/fence). No-op for an
+  // already-closed attempt (span id 0).
   void end_attempt_span(const TaskletState& state, TaskletId id,
                         const AttemptState& attempt, SimTime now,
                         std::string_view status);
+  // At conclusion (finish / cancel): closes still-outstanding attempt spans
+  // as "abandoned" and, for tasklets that never reached placement, emits the
+  // queue span so their wait is attributed rather than undercounted.
+  void close_open_spans(TaskletState& state, TaskletId id, SimTime now);
 
   std::unique_ptr<Scheduler> scheduler_;
   BrokerConfig config_;

@@ -1,0 +1,225 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace tasklets::json {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t max_depth;
+
+  [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept { return text[pos]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status error(std::string message) const {
+    return make_error(StatusCode::kDataLoss,
+                      message + " at offset " + std::to_string(pos));
+  }
+
+  bool consume(std::string_view literal) {
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  Status parse_string_into(std::string& out) {
+    if (done() || peek() != '"') return error("expected string");
+    ++pos;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (done()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return error("bad \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through
+          // as two 3-byte sequences; our writers never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return error("bad escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Status parse_value(Value& out, std::size_t depth) {
+    if (depth > max_depth) return error("nesting too deep");
+    skip_ws();
+    if (done()) return error("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parse_string_into(out.string);
+    }
+    if (consume("true")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      return Status::ok();
+    }
+    if (consume("false")) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      return Status::ok();
+    }
+    if (consume("null")) {
+      out.kind = Value::Kind::kNull;
+      return Status::ok();
+    }
+    return parse_number(out);
+  }
+
+  Status parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (!done() && (peek() == '-' || peek() == '+')) ++pos;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (!done() && peek() >= '0' && peek() <= '9') {
+        ++pos;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (!done() && peek() == '.') {
+      ++pos;
+      eat_digits();
+    }
+    if (digits && !done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '-' || peek() == '+')) ++pos;
+      eat_digits();
+    }
+    if (!digits) return error("expected value");
+    const std::string lexeme(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(lexeme.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return error("bad number");
+    }
+    out.kind = Value::Kind::kNumber;
+    out.number = v;
+    return Status::ok();
+  }
+
+  Status parse_array(Value& out, std::size_t depth) {
+    ++pos;  // '['
+    out.kind = Value::Kind::kArray;
+    skip_ws();
+    if (!done() && peek() == ']') {
+      ++pos;
+      return Status::ok();
+    }
+    while (true) {
+      Value element;
+      TASKLETS_RETURN_IF_ERROR(parse_value(element, depth + 1));
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (done()) return error("unterminated array");
+      const char c = text[pos++];
+      if (c == ']') return Status::ok();
+      if (c != ',') return error("expected ',' or ']'");
+    }
+  }
+
+  Status parse_object(Value& out, std::size_t depth) {
+    ++pos;  // '{'
+    out.kind = Value::Kind::kObject;
+    skip_ws();
+    if (!done() && peek() == '}') {
+      ++pos;
+      return Status::ok();
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      TASKLETS_RETURN_IF_ERROR(parse_string_into(key));
+      skip_ws();
+      if (done() || text[pos++] != ':') return error("expected ':'");
+      Value member;
+      TASKLETS_RETURN_IF_ERROR(parse_value(member, depth + 1));
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (done()) return error("unterminated object");
+      const char c = text[pos++];
+      if (c == '}') return Status::ok();
+      if (c != ',') return error("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, member] : object) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+std::int64_t Value::as_int(std::int64_t fallback) const noexcept {
+  if (!is_number()) return fallback;
+  return static_cast<std::int64_t>(std::llround(number));
+}
+
+std::uint64_t Value::as_uint(std::uint64_t fallback) const noexcept {
+  if (!is_number() || number < 0) return fallback;
+  return static_cast<std::uint64_t>(std::llround(number));
+}
+
+Result<Value> parse(std::string_view text, std::size_t max_depth) {
+  Parser parser{text, 0, max_depth};
+  Value root;
+  TASKLETS_RETURN_IF_ERROR(parser.parse_value(root, 0));
+  parser.skip_ws();
+  if (!parser.done()) return parser.error("trailing garbage");
+  return root;
+}
+
+}  // namespace tasklets::json

@@ -1,0 +1,63 @@
+// Minimal JSON value model + recursive-descent parser.
+//
+// The observability stack renders all of its JSON by hand (metrics, traces,
+// admin responses, flight-recorder bundles); this is the matching read side,
+// used by the trace-analysis engine and `taskletc analyze` to load those
+// documents back. It is deliberately small: one Value variant, one tolerant
+// parser with a depth cap, no serializer (writers keep hand-rendering).
+//
+// Tolerances: numbers parse via strtod (ints round-trip exactly up to 2^53,
+// which covers every timestamp and id we emit), \uXXXX escapes decode to
+// UTF-8, and object member order is preserved (duplicate keys keep both;
+// find() returns the first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace tasklets::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::kObject; }
+
+  // First member with `key`, or nullptr (also for non-objects).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  // Typed accessors with fallback defaults — never throw.
+  [[nodiscard]] double as_number(double fallback = 0.0) const noexcept {
+    return is_number() ? number : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::uint64_t as_uint(std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] std::string_view as_string(
+      std::string_view fallback = {}) const noexcept {
+    return is_string() ? std::string_view(string) : fallback;
+  }
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage is
+// an error). Nesting deeper than `max_depth` is rejected, not recursed into.
+[[nodiscard]] Result<Value> parse(std::string_view text,
+                                  std::size_t max_depth = 96);
+
+}  // namespace tasklets::json

@@ -67,6 +67,24 @@ class RingBufferSink final : public LogSink {
   std::deque<std::string> lines_;
 };
 
+// Fan-out sink: forwards every record to each attached sink. Used to keep
+// the default stderr sink while also capturing into a RingBufferSink for the
+// admin `logs` command and flight-recorder bundles.
+class TeeSink final : public LogSink {
+ public:
+  explicit TeeSink(std::vector<std::shared_ptr<LogSink>> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void write(const LogRecord& record) override {
+    for (const auto& sink : sinks_) {
+      if (sink != nullptr) sink->write(record);
+    }
+  }
+
+ private:
+  std::vector<std::shared_ptr<LogSink>> sinks_;
+};
+
 // Small dense thread id for log lines (1, 2, ... in first-log order).
 [[nodiscard]] std::uint64_t log_thread_id() noexcept;
 

@@ -38,12 +38,18 @@ TraceStore::TraceStore(std::size_t capacity) : capacity_(capacity) {}
 
 void TraceStore::add(Span span) {
   const std::scoped_lock lock(mutex_);
+  if (span.span_id == 0) span.span_id = next_span_id();
+  if (observer_) observer_(span);
   if (spans_.size() >= capacity_) {
     ++dropped_;
     return;
   }
-  if (span.span_id == 0) span.span_id = next_span_id();
   spans_.push_back(std::move(span));
+}
+
+void TraceStore::set_observer(std::function<void(const Span&)> observer) {
+  const std::scoped_lock lock(mutex_);
+  observer_ = std::move(observer);
 }
 
 void TraceStore::instant(const TraceContext& ctx, std::string name, NodeId node,
@@ -77,6 +83,13 @@ std::vector<Span> TraceStore::all() const {
   return spans_;
 }
 
+std::vector<Span> TraceStore::drain() {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Span> out;
+  out.swap(spans_);
+  return out;
+}
+
 std::vector<Span> TraceStore::spans_for(TaskletId id) const {
   std::vector<Span> out;
   {
@@ -91,47 +104,91 @@ std::vector<Span> TraceStore::spans_for(TaskletId id) const {
   return out;
 }
 
+void append_chrome_event(std::string& out, const Span& span) {
+  char buf[96];
+  out += "{\"name\":";
+  append_json_string(out, span.name);
+  out += ",\"cat\":\"tasklet\",\"ph\":";
+  const double ts_us = static_cast<double>(span.start) / 1e3;
+  if (span.instant) {
+    std::snprintf(buf, sizeof buf, "\"i\",\"s\":\"g\",\"ts\":%.3f", ts_us);
+  } else {
+    const double dur_us = static_cast<double>(span.end - span.start) / 1e3;
+    std::snprintf(buf, sizeof buf, "\"X\",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                  dur_us);
+  }
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%llu,\"args\":{",
+                static_cast<unsigned long long>(span.node.value()));
+  out += buf;
+  out += "\"tasklet\":";
+  append_json_string(out, span.tasklet.to_string());
+  std::snprintf(buf, sizeof buf,
+                ",\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
+                static_cast<unsigned long long>(span.trace_id),
+                static_cast<unsigned long long>(span.span_id),
+                static_cast<unsigned long long>(span.parent_span));
+  out += buf;
+  for (const auto& [key, value] : span.args) {
+    out.push_back(',');
+    append_json_string(out, key);
+    out.push_back(':');
+    append_json_string(out, value);
+  }
+  out += "}}";
+}
+
 std::string TraceStore::export_chrome_json() const {
   const std::vector<Span> spans = all();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  char buf[96];
   for (const Span& span : spans) {
     if (!first) out.push_back(',');
     first = false;
-    out += "{\"name\":";
-    append_json_string(out, span.name);
-    out += ",\"cat\":\"tasklet\",\"ph\":";
-    const double ts_us = static_cast<double>(span.start) / 1e3;
-    if (span.instant) {
-      std::snprintf(buf, sizeof buf, "\"i\",\"s\":\"g\",\"ts\":%.3f", ts_us);
-    } else {
-      const double dur_us = static_cast<double>(span.end - span.start) / 1e3;
-      std::snprintf(buf, sizeof buf, "\"X\",\"ts\":%.3f,\"dur\":%.3f", ts_us,
-                    dur_us);
-    }
-    out += buf;
-    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%llu,\"args\":{",
-                  static_cast<unsigned long long>(span.node.value()));
-    out += buf;
-    out += "\"tasklet\":";
-    append_json_string(out, span.tasklet.to_string());
-    std::snprintf(buf, sizeof buf,
-                  ",\"trace\":%llu,\"span\":%llu,\"parent\":%llu",
-                  static_cast<unsigned long long>(span.trace_id),
-                  static_cast<unsigned long long>(span.span_id),
-                  static_cast<unsigned long long>(span.parent_span));
-    out += buf;
-    for (const auto& [key, value] : span.args) {
-      out.push_back(',');
-      append_json_string(out, key);
-      out.push_back(':');
-      append_json_string(out, value);
-    }
-    out += "}}";
+    append_chrome_event(out, span);
   }
   out += "]}";
   return out;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) return;
+  if (std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", file_) < 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::write(const Span& span) {
+  if (file_ == nullptr || finished_) return;
+  std::string event;
+  event.reserve(192);
+  if (written_ > 0) event.push_back(',');
+  append_chrome_event(event, span);
+  if (std::fputs(event.c_str(), file_) < 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return;
+  }
+  ++written_;
+}
+
+void ChromeTraceWriter::write_all(const std::vector<Span>& spans) {
+  for (const Span& span : spans) write(span);
+}
+
+void ChromeTraceWriter::finish() {
+  if (file_ == nullptr || finished_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  std::fputs("]}", file_);
+  std::fclose(file_);
+  file_ = nullptr;
 }
 
 }  // namespace tasklets

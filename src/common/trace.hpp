@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -66,9 +68,20 @@ class TraceStore {
                TaskletId tasklet, SimTime at,
                std::vector<std::pair<std::string, std::string>> args = {});
 
+  // Observer called for *every* added span (with its final span id), even
+  // ones the capacity cap drops from storage — how the flight recorder keeps
+  // a recent-span ring without raising the store's cap. Runs under the store
+  // mutex: must be cheap and must not call back into this store. Pass
+  // nullptr to detach (required before the observer's owner is destroyed).
+  void set_observer(std::function<void(const Span&)> observer);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t dropped() const;
   [[nodiscard]] std::vector<Span> all() const;
+  // Removes and returns the buffered spans (the dropped counter is kept, but
+  // the freed capacity accepts new spans again). Incremental exporters call
+  // this periodically so long runs stay memory-bounded.
+  [[nodiscard]] std::vector<Span> drain();
   // Spans of one tasklet, ordered by (start, span id) — causal order for
   // spans emitted against one runtime clock.
   [[nodiscard]] std::vector<Span> spans_for(TaskletId id) const;
@@ -82,6 +95,35 @@ class TraceStore {
   std::size_t capacity_;
   std::vector<Span> spans_;
   std::uint64_t dropped_ = 0;
+  std::function<void(const Span&)> observer_;
+};
+
+// Renders one span as a Chrome trace_event object (no surrounding commas).
+void append_chrome_event(std::string& out, const Span& span);
+
+// Incremental Chrome trace_event writer: streams events to a file as they
+// are handed over instead of buffering the whole store in memory. The file
+// is valid JSON once finish() (or the destructor) closes it. Write failures
+// flip ok() false and turn later writes into no-ops.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(const std::string& path);
+  ~ChromeTraceWriter();
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  void write(const Span& span);
+  void write_all(const std::vector<Span>& spans);
+  void finish();
+
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::size_t written() const noexcept { return written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t written_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace tasklets

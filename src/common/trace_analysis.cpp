@@ -1,0 +1,619 @@
+#include "common/trace_analysis.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace tasklets::analysis {
+
+namespace {
+
+// Non-negative interval; a negative input means clock damage (chaos,
+// dropped spans) — clamp to 0 and count it, never propagate negatives.
+SimTime clamp_interval(SimTime from, SimTime to, std::uint32_t& anomalies) {
+  if (to < from) {
+    ++anomalies;
+    return 0;
+  }
+  return to - from;
+}
+
+const std::string* find_arg(const Span& span, std::string_view key) {
+  for (const auto& [name, value] : span.args) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string arg_or(const Span& span, std::string_view key,
+                   std::string fallback = {}) {
+  const std::string* value = find_arg(span, key);
+  return value != nullptr ? *value : std::move(fallback);
+}
+
+// "tasklet-12" / "node-3" / bare "12" -> 12; 0 when unparseable.
+std::uint64_t parse_id_value(std::string_view text) {
+  const std::size_t dash = text.rfind('-');
+  if (dash != std::string_view::npos) text.remove_prefix(dash + 1);
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const std::string copy(text);
+  const std::uint64_t raw = std::strtoull(copy.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? raw : 0;
+}
+
+}  // namespace
+
+std::string_view phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kSubmitWire: return "submit_wire";
+    case Phase::kQueue: return "queue";
+    case Phase::kSchedule: return "schedule";
+    case Phase::kNetOut: return "net_out";
+    case Phase::kExecOverhead: return "exec_overhead";
+    case Phase::kVm: return "vm";
+    case Phase::kNetBack: return "net_back";
+    case Phase::kConclude: return "conclude";
+    case Phase::kDeliver: return "deliver";
+    case Phase::kUnattributed: return "unattributed";
+  }
+  return "?";
+}
+
+const SpanNode* TaskletTrace::first(std::string_view name) const noexcept {
+  for (const SpanNode& node : nodes) {
+    if (node.span.name == name) return &node;
+  }
+  return nullptr;
+}
+
+TaskletTrace build_tasklet_trace(std::vector<Span> spans) {
+  TaskletTrace trace;
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    return a.start != b.start ? a.start < b.start : a.span_id < b.span_id;
+  });
+
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(spans.size());
+  trace.nodes.reserve(spans.size());
+  for (Span& span : spans) {
+    if (!trace.id.valid()) trace.id = span.tasklet;
+    if (span.span_id != 0 && !by_id.emplace(span.span_id, trace.nodes.size()).second) {
+      ++trace.duplicates;  // span-id reuse: keep the first occurrence
+      continue;
+    }
+    trace.nodes.push_back(SpanNode{std::move(span), {}});
+  }
+  for (std::size_t i = 0; i < trace.nodes.size(); ++i) {
+    const std::uint64_t parent = trace.nodes[i].span.parent_span;
+    if (parent == 0) {
+      trace.roots.push_back(i);
+      continue;
+    }
+    const auto it = by_id.find(parent);
+    if (it == by_id.end() || it->second == i) {
+      // Parent never arrived (dropped / capacity-capped): the node becomes
+      // an extra root so the tree stays walkable.
+      ++trace.orphans;
+      trace.roots.push_back(i);
+      continue;
+    }
+    trace.nodes[it->second].children.push_back(i);
+  }
+  return trace;
+}
+
+PhaseBreakdown analyze_tasklet(const TaskletTrace& trace) {
+  PhaseBreakdown out;
+  out.tasklet = trace.id;
+  out.anomalies = trace.duplicates + trace.orphans;
+  if (trace.nodes.empty()) return out;
+
+  // End-to-end envelope: the consumer's root "submit" span, or (degraded)
+  // the hull of whatever spans survived.
+  const SpanNode* root = nullptr;
+  for (const SpanNode& node : trace.nodes) {
+    if (node.span.name == "submit" && !node.span.instant) {
+      root = &node;
+      break;
+    }
+  }
+  SimTime t0 = 0;
+  SimTime t1 = 0;
+  if (root != nullptr) {
+    t0 = root->span.start;
+    t1 = root->span.end;
+    out.status = arg_or(root->span, "status");
+  } else {
+    t0 = trace.nodes.front().span.start;
+    t1 = t0;
+    for (const SpanNode& node : trace.nodes) t1 = std::max(t1, node.span.end);
+    ++out.anomalies;
+  }
+  out.total = clamp_interval(t0, t1, out.anomalies);
+
+  const SpanNode* queue = trace.first("queue");
+  const SpanNode* report = trace.first("report");
+  if (out.status.empty() && report != nullptr) {
+    out.status = arg_or(report->span, "status");
+  }
+
+  // Attempts with their provider-side children.
+  for (const SpanNode& node : trace.nodes) {
+    if (node.span.name != "attempt" || node.span.instant) continue;
+    AttemptView view;
+    view.span_id = node.span.span_id;
+    view.provider = arg_or(node.span, "provider");
+    view.status = arg_or(node.span, "status");
+    view.start = node.span.start;
+    view.end = std::max(node.span.end, node.span.start);
+    for (const std::size_t child : node.children) {
+      const Span& c = trace.nodes[child].span;
+      if (c.name == "execute" && !c.instant && !view.has_execute) {
+        view.has_execute = true;
+        view.exec_start = c.start;
+        view.exec_end = std::max(c.end, c.start);
+      } else if (c.name == "vm" && !c.instant && view.vm == 0) {
+        view.vm = clamp_interval(c.start, c.end, out.anomalies);
+      }
+    }
+    out.attempts.push_back(std::move(view));
+  }
+
+  // The winning attempt: the ok-status attempt that finished last (its
+  // result is what concluded the tasklet); with no ok attempt (failed /
+  // abandoned tasklets) the last-finishing attempt anchors the timeline.
+  AttemptView* winner = nullptr;
+  for (AttemptView& view : out.attempts) {
+    if (view.status == "ok" && (winner == nullptr || view.end > winner->end)) {
+      winner = &view;
+    }
+  }
+  if (winner == nullptr) {
+    for (AttemptView& view : out.attempts) {
+      if (winner == nullptr || view.end > winner->end) winner = &view;
+    }
+  }
+  if (winner != nullptr) {
+    winner->winner = true;
+    out.provider = winner->provider;
+  }
+
+  auto& phases = out.phases;
+  auto set = [&](Phase p, SimTime v) { phases[phase_index(p)] = v; };
+
+  if (queue != nullptr) {
+    set(Phase::kSubmitWire, clamp_interval(t0, queue->span.start, out.anomalies));
+    set(Phase::kQueue,
+        clamp_interval(queue->span.start, queue->span.end, out.anomalies));
+  }
+
+  SimTime anchor = queue != nullptr ? queue->span.end : t0;  // timeline cursor
+  if (winner != nullptr) {
+    set(Phase::kSchedule, clamp_interval(anchor, winner->start, out.anomalies));
+    if (winner->has_execute) {
+      const SimTime exec =
+          clamp_interval(winner->exec_start, winner->exec_end, out.anomalies);
+      SimTime vm = winner->vm;
+      if (vm > exec) {
+        ++out.anomalies;  // vm window leaked outside its execute span
+        vm = exec;
+      }
+      set(Phase::kNetOut,
+          clamp_interval(winner->start, winner->exec_start, out.anomalies));
+      set(Phase::kVm, vm);
+      set(Phase::kExecOverhead, exec - vm);
+      set(Phase::kNetBack,
+          clamp_interval(winner->exec_end, winner->end, out.anomalies));
+    } else {
+      // Provider-side spans dropped: the whole attempt reads as net.
+      ++out.anomalies;
+      set(Phase::kNetOut, clamp_interval(winner->start, winner->end, out.anomalies));
+    }
+    anchor = std::max(anchor, winner->end);
+  }
+  if (report != nullptr && report->span.start >= anchor) {
+    set(Phase::kConclude, report->span.start - anchor);
+    set(Phase::kDeliver, clamp_interval(report->span.start, t1, out.anomalies));
+  } else {
+    if (report != nullptr) ++out.anomalies;  // report precedes its anchor
+    set(Phase::kDeliver, clamp_interval(anchor, t1, out.anomalies));
+  }
+
+  // Off-path overhead: wall time of every losing attempt.
+  for (const AttemptView& view : out.attempts) {
+    if (!view.winner) out.retry_overhead += view.duration();
+  }
+
+  SimTime named = 0;
+  for (std::size_t i = 0; i + 1 < kPhaseCount; ++i) named += phases[i];
+  if (named <= out.total) {
+    set(Phase::kUnattributed, out.total - named);
+  } else {
+    // Clamping over-attributed a damaged trace; scale is unknowable, so
+    // report zero residual and flag it.
+    ++out.anomalies;
+    set(Phase::kUnattributed, 0);
+    out.total = named;
+  }
+
+  out.complete = root != nullptr && winner != nullptr && winner->has_execute &&
+                 winner->vm > 0 && report != nullptr;
+  return out;
+}
+
+std::vector<CriticalStep> critical_path(const TaskletTrace& trace) {
+  const PhaseBreakdown breakdown = analyze_tasklet(trace);
+  std::vector<CriticalStep> steps;
+  const SpanNode* root = trace.first("submit");
+  const SpanNode* queue = trace.first("queue");
+  const SpanNode* report = trace.first("report");
+
+  if (root != nullptr && queue != nullptr &&
+      queue->span.start >= root->span.start) {
+    steps.push_back({"submit_wire", root->span.node.to_string(), "",
+                     root->span.start, queue->span.start, true});
+  }
+  if (queue != nullptr) {
+    steps.push_back({"queue", queue->span.node.to_string(), "",
+                     queue->span.start, queue->span.end, true});
+  }
+  std::size_t index = 0;
+  for (const AttemptView& view : breakdown.attempts) {
+    ++index;
+    CriticalStep step;
+    step.label = "attempt#" + std::to_string(index);
+    step.node = view.provider;
+    step.detail = view.status;
+    step.start = view.start;
+    step.end = view.end;
+    step.on_winning_path = view.winner;
+    steps.push_back(std::move(step));
+    if (view.winner && view.has_execute) {
+      steps.push_back({"execute", view.provider, "", view.exec_start,
+                       view.exec_end, true});
+      if (view.vm > 0) {
+        steps.push_back({"vm", view.provider, "", view.exec_start,
+                         view.exec_start + view.vm, true});
+      }
+    }
+  }
+  if (report != nullptr) {
+    steps.push_back({"report", report->span.node.to_string(),
+                     arg_or(report->span, "status"), report->span.start,
+                     report->span.start, true});
+  }
+  if (root != nullptr) {
+    const SimTime from =
+        report != nullptr ? report->span.start : root->span.end;
+    if (root->span.end >= from) {
+      steps.push_back({"deliver", root->span.node.to_string(), "", from,
+                       root->span.end, true});
+    }
+  }
+  return steps;
+}
+
+double PhaseAggregate::quantile(double q) const {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(pos));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void WaitGraph::add(const PhaseBreakdown& breakdown) {
+  ++tasklets;
+  if (breakdown.complete) ++complete;
+  anomalies += breakdown.anomalies;
+  total += breakdown.total;
+  retry_overhead += breakdown.retry_overhead;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phases[i].total += breakdown.phases[i];
+    phases[i].samples.push_back(static_cast<double>(breakdown.phases[i]));
+  }
+  ++statuses[breakdown.status.empty() ? "?" : breakdown.status];
+  for (const AttemptView& view : breakdown.attempts) {
+    ProviderAggregate& agg =
+        providers[view.provider.empty() ? "?" : view.provider];
+    ++agg.attempts;
+    view.winner ? ++agg.wins : ++agg.losses;
+    agg.busy += view.duration();
+    if (view.has_execute) {
+      const SimTime exec = view.exec_end > view.exec_start
+                               ? view.exec_end - view.exec_start
+                               : 0;
+      const SimTime vm = std::min(view.vm, exec);
+      agg.vm += vm;
+      agg.overhead += exec - vm;
+      agg.net += view.duration() > exec ? view.duration() - exec : 0;
+    } else {
+      agg.net += view.duration();
+    }
+  }
+  slowest.emplace_back(breakdown.tasklet, breakdown.total);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (slowest.size() > kSlowestKept) slowest.resize(kSlowestKept);
+}
+
+WaitGraph analyze_all(const std::vector<Span>& spans) {
+  std::map<std::uint64_t, std::vector<Span>> by_tasklet;
+  for (const Span& span : spans) {
+    if (!span.tasklet.valid()) continue;  // pool-level events (health, ...)
+    by_tasklet[span.tasklet.value()].push_back(span);
+  }
+  WaitGraph graph;
+  for (auto& [id, group] : by_tasklet) {
+    graph.add(analyze_tasklet(build_tasklet_trace(std::move(group))));
+  }
+  return graph;
+}
+
+std::string format_duration(SimTime ns) {
+  char buf[32];
+  const double v = static_cast<double>(ns);
+  if (ns < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.0fns", v);
+  } else if (ns < 10 * kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.1fus", v / 1e3);
+  } else if (ns < 10 * kSecond) {
+    std::snprintf(buf, sizeof buf, "%.1fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+std::string breakdown_json(const PhaseBreakdown& breakdown) {
+  std::string out = "{\"tasklet\":";
+  metrics::json_append_escaped(out, breakdown.tasklet.to_string());
+  out += ",\"status\":";
+  metrics::json_append_escaped(out, breakdown.status);
+  out += ",\"provider\":";
+  metrics::json_append_escaped(out, breakdown.provider);
+  out += ",\"total_ns\":" + std::to_string(breakdown.total);
+  out += ",\"attributed_ns\":" + std::to_string(breakdown.attributed());
+  out += ",\"retry_overhead_ns\":" + std::to_string(breakdown.retry_overhead);
+  out += ",\"anomalies\":" + std::to_string(breakdown.anomalies);
+  out += ",\"complete\":";
+  out += breakdown.complete ? "true" : "false";
+  out += ",\"phases\":{";
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (i > 0) out += ",";
+    metrics::json_append_escaped(out, phase_name(static_cast<Phase>(i)));
+    out += ":" + std::to_string(breakdown.phases[i]);
+  }
+  out += "},\"attempts\":[";
+  bool first = true;
+  for (const AttemptView& view : breakdown.attempts) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"provider\":";
+    metrics::json_append_escaped(out, view.provider);
+    out += ",\"status\":";
+    metrics::json_append_escaped(out, view.status);
+    out += ",\"start\":" + std::to_string(view.start);
+    out += ",\"end\":" + std::to_string(view.end);
+    out += ",\"vm_ns\":" + std::to_string(view.vm);
+    out += ",\"winner\":";
+    out += view.winner ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string critical_path_report(const TaskletTrace& trace) {
+  const PhaseBreakdown breakdown = analyze_tasklet(trace);
+  const std::vector<CriticalStep> steps = critical_path(trace);
+  SimTime t0 = 0;
+  if (const SpanNode* root = trace.first("submit"); root != nullptr) {
+    t0 = root->span.start;
+  } else if (!trace.nodes.empty()) {
+    t0 = trace.nodes.front().span.start;
+  }
+
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "critical path %s: %s end-to-end, status=%s, %zu attempt(s)%s\n",
+                breakdown.tasklet.to_string().c_str(),
+                format_duration(breakdown.total).c_str(),
+                breakdown.status.empty() ? "?" : breakdown.status.c_str(),
+                breakdown.attempts.size(),
+                breakdown.anomalies > 0 ? " [degraded]" : "");
+  std::string out = line;
+  for (const CriticalStep& step : steps) {
+    std::snprintf(line, sizeof line, "  %c +%-10s %-12s %10s  %s %s\n",
+                  step.on_winning_path ? '*' : ' ',
+                  format_duration(step.start - t0).c_str(), step.label.c_str(),
+                  format_duration(step.end - step.start).c_str(),
+                  step.node.c_str(), step.detail.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "  phases: queue=%s sched=%s net=%s exec_ovh=%s vm=%s "
+                "deliver=%s unattributed=%s  retry_overhead=%s\n",
+                format_duration(breakdown.phase(Phase::kQueue)).c_str(),
+                format_duration(breakdown.phase(Phase::kSchedule)).c_str(),
+                format_duration(breakdown.phase(Phase::kNetOut) +
+                                breakdown.phase(Phase::kNetBack)).c_str(),
+                format_duration(breakdown.phase(Phase::kExecOverhead)).c_str(),
+                format_duration(breakdown.phase(Phase::kVm)).c_str(),
+                format_duration(breakdown.phase(Phase::kConclude) +
+                                breakdown.phase(Phase::kDeliver)).c_str(),
+                format_duration(breakdown.phase(Phase::kUnattributed)).c_str(),
+                format_duration(breakdown.retry_overhead).c_str());
+  out += line;
+  return out;
+}
+
+std::string wait_graph_report(const WaitGraph& graph) {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof line,
+                "wait-graph: %zu tasklet(s), %zu complete, %" PRIu64
+                " anomalies, %s total on-path, %s retry overhead\n",
+                graph.tasklets, graph.complete,
+                static_cast<std::uint64_t>(graph.anomalies),
+                format_duration(graph.total).c_str(),
+                format_duration(graph.retry_overhead).c_str());
+  out += line;
+  std::snprintf(line, sizeof line, "%-14s %9s %7s %10s %10s %10s\n", "PHASE",
+                "TOTAL", "SHARE", "P50", "P95", "P99");
+  out += line;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseAggregate& agg = graph.phases[i];
+    const double share =
+        graph.total > 0
+            ? 100.0 * static_cast<double>(agg.total) / static_cast<double>(graph.total)
+            : 0.0;
+    std::snprintf(
+        line, sizeof line, "%-14s %9s %6.1f%% %10s %10s %10s\n",
+        std::string(phase_name(static_cast<Phase>(i))).c_str(),
+        format_duration(agg.total).c_str(), share,
+        format_duration(static_cast<SimTime>(agg.quantile(0.5))).c_str(),
+        format_duration(static_cast<SimTime>(agg.quantile(0.95))).c_str(),
+        format_duration(static_cast<SimTime>(agg.quantile(0.99))).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-14s %8s %5s %5s %10s %10s %10s %10s\n",
+                "PROVIDER", "ATTEMPTS", "WINS", "LOSS", "BUSY", "VM", "NET",
+                "OVERHEAD");
+  out += line;
+  for (const auto& [name, agg] : graph.providers) {
+    std::snprintf(line, sizeof line,
+                  "%-14s %8" PRIu64 " %5" PRIu64 " %5" PRIu64
+                  " %10s %10s %10s %10s\n",
+                  name.c_str(), agg.attempts, agg.wins, agg.losses,
+                  format_duration(agg.busy).c_str(),
+                  format_duration(agg.vm).c_str(),
+                  format_duration(agg.net).c_str(),
+                  format_duration(agg.overhead).c_str());
+    out += line;
+  }
+  out += "status:";
+  for (const auto& [status, count] : graph.statuses) {
+    std::snprintf(line, sizeof line, " %s=%" PRIu64, status.c_str(), count);
+    out += line;
+  }
+  out += "\nslowest:";
+  for (const auto& [id, latency] : graph.slowest) {
+    std::snprintf(line, sizeof line, " %s(%s)", id.to_string().c_str(),
+                  format_duration(latency).c_str());
+    out += line;
+  }
+  out += "\n";
+  return out;
+}
+
+std::string wait_graph_diff(const WaitGraph& a, const WaitGraph& b) {
+  char line[192];
+  std::string out;
+  const double mean_a =
+      a.tasklets > 0 ? static_cast<double>(a.total) / static_cast<double>(a.tasklets) : 0;
+  const double mean_b =
+      b.tasklets > 0 ? static_cast<double>(b.total) / static_cast<double>(b.tasklets) : 0;
+  std::snprintf(line, sizeof line,
+                "A/B: %zu vs %zu tasklet(s), mean latency %s vs %s (%+.1f%%)\n",
+                a.tasklets, b.tasklets,
+                format_duration(static_cast<SimTime>(mean_a)).c_str(),
+                format_duration(static_cast<SimTime>(mean_b)).c_str(),
+                mean_a > 0 ? 100.0 * (mean_b - mean_a) / mean_a : 0.0);
+  out += line;
+  std::snprintf(line, sizeof line, "%-14s %8s %8s %8s | %10s %10s %8s\n",
+                "PHASE", "SHARE(A)", "SHARE(B)", "DELTA", "P95(A)", "P95(B)",
+                "DELTA");
+  out += line;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const double share_a =
+        a.total > 0 ? 100.0 * static_cast<double>(a.phases[i].total) /
+                          static_cast<double>(a.total)
+                    : 0.0;
+    const double share_b =
+        b.total > 0 ? 100.0 * static_cast<double>(b.phases[i].total) /
+                          static_cast<double>(b.total)
+                    : 0.0;
+    const double p95_a = a.phases[i].quantile(0.95);
+    const double p95_b = b.phases[i].quantile(0.95);
+    const double p95_delta = p95_a > 0 ? 100.0 * (p95_b - p95_a) / p95_a : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%-14s %7.1f%% %7.1f%% %+7.1f%% | %10s %10s %+7.1f%%\n",
+                  std::string(phase_name(static_cast<Phase>(i))).c_str(),
+                  share_a, share_b, share_b - share_a,
+                  format_duration(static_cast<SimTime>(p95_a)).c_str(),
+                  format_duration(static_cast<SimTime>(p95_b)).c_str(),
+                  p95_delta);
+    out += line;
+  }
+  return out;
+}
+
+Result<std::vector<Span>> parse_trace_json(std::string_view text) {
+  TASKLETS_ASSIGN_OR_RETURN(const json::Value root, json::parse(text));
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr) {
+    // Flight-recorder bundle: the Chrome document nests under "trace".
+    if (const json::Value* trace = root.find("trace"); trace != nullptr) {
+      events = trace->find("traceEvents");
+    }
+  }
+  if (events == nullptr || !events->is_array()) {
+    return make_error(StatusCode::kDataLoss,
+                      "no traceEvents array (not a trace export or bundle)");
+  }
+  std::vector<Span> spans;
+  spans.reserve(events->array.size());
+  for (const json::Value& event : events->array) {
+    if (!event.is_object()) continue;
+    const json::Value* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    Span span;
+    if (ph->string == "i") {
+      span.instant = true;
+    } else if (ph->string != "X") {
+      continue;  // metadata / flow events from other tools
+    }
+    if (const json::Value* name = event.find("name"); name != nullptr) {
+      span.name = name->string;
+    }
+    const json::Value* ts = event.find("ts");
+    if (ts == nullptr || !ts->is_number()) continue;
+    span.start = static_cast<SimTime>(std::llround(ts->number * 1e3));
+    const json::Value* dur = event.find("dur");
+    span.end = span.instant || dur == nullptr
+                   ? span.start
+                   : span.start + static_cast<SimTime>(
+                                      std::llround(dur->as_number() * 1e3));
+    if (const json::Value* tid = event.find("tid"); tid != nullptr) {
+      span.node = NodeId{tid->as_uint()};
+    }
+    if (const json::Value* args = event.find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [key, value] : args->object) {
+        if (key == "tasklet") {
+          span.tasklet = TaskletId{parse_id_value(value.as_string())};
+        } else if (key == "trace") {
+          span.trace_id = value.as_uint();
+        } else if (key == "span") {
+          span.span_id = value.as_uint();
+        } else if (key == "parent") {
+          span.parent_span = value.as_uint();
+        } else if (value.is_string()) {
+          span.args.emplace_back(key, value.string);
+        }
+      }
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace tasklets::analysis

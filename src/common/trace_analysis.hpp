@@ -1,0 +1,201 @@
+// Trace analysis: turns the raw span soup a TraceStore collects into
+// attribution — *where* a tasklet's latency went, not just that it happened.
+//
+// Three layers:
+//
+//   * Span trees. build_tasklet_trace() reconstructs one tasklet's causal
+//     tree from its spans, tolerating chaos-degraded input: duplicated span
+//     ids are dropped (counted), spans whose parent never arrived become
+//     extra roots (counted), and ordering is re-derived from timestamps, so
+//     a damaged trace yields a degraded report — never a crash.
+//
+//   * Phase breakdown + critical path. analyze_tasklet() slices the root
+//     "submit" span into on-path phases (submit wire, broker queue, schedule
+//     gap, outbound net, provider-side overhead, VM execution, return net,
+//     broker conclude, delivery) anchored on the *winning* attempt — the one
+//     whose result actually concluded the tasklet. Every interval is clamped
+//     non-negative (clamps are counted as anomalies) and the residual lands
+//     in `unattributed`, so the named phases plus the residual always sum to
+//     the end-to-end latency exactly. Time burnt in losing attempts
+//     (retries, speculation, straggler fences) is accounted off-path as
+//     retry_overhead. critical_path() renders the attempt chain itself.
+//
+//   * Wait graph. analyze_all() aggregates breakdowns pool-wide: per-phase
+//     totals and p50/p95/p99, per-provider time-in-phase (busy / vm / net /
+//     overhead, wins vs losses), terminal-status counts and the slowest
+//     tasklets — the report every perf hunt starts from. Reports render as
+//     human text; wait_graph_diff() compares two runs A/B.
+//
+// parse_trace_json() loads spans back from the Chrome trace_event JSON the
+// store exports (and from flight-recorder bundles), so `taskletc analyze`
+// works offline on any dumped artifact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "common/trace.hpp"
+
+namespace tasklets::analysis {
+
+// On-path phases of one tasklet's end-to-end latency, in timeline order.
+enum class Phase : int {
+  kSubmitWire,     // consumer submit -> broker receive
+  kQueue,          // broker queue wait (submit receive -> first placement)
+  kSchedule,       // first placement -> winning attempt issue (retry waits)
+  kNetOut,         // winning attempt issue -> provider accept
+  kExecOverhead,   // provider-side slot wait + dispatch minus VM time
+  kVm,             // VM execution window
+  kNetBack,        // provider result send -> broker receive
+  kConclude,       // broker receive -> verdict (voting, bookkeeping)
+  kDeliver,        // broker report send -> consumer terminal
+  kUnattributed,   // residual the named phases did not explain
+};
+inline constexpr std::size_t kPhaseCount = 10;
+
+[[nodiscard]] std::string_view phase_name(Phase phase) noexcept;
+[[nodiscard]] inline std::size_t phase_index(Phase phase) noexcept {
+  return static_cast<std::size_t>(phase);
+}
+
+// One span plus its resolved children (indices into TaskletTrace::nodes).
+struct SpanNode {
+  Span span;
+  std::vector<std::size_t> children;
+};
+
+// One tasklet's reconstructed span tree. Nodes are ordered by
+// (start, span id) — causal for spans stamped against one runtime clock.
+struct TaskletTrace {
+  TaskletId id;
+  std::vector<SpanNode> nodes;
+  std::vector<std::size_t> roots;  // nodes with no resolvable parent
+  std::uint32_t duplicates = 0;    // spans dropped for span-id reuse
+  std::uint32_t orphans = 0;       // parent referenced but missing
+
+  // First node with `name` in causal order, or nullptr.
+  [[nodiscard]] const SpanNode* first(std::string_view name) const noexcept;
+};
+
+// One broker->provider attempt, with its provider-side children resolved.
+struct AttemptView {
+  std::uint64_t span_id = 0;
+  std::string provider;  // "node-N" from the span args ("" when dropped)
+  std::string status;    // ok / timeout / straggler / abandoned / ...
+  SimTime start = 0;
+  SimTime end = 0;
+  SimTime exec_start = 0;  // child "execute" span window (0/0 when missing)
+  SimTime exec_end = 0;
+  SimTime vm = 0;          // child "vm" span duration
+  bool has_execute = false;
+  bool winner = false;
+
+  [[nodiscard]] SimTime duration() const noexcept {
+    return end > start ? end - start : 0;
+  }
+};
+
+struct PhaseBreakdown {
+  TaskletId tasklet;
+  std::string status;    // terminal status (root span / report instant args)
+  std::string provider;  // winning attempt's provider ("" when none)
+  SimTime total = 0;     // end-to-end latency (root span duration)
+  // Indexed by phase_index(); sums to `total` exactly (the residual is
+  // phases[kUnattributed]).
+  std::array<SimTime, kPhaseCount> phases{};
+  SimTime retry_overhead = 0;  // off-path: losing attempts' wall time
+  std::vector<AttemptView> attempts;
+  std::uint32_t anomalies = 0;  // clamped intervals + tree damage
+  // Root span, winning attempt, and its execute+vm children all present.
+  bool complete = false;
+
+  [[nodiscard]] SimTime phase(Phase p) const noexcept {
+    return phases[phase_index(p)];
+  }
+  // Latency explained by named phases (total minus the residual).
+  [[nodiscard]] SimTime attributed() const noexcept {
+    return total - phases[phase_index(Phase::kUnattributed)];
+  }
+};
+
+// One step of the rendered critical path.
+struct CriticalStep {
+  std::string label;  // "queue", "attempt#2", "deliver", ...
+  std::string node;   // emitting / executing node
+  std::string detail; // status, provider, ...
+  SimTime start = 0;
+  SimTime end = 0;
+  bool on_winning_path = true;
+};
+
+// Reconstruction + per-tasklet analysis. `spans` is one tasklet's spans in
+// any order (damaged input allowed).
+[[nodiscard]] TaskletTrace build_tasklet_trace(std::vector<Span> spans);
+[[nodiscard]] PhaseBreakdown analyze_tasklet(const TaskletTrace& trace);
+[[nodiscard]] std::vector<CriticalStep> critical_path(const TaskletTrace& trace);
+
+// --- pool-level aggregation --------------------------------------------------
+
+struct PhaseAggregate {
+  SimTime total = 0;
+  std::vector<double> samples;  // one per tasklet, ns
+
+  [[nodiscard]] double quantile(double q) const;
+};
+
+struct ProviderAggregate {
+  std::uint64_t attempts = 0;
+  std::uint64_t wins = 0;    // attempts that concluded their tasklet
+  std::uint64_t losses = 0;  // fenced / timed out / superseded attempts
+  SimTime busy = 0;          // total attempt wall time on this provider
+  SimTime vm = 0;
+  SimTime net = 0;           // attempt time outside the execute window
+  SimTime overhead = 0;      // execute window minus vm
+};
+
+struct WaitGraph {
+  std::size_t tasklets = 0;
+  std::size_t complete = 0;
+  std::uint64_t anomalies = 0;
+  SimTime total = 0;           // summed end-to-end latency
+  SimTime retry_overhead = 0;  // summed off-path attempt time
+  std::array<PhaseAggregate, kPhaseCount> phases;
+  std::map<std::string, ProviderAggregate> providers;
+  std::map<std::string, std::uint64_t> statuses;
+  // Slowest tasklets by end-to-end latency, descending; capped.
+  std::vector<std::pair<TaskletId, SimTime>> slowest;
+  static constexpr std::size_t kSlowestKept = 8;
+
+  void add(const PhaseBreakdown& breakdown);
+};
+
+// Groups `spans` by tasklet, analyzes each, and aggregates. Instant-only
+// groups (e.g. "health" alerts on the invalid tasklet id) are skipped.
+[[nodiscard]] WaitGraph analyze_all(const std::vector<Span>& spans);
+
+// --- rendering ---------------------------------------------------------------
+
+// "1.234ms" / "12.3s" style duration for reports.
+[[nodiscard]] std::string format_duration(SimTime ns);
+
+[[nodiscard]] std::string breakdown_json(const PhaseBreakdown& breakdown);
+[[nodiscard]] std::string critical_path_report(const TaskletTrace& trace);
+[[nodiscard]] std::string wait_graph_report(const WaitGraph& graph);
+// A/B comparison of two runs: per-phase share and quantile deltas.
+[[nodiscard]] std::string wait_graph_diff(const WaitGraph& a,
+                                          const WaitGraph& b);
+
+// --- loading dumped artifacts ------------------------------------------------
+
+// Spans from a Chrome trace_event document (TraceStore::export_chrome_json /
+// ChromeTraceWriter output) or a flight-recorder bundle (the "trace" member).
+[[nodiscard]] Result<std::vector<Span>> parse_trace_json(std::string_view text);
+
+}  // namespace tasklets::analysis

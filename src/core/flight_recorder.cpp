@@ -1,0 +1,174 @@
+#include "core/flight_recorder.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace tasklets::core {
+
+namespace {
+constexpr std::string_view kLog = "flight";
+
+// Filesystem-safe reason slug for the bundle filename.
+std::string sanitize_reason(std::string_view reason) {
+  std::string out;
+  for (const char c : reason.substr(0, 40)) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(safe ? c : '_');
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)) {}
+
+void FlightRecorder::record_span(const Span& span) {
+  const std::scoped_lock lock(mutex_);
+  ++spans_seen_;
+  spans_.push_back(span);
+  while (spans_.size() > config_.span_capacity) spans_.pop_front();
+}
+
+void FlightRecorder::set_log_source(std::shared_ptr<RingBufferSink> sink) {
+  const std::scoped_lock lock(mutex_);
+  log_source_ = std::move(sink);
+}
+
+std::vector<Span> FlightRecorder::recent_spans() const {
+  const std::scoped_lock lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<Span> FlightRecorder::recent_spans_for(TaskletId id) const {
+  std::vector<Span> out;
+  {
+    const std::scoped_lock lock(mutex_);
+    for (const Span& span : spans_) {
+      if (span.tasklet == id) out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start != b.start ? a.start < b.start : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+std::uint64_t FlightRecorder::spans_seen() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_seen_;
+}
+
+std::uint64_t FlightRecorder::dumps_written() const {
+  const std::scoped_lock lock(mutex_);
+  return dumps_;
+}
+
+std::string FlightRecorder::render_bundle(const DumpContext& ctx) const {
+  std::vector<Span> spans;
+  std::vector<std::string> logs;
+  std::uint64_t seen = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    spans.assign(spans_.begin(), spans_.end());
+    seen = spans_seen_;
+    if (log_source_ != nullptr) logs = log_source_->lines();
+  }
+
+  std::string out = "{\"bundle\":\"tasklets-flight\",\"version\":1,\"reason\":";
+  metrics::json_append_escaped(out, ctx.reason);
+  out += ",\"dumped_at\":" + std::to_string(ctx.now);
+  out += ",\"spans_seen\":" + std::to_string(seen);
+  out += ",\"spans_retained\":" + std::to_string(spans.size());
+  out += ",\"status\":";
+  out += ctx.status_json.empty() ? "null" : ctx.status_json;
+  out += ",\"alerts\":";
+  out += ctx.alerts_json.empty() ? "null" : ctx.alerts_json;
+
+  out += ",\"series\":{";
+  if (ctx.history != nullptr) {
+    const SimTime since = ctx.now - config_.series_window;
+    bool first_series = true;
+    for (const std::string& name : ctx.history->names()) {
+      const metrics::TimeSeries* series = ctx.history->series(name);
+      if (series == nullptr) continue;
+      if (!first_series) out += ",";
+      first_series = false;
+      metrics::json_append_escaped(out, name);
+      out += ":[";
+      bool first_point = true;
+      for (const metrics::SeriesPoint& point : series->window(since)) {
+        if (!first_point) out += ",";
+        first_point = false;
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "[%lld,%.9g]",
+                      static_cast<long long>(point.at), point.value);
+        out += buf;
+      }
+      out += "]";
+    }
+  }
+  out += "},\"logs\":[";
+  bool first_log = true;
+  for (const std::string& line : logs) {
+    if (!first_log) out += ",";
+    first_log = false;
+    metrics::json_append_escaped(out, line);
+  }
+  out += "],\"trace\":{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first_span = true;
+  for (const Span& span : spans) {
+    if (!first_span) out += ",";
+    first_span = false;
+    append_chrome_event(out, span);
+  }
+  out += "]}}";
+  return out;
+}
+
+Result<std::string> FlightRecorder::dump_to_file(const DumpContext& ctx,
+                                                 bool triggered) {
+  std::string path;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (dumps_ >= config_.max_dumps) {
+      return make_error(StatusCode::kResourceExhausted,
+                        "flight-recorder dump cap reached");
+    }
+    if (triggered && dumped_once_ &&
+        ctx.now - last_dump_at_ < config_.min_dump_interval) {
+      return make_error(StatusCode::kResourceExhausted,
+                        "flight-recorder dump rate-limited");
+    }
+    ++dumps_;
+    last_dump_at_ = ctx.now;
+    dumped_once_ = true;
+    path = config_.dump_dir + "/flight-" + sanitize_reason(ctx.reason) + "-" +
+           std::to_string(dumps_) + ".json";
+  }
+
+  const std::string bundle = render_bundle(ctx);
+  // Best-effort single-level create: a missing dump dir must not turn every
+  // triggered dump into a silent failure. EEXIST (the common case) is fine.
+  ::mkdir(config_.dump_dir.c_str(), 0755);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return make_error(StatusCode::kUnavailable, "cannot open " + path);
+  }
+  const bool ok =
+      std::fwrite(bundle.data(), 1, bundle.size(), file) == bundle.size();
+  std::fclose(file);
+  if (!ok) return make_error(StatusCode::kDataLoss, "short write to " + path);
+  TASKLETS_LOG(kInfo, kLog)
+          .kv("path", path)
+          .kv("reason", ctx.reason)
+          .kv("bytes", bundle.size())
+      << "flight-recorder bundle written";
+  return path;
+}
+
+}  // namespace tasklets::core

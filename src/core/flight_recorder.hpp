@@ -1,0 +1,90 @@
+// FlightRecorder: always-on bounded postmortem capture.
+//
+// Keeps a small ring of the most recent spans (fed by a TraceStore observer,
+// so it sees even spans the store's capacity cap drops), a handle on the
+// admin log ring, and — at dump time — snapshots the metrics series windows
+// and broker/alert state into one self-contained JSON bundle. The OpsPlane
+// triggers a dump when a health rule newly fires (rate-limited), and the
+// admin `dump` command triggers one on demand; `taskletc analyze` reads the
+// bundle back into critical-path and wait-graph reports.
+//
+// Bundles are written as <dump_dir>/flight-<reason>-<seq>.json. A per-run
+// dump cap bounds disk usage no matter how often rules flap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/status.hpp"
+#include "common/trace.hpp"
+
+namespace tasklets::core {
+
+struct FlightRecorderConfig {
+  bool enabled = false;
+  // Recent-span ring capacity (8k spans ≈ the last ~1k tasklet lifecycles).
+  std::size_t span_capacity = 8192;
+  // How much series history lands in a bundle.
+  SimTime series_window = 60 * kSecond;
+  // Where bundles are written ("." = current directory).
+  std::string dump_dir = ".";
+  // Hard cap on bundles per run, and the minimum spacing between
+  // rule-triggered dumps (admin-requested dumps ignore the spacing).
+  std::size_t max_dumps = 8;
+  SimTime min_dump_interval = 5 * kSecond;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  // Span feed; any thread (TraceStore calls this from under its mutex).
+  void record_span(const Span& span);
+
+  // Log lines included in bundles (the admin `logs` ring). May be null.
+  void set_log_source(std::shared_ptr<RingBufferSink> sink);
+
+  [[nodiscard]] std::vector<Span> recent_spans() const;
+  // One tasklet's retained spans in causal order.
+  [[nodiscard]] std::vector<Span> recent_spans_for(TaskletId id) const;
+  [[nodiscard]] std::uint64_t spans_seen() const;
+  [[nodiscard]] std::uint64_t dumps_written() const;
+
+  // Everything a bundle snapshots besides the recorder's own rings. The
+  // pre-rendered JSON documents come from the OpsPlane's admin handlers so
+  // bundle contents match what the live endpoint would have answered.
+  struct DumpContext {
+    std::string reason;
+    SimTime now = 0;
+    std::string status_json;  // admin `status` document ("" -> null)
+    std::string alerts_json;  // admin `alerts` document ("" -> null)
+    const metrics::MetricsHistory* history = nullptr;
+  };
+
+  // Renders the self-contained bundle document.
+  [[nodiscard]] std::string render_bundle(const DumpContext& ctx) const;
+
+  // Renders and writes one bundle; returns its path. `triggered` dumps
+  // (health-rule firings) are rate-limited by min_dump_interval; both kinds
+  // honour max_dumps.
+  Result<std::string> dump_to_file(const DumpContext& ctx, bool triggered);
+
+ private:
+  FlightRecorderConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<Span> spans_;
+  std::uint64_t spans_seen_ = 0;
+  std::shared_ptr<RingBufferSink> log_source_;
+  std::uint64_t dumps_ = 0;
+  SimTime last_dump_at_ = 0;
+  bool dumped_once_ = false;
+};
+
+}  // namespace tasklets::core

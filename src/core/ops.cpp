@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/trace_analysis.hpp"
 
 namespace tasklets::core {
 
@@ -114,6 +115,25 @@ OpsPlane::OpsPlane(OpsConfig config, BrokerStateFn broker_state,
       trace_(trace),
       history_(config_.series_capacity),
       engine_(parse_rules_lenient(config_.rules), trace) {
+  if (config_.capture_logs) {
+    // Tee the process logger into a ring for the admin `logs` command and
+    // flight-recorder bundles; the previous sink keeps every record.
+    log_ring_ = std::make_shared<RingBufferSink>(config_.log_buffer);
+    previous_sink_ = Logger::instance().sink();
+    Logger::instance().set_sink(std::make_shared<TeeSink>(
+        std::vector<std::shared_ptr<LogSink>>{previous_sink_, log_ring_}));
+    sink_installed_ = true;
+  }
+  if (config_.flight.enabled) {
+    recorder_ = std::make_unique<FlightRecorder>(config_.flight);
+    recorder_->set_log_source(log_ring_);
+    if (trace_ != nullptr) {
+      trace_->set_observer(
+          [recorder = recorder_.get()](const Span& span) {
+            recorder->record_span(span);
+          });
+    }
+  }
   if (start_sampler) {
     // The sampler snapshots the registry into history_ itself, then calls
     // back for the rule pass.
@@ -141,7 +161,23 @@ void OpsPlane::evaluate(SimTime now) {
   first_sample_at_.compare_exchange_strong(expected, now,
                                            std::memory_order_relaxed);
   last_sample_at_.store(now, std::memory_order_relaxed);
-  engine_.evaluate(history_, now);
+  const std::vector<health::Alert> fired = engine_.evaluate(history_, now);
+  if (recorder_ != nullptr && !fired.empty()) {
+    // A rule newly fired: capture a postmortem bundle while the evidence is
+    // still in the rings. Rate-limited inside the recorder.
+    FlightRecorder::DumpContext ctx;
+    ctx.reason = fired.front().rule;
+    ctx.now = now;
+    ctx.status_json = handle_status();
+    ctx.alerts_json = handle_alerts();
+    ctx.history = &history_;
+    const auto result = recorder_->dump_to_file(ctx, /*triggered=*/true);
+    if (!result.is_ok()) {
+      TASKLETS_LOG(kDebug, kLog).kv("reason", ctx.reason).kv(
+          "error", result.status().message())
+          << "flight-recorder dump skipped";
+    }
+  }
 }
 
 void OpsPlane::stop() {
@@ -151,6 +187,14 @@ void OpsPlane::stop() {
   if (admin_ != nullptr) {
     admin_->stop();
     admin_.reset();
+  }
+  // Detach the span observer before the recorder dies, and give the logger
+  // its previous sink back.
+  if (trace_ != nullptr && recorder_ != nullptr) trace_->set_observer(nullptr);
+  if (sink_installed_) {
+    Logger::instance().set_sink(previous_sink_);
+    previous_sink_.reset();
+    sink_installed_ = false;
   }
 }
 
@@ -170,9 +214,12 @@ std::string OpsPlane::handle(const net::AdminRequest& request) {
   if (request.cmd == "alerts") return handle_alerts();
   if (request.cmd == "trace") return handle_trace(request);
   if (request.cmd == "top") return handle_top();
+  if (request.cmd == "profile") return handle_profile(request);
+  if (request.cmd == "logs") return handle_logs(request);
+  if (request.cmd == "dump") return handle_dump();
   return error_json(
       "unknown command (try: status, metrics, series?name=, providers, "
-      "alerts, trace?tasklet=, top)");
+      "alerts, trace?tasklet=, profile?tasklet=, logs?n=, dump, top)");
 }
 
 std::string OpsPlane::handle_status() {
@@ -472,8 +519,121 @@ std::string OpsPlane::handle_top() {
     text += line;
   }
 
+  // Phase attribution over recent spans: the flight recorder's ring when one
+  // runs (bounded, cheap), else the store while it is still small.
+  std::vector<Span> spans;
+  if (recorder_ != nullptr) {
+    spans = recorder_->recent_spans();
+  } else if (trace_ != nullptr && trace_->size() <= 65536) {
+    spans = trace_->all();
+  }
+  if (!spans.empty()) {
+    const analysis::WaitGraph graph = analysis::analyze_all(spans);
+    if (graph.tasklets > 0) {
+      std::snprintf(line, sizeof line,
+                    "%-14s %7s %9s %9s %9s   (last %zu tasklets)\n", "PHASE",
+                    "SHARE", "P50", "P95", "P99", graph.tasklets);
+      text += line;
+      for (std::size_t i = 0; i < analysis::kPhaseCount; ++i) {
+        const analysis::PhaseAggregate& agg = graph.phases[i];
+        const double share =
+            graph.total > 0 ? 100.0 * static_cast<double>(agg.total) /
+                                  static_cast<double>(graph.total)
+                            : 0.0;
+        std::snprintf(
+            line, sizeof line, "%-14s %6.1f%% %9s %9s %9s\n",
+            std::string(analysis::phase_name(static_cast<analysis::Phase>(i)))
+                .c_str(),
+            share,
+            analysis::format_duration(static_cast<SimTime>(agg.quantile(0.5)))
+                .c_str(),
+            analysis::format_duration(static_cast<SimTime>(agg.quantile(0.95)))
+                .c_str(),
+            analysis::format_duration(static_cast<SimTime>(agg.quantile(0.99)))
+                .c_str());
+        text += line;
+      }
+    }
+  }
+
   std::string out = "{\"text\":";
   metrics::json_append_escaped(out, text);
+  out += "}";
+  return out;
+}
+
+std::vector<Span> OpsPlane::spans_for_analysis(TaskletId id) const {
+  std::vector<Span> spans;
+  if (trace_ != nullptr) spans = trace_->spans_for(id);
+  if (spans.empty() && recorder_ != nullptr) {
+    spans = recorder_->recent_spans_for(id);
+  }
+  return spans;
+}
+
+std::string OpsPlane::handle_profile(const net::AdminRequest& request) {
+  if (trace_ == nullptr && recorder_ == nullptr) {
+    return error_json("tracing disabled (SystemConfig::tracing)");
+  }
+  const TaskletId id = parse_tasklet_id(request.param("tasklet"));
+  if (!id.valid()) return error_json("profile requires ?tasklet=<id>");
+  const std::vector<Span> spans = spans_for_analysis(id);
+  if (spans.empty()) return error_json("no spans for " + id.to_string());
+
+  const analysis::TaskletTrace trace = analysis::build_tasklet_trace(spans);
+  std::string out = "{\"profile\":";
+  out += analysis::breakdown_json(analysis::analyze_tasklet(trace));
+  out += ",\"critical_path\":";
+  metrics::json_append_escaped(out, analysis::critical_path_report(trace));
+  out += "}";
+  return out;
+}
+
+std::string OpsPlane::handle_logs(const net::AdminRequest& request) {
+  if (log_ring_ == nullptr) {
+    return error_json("log capture disabled (OpsConfig::capture_logs)");
+  }
+  std::size_t n = 50;
+  const std::string_view param = request.param("n");
+  if (!param.empty()) {
+    char* end = nullptr;
+    const std::string copy(param);
+    const unsigned long long parsed = std::strtoull(copy.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      n = static_cast<std::size_t>(parsed);
+    }
+  }
+  const std::vector<std::string> lines = log_ring_->lines();
+  const std::size_t first_index = lines.size() > n ? lines.size() - n : 0;
+  std::string out = "{\"count\":";
+  append_u64(out, lines.size() - first_index);
+  out += ",\"buffered\":";
+  append_u64(out, lines.size());
+  out += ",\"lines\":[";
+  for (std::size_t i = first_index; i < lines.size(); ++i) {
+    if (i > first_index) out += ",";
+    metrics::json_append_escaped(out, lines[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OpsPlane::handle_dump() {
+  if (recorder_ == nullptr) {
+    return error_json("flight recorder disabled (OpsConfig::flight)");
+  }
+  FlightRecorder::DumpContext ctx;
+  ctx.reason = "admin";
+  ctx.now = now_anchor();
+  ctx.status_json = handle_status();
+  ctx.alerts_json = handle_alerts();
+  ctx.history = &history_;
+  const auto result = recorder_->dump_to_file(ctx, /*triggered=*/false);
+  if (!result.is_ok()) return error_json(result.status().message());
+  std::string out = "{\"path\":";
+  metrics::json_append_escaped(out, result.value());
+  out += ",\"dumps\":";
+  append_u64(out, recorder_->dumps_written());
   out += "}";
   return out;
 }

@@ -27,8 +27,10 @@
 #include "broker/pool_stats.hpp"
 #include "common/clock.hpp"
 #include "common/health_rules.hpp"
+#include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "core/flight_recorder.hpp"
 #include "net/admin.hpp"
 
 namespace tasklets::core {
@@ -50,6 +52,15 @@ struct OpsConfig {
   // Health/SLO rules in the health_rules.hpp syntax. Invalid rules are
   // logged and skipped, never fatal.
   std::vector<std::string> rules;
+  // Tee the process logger into a ring the admin `logs` command (and
+  // flight-recorder bundles) serve. The previous sink keeps receiving every
+  // record; the plane restores it on stop().
+  bool capture_logs = true;
+  std::size_t log_buffer = 512;
+  // Alert-triggered postmortem capture (core/flight_recorder.hpp). When
+  // enabled, a health rule newly firing dumps a bundle, and the admin `dump`
+  // command does so on demand.
+  FlightRecorderConfig flight{};
 };
 
 // Parses `texts` into rules, logging and skipping invalid entries.
@@ -93,6 +104,12 @@ class OpsPlane {
   [[nodiscard]] health::HealthRuleEngine& rule_engine() noexcept {
     return engine_;
   }
+  // The flight recorder, or nullptr unless OpsConfig::flight.enabled.
+  [[nodiscard]] FlightRecorder* flight_recorder() noexcept {
+    return recorder_.get();
+  }
+  // The captured-log ring, or nullptr unless OpsConfig::capture_logs.
+  [[nodiscard]] RingBufferSink* log_ring() noexcept { return log_ring_.get(); }
   [[nodiscard]] bool admin_listening() const noexcept {
     return admin_ != nullptr && admin_->listening();
   }
@@ -118,6 +135,14 @@ class OpsPlane {
   [[nodiscard]] std::string handle_alerts();
   [[nodiscard]] std::string handle_trace(const net::AdminRequest& request);
   [[nodiscard]] std::string handle_top();
+  [[nodiscard]] std::string handle_profile(const net::AdminRequest& request);
+  [[nodiscard]] std::string handle_logs(const net::AdminRequest& request);
+  [[nodiscard]] std::string handle_dump();
+
+  // Spans of one tasklet: the store when it still has them, else the flight
+  // recorder's recent ring (the store may have been drained by a streaming
+  // exporter).
+  [[nodiscard]] std::vector<Span> spans_for_analysis(TaskletId id) const;
 
   // "now" for windowed queries: the last sample time — correct under both
   // clocks, since all series points carry the same timebase.
@@ -137,6 +162,10 @@ class OpsPlane {
   std::atomic<SimTime> first_sample_at_{-1};
   std::unique_ptr<metrics::MetricsSampler> sampler_;
   std::unique_ptr<net::AdminServer> admin_;
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::shared_ptr<RingBufferSink> log_ring_;
+  std::shared_ptr<LogSink> previous_sink_;
+  bool sink_installed_ = false;
 };
 
 }  // namespace tasklets::core

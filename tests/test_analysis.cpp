@@ -1,0 +1,590 @@
+// Tests for the trace-analysis engine (common/trace_analysis): span-tree
+// reconstruction under chaos-degraded input, phase breakdowns that re-sum
+// exactly, wait-graph aggregation determinism, Chrome trace round-trips
+// (including the incremental writer + store drain), the JSON parser under
+// them (common/json), and the flight recorder (core/flight_recorder) both
+// standalone and triggered by a health rule through the sim ops plane.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/trace.hpp"
+#include "common/trace_analysis.hpp"
+#include "core/flight_recorder.hpp"
+#include "core/kernels.hpp"
+#include "core/ops.hpp"
+#include "core/sim_cluster.hpp"
+#include "core/system.hpp"
+#include "net/admin.hpp"
+
+namespace tasklets {
+namespace {
+
+using analysis::Phase;
+
+// --- JSON parser -------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsAndNesting) {
+  const auto value =
+      json::parse(R"({"a":1.5,"b":[1,2,3],"c":{"d":"x"},"e":true,"f":null})");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_DOUBLE_EQ(value->find("a")->as_number(), 1.5);
+  ASSERT_TRUE(value->find("b")->is_array());
+  EXPECT_EQ(value->find("b")->array.size(), 3u);
+  EXPECT_EQ(value->find("b")->array[2].as_int(), 3);
+  EXPECT_EQ(value->find("c")->find("d")->as_string(), "x");
+  EXPECT_TRUE(value->find("e")->boolean);
+  EXPECT_TRUE(value->find("f")->is_null());
+  EXPECT_EQ(value->find("missing"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const auto value = json::parse(R"({"s":"a\"b\\c\n\tAé"})");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value->find("s")->string, "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").is_ok());
+  EXPECT_FALSE(json::parse("{").is_ok());
+  EXPECT_FALSE(json::parse("{\"a\":}").is_ok());
+  EXPECT_FALSE(json::parse("[1,2,]").is_ok());
+  EXPECT_FALSE(json::parse("{} trailing").is_ok());
+  EXPECT_FALSE(json::parse("nul").is_ok());
+  // Depth bomb: deeper nesting than max_depth must error, not overflow.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json::parse(deep, 96).is_ok());
+}
+
+// --- span-tree reconstruction ------------------------------------------------
+
+Span make_span(std::uint64_t span_id, std::uint64_t parent, std::string name,
+               SimTime start, SimTime end, TaskletId tasklet = TaskletId{7},
+               std::vector<std::pair<std::string, std::string>> args = {}) {
+  Span span;
+  span.trace_id = tasklet.value();
+  span.span_id = span_id;
+  span.parent_span = parent;
+  span.instant = start == end && (name == "report" || name == "schedule");
+  span.name = std::move(name);
+  span.node = NodeId{1};
+  span.tasklet = tasklet;
+  span.start = start;
+  span.end = end;
+  span.args = std::move(args);
+  return span;
+}
+
+// The canonical healthy lifecycle this file reuses: a 100 us tasklet with a
+// winning attempt, a fenced losing attempt, and every handoff covered.
+std::vector<Span> healthy_lifecycle() {
+  std::vector<Span> spans;
+  spans.push_back(make_span(1, 0, "submit", 1000, 101000, TaskletId{7},
+                            {{"status", "completed"}}));
+  spans.push_back(make_span(2, 1, "queue", 2000, 5000));
+  spans.push_back(make_span(3, 1, "attempt", 6000, 90000, TaskletId{7},
+                            {{"provider", "node-9"}, {"status", "ok"}}));
+  spans.push_back(make_span(4, 3, "execute", 7000, 88000));
+  spans.push_back(make_span(5, 3, "vm", 7500, 87000));
+  // The losing replica: fenced, closed without provider-side children.
+  spans.push_back(make_span(7, 1, "attempt", 6000, 50000, TaskletId{7},
+                            {{"provider", "node-2"}, {"status", "abandoned"}}));
+  Span report = make_span(6, 1, "report", 95000, 95000, TaskletId{7},
+                          {{"status", "completed"}});
+  report.instant = true;
+  spans.push_back(report);
+  return spans;
+}
+
+TEST(SpanTreeTest, ReconstructsParentChildLinks) {
+  const auto trace = analysis::build_tasklet_trace(healthy_lifecycle());
+  EXPECT_EQ(trace.id, TaskletId{7});
+  EXPECT_EQ(trace.nodes.size(), 7u);
+  ASSERT_EQ(trace.roots.size(), 1u);
+  EXPECT_EQ(trace.nodes[trace.roots[0]].span.name, "submit");
+  EXPECT_EQ(trace.duplicates, 0u);
+  EXPECT_EQ(trace.orphans, 0u);
+  const auto* attempt = trace.first("attempt");
+  ASSERT_NE(attempt, nullptr);
+  EXPECT_EQ(attempt->children.size(), 2u);  // execute + vm
+}
+
+TEST(SpanTreeTest, DuplicateSpanIdsKeepFirstAndCount) {
+  auto spans = healthy_lifecycle();
+  spans.push_back(spans[2]);  // duplicated attempt
+  spans.push_back(spans[2]);
+  const auto trace = analysis::build_tasklet_trace(std::move(spans));
+  EXPECT_EQ(trace.duplicates, 2u);
+  EXPECT_EQ(trace.nodes.size(), 7u);
+}
+
+TEST(SpanTreeTest, MissingParentBecomesExtraRoot) {
+  auto spans = healthy_lifecycle();
+  // Drop the attempt the execute/vm spans hang off.
+  spans.erase(spans.begin() + 2);
+  const auto trace = analysis::build_tasklet_trace(std::move(spans));
+  EXPECT_EQ(trace.orphans, 2u);  // execute + vm re-rooted
+  EXPECT_EQ(trace.roots.size(), 3u);
+  // Still analyzable, still non-crashing, anomalies surface in the report.
+  const auto breakdown = analysis::analyze_tasklet(trace);
+  EXPECT_GT(breakdown.anomalies, 0u);
+  EXPECT_EQ(breakdown.total, 100000);
+}
+
+// --- phase breakdown ---------------------------------------------------------
+
+TEST(PhaseBreakdownTest, SlicesTheLifecycleExactly) {
+  const auto trace = analysis::build_tasklet_trace(healthy_lifecycle());
+  const auto b = analysis::analyze_tasklet(trace);
+  EXPECT_EQ(b.tasklet, TaskletId{7});
+  EXPECT_EQ(b.status, "completed");
+  EXPECT_EQ(b.provider, "node-9");
+  EXPECT_TRUE(b.complete);
+  EXPECT_EQ(b.anomalies, 0u);
+  EXPECT_EQ(b.total, 100000);
+  EXPECT_EQ(b.phase(Phase::kSubmitWire), 1000);    // 1000 -> 2000
+  EXPECT_EQ(b.phase(Phase::kQueue), 3000);         // 2000 -> 5000
+  EXPECT_EQ(b.phase(Phase::kSchedule), 1000);      // 5000 -> 6000
+  EXPECT_EQ(b.phase(Phase::kNetOut), 1000);        // 6000 -> 7000
+  EXPECT_EQ(b.phase(Phase::kVm), 79500);           // 7500 -> 87000
+  EXPECT_EQ(b.phase(Phase::kExecOverhead), 1500);  // execute minus vm
+  EXPECT_EQ(b.phase(Phase::kNetBack), 2000);       // 88000 -> 90000
+  EXPECT_EQ(b.phase(Phase::kConclude), 5000);      // 90000 -> 95000
+  EXPECT_EQ(b.phase(Phase::kDeliver), 6000);       // 95000 -> 101000
+  EXPECT_EQ(b.phase(Phase::kUnattributed), 0);
+  EXPECT_EQ(b.retry_overhead, 44000);  // the fenced replica's wall time
+  ASSERT_EQ(b.attempts.size(), 2u);
+  EXPECT_EQ(b.attempts[0].winner + b.attempts[1].winner, 1);
+  SimTime sum = 0;
+  for (const SimTime phase : b.phases) sum += phase;
+  EXPECT_EQ(sum, b.total);
+}
+
+TEST(PhaseBreakdownTest, MissingRootFallsBackToHull) {
+  auto spans = healthy_lifecycle();
+  spans.erase(spans.begin());  // no "submit" root
+  const auto b = analysis::analyze_tasklet(
+      analysis::build_tasklet_trace(std::move(spans)));
+  EXPECT_FALSE(b.complete);
+  EXPECT_GT(b.anomalies, 0u);
+  EXPECT_EQ(b.total, 93000);  // hull: 2000 .. 95000
+  EXPECT_EQ(b.status, "completed");  // recovered from the report instant
+}
+
+TEST(PhaseBreakdownTest, VmLeakingPastExecuteIsCappedNotNegative) {
+  auto spans = healthy_lifecycle();
+  spans[4].end = 200000;  // vm claims to run past its execute window
+  const auto b = analysis::analyze_tasklet(
+      analysis::build_tasklet_trace(std::move(spans)));
+  EXPECT_GT(b.anomalies, 0u);
+  EXPECT_EQ(b.phase(Phase::kVm), 81000);  // capped at the execute window
+  EXPECT_EQ(b.phase(Phase::kExecOverhead), 0);
+  for (const SimTime phase : b.phases) EXPECT_GE(phase, 0);
+}
+
+TEST(PhaseBreakdownTest, EmptyAndInstantOnlyInputsDoNotCrash) {
+  EXPECT_EQ(analysis::analyze_tasklet(analysis::build_tasklet_trace({})).total,
+            0);
+  Span lone = make_span(1, 0, "report", 500, 500);
+  lone.instant = true;
+  const auto b =
+      analysis::analyze_tasklet(analysis::build_tasklet_trace({lone}));
+  EXPECT_EQ(b.total, 0);
+  EXPECT_FALSE(b.complete);
+}
+
+TEST(CriticalPathTest, RendersWinningChainInOrder) {
+  const auto trace = analysis::build_tasklet_trace(healthy_lifecycle());
+  const auto steps = analysis::critical_path(trace);
+  std::vector<std::string> labels;
+  for (const auto& step : steps) labels.push_back(step.label);
+  const std::vector<std::string> expected = {
+      "submit_wire", "queue",  "attempt#1", "execute",
+      "vm",          "attempt#2", "report", "deliver"};
+  EXPECT_EQ(labels, expected);
+  // Attempts are listed in breakdown order; the losing one is off-path.
+  int off_path = 0;
+  for (const auto& step : steps) off_path += step.on_winning_path ? 0 : 1;
+  EXPECT_EQ(off_path, 1);
+  const std::string report = analysis::critical_path_report(trace);
+  EXPECT_NE(report.find("critical path tasklet-7"), std::string::npos);
+  EXPECT_NE(report.find("retry_overhead=44.0us"), std::string::npos);
+}
+
+// --- sim-driven properties ---------------------------------------------------
+
+// One traced heterogeneous sim run; shared by the property tests below.
+std::vector<Span> traced_sim_spans(std::uint64_t seed) {
+  TraceStore store;
+  core::SimConfig config;
+  config.seed = seed;
+  config.trace = &store;
+  core::SimCluster cluster(config);
+  cluster.add_providers(sim::desktop_profile(), 2);
+  cluster.add_providers(sim::sbc_profile(), 2);
+  proto::Qoc qoc;
+  qoc.redundancy = 2;
+  for (int i = 0; i < 40; ++i) {
+    cluster.submit(proto::TaskletBody{proto::SyntheticBody{30'000'000, i, 64}},
+                   qoc);
+  }
+  EXPECT_TRUE(cluster.run_until_quiescent());
+  return store.all();
+}
+
+TEST(SimAnalysisTest, PhaseSumsStayWithinOnePercent) {
+  const auto spans = traced_sim_spans(11);
+  const auto graph = analysis::analyze_all(spans);
+  ASSERT_EQ(graph.tasklets, 40u);
+  EXPECT_EQ(graph.complete, 40u);
+  for (const Span& span : spans) {
+    if (span.tasklet.valid() && span.name == "submit") {
+      const auto b = analysis::analyze_tasklet(
+          analysis::build_tasklet_trace(
+              [&] {
+                std::vector<Span> group;
+                for (const Span& s : spans) {
+                  if (s.tasklet == span.tasklet) group.push_back(s);
+                }
+                return group;
+              }()));
+      SimTime sum = 0;
+      for (const SimTime phase : b.phases) sum += phase;
+      EXPECT_EQ(sum, b.total) << b.tasklet.to_string();
+      if (b.complete) {
+        EXPECT_LE(static_cast<double>(b.phase(Phase::kUnattributed)),
+                  0.01 * static_cast<double>(b.total))
+            << b.tasklet.to_string();
+      }
+    }
+  }
+}
+
+TEST(SimAnalysisTest, RedundantReplicasAllCloseTheirAttemptSpans) {
+  // Satellite invariant: losing replicas (fenced at conclusion) must still
+  // emit attempt spans, so the off-path accounting sees them. Every tasklet
+  // ran with redundancy 2, so every group carries >= 2 closed attempts.
+  const auto spans = traced_sim_spans(13);
+  std::map<std::uint64_t, int> attempts;
+  for (const Span& span : spans) {
+    if (span.name == "attempt" && !span.instant) {
+      EXPECT_GE(span.end, span.start);
+      ++attempts[span.tasklet.value()];
+    }
+  }
+  ASSERT_EQ(attempts.size(), 40u);
+  for (const auto& [id, count] : attempts) {
+    EXPECT_GE(count, 2) << "tasklet-" << id;
+  }
+}
+
+TEST(SimAnalysisTest, AdmissionRejectStillYieldsAnalyzableTrace) {
+  // Satellite invariant: a tasklet rejected before placement still gets its
+  // queue span closed at the terminal event, so the trace group parses into
+  // a breakdown instead of undercounting the abandoned lifecycle.
+  TraceStore store;
+  core::SimConfig config;
+  config.trace = &store;
+  config.broker.admission_control = true;
+  core::SimCluster cluster(config);
+  cluster.add_providers(sim::desktop_profile(), 1);
+  proto::Qoc qoc;
+  qoc.deadline = 1;  // 1 ns: infeasible for any provider
+  cluster.submit(proto::TaskletBody{proto::SyntheticBody{1'000'000, 1, 64}},
+                 qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const auto spans = store.all();
+  bool saw_reject = false;
+  bool saw_queue = false;
+  for (const Span& span : spans) {
+    saw_reject |= span.name == "admission_reject";
+    saw_queue |= span.name == "queue" && !span.instant;
+  }
+  EXPECT_TRUE(saw_reject);
+  EXPECT_TRUE(saw_queue);
+  const auto graph = analysis::analyze_all(spans);
+  EXPECT_EQ(graph.tasklets, 1u);
+}
+
+TEST(SimAnalysisTest, ChaosDegradedSpansNeverBreakAnalysis) {
+  const auto pristine = traced_sim_spans(17);
+  std::mt19937 rng(2024);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Span> damaged;
+    for (const Span& span : pristine) {
+      const auto roll = rng() % 10;
+      if (roll == 0) continue;             // dropped
+      damaged.push_back(span);
+      if (roll == 1) damaged.push_back(span);  // duplicated
+    }
+    std::shuffle(damaged.begin(), damaged.end(), rng);
+    const auto graph = analysis::analyze_all(damaged);
+    EXPECT_GT(graph.tasklets, 0u);
+    for (std::size_t i = 0; i < analysis::kPhaseCount; ++i) {
+      EXPECT_GE(graph.phases[i].total, 0);
+      for (const double sample : graph.phases[i].samples) {
+        EXPECT_GE(sample, 0.0);
+      }
+    }
+    // Reports render without crashing on damaged input, too.
+    EXPECT_FALSE(analysis::wait_graph_report(graph).empty());
+  }
+}
+
+TEST(SimAnalysisTest, AnalysisOutputIsDeterministic) {
+  const auto report = [](std::uint64_t seed) {
+    return analysis::wait_graph_report(
+        analysis::analyze_all(traced_sim_spans(seed)));
+  };
+  EXPECT_EQ(report(23), report(23));
+  const auto diff_text = analysis::wait_graph_diff(
+      analysis::analyze_all(traced_sim_spans(23)),
+      analysis::analyze_all(traced_sim_spans(29)));
+  EXPECT_NE(diff_text.find("A/B: 40 vs 40 tasklet(s)"), std::string::npos);
+}
+
+// --- Chrome trace round-trips ------------------------------------------------
+
+TEST(TraceRoundTripTest, ExportParsesBackSpanForSpan) {
+  TraceStore store;
+  for (const Span& span : healthy_lifecycle()) store.add(span);
+  const auto parsed = analysis::parse_trace_json(store.export_chrome_json());
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 7u);
+  const auto original = store.all();
+  for (std::size_t i = 0; i < parsed->size(); ++i) {
+    EXPECT_EQ((*parsed)[i].name, original[i].name);
+    EXPECT_EQ((*parsed)[i].start, original[i].start);
+    EXPECT_EQ((*parsed)[i].end, original[i].end);
+    EXPECT_EQ((*parsed)[i].span_id, original[i].span_id);
+    EXPECT_EQ((*parsed)[i].parent_span, original[i].parent_span);
+    EXPECT_EQ((*parsed)[i].tasklet, original[i].tasklet);
+  }
+  // The parsed spans support the same analysis as the in-memory ones.
+  const auto graph = analysis::analyze_all(*parsed);
+  EXPECT_EQ(graph.tasklets, 1u);
+  EXPECT_EQ(graph.complete, 1u);
+}
+
+TEST(TraceRoundTripTest, ParseRejectsNonTraceDocuments) {
+  EXPECT_FALSE(analysis::parse_trace_json("not json").is_ok());
+  EXPECT_FALSE(analysis::parse_trace_json("{\"foo\":1}").is_ok());
+  // Foreign events (metadata phases, missing ts) are skipped, not fatal.
+  const auto parsed = analysis::parse_trace_json(
+      R"({"traceEvents":[{"ph":"M","name":"meta"},{"ph":"X","name":"a"},)"
+      R"({"ph":"X","name":"ok","ts":1.5,"dur":2.0}]})");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].start, 1500);
+  EXPECT_EQ((*parsed)[0].end, 3500);
+}
+
+TEST(TraceRoundTripTest, IncrementalWriterMatchesOneShotExport) {
+  TraceStore store;
+  for (const Span& span : healthy_lifecycle()) store.add(span);
+
+  const std::string path = ::testing::TempDir() + "analysis_stream.json";
+  ChromeTraceWriter writer(path);
+  ASSERT_TRUE(writer.ok());
+  // Drain in two batches: drained spans leave the store, capacity returns.
+  auto batch = store.drain();
+  ASSERT_EQ(batch.size(), 7u);
+  writer.write_all({batch.begin(), batch.begin() + 3});
+  writer.write_all({batch.begin() + 3, batch.end()});
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.drain().empty());
+  writer.finish();
+  EXPECT_EQ(writer.written(), 7u);
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = analysis::parse_trace_json(buffer.str());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->size(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRoundTripTest, StoreObserverSeesCapacityDroppedSpans) {
+  TraceStore store(2);
+  std::size_t observed = 0;
+  store.set_observer([&](const Span&) { ++observed; });
+  for (const Span& span : healthy_lifecycle()) store.add(span);
+  EXPECT_EQ(observed, 7u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dropped(), 5u);
+  store.set_observer(nullptr);
+  store.add(make_span(99, 0, "extra", 1, 2));
+  EXPECT_EQ(observed, 7u);
+}
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RingStaysBoundedAndCausal) {
+  core::FlightRecorderConfig config;
+  config.span_capacity = 4;
+  core::FlightRecorder recorder(config);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record_span(make_span(static_cast<std::uint64_t>(i + 1), 0,
+                                   "attempt", 1000 * (10 - i),
+                                   1000 * (10 - i) + 10));
+  }
+  EXPECT_EQ(recorder.spans_seen(), 10u);
+  EXPECT_EQ(recorder.recent_spans().size(), 4u);
+  const auto causal = recorder.recent_spans_for(TaskletId{7});
+  ASSERT_EQ(causal.size(), 4u);
+  for (std::size_t i = 1; i < causal.size(); ++i) {
+    EXPECT_LE(causal[i - 1].start, causal[i].start);
+  }
+}
+
+TEST(FlightRecorderTest, BundleDumpsAndParsesBack) {
+  core::FlightRecorderConfig config;
+  config.dump_dir = ::testing::TempDir() + "flight_test_dir";  // created lazily
+  core::FlightRecorder recorder(config);
+  for (const Span& span : healthy_lifecycle()) recorder.record_span(span);
+
+  core::FlightRecorder::DumpContext ctx;
+  ctx.reason = "unit test: rule!";  // exercises filename sanitizing
+  ctx.now = 123456789;
+  ctx.status_json = R"({"broker":{"completed":1}})";
+  const auto path = recorder.dump_to_file(ctx, /*triggered=*/false);
+  ASSERT_TRUE(path.is_ok()) << path.status().to_string();
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  EXPECT_NE(path->find("flight-unit_test__rule_-1.json"), std::string::npos);
+
+  std::ifstream in(*path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto bundle = json::parse(buffer.str());
+  ASSERT_TRUE(bundle.is_ok());
+  EXPECT_EQ(bundle->find("bundle")->as_string(), "tasklets-flight");
+  EXPECT_EQ(bundle->find("reason")->as_string(), "unit test: rule!");
+  EXPECT_EQ(bundle->find("spans_retained")->as_int(), 7);
+  EXPECT_EQ(bundle->find("status")->find("broker")->find("completed")->as_int(),
+            1);
+  // And the analysis layer reads the nested trace straight out of it.
+  const auto spans = analysis::parse_trace_json(buffer.str());
+  ASSERT_TRUE(spans.is_ok());
+  const auto graph = analysis::analyze_all(*spans);
+  EXPECT_EQ(graph.tasklets, 1u);
+  EXPECT_EQ(graph.complete, 1u);
+  std::remove(path->c_str());
+}
+
+TEST(FlightRecorderTest, TriggeredDumpsRateLimitAndCap) {
+  core::FlightRecorderConfig config;
+  config.dump_dir = ::testing::TempDir();
+  config.max_dumps = 2;
+  config.min_dump_interval = 1000;
+  core::FlightRecorder recorder(config);
+
+  core::FlightRecorder::DumpContext ctx;
+  ctx.reason = "flap";
+  ctx.now = 100;
+  const auto first = recorder.dump_to_file(ctx, true);
+  ASSERT_TRUE(first.is_ok());
+  ctx.now = 200;  // inside the interval: rate-limited
+  EXPECT_FALSE(recorder.dump_to_file(ctx, true).is_ok());
+  ctx.now = 2000;  // past the interval: allowed, hits the cap afterwards
+  const auto second = recorder.dump_to_file(ctx, true);
+  ASSERT_TRUE(second.is_ok());
+  ctx.now = 10000;
+  EXPECT_FALSE(recorder.dump_to_file(ctx, true).is_ok());
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  std::remove(first->c_str());
+  std::remove(second->c_str());
+}
+
+TEST(FlightRecorderTest, SimRuleFiringTriggersBundle) {
+  metrics::MetricsRegistry::instance().reset();
+  metrics::set_enabled(true);
+  TraceStore store;
+  core::SimConfig config;
+  config.trace = &store;
+  config.ops.enabled = true;
+  config.ops.sample_interval = 100 * kMillisecond;
+  config.ops.rules = {"completed: broker.completed > 0"};
+  config.ops.flight.enabled = true;
+  config.ops.flight.dump_dir = ::testing::TempDir();
+  core::SimCluster cluster(config);
+  ASSERT_NE(cluster.ops(), nullptr);
+  ASSERT_NE(cluster.ops()->flight_recorder(), nullptr);
+
+  cluster.add_providers(sim::desktop_profile(), 2);
+  for (int i = 0; i < 6; ++i) {
+    cluster.submit(proto::TaskletBody{proto::SyntheticBody{50'000'000, i, 64}});
+  }
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  cluster.run_for(1 * kSecond);  // let the sampler observe + fire the rule
+
+  ASSERT_GE(cluster.ops()->rule_engine().fired_count(), 1u);
+  EXPECT_GE(cluster.ops()->flight_recorder()->dumps_written(), 1u);
+  EXPECT_GT(cluster.ops()->flight_recorder()->spans_seen(), 0u);
+}
+
+// --- admin endpoint surface --------------------------------------------------
+
+TEST(AdminAnalysisTest, ProfileLogsAndDumpCommands) {
+  metrics::MetricsRegistry::instance().reset();
+  metrics::set_enabled(true);
+  TraceStore store;
+  core::SimConfig config;
+  config.trace = &store;
+  config.ops.enabled = true;
+  config.ops.sample_interval = 100 * kMillisecond;
+  config.ops.flight.enabled = true;
+  config.ops.flight.dump_dir = ::testing::TempDir();
+  core::SimCluster cluster(config);
+  cluster.add_providers(sim::desktop_profile(), 2);
+  const TaskletId id =
+      cluster.submit(proto::TaskletBody{proto::SyntheticBody{50'000'000, 1, 64}});
+  ASSERT_TRUE(cluster.run_until_quiescent());
+
+  core::OpsPlane* ops = cluster.ops();
+  ASSERT_NE(ops, nullptr);
+
+  const std::string profile = ops->handle(
+      net::parse_admin_request("profile?tasklet=" + id.to_string()));
+  EXPECT_NE(profile.find("\"profile\""), std::string::npos);
+  EXPECT_NE(profile.find("\"phases\""), std::string::npos);
+  EXPECT_NE(profile.find("\"critical_path\""), std::string::npos);
+  const std::string missing =
+      ops->handle(net::parse_admin_request("profile?tasklet=tasklet-999999"));
+  EXPECT_NE(missing.find("\"error\""), std::string::npos);
+
+  TASKLETS_LOG(kWarn, "test").kv("k", 1) << "an admin-visible line";
+  const std::string logs = ops->handle(net::parse_admin_request("logs?n=5"));
+  EXPECT_NE(logs.find("\"lines\""), std::string::npos);
+  EXPECT_NE(logs.find("an admin-visible line"), std::string::npos);
+
+  const std::string dump = ops->handle(net::parse_admin_request("dump"));
+  EXPECT_NE(dump.find("\"path\""), std::string::npos);
+  const auto path_value = json::parse(dump);
+  ASSERT_TRUE(path_value.is_ok());
+  const std::string path(path_value->find("path")->as_string());
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(analysis::parse_trace_json(buffer.str()).is_ok());
+  std::remove(path.c_str());
+
+  // `top` carries the phase columns sourced from the same spans.
+  const std::string top = ops->handle(net::parse_admin_request("top"));
+  EXPECT_NE(top.find("PHASE"), std::string::npos);
+  EXPECT_NE(top.find("submit_wire"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tasklets

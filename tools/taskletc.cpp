@@ -11,10 +11,20 @@
 //   taskletc exec <file.tcl | file.tvm> [ARG...] [--providers N] [--redundancy R]
 //       Execute through the full middleware (broker + N in-process providers).
 //   taskletc serve [--providers N] [--stragglers K] [--port P] [--duration S]
+//                  [--trace-out FILE] [--dump-dir DIR]
 //       Run a live cluster with emulated stragglers, the ops plane enabled
-//       and the admin endpoint listening; feeds a continuous workload.
+//       and the admin endpoint listening; feeds a continuous workload. The
+//       flight recorder is on: health-rule firings dump postmortem bundles
+//       into --dump-dir. --trace-out streams the Chrome trace to disk
+//       incrementally (bounded memory however long the run).
 //   taskletc top <port> [--watch]
-//       One-shot (or 1 Hz refreshing) cluster summary from a serve endpoint.
+//       One-shot (or 1 Hz refreshing) cluster summary from a serve endpoint,
+//       including the phase-attribution columns over recent tasklets.
+//   taskletc analyze <trace.json|bundle.json> [baseline.json]
+//       Offline trace analysis: wait-graph report (per-phase totals and
+//       p50/p95/p99, per-provider time-in-phase) plus critical-path reports
+//       for the slowest tasklets. With a second file, also prints an A/B
+//       regression diff (first file = A/baseline, second = B).
 //
 // Arguments: integers (42), floats (3.5 — must contain '.' or 'e'), or
 // comma-separated arrays (1,2,3 / 1.5,2.5). Array element types follow the
@@ -24,11 +34,13 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/trace_analysis.hpp"
 #include "core/system.hpp"
 #include "net/admin.hpp"
 #include "tcl/compiler.hpp"
@@ -51,7 +63,9 @@ int usage() {
                " [--redundancy R]\n"
                "  taskletc serve [--providers N] [--stragglers K] [--port P]"
                " [--duration S]\n"
-               "  taskletc top   <port> [--watch]\n");
+               "                 [--rate R] [--trace-out FILE] [--dump-dir DIR]\n"
+               "  taskletc top   <port> [--watch]\n"
+               "  taskletc analyze <trace.json|bundle.json> [baseline.json]\n");
   return 2;
 }
 
@@ -309,6 +323,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   int port = 0;
   int duration_s = 20;
   int rate = 50;  // submissions per second
+  std::string trace_out;
+  std::string dump_dir;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--providers" && i + 1 < args.size()) {
       providers = std::atoi(args[++i].c_str());
@@ -320,6 +336,10 @@ int cmd_serve(const std::vector<std::string>& args) {
       duration_s = std::atoi(args[++i].c_str());
     } else if (args[i] == "--rate" && i + 1 < args.size()) {
       rate = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
+      trace_out = args[++i];
+    } else if (args[i] == "--dump-dir" && i + 1 < args.size()) {
+      dump_dir = args[++i];
     } else {
       return usage();
     }
@@ -345,6 +365,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       "queue_deep: broker.queue_depth > 200 for 2s",
       "het_high: broker.pool.heterogeneity > 900000 for 5s",
   };
+  if (!dump_dir.empty()) {
+    // Flight recorder on: health-rule firings dump postmortem bundles.
+    config.ops.flight.enabled = true;
+    config.ops.flight.dump_dir = dump_dir;
+    config.ops.flight.min_dump_interval = 2 * kSecond;
+    config.ops.flight.max_dumps = 4;
+  }
 
   core::TaskletSystem system(config);
   for (int i = 0; i < std::max(1, providers); ++i) system.add_provider();
@@ -360,6 +387,22 @@ int cmd_serve(const std::vector<std::string>& args) {
   // CI and `taskletc top` parse this line for the resolved port.
   std::printf("admin listening on 127.0.0.1:%u\n", system.ops()->admin_port());
   std::fflush(stdout);
+
+  std::unique_ptr<ChromeTraceWriter> trace_writer;
+  if (!trace_out.empty()) {
+    trace_writer = std::make_unique<ChromeTraceWriter>(trace_out);
+    if (!trace_writer->ok()) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", trace_out.c_str());
+      return 1;
+    }
+  }
+  // Moves completed spans out of the store and onto disk so arbitrarily long
+  // runs stay memory-bounded (the store cap would otherwise silently drop).
+  const auto drain_trace = [&] {
+    if (trace_writer && system.trace_store() != nullptr) {
+      trace_writer->write_all(system.trace_store()->drain());
+    }
+  };
 
   std::uint64_t sequence = 0;
   std::uint64_t completed = 0;
@@ -396,6 +439,7 @@ int cmd_serve(const std::vector<std::string>& args) {
       outstanding.front().wait();
       drain_ready();
     }
+    if (sequence % 64 == 0) drain_trace();
     std::this_thread::sleep_for(gap);
   }
   while (!outstanding.empty()) {
@@ -403,13 +447,87 @@ int cmd_serve(const std::vector<std::string>& args) {
     drain_ready();
   }
   const broker::BrokerStats stats = system.broker_stats();
+  core::OpsPlane* ops = system.ops();
   std::printf("served %llu tasklets (%llu completed)  straggler fences: %llu  "
               "alerts fired: %llu\n",
               static_cast<unsigned long long>(sequence),
               static_cast<unsigned long long>(completed),
               static_cast<unsigned long long>(stats.straggler_reassigns),
               static_cast<unsigned long long>(
-                  system.ops()->rule_engine().fired_count()));
+                  ops->rule_engine().fired_count()));
+  if (ops->flight_recorder() != nullptr) {
+    std::printf("flight bundles written: %llu (dir %s)\n",
+                static_cast<unsigned long long>(
+                    ops->flight_recorder()->dumps_written()),
+                dump_dir.c_str());
+  }
+  if (trace_writer) {
+    drain_trace();
+    trace_writer->finish();
+    std::printf("trace: %zu events -> %s\n", trace_writer->written(),
+                trace_out.c_str());
+  }
+  return 0;
+}
+
+// Spans belonging to one tasklet, for per-tasklet tree reconstruction.
+std::vector<Span> spans_of(const std::vector<Span>& all, TaskletId id) {
+  std::vector<Span> out;
+  for (const Span& span : all) {
+    if (span.tasklet == id) out.push_back(span);
+  }
+  return out;
+}
+
+// Loads a trace artifact (Chrome trace JSON or flight-recorder bundle) into
+// spans. Errors are printed; nullopt-style empty Result signals failure.
+Result<std::vector<Span>> load_trace(const std::string& path) {
+  TASKLETS_ASSIGN_OR_RETURN(const std::string text, read_file(path));
+  return analysis::parse_trace_json(text);
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  auto spans = load_trace(args[0]);
+  if (!spans.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", args[0].c_str(),
+                 spans.status().to_string().c_str());
+    return 1;
+  }
+  const analysis::WaitGraph graph = analysis::analyze_all(*spans);
+  if (graph.tasklets == 0) {
+    std::fprintf(stderr, "%s: no tasklet spans found\n", args[0].c_str());
+    return 1;
+  }
+  std::printf("== %s ==\n%s", args[0].c_str(),
+              analysis::wait_graph_report(graph).c_str());
+
+  // Critical paths for the slowest few tasklets — the ones worth reading.
+  const std::size_t shown = std::min<std::size_t>(3, graph.slowest.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto trace =
+        analysis::build_tasklet_trace(spans_of(*spans, graph.slowest[i].first));
+    std::printf("\n%s", analysis::critical_path_report(trace).c_str());
+  }
+
+  if (args.size() == 2) {
+    auto spans_b = load_trace(args[1]);
+    if (!spans_b.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", args[1].c_str(),
+                   spans_b.status().to_string().c_str());
+      return 1;
+    }
+    const analysis::WaitGraph graph_b = analysis::analyze_all(*spans_b);
+    if (graph_b.tasklets == 0) {
+      std::fprintf(stderr, "%s: no tasklet spans found\n", args[1].c_str());
+      return 1;
+    }
+    std::printf("\n== %s ==\n%s", args[1].c_str(),
+                analysis::wait_graph_report(graph_b).c_str());
+    std::printf("\n== diff (A=%s, B=%s) ==\n%s", args[0].c_str(),
+                args[1].c_str(),
+                analysis::wait_graph_diff(graph, graph_b).c_str());
+  }
   return 0;
 }
 
@@ -480,5 +598,6 @@ int main(int argc, char** argv) {
   if (command == "exec") return cmd_exec(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "top") return cmd_top(args);
+  if (command == "analyze") return cmd_analyze(args);
   return usage();
 }
