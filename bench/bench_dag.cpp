@@ -1,0 +1,427 @@
+// E13 — dataflow composition: DAG vs flat chaining (figure + gate).
+//
+// What the paper-style figure shows: expressing a multi-stage computation
+// as a tasklet DAG (protocol r4) instead of consumer-driven chaining of
+// flat tasklets. Three effects to reproduce:
+//   * output delegation — intermediate results are bound broker-side into
+//     the dependents' arg slots, so they never round-trip through the
+//     consumer: fewer bytes on the wire and a shorter critical path;
+//   * whole-graph submission — one SubmitDag replaces a submit/await cycle
+//     per stage;
+//   * Merkle subtree memoization — resubmitting a graph with one changed
+//     leaf re-executes only the dirty cone; the untouched sibling subtree
+//     is answered from the memo with *zero* provider attempts, and nodes
+//     upstream of a memo hit are never demanded at all.
+//
+// Workloads: a depth-6 pipeline and an 8-leaf binary map-reduce over
+// 4096-element vectors (~32 KB per intermediate on the modelled wire).
+// Flat arms re-upload every intermediate vector from the consumer; DAG
+// arms upload the leaves once.
+//
+// The shape checks at the bottom gate CI: DAG must beat flat on wire bytes
+// and critical-path latency in every cell, identical resubmission must
+// reach the sink from the memo with zero attempts, and the dirty-cone cell
+// must re-execute exactly the changed leaf's root path.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "dag/dag.hpp"
+#include "tcl/compiler.hpp"
+
+namespace {
+
+using namespace tasklets;
+using bench::header;
+using bench::line;
+
+constexpr std::size_t kVec = 4096;   // elements per intermediate vector
+constexpr int kDepth = 6;            // pipeline stages
+constexpr std::size_t kLeaves = 8;   // map-reduce fan-in
+
+// Element-wise `xs + salt`: one pipeline stage. Distinct salts keep the
+// stages' memo keys distinct.
+constexpr std::string_view kShiftSrc = R"(
+  int[] main(int[] xs, int salt) {
+    int n = len(xs);
+    int[] out = new int[n];
+    for (int i = 0; i < n; i = i + 1) { out[i] = xs[i] + salt; }
+    return out;
+  }
+)";
+
+// Element-wise sum of two vectors: the map-reduce combiner.
+constexpr std::string_view kCombineSrc = R"(
+  int[] main(int[] a, int[] b) {
+    int n = len(a);
+    int[] out = new int[n];
+    for (int i = 0; i < n; i = i + 1) { out[i] = a[i] + b[i]; }
+    return out;
+  }
+)";
+
+// Vector -> scalar sum: the map-reduce sink.
+constexpr std::string_view kReduceSrc = R"(
+  int main(int[] xs) {
+    int acc = 0;
+    for (int i = 0; i < len(xs); i = i + 1) { acc = acc + xs[i]; }
+    return acc;
+  }
+)";
+
+Bytes compile_or_die(std::string_view source) {
+  auto program = tcl::compile(source);
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "kernel compile failed: %s\n",
+                 program.status().to_string().c_str());
+    std::abort();
+  }
+  return program->serialize();
+}
+
+std::vector<std::int64_t> input_vector(std::int64_t seed) {
+  std::vector<std::int64_t> xs(kVec);
+  for (std::size_t i = 0; i < kVec; ++i) {
+    xs[i] = seed + static_cast<std::int64_t>(i % 97);
+  }
+  return xs;
+}
+
+dag::DagNode vm_node(const Bytes& program, std::vector<tvm::HostArg> args,
+                     std::vector<dag::DagEdge> inputs = {}) {
+  proto::VmBody body;
+  body.program = program;
+  body.args = std::move(args);
+  return {proto::TaskletBody{std::move(body)}, std::move(inputs)};
+}
+
+proto::TaskletBody vm_body(const Bytes& program,
+                           std::vector<tvm::HostArg> args) {
+  proto::VmBody body;
+  body.program = program;
+  body.args = std::move(args);
+  return proto::TaskletBody{std::move(body)};
+}
+
+core::SimCluster* make_cluster() {
+  core::SimConfig config;
+  config.seed = 13;
+  auto* cluster = new core::SimCluster(config);
+  cluster->add_providers(sim::desktop_profile(), 4);
+  return cluster;
+}
+
+struct ArmResult {
+  std::uint64_t wire_bytes = 0;
+  double latency_s = 0.0;
+  std::uint64_t attempts = 0;
+  std::vector<std::int64_t> output;
+};
+
+// --- flat arms: the consumer chains stages itself ----------------------------------
+
+// Runs one flat wave and returns its reports' results.
+std::vector<tvm::HostArg> flat_wave(core::SimCluster& cluster,
+                                    std::vector<proto::TaskletBody> bodies,
+                                    proto::Qoc qoc) {
+  std::vector<TaskletId> ids;
+  ids.reserve(bodies.size());
+  for (auto& body : bodies) {
+    ids.push_back(cluster.submit(std::move(body), qoc));
+  }
+  if (!cluster.run_until_quiescent()) std::abort();
+  std::vector<tvm::HostArg> results;
+  for (const TaskletId id : ids) {
+    const auto* report = cluster.report_for(id);
+    if (report == nullptr ||
+        report->status != proto::TaskletStatus::kCompleted) {
+      std::abort();
+    }
+    results.push_back(report->result);
+  }
+  return results;
+}
+
+ArmResult flat_pipeline(core::SimCluster& cluster, const Bytes& shift,
+                        std::int64_t input_seed, proto::Qoc qoc) {
+  ArmResult arm;
+  const std::uint64_t wire0 = cluster.wire_bytes();
+  const std::uint64_t attempts0 = cluster.broker().stats().attempts_issued;
+  const SimTime t0 = cluster.now();
+  tvm::HostArg current = input_vector(input_seed);
+  for (int stage = 0; stage < kDepth; ++stage) {
+    auto results = flat_wave(
+        cluster,
+        {vm_body(shift, {current, std::int64_t{stage + 1}})}, qoc);
+    current = std::move(results[0]);
+  }
+  arm.wire_bytes = cluster.wire_bytes() - wire0;
+  arm.latency_s = to_seconds(cluster.now() - t0);
+  arm.attempts = cluster.broker().stats().attempts_issued - attempts0;
+  arm.output = std::get<std::vector<std::int64_t>>(current);
+  return arm;
+}
+
+ArmResult flat_mapreduce(core::SimCluster& cluster, const Bytes& shift,
+                         const Bytes& combine, const Bytes& reduce,
+                         std::int64_t leaf0_salt, proto::Qoc qoc) {
+  ArmResult arm;
+  const std::uint64_t wire0 = cluster.wire_bytes();
+  const std::uint64_t attempts0 = cluster.broker().stats().attempts_issued;
+  const SimTime t0 = cluster.now();
+
+  std::vector<proto::TaskletBody> wave;
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    const std::int64_t salt =
+        i == 0 ? leaf0_salt : static_cast<std::int64_t>(100 + i);
+    wave.push_back(
+        vm_body(shift, {input_vector(static_cast<std::int64_t>(i)), salt}));
+  }
+  std::vector<tvm::HostArg> level = flat_wave(cluster, std::move(wave), qoc);
+  while (level.size() > 1) {
+    std::vector<proto::TaskletBody> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(vm_body(combine, {level[i], level[i + 1]}));
+    }
+    level = flat_wave(cluster, std::move(next), qoc);
+  }
+  const auto sink =
+      flat_wave(cluster, {vm_body(reduce, {std::move(level[0])})}, qoc);
+
+  arm.wire_bytes = cluster.wire_bytes() - wire0;
+  arm.latency_s = to_seconds(cluster.now() - t0);
+  arm.attempts = cluster.broker().stats().attempts_issued - attempts0;
+  arm.output = {std::get<std::int64_t>(sink[0])};
+  return arm;
+}
+
+// --- DAG arms ----------------------------------------------------------------------
+
+std::vector<dag::DagNode> pipeline_graph(const Bytes& shift,
+                                         std::int64_t input_seed) {
+  std::vector<dag::DagNode> nodes;
+  nodes.push_back(
+      vm_node(shift, {input_vector(input_seed), std::int64_t{1}}));
+  for (int stage = 1; stage < kDepth; ++stage) {
+    nodes.push_back(vm_node(
+        shift, {std::int64_t{0}, std::int64_t{stage + 1}},
+        {dag::DagEdge{static_cast<std::uint32_t>(stage - 1), 0}}));
+  }
+  return nodes;
+}
+
+std::vector<dag::DagNode> mapreduce_graph(const Bytes& shift,
+                                          const Bytes& combine,
+                                          const Bytes& reduce,
+                                          std::int64_t leaf0_salt) {
+  std::vector<dag::DagNode> nodes;
+  std::vector<std::uint32_t> level;
+  for (std::size_t i = 0; i < kLeaves; ++i) {
+    const std::int64_t salt =
+        i == 0 ? leaf0_salt : static_cast<std::int64_t>(100 + i);
+    level.push_back(static_cast<std::uint32_t>(nodes.size()));
+    nodes.push_back(
+        vm_node(shift, {input_vector(static_cast<std::int64_t>(i)), salt}));
+  }
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(static_cast<std::uint32_t>(nodes.size()));
+      nodes.push_back(vm_node(
+          combine, {std::int64_t{0}, std::int64_t{0}},
+          {dag::DagEdge{level[i], 0}, dag::DagEdge{level[i + 1], 1}}));
+    }
+    level = std::move(next);
+  }
+  nodes.push_back(vm_node(reduce, {std::int64_t{0}},
+                          {dag::DagEdge{level[0], 0}}));
+  return nodes;
+}
+
+struct DagRun {
+  ArmResult arm;
+  proto::DagStatus status;
+};
+
+DagRun dag_arm(core::SimCluster& cluster, std::vector<dag::DagNode> nodes,
+               proto::Qoc qoc) {
+  DagRun run;
+  const std::uint64_t wire0 = cluster.wire_bytes();
+  const std::uint64_t attempts0 = cluster.broker().stats().attempts_issued;
+  const SimTime t0 = cluster.now();
+  const DagId id = cluster.submit_dag(std::move(nodes), qoc);
+  if (!cluster.run_until_quiescent()) std::abort();
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  if (status == nullptr || status->status != proto::TaskletStatus::kCompleted) {
+    std::abort();
+  }
+  run.status = *status;
+  run.arm.wire_bytes = cluster.wire_bytes() - wire0;
+  run.arm.latency_s = to_seconds(cluster.now() - t0);
+  run.arm.attempts = cluster.broker().stats().attempts_issued - attempts0;
+  const auto& result = status->outputs.at(0).result;
+  if (const auto* vec = std::get_if<std::vector<std::int64_t>>(&result)) {
+    run.arm.output = *vec;
+  } else {
+    run.arm.output = {std::get<std::int64_t>(result)};
+  }
+  return run;
+}
+
+std::size_t count_disposition(const proto::DagStatus& status,
+                              proto::DagNodeDisposition want) {
+  std::size_t n = 0;
+  for (const auto d : status.nodes) {
+    if (d == want) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  const Bytes shift = compile_or_die(kShiftSrc);
+  const Bytes combine = compile_or_die(kCombineSrc);
+  const Bytes reduce = compile_or_die(kReduceSrc);
+  bool failed = false;
+
+  header("E13", "dataflow composition: DAG vs flat chaining");
+  line("%-22s %14s %14s %10s", "cell", "wire bytes", "crit path(s)",
+       "attempts");
+
+  struct Cell {
+    const char* name;
+    ArmResult flat;
+    ArmResult dag;
+  };
+  std::vector<Cell> cells;
+
+  {  // depth-6 pipeline
+    std::unique_ptr<core::SimCluster> flat_cluster(make_cluster());
+    std::unique_ptr<core::SimCluster> dag_cluster(make_cluster());
+    Cell cell{"pipeline_d6", {}, {}};
+    cell.flat = flat_pipeline(*flat_cluster, shift, 1, {});
+    cell.dag = dag_arm(*dag_cluster, pipeline_graph(shift, 1), {}).arm;
+    if (cell.flat.output != cell.dag.output) {
+      line("FAIL: pipeline outputs diverge between flat and DAG arms");
+      failed = true;
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  {  // 8-leaf binary map-reduce
+    std::unique_ptr<core::SimCluster> flat_cluster(make_cluster());
+    std::unique_ptr<core::SimCluster> dag_cluster(make_cluster());
+    Cell cell{"mapreduce_8", {}, {}};
+    cell.flat =
+        flat_mapreduce(*flat_cluster, shift, combine, reduce, 100, {});
+    cell.dag =
+        dag_arm(*dag_cluster, mapreduce_graph(shift, combine, reduce, 100), {})
+            .arm;
+    if (cell.flat.output != cell.dag.output) {
+      line("FAIL: map-reduce outputs diverge between flat and DAG arms");
+      failed = true;
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  for (const auto& cell : cells) {
+    line("%-22s %14" PRIu64 " %14.4f %10" PRIu64,
+         (std::string(cell.name) + "/flat").c_str(), cell.flat.wire_bytes,
+         cell.flat.latency_s, cell.flat.attempts);
+    line("%-22s %14" PRIu64 " %14.4f %10" PRIu64,
+         (std::string(cell.name) + "/dag").c_str(), cell.dag.wire_bytes,
+         cell.dag.latency_s, cell.dag.attempts);
+    line("csv,E13,%s,%" PRIu64 ",%.6f,%" PRIu64 ",%" PRIu64 ",%.6f,%" PRIu64,
+         cell.name, cell.flat.wire_bytes, cell.flat.latency_s,
+         cell.flat.attempts, cell.dag.wire_bytes, cell.dag.latency_s,
+         cell.dag.attempts);
+    if (cell.dag.wire_bytes >= cell.flat.wire_bytes) {
+      line("FAIL: %s: DAG wire bytes (%" PRIu64
+           ") must beat flat (%" PRIu64 ")",
+           cell.name, cell.dag.wire_bytes, cell.flat.wire_bytes);
+      failed = true;
+    }
+    if (cell.dag.latency_s >= cell.flat.latency_s) {
+      line("FAIL: %s: DAG critical path (%.4fs) must beat flat (%.4fs)",
+           cell.name, cell.dag.latency_s, cell.flat.latency_s);
+      failed = true;
+    }
+  }
+
+  // --- Merkle subtree memoization under partial reuse ------------------------------
+  header("E13", "subtree memoization: identical + dirty-cone resubmission");
+  {
+    std::unique_ptr<core::SimCluster> cluster(make_cluster());
+    proto::Qoc qoc;
+    qoc.memoize = true;
+
+    // Cold pipeline, then a byte-identical repeat: the sink's Merkle digest
+    // hits, the whole upstream cone stays undemanded, zero attempts.
+    const DagRun cold = dag_arm(*cluster, pipeline_graph(shift, 1), qoc);
+    const DagRun repeat = dag_arm(*cluster, pipeline_graph(shift, 1), qoc);
+    line("pipeline repeat:  memo=%zu skipped=%zu attempts=%" PRIu64
+         " (want 1/%d/0)",
+         count_disposition(repeat.status, proto::DagNodeDisposition::kMemo),
+         count_disposition(repeat.status, proto::DagNodeDisposition::kSkipped),
+         repeat.arm.attempts, kDepth - 1);
+    line("csv,E13,pipeline_repeat,%zu,%zu,%" PRIu64,
+         count_disposition(repeat.status, proto::DagNodeDisposition::kMemo),
+         count_disposition(repeat.status, proto::DagNodeDisposition::kSkipped),
+         repeat.arm.attempts);
+    if (repeat.arm.attempts != 0 ||
+        count_disposition(repeat.status, proto::DagNodeDisposition::kMemo) !=
+            1 ||
+        count_disposition(repeat.status,
+                          proto::DagNodeDisposition::kSkipped) !=
+            static_cast<std::size_t>(kDepth - 1) ||
+        repeat.arm.output != cold.arm.output) {
+      line("FAIL: identical pipeline resubmission must complete from the "
+           "memo with zero provider attempts");
+      failed = true;
+    }
+  }
+  {
+    std::unique_ptr<core::SimCluster> cluster(make_cluster());
+    proto::Qoc qoc;
+    qoc.memoize = true;
+
+    // Cold map-reduce, then resubmit with leaf 0's salt changed. The dirty
+    // cone is that leaf's root path (leaf, 3 combines, sink = 5 nodes); the
+    // sibling branch hits the memo at the highest clean combine and its
+    // subtree is never demanded.
+    const DagRun cold =
+        dag_arm(*cluster, mapreduce_graph(shift, combine, reduce, 100), qoc);
+    const DagRun dirty =
+        dag_arm(*cluster, mapreduce_graph(shift, combine, reduce, 999), qoc);
+    const std::size_t executed =
+        count_disposition(dirty.status, proto::DagNodeDisposition::kExecuted);
+    const std::size_t memo =
+        count_disposition(dirty.status, proto::DagNodeDisposition::kMemo);
+    const std::size_t skipped =
+        count_disposition(dirty.status, proto::DagNodeDisposition::kSkipped);
+    const double hit_rate =
+        static_cast<double>(memo) / static_cast<double>(memo + executed);
+    line("dirty cone:       executed=%zu memo=%zu skipped=%zu "
+         "attempts=%" PRIu64 " hit-rate=%.2f (want 5/3/8/5)",
+         executed, memo, skipped, dirty.arm.attempts, hit_rate);
+    line("csv,E13,dirty_cone,%zu,%zu,%zu,%" PRIu64 ",%.4f", executed, memo,
+         skipped, dirty.arm.attempts, hit_rate);
+    if (executed != 5 || memo != 3 || skipped != 8 ||
+        dirty.arm.attempts != 5) {
+      line("FAIL: dirty-cone resubmission must re-execute exactly the "
+           "changed leaf's root path (5 nodes) and answer the clean "
+           "siblings from the memo");
+      failed = true;
+    }
+    (void)cold;
+  }
+
+  if (!failed) {
+    line("");
+    line("shape check: delegation keeps every intermediate vector off the");
+    line("consumer link, so the DAG arms win wire bytes and critical path in");
+    line("both workloads; Merkle digests turn resubmission into an");
+    line("incremental recompute of just the dirty cone.");
+  }
+  return failed ? 1 : 0;
+}

@@ -269,6 +269,25 @@ int run_e12_attribution() {
   }
   if (!cluster.run_until_quiescent()) std::abort();
 
+  // Memoized completions must satisfy the same exactness gate: one cold
+  // memoizing run populates the table, then identical repeats conclude with
+  // zero attempts and a "memo_hit" instant as their execution record.
+  constexpr int kMemoRepeats = 16;
+  proto::Qoc memo_qoc;
+  memo_qoc.memoize = true;
+  {
+    auto cold = core::compile_tasklet(core::kernels::kFib, {std::int64_t{17}});
+    if (!cold.is_ok()) std::abort();
+    cluster.submit(std::move(cold).value(), memo_qoc);
+  }
+  if (!cluster.run_until_quiescent()) std::abort();
+  for (int i = 0; i < kMemoRepeats; ++i) {
+    auto repeat = core::compile_tasklet(core::kernels::kFib, {std::int64_t{17}});
+    if (!repeat.is_ok()) std::abort();
+    cluster.submit(std::move(repeat).value(), memo_qoc);
+  }
+  if (!cluster.run_until_quiescent()) std::abort();
+
   const std::vector<Span> spans = store.all();
 
   // Gate 1: per-tasklet phase sums. The named phases plus the residual must
@@ -280,6 +299,8 @@ int run_e12_attribution() {
   }
   std::size_t analyzed = 0;
   std::size_t complete = 0;
+  std::size_t memoized = 0;
+  std::size_t memoized_incomplete = 0;
   std::size_t sum_violations = 0;
   std::size_t residual_violations = 0;
   double worst_residual_pct = 0;
@@ -291,6 +312,10 @@ int run_e12_attribution() {
     SimTime sum = 0;
     for (const SimTime phase : breakdown.phases) sum += phase;
     if (sum != breakdown.total) ++sum_violations;
+    if (breakdown.memoized) {
+      ++memoized;
+      if (!breakdown.complete) ++memoized_incomplete;
+    }
     if (breakdown.complete) {
       ++complete;
       const double residual_pct =
@@ -312,8 +337,8 @@ int run_e12_attribution() {
   });
   const double ns_per_span = per_round_s * 1e9 / static_cast<double>(spans.size());
 
-  line("%zu tasklet(s) analyzed (%zu complete), %zu spans", analyzed, complete,
-       spans.size());
+  line("%zu tasklet(s) analyzed (%zu complete, %zu memoized), %zu spans",
+       analyzed, complete, memoized, spans.size());
   line("phase-sum violations:      %zu (want 0)", sum_violations);
   line("residual >1%% of wall time: %zu (want 0, worst %.3f%%)",
        residual_violations, worst_residual_pct);
@@ -321,12 +346,19 @@ int run_e12_attribution() {
        per_round_s * 1e3, rounds, ns_per_span);
   line("csv,E12,phase_sum,%zu,%zu,%zu,%.3f", analyzed, sum_violations,
        residual_violations, worst_residual_pct);
+  line("csv,E12,memoized,%zu,%zu", memoized, memoized_incomplete);
   line("csv,E12,analyze_ns_per_span,%.0f", ns_per_span);
 
   bool failed = false;
-  if (analyzed < kTasklets || complete == 0) {
+  if (analyzed < kTasklets + kMemoRepeats || complete == 0) {
     line("FAIL: expected %d analyzable tasklets (got %zu, %zu complete)",
-         kTasklets, analyzed, complete);
+         kTasklets + kMemoRepeats, analyzed, complete);
+    failed = true;
+  }
+  if (memoized < kMemoRepeats || memoized_incomplete != 0) {
+    line("FAIL: memoized completions must analyze as complete "
+         "(%zu memoized, %zu incomplete, want >= %d / 0)",
+         memoized, memoized_incomplete, kMemoRepeats);
     failed = true;
   }
   if (sum_violations != 0 || residual_violations != 0) {

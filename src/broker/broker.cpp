@@ -192,6 +192,8 @@ void Broker::on_message(const proto::Envelope& envelope, SimTime now,
           handle_fetch_program(envelope.from, m, out);
         } else if constexpr (std::is_same_v<T, proto::ProgramData>) {
           handle_program_data(m, now, out);
+        } else if constexpr (std::is_same_v<T, proto::SubmitDag>) {
+          handle_submit_dag(envelope.from, m, now, out);
         } else {
           TASKLETS_LOG(kWarn, kLog)
               << "unexpected message " << proto::message_name(envelope.payload);
@@ -1103,6 +1105,12 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
                  {"attempts", std::to_string(report.attempts)}});
   // Retained so duplicate submissions replay the same terminal report.
   state.final_report = report;
+  if (state.dag.valid()) {
+    // Internal DAG node (r4): the result is delegated broker-side into the
+    // node's dependents instead of round-tripping through a consumer.
+    on_dag_node_done(state, report, terminal, out);
+    return;
+  }
   out.send(state.consumer, proto::TaskletDone{std::move(report)});
 }
 
@@ -1110,9 +1118,14 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
 
 bool Broker::resolve_body(TaskletId id, TaskletState& state, SimTime now,
                           proto::Outbox& out) {
+  // DAG node tasklets (r4) arrive with their identity pre-seeded: the
+  // program digest and the *Merkle* digest standing in for args. Keep it —
+  // their memo entries must key the whole upstream cone, not the resolved
+  // argument values.
+  const bool merkle_keyed = state.dag.valid();
   if (const auto* vm = std::get_if<proto::VmBody>(&state.spec.body)) {
     state.program_digest = store::digest_bytes(vm->program);
-    state.args_digest = store::digest_args(vm->args);
+    if (!merkle_keyed) state.args_digest = store::digest_args(vm->args);
     if (try_memo_hit(id, state, now, out)) return true;
     // Intern and pin the program: assigns can now go digest-only to warm
     // providers, and future DigestBody submissions of it resolve locally.
@@ -1127,7 +1140,7 @@ bool Broker::resolve_body(TaskletId id, TaskletState& state, SimTime now,
   }
   if (const auto* digest = std::get_if<proto::DigestBody>(&state.spec.body)) {
     state.program_digest = digest->program_digest;
-    state.args_digest = store::digest_args(digest->args);
+    if (!merkle_keyed) state.args_digest = store::digest_args(digest->args);
     if (try_memo_hit(id, state, now, out)) return true;
     if (blobs_.contains(state.program_digest)) {
       blobs_.ref(state.program_digest);
@@ -1166,7 +1179,10 @@ bool Broker::try_memo_hit(TaskletId id, TaskletState& state, SimTime now,
   }
   const store::MemoEntry* entry =
       memo_.lookup({state.program_digest, state.args_digest});
-  if (entry == nullptr) return false;
+  if (entry == nullptr) {
+    TASKLETS_COUNT("broker.store.memo_misses", 1);
+    return false;
+  }
   ++stats_.memo_hits;
   TASKLETS_COUNT("broker.store.memo_hits", 1);
   trace_instant(state, "memo_hit", id, now,
@@ -1269,6 +1285,357 @@ void Broker::handle_program_data(const proto::ProgramData& m, SimTime now,
   }
   blobs_.put(m.program_digest, m.program);
   unpark_waiters(m.program_digest, /*deduped=*/false, now, out);
+}
+
+// --- DAG execution (r4) -----------------------------------------------------------
+
+namespace {
+
+// Binds a delegated upstream result into one argument slot. Synthetic bodies
+// carry no argument vector — their edges are ordering-only.
+void bind_body_arg(proto::TaskletBody& body, std::uint32_t slot,
+                   const tvm::HostArg& value) {
+  if (auto* vm = std::get_if<proto::VmBody>(&body)) {
+    vm->args[slot] = value;
+  } else if (auto* digest = std::get_if<proto::DigestBody>(&body)) {
+    digest->args[slot] = value;
+  }
+}
+
+}  // namespace
+
+void Broker::dag_trace_instant(
+    const DagState& dag, std::string name, SimTime now,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (config_.trace == nullptr || !dag.trace.active()) return;
+  config_.trace->instant(dag.trace, std::move(name), this->id(), TaskletId{},
+                         now, std::move(args));
+}
+
+void Broker::handle_submit_dag(NodeId from, const proto::SubmitDag& m,
+                               SimTime now, proto::Outbox& out) {
+  const DagId id = m.spec.id;
+  if (const auto it = dags_.find(id); it != dags_.end()) {
+    // SubmitDag is at-least-once from the consumer: drop retransmits of an
+    // in-flight DAG, replay the retained terminal status for a concluded one.
+    ++stats_.duplicate_dag_submits;
+    TASKLETS_COUNT("broker.dag.duplicate_submits", 1);
+    if (it->second.done && it->second.final_status.has_value()) {
+      out.send(from, *it->second.final_status);
+    }
+    return;
+  }
+  ++stats_.dags_submitted;
+  TASKLETS_COUNT("broker.dag.submitted", 1);
+  auto topo = dag::validate(m.spec);
+  if (!topo.is_ok()) {
+    // Structurally invalid (cycle, bad slot binding, ...): terminally failed
+    // before any node runs. Retain the status so retransmits replay it.
+    TASKLETS_LOG(kWarn, kLog) << "rejecting dag " << id.to_string() << ": "
+                              << topo.status().to_string();
+    ++stats_.dags_failed;
+    TASKLETS_COUNT("broker.dag.failed", 1);
+    DagState& dag = dags_[id];
+    dag.consumer = from;
+    dag.submitted_at = now;
+    dag.failed = true;
+    dag.done = true;
+    proto::DagStatus status;
+    status.dag = id;
+    status.job = m.spec.job;
+    status.status = proto::TaskletStatus::kFailed;
+    status.nodes.assign(m.spec.nodes.size(),
+                        proto::DagNodeDisposition::kPending);
+    dag.final_status = status;
+    out.send(from, std::move(status));
+    return;
+  }
+  DagState& dag = dags_[id];
+  dag.spec = m.spec;
+  dag.consumer = from;
+  dag.trace = m.trace;
+  dag.submitted_at = now;
+  dag.topo = std::move(topo).value();
+  dag.merkle = dag::merkle_digests(dag.spec, dag.topo);
+  dag.programs.reserve(dag.spec.nodes.size());
+  for (const auto& node : dag.spec.nodes) {
+    dag.programs.push_back(dag::node_program_digest(node.body));
+  }
+  dag.outputs = dag::output_nodes(dag.spec);
+  dag.nodes.assign(dag.spec.nodes.size(), DagNodeRuntime{});
+
+  // Demand pass, outputs downward (reverse topo order): a Merkle memo hit
+  // satisfies a node from the table and stops the descent — its entire
+  // upstream cone is never demanded. This is what turns the single-tasklet
+  // memo table into whole-subtree memoization.
+  std::vector<char> needed(dag.spec.nodes.size(), 0);
+  for (const std::uint32_t output : dag.outputs) needed[output] = 1;
+  std::vector<std::uint32_t> memo_settled;
+  for (auto it = dag.topo.rbegin(); it != dag.topo.rend(); ++it) {
+    const std::uint32_t node = *it;
+    if (needed[node] == 0) continue;
+    dag.nodes[node].demanded = true;
+    if (dag.spec.qoc.memoize) {
+      const store::MemoEntry* entry =
+          memo_.lookup({dag.programs[node], dag.merkle[node]});
+      if (entry != nullptr) {
+        settle_dag_node_from_memo(id, dag, node, *entry, now);
+        memo_settled.push_back(node);
+        continue;  // the subtree behind this node stays undemanded
+      }
+      TASKLETS_COUNT("broker.store.memo_misses", 1);
+    }
+    for (const dag::DagEdge& edge : dag.spec.nodes[node].inputs) {
+      needed[edge.from_node] = 1;
+    }
+  }
+
+  // Forward pass: demanded non-memo nodes wait on all their edges; memo
+  // results resolve their dependents' slots immediately.
+  for (const std::uint32_t node : dag.topo) {
+    DagNodeRuntime& rt = dag.nodes[node];
+    if (!rt.demanded || rt.report.has_value()) continue;
+    rt.waiting_inputs =
+        static_cast<std::uint32_t>(dag.spec.nodes[node].inputs.size());
+    dag.outstanding += 1;
+  }
+  dag_trace_instant(dag, "dag_submit", now,
+                    {{"nodes", std::to_string(dag.spec.nodes.size())},
+                     {"outstanding", std::to_string(dag.outstanding)}});
+  for (const std::uint32_t node : memo_settled) {
+    out.send(dag.consumer,
+             proto::DagNodeResult{id, node, *dag.nodes[node].report});
+    for (const std::uint32_t ready :
+         bind_dag_result(dag, node, dag.nodes[node].report->result)) {
+      release_dag_node(id, dag, ready, now, out);
+      if (dag.done) return;
+    }
+  }
+  if (dag.outstanding == 0) {
+    // Every output was answered from the memo: the whole DAG concludes
+    // without a single provider attempt.
+    finish_dag(id, dag, now, out);
+    return;
+  }
+  // Sources (no inputs) are ready immediately.
+  for (const std::uint32_t node : dag.topo) {
+    const DagNodeRuntime& rt = dag.nodes[node];
+    if (rt.demanded && !rt.report.has_value() && !rt.tasklet.valid() &&
+        rt.waiting_inputs == 0) {
+      release_dag_node(id, dag, node, now, out);
+      if (dag.done) return;
+    }
+  }
+}
+
+void Broker::settle_dag_node_from_memo(DagId /*dag_id*/, DagState& dag,
+                                       std::uint32_t node,
+                                       const store::MemoEntry& entry,
+                                       SimTime now) {
+  DagNodeRuntime& rt = dag.nodes[node];
+  rt.disposition = proto::DagNodeDisposition::kMemo;
+  ++stats_.memo_hits;
+  TASKLETS_COUNT("broker.store.memo_hits", 1);
+  ++stats_.dag_nodes_memo;
+  TASKLETS_COUNT("broker.dag.nodes_memo", 1);
+  proto::TaskletReport report;
+  report.job = dag.spec.job;
+  report.status = proto::TaskletStatus::kCompleted;
+  report.result = entry.result;
+  report.fuel_used = entry.fuel;
+  report.instructions = entry.instructions;
+  report.attempts = 0;  // the defining property of a memo completion
+  report.executed_by = entry.provider;
+  report.latency = 0;
+  rt.report = std::move(report);
+  dag_trace_instant(dag, "dag_memo_hit", now,
+                    {{"node", std::to_string(node)},
+                     {"merkle", dag.merkle[node].to_string()}});
+}
+
+std::vector<std::uint32_t> Broker::bind_dag_result(DagState& dag,
+                                                   std::uint32_t node,
+                                                   const tvm::HostArg& result) {
+  std::vector<std::uint32_t> ready;
+  for (std::size_t j = 0; j < dag.spec.nodes.size(); ++j) {
+    DagNodeRuntime& rt = dag.nodes[j];
+    if (!rt.demanded || rt.report.has_value() || rt.tasklet.valid()) continue;
+    for (const dag::DagEdge& edge : dag.spec.nodes[j].inputs) {
+      if (edge.from_node != node) continue;
+      bind_body_arg(dag.spec.nodes[j].body, edge.arg_slot, result);
+      ++stats_.dag_results_delegated;
+      TASKLETS_COUNT("broker.dag.results_delegated", 1);
+      if (rt.waiting_inputs > 0 && --rt.waiting_inputs == 0) {
+        ready.push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return ready;
+}
+
+void Broker::release_dag_node(DagId dag_id, DagState& dag, std::uint32_t node,
+                              SimTime now, proto::Outbox& out) {
+  DagNodeRuntime& rt = dag.nodes[node];
+  const TaskletId tid{kDagNodeIdBit | next_dag_node_seq_++};
+  rt.tasklet = tid;
+  ++stats_.tasklets_submitted;
+  TASKLETS_COUNT("broker.submitted", 1);
+  TaskletState& state = tasklets_[tid];
+  state.spec.id = tid;
+  state.spec.job = dag.spec.job;
+  state.spec.body = dag.spec.nodes[node].body;  // delegated inputs bound in
+  state.spec.qoc = dag.spec.qoc;
+  state.spec.origin_locality = dag.spec.origin_locality;
+  state.consumer = dag.consumer;
+  state.trace = dag.trace;  // node spans land in the DAG's trace
+  state.submitted_at = now;
+  state.replicas_pending =
+      std::max<std::uint32_t>(1, dag.spec.qoc.redundancy);
+  state.dag = dag_id;
+  state.dag_node = node;
+  // Merkle identity: memo entries for this node key (program digest, Merkle
+  // digest), so a future resubmission of the same subtree short-circuits at
+  // submit time. resolve_body preserves this pre-seeded args digest.
+  state.program_digest = dag.programs[node];
+  state.args_digest = dag.merkle[node];
+  dag_trace_instant(dag, "dag_node_release", now,
+                    {{"node", std::to_string(node)},
+                     {"tasklet", tid.to_string()}});
+  // The same gauntlet a flat submission runs: admission control, deadline,
+  // memo probe / program interning, then placement.
+  if (admission_rejects(tid, state, now, out)) return;
+  if (state.spec.qoc.deadline > 0) {
+    out.arm_timer(kDeadlineTimerBit | tid.value(), state.spec.qoc.deadline);
+  }
+  if (std::holds_alternative<proto::SyntheticBody>(state.spec.body)) {
+    // Synthetic bodies skip resolve_body's content machinery, but with a
+    // pseudo program digest they still participate in Merkle memoization.
+    if (try_memo_hit(tid, state, now, out)) return;
+  } else if (resolve_body(tid, state, now, out)) {
+    return;
+  }
+  while (state.replicas_pending > 0 && try_place_replica(tid, now, out).valid()) {
+  }
+  for (std::uint32_t i = 0; i < tasklets_.at(tid).replicas_pending; ++i) {
+    enqueue_replica(tid);
+  }
+}
+
+void Broker::on_dag_node_done(TaskletState& state,
+                              const proto::TaskletReport& report, SimTime now,
+                              proto::Outbox& out) {
+  const auto it = dags_.find(state.dag);
+  if (it == dags_.end() || it->second.done) return;
+  const DagId dag_id = state.dag;
+  DagState& dag = it->second;
+  DagNodeRuntime& rt = dag.nodes[state.dag_node];
+  if (rt.report.has_value()) return;
+  rt.report = report;
+  if (dag.outstanding > 0) dag.outstanding -= 1;
+  if (report.status != proto::TaskletStatus::kCompleted) {
+    // Per-node failure fails the whole DAG: downstream nodes can never get
+    // their inputs. Nodes already in flight keep running — their verified
+    // results still land in the memo table, so a resubmission after the
+    // fault reuses everything that did finish.
+    rt.disposition = proto::DagNodeDisposition::kFailed;
+    dag.failed = true;
+    out.send(dag.consumer,
+             proto::DagNodeResult{dag_id, state.dag_node, *rt.report});
+    dag_trace_instant(dag, "dag_node_failed", now,
+                      {{"node", std::to_string(state.dag_node)},
+                       {"status", std::string(proto::to_string(report.status))}});
+    finish_dag(dag_id, dag, now, out);
+    return;
+  }
+  rt.disposition = report.attempts == 0 ? proto::DagNodeDisposition::kMemo
+                                        : proto::DagNodeDisposition::kExecuted;
+  if (rt.disposition == proto::DagNodeDisposition::kMemo) {
+    ++stats_.dag_nodes_memo;
+    TASKLETS_COUNT("broker.dag.nodes_memo", 1);
+  } else {
+    ++stats_.dag_nodes_executed;
+    TASKLETS_COUNT("broker.dag.nodes_executed", 1);
+  }
+  // Intern the delegated result blob: downstream consumers (and the ops
+  // plane) can pull it content-addressed over the same FetchProgram /
+  // ProgramData path program bytes ride (r3).
+  {
+    ByteWriter w;
+    tvm::encode_arg(w, report.result);
+    Bytes blob = std::move(w).take();
+    const std::size_t blob_size = blob.size();
+    blobs_.put(store::digest_bytes(blob), std::move(blob));
+    stats_.dag_result_bytes_interned += blob_size;
+  }
+  out.send(dag.consumer,
+           proto::DagNodeResult{dag_id, state.dag_node, *rt.report});
+  dag_trace_instant(dag, "dag_node_done", now,
+                    {{"node", std::to_string(state.dag_node)},
+                     {"disposition", std::string(proto::to_string(rt.disposition))}});
+  // Output delegation: feed the result straight into dependents' argument
+  // slots and release whichever became fully resolved.
+  for (const std::uint32_t ready :
+       bind_dag_result(dag, state.dag_node, report.result)) {
+    release_dag_node(dag_id, dag, ready, now, out);
+    if (dag.done) return;
+  }
+  if (dag.outstanding == 0) finish_dag(dag_id, dag, now, out);
+}
+
+void Broker::finish_dag(DagId id, DagState& dag, SimTime now,
+                        proto::Outbox& out) {
+  dag.done = true;
+  proto::DagStatus status;
+  status.dag = id;
+  status.job = dag.spec.job;
+  status.status = proto::TaskletStatus::kCompleted;
+  status.nodes.reserve(dag.nodes.size());
+  for (DagNodeRuntime& rt : dag.nodes) {
+    if (!rt.demanded) {
+      rt.disposition = proto::DagNodeDisposition::kSkipped;
+      ++stats_.dag_nodes_skipped;
+      TASKLETS_COUNT("broker.dag.nodes_skipped", 1);
+    }
+    status.nodes.push_back(rt.disposition);
+  }
+  if (dag.failed) {
+    // Propagate the most specific failure: the first failed node's status.
+    status.status = proto::TaskletStatus::kFailed;
+    for (const DagNodeRuntime& rt : dag.nodes) {
+      if (rt.disposition == proto::DagNodeDisposition::kFailed &&
+          rt.report.has_value()) {
+        status.status = rt.report->status;
+        break;
+      }
+    }
+  }
+  status.outputs.reserve(dag.outputs.size());
+  for (const std::uint32_t output : dag.outputs) {
+    if (dag.nodes[output].report.has_value()) {
+      status.outputs.push_back(*dag.nodes[output].report);
+    } else {
+      proto::TaskletReport missing;
+      missing.job = dag.spec.job;
+      missing.status = status.status == proto::TaskletStatus::kCompleted
+                           ? proto::TaskletStatus::kFailed
+                           : status.status;
+      missing.error = "dag aborted before this output completed";
+      status.outputs.push_back(std::move(missing));
+    }
+  }
+  status.latency = now - dag.submitted_at;
+  if (dag.failed) {
+    ++stats_.dags_failed;
+    TASKLETS_COUNT("broker.dag.failed", 1);
+  } else {
+    ++stats_.dags_completed;
+    TASKLETS_COUNT("broker.dag.completed", 1);
+  }
+  dag_trace_instant(dag, "dag_done", now,
+                    {{"status", std::string(proto::to_string(status.status))},
+                     {"latency", format_duration(status.latency)}});
+  dag.final_status = status;
+  out.send(dag.consumer, std::move(status));
 }
 
 void Broker::unpark_waiters(const store::Digest& digest, bool deduped,

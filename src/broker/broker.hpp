@@ -139,6 +139,16 @@ struct BrokerStats {
   std::uint64_t program_serves = 0;     // ProgramData served to providers
   std::uint64_t assigns_by_digest = 0;  // digest-only assignments sent
   std::uint64_t assign_bytes_saved = 0; // program bytes not re-shipped
+  // Tasklet DAGs (r4).
+  std::uint64_t dags_submitted = 0;
+  std::uint64_t dags_completed = 0;
+  std::uint64_t dags_failed = 0;            // incl. invalid specs
+  std::uint64_t duplicate_dag_submits = 0;  // SubmitDag retransmits fenced
+  std::uint64_t dag_nodes_executed = 0;     // completed via provider attempts
+  std::uint64_t dag_nodes_memo = 0;         // Merkle subtree memo hits
+  std::uint64_t dag_nodes_skipped = 0;      // upstream cones never demanded
+  std::uint64_t dag_results_delegated = 0;  // results bound broker-side
+  std::uint64_t dag_result_bytes_interned = 0;  // result blobs put in the store
 };
 
 class Broker final : public proto::Actor {
@@ -260,10 +270,44 @@ class Broker final : public proto::Actor {
     // after conclusion replays it instead of re-running the tasklet (the
     // consumer's resubmission loop makes submission at-least-once).
     std::optional<proto::TaskletReport> final_report;
+    // Set for broker-internal DAG node executions (r4): conclusions are
+    // routed to the DAG executor instead of a consumer TaskletDone.
+    DagId dag;
+    std::uint32_t dag_node = 0;
+  };
+
+  // Per-node runtime state of an in-flight DAG.
+  struct DagNodeRuntime {
+    proto::DagNodeDisposition disposition = proto::DagNodeDisposition::kPending;
+    bool demanded = false;          // some output transitively needs this node
+    std::uint32_t waiting_inputs = 0;  // edges whose producer is not terminal
+    TaskletId tasklet;              // internal tasklet id once released
+    std::optional<proto::TaskletReport> report;
+  };
+
+  struct DagState {
+    dag::DagSpec spec;              // bodies mutate as results are bound in
+    NodeId consumer;
+    TraceContext trace;
+    SimTime submitted_at = 0;
+    std::vector<std::uint32_t> topo;
+    std::vector<store::Digest> programs;  // per-node program content digests
+    std::vector<store::Digest> merkle;    // per-node Merkle digests
+    std::vector<std::uint32_t> outputs;
+    std::vector<DagNodeRuntime> nodes;
+    std::uint32_t outstanding = 0;  // demanded non-memo nodes not yet terminal
+    bool failed = false;
+    bool done = false;
+    // Retained terminal status: duplicate SubmitDag frames replay it.
+    std::optional<proto::DagStatus> final_status;
   };
 
   static constexpr std::uint64_t kScanTimer = 1;
   static constexpr std::uint64_t kDeadlineTimerBit = 1ULL << 63;
+  // Internal DAG node tasklets live in their own id namespace so they can
+  // never collide with consumer-chosen tasklet ids (and stay clear of the
+  // deadline-timer bit above).
+  static constexpr std::uint64_t kDagNodeIdBit = 1ULL << 62;
 
   // --- message handlers -------------------------------------------------------
   void handle_register(NodeId from, const proto::RegisterProvider& m, SimTime now,
@@ -283,6 +327,32 @@ class Broker final : public proto::Actor {
   // Consumer answering our FetchProgram for a DigestBody submission.
   void handle_program_data(const proto::ProgramData& m, SimTime now,
                            proto::Outbox& out);
+
+  // --- DAG execution (r4) -----------------------------------------------------
+  // Validates, runs the Merkle demand pass (memo hits short-circuit whole
+  // subtrees) and releases the initially-ready nodes.
+  void handle_submit_dag(NodeId from, const proto::SubmitDag& m, SimTime now,
+                         proto::Outbox& out);
+  // Turns one demanded, fully-resolved node into an internal tasklet and
+  // pushes it through the ordinary submission machinery (admission control,
+  // deadline timer, memo probe, placement).
+  void release_dag_node(DagId dag_id, DagState& dag, std::uint32_t node,
+                        SimTime now, proto::Outbox& out);
+  // finish() calls this for dag-bound tasklets instead of TaskletDone:
+  // records the node's fate, delegates the result into dependents' argument
+  // slots, releases newly-ready nodes and concludes the DAG when possible.
+  void on_dag_node_done(TaskletState& state, const proto::TaskletReport& report,
+                        SimTime now, proto::Outbox& out);
+  // Marks a demanded node terminal without execution (demand-pass memo hit).
+  void settle_dag_node_from_memo(DagId dag_id, DagState& dag, std::uint32_t node,
+                                 const store::MemoEntry& entry, SimTime now);
+  // Binds `result` into every demanded dependent of `node`; returns the
+  // dependents that became ready.
+  std::vector<std::uint32_t> bind_dag_result(DagState& dag, std::uint32_t node,
+                                             const tvm::HostArg& result);
+  void finish_dag(DagId id, DagState& dag, SimTime now, proto::Outbox& out);
+  void dag_trace_instant(const DagState& dag, std::string name, SimTime now,
+                         std::vector<std::pair<std::string, std::string>> args = {});
 
   // --- scheduling ---------------------------------------------------------------
   // Providers eligible for one more replica of `state` right now.
@@ -388,6 +458,10 @@ class Broker final : public proto::Actor {
   store::BlobStore blobs_;
   store::MemoTable memo_;
   std::unordered_map<store::Digest, std::vector<TaskletId>> awaiting_program_;
+  // In-flight and concluded DAGs (r4), plus the id source for their
+  // internal node tasklets (namespaced with kDagNodeIdBit).
+  std::unordered_map<DagId, DagState> dags_;
+  std::uint64_t next_dag_node_seq_ = 1;
   // Pool-wide completed-attempt durations (straggler bound input).
   CompletionTracker completions_;
   // Heterogeneity score cached on the scan cadence — placement happens per

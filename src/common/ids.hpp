@@ -34,11 +34,13 @@ struct NodeIdTag { static constexpr const char* prefix = "node-"; };
 struct TaskletIdTag { static constexpr const char* prefix = "tasklet-"; };
 struct JobIdTag { static constexpr const char* prefix = "job-"; };
 struct AttemptIdTag { static constexpr const char* prefix = "attempt-"; };
+struct DagIdTag { static constexpr const char* prefix = "dag-"; };
 
 using NodeId = Id<NodeIdTag>;        // a provider, consumer or broker endpoint
 using TaskletId = Id<TaskletIdTag>;  // one logical unit of computation
 using JobId = Id<JobIdTag>;          // a batch of tasklets issued together
 using AttemptId = Id<AttemptIdTag>;  // one (possibly redundant) execution try
+using DagId = Id<DagIdTag>;          // a dataflow graph of tasklets (r4)
 
 // Monotonic id source. Thread-safe; never yields the invalid id 0.
 template <typename IdType>

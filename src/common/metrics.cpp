@@ -54,7 +54,26 @@ std::map<std::string, std::string, std::less<>>& help_catalog() {
       {"broker.store.program_fetches", "FetchProgram sent to consumers"},
       {"broker.store.program_serves", "ProgramData served to providers"},
       {"broker.store.memo_hits", "submissions answered from the result memo"},
+      {"broker.store.memo_misses", "memo probes that found no entry"},
       {"broker.store.memo_inserts", "verified results stored in the memo"},
+      {"broker.memo.hit_rate",
+       "derived: cumulative memo hits / (hits + misses), sampled"},
+      {"broker.dag.submitted", "DAG submissions accepted (r4)"},
+      {"broker.dag.completed", "DAGs concluded successfully"},
+      {"broker.dag.failed", "DAGs concluded with a failure"},
+      {"broker.dag.duplicate_submits", "deduplicated SubmitDag retransmits"},
+      {"broker.dag.nodes_executed", "DAG nodes completed via provider attempts"},
+      {"broker.dag.nodes_memo", "DAG nodes answered from the memo table"},
+      {"broker.dag.nodes_skipped",
+       "DAG nodes never demanded (downstream memo hits)"},
+      {"broker.dag.results_delegated",
+       "node results bound broker-side into dependent argument slots"},
+      {"consumer.dags_submitted", "DAG submissions sent"},
+      {"consumer.dags_completed", "terminal DagStatus: completed"},
+      {"consumer.dags_failed", "terminal DagStatus: any failure"},
+      {"consumer.dag_resubmits", "unanswered DAG submits re-sent after backoff"},
+      {"consumer.dags_abandoned", "DAGs abandoned after max_resubmits"},
+      {"consumer.dag_node_results", "deduplicated per-node result frames"},
       {"broker.store.assigns_by_digest",
        "assignments shipped digest-only to warm providers"},
       {"provider.assignments", "assignments accepted"},
@@ -463,6 +482,19 @@ void MetricsHistory::sample(const MetricsSnapshot& snap, SimTime at) {
     series_for(h.name + ".p50").record(at, h.p50);
     series_for(h.name + ".p95").record(at, h.p95);
     series_for(h.name + ".p99").record(at, h.p99);
+  }
+  // Derived series: cumulative memo-table hit rate (r4). Hits and misses are
+  // plain counters, so the division has to happen at sample time; 0 probes
+  // records 0 so the series exists from the first sample.
+  {
+    double hits = 0;
+    double misses = 0;
+    for (const auto& [name, v] : snap.counters) {
+      if (name == "broker.store.memo_hits") hits = static_cast<double>(v);
+      if (name == "broker.store.memo_misses") misses = static_cast<double>(v);
+    }
+    const double probes = hits + misses;
+    series_for("broker.memo.hit_rate").record(at, probes > 0 ? hits / probes : 0);
   }
   samples_.fetch_add(1, std::memory_order_relaxed);
 }

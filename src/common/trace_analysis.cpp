@@ -243,8 +243,19 @@ PhaseBreakdown analyze_tasklet(const TaskletTrace& trace) {
     out.total = named;
   }
 
-  out.complete = root != nullptr && winner != nullptr && winner->has_execute &&
-                 winner->vm > 0 && report != nullptr;
+  // Memoized completions (PR 8 exactness fix): the broker answers from the
+  // memo table with zero provider attempts, so there is no winning attempt
+  // to demand — the "memo_hit" instant is the execution record and every
+  // execution phase is legitimately zero-length.
+  const SpanNode* memo = trace.first("memo_hit");
+  if (memo != nullptr && out.attempts.empty()) {
+    out.memoized = true;
+    if (out.provider.empty()) out.provider = arg_or(memo->span, "provider");
+  }
+  out.complete =
+      root != nullptr && report != nullptr &&
+      (out.memoized ||
+       (winner != nullptr && winner->has_execute && winner->vm > 0));
   return out;
 }
 
@@ -385,6 +396,8 @@ std::string breakdown_json(const PhaseBreakdown& breakdown) {
   out += ",\"anomalies\":" + std::to_string(breakdown.anomalies);
   out += ",\"complete\":";
   out += breakdown.complete ? "true" : "false";
+  out += ",\"memoized\":";
+  out += breakdown.memoized ? "true" : "false";
   out += ",\"phases\":{";
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     if (i > 0) out += ",";

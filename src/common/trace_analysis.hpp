@@ -113,7 +113,12 @@ struct PhaseBreakdown {
   SimTime retry_overhead = 0;  // off-path: losing attempts' wall time
   std::vector<AttemptView> attempts;
   std::uint32_t anomalies = 0;  // clamped intervals + tree damage
-  // Root span, winning attempt, and its execute+vm children all present.
+  // Memo-table completion: a "memo_hit" instant concluded the tasklet with
+  // zero provider attempts. Every execution phase is legitimately
+  // zero-length for these.
+  bool memoized = false;
+  // Root span and report present, plus either a winning attempt with its
+  // execute+vm children or a memoized (zero-attempt) completion.
   bool complete = false;
 
   [[nodiscard]] SimTime phase(Phase p) const noexcept {

@@ -83,6 +83,57 @@ void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
   if (config_.resubmit) arm_retry_timer(now, out);
 }
 
+namespace {
+// DAG ids and tasklet ids come from independent generators; the high bit
+// keeps their trace ids from colliding in a shared TraceStore.
+constexpr std::uint64_t kDagTraceBit = 1ULL << 63;
+}  // namespace
+
+TraceContext ConsumerAgent::dag_trace_ctx(const PendingDag& entry) const noexcept {
+  if (config_.trace == nullptr) return {};
+  return TraceContext{kDagTraceBit | entry.spec.id.value(), entry.root_span};
+}
+
+void ConsumerAgent::end_dag_root_span(DagId id, const PendingDag& entry,
+                                      SimTime now, std::string_view status) {
+  if (config_.trace == nullptr) return;
+  Span span;
+  span.trace_id = kDagTraceBit | id.value();
+  span.span_id = entry.root_span;
+  span.name = "dag";
+  span.node = this->id();
+  span.start = entry.submitted_at;
+  span.end = now;
+  span.args.emplace_back("status", std::string(status));
+  span.args.emplace_back("nodes", std::to_string(entry.spec.nodes.size()));
+  config_.trace->add(std::move(span));
+}
+
+void ConsumerAgent::submit_dag(dag::DagSpec spec, DagHandler handler,
+                               DagNodeHandler node_handler, SimTime now,
+                               proto::Outbox& out) {
+  spec.origin_locality = locality_;
+  ++stats_.dags_submitted;
+  TASKLETS_COUNT("consumer.dags_submitted", 1);
+  PendingDag entry;
+  entry.handler = std::move(handler);
+  entry.node_handler = std::move(node_handler);
+  entry.backoff = ExponentialBackoff(config_.backoff);
+  entry.node_seen.assign(spec.nodes.size(), 0);
+  if (config_.resubmit) entry.next_resubmit = now + entry.backoff.next(rng_);
+  const DagId id = spec.id;
+  entry.spec = std::move(spec);
+  if (config_.trace != nullptr) {
+    entry.root_span = next_span_id();
+    entry.submitted_at = now;
+  }
+  const TraceContext ctx = dag_trace_ctx(entry);
+  dag::DagSpec wire_spec = entry.spec;
+  dags_.insert_or_assign(id, std::move(entry));
+  out.send(broker_, proto::SubmitDag{std::move(wire_spec), ctx});
+  if (config_.resubmit) arm_retry_timer(now, out);
+}
+
 void ConsumerAgent::cancel(TaskletId id, proto::Outbox& out) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
@@ -126,12 +177,42 @@ void ConsumerAgent::on_timer(std::uint64_t timer_id, SimTime now,
     pending_.erase(it);
     fail_locally(id, std::move(entry), now);
   }
+  std::vector<DagId> abandoned_dags;
+  for (auto& [id, entry] : dags_) {
+    if (entry.next_resubmit == 0 || entry.next_resubmit > now) continue;
+    if (entry.resubmits >= config_.max_resubmits) {
+      abandoned_dags.push_back(id);
+      continue;
+    }
+    ++entry.resubmits;
+    ++stats_.dag_resubmits;
+    TASKLETS_COUNT("consumer.dag_resubmits", 1);
+    entry.next_resubmit = now + entry.backoff.next(rng_);
+    if (config_.trace != nullptr) {
+      config_.trace->instant(dag_trace_ctx(entry), "dag_resubmit", this->id(),
+                             TaskletId{}, now,
+                             {{"attempt", std::to_string(entry.resubmits)}});
+    }
+    out.send(broker_, proto::SubmitDag{entry.spec, dag_trace_ctx(entry)});
+  }
+  for (const DagId id : abandoned_dags) {
+    auto it = dags_.find(id);
+    PendingDag entry = std::move(it->second);
+    dags_.erase(it);
+    fail_dag_locally(id, std::move(entry), now);
+  }
   arm_retry_timer(now, out);
 }
 
 void ConsumerAgent::arm_retry_timer(SimTime now, proto::Outbox& out) {
   SimTime earliest = 0;
   for (const auto& [id, entry] : pending_) {
+    if (entry.next_resubmit == 0) continue;
+    if (earliest == 0 || entry.next_resubmit < earliest) {
+      earliest = entry.next_resubmit;
+    }
+  }
+  for (const auto& [id, entry] : dags_) {
     if (entry.next_resubmit == 0) continue;
     if (earliest == 0 || entry.next_resubmit < earliest) {
       earliest = entry.next_resubmit;
@@ -163,6 +244,60 @@ void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry, SimTime now) {
   entry.handler(report);
 }
 
+void ConsumerAgent::fail_dag_locally(DagId id, PendingDag&& entry,
+                                     SimTime now) {
+  ++stats_.dags_failed;
+  ++stats_.dags_abandoned;
+  TASKLETS_COUNT("consumer.dags_abandoned", 1);
+  if (config_.trace != nullptr) {
+    config_.trace->instant(dag_trace_ctx(entry), "dag_abandon", this->id(),
+                           TaskletId{}, now);
+    end_dag_root_span(id, entry, now, "abandoned");
+  }
+  TASKLETS_LOG(kWarn, "consumer")
+      .kv("dag", id.to_string())
+      .kv("submissions", entry.resubmits + 1)
+      << this->id().to_string() << ": abandoning dag with no broker reply";
+  proto::DagStatus status;
+  status.dag = id;
+  status.job = entry.spec.job;
+  status.status = proto::TaskletStatus::kExhausted;
+  status.nodes.assign(entry.spec.nodes.size(),
+                      proto::DagNodeDisposition::kPending);
+  entry.handler(status);
+}
+
+void ConsumerAgent::handle_dag_node_result(const proto::DagNodeResult& m) {
+  const auto it = dags_.find(m.dag);
+  if (it == dags_.end()) return;  // already concluded
+  PendingDag& entry = it->second;
+  if (m.node >= entry.node_seen.size() || entry.node_seen[m.node] != 0) {
+    return;  // malformed index or at-least-once duplicate
+  }
+  entry.node_seen[m.node] = 1;
+  ++stats_.dag_node_results;
+  TASKLETS_COUNT("consumer.dag_node_results", 1);
+  if (entry.node_handler) entry.node_handler(m.node, m.report);
+}
+
+void ConsumerAgent::handle_dag_status(const proto::DagStatus& m, SimTime now) {
+  const auto it = dags_.find(m.dag);
+  if (it == dags_.end()) return;  // duplicate terminal status
+  if (m.status == proto::TaskletStatus::kCompleted) {
+    ++stats_.dags_completed;
+    TASKLETS_COUNT("consumer.dags_completed", 1);
+  } else {
+    ++stats_.dags_failed;
+    TASKLETS_COUNT("consumer.dags_failed", 1);
+  }
+  if (config_.trace != nullptr) {
+    end_dag_root_span(m.dag, it->second, now, proto::to_string(m.status));
+  }
+  DagHandler handler = std::move(it->second.handler);
+  dags_.erase(it);
+  handler(m);
+}
+
 void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime now,
                                proto::Outbox& out) {
   if (const auto* fetch =
@@ -177,6 +312,16 @@ void ConsumerAgent::on_message(const proto::Envelope& envelope, SimTime now,
       out.send(envelope.from,
                proto::ProgramData{fetch->program_digest, *blob});
     }
+    return;
+  }
+  if (const auto* node_result =
+          std::get_if<proto::DagNodeResult>(&envelope.payload)) {
+    handle_dag_node_result(*node_result);
+    return;
+  }
+  if (const auto* dag_status =
+          std::get_if<proto::DagStatus>(&envelope.payload)) {
+    handle_dag_status(*dag_status, now);
     return;
   }
   const auto* done = std::get_if<proto::TaskletDone>(&envelope.payload);

@@ -20,6 +20,7 @@
 #include "common/backoff.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
+#include "dag/dag.hpp"
 #include "proto/actor.hpp"
 #include "store/blob_store.hpp"
 
@@ -54,11 +55,24 @@ struct ConsumerStats {
   std::uint64_t abandoned = 0;  // failed locally after max_resubmits
   std::uint64_t digest_submits = 0;  // submissions sent by digest (r3 dedup)
   std::uint64_t program_serves = 0;  // ProgramData replies to broker fetches
+  // Protocol r4 (DAG submission).
+  std::uint64_t dags_submitted = 0;
+  std::uint64_t dags_completed = 0;
+  std::uint64_t dags_failed = 0;  // any non-completed terminal DagStatus
+  std::uint64_t dag_resubmits = 0;
+  std::uint64_t dags_abandoned = 0;  // failed locally after max_resubmits
+  std::uint64_t dag_node_results = 0;  // deduplicated per-node reports
 };
 
 class ConsumerAgent final : public proto::Actor {
  public:
   using ReportHandler = std::function<void(const proto::TaskletReport&)>;
+  // Fires once per demanded DAG node as its terminal report streams back
+  // (duplicated DagNodeResult frames are deduplicated here).
+  using DagNodeHandler =
+      std::function<void(std::uint32_t, const proto::TaskletReport&)>;
+  // Fires exactly once with the DAG's terminal status.
+  using DagHandler = std::function<void(const proto::DagStatus&)>;
 
   ConsumerAgent(NodeId id, NodeId broker, std::string locality = {},
                 ConsumerConfig config = {});
@@ -76,6 +90,17 @@ class ConsumerAgent final : public proto::Actor {
   // Cancels an outstanding tasklet: the handler is dropped, a best-effort
   // cancel is sent to the broker, late reports are ignored.
   void cancel(TaskletId id, proto::Outbox& out);
+
+  // Submits a dataflow graph (protocol r4). `node_handler` (optional) fires
+  // per demanded node as results stream back; `handler` fires exactly once
+  // with the terminal DagStatus. Submission is at-least-once on the same
+  // backoff cadence as flat tasklets; the broker dedups by DagId.
+  void submit_dag(dag::DagSpec spec, DagHandler handler,
+                  DagNodeHandler node_handler, SimTime now, proto::Outbox& out);
+
+  [[nodiscard]] std::size_t outstanding_dags() const noexcept {
+    return dags_.size();
+  }
 
   [[nodiscard]] std::size_t outstanding() const noexcept { return pending_.size(); }
   [[nodiscard]] const ConsumerStats& stats() const noexcept { return stats_; }
@@ -96,9 +121,27 @@ class ConsumerAgent final : public proto::Actor {
     store::Digest program_digest;
   };
 
+  struct PendingDag {
+    DagHandler handler;
+    DagNodeHandler node_handler;
+    dag::DagSpec spec;  // retained for resubmission
+    ExponentialBackoff backoff;
+    SimTime next_resubmit = 0;
+    std::uint32_t resubmits = 0;
+    std::uint64_t root_span = 0;  // the root "dag" span
+    SimTime submitted_at = 0;
+    std::vector<char> node_seen;  // DagNodeResult dedup, indexed like nodes
+  };
+
   // TraceContext for messages about this tasklet, 0/0 when tracing is off.
   [[nodiscard]] TraceContext trace_ctx(TaskletId id,
                                        const Pending& entry) const noexcept;
+  [[nodiscard]] TraceContext dag_trace_ctx(const PendingDag& entry) const noexcept;
+  void end_dag_root_span(DagId id, const PendingDag& entry, SimTime now,
+                         std::string_view status);
+  void fail_dag_locally(DagId id, PendingDag&& entry, SimTime now);
+  void handle_dag_node_result(const proto::DagNodeResult& m);
+  void handle_dag_status(const proto::DagStatus& m, SimTime now);
   void end_root_span(TaskletId id, const Pending& entry, SimTime now,
                      std::string_view status);
 
@@ -117,6 +160,7 @@ class ConsumerAgent final : public proto::Actor {
   // Ordered map: iterated to find the earliest retry deadline, and keeps
   // retry scans deterministic under the simulator.
   std::map<TaskletId, Pending> pending_;
+  std::map<DagId, PendingDag> dags_;
   // Local program store (r3): backs digest submissions and answers the
   // broker's FetchProgram pulls. Outstanding tasklets pin their program.
   store::BlobStore programs_{16u << 20};

@@ -494,14 +494,18 @@ std::string OpsPlane::handle_top() {
                 "alerts: %" PRIu64 " fired  %zu active\n",
                 engine_.fired_count(), engine_.active_alerts().size());
   text += line;
-  std::snprintf(line, sizeof line, "%-12s %-8s %5s %5s %12s %12s %7s %5s %7s %6s\n",
+  std::snprintf(line, sizeof line,
+                "%-12s %-8s %5s %5s %12s %12s %7s %5s %7s %6s %5s\n",
                 "NODE", "CLASS", "SLOTS", "BUSY", "SPEED(adv)", "SPEED(meas)",
-                "HEALTH", "WARM", "COMPL", "FENCED");
+                "HEALTH", "WARM", "COMPL", "FENCED", "MEMO");
   text += line;
   for (const broker::ProviderView& view : state.providers) {
+    const auto memo_it = state.memo_by_provider.find(view.id);
+    const std::uint64_t memo_entries =
+        memo_it == state.memo_by_provider.end() ? 0 : memo_it->second;
     std::snprintf(line, sizeof line,
                   "%-12s %-8s %5u %5u %12.3g %12.3g %7.2f %5s %7" PRIu64
-                  " %6" PRIu64 "\n",
+                  " %6" PRIu64 " %5" PRIu64 "\n",
                   view.id.to_string().c_str(),
                   std::string(proto::to_string(view.capability.device_class))
                       .c_str(),
@@ -509,7 +513,7 @@ std::string OpsPlane::handle_top() {
                   view.capability.speed_fuel_per_sec,
                   view.measured_speed_fuel_per_sec, broker::health_score(view),
                   view.warm ? "y" : "-", view.completed,
-                  view.straggler_fences + view.timed_out);
+                  view.straggler_fences + view.timed_out, memo_entries);
     text += line;
   }
   for (const health::Alert& alert : engine_.active_alerts()) {

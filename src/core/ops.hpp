@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,9 @@ class OpsPlane {
     std::vector<broker::ProviderView> providers;  // online, id-sorted
     broker::PoolStats pool;
     std::size_t queue_length = 0;
+    // Live memo-table entries attributed to the provider whose verified
+    // result populated them (feeds the MEMO column of `top`).
+    std::map<NodeId, std::uint64_t> memo_by_provider;
   };
   using BrokerStateFn = std::function<BrokerState()>;
 

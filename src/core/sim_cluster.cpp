@@ -263,6 +263,10 @@ SimCluster::SimCluster(SimConfig config)
           state.providers = broker_->provider_views();
           state.pool = broker::compute_pool_stats(state.providers);
           state.queue_length = broker_->queue_length();
+          broker_->memo_table().for_each(
+              [&state](const store::MemoKey&, const store::MemoEntry& entry) {
+                ++state.memo_by_provider[entry.provider];
+              });
           return state;
         },
         config_.trace, /*start_sampler=*/false);
@@ -454,6 +458,40 @@ TaskletId SimCluster::submit_at(SimTime when, proto::TaskletBody body,
   return id;
 }
 
+DagId SimCluster::submit_dag(std::vector<dag::DagNode> nodes, proto::Qoc qoc,
+                             NodeId consumer, JobId job,
+                             std::vector<std::uint32_t> outputs) {
+  return submit_dag_at(0, std::move(nodes), qoc, consumer, job,
+                       std::move(outputs));
+}
+
+DagId SimCluster::submit_dag_at(SimTime when, std::vector<dag::DagNode> nodes,
+                                proto::Qoc qoc, NodeId consumer, JobId job,
+                                std::vector<std::uint32_t> outputs) {
+  const NodeId consumer_id = consumer.valid() ? consumer : default_consumer();
+  dag::DagSpec spec;
+  spec.id = dag_ids_.next();
+  spec.job = job.valid() ? job : job_ids_.next();
+  spec.nodes = std::move(nodes);
+  spec.qoc = qoc;
+  spec.outputs = std::move(outputs);
+  ++dags_submitted_;
+  const DagId id = spec.id;
+  engine_->schedule(when, [this, consumer_id, spec = std::move(spec)]() mutable {
+    Node& n = node(consumer_id);
+    proto::Outbox out(consumer_id);
+    n.consumer->submit_dag(
+        std::move(spec),
+        [this](const proto::DagStatus& status) {
+          dag_status_index_.emplace(status.dag, dag_statuses_.size());
+          dag_statuses_.push_back(status);
+        },
+        /*node_handler=*/nullptr, engine_->now(), out);
+    process_outbox(out);
+  });
+  return id;
+}
+
 void SimCluster::dispatch(proto::Envelope envelope) {
   const auto from_it = nodes_.find(envelope.from);
   const auto to_it = nodes_.find(envelope.to);
@@ -505,11 +543,13 @@ void SimCluster::arm_timer(NodeId node_id, const proto::TimerRequest& request) {
 }
 
 bool SimCluster::run_until_quiescent(SimTime max_virtual_time) {
-  while (reports_.size() < submitted_ && !engine_->empty() &&
-         engine_->now() <= max_virtual_time) {
+  while ((reports_.size() < submitted_ ||
+          dag_statuses_.size() < dags_submitted_) &&
+         !engine_->empty() && engine_->now() <= max_virtual_time) {
     engine_->run(1);
   }
-  return reports_.size() >= submitted_;
+  return reports_.size() >= submitted_ &&
+         dag_statuses_.size() >= dags_submitted_;
 }
 
 void SimCluster::run_for(SimTime duration) {
@@ -519,6 +559,11 @@ void SimCluster::run_for(SimTime duration) {
 const proto::TaskletReport* SimCluster::report_for(TaskletId id) const {
   const auto it = report_index_.find(id);
   return it == report_index_.end() ? nullptr : &reports_[it->second];
+}
+
+const proto::DagStatus* SimCluster::dag_status_for(DagId id) const {
+  const auto it = dag_status_index_.find(id);
+  return it == dag_status_index_.end() ? nullptr : &dag_statuses_[it->second];
 }
 
 std::size_t SimCluster::completed_ok() const noexcept {

@@ -79,6 +79,17 @@ class SimCluster {
   TaskletId submit_at(SimTime when, proto::TaskletBody body, proto::Qoc qoc = {},
                       NodeId consumer = {}, JobId job = {});
 
+  // Submits a dataflow graph (protocol r4). Nodes reference each other by
+  // index through their `inputs` edges; `outputs` empty = every sink node.
+  // The terminal DagStatus is collected like flat reports and counts toward
+  // quiescence.
+  DagId submit_dag(std::vector<dag::DagNode> nodes, proto::Qoc qoc = {},
+                   NodeId consumer = {}, JobId job = {},
+                   std::vector<std::uint32_t> outputs = {});
+  DagId submit_dag_at(SimTime when, std::vector<dag::DagNode> nodes,
+                      proto::Qoc qoc = {}, NodeId consumer = {}, JobId job = {},
+                      std::vector<std::uint32_t> outputs = {});
+
   // --- execution ------------------------------------------------------------------
   // Runs until every submitted tasklet has a terminal report, or virtual
   // time exceeds `max_virtual_time`. Returns true on full quiescence.
@@ -98,6 +109,14 @@ class SimCluster {
   [[nodiscard]] OpsPlane* ops() noexcept { return ops_.get(); }
   [[nodiscard]] std::size_t submitted() const noexcept { return submitted_; }
   [[nodiscard]] std::size_t completed_ok() const noexcept;
+  // Terminal DAG statuses, in arrival order.
+  [[nodiscard]] const std::vector<proto::DagStatus>& dag_statuses() const noexcept {
+    return dag_statuses_;
+  }
+  [[nodiscard]] const proto::DagStatus* dag_status_for(DagId id) const;
+  [[nodiscard]] std::size_t dags_submitted() const noexcept {
+    return dags_submitted_;
+  }
   // Total accounting cost across completed tasklets (fuel * provider rate).
   [[nodiscard]] double total_cost() const noexcept { return total_cost_; }
   // Modelled bytes-on-wire, total and by message kind (proto::message_name).
@@ -133,6 +152,7 @@ class SimCluster {
   IdGenerator<NodeId> node_ids_;
   IdGenerator<TaskletId> tasklet_ids_;
   IdGenerator<JobId> job_ids_;
+  IdGenerator<DagId> dag_ids_;
   std::shared_ptr<provider::VmExecutor> executor_;
 
   NodeId broker_id_;
@@ -148,6 +168,9 @@ class SimCluster {
   std::unordered_map<std::string, std::uint64_t> wire_bytes_by_message_;
   std::vector<proto::TaskletReport> reports_;
   std::unordered_map<TaskletId, std::size_t> report_index_;
+  std::size_t dags_submitted_ = 0;
+  std::vector<proto::DagStatus> dag_statuses_;
+  std::unordered_map<DagId, std::size_t> dag_status_index_;
   double total_cost_ = 0.0;
 };
 

@@ -172,6 +172,10 @@ TaskletSystem::TaskletSystem(SystemConfig config)
         state.providers = broker->provider_views();
         state.pool = broker::compute_pool_stats(state.providers);
         state.queue_length = broker->queue_length();
+        broker->memo_table().for_each(
+            [&state](const store::MemoKey&, const store::MemoEntry& entry) {
+              ++state.memo_by_provider[entry.provider];
+            });
         promise->set_value(std::move(state));
       });
       return future.get();
@@ -273,6 +277,31 @@ std::future<proto::TaskletReport> TaskletSystem::submit(proto::TaskletBody body,
                         promise->set_value(report);
                       },
                       now, out);
+      });
+  return future;
+}
+
+std::future<proto::DagStatus> TaskletSystem::submit_dag(
+    std::vector<dag::DagNode> nodes, proto::Qoc qoc,
+    std::vector<std::uint32_t> outputs) {
+  dag::DagSpec spec;
+  spec.id = dag_ids_.next();
+  spec.job = job_ids_.next();
+  spec.nodes = std::move(nodes);
+  spec.qoc = qoc;
+  spec.outputs = std::move(outputs);
+
+  auto promise = std::make_shared<std::promise<proto::DagStatus>>();
+  std::future<proto::DagStatus> future = promise->get_future();
+  consumer::ConsumerAgent* agent = consumer_;
+  consumer_host_->post_closure(
+      [agent, spec = std::move(spec), promise](SimTime now,
+                                               proto::Outbox& out) mutable {
+        agent->submit_dag(std::move(spec),
+                          [promise](const proto::DagStatus& status) {
+                            promise->set_value(status);
+                          },
+                          /*node_handler=*/nullptr, now, out);
       });
   return future;
 }

@@ -102,6 +102,14 @@ class TaskletSystem {
   [[nodiscard]] std::vector<std::future<proto::TaskletReport>> submit_batch(
       std::vector<proto::TaskletBody> bodies, proto::Qoc qoc = {});
 
+  // Submits a dataflow graph (protocol r4): nodes reference each other by
+  // index through `inputs` edges, finished results are bound into dependents
+  // broker-side. The future resolves with the terminal DagStatus (outputs =
+  // the reports of `outputs` nodes, or every sink when empty).
+  [[nodiscard]] std::future<proto::DagStatus> submit_dag(
+      std::vector<dag::DagNode> nodes, proto::Qoc qoc = {},
+      std::vector<std::uint32_t> outputs = {});
+
   // Snapshot of broker statistics (synchronizes with the broker actor).
   [[nodiscard]] broker::BrokerStats broker_stats();
 
@@ -145,6 +153,7 @@ class TaskletSystem {
   IdGenerator<NodeId> node_ids_;
   IdGenerator<TaskletId> tasklet_ids_;
   IdGenerator<JobId> job_ids_;
+  IdGenerator<DagId> dag_ids_;
   NodeId broker_id_;
   NodeId consumer_id_;
   broker::Broker* broker_ = nullptr;      // owned by runtime_

@@ -1,0 +1,181 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <string_view>
+#include <variant>
+
+#include "common/bytes.hpp"
+
+namespace tasklets::dag {
+namespace {
+
+// Domain-separation tags: a Merkle node digest and a synthetic pseudo
+// program digest must never collide with digest_bytes over real program
+// containers or digest_args over argument vectors.
+constexpr std::string_view kNodeDomain = "tasklets.dag.node.v1";
+constexpr std::string_view kSyntheticDomain = "tasklets.dag.synthetic.v1";
+
+const std::vector<tvm::HostArg>* args_of(const proto::TaskletBody& body) {
+  if (const auto* vm = std::get_if<proto::VmBody>(&body)) return &vm->args;
+  if (const auto* dig = std::get_if<proto::DigestBody>(&body)) return &dig->args;
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint32_t>> validate(const DagSpec& spec) {
+  if (!spec.id.valid()) {
+    return make_error(StatusCode::kInvalidArgument, "dag id is invalid");
+  }
+  if (spec.nodes.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "dag has no nodes");
+  }
+  if (spec.nodes.size() > kMaxNodes) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "dag exceeds " + std::to_string(kMaxNodes) + " nodes");
+  }
+  const std::size_t n = spec.nodes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DagNode& node = spec.nodes[i];
+    const auto* args = args_of(node.body);
+    std::vector<bool> slot_bound;
+    if (args != nullptr) slot_bound.assign(args->size(), false);
+    for (const DagEdge& edge : node.inputs) {
+      if (edge.from_node >= n) {
+        return make_error(StatusCode::kInvalidArgument,
+                          "node " + std::to_string(i) +
+                              " edge references missing node " +
+                              std::to_string(edge.from_node));
+      }
+      if (edge.from_node == i) {
+        return make_error(StatusCode::kInvalidArgument,
+                          "node " + std::to_string(i) + " depends on itself");
+      }
+      if (args != nullptr) {
+        if (edge.arg_slot >= args->size()) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "node " + std::to_string(i) + " binds arg slot " +
+                                std::to_string(edge.arg_slot) + " but has " +
+                                std::to_string(args->size()) + " args");
+        }
+        if (slot_bound[edge.arg_slot]) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "node " + std::to_string(i) + " binds arg slot " +
+                                std::to_string(edge.arg_slot) + " twice");
+        }
+        slot_bound[edge.arg_slot] = true;
+      }
+    }
+  }
+  for (const std::uint32_t out : spec.outputs) {
+    if (out >= n) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "output references missing node " + std::to_string(out));
+    }
+  }
+
+  // Kahn's algorithm, FIFO by node index: the returned order is a pure
+  // function of the spec, which both the broker's release logic and the
+  // Merkle computation rely on for determinism.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<std::uint32_t>> dependents(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<std::uint32_t>(spec.nodes[i].inputs.size());
+    for (const DagEdge& edge : spec.nodes[i].inputs) {
+      dependents[edge.from_node].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::deque<std::uint32_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::uint32_t node = ready.front();
+    ready.pop_front();
+    order.push_back(node);
+    for (const std::uint32_t dep : dependents[node]) {
+      if (--indegree[dep] == 0) ready.push_back(dep);
+    }
+  }
+  if (order.size() != n) {
+    return make_error(StatusCode::kInvalidArgument, "dag contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::uint32_t> sink_nodes(const DagSpec& spec) {
+  std::vector<bool> consumed(spec.nodes.size(), false);
+  for (const DagNode& node : spec.nodes) {
+    for (const DagEdge& edge : node.inputs) consumed[edge.from_node] = true;
+  }
+  std::vector<std::uint32_t> sinks;
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    if (!consumed[i]) sinks.push_back(static_cast<std::uint32_t>(i));
+  }
+  return sinks;
+}
+
+std::vector<std::uint32_t> output_nodes(const DagSpec& spec) {
+  return spec.outputs.empty() ? sink_nodes(spec) : spec.outputs;
+}
+
+store::Digest node_program_digest(const proto::TaskletBody& body) {
+  if (const auto* vm = std::get_if<proto::VmBody>(&body)) {
+    return store::digest_bytes(vm->program);
+  }
+  if (const auto* dig = std::get_if<proto::DigestBody>(&body)) {
+    return dig->program_digest;
+  }
+  const auto& syn = std::get<proto::SyntheticBody>(body);
+  ByteWriter w;
+  w.write_string(kSyntheticDomain);
+  w.write_u64(syn.fuel);
+  w.write_i64(syn.result);
+  w.write_u64(syn.payload_bytes);
+  return store::digest_bytes(w.buffer());
+}
+
+std::vector<store::Digest> merkle_digests(
+    const DagSpec& spec, const std::vector<std::uint32_t>& topo) {
+  std::vector<store::Digest> merkle(spec.nodes.size());
+  for (const std::uint32_t index : topo) {
+    const DagNode& node = spec.nodes[index];
+    ByteWriter w;
+    w.write_string(kNodeDomain);
+    const store::Digest program = node_program_digest(node.body);
+    w.write_u64(program.hi);
+    w.write_u64(program.lo);
+    // Literal arguments, with bound slots canonicalized to int64{0}: the
+    // placeholder a consumer happened to leave in a bound slot must not
+    // perturb the digest (the edge list below is what names that input).
+    if (const auto* args = args_of(node.body)) {
+      std::vector<tvm::HostArg> literals = *args;
+      for (const DagEdge& edge : node.inputs) {
+        literals[edge.arg_slot] = std::int64_t{0};
+      }
+      const store::Digest lit = store::digest_args(literals);
+      w.write_u64(lit.hi);
+      w.write_u64(lit.lo);
+    } else {
+      w.write_u64(0);
+      w.write_u64(0);
+    }
+    // Ordered edge list: (arg_slot, upstream Merkle digest). Order is part
+    // of the identity — reordering edges is a different computation.
+    w.write_varint(node.inputs.size());
+    for (const DagEdge& edge : node.inputs) {
+      w.write_u32(edge.arg_slot);
+      const store::Digest& up = merkle[edge.from_node];
+      w.write_u64(up.hi);
+      w.write_u64(up.lo);
+    }
+    merkle[index] = store::digest_bytes(w.buffer());
+  }
+  return merkle;
+}
+
+}  // namespace tasklets::dag

@@ -1,0 +1,99 @@
+// Tasklet DAGs (protocol r4): dataflow composition of tasklets.
+//
+// A DagSpec names a directed acyclic graph of tasklet bodies. Each node is a
+// program (by bytes, digest or synthetic cost model) plus literal arguments;
+// each edge binds an upstream node's result into one argument slot of a
+// downstream node. The consumer submits the whole graph once; the broker
+// releases nodes as their inputs complete and feeds a finished node's result
+// directly into its dependents' argument slots — stages no longer pay a
+// consumer round trip between them (f2-style output delegation).
+//
+// Merkle node digests make the graph memoizable as *subtrees*: a node's
+// digest covers its program content, its literal arguments and, recursively,
+// the digests of everything feeding it. Equal digest therefore means "same
+// computation including the entire upstream cone", so a memo hit on an
+// interior node short-circuits not just that node but every transitive input
+// that exists only to feed it. Resubmitting a pipeline with one changed leaf
+// re-executes exactly the dirty cone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+#include "proto/types.hpp"
+#include "store/digest.hpp"
+
+namespace tasklets::dag {
+
+// Upper bound on graph width accepted by validate() and the wire decoder;
+// keeps hostile SubmitDag frames from ballooning broker state.
+inline constexpr std::size_t kMaxNodes = 4096;
+
+// One dataflow edge: the result of `from_node` lands in argument slot
+// `arg_slot` of the node owning this edge. For synthetic bodies (which carry
+// no argument vector) edges express ordering only and `arg_slot` is ignored.
+struct DagEdge {
+  std::uint32_t from_node = 0;
+  std::uint32_t arg_slot = 0;
+
+  friend bool operator==(const DagEdge&, const DagEdge&) = default;
+};
+
+struct DagNode {
+  proto::TaskletBody body;      // VmBody, SyntheticBody or DigestBody
+  std::vector<DagEdge> inputs;  // edges feeding this node
+
+  friend bool operator==(const DagNode&, const DagNode&) = default;
+};
+
+// A dataflow graph as submitted by a consumer. The QoC applies to every
+// node individually (redundancy, deadline, admission and straggler defense
+// all operate per node); `memoize` additionally opts the whole graph into
+// Merkle subtree memoization.
+struct DagSpec {
+  DagId id;
+  JobId job;
+  std::vector<DagNode> nodes;
+  proto::Qoc qoc;
+  std::string origin_locality;
+  // Nodes whose results the consumer wants in the terminal DagStatus.
+  // Empty means "all sinks" (see output_nodes()).
+  std::vector<std::uint32_t> outputs;
+
+  friend bool operator==(const DagSpec&, const DagSpec&) = default;
+};
+
+// Structural validation: node/edge indices in range, argument slots bound
+// within the downstream argument vector (and at most once), outputs valid,
+// and the graph acyclic. Returns a deterministic topological order (Kahn's
+// algorithm, FIFO by node index) or kInvalidArgument.
+[[nodiscard]] Result<std::vector<std::uint32_t>> validate(const DagSpec& spec);
+
+// Nodes no edge consumes — the graph's natural outputs.
+[[nodiscard]] std::vector<std::uint32_t> sink_nodes(const DagSpec& spec);
+
+// The explicit output list, or sink_nodes() when it is empty.
+[[nodiscard]] std::vector<std::uint32_t> output_nodes(const DagSpec& spec);
+
+// Digest naming a node's *program content*: digest of the serialized
+// bytecode for VmBody, the carried digest for DigestBody, and a
+// domain-separated pseudo digest over (fuel, result, payload) for
+// SyntheticBody so simulation workloads participate in memoization too.
+[[nodiscard]] store::Digest node_program_digest(const proto::TaskletBody& body);
+
+// Merkle digests for every node, indexed like spec.nodes. `topo` must be
+// the order returned by validate() (upstream digests are inputs to
+// downstream ones). A node's digest covers, in a single canonical byte
+// string: a domain-separation tag, its program content digest, its literal
+// arguments (bound slots canonicalized so only the edge binding — not the
+// placeholder value — contributes) and its ordered (arg_slot, upstream
+// Merkle digest) edge list. Any change to program, literals, edge order or
+// an upstream digest changes the node digest and the digest of everything
+// downstream of it.
+[[nodiscard]] std::vector<store::Digest> merkle_digests(
+    const DagSpec& spec, const std::vector<std::uint32_t>& topo);
+
+}  // namespace tasklets::dag

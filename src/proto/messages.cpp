@@ -18,6 +18,9 @@ enum class Tag : std::uint8_t {
   kRegisterAck,
   kFetchProgram,
   kProgramData,
+  kSubmitDag,
+  kDagNodeResult,
+  kDagStatus,
 };
 
 // --- field codecs -------------------------------------------------------------
@@ -214,6 +217,77 @@ Result<TaskletReport> get_report(ByteReader& r) {
   return report;
 }
 
+void put_dag_spec(ByteWriter& w, const dag::DagSpec& spec) {
+  w.write_u64(spec.id.value());
+  w.write_u64(spec.job.value());
+  w.write_varint(spec.nodes.size());
+  for (const dag::DagNode& node : spec.nodes) {
+    put_body(w, node.body);
+    w.write_varint(node.inputs.size());
+    for (const dag::DagEdge& edge : node.inputs) {
+      w.write_varint(edge.from_node);
+      w.write_varint(edge.arg_slot);
+    }
+  }
+  put_qoc(w, spec.qoc);
+  w.write_string(spec.origin_locality);
+  w.write_varint(spec.outputs.size());
+  for (const std::uint32_t out : spec.outputs) w.write_varint(out);
+}
+
+// Same GCC 12 maybe-uninitialized false positive as get_body above.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+Result<dag::DagSpec> get_dag_spec(ByteReader& r) {
+  dag::DagSpec spec;
+  TASKLETS_ASSIGN_OR_RETURN(auto id, r.read_u64());
+  spec.id = DagId{id};
+  TASKLETS_ASSIGN_OR_RETURN(auto job, r.read_u64());
+  spec.job = JobId{job};
+  TASKLETS_ASSIGN_OR_RETURN(auto node_count, r.read_varint());
+  if (node_count == 0 || node_count > dag::kMaxNodes) {
+    return make_error(StatusCode::kDataLoss, "bad dag node count");
+  }
+  spec.nodes.reserve(static_cast<std::size_t>(node_count));
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    dag::DagNode node;
+    TASKLETS_ASSIGN_OR_RETURN(node.body, get_body(r));
+    TASKLETS_ASSIGN_OR_RETURN(auto edge_count, r.read_varint());
+    if (edge_count > node_count) {
+      return make_error(StatusCode::kDataLoss, "bad dag edge count");
+    }
+    node.inputs.reserve(static_cast<std::size_t>(edge_count));
+    for (std::uint64_t e = 0; e < edge_count; ++e) {
+      dag::DagEdge edge;
+      TASKLETS_ASSIGN_OR_RETURN(auto from, r.read_varint());
+      if (from >= node_count) {
+        return make_error(StatusCode::kDataLoss, "dag edge out of range");
+      }
+      edge.from_node = static_cast<std::uint32_t>(from);
+      TASKLETS_ASSIGN_OR_RETURN(auto slot, r.read_varint());
+      edge.arg_slot = static_cast<std::uint32_t>(slot);
+      node.inputs.push_back(edge);
+    }
+    spec.nodes.push_back(std::move(node));
+  }
+  TASKLETS_ASSIGN_OR_RETURN(spec.qoc, get_qoc(r));
+  TASKLETS_ASSIGN_OR_RETURN(spec.origin_locality, r.read_string());
+  TASKLETS_ASSIGN_OR_RETURN(auto output_count, r.read_varint());
+  if (output_count > node_count) {
+    return make_error(StatusCode::kDataLoss, "bad dag output count");
+  }
+  spec.outputs.reserve(static_cast<std::size_t>(output_count));
+  for (std::uint64_t i = 0; i < output_count; ++i) {
+    TASKLETS_ASSIGN_OR_RETURN(auto out, r.read_varint());
+    if (out >= node_count) {
+      return make_error(StatusCode::kDataLoss, "dag output out of range");
+    }
+    spec.outputs.push_back(static_cast<std::uint32_t>(out));
+  }
+  return spec;
+}
+#pragma GCC diagnostic pop
+
 // --- message-level codecs -----------------------------------------------------
 
 struct PutVisitor {
@@ -277,6 +351,30 @@ struct PutVisitor {
     w.write_u8(static_cast<std::uint8_t>(Tag::kProgramData));
     put_digest(w, m.program_digest);
     w.write_bytes(m.program);
+  }
+  void operator()(const SubmitDag& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kSubmitDag));
+    put_dag_spec(w, m.spec);
+    put_trace(w, m.trace);
+  }
+  void operator()(const DagNodeResult& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kDagNodeResult));
+    w.write_u64(m.dag.value());
+    w.write_varint(m.node);
+    put_report(w, m.report);
+  }
+  void operator()(const DagStatus& m) {
+    w.write_u8(static_cast<std::uint8_t>(Tag::kDagStatus));
+    w.write_u64(m.dag.value());
+    w.write_u64(m.job.value());
+    w.write_u8(static_cast<std::uint8_t>(m.status));
+    w.write_varint(m.nodes.size());
+    for (const DagNodeDisposition d : m.nodes) {
+      w.write_u8(static_cast<std::uint8_t>(d));
+    }
+    w.write_varint(m.outputs.size());
+    for (const TaskletReport& report : m.outputs) put_report(w, report);
+    w.write_i64(m.latency);
   }
 };
 
@@ -362,6 +460,56 @@ Result<Message> get_message(ByteReader& r) {
       TASKLETS_ASSIGN_OR_RETURN(m.program, r.read_bytes());
       return Message{std::move(m)};
     }
+    case Tag::kSubmitDag: {
+      SubmitDag m;
+      TASKLETS_ASSIGN_OR_RETURN(m.spec, get_dag_spec(r));
+      TASKLETS_ASSIGN_OR_RETURN(m.trace, get_trace(r));
+      return Message{std::move(m)};
+    }
+    case Tag::kDagNodeResult: {
+      DagNodeResult m;
+      TASKLETS_ASSIGN_OR_RETURN(auto dag, r.read_u64());
+      m.dag = DagId{dag};
+      TASKLETS_ASSIGN_OR_RETURN(auto node, r.read_varint());
+      m.node = static_cast<std::uint32_t>(node);
+      TASKLETS_ASSIGN_OR_RETURN(m.report, get_report(r));
+      return Message{std::move(m)};
+    }
+    case Tag::kDagStatus: {
+      DagStatus m;
+      TASKLETS_ASSIGN_OR_RETURN(auto dag, r.read_u64());
+      m.dag = DagId{dag};
+      TASKLETS_ASSIGN_OR_RETURN(auto job, r.read_u64());
+      m.job = JobId{job};
+      TASKLETS_ASSIGN_OR_RETURN(auto status, r.read_u8());
+      if (status > static_cast<std::uint8_t>(TaskletStatus::kExhausted)) {
+        return make_error(StatusCode::kDataLoss, "bad dag status");
+      }
+      m.status = static_cast<TaskletStatus>(status);
+      TASKLETS_ASSIGN_OR_RETURN(auto node_count, r.read_varint());
+      if (node_count > dag::kMaxNodes) {
+        return make_error(StatusCode::kDataLoss, "bad dag status node count");
+      }
+      m.nodes.reserve(static_cast<std::size_t>(node_count));
+      for (std::uint64_t i = 0; i < node_count; ++i) {
+        TASKLETS_ASSIGN_OR_RETURN(auto disposition, r.read_u8());
+        if (disposition > static_cast<std::uint8_t>(DagNodeDisposition::kFailed)) {
+          return make_error(StatusCode::kDataLoss, "bad dag node disposition");
+        }
+        m.nodes.push_back(static_cast<DagNodeDisposition>(disposition));
+      }
+      TASKLETS_ASSIGN_OR_RETURN(auto output_count, r.read_varint());
+      if (output_count > node_count) {
+        return make_error(StatusCode::kDataLoss, "bad dag output count");
+      }
+      m.outputs.reserve(static_cast<std::size_t>(output_count));
+      for (std::uint64_t i = 0; i < output_count; ++i) {
+        TASKLETS_ASSIGN_OR_RETURN(auto report, get_report(r));
+        m.outputs.push_back(std::move(report));
+      }
+      TASKLETS_ASSIGN_OR_RETURN(m.latency, r.read_i64());
+      return Message{std::move(m)};
+    }
   }
   return make_error(StatusCode::kDataLoss, "unknown message tag");
 }
@@ -381,6 +529,20 @@ std::string_view message_name(const Message& m) noexcept {
     case Tag::kRegisterAck: return "RegisterAck";
     case Tag::kFetchProgram: return "FetchProgram";
     case Tag::kProgramData: return "ProgramData";
+    case Tag::kSubmitDag: return "SubmitDag";
+    case Tag::kDagNodeResult: return "DagNodeResult";
+    case Tag::kDagStatus: return "DagStatus";
+  }
+  return "?";
+}
+
+std::string_view to_string(DagNodeDisposition d) noexcept {
+  switch (d) {
+    case DagNodeDisposition::kPending: return "pending";
+    case DagNodeDisposition::kExecuted: return "executed";
+    case DagNodeDisposition::kMemo: return "memo";
+    case DagNodeDisposition::kSkipped: return "skipped";
+    case DagNodeDisposition::kFailed: return "failed";
   }
   return "?";
 }
@@ -401,6 +563,23 @@ std::size_t message_wire_size(const Message& m) noexcept {
   }
   if (const auto* data = std::get_if<ProgramData>(&m)) {
     return kHeader + data->program.size();
+  }
+  if (const auto* dag = std::get_if<SubmitDag>(&m)) {
+    std::size_t size = kHeader;
+    for (const auto& node : dag->spec.nodes) {
+      size += body_wire_size(node.body) + 8 * node.inputs.size() + 8;
+    }
+    return size;
+  }
+  if (const auto* node_result = std::get_if<DagNodeResult>(&m)) {
+    return kHeader + tvm::arg_wire_size(node_result->report.result);
+  }
+  if (const auto* status = std::get_if<DagStatus>(&m)) {
+    std::size_t size = kHeader + status->nodes.size();
+    for (const auto& report : status->outputs) {
+      size += 48 + tvm::arg_wire_size(report.result);
+    }
+    return size;
   }
   return kHeader;
 }

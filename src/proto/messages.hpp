@@ -11,6 +11,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/trace.hpp"
+#include "dag/dag.hpp"
 #include "proto/types.hpp"
 
 namespace tasklets::proto {
@@ -106,10 +107,61 @@ struct ProgramData {
   Bytes program;  // serialized tvm::Program whose digest is program_digest
 };
 
+// --- Tasklet DAGs (protocol r4) -----------------------------------------------
+//
+// A consumer submits a whole dataflow graph with SubmitDag; the broker
+// executes it node by node, delegating each finished node's result directly
+// into its dependents (no consumer round trip between stages). Submission is
+// at-least-once: the consumer re-sends SubmitDag on its retry cadence until
+// node results or the terminal DagStatus arrive; the broker dedups by DagId
+// and replays the retained terminal DagStatus for duplicates. Node-result
+// delegation inherits the same property — DagNodeResult frames may arrive
+// more than once and consumers must treat repeats as idempotent.
+
+struct SubmitDag {
+  dag::DagSpec spec;
+  // trace_id identifies the DAG's trace; parent_span is the consumer's root
+  // "dag" span. Broker-side node tasklets emit their spans into this trace.
+  TraceContext trace;
+};
+
+// Per-node fate as reported in the terminal DagStatus.
+enum class DagNodeDisposition : std::uint8_t {
+  kPending = 0,  // never reached a terminal state (DAG failed elsewhere)
+  kExecuted,     // completed through provider attempts
+  kMemo,         // answered from the memo table (Merkle subtree hit)
+  kSkipped,      // never demanded: every consumer of it was a memo hit
+  kFailed,       // reached a terminal non-completed state
+};
+
+[[nodiscard]] std::string_view to_string(DagNodeDisposition d) noexcept;
+
+// Broker -> Consumer: one DAG node reached a terminal state. Streamed as
+// nodes finish so consumers can observe pipeline progress; only demanded
+// nodes (executed, memo or failed) produce one.
+struct DagNodeResult {
+  DagId dag;
+  std::uint32_t node = 0;
+  TaskletReport report;
+};
+
+// Broker -> Consumer: the whole DAG reached a terminal state. `outputs`
+// carries the reports of output_nodes(spec) in order; `nodes` records every
+// node's disposition, indexed like spec.nodes.
+struct DagStatus {
+  DagId dag;
+  JobId job;
+  TaskletStatus status = TaskletStatus::kCompleted;
+  std::vector<DagNodeDisposition> nodes;
+  std::vector<TaskletReport> outputs;
+  SimTime latency = 0;  // SubmitDag arrival -> terminal state
+};
+
 using Message =
     std::variant<RegisterProvider, DeregisterProvider, Heartbeat, AttemptResult,
                  SubmitTasklet, CancelTasklet, AssignTasklet, TaskletDone,
-                 RegisterAck, FetchProgram, ProgramData>;
+                 RegisterAck, FetchProgram, ProgramData, SubmitDag,
+                 DagNodeResult, DagStatus>;
 
 [[nodiscard]] std::string_view message_name(const Message& m) noexcept;
 

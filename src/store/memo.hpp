@@ -67,6 +67,14 @@ class MemoTable {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] const MemoStats& stats() const noexcept { return stats_; }
 
+  // Read-only walk over the live entries (no recency effect). Used by the
+  // ops plane to attribute cached results back to the provider that
+  // computed them (the MEMO column of `taskletc top`).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [key, slot] : entries_) fn(key, slot.entry);
+  }
+
  private:
   struct Slot {
     MemoEntry entry;

@@ -1,0 +1,470 @@
+// Tests for tasklet DAGs (protocol r4): spec validation, broker-side release
+// ordering and output delegation, Merkle subtree memoization (including the
+// dirty-cone recompute property), per-node failure semantics, the threaded
+// runtime's future API, and sim determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/sim_cluster.hpp"
+#include "core/system.hpp"
+#include "dag/dag.hpp"
+#include "sim/profiles.hpp"
+#include "tcl/compiler.hpp"
+
+namespace tasklets {
+namespace {
+
+using core::SimCluster;
+using core::SimConfig;
+using proto::DagNodeDisposition;
+using proto::SyntheticBody;
+using proto::TaskletStatus;
+
+constexpr std::string_view kAddSrc = "int main(int a, int b) { return a + b; }";
+constexpr std::string_view kAdd3Src =
+    "int main(int a, int b, int c) { return a + b + c; }";
+
+Bytes compile_bytes(std::string_view source) {
+  auto program = tcl::compile(source);
+  EXPECT_TRUE(program.is_ok()) << program.status().to_string();
+  return program->serialize();
+}
+
+dag::DagNode vm_node(const Bytes& program, std::vector<tvm::HostArg> args,
+                     std::vector<dag::DagEdge> inputs = {}) {
+  proto::VmBody body;
+  body.program = program;
+  body.args = std::move(args);
+  return {proto::TaskletBody{std::move(body)}, std::move(inputs)};
+}
+
+// leaf(2+3) -> mid(leaf+10) -> sink(mid+100): the canonical pipeline.
+std::vector<dag::DagNode> pipeline_nodes(const Bytes& add,
+                                         std::int64_t leaf_b = 3) {
+  std::vector<dag::DagNode> nodes;
+  nodes.push_back(vm_node(add, {std::int64_t{2}, leaf_b}));
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{10}}, {dag::DagEdge{0, 0}}));
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{100}}, {dag::DagEdge{1, 0}}));
+  return nodes;
+}
+
+// --- validation --------------------------------------------------------------------
+
+TEST(DagValidate, AcceptsPipelineAndOrdersTopologically) {
+  const Bytes add = compile_bytes(kAddSrc);
+  dag::DagSpec spec;
+  spec.id = DagId{1};
+  spec.job = JobId{1};
+  // Nodes intentionally listed sink-first: topo order must come from edges,
+  // not listing order.
+  spec.nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{2, 0}}));
+  spec.nodes.push_back(vm_node(add, {std::int64_t{1}, std::int64_t{2}}));
+  spec.nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{3}}, {dag::DagEdge{1, 0}}));
+  const auto topo = dag::validate(spec);
+  ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
+  EXPECT_EQ(*topo, (std::vector<std::uint32_t>{1, 2, 0}));
+  EXPECT_EQ(dag::output_nodes(spec), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(DagValidate, RejectsCycle) {
+  const Bytes add = compile_bytes(kAddSrc);
+  dag::DagSpec spec;
+  spec.id = DagId{1};
+  spec.nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{1, 0}}));
+  spec.nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{2}}, {dag::DagEdge{0, 0}}));
+  EXPECT_FALSE(dag::validate(spec).is_ok());
+}
+
+TEST(DagValidate, RejectsSelfEdge) {
+  const Bytes add = compile_bytes(kAddSrc);
+  dag::DagSpec spec;
+  spec.id = DagId{1};
+  spec.nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{0, 0}}));
+  EXPECT_FALSE(dag::validate(spec).is_ok());
+}
+
+TEST(DagValidate, RejectsBadSlotDoubleBindingAndRangeErrors) {
+  const Bytes add = compile_bytes(kAddSrc);
+  {
+    dag::DagSpec spec;  // arg_slot out of range for a two-arg body
+    spec.id = DagId{1};
+    spec.nodes.push_back(vm_node(add, {std::int64_t{1}, std::int64_t{2}}));
+    spec.nodes.push_back(
+        vm_node(add, {std::int64_t{0}, std::int64_t{0}}, {dag::DagEdge{0, 2}}));
+    EXPECT_FALSE(dag::validate(spec).is_ok());
+  }
+  {
+    dag::DagSpec spec;  // one slot bound twice
+    spec.id = DagId{1};
+    spec.nodes.push_back(vm_node(add, {std::int64_t{1}, std::int64_t{2}}));
+    spec.nodes.push_back(vm_node(add, {std::int64_t{3}, std::int64_t{4}}));
+    spec.nodes.push_back(vm_node(add, {std::int64_t{0}, std::int64_t{0}},
+                                 {dag::DagEdge{0, 0}, dag::DagEdge{1, 0}}));
+    EXPECT_FALSE(dag::validate(spec).is_ok());
+  }
+  {
+    dag::DagSpec spec;  // edge references a node out of range
+    spec.id = DagId{1};
+    spec.nodes.push_back(
+        vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{7, 0}}));
+    EXPECT_FALSE(dag::validate(spec).is_ok());
+  }
+  {
+    dag::DagSpec spec;  // output index out of range
+    spec.id = DagId{1};
+    spec.nodes.push_back(vm_node(add, {std::int64_t{1}, std::int64_t{2}}));
+    spec.outputs = {3};
+    EXPECT_FALSE(dag::validate(spec).is_ok());
+  }
+  {
+    dag::DagSpec spec;  // invalid id / empty nodes
+    EXPECT_FALSE(dag::validate(spec).is_ok());
+  }
+}
+
+// --- broker execution ---------------------------------------------------------------
+
+TEST(DagExecution, PipelineDelegatesResultsThroughArgSlots) {
+  SimCluster cluster;
+  cluster.add_provider(sim::desktop_profile());
+  const Bytes add = compile_bytes(kAddSrc);
+  const DagId id = cluster.submit_dag(pipeline_nodes(add));
+  ASSERT_TRUE(cluster.run_until_quiescent());
+
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  ASSERT_EQ(status->outputs.size(), 1u);
+  // (2+3) -> +10 -> +100: the upstream results were bound into the slots.
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 115);
+  ASSERT_EQ(status->nodes.size(), 3u);
+  for (const DagNodeDisposition d : status->nodes) {
+    EXPECT_EQ(d, DagNodeDisposition::kExecuted);
+  }
+  const auto& stats = cluster.broker().stats();
+  EXPECT_EQ(stats.dags_submitted, 1u);
+  EXPECT_EQ(stats.dags_completed, 1u);
+  EXPECT_EQ(stats.dag_nodes_executed, 3u);
+  EXPECT_EQ(stats.dag_results_delegated, 2u);  // leaf->mid, mid->sink
+}
+
+TEST(DagExecution, MapReduceBindsEveryLeafIntoTheReducer) {
+  SimCluster cluster;
+  cluster.add_providers(sim::desktop_profile(), 4);
+  const Bytes add = compile_bytes(kAddSrc);
+  const Bytes add3 = compile_bytes(kAdd3Src);
+  std::vector<dag::DagNode> nodes;
+  for (std::int64_t i = 0; i < 3; ++i) {
+    nodes.push_back(vm_node(add, {10 * (i + 1), i}));  // 10, 21, 32
+  }
+  nodes.push_back(
+      vm_node(add3, {std::int64_t{0}, std::int64_t{0}, std::int64_t{0}},
+              {dag::DagEdge{0, 0}, dag::DagEdge{1, 1}, dag::DagEdge{2, 2}}));
+  const DagId id = cluster.submit_dag(std::move(nodes));
+  ASSERT_TRUE(cluster.run_until_quiescent());
+
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  ASSERT_EQ(status->outputs.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 63);
+  EXPECT_EQ(cluster.broker().stats().dag_results_delegated, 3u);
+}
+
+TEST(DagExecution, ReleasesNodesInDependencyOrder) {
+  TraceStore store;
+  SimConfig config;
+  config.trace = &store;
+  SimCluster cluster(config);
+  cluster.add_providers(sim::desktop_profile(), 3);
+  const Bytes add = compile_bytes(kAddSrc);
+  const DagId id = cluster.submit_dag(pipeline_nodes(add));
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  ASSERT_EQ(status->status, TaskletStatus::kCompleted);
+
+  // A node's release instant never precedes its input's done instant (the
+  // broker releases within the same virtual-time event that finished the
+  // input, so equal timestamps are expected): downstream work never enters
+  // the scheduler early.
+  SimTime released[3] = {0, 0, 0};
+  SimTime done[3] = {0, 0, 0};
+  for (const Span& span : store.all()) {
+    if (!span.instant) continue;
+    if (span.name != "dag_node_release" && span.name != "dag_node_done") {
+      continue;
+    }
+    for (const auto& [key, value] : span.args) {
+      if (key != "node") continue;
+      const int node = std::stoi(value);
+      ASSERT_GE(node, 0);
+      ASSERT_LT(node, 3);
+      (span.name == "dag_node_release" ? released : done)[node] = span.start;
+    }
+  }
+  EXPECT_GT(done[0], released[0]);
+  EXPECT_GT(done[1], released[1]);
+  EXPECT_GE(released[1], done[0]);
+  EXPECT_GE(released[2], done[1]);
+}
+
+TEST(DagExecution, ExplicitOutputsSelectInteriorNodes) {
+  SimCluster cluster;
+  cluster.add_provider(sim::desktop_profile());
+  const Bytes add = compile_bytes(kAddSrc);
+  const DagId id =
+      cluster.submit_dag(pipeline_nodes(add), {}, {}, {}, {1});  // mid only
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  ASSERT_EQ(status->outputs.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 15);
+  // The sink is downstream of the requested output: never demanded.
+  EXPECT_EQ(status->nodes[2], DagNodeDisposition::kSkipped);
+  EXPECT_EQ(cluster.broker().stats().dag_nodes_executed, 2u);
+}
+
+// --- Merkle subtree memoization -----------------------------------------------------
+
+TEST(DagMemo, IdenticalResubmissionMemoizesAtTheSinkAndSkipsTheCone) {
+  SimCluster cluster;
+  cluster.add_provider(sim::desktop_profile());
+  const Bytes add = compile_bytes(kAddSrc);
+  proto::Qoc qoc;
+  qoc.memoize = true;
+
+  const DagId cold = cluster.submit_dag(pipeline_nodes(add), qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* cold_status = cluster.dag_status_for(cold);
+  ASSERT_NE(cold_status, nullptr);
+  ASSERT_EQ(cold_status->status, TaskletStatus::kCompleted);
+  const std::uint64_t attempts_cold = cluster.broker().stats().attempts_issued;
+
+  const DagId warm = cluster.submit_dag(pipeline_nodes(add), qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* status = cluster.dag_status_for(warm);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 115);
+  // The sink's Merkle digest matched: answered from the memo, and the
+  // interior + leaf were never demanded at all.
+  EXPECT_EQ(status->nodes[2], DagNodeDisposition::kMemo);
+  EXPECT_EQ(status->nodes[0], DagNodeDisposition::kSkipped);
+  EXPECT_EQ(status->nodes[1], DagNodeDisposition::kSkipped);
+  // Zero provider attempts for the warm run.
+  EXPECT_EQ(cluster.broker().stats().attempts_issued, attempts_cold);
+  EXPECT_EQ(cluster.broker().stats().dag_nodes_skipped, 2u);
+}
+
+TEST(DagMemo, ChangedLeafReexecutesOnlyTheDirtyCone) {
+  SimCluster cluster;
+  cluster.add_providers(sim::desktop_profile(), 2);
+  const Bytes add = compile_bytes(kAddSrc);
+  const Bytes add3 = compile_bytes(kAdd3Src);
+  proto::Qoc qoc;
+  qoc.memoize = true;
+
+  // leaf_a, leaf_b -> combine(a, b, 1000) -> sink(combine + 1).
+  auto build = [&](std::int64_t leaf_b_arg) {
+    std::vector<dag::DagNode> nodes;
+    nodes.push_back(vm_node(add, {std::int64_t{2}, std::int64_t{3}}));
+    nodes.push_back(vm_node(add, {std::int64_t{4}, leaf_b_arg}));
+    nodes.push_back(
+        vm_node(add3, {std::int64_t{0}, std::int64_t{0}, std::int64_t{1000}},
+                {dag::DagEdge{0, 0}, dag::DagEdge{1, 1}}));
+    nodes.push_back(
+        vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{2, 0}}));
+    return nodes;
+  };
+
+  const DagId cold = cluster.submit_dag(build(5), qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* cold_status = cluster.dag_status_for(cold);
+  ASSERT_NE(cold_status, nullptr);
+  ASSERT_EQ(cold_status->status, TaskletStatus::kCompleted);
+  EXPECT_EQ(std::get<std::int64_t>(cold_status->outputs[0].result), 1015);
+  const std::uint64_t attempts_cold = cluster.broker().stats().attempts_issued;
+
+  // One leaf changes: its Merkle digest, and every digest downstream of it,
+  // miss the memo — but the untouched sibling leaf hits and its (trivial)
+  // cone is never recomputed.
+  const DagId dirty = cluster.submit_dag(build(6), qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* status = cluster.dag_status_for(dirty);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 1016);
+  EXPECT_EQ(status->nodes[0], DagNodeDisposition::kMemo);      // clean leaf
+  EXPECT_EQ(status->nodes[1], DagNodeDisposition::kExecuted);  // dirty leaf
+  EXPECT_EQ(status->nodes[2], DagNodeDisposition::kExecuted);
+  EXPECT_EQ(status->nodes[3], DagNodeDisposition::kExecuted);
+  // Exactly the dirty cone went back to providers.
+  EXPECT_EQ(cluster.broker().stats().attempts_issued, attempts_cold + 3);
+}
+
+// --- failure semantics --------------------------------------------------------------
+
+TEST(DagFailure, TrappingNodeFailsTheDagWithPerNodeDispositions) {
+  SimCluster cluster;
+  cluster.add_provider(sim::desktop_profile());
+  const Bytes add = compile_bytes(kAddSrc);
+  const Bytes div = compile_bytes("int main(int a, int b) { return a / b; }");
+  std::vector<dag::DagNode> nodes;
+  nodes.push_back(vm_node(div, {std::int64_t{1}, std::int64_t{0}}));  // traps
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{0, 0}}));
+  const DagId id = cluster.submit_dag(std::move(nodes));
+  ASSERT_TRUE(cluster.run_until_quiescent());
+
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kFailed);
+  EXPECT_EQ(status->nodes[0], DagNodeDisposition::kFailed);
+  // Downstream never got its input: terminally pending.
+  EXPECT_EQ(status->nodes[1], DagNodeDisposition::kPending);
+  ASSERT_EQ(status->outputs.size(), 1u);
+  EXPECT_NE(status->outputs[0].status, TaskletStatus::kCompleted);
+  EXPECT_EQ(cluster.broker().stats().dags_failed, 1u);
+}
+
+TEST(DagFailure, StructurallyInvalidDagFailsWithoutRunningAnything) {
+  SimCluster cluster;
+  cluster.add_provider(sim::desktop_profile());
+  const Bytes add = compile_bytes(kAddSrc);
+  std::vector<dag::DagNode> nodes;  // 2-cycle
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{1, 0}}));
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{2}}, {dag::DagEdge{0, 0}}));
+  const DagId id = cluster.submit_dag(std::move(nodes));
+  ASSERT_TRUE(cluster.run_until_quiescent());
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kFailed);
+  EXPECT_EQ(cluster.broker().stats().attempts_issued, 0u);
+  EXPECT_EQ(cluster.broker().stats().dags_failed, 1u);
+}
+
+TEST(DagFailure, NodeAttemptLossIsRetriedThroughTheFenceAndStillCompletes) {
+  // The only provider crashes while the leaf attempt is in flight; the
+  // broker's liveness fence re-issues the node when the provider returns,
+  // and the DAG still concludes with the delegated result intact.
+  SimConfig config;
+  config.seed = 7;
+  SimCluster cluster(config);
+  sim::DeviceProfile flaky = sim::desktop_profile();
+  flaky.graceful_leave = false;
+  flaky.churn_trace = {{5 * kMillisecond, 20 * kSecond}};  // one crash window
+  cluster.add_provider(flaky);
+
+  const Bytes add = compile_bytes(kAddSrc);
+  proto::Qoc qoc;
+  qoc.max_reissues = 5;
+  std::vector<dag::DagNode> nodes;
+  // ~2s on a desktop: guaranteed to still be running at the 5ms crash.
+  nodes.push_back(
+      dag::DagNode{proto::TaskletBody{SyntheticBody{1'600'000'000, 41, 64}}, {}});
+  nodes.push_back(
+      vm_node(add, {std::int64_t{0}, std::int64_t{1}}, {dag::DagEdge{0, 0}}));
+  const DagId id = cluster.submit_dag(std::move(nodes), qoc);
+  ASSERT_TRUE(cluster.run_until_quiescent());
+
+  const proto::DagStatus* status = cluster.dag_status_for(id);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->status, TaskletStatus::kCompleted);
+  EXPECT_EQ(status->nodes[0], DagNodeDisposition::kExecuted);
+  EXPECT_EQ(status->nodes[1], DagNodeDisposition::kExecuted);
+  ASSERT_EQ(status->outputs.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(status->outputs[0].result), 42);
+  // The crash must actually have bitten.
+  EXPECT_GT(cluster.broker().stats().reissues, 0u);
+}
+
+// --- threaded runtime ---------------------------------------------------------------
+
+TEST(DagSystem, ThreadedRuntimeResolvesDagFuture) {
+  core::TaskletSystem system;
+  system.add_provider();
+  system.add_provider();
+  const Bytes add = compile_bytes(kAddSrc);
+  auto future = system.submit_dag(pipeline_nodes(add));
+  const proto::DagStatus status = future.get();
+  EXPECT_EQ(status.status, TaskletStatus::kCompleted);
+  ASSERT_EQ(status.outputs.size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(status.outputs[0].result), 115);
+  const auto stats = system.broker_stats();
+  EXPECT_EQ(stats.dags_completed, 1u);
+  EXPECT_EQ(stats.dag_nodes_executed, 3u);
+}
+
+// --- determinism --------------------------------------------------------------------
+
+TEST(DagDeterminism, RerunsProduceByteIdenticalMetrics) {
+  const Bytes add = compile_bytes(kAddSrc);
+  const Bytes add3 = compile_bytes(kAdd3Src);
+  auto run_once = [&]() {
+    metrics::MetricsRegistry::instance().reset();
+    SimConfig config;
+    config.seed = 1234;
+    SimCluster cluster(config);
+    cluster.add_providers(sim::desktop_profile(), 2);
+    cluster.add_provider(sim::sbc_profile());
+    proto::Qoc qoc;
+    qoc.memoize = true;
+    std::vector<dag::DagNode> nodes;
+    nodes.push_back(vm_node(add, {std::int64_t{2}, std::int64_t{3}}));
+    nodes.push_back(vm_node(add, {std::int64_t{4}, std::int64_t{5}}));
+    nodes.push_back(
+        vm_node(add3, {std::int64_t{0}, std::int64_t{0}, std::int64_t{7}},
+                {dag::DagEdge{0, 0}, dag::DagEdge{1, 1}}));
+    const DagId id = cluster.submit_dag(std::move(nodes), qoc);
+    EXPECT_TRUE(cluster.run_until_quiescent());
+
+    // Everything observable: terminal status, virtual-clock latency, wire
+    // accounting by message kind, broker counters, metrics registry.
+    std::ostringstream out;
+    const proto::DagStatus* status = cluster.dag_status_for(id);
+    EXPECT_NE(status, nullptr);
+    out << static_cast<int>(status->status) << '|' << status->latency << '|'
+        << std::get<std::int64_t>(status->outputs[0].result) << '\n';
+    out << cluster.wire_bytes() << '\n';
+    const std::map<std::string, std::uint64_t> by_message(
+        cluster.wire_bytes_by_message().begin(),
+        cluster.wire_bytes_by_message().end());
+    for (const auto& [name, bytes] : by_message) {
+      out << name << '=' << bytes << '\n';
+    }
+    const auto& stats = cluster.broker().stats();
+    out << stats.tasklets_submitted << '|' << stats.attempts_issued << '|'
+        << stats.dag_results_delegated << '|' << stats.dag_nodes_executed
+        << '\n';
+    for (const auto& [name, value] :
+         metrics::MetricsRegistry::instance().snapshot().counters) {
+      out << name << '=' << value << '\n';
+    }
+    return std::move(out).str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace tasklets

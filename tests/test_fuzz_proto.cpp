@@ -131,6 +131,43 @@ std::vector<proto::Envelope> envelope_corpus() {
   corpus.push_back({a, b, std::move(digest_assign)});
   corpus.push_back({a, b, FetchProgram{digest_body.program_digest}});
   corpus.push_back({a, b, ProgramData{digest_body.program_digest, Bytes(48, std::byte{0x3C})}});
+
+  // r4 dataflow messages: a DAG submission whose sink binds both upstream
+  // results, a per-node delegated result, and a terminal status with mixed
+  // dispositions.
+  dag::DagSpec dag_spec;
+  dag_spec.id = DagId{21};
+  dag_spec.job = JobId{3};
+  VmBody dag_vm;
+  dag_vm.program = Bytes(40, std::byte{0x7E});
+  dag_vm.args = {std::int64_t{5}, std::int64_t{6}};
+  dag_spec.nodes.push_back({TaskletBody{SyntheticBody{1000, 7, 64}}, {}});
+  dag_spec.nodes.push_back({TaskletBody{digest_body}, {}});
+  dag_spec.nodes.push_back({TaskletBody{std::move(dag_vm)},
+                            {dag::DagEdge{0, 0}, dag::DagEdge{1, 1}}});
+  dag_spec.qoc.memoize = true;
+  dag_spec.qoc.redundancy = 2;
+  dag_spec.origin_locality = "site-c";
+  dag_spec.outputs = {2};
+
+  TaskletReport node_report;
+  node_report.id = TaskletId{0};
+  node_report.job = JobId{3};
+  node_report.result = std::int64_t{7};
+  node_report.executed_by = NodeId{4};
+
+  DagStatus dag_status;
+  dag_status.dag = DagId{21};
+  dag_status.job = JobId{3};
+  dag_status.status = TaskletStatus::kFailed;
+  dag_status.nodes = {DagNodeDisposition::kExecuted, DagNodeDisposition::kMemo,
+                      DagNodeDisposition::kFailed};
+  dag_status.outputs = {node_report};
+  dag_status.latency = 3 * kSecond;
+
+  corpus.push_back({a, b, SubmitDag{std::move(dag_spec), TraceContext{21, 5}}});
+  corpus.push_back({a, b, DagNodeResult{DagId{21}, 1, node_report}});
+  corpus.push_back({a, b, std::move(dag_status)});
   return corpus;
 }
 

@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <set>
 
+#include "common/rng.hpp"
 #include "core/kernels.hpp"
+#include "dag/dag.hpp"
 #include "core/sim_cluster.hpp"
 #include "core/system.hpp"
 #include "provider/execution.hpp"
@@ -574,6 +576,153 @@ TEST(StoreChaosTest, MemoAndDuplicateFenceUnderFaults) {
 }
 
 }  // namespace chaos_memo
+
+// --- Merkle node digests (protocol r4) ---------------------------------------------
+//
+// A node's Merkle digest must separate every identity dimension that decides
+// whether a memoized result is reusable: the program, the literal arguments,
+// which upstream feeds which argument slot, and the upstream subtree digests
+// themselves. Placeholder values in bound slots must NOT contribute — they
+// are overwritten by delegation before execution.
+
+namespace merkle_property {
+
+// node0 (synthetic leaf) -> node1 (slot 0) -> node2 (slots 0 and 1 from
+// nodes 0 and 1).
+dag::DagSpec diamond_spec(Bytes program) {
+  dag::DagSpec spec;
+  spec.id = DagId{1};
+  spec.job = JobId{1};
+  proto::SyntheticBody leaf;
+  leaf.fuel = 100;
+  leaf.result = 1;
+  spec.nodes.push_back({leaf, {}});
+  proto::VmBody mid;
+  mid.program = program;
+  mid.args = {std::int64_t{0}, std::int64_t{7}};
+  spec.nodes.push_back({std::move(mid), {dag::DagEdge{0, 0}}});
+  proto::VmBody sink;
+  sink.program = std::move(program);
+  sink.args = {std::int64_t{0}, std::int64_t{0}, std::int64_t{5}};
+  spec.nodes.push_back(
+      {std::move(sink), {dag::DagEdge{0, 0}, dag::DagEdge{1, 1}}});
+  return spec;
+}
+
+std::vector<store::Digest> merkle_of(const dag::DagSpec& spec) {
+  auto topo = dag::validate(spec);
+  EXPECT_TRUE(topo.is_ok()) << topo.status().to_string();
+  return dag::merkle_digests(spec, *topo);
+}
+
+TEST(MerkleDigest, SeparatesProgramArgsBindingAndUpstream) {
+  const Bytes program = compile_bytes(
+      "int main(int a, int b) { return a + b; }");
+  const dag::DagSpec base = diamond_spec(program);
+  const auto digests = merkle_of(base);
+  ASSERT_EQ(digests.size(), 3u);
+
+  // Determinism: recomputation reproduces the same digests bit for bit.
+  EXPECT_EQ(merkle_of(base), digests);
+
+  // Program dimension: changing the leaf's (pseudo) program re-digests the
+  // leaf and its whole downstream cone.
+  {
+    dag::DagSpec mutated = base;
+    std::get<proto::SyntheticBody>(mutated.nodes[0].body).fuel = 101;
+    const auto changed = merkle_of(mutated);
+    EXPECT_NE(changed[0], digests[0]);
+    EXPECT_NE(changed[1], digests[1]);
+    EXPECT_NE(changed[2], digests[2]);
+  }
+
+  // Literal-args dimension: a free (unbound) slot's value participates; the
+  // upstream leaf stays untouched.
+  {
+    dag::DagSpec mutated = base;
+    std::get<proto::VmBody>(mutated.nodes[1].body).args[1] = std::int64_t{8};
+    const auto changed = merkle_of(mutated);
+    EXPECT_EQ(changed[0], digests[0]);
+    EXPECT_NE(changed[1], digests[1]);
+    EXPECT_NE(changed[2], digests[2]);  // upstream dimension, transitively
+  }
+
+  // Binding dimension: the same producers wired into different argument
+  // slots is a different computation.
+  {
+    dag::DagSpec mutated = base;
+    mutated.nodes[2].inputs = {dag::DagEdge{0, 1}, dag::DagEdge{1, 0}};
+    const auto changed = merkle_of(mutated);
+    EXPECT_EQ(changed[0], digests[0]);
+    EXPECT_EQ(changed[1], digests[1]);
+    EXPECT_NE(changed[2], digests[2]);
+  }
+
+  // Canonicalization: the placeholder literal sitting in a *bound* slot is
+  // dead — delegation overwrites it — so it must not perturb the digest.
+  {
+    dag::DagSpec mutated = base;
+    std::get<proto::VmBody>(mutated.nodes[1].body).args[0] =
+        std::int64_t{424242};
+    EXPECT_EQ(merkle_of(mutated), digests);
+  }
+}
+
+TEST(MerkleDigest, SeededSweepFindsNoCollisions) {
+  const Bytes program = compile_bytes(
+      "int main(int a, int b) { return a + b; }");
+  std::set<std::string> seen;
+  std::size_t digests_total = 0;
+  Rng rng(0x4DA6'5EED);
+  for (int round = 0; round < 64; ++round) {
+    dag::DagSpec spec;
+    spec.id = DagId{static_cast<std::uint64_t>(round + 1)};
+    spec.job = JobId{1};
+    // A random-length chain with random per-node identity in every
+    // dimension the digest must separate.
+    const std::size_t length = 2 + rng.next_below(4);
+    for (std::size_t i = 0; i < length; ++i) {
+      if (i == 0) {
+        proto::SyntheticBody leaf;
+        leaf.fuel = 1 + rng.next_below(1000);
+        leaf.result = static_cast<std::int64_t>(rng.next_below(1000));
+        spec.nodes.push_back({leaf, {}});
+        continue;
+      }
+      proto::VmBody body;
+      body.program = program;
+      body.args = {std::int64_t{0},
+                   static_cast<std::int64_t>(rng.next_below(1000))};
+      spec.nodes.push_back(
+          {std::move(body),
+           {dag::DagEdge{static_cast<std::uint32_t>(i - 1),
+                         static_cast<std::uint32_t>(rng.next_below(2))}}});
+    }
+    for (const store::Digest& digest : merkle_of(spec)) {
+      ++digests_total;
+      seen.insert(digest.to_string());
+    }
+  }
+  // Distinct identities must stay distinct. (Random draws can repeat an
+  // identity; allow a small slack for that, never for digest collisions.)
+  EXPECT_GT(seen.size(), digests_total * 9 / 10);
+  // And the leaf dimension alone (fuel) must never alias another leaf's
+  // digest computed from a different fuel value.
+  std::set<std::string> leaf_digests;
+  for (std::uint64_t fuel = 1; fuel <= 256; ++fuel) {
+    dag::DagSpec spec;
+    spec.id = DagId{fuel};
+    spec.job = JobId{1};
+    proto::SyntheticBody leaf;
+    leaf.fuel = fuel;
+    leaf.result = 1;
+    spec.nodes.push_back({leaf, {}});
+    leaf_digests.insert(merkle_of(spec)[0].to_string());
+  }
+  EXPECT_EQ(leaf_digests.size(), 256u);
+}
+
+}  // namespace merkle_property
 
 }  // namespace
 }  // namespace tasklets
