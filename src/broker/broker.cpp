@@ -164,15 +164,46 @@ void Broker::record_speed_sample(NodeId provider, std::uint64_t fuel,
   p.view.measured_speed_fuel_per_sec =
       p.speed.confident() ? p.speed.estimate() : 0.0;
   if (metrics::enabled()) {
-    // Per-provider estimator gauge (dynamic name, so no macro cache).
-    metrics::MetricsRegistry::instance()
-        .gauge("broker.speed." + provider.to_string())
-        .set(static_cast<std::int64_t>(p.speed.estimate()));
+    // Per-provider estimator gauge; reference bound once (see
+    // issue_attempt's assigned counter for the rationale).
+    if (p.speed_gauge == nullptr) {
+      p.speed_gauge = &metrics::MetricsRegistry::instance().gauge(
+          "broker.speed." + provider.to_string());
+    }
+    p.speed_gauge->set(static_cast<std::int64_t>(p.speed.estimate()));
   }
+}
+
+void Broker::on_batch_begin(SimTime) {
+  batching_ = true;
+  need_drain_ = false;
+  batch_messages_ = 0;
+}
+
+void Broker::on_batch_end(SimTime now, proto::Outbox& out) {
+  batching_ = false;
+  TASKLETS_OBSERVE("broker.batch.size", static_cast<double>(batch_messages_));
+  batch_messages_ = 0;
+  if (need_drain_) {
+    need_drain_ = false;
+    drain_queue(now, out);
+  }
+}
+
+void Broker::request_drain(SimTime now, proto::Outbox& out) {
+  // Inside a runtime-delivered burst the drain is deferred to on_batch_end:
+  // one placement pass serves the whole burst instead of one pass per
+  // register/heartbeat/result message.
+  if (batching_) {
+    need_drain_ = true;
+    return;
+  }
+  drain_queue(now, out);
 }
 
 void Broker::on_message(const proto::Envelope& envelope, SimTime now,
                         proto::Outbox& out) {
+  if (batching_) ++batch_messages_;
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -244,7 +275,9 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
       }
     }
     for (const TaskletId id : doomed) {
-      auto& state = tasklets_.at(id);
+      const auto tit = tasklets_.find(id);
+      if (tit == tasklets_.end()) continue;  // evicted mid-loop
+      auto& state = tit->second;
       if (state.done) continue;  // duplicate queue entries
       ++stats_.tasklets_unschedulable;
       fail_tasklet(id, state, proto::TaskletStatus::kUnschedulable,
@@ -268,9 +301,11 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         }
       }
       for (const auto& [attempt, tasklet_id] : stale) {
+        const auto tit = tasklets_.find(tasklet_id);
+        if (tit == tasklets_.end()) continue;  // evicted mid-loop
         ++stats_.attempts_timed_out;
         TASKLETS_COUNT("broker.attempts_timed_out", 1);
-        auto& state = tasklets_.at(tasklet_id);
+        auto& state = tit->second;
         if (const auto ait = state.attempts.find(attempt);
             ait != state.attempts.end()) {
           end_attempt_span(state, tasklet_id, ait->second, now, "timeout");
@@ -290,7 +325,7 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         TASKLETS_COUNT("broker.attempts_lost", 1);
         reissue_or_exhaust(tasklet_id, state, now, out);
       }
-      if (!stale.empty()) drain_queue(now, out);
+      if (!stale.empty()) request_drain(now, out);
     }
     // Straggler mitigation: shadow long-running attempts of non-redundant
     // tasklets with one speculative backup on a different provider.
@@ -310,7 +345,9 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         }
       }
       for (const TaskletId id : stragglers) {
-        auto& state = tasklets_.at(id);
+        const auto tit = tasklets_.find(id);
+        if (tit == tasklets_.end()) continue;  // evicted mid-loop
+        auto& state = tit->second;
         if (state.done || state.speculated) continue;
         state.replicas_pending += 1;
         const AttemptId backup = try_place_replica(id, now, out);
@@ -365,7 +402,9 @@ void Broker::on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) {
         it = waiting.empty() ? awaiting_program_.erase(it) : ++it;
       }
       for (const TaskletId id : fetch_failed) {
-        auto& state = tasklets_.at(id);
+        const auto tit = tasklets_.find(id);
+        if (tit == tasklets_.end()) continue;  // evicted mid-loop
+        auto& state = tit->second;
         if (state.done) continue;
         state.awaiting_program = false;
         ++stats_.tasklets_exhausted;
@@ -400,7 +439,7 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
     p.online = true;
     p.draining = false;
     out.send(from, proto::RegisterAck{m.incarnation});
-    drain_queue(now, out);
+    request_drain(now, out);
     return;
   }
   if (rejoin && !p.inflight.empty()) {
@@ -430,7 +469,7 @@ void Broker::handle_register(NodeId from, const proto::RegisterProvider& m,
                             << proto::to_string(m.capability.device_class) << ", "
                             << m.capability.speed_fuel_per_sec / 1e6 << " Mfuel/s, "
                             << m.capability.slots << " slots)";
-  drain_queue(now, out);
+  request_drain(now, out);
 }
 
 void Broker::handle_deregister(NodeId from, const proto::DeregisterProvider& m,
@@ -464,7 +503,7 @@ void Broker::handle_heartbeat(NodeId from, const proto::Heartbeat&, SimTime now,
     // re-issued; it simply offers capacity again.
     it->second.online = true;
   }
-  drain_queue(now, out);
+  request_drain(now, out);
 }
 
 // --- submission & scheduling ----------------------------------------------------
@@ -506,6 +545,16 @@ void Broker::handle_submit(NodeId from, const proto::SubmitTasklet& m, SimTime n
   // program. A memo hit concluded the tasklet; a DigestBody with unknown
   // bytes is parked until the consumer answers our FetchProgram.
   if (resolve_body(id, state, now, out)) return;
+  if (batching_) {
+    // Submit burst: defer placement to the single drain at on_batch_end —
+    // queueing is O(1) here, and the batched drain places the whole burst
+    // with one pool snapshot instead of one per submission.
+    for (std::uint32_t i = 0; i < tasklets_.at(id).replicas_pending; ++i) {
+      enqueue_replica(id);
+    }
+    need_drain_ = true;
+    return;
+  }
   while (state.replicas_pending > 0 && try_place_replica(id, now, out).valid()) {
   }
   for (std::uint32_t i = 0; i < tasklets_.at(id).replicas_pending; ++i) {
@@ -607,7 +656,11 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
   }
   const NodeId choice = scheduler_->pick(state.spec, context, rng_);
   if (!choice.valid()) return AttemptId{};  // policy refused; stays queued
+  return issue_attempt(id, state, choice, now, out);
+}
 
+AttemptId Broker::issue_attempt(TaskletId id, TaskletState& state, NodeId choice,
+                                SimTime now, proto::Outbox& out) {
   ProviderState& provider = providers_.at(choice);
   const AttemptId attempt = attempt_ids_.next();
   const bool tracing = config_.trace != nullptr && state.trace.active();
@@ -638,10 +691,14 @@ AttemptId Broker::try_place_replica(TaskletId id, SimTime now, proto::Outbox& ou
   ++stats_.attempts_issued;
   TASKLETS_COUNT("broker.attempts_issued", 1);
   if (metrics::enabled()) {
-    // Per-provider assignment counts (dynamic name, so no macro cache).
-    metrics::MetricsRegistry::instance()
-        .counter("broker.assigned." + choice.to_string())
-        .inc();
+    // Per-provider assignment counts. The registry entry is immortal, so
+    // the reference is bound once per provider and the name is formatted
+    // once, not per attempt.
+    if (provider.assigned_counter == nullptr) {
+      provider.assigned_counter = &metrics::MetricsRegistry::instance().counter(
+          "broker.assigned." + choice.to_string());
+    }
+    provider.assigned_counter->inc();
   }
 
   proto::AssignTasklet assign;
@@ -668,7 +725,85 @@ void Broker::enqueue_replica(TaskletId id) {
                      static_cast<std::int64_t>(pending_count_));
 }
 
+bool Broker::batchable_shape(const TaskletState& state) const {
+  // A tasklet joins a batched placement pass only when nothing about it
+  // individualises the decision: no prior attempts (no used-provider
+  // exclusions), no locality/cost filter, no redundancy or speed goal (the
+  // batch scorer is goal-neutral), no migration snapshot, and no program
+  // digest when digest affinity is on (warm-provider preference is
+  // per-tasklet state).
+  const auto& qoc = state.spec.qoc;
+  return state.attempts.empty() && state.used_providers.empty() &&
+         state.resume_snapshot.empty() &&
+         qoc.locality == proto::Locality::kAny && qoc.cost_ceiling <= 0.0 &&
+         qoc.redundancy <= 1 && qoc.speed == proto::SpeedGoal::kNone &&
+         !(config_.dedup_assign && state.program_digest.valid());
+}
+
+void Broker::drain_queue_batched(SimTime now, proto::Outbox& out) {
+  // One pool snapshot for the whole pass instead of one eligible-set
+  // rebuild per queued tasklet: O(P log P + B log P) for a burst of B
+  // instead of O(B * P).
+  batch_snapshot_.clear();
+  SchedulingContext context;
+  context.pool_heterogeneity = pool_heterogeneity_;
+  std::size_t free_slots = 0;
+  for (const auto& [pid, p] : providers_) {
+    if (!p.online) continue;
+    context.best_online_speed = std::max(context.best_online_speed,
+                                         p.view.capability.speed_fuel_per_sec);
+    context.best_online_effective_speed =
+        std::max(context.best_online_effective_speed, p.view.effective_speed());
+    const std::size_t busy = p.inflight.size();
+    if (busy >= p.view.capability.slots) continue;
+    free_slots += p.view.capability.slots - busy;
+    ProviderView view = p.view;
+    view.busy_slots = static_cast<std::uint32_t>(busy);
+    view.warm = false;  // batchable tasklets carry no digest affinity
+    batch_snapshot_.push_back(std::move(view));
+  }
+  if (batch_snapshot_.empty()) return;
+  std::sort(
+      batch_snapshot_.begin(), batch_snapshot_.end(),
+      [](const ProviderView& a, const ProviderView& b) { return a.id < b.id; });
+
+  // The FIFO prefix of shape-neutral tasklets per priority class, highest
+  // class first, capped at the free slots. A non-batchable head stops its
+  // class — within a class the batched pass must not overtake it.
+  batch_ids_.clear();
+  for (auto& [priority, queue] : pending_) {
+    if (batch_ids_.size() >= free_slots) break;
+    for (const TaskletId id : queue) {
+      if (batch_ids_.size() >= free_slots) break;
+      const auto it = tasklets_.find(id);
+      if (it == tasklets_.end() || it->second.done ||
+          it->second.replicas_pending == 0) {
+        continue;  // stale entry: the per-tasklet loop below pops it
+      }
+      if (!batchable_shape(it->second)) break;
+      batch_ids_.push_back(id);
+    }
+  }
+  if (batch_ids_.size() < 2) return;  // nothing to amortize
+
+  batch_choices_.resize(batch_ids_.size());
+  const std::size_t placed = scheduler_->pick_batch(
+      context, std::span<ProviderView>(batch_snapshot_), rng_,
+      std::span<NodeId>(batch_choices_.data(), batch_ids_.size()));
+  for (std::size_t i = 0; i < placed; ++i) {
+    const TaskletId id = batch_ids_[i];
+    issue_attempt(id, tasklets_.at(id), batch_choices_[i], now, out);
+  }
+  // Placed tasklets are deliberately not popped here: issue_attempt zeroed
+  // their replicas_pending, so the per-tasklet loop below removes their
+  // queue entries as stale and handles whatever the batch left behind.
+}
+
 void Broker::drain_queue(SimTime now, proto::Outbox& out) {
+  // Batched fast path first: a backlog of shape-neutral tasklets is placed
+  // with one pool snapshot; the per-tasklet loop below then covers the
+  // remainder (QoC-constrained heads, policies without batch support).
+  if (pending_count_ >= 4) drain_queue_batched(now, out);
   // Strict priority across classes, FIFO with head-of-line semantics within
   // a class. A head that cannot be placed blocks only its own class — an
   // unplaceable high-priority tasklet (e.g. a local-only one waiting for
@@ -723,7 +858,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
     // Late result for a concluded or fenced attempt.
     ++stats_.duplicate_results;
     TASKLETS_COUNT("broker.duplicate_results", 1);
-    drain_queue(now, out);
+    request_drain(now, out);
     return;
   }
   const TaskletId id = idx->second;
@@ -734,7 +869,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       ait != state.attempts.end() && ait->second.provider != from) {
     ++stats_.duplicate_results;
     TASKLETS_COUNT("broker.duplicate_results", 1);
-    drain_queue(now, out);
+    request_drain(now, out);
     return;
   }
   attempt_index_.erase(idx);
@@ -749,7 +884,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
   }
   state.attempts.erase(m.attempt);
   if (state.done) {
-    drain_queue(now, out);
+    request_drain(now, out);
     return;
   }
 
@@ -828,7 +963,7 @@ void Broker::handle_attempt_result(NodeId from, const proto::AttemptResult& m,
       break;
     }
   }
-  drain_queue(now, out);
+  request_drain(now, out);
 }
 
 void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) {
@@ -850,7 +985,9 @@ void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) 
     // Reuse the handler but without crediting the (gone) provider.
     const TaskletId id = idx->second;
     attempt_index_.erase(idx);
-    auto& state = tasklets_.at(id);
+    const auto tit = tasklets_.find(id);
+    if (tit == tasklets_.end()) continue;  // evicted terminal record
+    auto& state = tit->second;
     if (const auto ait = state.attempts.find(attempt);
         ait != state.attempts.end()) {
       end_attempt_span(state, id, ait->second, now, "provider_lost");
@@ -861,7 +998,7 @@ void Broker::on_provider_lost(NodeId provider, SimTime now, proto::Outbox& out) 
     TASKLETS_COUNT("broker.attempts_lost", 1);
     reissue_or_exhaust(id, state, now, out);
   }
-  drain_queue(now, out);
+  request_drain(now, out);
 }
 
 void Broker::reissue_or_exhaust(TaskletId id, TaskletState& state, SimTime now,
@@ -908,7 +1045,9 @@ void Broker::defend_stragglers(SimTime now, proto::Outbox& out) {
   // and reassign. A tasklet that was already shadowed by a backup is NOT
   // re-issued again: the live backup is the reassignment.
   for (const auto& [attempt, tasklet_id] : fence) {
-    auto& state = tasklets_.at(tasklet_id);
+    const auto tit = tasklets_.find(tasklet_id);
+    if (tit == tasklets_.end()) continue;  // evicted mid-loop
+    auto& state = tit->second;
     NodeId provider;
     if (const auto ait = state.attempts.find(attempt);
         ait != state.attempts.end()) {
@@ -936,7 +1075,9 @@ void Broker::defend_stragglers(SimTime now, proto::Outbox& out) {
   // Moderately late attempts: one speculative backup, exactly like the
   // speculative_after path (first result wins, loser fenced on arrival).
   for (const TaskletId id : shadow) {
-    auto& state = tasklets_.at(id);
+    const auto tit = tasklets_.find(id);
+    if (tit == tasklets_.end()) continue;  // evicted mid-loop
+    auto& state = tit->second;
     if (state.done || state.speculated) continue;
     state.replicas_pending += 1;
     const AttemptId backup = try_place_replica(id, now, out);
@@ -951,7 +1092,7 @@ void Broker::defend_stragglers(SimTime now, proto::Outbox& out) {
       state.replicas_pending -= 1;  // no capacity: retry next scan
     }
   }
-  if (!fence.empty()) drain_queue(now, out);
+  if (!fence.empty()) request_drain(now, out);
 }
 
 bool Broker::admission_rejects(TaskletId id, TaskletState& state, SimTime now,
@@ -1110,6 +1251,25 @@ void Broker::finish(TaskletId id, TaskletState& state, proto::TaskletReport repo
     // node's dependents instead of round-tripping through a consumer.
     on_dag_node_done(state, report, terminal, out);
     return;
+  }
+  if (config_.terminal_retention > 0) {
+    // Bounded replay window: evict the oldest concluded records FIFO. The
+    // just-finished tasklet sits at the back, so it always survives its own
+    // finish. Stragglers of an evicted tasklet resolve as late results
+    // (attempt_index_ entries are scrubbed here) and a duplicate submit of
+    // one re-runs instead of replaying — the memo table still fences
+    // memoizable re-runs.
+    terminal_order_.push_back(id);
+    while (terminal_order_.size() > config_.terminal_retention) {
+      const TaskletId victim = terminal_order_.front();
+      terminal_order_.pop_front();
+      const auto vit = tasklets_.find(victim);
+      if (vit == tasklets_.end() || !vit->second.done) continue;
+      for (const auto& [attempt, attempt_state] : vit->second.attempts) {
+        attempt_index_.erase(attempt);
+      }
+      tasklets_.erase(vit);
+    }
   }
   out.send(state.consumer, proto::TaskletDone{std::move(report)});
 }

@@ -25,6 +25,7 @@
 #include "broker/pool_stats.hpp"
 #include "broker/scheduling.hpp"
 #include "broker/speed_estimator.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "proto/actor.hpp"
@@ -106,6 +107,14 @@ struct BrokerConfig {
   // A DigestBody submission whose program cannot be fetched from its
   // consumer within this grace fails kExhausted.
   SimTime program_fetch_grace = 10 * kSecond;
+
+  // --- swarm scale (r5) -------------------------------------------------------
+  // Concluded tasklets kept for duplicate-submit replay. 0 keeps every
+  // terminal record forever (the historical behaviour); a bound evicts the
+  // oldest terminal records FIFO, trading replay coverage for bounded
+  // memory — million-tasklet benches set this. DAG-bound node tasklets are
+  // never evicted this way (the DAG machinery owns their lifetime).
+  std::size_t terminal_retention = 0;
 };
 
 // Aggregate counters for benches and monitoring.
@@ -160,6 +169,11 @@ class Broker final : public proto::Actor {
   void on_message(const proto::Envelope& envelope, SimTime now,
                   proto::Outbox& out) override;
   void on_timer(std::uint64_t timer_id, SimTime now, proto::Outbox& out) override;
+  // Batched-tick hot path: while a runtime-delivered burst is open, queue
+  // drains requested by individual handlers are deferred and coalesced into
+  // one placement pass at on_batch_end.
+  void on_batch_begin(SimTime now) override;
+  void on_batch_end(SimTime now, proto::Outbox& out) override;
 
   [[nodiscard]] const BrokerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t queue_length() const noexcept { return pending_count_; }
@@ -215,6 +229,11 @@ class Broker final : public proto::Actor {
     // Measured effective speed (EWMA over completed attempts). Kept across
     // re-registrations — the device restarted, but it is the same hardware.
     SpeedEstimator speed;
+    // Lazily-bound per-provider metric handles: registry entries are
+    // immortal, so caching the references here keeps the "broker.assigned.*"
+    // / "broker.speed.*" name formatting off the per-attempt hot path.
+    metrics::Counter* assigned_counter = nullptr;
+    metrics::Gauge* speed_gauge = nullptr;
   };
 
   struct AttemptState {
@@ -366,8 +385,23 @@ class Broker final : public proto::Actor {
   // Tries to place one replica; returns the new attempt id (invalid id on
   // failure: no eligible provider or the policy refused).
   AttemptId try_place_replica(TaskletId id, SimTime now, proto::Outbox& out);
+  // Commits one placement decision: all the bookkeeping (attempt record,
+  // slot claim, spans, AssignTasklet send) after a provider was chosen.
+  AttemptId issue_attempt(TaskletId id, TaskletState& state, NodeId choice,
+                          SimTime now, proto::Outbox& out);
   // Places queued replicas while capacity lasts.
   void drain_queue(SimTime now, proto::Outbox& out);
+  // Deferred drain: inside a batch the request is latched and served once
+  // at on_batch_end; outside a batch it drains immediately.
+  void request_drain(SimTime now, proto::Outbox& out);
+  // Batched fast path of drain_queue: snapshots the free-slot pool once,
+  // collects the FIFO prefix of shape-neutral queued tasklets and places
+  // them with one Scheduler::pick_batch call instead of one full
+  // eligible-set rebuild per tasklet.
+  void drain_queue_batched(SimTime now, proto::Outbox& out);
+  // True when a queued tasklet's placement depends only on the pool, not on
+  // per-spec state — the precondition for joining a batched placement pass.
+  [[nodiscard]] bool batchable_shape(const TaskletState& state) const;
   void enqueue_replica(TaskletId id);
 
   // --- lifecycle ------------------------------------------------------------------
@@ -467,6 +501,20 @@ class Broker final : public proto::Actor {
   // Heterogeneity score cached on the scan cadence — placement happens per
   // message, so the O(providers) aggregate is not recomputed per attempt.
   double pool_heterogeneity_ = 0.0;
+  // Batched-tick state: while batching_ is true (runtime delivered a burst),
+  // handler-requested queue drains only latch need_drain_; on_batch_end runs
+  // the single deferred drain. batch_messages_ feeds the broker.batch.size
+  // histogram.
+  bool batching_ = false;
+  bool need_drain_ = false;
+  std::uint32_t batch_messages_ = 0;
+  // Scratch buffers reused across drain_queue_batched calls (capacity
+  // persists; cleared per pass).
+  std::vector<ProviderView> batch_snapshot_;
+  std::vector<NodeId> batch_choices_;
+  std::vector<TaskletId> batch_ids_;
+  // FIFO of concluded tasklet ids backing config_.terminal_retention.
+  std::deque<TaskletId> terminal_order_;
 };
 
 }  // namespace tasklets::broker

@@ -1,11 +1,86 @@
 #include "broker/scheduling.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <optional>
+#include <vector>
 
 namespace tasklets::broker {
 
 namespace {
+
+// --- batched greedy assignment ---------------------------------------------
+//
+// One keyed max-heap over candidate indices: repeatedly hand the next
+// tasklet to the best-scoring candidate, claim one slot, and re-insert the
+// candidate with its load-adjusted key while it still has free slots. Keys
+// are recomputed on every (re-)insert, so the heap invariant holds even
+// though scores depend on the mutating busy_slots. Ties break on the lower
+// provider id, matching the single-pick policies' determinism.
+
+struct BatchKey {
+  double primary = 0.0;    // larger wins
+  double secondary = 0.0;  // larger wins
+  std::uint64_t id = 0;    // smaller wins
+  std::size_t index = 0;
+};
+
+bool batch_key_less(const BatchKey& a, const BatchKey& b) {
+  if (a.primary != b.primary) return a.primary < b.primary;
+  if (a.secondary != b.secondary) return a.secondary < b.secondary;
+  return a.id > b.id;
+}
+
+template <typename KeyFn>
+std::size_t greedy_batch(std::span<ProviderView> candidates,
+                         std::span<NodeId> choices, KeyFn key_of) {
+  std::vector<BatchKey> heap;
+  heap.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::optional<BatchKey> key = key_of(candidates[i]);
+    if (!key.has_value()) continue;  // fails the policy's floor
+    key->id = candidates[i].id.value();
+    key->index = i;
+    heap.push_back(*key);
+  }
+  std::make_heap(heap.begin(), heap.end(), batch_key_less);
+  std::size_t placed = 0;
+  while (placed < choices.size() && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), batch_key_less);
+    const BatchKey top = heap.back();
+    heap.pop_back();
+    ProviderView& p = candidates[top.index];
+    choices[placed++] = p.id;
+    ++p.busy_slots;
+    if (p.busy_slots < p.capability.slots) {
+      if (std::optional<BatchKey> key = key_of(p)) {
+        key->id = p.id.value();
+        key->index = top.index;
+        heap.push_back(*key);
+        std::push_heap(heap.begin(), heap.end(), batch_key_less);
+      }
+    }
+  }
+  return placed;
+}
+
+// The qoc blend reduced to its goal-neutral core: batches only contain
+// tasklets with no speed goal, no redundancy and no cost ceiling (the
+// broker guarantees it), so only the selectivity floor and the
+// load-discounted speed score survive.
+std::size_t qoc_batch(std::span<ProviderView> candidates,
+                      std::span<NodeId> choices, double best_speed,
+                      double (*speed_of)(const ProviderView&)) {
+  const double floor_speed = best_speed / 8.0;
+  return greedy_batch(
+      candidates, choices,
+      [floor_speed, speed_of](const ProviderView& p) -> std::optional<BatchKey> {
+        const double speed = speed_of(p);
+        if (speed < floor_speed) return std::nullopt;
+        return BatchKey{speed * (1.0 - 0.8 * p.load()) / 1e6, 0.0, 0, 0};
+      });
+}
 
 class RoundRobin final : public Scheduler {
  public:
@@ -62,6 +137,15 @@ class LeastLoaded final : public Scheduler {
     }
     return best->id;
   }
+  std::size_t pick_batch(const SchedulingContext&,
+                         std::span<ProviderView> candidates, Rng&,
+                         std::span<NodeId> choices) override {
+    return greedy_batch(candidates, choices,
+                        [](const ProviderView& p) -> std::optional<BatchKey> {
+                          return BatchKey{-p.load(),
+                                          p.capability.speed_fuel_per_sec, 0, 0};
+                        });
+  }
   std::string_view name() const noexcept override { return "least_loaded"; }
 };
 
@@ -78,6 +162,15 @@ class FastestFirst final : public Scheduler {
       }
     }
     return best->id;
+  }
+  std::size_t pick_batch(const SchedulingContext&,
+                         std::span<ProviderView> candidates, Rng&,
+                         std::span<NodeId> choices) override {
+    return greedy_batch(candidates, choices,
+                        [](const ProviderView& p) -> std::optional<BatchKey> {
+                          return BatchKey{p.capability.speed_fuel_per_sec,
+                                          -p.load(), 0, 0};
+                        });
   }
   std::string_view name() const noexcept override { return "fastest_first"; }
 };
@@ -136,6 +229,14 @@ class QocAware final : public Scheduler {
                       return p.capability.speed_fuel_per_sec;
                     });
   }
+  std::size_t pick_batch(const SchedulingContext& context,
+                         std::span<ProviderView> candidates, Rng&,
+                         std::span<NodeId> choices) override {
+    return qoc_batch(candidates, choices, context.best_online_speed,
+                     [](const ProviderView& p) {
+                       return p.capability.speed_fuel_per_sec;
+                     });
+  }
   std::string_view name() const noexcept override { return "qoc_aware"; }
 };
 
@@ -152,6 +253,15 @@ class Adaptive final : public Scheduler {
                             : context.best_online_speed;
     return qoc_pick(spec, context, best,
                     [](const ProviderView& p) { return p.effective_speed(); });
+  }
+  std::size_t pick_batch(const SchedulingContext& context,
+                         std::span<ProviderView> candidates, Rng&,
+                         std::span<NodeId> choices) override {
+    const double best = context.best_online_effective_speed > 0.0
+                            ? context.best_online_effective_speed
+                            : context.best_online_speed;
+    return qoc_batch(candidates, choices, best,
+                     [](const ProviderView& p) { return p.effective_speed(); });
   }
   std::string_view name() const noexcept override { return "adaptive"; }
 };

@@ -89,6 +89,28 @@ class Scheduler {
   [[nodiscard]] virtual NodeId pick(const proto::TaskletSpec& spec,
                                     const SchedulingContext& context,
                                     Rng& rng) = 0;
+
+  // Batched placement over one broker tick. `candidates` is the mutable
+  // free-slot candidate pool (id-sorted); the policy claims slots by
+  // incrementing busy_slots as it assigns, so one fast device can absorb
+  // several tasklets of a burst without starving idle peers. Writes one
+  // provider id per placed tasklet into the front of `choices` and returns
+  // how many were placed. The tasklets behind a batch are shape-neutral
+  // (no QoC goals, no redundancy, no used-provider exclusions) — the broker
+  // only batches submissions whose placement does not depend on per-spec
+  // state. Returning 0 means the policy does not batch (the default) or
+  // refused every pairing; the caller falls back to per-tasklet pick().
+  [[nodiscard]] virtual std::size_t pick_batch(const SchedulingContext& context,
+                                               std::span<ProviderView> candidates,
+                                               Rng& rng,
+                                               std::span<NodeId> choices) {
+    (void)context;
+    (void)candidates;
+    (void)rng;
+    (void)choices;
+    return 0;
+  }
+
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
 

@@ -78,9 +78,10 @@ void ConsumerAgent::submit(proto::TaskletSpec spec, ReportHandler handler,
     entry.submitted_at = now;
   }
   const TraceContext ctx = trace_ctx(id, entry);
+  const SimTime next_resubmit = entry.next_resubmit;
   pending_.insert_or_assign(id, std::move(entry));
   out.send(broker_, proto::SubmitTasklet{std::move(spec), ctx});
-  if (config_.resubmit) arm_retry_timer(now, out);
+  if (config_.resubmit) arm_retry_for(next_resubmit, now, out);
 }
 
 namespace {
@@ -129,9 +130,10 @@ void ConsumerAgent::submit_dag(dag::DagSpec spec, DagHandler handler,
   }
   const TraceContext ctx = dag_trace_ctx(entry);
   dag::DagSpec wire_spec = entry.spec;
+  const SimTime next_resubmit = entry.next_resubmit;
   dags_.insert_or_assign(id, std::move(entry));
   out.send(broker_, proto::SubmitDag{std::move(wire_spec), ctx});
-  if (config_.resubmit) arm_retry_timer(now, out);
+  if (config_.resubmit) arm_retry_for(next_resubmit, now, out);
 }
 
 void ConsumerAgent::cancel(TaskletId id, proto::Outbox& out) {
@@ -151,6 +153,7 @@ void ConsumerAgent::release_program(Pending& entry) {
 void ConsumerAgent::on_timer(std::uint64_t timer_id, SimTime now,
                              proto::Outbox& out) {
   if (timer_id != kRetryTimer || !config_.resubmit) return;
+  retry_armed_for_ = 0;  // this firing consumed the armed instance
   std::vector<TaskletId> abandoned;
   for (auto& [id, entry] : pending_) {
     if (entry.next_resubmit == 0 || entry.next_resubmit > now) continue;
@@ -219,7 +222,16 @@ void ConsumerAgent::arm_retry_timer(SimTime now, proto::Outbox& out) {
     }
   }
   if (earliest == 0) return;  // nothing waiting on a retry
+  retry_armed_for_ = earliest;
   out.arm_timer(kRetryTimer, std::max<SimTime>(1, earliest - now));
+}
+
+void ConsumerAgent::arm_retry_for(SimTime deadline, SimTime now,
+                                  proto::Outbox& out) {
+  if (deadline == 0) return;
+  if (retry_armed_for_ != 0 && retry_armed_for_ <= deadline) return;
+  retry_armed_for_ = deadline;
+  out.arm_timer(kRetryTimer, std::max<SimTime>(1, deadline - now));
 }
 
 void ConsumerAgent::fail_locally(TaskletId id, Pending&& entry, SimTime now) {

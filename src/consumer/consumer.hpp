@@ -145,7 +145,13 @@ class ConsumerAgent final : public proto::Actor {
   void end_root_span(TaskletId id, const Pending& entry, SimTime now,
                      std::string_view status);
 
+  // Full O(outstanding) recompute of the earliest retry deadline; only the
+  // retry timer itself pays it.
   void arm_retry_timer(SimTime now, proto::Outbox& out);
+  // O(1) per-submission variant: re-arms only when `deadline` is earlier
+  // than what the timer is already armed for (replace semantics make the
+  // re-arm safe). Keeps the submit hot path off the full scan.
+  void arm_retry_for(SimTime deadline, SimTime now, proto::Outbox& out);
   void fail_locally(TaskletId id, Pending&& entry, SimTime now);
   // Drops the entry's pin on its program blob (idempotent).
   void release_program(Pending& entry);
@@ -164,6 +170,10 @@ class ConsumerAgent final : public proto::Actor {
   // Local program store (r3): backs digest submissions and answers the
   // broker's FetchProgram pulls. Outstanding tasklets pin their program.
   store::BlobStore programs_{16u << 20};
+  // Deadline the retry timer is currently armed for (0 = not armed). The
+  // cache is conservative: entries removed by completion/cancel leave it
+  // early, producing one harmless spurious wakeup.
+  SimTime retry_armed_for_ = 0;
 };
 
 }  // namespace tasklets::consumer

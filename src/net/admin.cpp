@@ -115,17 +115,43 @@ void AdminServer::accept_loop() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // listener closed: shutting down
-    const std::scoped_lock lock(mutex_);
-    if (stopping_) {
-      ::close(fd);
-      return;
+    std::vector<std::thread> reaped;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      reaped.swap(finished_);  // join outside the lock
+      const std::uint64_t id = next_client_id_++;
+      Client& client = clients_[id];
+      client.fd = fd;
+      client.thread = std::thread([this, id, fd] { serve_connection(id, fd); });
     }
-    client_fds_.push_back(fd);
-    clients_.emplace_back([this, fd] { serve_connection(fd); });
+    for (std::thread& t : reaped) {
+      if (t.joinable()) t.join();
+    }
   }
 }
 
-void AdminServer::serve_connection(int fd) {
+void AdminServer::serve_connection(std::uint64_t id, int fd) {
+  serve_loop(fd);
+  // Reap ourselves: park the thread handle for the acceptor (or stop()) to
+  // join, and close the fd only if stop() hasn't taken ownership of it.
+  bool own_fd = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = clients_.find(id);
+    if (it != clients_.end()) {
+      finished_.push_back(std::move(it->second.thread));
+      clients_.erase(it);
+      own_fd = true;
+    }
+  }
+  if (own_fd) ::close(fd);
+}
+
+void AdminServer::serve_loop(int fd) {
   std::string buffer;
   char chunk[4096];
   while (true) {
@@ -158,19 +184,25 @@ void AdminServer::stop() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   // Unblock readers parked in recv(), then join. The acceptor has exited,
-  // so clients_ can no longer grow.
-  std::vector<int> fds;
-  std::vector<std::thread> clients;
+  // so clients_ can no longer grow; taking the map entries transfers fd
+  // ownership here (the serve threads see their entry gone and leave the
+  // fd alone).
+  std::vector<Client> live;
+  std::vector<std::thread> finished;
   {
     const std::scoped_lock lock(mutex_);
-    fds.swap(client_fds_);
-    clients.swap(clients_);
+    for (auto& [id, client] : clients_) live.push_back(std::move(client));
+    clients_.clear();
+    finished.swap(finished_);
   }
-  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
-  for (std::thread& t : clients) {
+  for (const Client& client : live) ::shutdown(client.fd, SHUT_RDWR);
+  for (Client& client : live) {
+    if (client.thread.joinable()) client.thread.join();
+  }
+  for (const Client& client : live) ::close(client.fd);
+  for (std::thread& t : finished) {
     if (t.joinable()) t.join();
   }
-  for (const int fd : fds) ::close(fd);
   listen_fd_ = -1;
 }
 

@@ -56,8 +56,14 @@ class AdminServer {
   void stop();
 
  private:
+  struct Client {
+    int fd = -1;
+    std::thread thread;
+  };
+
   void accept_loop();
-  void serve_connection(int fd);
+  void serve_connection(std::uint64_t id, int fd);
+  void serve_loop(int fd);
 
   Handler handler_;
   int listen_fd_ = -1;
@@ -65,8 +71,13 @@ class AdminServer {
   std::thread acceptor_;
   std::mutex mutex_;
   bool stopping_ = false;
-  std::vector<int> client_fds_;
-  std::vector<std::thread> clients_;
+  // Live connections by id. A connection that ends moves its thread handle
+  // to finished_ (a thread cannot join itself); the acceptor joins those on
+  // the next accept, so long-lived servers don't accumulate one zombie
+  // thread per connection ever served.
+  std::uint64_t next_client_id_ = 0;
+  std::map<std::uint64_t, Client> clients_;
+  std::vector<std::thread> finished_;
 };
 
 // Blocking admin round trip for CLI tools and tests: connects to

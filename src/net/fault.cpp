@@ -179,7 +179,9 @@ void FaultyRuntime::route(proto::Envelope envelope) {
     // Flip 1-4 bits of the encoded frame and re-decode: either the codec
     // rejects the mutant (drop) or a decodable mutant is delivered — the
     // layers above must fence it.
-    Bytes frame = proto::encode(envelope);
+    thread_local Bytes frame;
+    frame.clear();
+    proto::encode_into(envelope, frame);
     const auto flips = 1 + rng.next_below(4);
     for (std::uint64_t i = 0; i < flips && !frame.empty(); ++i) {
       frame[static_cast<std::size_t>(rng.next_below(frame.size()))] ^=

@@ -1,6 +1,11 @@
 #include "net/inproc.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
 #include <algorithm>
+#include <string>
 
 #include "common/metrics.hpp"
 
@@ -41,6 +46,12 @@ void ActorHost::start() {
     stop_requested_ = false;
   }
   thread_ = std::thread([this] { run_loop(); });
+#if defined(__linux__)
+  // Thread names cap at 15 chars; "actor-<id>" keeps per-actor CPU visible
+  // in /proc and profilers.
+  const std::string name = "actor-" + std::to_string(actor_->id().value());
+  ::pthread_setname_np(thread_.native_handle(), name.substr(0, 15).c_str());
+#endif
 }
 
 void ActorHost::stop() {
@@ -77,15 +88,21 @@ void ActorHost::dispatch_outbox(proto::Outbox& out) {
 }
 
 void ActorHost::run_loop() {
+  // Mailbox burst drained per wakeup: batching amortizes lock traffic and
+  // lets actors (via the batch brackets) and transports (via one outbox
+  // flush) process a submit storm as one unit. Bounded so timers and stop
+  // requests stay responsive under sustained load.
+  constexpr std::size_t kMaxBatch = 256;
   // on_start runs first, in-context.
   {
     proto::Outbox out(actor_->id());
     actor_->on_start(runtime_.now(), out);
     dispatch_outbox(out);
   }
+  std::vector<Item> batch;
+  batch.reserve(kMaxBatch);
   for (;;) {
-    Item item{proto::Envelope{}};
-    bool have_item = false;
+    batch.clear();
     std::uint64_t due_timer = 0;
     bool have_timer = false;
     {
@@ -93,9 +110,11 @@ void ActorHost::run_loop() {
       for (;;) {
         if (stop_requested_) return;
         if (!mailbox_.empty()) {
-          item = std::move(mailbox_.front());
-          mailbox_.pop_front();
-          have_item = true;
+          const std::size_t n = std::min(mailbox_.size(), kMaxBatch);
+          for (std::size_t i = 0; i < n; ++i) {
+            batch.push_back(std::move(mailbox_.front()));
+            mailbox_.pop_front();
+          }
           break;
         }
         // Find the earliest timer deadline.
@@ -126,12 +145,25 @@ void ActorHost::run_loop() {
     proto::Outbox out(actor_->id());
     if (have_timer) {
       actor_->on_timer(due_timer, runtime_.now(), out);
-    } else if (have_item) {
+    } else if (batch.size() == 1) {
+      // Single item: deliver without batch brackets so the low-rate path
+      // keeps its original per-message semantics and latency.
+      Item& item = batch.front();
       if (auto* envelope = std::get_if<proto::Envelope>(&item)) {
         actor_->on_message(*envelope, runtime_.now(), out);
       } else {
         std::get<ActorClosure>(item)(runtime_.now(), out);
       }
+    } else if (!batch.empty()) {
+      actor_->on_batch_begin(runtime_.now());
+      for (Item& item : batch) {
+        if (auto* envelope = std::get_if<proto::Envelope>(&item)) {
+          actor_->on_message(*envelope, runtime_.now(), out);
+        } else {
+          std::get<ActorClosure>(item)(runtime_.now(), out);
+        }
+      }
+      actor_->on_batch_end(runtime_.now(), out);
     }
     dispatch_outbox(out);
   }

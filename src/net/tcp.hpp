@@ -13,6 +13,22 @@
 // (the middleware's re-issue machinery owns recovery, not the transport).
 // One outbound connection per (sender node, target node) is pooled and
 // re-established on demand after failures.
+//
+// Two engines share those semantics:
+//
+//  - kEventLoop (default): one readiness event loop (net/event_loop.hpp)
+//    drives every listener, inbound and outbound socket of the runtime on
+//    one thread. Senders append encoded frames to a per-destination write
+//    queue and wake the loop; the loop coalesces queued frames into writev
+//    batches and recycles their buffers through a BufferPool, so the
+//    steady-state send path performs zero per-frame heap allocations. This
+//    is the engine that holds 10k+ provider connections in one process
+//    (bench/bench_swarm.cpp, experiment E14).
+//
+//  - kThreadPerConn: the original thread-per-connection engine (one
+//    acceptor thread per node, one reader thread per inbound socket,
+//    blocking sends under a global connection lock). Kept as the measured
+//    baseline for E14 and as a fallback reference implementation.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +41,25 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "net/event_loop.hpp"
 #include "net/inproc.hpp"
 
 namespace tasklets::net {
 
+enum class TcpMode {
+  kEventLoop,      // readiness loop + batched writev (default)
+  kThreadPerConn,  // legacy baseline: blocking sockets, thread per connection
+};
+
 struct TcpConfig {
   std::uint32_t max_frame_bytes = 64u << 20;  // reject larger frames
+  TcpMode mode = TcpMode::kEventLoop;
+  // Event-loop engine: use the poll(2) backend even where epoll exists
+  // (tests exercise both backends).
+  bool force_poll = false;
+  // Event-loop engine, tests only: shrink SO_SNDBUF on outbound sockets to
+  // force partial writes and EAGAIN storms. 0 = kernel default.
+  int sndbuf_bytes = 0;
 };
 
 class TcpRuntime final : public Runtime {
@@ -66,13 +95,34 @@ class TcpRuntime final : public Runtime {
   void drop_connection(NodeId to);
   // Bytes actually pushed through sockets (tests assert the wire was used).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept;
+  [[nodiscard]] TcpMode mode() const noexcept { return config_.mode; }
 
  private:
   struct NodeEntry;
+  struct Channel;
+  struct Inbound;
 
+  // --- shared helpers -------------------------------------------------------
+  [[nodiscard]] std::uint16_t lookup_port(NodeId to) const;
+  [[nodiscard]] int open_listener(std::uint16_t* port_out);
+
+  // --- event-loop engine (loop-thread-only unless noted) --------------------
+  void loop_enqueue(std::function<void()> task);          // any thread
+  void enqueue_frame(NodeId to, std::uint16_t port, Bytes frame);  // any thread
+  void loop_flush_channel(const std::shared_ptr<Channel>& channel);
+  void loop_start_connect(const std::shared_ptr<Channel>& channel);
+  void loop_fail_channel(const std::shared_ptr<Channel>& channel);
+  void loop_register_listener(NodeEntry* entry);
+  void loop_accept(NodeEntry* entry);
+  void loop_read(const std::shared_ptr<Inbound>& inbound);
+  void loop_close_inbound(const std::shared_ptr<Inbound>& inbound);
+  void deliver(proto::Envelope envelope);
+
+  // --- legacy thread-per-connection engine ----------------------------------
   void accept_loop(NodeEntry* entry);
   void reader_loop(int fd);
-  [[nodiscard]] int connect_to(std::uint16_t port);
+  [[nodiscard]] int connect_to(std::uint16_t port, bool nonblocking);
+  void route_legacy(const proto::Envelope& envelope, std::uint16_t port);
 
   TcpConfig config_;
   SteadyClock clock_;
@@ -81,6 +131,20 @@ class TcpRuntime final : public Runtime {
   std::unordered_map<NodeId, std::unique_ptr<NodeEntry>> nodes_;
   std::unordered_map<NodeId, std::uint16_t> remotes_;
 
+  // Event-loop engine state.
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
+  BufferPool pool_;
+  std::mutex loop_in_mutex_;  // guards tasks_ + dirty_ (producers -> loop)
+  std::vector<std::function<void()>> tasks_;
+  std::vector<std::shared_ptr<Channel>> dirty_;
+  std::mutex channels_mutex_;
+  std::unordered_map<NodeId, std::shared_ptr<Channel>> channels_;
+  // Loop-thread-only: live inbound connections and a reusable read buffer.
+  std::unordered_map<int, std::shared_ptr<Inbound>> inbound_;
+  std::vector<std::byte> read_buf_;
+
+  // Legacy engine state.
   std::mutex connections_mutex_;
   std::map<NodeId, int> outbound_;  // pooled fds by destination
 

@@ -76,6 +76,15 @@ class Actor {
   // Called when a previously armed timer fires.
   virtual void on_timer(std::uint64_t timer_id, SimTime now, Outbox& out) = 0;
 
+  // Batch brackets: a runtime that drains several queued envelopes in one
+  // go wraps the burst in on_batch_begin / on_batch_end, letting the actor
+  // defer cross-message work (e.g. one placement pass over a whole submit
+  // burst) to the end of the batch. Default no-ops. Timers and single
+  // envelopes may be delivered outside any batch, so actors must stay
+  // correct when the brackets never fire.
+  virtual void on_batch_begin(SimTime /*now*/) {}
+  virtual void on_batch_end(SimTime /*now*/, Outbox& /*out*/) {}
+
  private:
   NodeId id_;
 };

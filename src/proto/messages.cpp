@@ -585,12 +585,18 @@ std::size_t message_wire_size(const Message& m) noexcept {
 }
 
 Bytes encode(const Envelope& envelope) {
-  ByteWriter w;
+  Bytes out;
+  encode_into(envelope, out);
+  return out;
+}
+
+void encode_into(const Envelope& envelope, Bytes& out) {
+  ByteWriter w(std::move(out));
   w.write_u32(kEnvelopeMagic);
   w.write_u64(envelope.from.value());
   w.write_u64(envelope.to.value());
   std::visit(PutVisitor{w}, envelope.payload);
-  return std::move(w).take();
+  out = std::move(w).take();
 }
 
 Result<Envelope> decode(std::span<const std::byte> data) {

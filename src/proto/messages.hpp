@@ -180,6 +180,10 @@ struct Envelope {
 // Wire framing: magic, from, to, type tag, payload. decode() rejects
 // malformed frames with kDataLoss.
 [[nodiscard]] Bytes encode(const Envelope& envelope);
+// Appends the encoded envelope to `out`, reusing its capacity — the
+// allocation-free form every send path uses (callers clear between frames
+// when they want just one envelope per buffer).
+void encode_into(const Envelope& envelope, Bytes& out);
 [[nodiscard]] Result<Envelope> decode(std::span<const std::byte> data);
 
 }  // namespace tasklets::proto
